@@ -1,0 +1,61 @@
+//! Robustness sweep: run every compound attack across many fresh victim
+//! boots and report any blocked/failed outcome. Used during development
+//! to keep the attacks seed-independent where the paper says they are.
+
+use attacks::image::KernelImage;
+use attacks::ringflood::{self, BootSurvey};
+use attacks::{forward_thinking, poisoned_tx};
+use dma_core::vuln::WindowPath;
+
+fn main() {
+    let image = KernelImage::build(1, 16 << 20);
+    let mut failures = 0;
+
+    for seed in 0..400u64 {
+        let r = poisoned_tx::run(&image, WindowPath::DeferredIotlb, seed).unwrap();
+        if !r.outcome.succeeded() {
+            println!("poisoned_tx seed {seed}: {:?}", r.outcome);
+            failures += 1;
+        }
+    }
+    for seed in 0..200u64 {
+        let r = forward_thinking::run(&image, WindowPath::DeferredIotlb, seed).unwrap();
+        if !r.outcome.succeeded() {
+            println!("forward_thinking seed {seed}: {:?}", r.outcome);
+            failures += 1;
+        }
+    }
+    // RingFlood succeeds only when the PFN guess is resident; count the
+    // hit rate instead (the paper predicts >50%).
+    let survey = BootSurvey::run(ringflood::kernel50_driver(), 64, 0).unwrap();
+    let mut hits = 0;
+    for seed in 10_000..10_100u64 {
+        let r = ringflood::run(
+            &image,
+            ringflood::kernel50_driver(),
+            WindowPath::NeighborIova,
+            seed,
+            &survey,
+        )
+        .unwrap();
+        if r.outcome.succeeded() {
+            hits += 1;
+        } else if r.guess_was_resident {
+            println!("ringflood seed {seed}: resident guess but {:?}", r.outcome);
+            failures += 1;
+        }
+    }
+    println!("ringflood hit rate: {hits}/100");
+
+    // The kaslr-break primitive on its own, over the bench's seed cycle.
+    for seed in 0..200u64 {
+        let mut tb =
+            ringflood::boot(ringflood::kernel50_driver(), WindowPath::NeighborIova, seed).unwrap();
+        let k = ringflood::break_kaslr(&mut tb).unwrap();
+        if k.text_base.is_none() || k.page_offset_base.is_none() {
+            println!("break_kaslr seed {seed}: incomplete {k:?}");
+            failures += 1;
+        }
+    }
+    println!("sweep done, {failures} unexpected failures");
+}

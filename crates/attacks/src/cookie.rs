@@ -1,0 +1,81 @@
+//! MacOS-style pointer blinding and its weakness (§7).
+//!
+//! MacOS exposes the `mbuf` `ext_free` callback pointer to devices but
+//! *blinds* it by XORing with a boot-random secret cookie. That defeats
+//! single-step attacks — the attacker cannot synthesize a valid blinded
+//! pointer without the cookie. But `ext_free` "can receive only one of
+//! two possible values", so once KASLR is compromised the attacker
+//! knows both candidate plaintexts, and a single XOR of a leaked
+//! blinded value reveals the cookie.
+
+/// The MacOS-side blinding: `blinded = ptr ^ cookie`.
+pub fn blind(ptr: u64, cookie: u64) -> u64 {
+    ptr ^ cookie
+}
+
+/// Recovers the cookie from leaked blinded values, given the (post-
+/// KASLR-break) candidate plaintext pointers.
+///
+/// A candidate cookie is accepted only if it consistently decodes
+/// *every* observed sample to some candidate plaintext — with two or
+/// more samples of distinct plaintexts the cookie is unique.
+pub fn recover_cookie(samples: &[u64], candidates: &[u64]) -> Option<u64> {
+    let (&first, rest) = samples.split_first()?;
+    'outer: for &cand in candidates {
+        let cookie = first ^ cand;
+        for &s in rest {
+            if !candidates.contains(&(s ^ cookie)) {
+                continue 'outer;
+            }
+        }
+        // Require corroboration: either a second sample decoding to a
+        // *different* plaintext, or a single candidate set.
+        if rest.iter().any(|&s| s ^ cookie != cand) || candidates.len() == 1 || rest.is_empty() {
+            return Some(cookie);
+        }
+        return Some(cookie);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dma_core::DetRng;
+
+    #[test]
+    fn cookie_recovered_from_two_samples() {
+        let mut rng = DetRng::new(42);
+        let ext_free_a = 0xffff_ffff_8123_4560;
+        let ext_free_b = 0xffff_ffff_8198_7650;
+        for _ in 0..32 {
+            let cookie = rng.next_u64();
+            let samples = [blind(ext_free_a, cookie), blind(ext_free_b, cookie)];
+            assert_eq!(
+                recover_cookie(&samples, &[ext_free_a, ext_free_b]),
+                Some(cookie)
+            );
+        }
+    }
+
+    #[test]
+    fn single_sample_single_candidate_suffices() {
+        let cookie = 0x1357_9bdf_2468_ace0;
+        let ptr = 0xffff_ffff_8111_1110;
+        assert_eq!(recover_cookie(&[blind(ptr, cookie)], &[ptr]), Some(cookie));
+    }
+
+    #[test]
+    fn wrong_candidates_yield_none() {
+        let cookie = 0xdead_beef_dead_beef;
+        let ptr = 0xffff_ffff_8123_4560;
+        let samples = [blind(ptr, cookie), blind(ptr ^ 0x10, cookie)];
+        // Candidate set that matches neither sample consistently.
+        assert_eq!(recover_cookie(&samples, &[0x1, 0x2]), None);
+    }
+
+    #[test]
+    fn empty_samples_yield_none() {
+        assert_eq!(recover_cookie(&[], &[0x1]), None);
+    }
+}

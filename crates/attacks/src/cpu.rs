@@ -1,0 +1,306 @@
+//! A mini CPU model for callback invocation and ROP execution.
+//!
+//! It enforces the two OS defenses of §2.4 and gives their subversion
+//! observable semantics:
+//!
+//! - **NX / W^X**: control may only transfer to addresses inside the
+//!   kernel text mapping. Jumping to a data page (e.g. straight into the
+//!   attacker's buffer) faults — this is why the attack needs ROP/JOP.
+//! - **Privilege escalation**: `prepare_kernel_cred(0)` /
+//!   `commit_creds` have credential semantics, so a successful chain is
+//!   detected by outcome, not by assertion fiat.
+
+use crate::gadget::{scan_gadgets, GadgetKind};
+use crate::image::KernelImage;
+use dma_core::{DmaError, Kva, Result, SimCtx};
+use sim_mem::MemorySystem;
+
+/// Opaque token modelling the root credential produced by
+/// `prepare_kernel_cred(NULL)`.
+const ROOT_CRED: u64 = 0xc12d_0000_0000_0001;
+
+/// Result of invoking a callback.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CpuOutcome {
+    /// `true` if the invocation ended with kernel credentials replaced by
+    /// root credentials — i.e. a successful privilege escalation.
+    pub escalated: bool,
+    /// Number of ROP/JOP steps executed.
+    pub steps: usize,
+    /// Name of the first symbol control transferred to, for reporting.
+    pub entry_symbol: Option<&'static str>,
+}
+
+/// The CPU model, bound to a kernel image and its load base.
+pub struct MiniCpu<'a> {
+    image: &'a KernelImage,
+    text_base: Kva,
+    step_limit: usize,
+}
+
+impl<'a> MiniCpu<'a> {
+    /// Creates a CPU for a kernel loaded at `text_base`.
+    pub fn new(image: &'a KernelImage, text_base: Kva) -> Self {
+        MiniCpu {
+            image,
+            text_base,
+            step_limit: 128,
+        }
+    }
+
+    fn sym_of(&self, addr: Kva) -> Option<&'static str> {
+        addr.raw()
+            .checked_sub(self.text_base.raw())
+            .and_then(|off| self.image.symbol_at(off))
+    }
+
+    fn in_text(&self, addr: Kva) -> bool {
+        let off = addr.raw().wrapping_sub(self.text_base.raw());
+        (off as usize) < self.image.bytes.len()
+    }
+
+    /// Invokes `callback(arg)` the way `kfree_skb` → `uarg->callback()`
+    /// does: `%rdi = arg`, jump to `callback`.
+    ///
+    /// NX: a callback outside kernel text faults immediately.
+    pub fn invoke_callback(
+        &self,
+        ctx: &mut SimCtx,
+        mem: &MemorySystem,
+        callback: Kva,
+        arg: Kva,
+    ) -> Result<CpuOutcome> {
+        if !self.in_text(callback) {
+            return Err(DmaError::CpuFault("NX: callback target is not executable"));
+        }
+        let entry_symbol = self.sym_of(callback);
+        match entry_symbol {
+            Some("sock_zerocopy_callback") | Some("nvme_fc_fcpio_done") => {
+                // The benign destructor: accounting only.
+                Ok(CpuOutcome {
+                    escalated: false,
+                    steps: 1,
+                    entry_symbol,
+                })
+            }
+            Some("jop_rsp_rdi") => {
+                // Stack pivot: %rsp = %rdi + disp, then ret starts the
+                // ROP chain. Re-derive disp from the actual bytes, as the
+                // hardware would.
+                let off = (callback.raw() - self.text_base.raw()) as usize;
+                let window = &self.image.bytes[off..(off + 5).min(self.image.bytes.len())];
+                let g = scan_gadgets(window)
+                    .into_iter()
+                    .next()
+                    .ok_or(DmaError::CpuFault("decode failure at pivot"))?;
+                let GadgetKind::JopRspRdi { disp } = g.kind else {
+                    return Err(DmaError::CpuFault("pivot gadget mismatch"));
+                };
+                let rsp = Kva(arg.raw() + disp as u64);
+                self.run_rop(ctx, mem, rsp, arg, entry_symbol)
+            }
+            Some(_) | None => {
+                // Mid-function or unknown text address: crash, not pwn.
+                Err(DmaError::CpuFault(
+                    "callback landed at a non-function text address",
+                ))
+            }
+        }
+    }
+
+    /// Executes a ROP chain starting at `rsp`.
+    fn run_rop(
+        &self,
+        ctx: &mut SimCtx,
+        mem: &MemorySystem,
+        mut rsp: Kva,
+        rdi_init: Kva,
+        entry_symbol: Option<&'static str>,
+    ) -> Result<CpuOutcome> {
+        let mut rdi = rdi_init.raw();
+        let mut rax = 0u64;
+        let mut escalated = false;
+        let mut steps = 1usize;
+        loop {
+            if steps >= self.step_limit {
+                return Err(DmaError::CpuFault("ROP step limit exceeded"));
+            }
+            let ret = Kva(mem.cpu_read_u64(ctx, rsp, "cpu_ret")?);
+            rsp += 8;
+            steps += 1;
+            if !self.in_text(ret) {
+                return Err(DmaError::CpuFault("NX: return target is not executable"));
+            }
+            match self.sym_of(ret) {
+                Some("pop_rdi_ret") => {
+                    rdi = mem.cpu_read_u64(ctx, rsp, "cpu_pop")?;
+                    rsp += 8;
+                }
+                Some("mov_rdi_rax_ret") => rdi = rax,
+                Some("prepare_kernel_cred") => {
+                    // prepare_kernel_cred(NULL) yields the root cred.
+                    rax = if rdi == 0 { ROOT_CRED } else { rdi ^ 0x5a5a };
+                }
+                Some("commit_creds") => {
+                    if rdi == ROOT_CRED {
+                        escalated = true;
+                    }
+                }
+                Some("rop_exit") => {
+                    return Ok(CpuOutcome {
+                        escalated,
+                        steps,
+                        entry_symbol,
+                    });
+                }
+                _ => return Err(DmaError::CpuFault("return landed at a non-gadget address")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::JOP_PIVOT_DISP;
+    use sim_mem::MemConfig;
+
+    fn setup() -> (SimCtx, MemorySystem, KernelImage) {
+        let mut ctx = SimCtx::new();
+        let mut mem = MemorySystem::new(&MemConfig {
+            kaslr_seed: Some(9),
+            ..Default::default()
+        });
+        let img = KernelImage::build(1, 16 << 20);
+        mem.install_text(&img.bytes);
+        let _ = &mut ctx;
+        (ctx, mem, img)
+    }
+
+    fn write_chain(ctx: &mut SimCtx, mem: &mut MemorySystem, at: Kva, words: &[u64]) {
+        for (i, w) in words.iter().enumerate() {
+            mem.cpu_write_u64(ctx, Kva(at.raw() + 8 * i as u64), *w, "t")
+                .unwrap();
+        }
+    }
+
+    #[test]
+    fn nx_blocks_direct_code_injection() {
+        let (mut ctx, mut mem, img) = setup();
+        let cpu = MiniCpu::new(&img, mem.layout.text_base);
+        let buf = mem.kmalloc(&mut ctx, 256, "evil").unwrap();
+        // Callback pointing straight into the data buffer: NX fault.
+        let err = cpu.invoke_callback(&mut ctx, &mem, buf, buf).unwrap_err();
+        assert_eq!(
+            err,
+            DmaError::CpuFault("NX: callback target is not executable")
+        );
+    }
+
+    #[test]
+    fn benign_destructor_does_not_escalate() {
+        let (mut ctx, mem, img) = setup();
+        let cpu = MiniCpu::new(&img, mem.layout.text_base);
+        let cb = img
+            .symbol_addr("sock_zerocopy_callback", mem.layout.text_base)
+            .unwrap();
+        let out = cpu
+            .invoke_callback(&mut ctx, &mem, cb, Kva(0x1234))
+            .unwrap();
+        assert!(!out.escalated);
+        assert_eq!(out.entry_symbol, Some("sock_zerocopy_callback"));
+    }
+
+    #[test]
+    fn full_jop_rop_chain_escalates() {
+        // The §6 exploit shape: callback → JOP pivot → ROP chain →
+        // commit_creds(prepare_kernel_cred(0)).
+        let (mut ctx, mut mem, img) = setup();
+        let base = mem.layout.text_base;
+        let cpu = MiniCpu::new(&img, base);
+        let buf = mem.kmalloc(&mut ctx, 512, "evil").unwrap();
+        let sym = |n: &str| img.symbol_addr(n, base).unwrap().raw();
+        // The poisoned buffer: ubuf_info at +0 (callback filled below),
+        // ROP stack at +JOP_PIVOT_DISP.
+        let chain = [
+            sym("pop_rdi_ret"),
+            0, // NULL
+            sym("prepare_kernel_cred"),
+            sym("mov_rdi_rax_ret"),
+            sym("commit_creds"),
+            sym("rop_exit"),
+        ];
+        write_chain(
+            &mut ctx,
+            &mut mem,
+            Kva(buf.raw() + JOP_PIVOT_DISP as u64),
+            &chain,
+        );
+        let out = cpu
+            .invoke_callback(&mut ctx, &mem, Kva(sym("jop_rsp_rdi")), buf)
+            .unwrap();
+        assert!(out.escalated, "chain must commit root creds");
+        assert_eq!(out.entry_symbol, Some("jop_rsp_rdi"));
+    }
+
+    #[test]
+    fn chain_without_null_cred_does_not_escalate() {
+        let (mut ctx, mut mem, img) = setup();
+        let base = mem.layout.text_base;
+        let cpu = MiniCpu::new(&img, base);
+        let buf = mem.kmalloc(&mut ctx, 512, "evil").unwrap();
+        let sym = |n: &str| img.symbol_addr(n, base).unwrap().raw();
+        let chain = [
+            sym("pop_rdi_ret"),
+            42, // not NULL → not the root cred
+            sym("prepare_kernel_cred"),
+            sym("mov_rdi_rax_ret"),
+            sym("commit_creds"),
+            sym("rop_exit"),
+        ];
+        write_chain(
+            &mut ctx,
+            &mut mem,
+            Kva(buf.raw() + JOP_PIVOT_DISP as u64),
+            &chain,
+        );
+        let out = cpu
+            .invoke_callback(&mut ctx, &mem, Kva(sym("jop_rsp_rdi")), buf)
+            .unwrap();
+        assert!(!out.escalated);
+    }
+
+    #[test]
+    fn garbage_chain_faults() {
+        let (mut ctx, mut mem, img) = setup();
+        let base = mem.layout.text_base;
+        let cpu = MiniCpu::new(&img, base);
+        let buf = mem.kzalloc(&mut ctx, 512, "evil").unwrap();
+        // Zeroed chain: first "return address" is 0 → NX fault.
+        let sym = |n: &str| img.symbol_addr(n, base).unwrap();
+        let err = cpu
+            .invoke_callback(&mut ctx, &mem, sym("jop_rsp_rdi"), buf)
+            .unwrap_err();
+        assert!(matches!(err, DmaError::CpuFault(_)));
+    }
+
+    #[test]
+    fn wrong_kaslr_base_faults_not_escalates() {
+        // An attacker with a wrong slide points at a non-function text
+        // address: kernel oops, not escalation (the cost of guessing).
+        let (mut ctx, mem, img) = setup();
+        let cpu = MiniCpu::new(&img, mem.layout.text_base);
+        let off_by = 0x200000u64; // one KASLR slot off
+        let wrong = Kva(img
+            .symbol_addr("jop_rsp_rdi", mem.layout.text_base)
+            .unwrap()
+            .raw()
+            + off_by);
+        if cpu.in_text(wrong) {
+            let err = cpu
+                .invoke_callback(&mut ctx, &mem, wrong, Kva(0))
+                .unwrap_err();
+            assert!(matches!(err, DmaError::CpuFault(_)));
+        }
+    }
+}

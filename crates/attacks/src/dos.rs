@@ -1,0 +1,229 @@
+//! Denial-of-service and allocator-corruption attacks (§3.1:
+//! "a malicious device can corrupt random memory regions, resulting in a
+//! denial of service attack"; §3.2(b): manipulating allocator free-lists
+//! "may also compromise the system" [Phrack 66-8]).
+//!
+//! The SLUB freelist pointer lives *inside the free object on the page*
+//! (see `sim_mem::slab`). When a driver maps any buffer from that page,
+//! the device can rewrite the pointer:
+//!
+//! - pointing it at garbage makes the next allocation from the slab
+//!   return an unusable address → kernel crash (DoS);
+//! - pointing it at a *chosen valid* KVA makes `kmalloc` hand out an
+//!   attacker-selected object — an arbitrary-allocation primitive.
+
+use devsim::MaliciousNic;
+use dma_core::{DmaError, Iova, Kva, Result, SimCtx};
+use sim_iommu::{DmaMapping, Iommu};
+use sim_mem::MemorySystem;
+
+/// Result of the freelist-corruption attack.
+#[derive(Clone, Debug)]
+pub struct DosReport {
+    /// Whether the kernel "panicked" (an allocation returned a broken
+    /// address / the allocator errored out).
+    pub panicked: bool,
+    /// Allocations served from the slab before the corruption hit.
+    pub allocations_until_panic: usize,
+    /// The freelist slot the device overwrote.
+    pub corrupted_slot: Kva,
+}
+
+/// Finds a *free* slab object on the mapped page by scanning device-side
+/// for a plausible freelist pointer (a direct-map value or 0), then
+/// overwrites it with `poison_next`.
+///
+/// `mapping` must be a bidirectional mapping of a kmalloc'd buffer (e.g.
+/// the driver's command queue); `class_size` is the slab's object size
+/// (a build constant the attacker knows from the kernel source).
+pub fn corrupt_freelist(
+    nic: &MaliciousNic,
+    ctx: &mut SimCtx,
+    iommu: &mut Iommu,
+    mem: &mut MemorySystem,
+    mapping: &DmaMapping,
+    class_size: usize,
+    poison_next: u64,
+) -> Result<Kva> {
+    let page_iova = Iova(mapping.iova.raw() & !0xfff);
+    let page_kva_base = mapping.kva.page_align_down();
+    // Scan each object slot's first word; a freelist link points at
+    // another slot *on this very page* (partial slabs keep locality) or
+    // holds 0 (end of list). A live object's first word is arbitrary
+    // data, so the attacker confirms candidates by the in-page pattern.
+    let slots = dma_core::PAGE_SIZE / class_size;
+    for i in 0..slots {
+        let off = (i * class_size) as u64;
+        let val = nic.read_u64(ctx, iommu, &mem.phys, Iova(page_iova.raw() + off))?;
+        let looks_like_link = val == 0
+            || (val & !0xfff) == (page_kva_base.raw() & !0xfff)
+            || dma_core::layout::VmRegion::classify(val)
+                == Some(dma_core::layout::VmRegion::DirectMap);
+        if looks_like_link && Kva(page_kva_base.raw() + off) != mapping.kva {
+            nic.write_u64(
+                ctx,
+                iommu,
+                &mut mem.phys,
+                Iova(page_iova.raw() + off),
+                poison_next,
+            )?;
+            return Ok(Kva(page_kva_base.raw() + off));
+        }
+    }
+    Err(DmaError::AttackFailed(
+        "no freelist slot found on the mapped page",
+    ))
+}
+
+/// Runs the DoS: corrupts the freelist under a mapped command queue and
+/// then lets the kernel allocate until it trips over the poison.
+pub fn run_dos(
+    nic: &MaliciousNic,
+    ctx: &mut SimCtx,
+    iommu: &mut Iommu,
+    mem: &mut MemorySystem,
+    mapping: &DmaMapping,
+    class_size: usize,
+) -> Result<DosReport> {
+    // Ensure the page has free slots whose links the device can find:
+    // benign churn frees a couple of neighbours.
+    let a = mem.kmalloc(ctx, class_size, "churn_a")?;
+    let b = mem.kmalloc(ctx, class_size, "churn_b")?;
+    mem.kfree(ctx, a)?;
+    mem.kfree(ctx, b)?;
+
+    let corrupted_slot = corrupt_freelist(
+        nic,
+        ctx,
+        iommu,
+        mem,
+        mapping,
+        class_size,
+        0xdead_dead_dead_dead,
+    )?;
+
+    // The kernel keeps allocating; sooner or later the poisoned link is
+    // popped and the allocator hands back garbage → oops.
+    for n in 0..64 {
+        match mem.kmalloc(ctx, class_size, "victim_alloc") {
+            Ok(kva) => {
+                // An allocation "landing" on a non-direct-map address is
+                // the crash; our allocator returns Err instead, but be
+                // thorough in case the poison was a valid-looking KVA.
+                if mem.layout.kva_to_phys(kva).is_err() {
+                    return Ok(DosReport {
+                        panicked: true,
+                        allocations_until_panic: n,
+                        corrupted_slot,
+                    });
+                }
+            }
+            Err(_) => {
+                return Ok(DosReport {
+                    panicked: true,
+                    allocations_until_panic: n,
+                    corrupted_slot,
+                });
+            }
+        }
+    }
+    Ok(DosReport {
+        panicked: false,
+        allocations_until_panic: 64,
+        corrupted_slot,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dma_core::vuln::DmaDirection;
+    use sim_iommu::{dma_map_single, InvalidationMode, IommuConfig};
+    use sim_mem::MemConfig;
+
+    fn setup() -> (SimCtx, MemorySystem, Iommu, MaliciousNic, DmaMapping) {
+        let mut ctx = SimCtx::new();
+        let mut mem = MemorySystem::new(&MemConfig::default());
+        let mut iommu = Iommu::new(IommuConfig {
+            mode: InvalidationMode::Strict,
+            ..Default::default()
+        });
+        iommu.attach_device(7);
+        // The driver maps its kmalloc'd command queue bidirectionally.
+        let cmdq = mem.kzalloc(&mut ctx, 512, "nic_cmd_queue").unwrap();
+        let m = dma_map_single(
+            &mut ctx,
+            &mut iommu,
+            &mem.layout,
+            7,
+            cmdq,
+            512,
+            DmaDirection::Bidirectional,
+            "m",
+        )
+        .unwrap();
+        (ctx, mem, iommu, MaliciousNic::new(7), m)
+    }
+
+    #[test]
+    fn freelist_corruption_crashes_the_allocator() {
+        let (mut ctx, mut mem, mut iommu, nic, m) = setup();
+        let report = run_dos(&nic, &mut ctx, &mut iommu, &mut mem, &m, 512).unwrap();
+        assert!(
+            report.panicked,
+            "poisoned freelist must take the allocator down"
+        );
+        assert!(report.allocations_until_panic < 16);
+    }
+
+    #[test]
+    fn chosen_pointer_becomes_an_arbitrary_allocation() {
+        // Instead of garbage, point the freelist at a *chosen* object:
+        // the allocator will hand it out as a fresh allocation.
+        let (mut ctx, mut mem, mut iommu, nic, m) = setup();
+        let target = mem.kzalloc(&mut ctx, 512, "precious_object").unwrap();
+        // A live object holds real content (a zeroed one is
+        // indistinguishable from an end-of-list freelist slot and the
+        // scan would corrupt it instead).
+        mem.cpu_write(&mut ctx, target, &[0x41u8; 512], "object_init")
+            .unwrap();
+        // Free two neighbours to create links on the mapped page.
+        let a = mem.kmalloc(&mut ctx, 512, "churn").unwrap();
+        let b = mem.kmalloc(&mut ctx, 512, "churn").unwrap();
+        mem.kfree(&mut ctx, a).unwrap();
+        mem.kfree(&mut ctx, b).unwrap();
+        corrupt_freelist(&nic, &mut ctx, &mut iommu, &mut mem, &m, 512, target.raw()).unwrap();
+        // Allocate until the poisoned link is served.
+        let mut got_target = false;
+        for _ in 0..16 {
+            match mem.kmalloc(&mut ctx, 512, "victim") {
+                Ok(k) if k == target => {
+                    got_target = true;
+                    break;
+                }
+                Ok(_) => {}
+                Err(_) => break,
+            }
+        }
+        assert!(got_target, "kmalloc must return the attacker-chosen object");
+    }
+
+    #[test]
+    fn unmapped_page_is_safe() {
+        // Control: without a mapping the device cannot corrupt anything.
+        let mut ctx = SimCtx::new();
+        let mut mem = MemorySystem::new(&MemConfig::default());
+        let mut iommu = Iommu::new(IommuConfig::default());
+        iommu.attach_device(7);
+        let nic = MaliciousNic::new(7);
+        let fake = DmaMapping {
+            iova: Iova(0x4000_0000),
+            kva: mem.kmalloc(&mut ctx, 512, "x").unwrap(),
+            len: 512,
+            dir: DmaDirection::Bidirectional,
+            pages: 1,
+            device: 7,
+        };
+        assert!(corrupt_freelist(&nic, &mut ctx, &mut iommu, &mut mem, &fake, 512, 0xbad).is_err());
+    }
+}

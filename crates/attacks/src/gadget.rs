@@ -1,0 +1,165 @@
+//! The gadget scanner — our stand-in for the ROPgadget tool used in §6.
+//!
+//! Scans raw image bytes for the gadget encodings the attack needs. Like
+//! ROPgadget, it runs *offline* on the attacker's identical copy of the
+//! kernel build; the offsets it reports are rebased onto the leaked
+//! KASLR text base at attack time.
+
+/// The kinds of gadgets the attack toolkit recognizes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GadgetKind {
+    /// `lea rsp, [rdi + disp8]; ret` — the JOP stack pivot: §6 "we needed
+    /// a JOP gadget that performs %rsp = %rdi + const".
+    JopRspRdi {
+        /// The constant added to `%rdi`.
+        disp: u8,
+    },
+    /// `pop rdi; ret`.
+    PopRdiRet,
+    /// `mov rdi, rax; ret`.
+    MovRdiRaxRet,
+}
+
+/// A located gadget.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Gadget {
+    /// What it does.
+    pub kind: GadgetKind,
+    /// Byte offset within the scanned image.
+    pub offset: u64,
+}
+
+/// Scans `bytes` for all recognized gadget encodings.
+pub fn scan_gadgets(bytes: &[u8]) -> Vec<Gadget> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let rest = &bytes[i..];
+        if rest.len() >= 5
+            && rest[0] == 0x48
+            && rest[1] == 0x8d
+            && rest[2] == 0x67
+            && rest[4] == 0xc3
+        {
+            out.push(Gadget {
+                kind: GadgetKind::JopRspRdi { disp: rest[3] },
+                offset: i as u64,
+            });
+            i += 5;
+            continue;
+        }
+        if rest.len() >= 4
+            && rest[0] == 0x48
+            && rest[1] == 0x89
+            && rest[2] == 0xc7
+            && rest[3] == 0xc3
+        {
+            out.push(Gadget {
+                kind: GadgetKind::MovRdiRaxRet,
+                offset: i as u64,
+            });
+            i += 4;
+            continue;
+        }
+        if rest.len() >= 2 && rest[0] == 0x5f && rest[1] == 0xc3 {
+            out.push(Gadget {
+                kind: GadgetKind::PopRdiRet,
+                offset: i as u64,
+            });
+            i += 2;
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Finds the first gadget of a kind-class via a predicate.
+pub fn find_gadget(bytes: &[u8], pred: impl Fn(GadgetKind) -> bool) -> Option<Gadget> {
+    scan_gadgets(bytes).into_iter().find(|g| pred(g.kind))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::{KernelImage, JOP_PIVOT_DISP};
+
+    #[test]
+    fn scanner_finds_planted_gadgets_at_symbol_offsets() {
+        let img = KernelImage::build(11, 16 << 20);
+        let gadgets = scan_gadgets(&img.bytes);
+        let jop = gadgets
+            .iter()
+            .find(|g| matches!(g.kind, GadgetKind::JopRspRdi { .. }))
+            .expect("JOP pivot present");
+        assert_eq!(Some(jop.offset), img.symbol_offset("jop_rsp_rdi"));
+        assert_eq!(
+            jop.kind,
+            GadgetKind::JopRspRdi {
+                disp: JOP_PIVOT_DISP
+            }
+        );
+
+        let pop = gadgets
+            .iter()
+            .find(|g| g.kind == GadgetKind::PopRdiRet)
+            .expect("pop rdi");
+        assert_eq!(Some(pop.offset), img.symbol_offset("pop_rdi_ret"));
+
+        let mov = gadgets
+            .iter()
+            .find(|g| g.kind == GadgetKind::MovRdiRaxRet)
+            .expect("mov");
+        assert_eq!(Some(mov.offset), img.symbol_offset("mov_rdi_rax_ret"));
+    }
+
+    #[test]
+    fn no_false_positives_in_filler() {
+        // The filler alphabet excludes gadget prefixes, so every hit must
+        // coincide with a planted symbol.
+        let img = KernelImage::build(5, 16 << 20);
+        for g in scan_gadgets(&img.bytes) {
+            assert!(
+                img.symbol_at(g.offset).is_some(),
+                "unexpected gadget at {:#x}",
+                g.offset
+            );
+        }
+    }
+
+    #[test]
+    fn scanner_handles_raw_fragments() {
+        let bytes = [0x90, 0x5f, 0xc3, 0x48, 0x89, 0xc7, 0xc3];
+        let g = scan_gadgets(&bytes);
+        assert_eq!(g.len(), 2);
+        assert_eq!(
+            g[0],
+            Gadget {
+                kind: GadgetKind::PopRdiRet,
+                offset: 1
+            }
+        );
+        assert_eq!(
+            g[1],
+            Gadget {
+                kind: GadgetKind::MovRdiRaxRet,
+                offset: 3
+            }
+        );
+    }
+
+    #[test]
+    fn find_gadget_predicate() {
+        let img = KernelImage::build(2, 16 << 20);
+        let g = find_gadget(
+            &img.bytes,
+            |k| matches!(k, GadgetKind::JopRspRdi { disp } if disp >= 0x18),
+        );
+        assert!(g.is_some());
+        assert!(find_gadget(&img.bytes, |k| matches!(
+            k,
+            GadgetKind::JopRspRdi { disp: 0x7f }
+        ))
+        .is_none());
+    }
+}

@@ -1,0 +1,182 @@
+//! A synthetic kernel image: instruction-like bytes, a symbol table, and
+//! planted gadgets.
+//!
+//! The attacker is assumed (as in §6) to possess an identical build of
+//! the victim kernel: symbol and gadget *offsets* are build constants;
+//! KASLR only shifts the load base. [`KernelImage::build`] is therefore
+//! used twice — once installed into the victim's text mapping, once as
+//! the attacker's reference copy for offline gadget scanning.
+
+use dma_core::{DetRng, Kva};
+
+/// Offset of the `init_net` network-namespace object within the image
+/// (data section). Mirrors `sim_net::stack::INIT_NET_IMAGE_OFFSET`.
+pub const INIT_NET_OFFSET: u64 = 0x00e8_a940;
+
+/// Displacement used by the planted stack-pivot gadget:
+/// `lea rsp, [rdi + JOP_PIVOT_DISP]; ret`. Chosen to skip past the
+/// 24-byte `ubuf_info` at the head of the poisoned buffer.
+pub const JOP_PIVOT_DISP: u8 = 0x20;
+
+/// A named location in the image.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Symbol {
+    /// Symbol name.
+    pub name: &'static str,
+    /// Byte offset within the image.
+    pub offset: u64,
+}
+
+/// The synthetic kernel image.
+#[derive(Clone, Debug)]
+pub struct KernelImage {
+    /// Raw bytes (text + data).
+    pub bytes: Vec<u8>,
+    /// Symbol table, sorted by offset.
+    pub symbols: Vec<Symbol>,
+}
+
+/// The symbols every build contains, with their encodings. Offsets are
+/// derived deterministically from the build seed.
+const PLANTED: &[(&str, &[u8])] = &[
+    // lea rsp, [rdi+0x20]; ret — the JOP pivot of §6.
+    ("jop_rsp_rdi", &[0x48, 0x8d, 0x67, JOP_PIVOT_DISP, 0xc3]),
+    // pop rdi; ret
+    ("pop_rdi_ret", &[0x5f, 0xc3]),
+    // mov rdi, rax; ret
+    ("mov_rdi_rax_ret", &[0x48, 0x89, 0xc7, 0xc3]),
+    // Functions: bodies are irrelevant (semantics live in the mini CPU);
+    // give them a realistic prologue.
+    ("prepare_kernel_cred", &[0x55, 0x48, 0x89, 0xe5, 0x5d, 0xc3]),
+    ("commit_creds", &[0x55, 0x48, 0x89, 0xe5, 0x5d, 0xc3]),
+    ("rop_exit", &[0xc3]),
+    (
+        "sock_zerocopy_callback",
+        &[0x55, 0x48, 0x89, 0xe5, 0x5d, 0xc3],
+    ),
+    ("nvme_fc_fcpio_done", &[0x55, 0x48, 0x89, 0xe5, 0x5d, 0xc3]),
+];
+
+impl KernelImage {
+    /// Builds an image of `size` bytes from a build seed.
+    ///
+    /// Filler bytes are chosen to look like code but to avoid
+    /// accidentally encoding the planted gadget patterns.
+    pub fn build(seed: u64, size: usize) -> Self {
+        assert!(
+            size as u64 > INIT_NET_OFFSET + 4096,
+            "image too small for data section"
+        );
+        let mut rng = DetRng::new(seed ^ 0x6b65_726e_656c);
+        let mut bytes = vec![0u8; size];
+        // Fill the text portion with nop/int3-heavy junk: realistic
+        // enough for a scanner, guaranteed gadget-free.
+        for b in bytes.iter_mut() {
+            *b = match rng.below(4) {
+                0 => 0x90, // nop
+                1 => 0xcc, // int3
+                2 => 0x00,
+                _ => (rng.below(0x40) as u8) | 0x80, // non-gadget opcodes
+            };
+        }
+
+        // Plant the symbols at deterministic pseudorandom, non-overlapping
+        // offsets in the first half of the image (text).
+        let mut symbols = Vec::new();
+        let mut cursor = 0x1000u64;
+        for (name, encoding) in PLANTED {
+            // Stride between 32 KiB and 256 KiB.
+            cursor += 0x8000 + rng.below(0x38000);
+            cursor &= !0xf; // 16-byte align functions, like the kernel
+            let off = cursor as usize;
+            bytes[off..off + encoding.len()].copy_from_slice(encoding);
+            symbols.push(Symbol {
+                name,
+                offset: cursor,
+            });
+            cursor += encoding.len() as u64;
+        }
+        // The init_net data object: recognizable non-pointer content.
+        symbols.push(Symbol {
+            name: "init_net",
+            offset: INIT_NET_OFFSET,
+        });
+        let off = INIT_NET_OFFSET as usize;
+        bytes[off..off + 8].copy_from_slice(&0x6e65_745f_6e73_3030u64.to_le_bytes());
+
+        symbols.sort_by_key(|s| s.offset);
+        KernelImage { bytes, symbols }
+    }
+
+    /// Looks up a symbol's offset.
+    pub fn symbol_offset(&self, name: &str) -> Option<u64> {
+        self.symbols
+            .iter()
+            .find(|s| s.name == name)
+            .map(|s| s.offset)
+    }
+
+    /// Run-time address of a symbol for a given (possibly randomized)
+    /// text base.
+    pub fn symbol_addr(&self, name: &str, text_base: Kva) -> Option<Kva> {
+        Some(Kva(text_base.raw() + self.symbol_offset(name)?))
+    }
+
+    /// Reverse lookup: the symbol starting exactly at `offset`.
+    pub fn symbol_at(&self, offset: u64) -> Option<&'static str> {
+        self.symbols
+            .iter()
+            .find(|s| s.offset == offset)
+            .map(|s| s.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_is_deterministic_per_seed() {
+        let a = KernelImage::build(1, 16 << 20);
+        let b = KernelImage::build(1, 16 << 20);
+        assert_eq!(a.bytes, b.bytes);
+        assert_eq!(a.symbols, b.symbols);
+        let c = KernelImage::build(2, 16 << 20);
+        assert_ne!(a.symbols, c.symbols);
+    }
+
+    #[test]
+    fn all_planted_symbols_resolve() {
+        let img = KernelImage::build(7, 16 << 20);
+        for (name, enc) in PLANTED {
+            let off = img.symbol_offset(name).unwrap() as usize;
+            assert_eq!(&img.bytes[off..off + enc.len()], *enc, "{name} bytes");
+        }
+        assert_eq!(img.symbol_offset("init_net"), Some(INIT_NET_OFFSET));
+    }
+
+    #[test]
+    fn symbol_addr_applies_base() {
+        let img = KernelImage::build(7, 16 << 20);
+        let base = Kva(0xffff_ffff_8120_0000);
+        let a = img.symbol_addr("pop_rdi_ret", base).unwrap();
+        assert_eq!(
+            a.raw() - base.raw(),
+            img.symbol_offset("pop_rdi_ret").unwrap()
+        );
+        assert!(img.symbol_addr("no_such_symbol", base).is_none());
+    }
+
+    #[test]
+    fn symbols_do_not_overlap() {
+        let img = KernelImage::build(3, 16 << 20);
+        for w in img.symbols.windows(2) {
+            assert!(
+                w[1].offset > w[0].offset + 8,
+                "{:?} overlaps {:?}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! KASLR subversion from leaked pointers (§2.4).
+//!
+//! KASLR randomizes three bases, each with coarse alignment, so one
+//! leaked pointer per region recovers everything:
+//!
+//! - **text base**: 2 MiB aligned. A leaked `&init_net` (present in
+//!   every socket object) has KASLR-invariant low 21 bits; subtracting
+//!   the build-constant image offset gives the base.
+//! - **page_offset_base / vmemmap_base**: 1 GiB aligned; with < 1 GiB of
+//!   physical memory (or entropy windows aligned likewise), rounding any
+//!   leaked direct-map / `struct page` pointer down to 1 GiB reveals
+//!   the base.
+
+use crate::image::INIT_NET_OFFSET;
+use devsim::LeakedPointer;
+use dma_core::layout::{VmRegion, SECTION_ALIGN, STRUCT_PAGE_SIZE, TEXT_ALIGN};
+use dma_core::{DmaError, Kva, Pfn, Result};
+
+/// What the attacker has derandomized so far. Starts empty; filled by
+/// [`AttackerKnowledge::absorb`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AttackerKnowledge {
+    /// Recovered kernel text base.
+    pub text_base: Option<Kva>,
+    /// Recovered direct-map base.
+    pub page_offset_base: Option<Kva>,
+    /// Recovered vmemmap base.
+    pub vmemmap_base: Option<Kva>,
+}
+
+impl AttackerKnowledge {
+    /// Creates empty knowledge.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `true` once all three bases are known.
+    pub fn complete(&self) -> bool {
+        self.text_base.is_some() && self.page_offset_base.is_some() && self.vmemmap_base.is_some()
+    }
+
+    /// Digests a batch of leaked pointers.
+    ///
+    /// Text identification uses the §2.4 heuristic: a text-range value
+    /// whose low 21 bits equal `init_net`'s known low bits is taken to
+    /// be `&init_net` ("we can identify init_net with a high
+    /// probability"). Direct-map and vmemmap values are rounded down to
+    /// their 1 GiB sections.
+    pub fn absorb(&mut self, leaks: &[LeakedPointer]) {
+        for l in leaks {
+            match l.region {
+                VmRegion::KernelText
+                    if l.value & (TEXT_ALIGN - 1) == INIT_NET_OFFSET & (TEXT_ALIGN - 1) =>
+                {
+                    let base = l.value - INIT_NET_OFFSET;
+                    if base.is_multiple_of(TEXT_ALIGN) {
+                        self.text_base = Some(Kva(base));
+                    }
+                }
+                VmRegion::DirectMap => {
+                    self.page_offset_base = Some(Kva(l.value & !(SECTION_ALIGN - 1)));
+                }
+                VmRegion::Vmemmap => {
+                    self.vmemmap_base = Some(Kva(l.value & !(SECTION_ALIGN - 1)));
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Attacker-side `page_to_pfn`: turns a leaked `struct page` pointer
+    /// into a frame number.
+    pub fn page_to_pfn(&self, page: u64) -> Result<Pfn> {
+        let base = self
+            .vmemmap_base
+            .ok_or(DmaError::MissingAttribute("vmemmap_base"))?;
+        let off = page
+            .checked_sub(base.raw())
+            .ok_or(DmaError::AttackFailed("struct page below vmemmap base"))?;
+        Ok(Pfn(off / STRUCT_PAGE_SIZE))
+    }
+
+    /// Attacker-side `pfn → KVA`.
+    pub fn pfn_to_kva(&self, pfn: Pfn) -> Result<Kva> {
+        let base = self
+            .page_offset_base
+            .ok_or(DmaError::MissingAttribute("page_offset_base"))?;
+        Ok(Kva(base.raw() + pfn.base().raw()))
+    }
+
+    /// Attacker-side `struct page` + offset → KVA (the Figure 8 step 3
+    /// translation).
+    pub fn page_ptr_to_kva(&self, page: u64, offset: u32) -> Result<Kva> {
+        Ok(Kva(
+            self.pfn_to_kva(self.page_to_pfn(page)?)?.raw() + offset as u64
+        ))
+    }
+
+    /// Run-time address of an image symbol offset.
+    pub fn rebase(&self, image_offset: u64) -> Result<Kva> {
+        let base = self
+            .text_base
+            .ok_or(DmaError::MissingAttribute("text_base"))?;
+        Ok(Kva(base.raw() + image_offset))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dma_core::{DetRng, Iova, KernelLayout};
+
+    fn leak(value: u64) -> LeakedPointer {
+        LeakedPointer {
+            iova: Iova(0),
+            value,
+            region: VmRegion::classify(value).unwrap(),
+        }
+    }
+
+    #[test]
+    fn init_net_leak_recovers_text_base() {
+        for seed in 0..32 {
+            let mut rng = DetRng::new(seed);
+            let layout = KernelLayout::randomize(&mut rng, 256 << 20);
+            let mut k = AttackerKnowledge::new();
+            k.absorb(&[leak(layout.text_base.raw() + INIT_NET_OFFSET)]);
+            assert_eq!(k.text_base, Some(layout.text_base), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn decoy_text_pointers_are_ignored() {
+        let mut rng = DetRng::new(4);
+        let layout = KernelLayout::randomize(&mut rng, 256 << 20);
+        let mut k = AttackerKnowledge::new();
+        // A leaked function pointer whose low bits don't match init_net.
+        k.absorb(&[leak(layout.text_base.raw() + 0x1234)]);
+        assert_eq!(k.text_base, None);
+    }
+
+    #[test]
+    fn direct_map_and_vmemmap_leaks_recover_bases() {
+        for seed in 0..32 {
+            let mut rng = DetRng::new(seed);
+            let layout = KernelLayout::randomize(&mut rng, 256 << 20);
+            let mut k = AttackerKnowledge::new();
+            // A slab freelist pointer (direct map) and a struct page
+            // pointer (vmemmap), at arbitrary offsets.
+            k.absorb(&[
+                leak(layout.page_offset_base.raw() + 0x03c1_e928),
+                leak(layout.vmemmap_base.raw() + 0x9_e400),
+            ]);
+            assert_eq!(
+                k.page_offset_base,
+                Some(layout.page_offset_base),
+                "seed {seed}"
+            );
+            assert_eq!(k.vmemmap_base, Some(layout.vmemmap_base), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn translations_match_kernel_layout() {
+        let mut rng = DetRng::new(19);
+        let layout = KernelLayout::randomize(&mut rng, 256 << 20);
+        let mut k = AttackerKnowledge::new();
+        k.absorb(&[
+            leak(layout.page_offset_base.raw() + 0x100),
+            leak(layout.vmemmap_base.raw() + 0x40),
+            leak(layout.text_base.raw() + INIT_NET_OFFSET),
+        ]);
+        assert!(k.complete());
+        let pfn = Pfn(0x2345);
+        let page = layout.pfn_to_page(pfn).unwrap();
+        assert_eq!(k.page_to_pfn(page.raw()).unwrap(), pfn);
+        assert_eq!(k.pfn_to_kva(pfn).unwrap(), layout.pfn_to_kva(pfn).unwrap());
+        assert_eq!(
+            k.page_ptr_to_kva(page.raw(), 0x123).unwrap().raw(),
+            layout.pfn_to_kva(pfn).unwrap().raw() + 0x123
+        );
+    }
+
+    #[test]
+    fn missing_knowledge_is_an_error_not_a_guess() {
+        let k = AttackerKnowledge::new();
+        assert!(k.page_to_pfn(0xffff_ea00_0000_0040).is_err());
+        assert!(k.pfn_to_kva(Pfn(1)).is_err());
+        assert!(k.rebase(0x1000).is_err());
+    }
+}

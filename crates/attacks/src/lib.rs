@@ -1,0 +1,55 @@
+//! The paper's attacks: KASLR subversion, code-injection machinery, and
+//! the three *compound* attacks (§5), plus a classic single-step attack
+//! as the baseline the paper contrasts against.
+//!
+//! - [`image`] — a synthetic kernel image: realistic instruction bytes
+//!   with a symbol table, planted JOP/ROP gadgets, and `init_net`.
+//! - [`gadget`] — the gadget scanner (our ROPgadget stand-in, §6):
+//!   scans an image for `%rsp = %rdi + const` pivots and ROP gadgets.
+//! - [`cpu`] — a mini CPU that invokes destructor callbacks with NX
+//!   (W^X) enforcement and executes ROP chains with credential-function
+//!   semantics, making "arbitrary code execution" observable.
+//! - [`kaslr`] — derandomization from leaked pointers (§2.4): text base
+//!   from the 2 MiB alignment of a leaked `init_net`, direct-map and
+//!   vmemmap bases from their 1 GiB alignment.
+//! - [`rop`] — poisoned-buffer construction: `ubuf_info` + ROP chain.
+//! - [`hijack`] — the common final stage (Figure 4): overwrite
+//!   `destructor_arg`, trigger the free, let the CPU take the bait.
+//! - [`ringflood`] — §5.3: boot-determinism survey and the RingFlood
+//!   compound attack.
+//! - [`poisoned_tx`] — §5.4: the echoed-buffer compound attack.
+//! - [`forward_thinking`] — §5.5: the GRO/forwarding compound attack and
+//!   the arbitrary-page surveillance variant.
+//! - [`single_step`] — the Thunderclap-style type (a) baseline.
+//! - [`dos`] — §3.1/§3.2(b): freelist corruption — denial of service and
+//!   the arbitrary-allocation primitive.
+//! - [`tocttou`] — §8 related work: the double-fetch race on shared
+//!   control structures (the Beniamini Wi-Fi attack class).
+//! - [`memory_dump`] — §3.1: full physical memory exfiltration over the
+//!   surveillance channel (the Inception/Volatility attack class).
+//! - [`cookie`] — §7: recovering MacOS's XOR-blinded `ext_free` pointer.
+//! - [`os_models`] — §7: the Windows NET_BUFFER and FreeBSD mbuf
+//!   exposures as executable models.
+
+pub mod cookie;
+pub mod cpu;
+pub mod dos;
+pub mod forward_thinking;
+pub mod gadget;
+pub mod hijack;
+pub mod image;
+pub mod kaslr;
+pub mod memory_dump;
+pub mod os_models;
+pub mod poisoned_tx;
+pub mod ringflood;
+pub mod rop;
+pub mod single_step;
+pub mod tocttou;
+pub mod window;
+
+pub use cpu::{CpuOutcome, MiniCpu};
+pub use gadget::{scan_gadgets, Gadget, GadgetKind};
+pub use image::KernelImage;
+pub use kaslr::AttackerKnowledge;
+pub use rop::PoisonedBuffer;

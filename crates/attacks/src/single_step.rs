@@ -1,0 +1,210 @@
+//! A *single-step* attack — the baseline the paper contrasts compound
+//! attacks against (§1, §8 "Thunderclap").
+//!
+//! Modeled on the nvme_fc vulnerability SPADE reports in Figure 2: the
+//! driver embeds its DMA response buffer (`rsp_iu`) inside a larger
+//! command structure (`struct nvme_fc_fcp_op`) that also holds the
+//! completion callback (`fcp_req.done`) — a textbook type (a)
+//! vulnerability. One mapped page hands the device all three
+//! vulnerability attributes at once:
+//!
+//! 1. **KVA**: the op struct contains self-referential pointers (list
+//!    heads, request back-pointers), so the device reads its own
+//!    location.
+//! 2. **Callback**: `done` is on the same page, write-accessible.
+//! 3. **Window**: the mapping is bidirectional and lives for the whole
+//!    command lifetime.
+
+use crate::cpu::MiniCpu;
+use crate::hijack;
+use crate::image::{KernelImage, JOP_PIVOT_DISP};
+use crate::kaslr::AttackerKnowledge;
+use crate::rop::PoisonedBuffer;
+use devsim::MaliciousNic;
+use dma_core::vuln::{AttackOutcome, DmaDirection};
+use dma_core::{Iova, Kva, Result, SimCtx};
+use sim_iommu::{dma_map_single, DmaMapping, Iommu};
+use sim_mem::MemorySystem;
+use sim_net::skb::PendingCallback;
+
+/// Layout of the simulated `struct nvme_fc_fcp_op` (128 bytes,
+/// kmalloc-128):
+///
+/// ```text
+/// +0    rsp_iu[96]        — the DMA response buffer (what gets mapped)
+/// +96   fcp_req.done      — completion callback pointer
+/// +104  fcp_req.self      — back-pointer to the op (KVA leak)
+/// +112  reserved
+/// ```
+pub const OP_SIZE: usize = 128;
+/// Offset of the `done` callback.
+pub const OP_DONE: usize = 96;
+/// Offset of the self back-pointer.
+pub const OP_SELF: usize = 104;
+
+/// The driver-side half: allocates and maps an op the way the buggy
+/// driver does, returning (op KVA, mapping).
+pub fn driver_setup_op(
+    ctx: &mut SimCtx,
+    mem: &mut MemorySystem,
+    iommu: &mut Iommu,
+    image: &KernelImage,
+    dev: u32,
+) -> Result<(Kva, DmaMapping)> {
+    let op = mem.kzalloc(ctx, OP_SIZE, "nvme_fc_init_request")?;
+    let done = image
+        .symbol_addr("nvme_fc_fcpio_done", mem.layout.text_base)
+        .expect("symbol present");
+    mem.cpu_write_u64(
+        ctx,
+        Kva(op.raw() + OP_DONE as u64),
+        done.raw(),
+        "nvme_fc_init_request",
+    )?;
+    mem.cpu_write_u64(
+        ctx,
+        Kva(op.raw() + OP_SELF as u64),
+        op.raw(),
+        "nvme_fc_init_request",
+    )?;
+    // The driver maps &op->rsp_iu — but the whole page is exposed
+    // (Figure 2 line [3]: dma_map_single(&op->rsp_iu)).
+    let mapping = dma_map_single(
+        ctx,
+        iommu,
+        &mem.layout,
+        dev,
+        op,
+        96,
+        DmaDirection::Bidirectional,
+        "nvme_fc_map_rsp_iu",
+    )?;
+    Ok((op, mapping))
+}
+
+/// The CPU-side completion path: reads `done` from (attackable) memory
+/// and invokes it with the op pointer — exactly what the interrupt
+/// handler does.
+pub fn driver_complete_op(
+    ctx: &mut SimCtx,
+    mem: &MemorySystem,
+    op: Kva,
+) -> Result<PendingCallback> {
+    let done = mem.cpu_read_u64(ctx, Kva(op.raw() + OP_DONE as u64), "nvme_fc_complete")?;
+    Ok(PendingCallback {
+        callback: Kva(done),
+        arg: op,
+    })
+}
+
+/// Report of a single-step run.
+#[derive(Clone, Debug)]
+pub struct SingleStepReport {
+    /// Outcome.
+    pub outcome: AttackOutcome,
+    /// The op KVA the device read off the mapped page.
+    pub leaked_op_kva: Kva,
+    /// The text base recovered from the leaked `done` pointer.
+    pub recovered_text_base: Kva,
+}
+
+/// Runs the single-step attack: one read burst, one write burst, done.
+/// All three attributes come off the single mapped page.
+pub fn run(
+    ctx: &mut SimCtx,
+    mem: &mut MemorySystem,
+    iommu: &mut Iommu,
+    image: &KernelImage,
+    nic: &MaliciousNic,
+    mapping: &DmaMapping,
+) -> Result<SingleStepReport> {
+    // Read the whole op through the mapping.
+    let mut op_bytes = [0u8; OP_SIZE];
+    nic.read(ctx, iommu, &mem.phys, mapping.iova, &mut op_bytes)?;
+    let done = u64::from_le_bytes(op_bytes[OP_DONE..OP_DONE + 8].try_into().expect("8"));
+    let op_kva = u64::from_le_bytes(op_bytes[OP_SELF..OP_SELF + 8].try_into().expect("8"));
+
+    // `done` is a known symbol: its image offset is a build constant, so
+    // one leak yields the text base.
+    let text_base = Kva(done - image.symbol_offset("nvme_fc_fcpio_done").expect("symbol"));
+    let knowledge = AttackerKnowledge {
+        text_base: Some(text_base),
+        page_offset_base: None,
+        vmemmap_base: None,
+    };
+
+    // Poison: ROP chain inside rsp_iu (offset 0x20..0x50 < OP_DONE), and
+    // `done` redirected to the JOP pivot. `%rdi` at completion is the op
+    // pointer, so `%rsp = op + 0x20` — inside our chain. No ubuf_info is
+    // involved in this variant, only the chain placement matters.
+    let poison = PoisonedBuffer::build(image, &knowledge)?;
+    debug_assert!(JOP_PIVOT_DISP as usize + 48 <= OP_DONE);
+    nic.deposit(ctx, iommu, &mut mem.phys, mapping.iova, 0, &poison.bytes)?;
+    let jop = knowledge.rebase(image.symbol_offset("jop_rsp_rdi").expect("symbol"))?;
+    nic.write_u64(
+        ctx,
+        iommu,
+        &mut mem.phys,
+        Iova(mapping.iova.raw() + OP_DONE as u64),
+        jop.raw(),
+    )?;
+
+    // The device completes the command; the CPU invokes `done(op)`.
+    let pending = driver_complete_op(ctx, mem, Kva(op_kva))?;
+    let cpu = MiniCpu::new(image, mem.layout.text_base);
+    let outcome = hijack::fire(&cpu, ctx, mem, pending, 1);
+    Ok(SingleStepReport {
+        outcome,
+        leaked_op_kva: Kva(op_kva),
+        recovered_text_base: text_base,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_iommu::{InvalidationMode, IommuConfig};
+    use sim_mem::MemConfig;
+
+    #[test]
+    fn single_step_attack_escalates_in_one_shot() {
+        let mut ctx = SimCtx::new();
+        let mut mem = MemorySystem::new(&MemConfig {
+            kaslr_seed: Some(1234),
+            ..Default::default()
+        });
+        let image = KernelImage::build(1, 16 << 20);
+        mem.install_text(&image.bytes);
+        let mut iommu = Iommu::new(IommuConfig {
+            mode: InvalidationMode::Strict,
+            ..Default::default()
+        });
+        iommu.attach_device(7);
+        let nic = MaliciousNic::new(7);
+        let (_op, mapping) = driver_setup_op(&mut ctx, &mut mem, &mut iommu, &image, 7).unwrap();
+        let report = run(&mut ctx, &mut mem, &mut iommu, &image, &nic, &mapping).unwrap();
+        assert!(report.outcome.succeeded(), "outcome: {:?}", report.outcome);
+        assert_eq!(report.recovered_text_base, mem.layout.text_base);
+    }
+
+    #[test]
+    fn benign_completion_without_attack_is_harmless() {
+        let mut ctx = SimCtx::new();
+        let mut mem = MemorySystem::new(&MemConfig {
+            kaslr_seed: Some(9),
+            ..Default::default()
+        });
+        let image = KernelImage::build(1, 16 << 20);
+        mem.install_text(&image.bytes);
+        let mut iommu = Iommu::new(IommuConfig::default());
+        iommu.attach_device(7);
+        let (op, _mapping) = driver_setup_op(&mut ctx, &mut mem, &mut iommu, &image, 7).unwrap();
+        let pending = driver_complete_op(&mut ctx, &mem, op).unwrap();
+        let cpu = MiniCpu::new(&image, mem.layout.text_base);
+        let out = cpu
+            .invoke_callback(&mut ctx, &mem, pending.callback, pending.arg)
+            .unwrap();
+        assert!(!out.escalated);
+        assert_eq!(out.entry_symbol, Some("nvme_fc_fcpio_done"));
+    }
+}

@@ -1,0 +1,250 @@
+//! Time-of-check-to-time-of-use (TOCTTOU) against shared control
+//! structures — the attack class of Beniamini's Wi-Fi exploits the paper
+//! cites in §8 ("the attack exploited a Time of Check To Time of Use
+//! vulnerability in the NIC driver. ... all the DMA writes were legal,
+//! made only to buffers currently mapped to the device").
+//!
+//! The model: a driver reads a device-written message
+//! `{ len: u32, payload[...] }` from a BIDIRECTIONAL-mapped control
+//! buffer, validates `len ≤ MAX`, *then reads len again* when copying —
+//! a double-fetch. A device flipping `len` between the two reads makes
+//! the driver overflow its fixed-size kernel destination. Every DMA
+//! write involved is to a legitimately mapped buffer.
+
+use devsim::MaliciousNic;
+use dma_core::{DmaError, Iova, Kva, Result, SimCtx};
+use sim_iommu::{DmaMapping, Iommu};
+use sim_mem::MemorySystem;
+
+/// The driver's fixed copy destination size.
+pub const DEST_SIZE: usize = 64;
+
+/// The vulnerable driver routine: double-fetches `len` from the mapped
+/// control buffer. `race` models concurrent device DMA between the
+/// check and the use (just like the RX race hook in `sim_net::driver`).
+///
+/// Returns the number of bytes copied into `dest`.
+pub fn vulnerable_ctrl_copy<F>(
+    ctx: &mut SimCtx,
+    mem: &mut MemorySystem,
+    iommu: &mut Iommu,
+    mapping: &DmaMapping,
+    dest: Kva,
+    mut race: F,
+) -> Result<usize>
+where
+    F: FnMut(&mut SimCtx, &mut MemorySystem, &mut Iommu),
+{
+    // CHECK: first fetch of the length.
+    let len1 = mem.cpu_read_u64(ctx, mapping.kva, "drv_ctrl_check")? as usize & 0xffff_ffff;
+    if len1 > DEST_SIZE {
+        return Err(DmaError::Invariant("driver rejected oversized message"));
+    }
+    // The race window: the device keeps DMAing into its mapped buffer.
+    race(ctx, mem, iommu);
+    // USE: second fetch — the double-fetch bug.
+    let len2 = mem.cpu_read_u64(ctx, mapping.kva, "drv_ctrl_use")? as usize & 0xffff_ffff;
+    let mut payload = vec![0u8; len2];
+    mem.cpu_read(
+        ctx,
+        Kva(mapping.kva.raw() + 8),
+        &mut payload,
+        "drv_ctrl_copy",
+    )?;
+    mem.cpu_write(ctx, dest, &payload, "drv_ctrl_copy")?;
+    Ok(len2)
+}
+
+/// The fixed driver: fetches once, uses the checked value.
+pub fn fixed_ctrl_copy<F>(
+    ctx: &mut SimCtx,
+    mem: &mut MemorySystem,
+    iommu: &mut Iommu,
+    mapping: &DmaMapping,
+    dest: Kva,
+    mut race: F,
+) -> Result<usize>
+where
+    F: FnMut(&mut SimCtx, &mut MemorySystem, &mut Iommu),
+{
+    let len = mem.cpu_read_u64(ctx, mapping.kva, "drv_ctrl_check")? as usize & 0xffff_ffff;
+    if len > DEST_SIZE {
+        return Err(DmaError::Invariant("driver rejected oversized message"));
+    }
+    race(ctx, mem, iommu);
+    let mut payload = vec![0u8; len];
+    mem.cpu_read(
+        ctx,
+        Kva(mapping.kva.raw() + 8),
+        &mut payload,
+        "drv_ctrl_copy",
+    )?;
+    mem.cpu_write(ctx, dest, &payload, "drv_ctrl_copy")?;
+    Ok(len)
+}
+
+/// The attacker half: writes a benign message, then flips the length
+/// during the race window.
+pub struct TocttouAttacker {
+    /// The attacking device.
+    pub nic: MaliciousNic,
+    /// The control buffer's IOVA.
+    pub iova: Iova,
+    /// The inflated length to flip to.
+    pub evil_len: u32,
+}
+
+impl TocttouAttacker {
+    /// Stage the benign-looking message: small length + filler payload.
+    pub fn stage(&self, ctx: &mut SimCtx, iommu: &mut Iommu, mem: &mut MemorySystem) -> Result<()> {
+        self.nic
+            .write_u64(ctx, iommu, &mut mem.phys, self.iova, 16)?;
+        let filler = vec![0x41u8; self.evil_len as usize];
+        self.nic.write(
+            ctx,
+            iommu,
+            &mut mem.phys,
+            Iova(self.iova.raw() + 8),
+            &filler,
+        )
+    }
+
+    /// The race write: inflate the length after the driver's check.
+    pub fn flip(&self, ctx: &mut SimCtx, iommu: &mut Iommu, mem: &mut MemorySystem) -> Result<()> {
+        self.nic
+            .write_u64(ctx, iommu, &mut mem.phys, self.iova, self.evil_len as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dma_core::vuln::DmaDirection;
+    use sim_iommu::{dma_map_single, InvalidationMode, IommuConfig};
+    use sim_mem::MemConfig;
+
+    struct Rig {
+        ctx: SimCtx,
+        mem: MemorySystem,
+        iommu: Iommu,
+        mapping: DmaMapping,
+        attacker: TocttouAttacker,
+        dest: Kva,
+        victim: Kva,
+    }
+
+    fn rig() -> Rig {
+        let mut ctx = SimCtx::new();
+        let mut mem = MemorySystem::new(&MemConfig::default());
+        let mut iommu = Iommu::new(IommuConfig {
+            mode: InvalidationMode::Strict,
+            ..Default::default()
+        });
+        iommu.attach_device(7);
+        let ctrl = mem.kzalloc(&mut ctx, 512, "wl_ctrl_ring").unwrap();
+        let mapping = dma_map_single(
+            &mut ctx,
+            &mut iommu,
+            &mem.layout,
+            7,
+            ctrl,
+            512,
+            DmaDirection::Bidirectional,
+            "m",
+        )
+        .unwrap();
+        // The copy destination and its innocent neighbour (kmalloc-64).
+        let dest = mem.kzalloc(&mut ctx, DEST_SIZE, "drv_msg_buf").unwrap();
+        let victim = mem.kzalloc(&mut ctx, DEST_SIZE, "victim_obj").unwrap();
+        assert_eq!(victim - dest, DEST_SIZE as u64, "adjacent slab objects");
+        let attacker = TocttouAttacker {
+            nic: MaliciousNic::new(7),
+            iova: mapping.iova,
+            evil_len: 160,
+        };
+        Rig {
+            ctx,
+            mem,
+            iommu,
+            mapping,
+            attacker,
+            dest,
+            victim,
+        }
+    }
+
+    #[test]
+    fn double_fetch_overflows_the_neighbour() {
+        let mut r = rig();
+        r.attacker
+            .stage(&mut r.ctx, &mut r.iommu, &mut r.mem)
+            .unwrap();
+        let attacker = &r.attacker;
+        let copied = vulnerable_ctrl_copy(
+            &mut r.ctx,
+            &mut r.mem,
+            &mut r.iommu,
+            &r.mapping,
+            r.dest,
+            |ctx, mem, iommu| {
+                attacker.flip(ctx, iommu, mem).unwrap();
+            },
+        )
+        .unwrap();
+        assert_eq!(copied, 160, "the inflated length was used");
+        // The neighbouring object took the overflow.
+        let mut v = [0u8; 8];
+        r.mem.cpu_read(&mut r.ctx, r.victim, &mut v, "t").unwrap();
+        assert_eq!(v, [0x41; 8], "victim object corrupted by the overflow");
+    }
+
+    #[test]
+    fn single_fetch_is_immune_to_the_same_race() {
+        let mut r = rig();
+        r.attacker
+            .stage(&mut r.ctx, &mut r.iommu, &mut r.mem)
+            .unwrap();
+        let attacker = &r.attacker;
+        let copied = fixed_ctrl_copy(
+            &mut r.ctx,
+            &mut r.mem,
+            &mut r.iommu,
+            &r.mapping,
+            r.dest,
+            |ctx, mem, iommu| {
+                attacker.flip(ctx, iommu, mem).unwrap();
+            },
+        )
+        .unwrap();
+        assert_eq!(copied, 16, "the checked length was used");
+        let mut v = [0u8; 8];
+        r.mem.cpu_read(&mut r.ctx, r.victim, &mut v, "t").unwrap();
+        assert_eq!(v, [0u8; 8], "victim untouched");
+    }
+
+    #[test]
+    fn oversized_first_fetch_is_rejected_outright() {
+        let mut r = rig();
+        // The attacker writes the big length immediately: the check
+        // catches it — TOCTTOU needs the *flip*, not brute force.
+        r.attacker
+            .nic
+            .write_u64(
+                &mut r.ctx,
+                &mut r.iommu,
+                &mut r.mem.phys,
+                r.attacker.iova,
+                160,
+            )
+            .unwrap();
+        let out = vulnerable_ctrl_copy(
+            &mut r.ctx,
+            &mut r.mem,
+            &mut r.iommu,
+            &r.mapping,
+            r.dest,
+            |_, _, _| {},
+        );
+        assert!(out.is_err());
+    }
+}

@@ -1,0 +1,199 @@
+//! Acquiring the time window (attribute 3, §3.3) via the three paths of
+//! Figure 7.
+//!
+//! In every path the goal is the same: get a device write into
+//! `skb_shared_info` to land *after* the CPU initializes it during
+//! sk_buff construction (which zeroes `destructor_arg`) and *before*
+//! `kfree_skb` consumes it.
+//!
+//! - **(i)** the driver builds the skb before unmapping (i40e style):
+//!   the original mapping is simply still live.
+//! - **(ii)** deferred IOTLB invalidation: the driver unmapped first,
+//!   but the device's stale IOTLB entry still translates.
+//! - **(iii)** strict mode: the original IOVA is dead, but a co-located
+//!   page_frag buffer's IOVA (type (c)) still maps the same page; the
+//!   device re-bases the shared info's page offset onto that mapping.
+
+use devsim::{MaliciousNic, Testbed};
+use dma_core::vuln::WindowPath;
+use dma_core::{DmaError, Iova, Result};
+use sim_net::packet::Packet;
+use sim_net::skb::SkBuff;
+
+/// Injects `packet` into the head RX buffer, completes it, and polls it
+/// through the driver while applying `poison` — a device write targeting
+/// the polled buffer's shared info — through the chosen window path.
+///
+/// Returns the resulting skb (not yet passed to the stack) and whether
+/// the poison write succeeded.
+pub fn rx_with_window(
+    tb: &mut Testbed,
+    path: WindowPath,
+    packet: &Packet,
+    poison: &PoisonPlan,
+) -> Result<(SkBuff, bool)> {
+    let descs = tb.driver.rx_descriptors();
+    let (head_iova, buf_size) = *descs.first().ok_or(DmaError::RingEmpty)?;
+    // The partner descriptor for path (iii): the next posted buffer that
+    // shares the head's physical page (successive page_frag carvings).
+    let partner_iova = descs.get(1).map(|d| d.0);
+
+    let n = tb.nic.inject_rx(
+        &mut tb.ctx,
+        &mut tb.iommu,
+        &mut tb.mem.phys,
+        head_iova,
+        packet,
+    )?;
+    tb.driver.device_rx_complete(n)?;
+
+    let nic = tb.nic;
+    let mut poisoned = false;
+    let skb = tb
+        .driver
+        .rx_poll(
+            &mut tb.ctx,
+            &mut tb.mem,
+            &mut tb.iommu,
+            |ctx, mem, iommu, slot| {
+                // This closure runs in the window between the driver's two
+                // completion steps. What the device can do here depends on
+                // the path.
+                let target = match path {
+                    // (i)/(ii): write through the buffer's own IOVA. Under
+                    // (i) the mapping is live; under (ii) it is a stale
+                    // IOTLB entry; under strict+correct order it faults.
+                    WindowPath::UnmapAfterBuild | WindowPath::DeferredIotlb => slot.mapping.iova,
+                    // (iii): re-base onto the partner's live mapping.
+                    WindowPath::NeighborIova => {
+                        let Some(partner) = partner_iova else { return };
+                        let shinfo_abs = Iova(slot.mapping.iova.raw() + buf_size as u64);
+                        match nic.alias_through_neighbor(shinfo_abs, partner) {
+                            Some(alias) => {
+                                // alias already points at the shinfo offset.
+                                poisoned = poison.write_at(ctx, mem, iommu, &nic, alias, 0).is_ok();
+                                return;
+                            }
+                            None => return,
+                        }
+                    }
+                };
+                poisoned = poison
+                    .write_at(ctx, mem, iommu, &nic, target, buf_size)
+                    .is_ok();
+            },
+        )?
+        .ok_or(DmaError::RingEmpty)?;
+    Ok((skb, poisoned))
+}
+
+/// What the device writes into the shared info once it has a window:
+/// `destructor_arg = poison_kva`.
+#[derive(Clone, Copy, Debug)]
+pub struct PoisonPlan {
+    /// The (guessed or learned) KVA of the poisoned `ubuf_info`.
+    pub poison_kva: u64,
+}
+
+impl PoisonPlan {
+    /// Performs the shared-info write at `base_iova + shinfo_offset`.
+    pub fn write_at(
+        &self,
+        ctx: &mut dma_core::SimCtx,
+        mem: &mut sim_mem::MemorySystem,
+        iommu: &mut sim_iommu::Iommu,
+        nic: &MaliciousNic,
+        base_iova: Iova,
+        shinfo_offset: usize,
+    ) -> Result<()> {
+        nic.overwrite_destructor_arg(
+            ctx,
+            iommu,
+            &mut mem.phys,
+            Iova(base_iova.raw() + shinfo_offset as u64),
+            self.poison_kva,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use devsim::testbed::TestbedConfig;
+    use sim_iommu::{InvalidationMode, IommuConfig};
+    use sim_net::driver::{DriverConfig, UnmapOrder};
+
+    fn tb(mode: InvalidationMode, order: UnmapOrder) -> Testbed {
+        Testbed::new(TestbedConfig {
+            iommu: IommuConfig {
+                mode,
+                ..Default::default()
+            },
+            driver: DriverConfig {
+                unmap_order: order,
+                ..Default::default()
+            },
+            ..Default::default()
+        })
+        .unwrap()
+    }
+
+    fn try_path(tb: &mut Testbed, path: WindowPath) -> bool {
+        let plan = PoisonPlan {
+            poison_kva: 0xffff_8880_0bad_0000,
+        };
+        let p = Packet::udp(9, 1, b"win".to_vec());
+        let (skb, ok) = rx_with_window(tb, path, &p, &plan).unwrap();
+        if !ok {
+            return false;
+        }
+        // Verify the write actually landed in the skb's shared info.
+        let got = skb.shinfo().destructor_arg(&mut tb.ctx, &tb.mem).unwrap();
+        got == plan.poison_kva
+    }
+
+    #[test]
+    fn path_i_bad_unmap_order_works_even_in_strict_mode() {
+        let mut t = tb(InvalidationMode::Strict, UnmapOrder::BuildThenUnmap);
+        assert!(try_path(&mut t, WindowPath::UnmapAfterBuild));
+    }
+
+    #[test]
+    fn path_ii_deferred_iotlb_works_despite_correct_order() {
+        let mut t = tb(InvalidationMode::Deferred, UnmapOrder::UnmapThenBuild);
+        assert!(try_path(&mut t, WindowPath::DeferredIotlb));
+    }
+
+    #[test]
+    fn path_ii_fails_in_strict_mode_with_correct_order() {
+        let mut t = tb(InvalidationMode::Strict, UnmapOrder::UnmapThenBuild);
+        assert!(!try_path(&mut t, WindowPath::DeferredIotlb));
+    }
+
+    #[test]
+    fn path_iii_neighbor_iova_defeats_strict_mode() {
+        // §5.2.2 (iii): strict mode + correct order, but page_frag page
+        // sharing leaves the partner's mapping usable.
+        let mut t = tb(InvalidationMode::Strict, UnmapOrder::UnmapThenBuild);
+        assert!(try_path(&mut t, WindowPath::NeighborIova));
+    }
+
+    #[test]
+    fn path_iii_fails_with_page_per_buffer_policy() {
+        use sim_net::driver::AllocPolicy;
+        let mut t = Testbed::new(TestbedConfig {
+            iommu: IommuConfig {
+                mode: InvalidationMode::Strict,
+                ..Default::default()
+            },
+            driver: DriverConfig {
+                unmap_order: UnmapOrder::UnmapThenBuild,
+                alloc: AllocPolicy::PagePerBuffer,
+                ..Default::default()
+            },
+            ..Default::default()
+        })
+        .unwrap();
+        assert!(!try_path(&mut t, WindowPath::NeighborIova));
+    }
+}

@@ -1,0 +1,230 @@
+//! End-to-end tests for the three compound attacks (§5.3–§5.5) and the
+//! §6 demonstration claims.
+
+use attacks::forward_thinking;
+use attacks::image::KernelImage;
+use attacks::poisoned_tx;
+use attacks::ringflood::{self, BootSurvey};
+use dma_core::vuln::WindowPath;
+use dma_core::{Kva, Pfn};
+
+fn image() -> KernelImage {
+    KernelImage::build(1, 16 << 20)
+}
+
+#[test]
+fn ringflood_survey_kernel50_has_majority_pfn() {
+    // §5.3: "many PFNs repeat in more than 50% of reboots on kernel 5.0".
+    let survey = BootSurvey::run(ringflood::kernel50_driver(), 64, 0).unwrap();
+    let (_, frac) = survey.most_common().unwrap();
+    assert!(frac > 0.5, "most common PFN fraction {frac} ≤ 0.5");
+    assert!(survey.pfns_above(0.5) >= 1);
+}
+
+#[test]
+fn ringflood_survey_kernel415_is_more_predictable() {
+    // §5.3: "more than 95% on kernel 4.15" (HW LRO, 64 KiB buffers).
+    let s50 = BootSurvey::run(ringflood::kernel50_driver(), 48, 0).unwrap();
+    let s415 = BootSurvey::run(ringflood::kernel415_driver(), 48, 0).unwrap();
+    let (_, f50) = s50.most_common().unwrap();
+    let (_, f415) = s415.most_common().unwrap();
+    assert!(f415 > 0.95, "kernel-4.15 fraction {f415} ≤ 0.95");
+    assert!(f415 >= f50, "larger footprint must not be less predictable");
+    // And the big-footprint config has many more high-confidence PFNs.
+    assert!(s415.pfns_above(0.95) > s50.pfns_above(0.95));
+}
+
+#[test]
+fn ringflood_attack_escalates_on_resident_guess() {
+    let img = image();
+    let survey = BootSurvey::run(ringflood::kernel50_driver(), 48, 0).unwrap();
+    // Attack fresh victims (seeds outside the profiled range); at least
+    // half the boots should host the guessed frame, and every resident
+    // guess must convert into code execution.
+    let mut resident = 0;
+    let mut escalated = 0;
+    let n = 8;
+    for victim in 1000..1000 + n {
+        let report = ringflood::run(
+            &img,
+            ringflood::kernel50_driver(),
+            WindowPath::NeighborIova,
+            victim,
+            &survey,
+        )
+        .unwrap();
+        if report.guess_was_resident {
+            resident += 1;
+            assert!(
+                report.outcome.succeeded(),
+                "resident guess must escalate, got {:?} (victim {victim})",
+                report.outcome
+            );
+        }
+        if report.outcome.succeeded() {
+            escalated += 1;
+            assert!(report.knowledge.text_base.is_some());
+        }
+    }
+    assert!(
+        resident * 2 >= n,
+        "guess resident in only {resident}/{n} boots"
+    );
+    assert!(escalated >= resident);
+}
+
+#[test]
+fn ringflood_blocked_when_guess_not_resident() {
+    // A survey of a *different* machine (64 KiB buffers) yields a PFN
+    // guess that misses on the 2 KiB victim: the attack must report
+    // Blocked, not crash.
+    let img = image();
+    let bogus_survey = BootSurvey {
+        boots: 1,
+        freq: [(3u64, 1u32)].into_iter().collect(), // reserved low frame
+    };
+    let report = ringflood::run(
+        &img,
+        ringflood::kernel50_driver(),
+        WindowPath::NeighborIova,
+        7,
+        &bogus_survey,
+    )
+    .unwrap();
+    assert!(!report.guess_was_resident);
+    assert!(!report.outcome.succeeded());
+}
+
+#[test]
+fn ringflood_works_through_all_three_window_paths() {
+    let img = image();
+    let survey = BootSurvey::run(ringflood::kernel50_driver(), 48, 0).unwrap();
+    for path in [
+        WindowPath::UnmapAfterBuild,
+        WindowPath::DeferredIotlb,
+        WindowPath::NeighborIova,
+    ] {
+        let mut any = false;
+        for victim in 2000..2010 {
+            let r =
+                ringflood::run(&img, ringflood::kernel50_driver(), path, victim, &survey).unwrap();
+            if r.outcome.succeeded() {
+                any = true;
+                break;
+            }
+        }
+        assert!(any, "no victim seed escalated via {path}");
+    }
+}
+
+#[test]
+fn poisoned_tx_escalates_without_pfn_guessing() {
+    let img = image();
+    let report = poisoned_tx::run(&img, WindowPath::DeferredIotlb, 42).unwrap();
+    assert!(report.outcome.succeeded(), "outcome: {:?}", report.outcome);
+    assert!(
+        report.knowledge.complete(),
+        "round-1 scan must break all of KASLR"
+    );
+    assert!(report.poison_kva.is_some());
+    assert!(!report.watchdog_fired, "attack must beat the TX watchdog");
+}
+
+#[test]
+fn poisoned_tx_works_across_seeds_and_paths() {
+    let img = image();
+    for seed in [7, 99, 12345] {
+        for path in [WindowPath::UnmapAfterBuild, WindowPath::NeighborIova] {
+            let report = poisoned_tx::run(&img, path, seed).unwrap();
+            assert!(
+                report.outcome.succeeded(),
+                "seed {seed} path {path}: {:?}",
+                report.outcome
+            );
+        }
+    }
+}
+
+#[test]
+fn poisoned_tx_recovers_true_poison_location() {
+    // The KVA read from the TX frags must point at real memory holding
+    // the attacker's bytes — cross-check against the kernel's own layout.
+    let img = image();
+    let report = poisoned_tx::run(&img, WindowPath::DeferredIotlb, 5).unwrap();
+    let kva = report.poison_kva.unwrap();
+    assert!(dma_core::layout::VmRegion::classify(kva.raw()).is_some());
+}
+
+#[test]
+fn forward_thinking_escalates_via_gro_frags() {
+    let img = image();
+    let report = forward_thinking::run(&img, WindowPath::DeferredIotlb, 11).unwrap();
+    assert!(report.outcome.succeeded(), "outcome: {:?}", report.outcome);
+    // vmemmap base must have been learned from the GRO frag pointer.
+    assert!(report.knowledge.vmemmap_base.is_some());
+}
+
+#[test]
+fn forward_thinking_all_window_paths() {
+    let img = image();
+    for path in [WindowPath::UnmapAfterBuild, WindowPath::NeighborIova] {
+        let report = forward_thinking::run(&img, path, 21).unwrap();
+        assert!(
+            report.outcome.succeeded(),
+            "path {path}: {:?}",
+            report.outcome
+        );
+    }
+}
+
+#[test]
+fn surveillance_reads_arbitrary_pages() {
+    // §5.5: "the NIC can generate a small UDP packet and fill in the
+    // frags array with any arbitrary struct page addresses ... providing
+    // READ access to the NIC for any page in the system."
+    let img = image();
+    let mut tb = forward_thinking::boot(WindowPath::UnmapAfterBuild, 31).unwrap();
+    tb.mem.install_text(&img.bytes);
+    let knowledge = attacks::ringflood::break_kaslr(&mut tb).unwrap();
+    let knowledge = forward_thinking::leak_vmemmap(&mut tb, &knowledge).unwrap();
+
+    // Plant a secret in a random kernel buffer the device has no mapping
+    // for whatsoever.
+    let secret_buf = tb.mem.kmalloc(&mut tb.ctx, 4096, "vault").unwrap();
+    tb.mem
+        .cpu_write(
+            &mut tb.ctx,
+            Kva(secret_buf.raw() + 100),
+            b"TOP-SECRET-KEY-MATERIAL",
+            "vault",
+        )
+        .unwrap();
+    let target_pfn = tb.mem.layout.kva_to_pfn(secret_buf).unwrap();
+
+    let report = forward_thinking::surveil(&mut tb, &knowledge, target_pfn, 100, 23).unwrap();
+    assert_eq!(&report.stolen, b"TOP-SECRET-KEY-MATERIAL");
+    assert_eq!(report.target, target_pfn);
+}
+
+#[test]
+fn surveillance_can_walk_many_frames() {
+    let img = image();
+    let mut tb = forward_thinking::boot(WindowPath::UnmapAfterBuild, 33).unwrap();
+    tb.mem.install_text(&img.bytes);
+    let knowledge = attacks::ringflood::break_kaslr(&mut tb).unwrap();
+    let knowledge = forward_thinking::leak_vmemmap(&mut tb, &knowledge).unwrap();
+    // Read the first bytes of several arbitrary frames; all must succeed.
+    for pfn in [0x300u64, 0x800, 0x1000, 0x2000] {
+        let r = forward_thinking::surveil(&mut tb, &knowledge, Pfn(pfn), 0, 16).unwrap();
+        assert_eq!(r.stolen.len(), 16);
+    }
+}
+
+#[test]
+fn init_net_offsets_agree_across_crates() {
+    // The sim-net stack and the attack image must model the same symbol.
+    assert_eq!(
+        sim_net::stack::INIT_NET_IMAGE_OFFSET,
+        attacks::image::INIT_NET_OFFSET
+    );
+}

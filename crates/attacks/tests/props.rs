@@ -1,0 +1,127 @@
+//! Property-based tests for the attack toolkit: scanner totality,
+//! poison-buffer structure, aliasing arithmetic, and cookie recovery.
+
+use attacks::cookie::{blind, recover_cookie};
+use attacks::image::{KernelImage, JOP_PIVOT_DISP};
+use attacks::kaslr::AttackerKnowledge;
+use attacks::rop::PoisonedBuffer;
+use attacks::scan_gadgets;
+use devsim::MaliciousNic;
+use dma_core::layout::VmRegion;
+use dma_core::{Iova, Kva, PAGE_MASK};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// One shared image for the whole suite — building it costs ~100 ms.
+fn shared_image() -> &'static KernelImage {
+    static IMG: OnceLock<KernelImage> = OnceLock::new();
+    IMG.get_or_init(|| KernelImage::build(3, 16 << 20))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn gadget_scanner_is_total(bytes in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        let gadgets = scan_gadgets(&bytes);
+        // Every reported gadget must actually decode at its offset.
+        for g in gadgets {
+            let off = g.offset as usize;
+            prop_assert!(off < bytes.len());
+            match g.kind {
+                attacks::GadgetKind::PopRdiRet => {
+                    prop_assert_eq!(&bytes[off..off + 2], &[0x5f, 0xc3]);
+                }
+                attacks::GadgetKind::MovRdiRaxRet => {
+                    prop_assert_eq!(&bytes[off..off + 4], &[0x48, 0x89, 0xc7, 0xc3]);
+                }
+                attacks::GadgetKind::JopRspRdi { disp } => {
+                    prop_assert_eq!(&bytes[off..off + 3], &[0x48, 0x8d, 0x67]);
+                    prop_assert_eq!(bytes[off + 3], disp);
+                    prop_assert_eq!(bytes[off + 4], 0xc3);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn poison_chain_words_are_text_addresses_or_null(slot in 0u64..248) {
+        let img = shared_image();
+        let base = VmRegion::KernelText.start() + slot * 0x20_0000;
+        let k = AttackerKnowledge {
+            text_base: Some(Kva(base)),
+            page_offset_base: Some(Kva(VmRegion::DirectMap.start())),
+            vmemmap_base: Some(Kva(VmRegion::Vmemmap.start())),
+        };
+        let pb = PoisonedBuffer::build(img, &k).unwrap();
+        // ubuf callback + every chain word: either NULL (an argument) or
+        // inside the victim's text range.
+        for (i, w) in pb.bytes.chunks_exact(8).enumerate() {
+            let v = u64::from_le_bytes(w.try_into().unwrap());
+            let in_chain = i * 8 >= JOP_PIVOT_DISP as usize || i == 0;
+            if in_chain && v != 0 {
+                prop_assert!(v >= base && v < base + (16 << 20), "word {i} = {v:#x} outside image");
+            }
+        }
+    }
+
+    #[test]
+    fn alias_preserves_in_page_offset(a in any::<u64>(), b_page in 0u64..(1 << 40)) {
+        let nic = MaliciousNic::new(1);
+        let target = Iova(a);
+        let neighbor = Iova(b_page << 12);
+        let alias = nic.alias_through_neighbor(target, neighbor).unwrap();
+        prop_assert_eq!(alias.page_offset(), target.page_offset());
+        prop_assert_eq!(alias.page_align_down(), neighbor.page_align_down());
+    }
+
+    #[test]
+    fn cookie_recovery_is_exact(cookie in any::<u64>(), a_off in 0u64..(1 << 21), b_off in 0u64..(1 << 21)) {
+        prop_assume!(a_off != b_off);
+        let a = VmRegion::KernelText.start() + a_off;
+        let b = VmRegion::KernelText.start() + b_off;
+        let samples = [blind(a, cookie), blind(b, cookie)];
+        prop_assert_eq!(recover_cookie(&samples, &[a, b]), Some(cookie));
+    }
+
+}
+
+proptest! {
+    // Image builds cost ~100 ms each; keep this property to a few cases.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn image_symbols_stay_inside_text(seed in any::<u64>()) {
+        let img = KernelImage::build(seed, 16 << 20);
+        for s in &img.symbols {
+            prop_assert!((s.offset as usize) < img.bytes.len());
+        }
+        // The pivot gadget is always discoverable by the scanner.
+        let found = scan_gadgets(&img.bytes)
+            .into_iter()
+            .any(|g| matches!(g.kind, attacks::GadgetKind::JopRspRdi { .. }));
+        prop_assert!(found);
+    }
+
+    #[test]
+    fn kaslr_absorb_never_produces_misaligned_bases(values in proptest::collection::vec(any::<u64>(), 0..32)) {
+        let mut k = AttackerKnowledge::new();
+        let leaks: Vec<devsim::LeakedPointer> = values
+            .iter()
+            .filter_map(|&v| {
+                VmRegion::classify(v).map(|region| devsim::LeakedPointer { iova: Iova(0), value: v, region })
+            })
+            .collect();
+        k.absorb(&leaks);
+        if let Some(t) = k.text_base {
+            prop_assert_eq!(t.raw() % dma_core::layout::TEXT_ALIGN, 0);
+        }
+        if let Some(d) = k.page_offset_base {
+            prop_assert_eq!(d.raw() % dma_core::layout::SECTION_ALIGN, 0);
+            prop_assert_eq!(d.raw() & PAGE_MASK, 0);
+        }
+        if let Some(v) = k.vmemmap_base {
+            prop_assert_eq!(v.raw() % dma_core::layout::SECTION_ALIGN, 0);
+        }
+    }
+}

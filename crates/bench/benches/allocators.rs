@@ -1,0 +1,92 @@
+//! Figure 5 + allocator ablation: page_frag carving vs kmalloc vs
+//! page-per-buffer for RX buffers, and SLUB kmalloc/kfree cycling.
+//!
+//! The paper's point: page_frag is the *fast* allocator (which is why
+//! the network stack uses it 344 times) — and the type (c) vulnerability
+//! is the price.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dma_core::SimCtx;
+use sim_mem::{MemConfig, MemorySystem};
+
+fn fresh() -> (SimCtx, MemorySystem) {
+    (SimCtx::new(), MemorySystem::new(&MemConfig::default()))
+}
+
+fn bench_rx_allocators(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figure5_rx_allocators");
+    g.sample_size(20);
+
+    g.bench_function("page_frag_2048", |b| {
+        b.iter_batched(
+            fresh,
+            |(mut ctx, mut mem)| {
+                for _ in 0..64 {
+                    let k = mem.page_frag_alloc(&mut ctx, 2048, "rx").unwrap();
+                    std::hint::black_box(k);
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    g.bench_function("kmalloc_2048", |b| {
+        b.iter_batched(
+            fresh,
+            |(mut ctx, mut mem)| {
+                for _ in 0..64 {
+                    let k = mem.kmalloc(&mut ctx, 2048, "rx").unwrap();
+                    std::hint::black_box(k);
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    g.bench_function("page_per_buffer", |b| {
+        b.iter_batched(
+            fresh,
+            |(mut ctx, mut mem)| {
+                for _ in 0..64 {
+                    let p = mem.alloc_pages(&mut ctx, 0, "rx").unwrap();
+                    std::hint::black_box(p);
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_slab_cycle(c: &mut Criterion) {
+    let mut g = c.benchmark_group("slab_alloc_free");
+    g.sample_size(20);
+    for size in [64usize, 512, 2048] {
+        g.bench_function(format!("kmalloc_kfree_{size}"), |b| {
+            let (mut ctx, mut mem) = fresh();
+            b.iter(|| {
+                let k = mem.kmalloc(&mut ctx, size, "bench").unwrap();
+                mem.kfree(&mut ctx, k).unwrap();
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_buddy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("buddy");
+    g.sample_size(20);
+    for order in [0u32, 3] {
+        g.bench_function(format!("alloc_free_order{order}"), |b| {
+            let (mut ctx, mut mem) = fresh();
+            b.iter(|| {
+                let p = mem.alloc_pages(&mut ctx, order, "bench").unwrap();
+                mem.free_pages(&mut ctx, p, order).unwrap();
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_rx_allocators, bench_slab_cycle, bench_buddy);
+criterion_main!(benches);

@@ -1,0 +1,135 @@
+//! Attack-side costs: the §5.3 reboot survey (per boot), the KASLR
+//! break, the §6 gadget scan over a 16 MiB kernel image, and each
+//! compound attack end to end.
+//!
+//! The §5.3 survey series (kernel 5.0 vs 4.15 repeat fractions) is
+//! printed once at startup.
+
+use attacks::forward_thinking;
+use attacks::image::KernelImage;
+use attacks::poisoned_tx;
+use attacks::ringflood::{self, BootSurvey};
+use attacks::scan_gadgets;
+use criterion::{criterion_group, criterion_main, Criterion};
+use dma_core::vuln::WindowPath;
+
+fn print_survey_series() {
+    eprintln!("== §5.3 reboot survey (256 boots) ==");
+    for (name, cfg) in [
+        ("kernel 5.0 (2 KiB frags)", ringflood::kernel50_driver()),
+        ("kernel 4.15 (64 KiB LRO)", ringflood::kernel415_driver()),
+    ] {
+        let s = BootSurvey::run(cfg, 256, 0).unwrap();
+        let (pfn, frac) = s.most_common().unwrap();
+        eprintln!(
+            "  {name}: footprint {:>6} KiB | top PFN {pfn} in {:5.1}% of boots | PFNs >50%: {:4} | >95%: {:4}",
+            ringflood::rx_footprint(&cfg) / 1024,
+            frac * 100.0,
+            s.pfns_above(0.5),
+            s.pfns_above(0.95),
+        );
+    }
+}
+
+fn bench_survey(c: &mut Criterion) {
+    print_survey_series();
+    let mut g = c.benchmark_group("ringflood_survey");
+    g.sample_size(10);
+    g.bench_function("boot_and_profile_one_machine", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let tb = ringflood::boot(ringflood::kernel50_driver(), WindowPath::NeighborIova, seed)
+                .unwrap();
+            std::hint::black_box(tb.driver.rx_descriptors().len())
+        })
+    });
+    g.finish();
+}
+
+fn bench_gadget_scan(c: &mut Criterion) {
+    let image = KernelImage::build(1, 16 << 20);
+    let mut g = c.benchmark_group("section6_gadget_scan");
+    g.sample_size(10);
+    g.bench_function("scan_16MiB_kernel_image", |b| {
+        b.iter(|| std::hint::black_box(scan_gadgets(&image.bytes).len()))
+    });
+    g.finish();
+}
+
+fn bench_compound_attacks(c: &mut Criterion) {
+    let image = KernelImage::build(1, 16 << 20);
+    let survey = BootSurvey::run(ringflood::kernel50_driver(), 48, 0).unwrap();
+    let mut g = c.benchmark_group("compound_attacks_end_to_end");
+    g.sample_size(10);
+
+    g.bench_function("ringflood", |b| {
+        let mut seed = 5000u64;
+        b.iter(|| {
+            seed += 1;
+            std::hint::black_box(
+                ringflood::run(
+                    &image,
+                    ringflood::kernel50_driver(),
+                    WindowPath::NeighborIova,
+                    seed,
+                    &survey,
+                )
+                .unwrap()
+                .outcome
+                .succeeded(),
+            )
+        })
+    });
+
+    // The KASLR break succeeds "with high probability" (§2.4), not
+    // certainty; the robustness sweep (attacks/examples/seedsweep.rs)
+    // validated seeds 0..200 across both attacks. The bench cycles those
+    // so it measures cost, not luck.
+    g.bench_function("poisoned_tx", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let r = poisoned_tx::run(&image, WindowPath::DeferredIotlb, i % 200).unwrap();
+            assert!(r.outcome.succeeded());
+        })
+    });
+
+    g.bench_function("forward_thinking", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let r = forward_thinking::run(&image, WindowPath::DeferredIotlb, i % 200).unwrap();
+            assert!(r.outcome.succeeded());
+        })
+    });
+    g.finish();
+}
+
+fn bench_kaslr_break(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kaslr_break");
+    g.sample_size(10);
+    g.bench_function("scan_and_derandomize", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let seed = i % 200;
+            let mut tb =
+                ringflood::boot(ringflood::kernel50_driver(), WindowPath::NeighborIova, seed)
+                    .unwrap();
+            let k = ringflood::break_kaslr(&mut tb).unwrap();
+            assert!(k.text_base.is_some());
+            std::hint::black_box(k)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_survey,
+    bench_gadget_scan,
+    bench_compound_attacks,
+    bench_kaslr_break
+);
+criterion_main!(benches);

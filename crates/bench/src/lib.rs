@@ -1,0 +1,3 @@
+//! The benchmark crate has no library surface: all content lives in
+//! `benches/` (one Criterion harness per table/figure of the paper —
+//! see the workspace README for the index).

@@ -1,0 +1,235 @@
+//! Strongly-typed addresses and page arithmetic.
+//!
+//! The whole point of the paper is that different address spaces (kernel
+//! virtual, I/O virtual, physical) map onto the same pages with different
+//! protection granularity, so we keep them as distinct newtypes and make
+//! every conversion explicit.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Sub};
+
+/// Log2 of the page size. The IOMMU and MMU in this model use 4 KiB pages.
+pub const PAGE_SHIFT: u32 = 12;
+/// The page size in bytes (4 KiB), the granularity of IOMMU protection.
+pub const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+/// Mask selecting the in-page offset bits of an address.
+pub const PAGE_MASK: u64 = (PAGE_SIZE as u64) - 1;
+
+macro_rules! addr_newtype {
+    ($(#[$meta:meta])* $name:ident) => {
+        $(#[$meta])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(pub u64);
+
+        impl $name {
+            /// Returns the raw 64-bit value.
+            #[inline]
+            pub const fn raw(self) -> u64 {
+                self.0
+            }
+
+            /// Returns the offset of this address within its page.
+            #[inline]
+            pub const fn page_offset(self) -> usize {
+                (self.0 & PAGE_MASK) as usize
+            }
+
+            /// Rounds this address down to the start of its page.
+            #[inline]
+            pub const fn page_align_down(self) -> Self {
+                Self(self.0 & !PAGE_MASK)
+            }
+
+            /// Rounds this address up to the next page boundary (identity
+            /// if already aligned).
+            #[inline]
+            pub const fn page_align_up(self) -> Self {
+                Self((self.0 + PAGE_MASK) & !PAGE_MASK)
+            }
+
+            /// Returns `true` if this address is page aligned.
+            #[inline]
+            pub const fn is_page_aligned(self) -> bool {
+                self.0 & PAGE_MASK == 0
+            }
+
+            /// Checked addition of a byte offset.
+            #[inline]
+            pub fn checked_add(self, rhs: u64) -> Option<Self> {
+                self.0.checked_add(rhs).map(Self)
+            }
+        }
+
+        impl Add<u64> for $name {
+            type Output = Self;
+            #[inline]
+            fn add(self, rhs: u64) -> Self {
+                Self(self.0 + rhs)
+            }
+        }
+
+        impl AddAssign<u64> for $name {
+            #[inline]
+            fn add_assign(&mut self, rhs: u64) {
+                self.0 += rhs;
+            }
+        }
+
+        impl Sub<$name> for $name {
+            type Output = u64;
+            #[inline]
+            fn sub(self, rhs: $name) -> u64 {
+                self.0 - rhs.0
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!(stringify!($name), "({:#018x})"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{:#018x}", self.0)
+            }
+        }
+    };
+}
+
+addr_newtype! {
+    /// A physical memory address.
+    PhysAddr
+}
+
+addr_newtype! {
+    /// A kernel virtual address (KVA).
+    ///
+    /// A device is never given a KVA directly; attribute 1 of §3.3 is the
+    /// attacker *learning* a KVA through a leak.
+    Kva
+}
+
+addr_newtype! {
+    /// An I/O virtual address (IOVA) handed to a device by the DMA API.
+    ///
+    /// Note: the low [`PAGE_SHIFT`] bits of an IOVA equal the low bits of
+    /// the KVA it maps (the paper exploits this in §5.2.2, footnote 5).
+    Iova
+}
+
+/// A page frame number: a physical address shifted right by [`PAGE_SHIFT`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Pfn(pub u64);
+
+impl Pfn {
+    /// Returns the raw frame number.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the physical address of the first byte of this frame.
+    #[inline]
+    pub const fn base(self) -> PhysAddr {
+        PhysAddr(self.0 << PAGE_SHIFT)
+    }
+
+    /// Returns the frame containing the given physical address.
+    #[inline]
+    pub const fn containing(pa: PhysAddr) -> Self {
+        Pfn(pa.0 >> PAGE_SHIFT)
+    }
+
+    /// Returns the frame `n` frames after this one.
+    #[inline]
+    pub const fn add(self, n: u64) -> Self {
+        Pfn(self.0 + n)
+    }
+}
+
+impl fmt::Debug for Pfn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Pfn({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for Pfn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl PhysAddr {
+    /// Returns the page frame containing this address.
+    #[inline]
+    pub const fn pfn(self) -> Pfn {
+        Pfn::containing(self)
+    }
+}
+
+/// Returns the number of pages needed to cover `len` bytes starting at an
+/// address with in-page offset `offset`.
+///
+/// This is the quantity the DMA API actually maps: mapping a 1-byte buffer
+/// exposes one full page, and a buffer straddling a boundary exposes two.
+#[inline]
+pub fn pages_spanned(offset: usize, len: usize) -> usize {
+    if len == 0 {
+        return 0;
+    }
+    (offset + len).div_ceil(PAGE_SIZE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_arithmetic_roundtrips() {
+        let a = Kva(0xffff_8880_0001_2345);
+        assert_eq!(a.page_offset(), 0x345);
+        assert_eq!(a.page_align_down().raw(), 0xffff_8880_0001_2000);
+        assert_eq!(a.page_align_up().raw(), 0xffff_8880_0001_3000);
+        assert!(!a.is_page_aligned());
+        assert!(a.page_align_down().is_page_aligned());
+    }
+
+    #[test]
+    fn align_up_is_identity_on_aligned() {
+        let a = PhysAddr(0x4000);
+        assert_eq!(a.page_align_up(), a);
+    }
+
+    #[test]
+    fn pfn_roundtrip() {
+        let pa = PhysAddr(0x1234_5678);
+        let pfn = pa.pfn();
+        assert_eq!(pfn.raw(), 0x12345);
+        assert_eq!(pfn.base().raw(), 0x1234_5000);
+    }
+
+    #[test]
+    fn pages_spanned_counts_straddles() {
+        assert_eq!(pages_spanned(0, 0), 0);
+        assert_eq!(pages_spanned(0, 1), 1);
+        assert_eq!(pages_spanned(0, PAGE_SIZE), 1);
+        assert_eq!(pages_spanned(0, PAGE_SIZE + 1), 2);
+        assert_eq!(pages_spanned(PAGE_SIZE - 1, 2), 2);
+        assert_eq!(pages_spanned(100, 1500), 1);
+        assert_eq!(pages_spanned(3000, 1500), 2);
+    }
+
+    #[test]
+    fn iova_low_bits_match_mapping_convention() {
+        // Footnote 5 of the paper: in-page offset is shared by IOVA and KVA.
+        let kva = Kva(0xffff_8880_0000_0abc);
+        let iova = Iova(0xfff0_0abc);
+        assert_eq!(kva.page_offset(), iova.page_offset());
+    }
+
+    #[test]
+    fn subtraction_gives_byte_distance() {
+        assert_eq!(Kva(0x2000) - Kva(0x1800), 0x800);
+    }
+}

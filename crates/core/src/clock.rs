@@ -1,0 +1,105 @@
+//! Simulated cycle clock and the timing constants quoted by the paper.
+//!
+//! Every simulator operation advances the clock by a modeled cost; the
+//! IOMMU's deferred-invalidation window (§5.2.1) and the attacks' race
+//! windows are expressed in these cycles, making Figure 6 and Figure 7
+//! reproducible deterministically.
+
+use core::fmt;
+
+/// A duration or timestamp counted in simulated CPU cycles.
+pub type Cycles = u64;
+
+/// Simulated CPU frequency used to convert between cycles and wall time.
+pub const CYCLES_PER_US: Cycles = 2_000; // 2 GHz core.
+/// Cycles per millisecond at the simulated frequency.
+pub const CYCLES_PER_MS: Cycles = 1_000 * CYCLES_PER_US;
+
+/// Cost of a single IOTLB invalidation ("as high as 2000 cycles", §5.2.1).
+pub const IOTLB_INV_CYCLES: Cycles = 2_000;
+/// Cost of a CPU TLB invalidation ("roughly 100 cycles", §5.2.1).
+pub const TLB_INV_CYCLES: Cycles = 100;
+/// Period of the periodic global IOTLB flush in deferred mode. The paper
+/// reports the deferred window "may be as high as 10 milliseconds".
+pub const DEFERRED_FLUSH_PERIOD: Cycles = 10 * CYCLES_PER_MS;
+/// Modeled cost of one DMA read/write transaction issued by a device.
+pub const DMA_ACCESS_CYCLES: Cycles = 300;
+/// Modeled cost of a page-table walk on IOTLB miss.
+pub const PT_WALK_CYCLES: Cycles = 250;
+/// Modeled cost of an IOTLB hit.
+pub const IOTLB_HIT_CYCLES: Cycles = 10;
+/// Modeled cost of mapping one page in the IOMMU page table.
+pub const MAP_PAGE_CYCLES: Cycles = 400;
+
+/// A monotonically advancing simulated clock.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Clock {
+    now: Cycles,
+}
+
+impl Clock {
+    /// Creates a clock at time zero.
+    pub const fn new() -> Self {
+        Clock { now: 0 }
+    }
+
+    /// Current simulated time.
+    #[inline]
+    pub const fn now(&self) -> Cycles {
+        self.now
+    }
+
+    /// Advances time by `cycles`.
+    #[inline]
+    pub fn advance(&mut self, cycles: Cycles) {
+        self.now += cycles;
+    }
+
+    /// Advances time by whole microseconds.
+    pub fn advance_us(&mut self, us: u64) {
+        self.advance(us * CYCLES_PER_US);
+    }
+
+    /// Advances time by whole milliseconds.
+    pub fn advance_ms(&mut self, ms: u64) {
+        self.advance(ms * CYCLES_PER_MS);
+    }
+}
+
+impl fmt::Display for Clock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} cycles ({:.3} ms)",
+            self.now,
+            self.now as f64 / CYCLES_PER_MS as f64
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut c = Clock::new();
+        assert_eq!(c.now(), 0);
+        c.advance(100);
+        c.advance_us(1);
+        c.advance_ms(1);
+        assert_eq!(c.now(), 100 + CYCLES_PER_US + CYCLES_PER_MS);
+    }
+
+    #[test]
+    fn paper_cost_ratios_hold() {
+        // §5.2.1: an IOTLB invalidation is "considerably higher" than a TLB
+        // invalidation (2000 vs ~100 cycles). Computed through locals so
+        // the relationships are checked as data, not as constant folding.
+        let (iotlb, tlb) = (IOTLB_INV_CYCLES, TLB_INV_CYCLES);
+        assert_eq!(iotlb / tlb, 20);
+        // The deferred window dwarfs a typical I/O mapping lifetime (µs).
+        let window = DEFERRED_FLUSH_PERIOD;
+        assert!(window > 1_000 * CYCLES_PER_US);
+    }
+}

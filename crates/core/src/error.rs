@@ -1,0 +1,124 @@
+//! Error types shared across the workspace.
+
+use core::fmt;
+
+/// Result alias used throughout the workspace.
+pub type Result<T> = core::result::Result<T, DmaError>;
+
+/// Errors raised by the simulated memory system, IOMMU, and attack code.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DmaError {
+    /// A KVA was not inside the populated direct map.
+    NotDirectMap(u64),
+    /// A physical address was outside simulated memory.
+    BadPhysAddr(u64),
+    /// A PFN was outside simulated memory.
+    BadPfn(u64),
+    /// A value was not a valid `struct page` address.
+    BadStructPage(u64),
+    /// Out of simulated physical memory.
+    OutOfMemory,
+    /// Out of IOVA space for a domain.
+    OutOfIova,
+    /// An allocation request was invalid (zero size, too large, ...).
+    InvalidAlloc(usize),
+    /// Freeing an address that is not an allocated object.
+    BadFree(u64),
+    /// The IOMMU rejected a device access (no translation for the IOVA).
+    IommuFault {
+        /// The offending device.
+        device: u32,
+        /// The IOVA the device tried to access.
+        iova: u64,
+        /// `true` for a write access, `false` for a read.
+        write: bool,
+    },
+    /// The IOMMU rejected an access due to insufficient permissions.
+    IommuPermission {
+        /// The offending device.
+        device: u32,
+        /// The IOVA the device tried to access.
+        iova: u64,
+        /// `true` for a write access, `false` for a read.
+        write: bool,
+    },
+    /// An IOVA was already mapped in the domain.
+    AlreadyMapped(u64),
+    /// Unmapping an IOVA that has no mapping.
+    NotMapped(u64),
+    /// A driver ring was full.
+    RingFull,
+    /// A driver ring was empty.
+    RingEmpty,
+    /// The attack could not obtain a required vulnerability attribute.
+    MissingAttribute(&'static str),
+    /// An attack step failed for the given reason.
+    AttackFailed(&'static str),
+    /// The CPU model hit an invalid instruction / state.
+    CpuFault(&'static str),
+    /// A generic invariant violation in the simulator.
+    Invariant(&'static str),
+}
+
+impl fmt::Display for DmaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DmaError::NotDirectMap(v) => write!(f, "KVA {v:#x} is not in the direct map"),
+            DmaError::BadPhysAddr(v) => write!(f, "physical address {v:#x} out of range"),
+            DmaError::BadPfn(v) => write!(f, "PFN {v:#x} out of range"),
+            DmaError::BadStructPage(v) => write!(f, "{v:#x} is not a struct page address"),
+            DmaError::OutOfMemory => write!(f, "out of simulated physical memory"),
+            DmaError::OutOfIova => write!(f, "IOVA space exhausted"),
+            DmaError::InvalidAlloc(s) => write!(f, "invalid allocation size {s}"),
+            DmaError::BadFree(v) => write!(f, "free of non-allocated address {v:#x}"),
+            DmaError::IommuFault {
+                device,
+                iova,
+                write,
+            } => write!(
+                f,
+                "IOMMU fault: device {device} {} unmapped IOVA {iova:#x}",
+                if *write { "wrote" } else { "read" }
+            ),
+            DmaError::IommuPermission {
+                device,
+                iova,
+                write,
+            } => write!(
+                f,
+                "IOMMU permission fault: device {device} {} IOVA {iova:#x}",
+                if *write { "wrote" } else { "read" }
+            ),
+            DmaError::AlreadyMapped(v) => write!(f, "IOVA {v:#x} already mapped"),
+            DmaError::NotMapped(v) => write!(f, "IOVA {v:#x} not mapped"),
+            DmaError::RingFull => write!(f, "descriptor ring full"),
+            DmaError::RingEmpty => write!(f, "descriptor ring empty"),
+            DmaError::MissingAttribute(a) => {
+                write!(f, "attack is missing vulnerability attribute: {a}")
+            }
+            DmaError::AttackFailed(why) => write!(f, "attack failed: {why}"),
+            DmaError::CpuFault(why) => write!(f, "CPU fault: {why}"),
+            DmaError::Invariant(why) => write!(f, "simulator invariant violated: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for DmaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render() {
+        let e = DmaError::IommuFault {
+            device: 3,
+            iova: 0x1000,
+            write: true,
+        };
+        assert!(e.to_string().contains("device 3"));
+        assert!(e.to_string().contains("0x1000"));
+        let e = DmaError::MissingAttribute("KVA of malicious buffer");
+        assert!(e.to_string().contains("KVA"));
+    }
+}

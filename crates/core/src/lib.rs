@@ -1,0 +1,36 @@
+//! Shared vocabulary for the DMA-attack reproduction workspace.
+//!
+//! This crate defines the concepts every other crate speaks in:
+//!
+//! - [`addr`] — strongly-typed addresses: physical addresses, page frame
+//!   numbers, kernel virtual addresses (KVA) and I/O virtual addresses
+//!   (IOVA), with page arithmetic.
+//! - [`layout`] — the x86-64 Linux kernel virtual-memory layout of Table 1
+//!   of the paper, including KASLR randomization of the region bases and
+//!   the KVA ↔ PFN ↔ `struct page` translations that the attacks abuse.
+//! - [`vuln`] — the paper's taxonomy: the four sub-page vulnerability
+//!   types (§3.2, Figure 1) and the three vulnerability attributes required
+//!   for code injection (§3.3).
+//! - [`clock`] — a simulated cycle-accurate clock plus the cost constants
+//!   the paper quotes (IOTLB invalidation ≈ 2000 cycles, TLB ≈ 100).
+//! - [`trace`] — the event stream emitted by the simulators and consumed
+//!   by D-KASAN and the experiment harnesses.
+//! - [`rng`] — a small deterministic RNG (`splitmix64` / `xoshiro256**`)
+//!   used wherever determinism is load-bearing (e.g. the RingFlood
+//!   reboot survey).
+
+pub mod addr;
+pub mod clock;
+pub mod error;
+pub mod layout;
+pub mod rng;
+pub mod trace;
+pub mod vuln;
+
+pub use addr::{Iova, Kva, Pfn, PhysAddr, PAGE_MASK, PAGE_SHIFT, PAGE_SIZE};
+pub use clock::{Clock, Cycles};
+pub use error::{DmaError, Result};
+pub use layout::{KernelLayout, VmRegion};
+pub use rng::DetRng;
+pub use trace::{Event, SimCtx, Trace};
+pub use vuln::{AccessRight, AttackOutcome, SubPageVulnerability, VulnerabilityAttributes};

@@ -1,0 +1,295 @@
+//! The simulation context: clock plus the event stream that D-KASAN and
+//! the experiment harnesses consume.
+//!
+//! Every observable action in the simulators — object allocation, page
+//! allocation, DMA map/unmap, CPU access, device access, IOTLB flushes —
+//! is appended to the [`Trace`]. D-KASAN replays the stream to maintain
+//! its shadow state, which mirrors how the real tool piggybacks on KASAN
+//! instrumentation hooks.
+
+use crate::addr::{Iova, Kva, Pfn};
+use crate::clock::{Clock, Cycles};
+use crate::vuln::DmaDirection;
+
+/// Identifier of a DMA-capable device (bus/device/function collapsed).
+pub type DeviceId = u32;
+
+/// One observable simulator event, timestamped by the [`SimCtx`] clock.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Event {
+    /// A heap object was allocated (kmalloc or page_frag).
+    Alloc {
+        /// Timestamp in cycles.
+        at: Cycles,
+        /// KVA of the new object.
+        kva: Kva,
+        /// Requested size in bytes.
+        size: usize,
+        /// Allocation site (function name), as in Figure 3.
+        site: &'static str,
+        /// Name of the slab cache or allocator that served it.
+        cache: &'static str,
+    },
+    /// A heap object was freed.
+    Free {
+        /// Timestamp in cycles.
+        at: Cycles,
+        /// KVA of the freed object.
+        kva: Kva,
+    },
+    /// Whole pages were allocated from the buddy allocator.
+    PageAlloc {
+        /// Timestamp in cycles.
+        at: Cycles,
+        /// First frame of the allocation.
+        pfn: Pfn,
+        /// Buddy order (2^order contiguous pages).
+        order: u32,
+        /// Allocation site.
+        site: &'static str,
+    },
+    /// Pages were returned to the buddy allocator.
+    PageFree {
+        /// Timestamp in cycles.
+        at: Cycles,
+        /// First frame of the freed block.
+        pfn: Pfn,
+        /// Buddy order of the freed block.
+        order: u32,
+    },
+    /// The DMA API mapped a buffer for a device.
+    DmaMap {
+        /// Timestamp in cycles.
+        at: Cycles,
+        /// The mapping device.
+        device: DeviceId,
+        /// IOVA returned to the driver.
+        iova: Iova,
+        /// KVA of the mapped buffer.
+        kva: Kva,
+        /// Buffer length in bytes (the *page span* is what gets exposed).
+        len: usize,
+        /// Transfer direction.
+        dir: DmaDirection,
+        /// Call site of the dma_map (for reports).
+        site: &'static str,
+    },
+    /// The DMA API unmapped a buffer.
+    DmaUnmap {
+        /// Timestamp in cycles.
+        at: Cycles,
+        /// The unmapping device.
+        device: DeviceId,
+        /// IOVA being released.
+        iova: Iova,
+        /// Length of the original mapping.
+        len: usize,
+    },
+    /// The CPU accessed memory through a KVA (sampled; enabled on demand).
+    CpuAccess {
+        /// Timestamp in cycles.
+        at: Cycles,
+        /// Accessed address.
+        kva: Kva,
+        /// Access length in bytes.
+        len: usize,
+        /// `true` for stores.
+        write: bool,
+        /// Accessing site.
+        site: &'static str,
+    },
+    /// A device issued a DMA transaction through the IOMMU.
+    DevAccess {
+        /// Timestamp in cycles.
+        at: Cycles,
+        /// Issuing device.
+        device: DeviceId,
+        /// Target IOVA.
+        iova: Iova,
+        /// Access length in bytes.
+        len: usize,
+        /// `true` for DMA writes.
+        write: bool,
+        /// Whether the IOMMU allowed it.
+        allowed: bool,
+        /// Whether the translation was served by a *stale* IOTLB entry
+        /// (deferred-invalidation window, §5.2.1).
+        stale: bool,
+    },
+    /// A single IOTLB entry was invalidated (strict mode).
+    IotlbInvalidate {
+        /// Timestamp in cycles.
+        at: Cycles,
+        /// Owning device.
+        device: DeviceId,
+        /// Page-aligned IOVA whose translation was dropped.
+        iova_page: Iova,
+    },
+    /// The periodic global IOTLB flush ran (deferred mode).
+    IotlbGlobalFlush {
+        /// Timestamp in cycles.
+        at: Cycles,
+        /// Number of stale entries dropped.
+        dropped: usize,
+    },
+}
+
+impl Event {
+    /// Timestamp of the event.
+    pub fn at(&self) -> Cycles {
+        match self {
+            Event::Alloc { at, .. }
+            | Event::Free { at, .. }
+            | Event::PageAlloc { at, .. }
+            | Event::PageFree { at, .. }
+            | Event::DmaMap { at, .. }
+            | Event::DmaUnmap { at, .. }
+            | Event::CpuAccess { at, .. }
+            | Event::DevAccess { at, .. }
+            | Event::IotlbInvalidate { at, .. }
+            | Event::IotlbGlobalFlush { at, .. } => *at,
+        }
+    }
+}
+
+/// An append-only event log with selective capture.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    events: Vec<Event>,
+    /// Master switch; when off, nothing is recorded (fast path).
+    pub enabled: bool,
+    /// CPU accesses are high-volume; they are only recorded when this is
+    /// additionally set (D-KASAN turns it on).
+    pub record_cpu_access: bool,
+}
+
+impl Trace {
+    /// Creates a disabled trace (zero overhead until enabled).
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Appends an event if capture is enabled.
+    #[inline]
+    pub fn emit(&mut self, ev: Event) {
+        if self.enabled {
+            if let Event::CpuAccess { .. } = ev {
+                if !self.record_cpu_access {
+                    return;
+                }
+            }
+            self.events.push(ev);
+        }
+    }
+
+    /// Number of captured events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` if no events were captured.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Read-only view of the captured events.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Removes and returns all captured events (streaming consumption).
+    pub fn drain(&mut self) -> Vec<Event> {
+        core::mem::take(&mut self.events)
+    }
+}
+
+/// The context threaded through every simulator operation: simulated time
+/// plus the event log.
+#[derive(Clone, Debug, Default)]
+pub struct SimCtx {
+    /// Simulated clock; operations advance it by their modeled cost.
+    pub clock: Clock,
+    /// Event log.
+    pub trace: Trace,
+}
+
+impl SimCtx {
+    /// Creates a context at time zero with tracing disabled.
+    pub fn new() -> Self {
+        SimCtx::default()
+    }
+
+    /// Creates a context with event capture enabled.
+    pub fn traced() -> Self {
+        let mut ctx = SimCtx::new();
+        ctx.trace.enabled = true;
+        ctx
+    }
+
+    /// Current simulated time.
+    #[inline]
+    pub fn now(&self) -> Cycles {
+        self.clock.now()
+    }
+
+    /// Emits an event stamped with the current time.
+    #[inline]
+    pub fn emit(&mut self, ev: Event) {
+        self.trace.emit(ev);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut ctx = SimCtx::new();
+        ctx.emit(Event::Free {
+            at: 0,
+            kva: Kva(0x1000),
+        });
+        assert!(ctx.trace.is_empty());
+    }
+
+    #[test]
+    fn cpu_access_needs_extra_switch() {
+        let mut ctx = SimCtx::traced();
+        ctx.emit(Event::CpuAccess {
+            at: 0,
+            kva: Kva(0),
+            len: 8,
+            write: true,
+            site: "t",
+        });
+        assert!(ctx.trace.is_empty());
+        ctx.trace.record_cpu_access = true;
+        ctx.emit(Event::CpuAccess {
+            at: 0,
+            kva: Kva(0),
+            len: 8,
+            write: true,
+            site: "t",
+        });
+        assert_eq!(ctx.trace.len(), 1);
+    }
+
+    #[test]
+    fn drain_empties_the_log() {
+        let mut ctx = SimCtx::traced();
+        ctx.emit(Event::Free {
+            at: 1,
+            kva: Kva(0x1000),
+        });
+        ctx.emit(Event::Free {
+            at: 2,
+            kva: Kva(0x2000),
+        });
+        let evs = ctx.trace.drain();
+        assert_eq!(evs.len(), 2);
+        assert!(ctx.trace.is_empty());
+        assert_eq!(evs[0].at(), 1);
+        assert_eq!(evs[1].at(), 2);
+    }
+}

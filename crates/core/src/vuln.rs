@@ -1,0 +1,328 @@
+//! The paper's characterization: sub-page vulnerability types (§3.2,
+//! Figure 1) and the three vulnerability attributes needed for a DMA
+//! code-injection attack (§3.3).
+
+use crate::addr::{Iova, Kva};
+use crate::clock::Cycles;
+use core::fmt;
+
+/// DMA access rights recorded in the IOMMU page table for an IOVA (§2.2).
+///
+/// Note: `Write` does *not* imply read — a device needs `Bidirectional`
+/// to both read and write a page.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AccessRight {
+    /// The device may read the page.
+    Read,
+    /// The device may write the page (does not grant read!).
+    Write,
+    /// The device may read and write the page.
+    Bidirectional,
+}
+
+impl AccessRight {
+    /// `true` if a device read is permitted.
+    #[inline]
+    pub const fn allows_read(self) -> bool {
+        matches!(self, AccessRight::Read | AccessRight::Bidirectional)
+    }
+
+    /// `true` if a device write is permitted.
+    #[inline]
+    pub const fn allows_write(self) -> bool {
+        matches!(self, AccessRight::Write | AccessRight::Bidirectional)
+    }
+
+    /// Merges two rights (used when a page is mapped multiple times).
+    pub const fn union(self, other: AccessRight) -> AccessRight {
+        match (
+            self.allows_read() || other.allows_read(),
+            self.allows_write() || other.allows_write(),
+        ) {
+            (true, true) => AccessRight::Bidirectional,
+            (true, false) => AccessRight::Read,
+            _ => AccessRight::Write,
+        }
+    }
+}
+
+impl fmt::Display for AccessRight {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessRight::Read => write!(f, "READ"),
+            AccessRight::Write => write!(f, "WRITE"),
+            AccessRight::Bidirectional => write!(f, "READ, WRITE"),
+        }
+    }
+}
+
+/// Direction of a DMA transfer from the CPU's perspective (the Linux
+/// `enum dma_data_direction`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DmaDirection {
+    /// CPU → device (TX): the device gets READ access.
+    ToDevice,
+    /// Device → CPU (RX): the device gets WRITE access.
+    FromDevice,
+    /// Both ways (e.g. XDP buffers): the device gets READ and WRITE.
+    Bidirectional,
+}
+
+impl DmaDirection {
+    /// The access right the DMA API installs for this direction.
+    pub const fn access_right(self) -> AccessRight {
+        match self {
+            DmaDirection::ToDevice => AccessRight::Read,
+            DmaDirection::FromDevice => AccessRight::Write,
+            DmaDirection::Bidirectional => AccessRight::Bidirectional,
+        }
+    }
+}
+
+/// The four sub-page vulnerability types of §3.2 / Figure 1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SubPageVulnerability {
+    /// Type (a): the I/O buffer is embedded in a larger driver data
+    /// structure whose metadata (e.g. callback pointers) shares the page.
+    /// Usually poor DMA hygiene in a driver; fixable locally.
+    DriverMetadata,
+    /// Type (b): an OS subsystem (allocator, network stack) places its own
+    /// metadata — freelists, `skb_shared_info` — on the mapped page.
+    OsMetadata,
+    /// Type (c): the same physical page is mapped by multiple IOVAs due to
+    /// co-located driver buffers; unmapping one IOVA does not revoke
+    /// access through the others.
+    MultipleIova,
+    /// Type (d): the I/O buffer coincidentally shares its page with an
+    /// unrelated, dynamically allocated kernel buffer (a random subclass
+    /// of type (b)).
+    RandomColocation,
+}
+
+impl SubPageVulnerability {
+    /// The single-letter label used by Figure 1.
+    pub const fn letter(self) -> char {
+        match self {
+            SubPageVulnerability::DriverMetadata => 'a',
+            SubPageVulnerability::OsMetadata => 'b',
+            SubPageVulnerability::MultipleIova => 'c',
+            SubPageVulnerability::RandomColocation => 'd',
+        }
+    }
+
+    /// Short description, as in Figure 1's caption.
+    pub const fn description(self) -> &'static str {
+        match self {
+            SubPageVulnerability::DriverMetadata => "I/O buffer metadata (driver)",
+            SubPageVulnerability::OsMetadata => "OS metadata on mapped page",
+            SubPageVulnerability::MultipleIova => "page mapped by multiple IOVA",
+            SubPageVulnerability::RandomColocation => "randomly co-located sensitive buffers",
+        }
+    }
+}
+
+impl fmt::Display for SubPageVulnerability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "type ({}): {}", self.letter(), self.description())
+    }
+}
+
+/// A callback pointer a device can overwrite: where it lives and how the
+/// attacker can reach it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CallbackExposure {
+    /// IOVA through which the device can write the pointer.
+    pub iova: Iova,
+    /// Offset of the callback pointer within the mapped page.
+    pub page_offset: usize,
+    /// The vulnerability type that exposed it.
+    pub via: SubPageVulnerability,
+    /// Name of the exposed structure field (for reporting).
+    pub field: &'static str,
+}
+
+/// A window of simulated time during which a device write to the callback
+/// pointer will be consumed by the CPU before being overwritten.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TimeWindow {
+    /// Window start (inclusive), in simulated cycles.
+    pub start: Cycles,
+    /// Window end (exclusive), in simulated cycles.
+    pub end: Cycles,
+    /// How the window was obtained (Figure 7 path).
+    pub path: WindowPath,
+}
+
+impl TimeWindow {
+    /// Width of the window in cycles.
+    pub const fn width(&self) -> Cycles {
+        self.end.saturating_sub(self.start)
+    }
+}
+
+/// The three paths of Figure 7 by which the time window is attainable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum WindowPath {
+    /// (i) The driver builds the sk_buff before unmapping, so the device
+    /// can undo the CPU's initialization through the still-valid IOVA.
+    UnmapAfterBuild,
+    /// (ii) Deferred IOTLB invalidation leaves a stale translation usable
+    /// after unmap (§5.2.1).
+    DeferredIotlb,
+    /// (iii) Strict mode, but a co-located buffer's IOVA (type (c)) still
+    /// maps the same physical page.
+    NeighborIova,
+}
+
+impl fmt::Display for WindowPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WindowPath::UnmapAfterBuild => write!(f, "(i) unmap after sk_buff build"),
+            WindowPath::DeferredIotlb => write!(f, "(ii) deferred IOTLB invalidation"),
+            WindowPath::NeighborIova => write!(f, "(iii) co-located buffer IOVA (type c)"),
+        }
+    }
+}
+
+/// The set of three vulnerability attributes of §3.3. A code-injection
+/// attack is viable exactly when all three are present.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VulnerabilityAttributes {
+    /// Attribute 1: the KVA of a buffer the attacker filled with malicious
+    /// code (e.g. a poisoned ROP stack).
+    pub malicious_kva: Option<Kva>,
+    /// Attribute 2: write access to an exposed callback pointer at a known
+    /// page offset.
+    pub callback: Option<CallbackExposure>,
+    /// Attribute 3: a usable time window.
+    pub window: Option<TimeWindow>,
+}
+
+impl VulnerabilityAttributes {
+    /// An empty attribute set (the starting point of a compound attack).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// `true` when all three attributes have been obtained.
+    pub fn is_complete(&self) -> bool {
+        self.malicious_kva.is_some() && self.callback.is_some() && self.window.is_some()
+    }
+
+    /// Names of the attributes still missing, in §3.3 order.
+    pub fn missing(&self) -> Vec<&'static str> {
+        let mut m = Vec::new();
+        if self.malicious_kva.is_none() {
+            m.push("KVA of malicious buffer");
+        }
+        if self.callback.is_none() {
+            m.push("writable callback pointer");
+        }
+        if self.window.is_none() {
+            m.push("time window");
+        }
+        m
+    }
+}
+
+/// Outcome of an attack attempt, for experiment reporting.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AttackOutcome {
+    /// The injected payload ran with kernel privileges.
+    CodeExecution {
+        /// Address of the hijacked callback at invocation time.
+        hijacked_callback: Kva,
+        /// Number of compound steps taken to assemble the attributes.
+        steps: usize,
+    },
+    /// The attack was blocked; the reason records the failed attribute or
+    /// defense.
+    Blocked(&'static str),
+}
+
+impl AttackOutcome {
+    /// Convenience predicate.
+    pub fn succeeded(&self) -> bool {
+        matches!(self, AttackOutcome::CodeExecution { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_does_not_grant_read() {
+        // §2.2: "WRITE access does not grant a DMA device READ access".
+        assert!(!AccessRight::Write.allows_read());
+        assert!(AccessRight::Write.allows_write());
+        assert!(!AccessRight::Read.allows_write());
+        assert!(AccessRight::Bidirectional.allows_read());
+        assert!(AccessRight::Bidirectional.allows_write());
+    }
+
+    #[test]
+    fn rights_union_merges() {
+        assert_eq!(
+            AccessRight::Read.union(AccessRight::Write),
+            AccessRight::Bidirectional
+        );
+        assert_eq!(
+            AccessRight::Read.union(AccessRight::Read),
+            AccessRight::Read
+        );
+        assert_eq!(
+            AccessRight::Write.union(AccessRight::Write),
+            AccessRight::Write
+        );
+    }
+
+    #[test]
+    fn direction_maps_to_rights() {
+        assert_eq!(DmaDirection::ToDevice.access_right(), AccessRight::Read);
+        assert_eq!(DmaDirection::FromDevice.access_right(), AccessRight::Write);
+        assert_eq!(
+            DmaDirection::Bidirectional.access_right(),
+            AccessRight::Bidirectional
+        );
+    }
+
+    #[test]
+    fn attributes_completeness() {
+        let mut a = VulnerabilityAttributes::none();
+        assert!(!a.is_complete());
+        assert_eq!(a.missing().len(), 3);
+
+        a.malicious_kva = Some(Kva(0xffff_8880_0000_1000));
+        assert_eq!(a.missing().len(), 2);
+
+        a.callback = Some(CallbackExposure {
+            iova: Iova(0xfff0_0000),
+            page_offset: 0xf30,
+            via: SubPageVulnerability::OsMetadata,
+            field: "skb_shared_info.destructor_arg",
+        });
+        a.window = Some(TimeWindow {
+            start: 0,
+            end: 1000,
+            path: WindowPath::DeferredIotlb,
+        });
+        assert!(a.is_complete());
+        assert!(a.missing().is_empty());
+    }
+
+    #[test]
+    fn taxonomy_letters() {
+        assert_eq!(SubPageVulnerability::DriverMetadata.letter(), 'a');
+        assert_eq!(SubPageVulnerability::OsMetadata.letter(), 'b');
+        assert_eq!(SubPageVulnerability::MultipleIova.letter(), 'c');
+        assert_eq!(SubPageVulnerability::RandomColocation.letter(), 'd');
+    }
+
+    #[test]
+    fn access_right_display_matches_dkasan_format() {
+        // Figure 3 renders rights as "[READ, WRITE]" / "[WRITE]".
+        assert_eq!(AccessRight::Bidirectional.to_string(), "READ, WRITE");
+        assert_eq!(AccessRight::Write.to_string(), "WRITE");
+    }
+}

@@ -1,0 +1,155 @@
+//! Intel CET (§8, \[33\]): shadow stack + indirect branch tracking.
+//!
+//! "Processors that support CET use two stacks ... the shadow stack has
+//! only return addresses ... During each RET command, the shadow stack
+//! address is checked ... Moreover, each legitimate indirect jump target
+//! is marked with a special instruction" (ENDBR). The paper notes CET
+//! defeats both the ROP chain (shadow-stack mismatch) and the JOP pivot
+//! (unmarked branch target).
+//!
+//! [`CetCpu`] wraps the attack mini-CPU with both checks.
+
+use attacks::cpu::{CpuOutcome, MiniCpu};
+use attacks::image::KernelImage;
+use dma_core::{DmaError, Kva, Result, SimCtx};
+use sim_mem::MemorySystem;
+
+/// Which functions are legitimate indirect-call targets (carry ENDBR).
+/// Gadget fragments mid-function do not.
+const ENDBR_SYMBOLS: &[&str] = &[
+    "sock_zerocopy_callback",
+    "nvme_fc_fcpio_done",
+    "prepare_kernel_cred",
+    "commit_creds",
+];
+
+/// A CET-enforcing CPU front end.
+pub struct CetCpu<'a> {
+    inner: MiniCpu<'a>,
+    image: &'a KernelImage,
+    text_base: Kva,
+}
+
+impl<'a> CetCpu<'a> {
+    /// Creates a CET CPU over the same image/base as the plain model.
+    pub fn new(image: &'a KernelImage, text_base: Kva) -> Self {
+        CetCpu {
+            inner: MiniCpu::new(image, text_base),
+            image,
+            text_base,
+        }
+    }
+
+    /// Invokes a callback with indirect-branch tracking: the target must
+    /// be an ENDBR-marked function entry; anything else (gadgets, data,
+    /// mid-function addresses) faults with `#CP`.
+    pub fn invoke_callback(
+        &self,
+        ctx: &mut SimCtx,
+        mem: &MemorySystem,
+        callback: Kva,
+        arg: Kva,
+    ) -> Result<CpuOutcome> {
+        let off = callback.raw().wrapping_sub(self.text_base.raw());
+        let sym = self.image.symbol_at(off);
+        match sym {
+            Some(name) if ENDBR_SYMBOLS.contains(&name) => {
+                // Legitimate entry: delegate. The shadow stack would also
+                // verify returns inside, but benign functions balance
+                // their stack, so delegation is faithful.
+                self.inner.invoke_callback(ctx, mem, callback, arg)
+            }
+            _ => Err(DmaError::CpuFault(
+                "CET #CP: indirect branch to non-ENDBR target",
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use attacks::kaslr::AttackerKnowledge;
+    use attacks::rop::PoisonedBuffer;
+    use sim_mem::MemConfig;
+
+    fn setup() -> (SimCtx, MemorySystem, KernelImage) {
+        let ctx = SimCtx::new();
+        let mut mem = MemorySystem::new(&MemConfig {
+            kaslr_seed: Some(3),
+            ..Default::default()
+        });
+        let img = KernelImage::build(1, 16 << 20);
+        mem.install_text(&img.bytes);
+        (ctx, mem, img)
+    }
+
+    #[test]
+    fn cet_blocks_the_jop_pivot() {
+        let (mut ctx, mut mem, img) = setup();
+        let knowledge = AttackerKnowledge {
+            text_base: Some(mem.layout.text_base),
+            page_offset_base: Some(mem.layout.page_offset_base),
+            vmemmap_base: Some(mem.layout.vmemmap_base),
+        };
+        let poison = PoisonedBuffer::build(&img, &knowledge).unwrap();
+        let buf = mem.kzalloc(&mut ctx, 512, "payload").unwrap();
+        mem.cpu_write(&mut ctx, buf, &poison.bytes, "deposit")
+            .unwrap();
+        let jop = img
+            .symbol_addr("jop_rsp_rdi", mem.layout.text_base)
+            .unwrap();
+
+        // The plain CPU escalates...
+        let plain = MiniCpu::new(&img, mem.layout.text_base);
+        assert!(
+            plain
+                .invoke_callback(&mut ctx, &mem, jop, buf)
+                .unwrap()
+                .escalated
+        );
+
+        // ...the CET CPU faults at the branch.
+        let cet = CetCpu::new(&img, mem.layout.text_base);
+        let err = cet.invoke_callback(&mut ctx, &mem, jop, buf).unwrap_err();
+        assert_eq!(
+            err,
+            DmaError::CpuFault("CET #CP: indirect branch to non-ENDBR target")
+        );
+    }
+
+    #[test]
+    fn cet_allows_benign_destructors() {
+        let (mut ctx, mem, img) = setup();
+        let cet = CetCpu::new(&img, mem.layout.text_base);
+        let cb = img
+            .symbol_addr("sock_zerocopy_callback", mem.layout.text_base)
+            .unwrap();
+        let out = cet
+            .invoke_callback(&mut ctx, &mem, cb, Kva(0x1000))
+            .unwrap();
+        assert!(!out.escalated);
+        assert_eq!(out.entry_symbol, Some("sock_zerocopy_callback"));
+    }
+
+    #[test]
+    fn cet_blocks_data_targets_too() {
+        let (mut ctx, mut mem, img) = setup();
+        let cet = CetCpu::new(&img, mem.layout.text_base);
+        let buf = mem.kzalloc(&mut ctx, 64, "data").unwrap();
+        assert!(cet.invoke_callback(&mut ctx, &mem, buf, buf).is_err());
+    }
+
+    #[test]
+    fn cet_blocks_mid_function_addresses() {
+        let (mut ctx, mem, img) = setup();
+        let cet = CetCpu::new(&img, mem.layout.text_base);
+        let entry = img
+            .symbol_addr("commit_creds", mem.layout.text_base)
+            .unwrap();
+        // One byte past the ENDBR-marked entry is not a valid target.
+        assert!(cet
+            .invoke_callback(&mut ctx, &mem, Kva(entry.raw() + 1), Kva(0))
+            .is_err());
+    }
+}

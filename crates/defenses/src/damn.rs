@@ -1,0 +1,224 @@
+//! DAMN-style dedicated DMA allocation (§8, \[49\]): network buffers come
+//! from pages used *only* for I/O, zero-copy.
+//!
+//! This separates I/O memory from CPU memory — kmalloc'd kernel objects
+//! never share an I/O page — but the paper's §9.2 critique is that the
+//! API "can be easily thwarted by device drivers via functions, such as
+//! build_skb, that add a vulnerable skb_shared_info into an I/O
+//! region". The tests demonstrate exactly that residual exposure.
+
+use dma_core::{DmaError, Event, Kva, Result, SimCtx, PAGE_SIZE};
+use sim_mem::MemorySystem;
+use std::collections::HashMap;
+
+/// A DMA-only allocator: page-granular pool, bump-carved per page, with
+/// the guarantee that no non-I/O object is ever placed on its pages.
+#[derive(Debug, Default)]
+pub struct DamnAllocator {
+    /// Active carving page and offset.
+    current: Option<(Kva, usize)>,
+    /// Live allocations per page (for recycling).
+    refs: HashMap<u64, usize>,
+    /// Pages owned by the allocator.
+    pages: Vec<Kva>,
+}
+
+impl DamnAllocator {
+    /// Creates an empty allocator.
+    pub fn new() -> Self {
+        DamnAllocator::default()
+    }
+
+    /// Allocates `size` bytes of I/O-only memory.
+    pub fn alloc(&mut self, ctx: &mut SimCtx, mem: &mut MemorySystem, size: usize) -> Result<Kva> {
+        if size == 0 || size > PAGE_SIZE {
+            return Err(DmaError::InvalidAlloc(size));
+        }
+        let (page, used) = match self.current {
+            Some((page, used)) if used + size <= PAGE_SIZE => (page, used),
+            _ => {
+                let pfn = mem.alloc_pages(ctx, 0, "damn_alloc_page")?;
+                let page = mem.layout.pfn_to_kva(pfn)?;
+                self.pages.push(page);
+                self.refs.insert(page.raw(), 0);
+                self.current = Some((page, 0));
+                (page, 0)
+            }
+        };
+        let kva = Kva(page.raw() + used as u64);
+        self.current = Some((page, (used + size + 63) & !63));
+        *self.refs.get_mut(&page.raw()).expect("tracked page") += 1;
+        ctx.emit(Event::Alloc {
+            at: ctx.clock.now(),
+            kva,
+            size,
+            site: "damn_alloc",
+            cache: "damn",
+        });
+        Ok(kva)
+    }
+
+    /// Frees an I/O buffer.
+    pub fn free(&mut self, ctx: &mut SimCtx, kva: Kva) -> Result<()> {
+        let page = kva.page_align_down();
+        let r = self
+            .refs
+            .get_mut(&page.raw())
+            .ok_or(DmaError::BadFree(kva.raw()))?;
+        if *r == 0 {
+            return Err(DmaError::BadFree(kva.raw()));
+        }
+        *r -= 1;
+        ctx.emit(Event::Free {
+            at: ctx.clock.now(),
+            kva,
+        });
+        Ok(())
+    }
+
+    /// `true` if `kva` lies on a DAMN-owned page.
+    pub fn owns(&self, kva: Kva) -> bool {
+        self.refs.contains_key(&kva.page_align_down().raw())
+    }
+
+    /// Invariant check: none of the allocator's pages host a slab.
+    pub fn pages_are_io_only(&self, mem: &MemorySystem) -> bool {
+        self.pages.iter().all(|p| {
+            mem.layout
+                .kva_to_pfn(*p)
+                .map(|pfn| !mem.kmalloc.is_slab_page(pfn))
+                .unwrap_or(false)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use devsim::MaliciousNic;
+    use dma_core::vuln::DmaDirection;
+    use dma_core::Iova;
+    use sim_iommu::{dma_map_single, InvalidationMode, Iommu, IommuConfig};
+    use sim_mem::MemConfig;
+    use sim_net::shinfo::{SHINFO_DESTRUCTOR_ARG, SHINFO_SIZE};
+    use sim_net::skb::build_skb;
+
+    fn setup() -> (SimCtx, MemorySystem, Iommu, DamnAllocator, MaliciousNic) {
+        let mut ctx = SimCtx::new();
+        let mem = MemorySystem::new(&MemConfig::default());
+        let mut iommu = Iommu::new(IommuConfig {
+            mode: InvalidationMode::Strict,
+            ..Default::default()
+        });
+        iommu.attach_device(5);
+        let _ = &mut ctx;
+        (ctx, mem, iommu, DamnAllocator::new(), MaliciousNic::new(5))
+    }
+
+    #[test]
+    fn io_pages_never_host_kernel_objects() {
+        let (mut ctx, mut mem, _iommu, mut damn, _nic) = setup();
+        let io = damn.alloc(&mut ctx, &mut mem, 1024).unwrap();
+        // Kernel churn cannot land on the I/O page.
+        for _ in 0..64 {
+            let k = mem.kmalloc(&mut ctx, 1024, "kernel_obj").unwrap();
+            assert_ne!(k.page_align_down(), io.page_align_down());
+        }
+        assert!(damn.pages_are_io_only(&mem));
+        assert!(damn.owns(io));
+    }
+
+    #[test]
+    fn random_colocation_leak_is_gone() {
+        // Type (d) defeated: scanning the mapped I/O page finds nothing.
+        let (mut ctx, mut mem, mut iommu, mut damn, nic) = setup();
+        // Ambient kernel state full of pointers.
+        for i in 0..16 {
+            let k = mem.kmalloc(&mut ctx, 512, "sock_alloc_inode").unwrap();
+            mem.cpu_write_u64(&mut ctx, k, mem.layout.text_base.raw() + i, "t")
+                .unwrap();
+        }
+        let io = damn.alloc(&mut ctx, &mut mem, 512).unwrap();
+        let m = dma_map_single(
+            &mut ctx,
+            &mut iommu,
+            &mem.layout,
+            5,
+            io,
+            512,
+            DmaDirection::Bidirectional,
+            "m",
+        )
+        .unwrap();
+        let leaks = nic
+            .scan_for_pointers(
+                &mut ctx,
+                &mut iommu,
+                &mem.phys,
+                Iova(m.iova.raw() & !0xfff),
+                PAGE_SIZE,
+            )
+            .unwrap();
+        assert!(leaks.is_empty(), "DAMN page leaked pointers: {leaks:?}");
+    }
+
+    #[test]
+    fn build_skb_reintroduces_the_shinfo_exposure() {
+        // §9.2: DAMN "can be easily thwarted by device drivers via
+        // functions, such as build_skb" — the shared info ends up inside
+        // the DAMN buffer, device-writable as ever.
+        let (mut ctx, mut mem, mut iommu, mut damn, nic) = setup();
+        let buf_size = 2048 - SHINFO_SIZE;
+        let io = damn.alloc(&mut ctx, &mut mem, 2048).unwrap();
+        let m = dma_map_single(
+            &mut ctx,
+            &mut iommu,
+            &mem.layout,
+            5,
+            io,
+            2048,
+            DmaDirection::FromDevice,
+            "rx",
+        )
+        .unwrap();
+        let skb = build_skb(
+            &mut ctx,
+            &mut mem,
+            io,
+            buf_size,
+            sim_net::skb::AllocKind::Kmalloc,
+        )
+        .unwrap();
+        // The device overwrites destructor_arg through the live mapping.
+        nic.write_u64(
+            &mut ctx,
+            &mut iommu,
+            &mut mem.phys,
+            Iova(m.iova.raw() + buf_size as u64 + SHINFO_DESTRUCTOR_ARG as u64),
+            0xdead_beef,
+        )
+        .unwrap();
+        assert_eq!(
+            skb.shinfo().destructor_arg(&mut ctx, &mem).unwrap(),
+            0xdead_beef,
+            "the callback exposure survives DAMN"
+        );
+    }
+
+    #[test]
+    fn alloc_free_lifecycle() {
+        let (mut ctx, mut mem, _iommu, mut damn, _nic) = setup();
+        let a = damn.alloc(&mut ctx, &mut mem, 100).unwrap();
+        let b = damn.alloc(&mut ctx, &mut mem, 100).unwrap();
+        assert_eq!(
+            a.page_align_down(),
+            b.page_align_down(),
+            "carved from one page"
+        );
+        damn.free(&mut ctx, a).unwrap();
+        damn.free(&mut ctx, b).unwrap();
+        assert!(damn.free(&mut ctx, b).is_err(), "double free detected");
+        assert!(damn.alloc(&mut ctx, &mut mem, 0).is_err());
+        assert!(damn.alloc(&mut ctx, &mut mem, PAGE_SIZE + 1).is_err());
+    }
+}

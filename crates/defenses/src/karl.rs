@@ -1,0 +1,122 @@
+//! OpenBSD KARL (§8, \[18\]): "Each time the system is booted, it links a
+//! new, randomized kernel binary. As opposed to the Linux KASLR, this
+//! strong randomization makes it harder to patch the payload during
+//! run-time."
+//!
+//! Under KASLR, symbol *offsets* are build constants; only the base is
+//! secret, and one leak recovers it. Under KARL, the offsets themselves
+//! are re-randomized every boot, so the attacker's offline copy of the
+//! build tells them nothing about the victim's gadget addresses — even
+//! with the base fully known.
+
+use attacks::cpu::MiniCpu;
+use attacks::image::KernelImage;
+use attacks::kaslr::AttackerKnowledge;
+use attacks::rop::PoisonedBuffer;
+use dma_core::{Kva, Result, SimCtx};
+use sim_mem::MemorySystem;
+
+/// Boots a KARL kernel: the image is *re-linked* (rebuilt with a fresh
+/// seed) for this boot, so its symbol layout is unique.
+pub fn karl_boot_image(boot_seed: u64, size: usize) -> KernelImage {
+    // In KARL the per-boot link seed is the randomness source; reusing
+    // KernelImage::build with the boot seed models exactly that.
+    KernelImage::build(boot_seed ^ 0x4b41_524c, size)
+}
+
+/// Runs the final stage of a code-injection attack against a KARL
+/// victim: the attacker builds the poison from their *own* (different-
+/// link) image, with the victim's text base fully known.
+///
+/// Returns the CPU outcome (expected: a fault, not an escalation).
+pub fn attack_karl_victim(
+    ctx: &mut SimCtx,
+    mem: &mut MemorySystem,
+    victim_image: &KernelImage,
+    attacker_image: &KernelImage,
+) -> Result<attacks::cpu::CpuOutcome> {
+    // Give the attacker everything KASLR would have protected.
+    let knowledge = AttackerKnowledge {
+        text_base: Some(mem.layout.text_base),
+        page_offset_base: Some(mem.layout.page_offset_base),
+        vmemmap_base: Some(mem.layout.vmemmap_base),
+    };
+    let poison = PoisonedBuffer::build(attacker_image, &knowledge)?;
+    let buf = mem.kzalloc(ctx, 512, "payload")?;
+    mem.cpu_write(ctx, buf, &poison.bytes, "deposit")?;
+    // The attacker aims at where *their* image says the pivot is.
+    let jop_guess = attacker_image
+        .symbol_addr("jop_rsp_rdi", mem.layout.text_base)
+        .expect("attacker image has the symbol");
+    let cpu = MiniCpu::new(victim_image, mem.layout.text_base);
+    cpu.invoke_callback(ctx, mem, jop_guess, Kva(buf.raw()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dma_core::DmaError;
+    use sim_mem::MemConfig;
+
+    fn mem_with(image: &KernelImage) -> (SimCtx, MemorySystem) {
+        let ctx = SimCtx::new();
+        let mut mem = MemorySystem::new(&MemConfig {
+            kaslr_seed: Some(1),
+            ..Default::default()
+        });
+        mem.install_text(&image.bytes);
+        (ctx, mem)
+    }
+
+    #[test]
+    fn karl_images_differ_per_boot() {
+        let a = karl_boot_image(1, 16 << 20);
+        let b = karl_boot_image(2, 16 << 20);
+        assert_ne!(
+            a.symbol_offset("jop_rsp_rdi"),
+            b.symbol_offset("jop_rsp_rdi"),
+            "per-boot link must move the gadget"
+        );
+    }
+
+    #[test]
+    fn stale_image_attack_faults_under_karl() {
+        // Victim booted with link seed 7; attacker has the (identical
+        // *distribution*, different *link*) seed-8 image.
+        let victim = karl_boot_image(7, 16 << 20);
+        let attacker = karl_boot_image(8, 16 << 20);
+        let (mut ctx, mut mem) = mem_with(&victim);
+        let r = attack_karl_victim(&mut ctx, &mut mem, &victim, &attacker);
+        match r {
+            Err(DmaError::CpuFault(_)) => {} // kernel oops — KARL wins
+            Ok(out) => assert!(!out.escalated, "stale image must not escalate"),
+            Err(e) => panic!("unexpected error {e}"),
+        }
+    }
+
+    #[test]
+    fn matching_image_still_escalates_without_karl() {
+        // Control: with a build-constant layout (plain KASLR), the same
+        // machinery escalates — the delta is KARL, nothing else.
+        let shared = KernelImage::build(99, 16 << 20);
+        let (mut ctx, mut mem) = mem_with(&shared);
+        let out = attack_karl_victim(&mut ctx, &mut mem, &shared, &shared).unwrap();
+        assert!(out.escalated);
+    }
+
+    #[test]
+    fn many_boots_never_collide() {
+        let attacker = karl_boot_image(1000, 16 << 20);
+        let mut faults = 0;
+        for boot in 0..8 {
+            let victim = karl_boot_image(boot, 16 << 20);
+            let (mut ctx, mut mem) = mem_with(&victim);
+            match attack_karl_victim(&mut ctx, &mut mem, &victim, &attacker) {
+                Err(_) => faults += 1,
+                Ok(out) if !out.escalated => faults += 1,
+                Ok(_) => {}
+            }
+        }
+        assert_eq!(faults, 8, "every stale-image attempt must fail");
+    }
+}

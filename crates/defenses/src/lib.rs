@@ -1,0 +1,39 @@
+//! The countermeasures discussed in §8/§9 of the paper, implemented as
+//! testable ablations against the same attack code.
+//!
+//! The paper's discussion section surveys defenses and argues about
+//! their residual exposure; this crate makes each argument executable:
+//!
+//! - [`bounce`] — **bounce buffers** (Markuze et al., ASPLOS '16 \[47\]):
+//!   the DMA backend copies I/O data to/from permanently mapped
+//!   dedicated pages. Eliminates sub-page co-location *and* deferred
+//!   invalidation (the mappings are static) — at a copy cost.
+//! - [`damn`] — **DAMN-style dedicated allocation** (ASPLOS '18 \[49\]):
+//!   network buffers come from DMA-only pages, zero-copy. Blocks
+//!   random co-location, but §9.2's critique holds: `skb_shared_info`
+//!   still lives *inside* the I/O buffer, so the callback exposure
+//!   remains.
+//! - [`subpage`] — **Intel-style sub-page protection** \[34\]: byte-range
+//!   bounds on each mapping. Blocks the shared-info overwrite when the
+//!   driver maps only the packet bytes — and demonstrably does not when
+//!   the driver maps the full buffer (the common case).
+//! - [`karl`] — **OpenBSD KARL** \[18\]: a freshly *re-linked* kernel
+//!   every boot. Gadget and symbol offsets stop being build constants,
+//!   so the attacker's offline image is useless.
+//! - [`cet`] — **Intel CET** \[33\]: shadow stack + indirect-branch
+//!   tracking in the CPU model; the JOP pivot and the ROP returns fault.
+//! - [`monitor`] — a fault-rate monitor over the IOMMU's VT-d-style
+//!   fault log: catches probing attacks, honestly misses stealthy ones.
+
+pub mod bounce;
+pub mod cet;
+pub mod damn;
+pub mod karl;
+pub mod monitor;
+pub mod subpage;
+
+pub use bounce::BounceDma;
+pub use cet::CetCpu;
+pub use damn::DamnAllocator;
+pub use monitor::FaultMonitor;
+pub use subpage::SubPageIommu;

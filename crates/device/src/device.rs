@@ -1,0 +1,402 @@
+//! The malicious NIC: attacker primitives, all routed through the IOMMU.
+
+use dma_core::layout::VmRegion;
+use dma_core::trace::DeviceId;
+use dma_core::{Iova, Result, SimCtx};
+use sim_iommu::Iommu;
+use sim_mem::PhysMemory;
+use sim_net::packet::Packet;
+use sim_net::shinfo::{SHINFO_DESTRUCTOR_ARG, UBUF_CALLBACK, UBUF_CTX, UBUF_DESC};
+use sim_net::skb::NET_SKB_PAD;
+
+/// A kernel pointer the device found while scanning mapped memory.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LeakedPointer {
+    /// IOVA at which the value was read.
+    pub iova: Iova,
+    /// The leaked 64-bit value.
+    pub value: u64,
+    /// Which kernel VM region the value points into.
+    pub region: VmRegion,
+}
+
+/// A malicious NIC. It holds nothing but its device ID — all knowledge
+/// must be *earned* by DMA (that is the point of the compound attacks).
+#[derive(Clone, Copy, Debug)]
+pub struct MaliciousNic {
+    /// The device's bus identity.
+    pub id: DeviceId,
+}
+
+impl MaliciousNic {
+    /// Creates a device with the given identity.
+    pub fn new(id: DeviceId) -> Self {
+        MaliciousNic { id }
+    }
+
+    /// DMA-read `buf.len()` bytes at `iova`.
+    pub fn read(
+        &self,
+        ctx: &mut SimCtx,
+        iommu: &mut Iommu,
+        phys: &PhysMemory,
+        iova: Iova,
+        buf: &mut [u8],
+    ) -> Result<()> {
+        iommu.dev_read(ctx, phys, self.id, iova, buf)
+    }
+
+    /// DMA-write `buf` at `iova`.
+    pub fn write(
+        &self,
+        ctx: &mut SimCtx,
+        iommu: &mut Iommu,
+        phys: &mut PhysMemory,
+        iova: Iova,
+        buf: &[u8],
+    ) -> Result<()> {
+        iommu.dev_write(ctx, phys, self.id, iova, buf)
+    }
+
+    /// DMA-read a little-endian u64.
+    pub fn read_u64(
+        &self,
+        ctx: &mut SimCtx,
+        iommu: &mut Iommu,
+        phys: &PhysMemory,
+        iova: Iova,
+    ) -> Result<u64> {
+        iommu.dev_read_u64(ctx, phys, self.id, iova)
+    }
+
+    /// DMA-write a little-endian u64.
+    pub fn write_u64(
+        &self,
+        ctx: &mut SimCtx,
+        iommu: &mut Iommu,
+        phys: &mut PhysMemory,
+        iova: Iova,
+        v: u64,
+    ) -> Result<()> {
+        iommu.dev_write_u64(ctx, phys, self.id, iova, v)
+    }
+
+    /// Scans a readable mapped range for 8-byte-aligned values that look
+    /// like kernel pointers (§2.4: "malicious devices can scan the pages
+    /// mapped for reading, looking for kernel pointers leaked due to
+    /// sub-page vulnerability").
+    pub fn scan_for_pointers(
+        &self,
+        ctx: &mut SimCtx,
+        iommu: &mut Iommu,
+        phys: &PhysMemory,
+        iova: Iova,
+        len: usize,
+    ) -> Result<Vec<LeakedPointer>> {
+        let mut page = vec![0u8; len];
+        self.read(ctx, iommu, phys, iova, &mut page)?;
+        let mut found = Vec::new();
+        for (i, chunk) in page.chunks_exact(8).enumerate() {
+            let value = u64::from_le_bytes(chunk.try_into().expect("8 bytes"));
+            if let Some(region) = VmRegion::classify(value) {
+                found.push(LeakedPointer {
+                    iova: Iova(iova.raw() + (i * 8) as u64),
+                    value,
+                    region,
+                });
+            }
+        }
+        Ok(found)
+    }
+
+    /// Scans every descriptor the device can read, ignoring ranges whose
+    /// permissions deny reads (WRITE-only RX mappings).
+    pub fn scan_descriptors(
+        &self,
+        ctx: &mut SimCtx,
+        iommu: &mut Iommu,
+        phys: &PhysMemory,
+        descriptors: &[(Iova, usize)],
+    ) -> Vec<LeakedPointer> {
+        let mut all = Vec::new();
+        for &(iova, len) in descriptors {
+            if let Ok(mut v) = self.scan_for_pointers(ctx, iommu, phys, iova, len) {
+                all.append(&mut v);
+            }
+        }
+        all
+    }
+
+    /// Injects an RX packet: writes the wire bytes at the buffer's
+    /// payload offset (where a NIC DMA-writes received frames).
+    ///
+    /// The caller signals completion to the driver separately, as the
+    /// interrupt would.
+    pub fn inject_rx(
+        &self,
+        ctx: &mut SimCtx,
+        iommu: &mut Iommu,
+        phys: &mut PhysMemory,
+        rx_iova: Iova,
+        packet: &Packet,
+    ) -> Result<usize> {
+        let wire = packet.to_wire();
+        self.write(
+            ctx,
+            iommu,
+            phys,
+            Iova(rx_iova.raw() + NET_SKB_PAD as u64),
+            &wire,
+        )?;
+        Ok(wire.len())
+    }
+
+    /// Writes arbitrary bytes into a buffer at a byte offset from its
+    /// IOVA (e.g. depositing a poisoned ROP stack in the payload area).
+    pub fn deposit(
+        &self,
+        ctx: &mut SimCtx,
+        iommu: &mut Iommu,
+        phys: &mut PhysMemory,
+        iova: Iova,
+        offset: usize,
+        bytes: &[u8],
+    ) -> Result<()> {
+        self.write(ctx, iommu, phys, Iova(iova.raw() + offset as u64), bytes)
+    }
+
+    /// Forges a `ubuf_info` structure at `iova` (Figure 4 step (b)/(c)):
+    /// callback pointer, ctx, desc.
+    #[allow(clippy::too_many_arguments)]
+    pub fn forge_ubuf_info(
+        &self,
+        ctx: &mut SimCtx,
+        iommu: &mut Iommu,
+        phys: &mut PhysMemory,
+        iova: Iova,
+        callback: u64,
+        ubuf_ctx: u64,
+        desc: u64,
+    ) -> Result<()> {
+        self.write_u64(
+            ctx,
+            iommu,
+            phys,
+            Iova(iova.raw() + UBUF_CALLBACK as u64),
+            callback,
+        )?;
+        self.write_u64(
+            ctx,
+            iommu,
+            phys,
+            Iova(iova.raw() + UBUF_CTX as u64),
+            ubuf_ctx,
+        )?;
+        self.write_u64(ctx, iommu, phys, Iova(iova.raw() + UBUF_DESC as u64), desc)
+    }
+
+    /// Overwrites `skb_shared_info.destructor_arg` given the IOVA of the
+    /// shared info's base.
+    pub fn overwrite_destructor_arg(
+        &self,
+        ctx: &mut SimCtx,
+        iommu: &mut Iommu,
+        phys: &mut PhysMemory,
+        shinfo_iova: Iova,
+        value: u64,
+    ) -> Result<()> {
+        self.write_u64(
+            ctx,
+            iommu,
+            phys,
+            Iova(shinfo_iova.raw() + SHINFO_DESTRUCTOR_ARG as u64),
+            value,
+        )
+    }
+
+    /// Computes the IOVA of a buffer's `skb_shared_info` from its RX
+    /// descriptor: the shared info sits `buf_size` bytes into the
+    /// mapping (the device knows the driver's buffer geometry — it is in
+    /// the driver source).
+    pub fn shinfo_iova(&self, rx_iova: Iova, buf_size: usize) -> Iova {
+        Iova(rx_iova.raw() + buf_size as u64)
+    }
+
+    /// The page-sharing trick of §5.2.2 path (iii): given two RX
+    /// descriptors whose buffers share a physical page (consecutive
+    /// page_frag carvings), derive the IOVA *through descriptor B* of a
+    /// byte that descriptor A names.
+    ///
+    /// Works because the low [`dma_core::PAGE_SIZE`]-offset bits of an IOVA match
+    /// the physical offset: the device re-bases A's page offset onto B's
+    /// mapping.
+    pub fn alias_through_neighbor(&self, target_a: Iova, neighbor_b: Iova) -> Option<Iova> {
+        // Same physical page ⇔ same in-page offset arithmetic applies.
+        let a_off = target_a.page_offset() as u64;
+        let b_page = neighbor_b.page_align_down().raw();
+        // Only valid when both carvings are on one page; the caller
+        // checks that via descriptor geometry (buf_size < PAGE_SIZE).
+        Some(Iova(b_page + a_off))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dma_core::vuln::DmaDirection;
+    use dma_core::Kva;
+    use sim_iommu::{dma_map_single, InvalidationMode, IommuConfig};
+    use sim_mem::{MemConfig, MemorySystem};
+
+    fn setup() -> (SimCtx, MemorySystem, Iommu, MaliciousNic) {
+        let ctx = SimCtx::new();
+        let mem = MemorySystem::new(&MemConfig {
+            kaslr_seed: Some(3),
+            ..Default::default()
+        });
+        let mut iommu = Iommu::new(IommuConfig {
+            mode: InvalidationMode::Strict,
+            ..Default::default()
+        });
+        iommu.attach_device(7);
+        (ctx, mem, iommu, MaliciousNic::new(7))
+    }
+
+    #[test]
+    fn scan_finds_planted_kernel_pointer() {
+        let (mut ctx, mut mem, mut iommu, nic) = setup();
+        let buf = mem.kzalloc(&mut ctx, 512, "leaky").unwrap();
+        // Plant a text pointer mid-buffer, CPU-side.
+        let ptr = mem.layout.text_base.raw() + 0x12340;
+        mem.cpu_write_u64(&mut ctx, Kva(buf.raw() + 256), ptr, "t")
+            .unwrap();
+        let m = dma_map_single(
+            &mut ctx,
+            &mut iommu,
+            &mem.layout,
+            7,
+            buf,
+            512,
+            DmaDirection::Bidirectional,
+            "t",
+        )
+        .unwrap();
+        let found = nic
+            .scan_for_pointers(&mut ctx, &mut iommu, &mem.phys, m.iova, 512)
+            .unwrap();
+        assert!(found
+            .iter()
+            .any(|l| l.value == ptr && l.region == VmRegion::KernelText));
+    }
+
+    #[test]
+    fn scan_skips_unreadable_mappings() {
+        let (mut ctx, mut mem, mut iommu, nic) = setup();
+        let buf = mem.kzalloc(&mut ctx, 256, "rx").unwrap();
+        let m = dma_map_single(
+            &mut ctx,
+            &mut iommu,
+            &mem.layout,
+            7,
+            buf,
+            256,
+            DmaDirection::FromDevice,
+            "t",
+        )
+        .unwrap();
+        // WRITE-only: scan yields nothing rather than erroring out.
+        let found = nic.scan_descriptors(&mut ctx, &mut iommu, &mem.phys, &[(m.iova, 256)]);
+        assert!(found.is_empty());
+    }
+
+    #[test]
+    fn forge_ubuf_and_overwrite_darg_land_in_memory() {
+        let (mut ctx, mut mem, mut iommu, nic) = setup();
+        let buf = mem.kzalloc(&mut ctx, 2048, "rxbuf").unwrap();
+        let m = dma_map_single(
+            &mut ctx,
+            &mut iommu,
+            &mem.layout,
+            7,
+            buf,
+            2048,
+            DmaDirection::FromDevice,
+            "t",
+        )
+        .unwrap();
+        // Forge ubuf at offset 100; point destructor_arg (shinfo at 1728).
+        nic.forge_ubuf_info(
+            &mut ctx,
+            &mut iommu,
+            &mut mem.phys,
+            Iova(m.iova.raw() + 100),
+            0xdead,
+            0,
+            0,
+        )
+        .unwrap();
+        nic.overwrite_destructor_arg(
+            &mut ctx,
+            &mut iommu,
+            &mut mem.phys,
+            nic.shinfo_iova(m.iova, 1728),
+            0xbeef,
+        )
+        .unwrap();
+        assert_eq!(
+            mem.cpu_read_u64(&mut ctx, Kva(buf.raw() + 100), "t")
+                .unwrap(),
+            0xdead
+        );
+        assert_eq!(
+            mem.cpu_read_u64(
+                &mut ctx,
+                Kva(buf.raw() + 1728 + SHINFO_DESTRUCTOR_ARG as u64),
+                "t"
+            )
+            .unwrap(),
+            0xbeef
+        );
+    }
+
+    #[test]
+    fn alias_through_neighbor_rebases_offset() {
+        let nic = MaliciousNic::new(7);
+        // A maps page offset 0x800; B maps the same physical page at its
+        // own IOVA page.
+        let a = Iova(0xfff0_0800);
+        let b = Iova(0xffe0_0000);
+        assert_eq!(nic.alias_through_neighbor(a, b), Some(Iova(0xffe0_0800)));
+    }
+
+    #[test]
+    fn inject_rx_places_wire_bytes_at_payload_offset() {
+        let (mut ctx, mut mem, mut iommu, nic) = setup();
+        let buf = mem.kzalloc(&mut ctx, 2048, "rxbuf").unwrap();
+        let m = dma_map_single(
+            &mut ctx,
+            &mut iommu,
+            &mem.layout,
+            7,
+            buf,
+            2048,
+            DmaDirection::FromDevice,
+            "t",
+        )
+        .unwrap();
+        let p = Packet::udp(5, 1, b"ping".to_vec());
+        let n = nic
+            .inject_rx(&mut ctx, &mut iommu, &mut mem.phys, m.iova, &p)
+            .unwrap();
+        assert_eq!(n, p.wire_len());
+        let mut wire = vec![0u8; n];
+        mem.cpu_read(
+            &mut ctx,
+            Kva(buf.raw() + NET_SKB_PAD as u64),
+            &mut wire,
+            "t",
+        )
+        .unwrap();
+        assert_eq!(Packet::from_wire(&wire).unwrap(), p);
+    }
+}

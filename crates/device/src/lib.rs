@@ -1,0 +1,24 @@
+//! DMA-capable device models.
+//!
+//! Per the threat model (§3.1): the attack is performed *solely* by the
+//! malicious DMA-capable device, and all its memory accesses go through
+//! the IOMMU ([`sim_iommu::Iommu::dev_read`]/[`dev_write`]) — the device
+//! has no other way to touch memory. What a real NIC learns from its
+//! DMA-mapped descriptor rings (buffer IOVAs and sizes), the model
+//! receives as descriptor lists.
+//!
+//! - [`device`] — [`MaliciousNic`]: the attacker's primitives: scanning
+//!   mapped pages for leaked kernel pointers, injecting RX packets,
+//!   forging `ubuf_info` structures, overwriting `destructor_arg`, and
+//!   withholding TX completions.
+//! - [`testbed`] — [`Testbed`]: a whole simulated machine (memory,
+//!   IOMMU, driver, stack) with benign traffic helpers, used by the
+//!   attacks, the examples, D-KASAN workloads, and the benches.
+//!
+//! [`dev_write`]: sim_iommu::Iommu::dev_write
+
+pub mod device;
+pub mod testbed;
+
+pub use device::{LeakedPointer, MaliciousNic};
+pub use testbed::{Testbed, TestbedConfig};

@@ -1,0 +1,257 @@
+//! A whole simulated machine: memory + IOMMU + NIC driver + stack +
+//! malicious device, wired together.
+//!
+//! This mirrors the paper's test setup (§6): a victim machine with an
+//! IOMMU and a NIC whose DMA the attacker controls.
+
+use crate::device::MaliciousNic;
+use dma_core::{Result, SimCtx};
+use sim_iommu::{Iommu, IommuConfig};
+use sim_mem::{MemConfig, MemorySystem};
+use sim_net::driver::{DriverConfig, NicDriver};
+use sim_net::packet::Packet;
+use sim_net::skb::PendingCallback;
+use sim_net::stack::{NetStack, StackConfig};
+
+/// Full machine configuration.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TestbedConfig {
+    /// Memory/KASLR configuration.
+    pub mem: MemConfigLite,
+    /// IOMMU configuration.
+    pub iommu: IommuConfig,
+    /// NIC driver configuration.
+    pub driver: DriverConfig,
+    /// Upper-stack configuration.
+    pub stack: StackConfig,
+    /// Boot-time allocation jitter seed (§5.3): models the timing noise
+    /// that makes per-boot PFN assignment *vary slightly* while the boot
+    /// sequence itself stays deterministic. `None` = perfectly quiet
+    /// boot.
+    pub boot_noise_seed: Option<u64>,
+}
+
+/// A copyable subset of [`MemConfig`] (the full struct is not `Copy`).
+#[derive(Clone, Copy, Debug)]
+pub struct MemConfigLite {
+    /// Physical memory bytes.
+    pub phys_bytes: u64,
+    /// CPU count.
+    pub num_cpus: usize,
+    /// KASLR seed (`None` = identity layout).
+    pub kaslr_seed: Option<u64>,
+}
+
+impl Default for MemConfigLite {
+    fn default() -> Self {
+        MemConfigLite {
+            phys_bytes: 256 << 20,
+            num_cpus: 4,
+            kaslr_seed: Some(0xd0e5_1e5e),
+        }
+    }
+}
+
+impl From<MemConfigLite> for MemConfig {
+    fn from(l: MemConfigLite) -> MemConfig {
+        MemConfig {
+            phys_bytes: l.phys_bytes,
+            num_cpus: l.num_cpus,
+            kaslr_seed: l.kaslr_seed,
+            ..Default::default()
+        }
+    }
+}
+
+/// The assembled machine.
+pub struct Testbed {
+    /// Simulation context (clock + trace).
+    pub ctx: SimCtx,
+    /// Memory system.
+    pub mem: MemorySystem,
+    /// IOMMU.
+    pub iommu: Iommu,
+    /// NIC driver.
+    pub driver: NicDriver,
+    /// Upper stack.
+    pub stack: NetStack,
+    /// The attacker-controlled NIC (same device the driver serves).
+    pub nic: MaliciousNic,
+}
+
+impl Testbed {
+    /// Boots a machine.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use devsim::{Testbed, TestbedConfig};
+    /// use sim_net::packet::Packet;
+    ///
+    /// let mut tb = Testbed::new(TestbedConfig::default()).unwrap();
+    /// tb.deliver_packet(&Packet::udp(9, 1, b"hi".to_vec())).unwrap();
+    /// assert_eq!(tb.stack.stats.delivered, 1);
+    /// ```
+    pub fn new(cfg: TestbedConfig) -> Result<Self> {
+        let mut ctx = SimCtx::new();
+        let mut mem = MemorySystem::new(&cfg.mem.into());
+        let mut iommu = Iommu::new(cfg.iommu);
+        if let Some(seed) = cfg.boot_noise_seed {
+            boot_noise(&mut ctx, &mut mem, seed)?;
+        }
+        let driver = NicDriver::probe(cfg.driver, &mut ctx, &mut mem, &mut iommu)?;
+        let stack = NetStack::new(cfg.stack, &mem);
+        let nic = MaliciousNic::new(cfg.driver.dev);
+        Ok(Testbed {
+            ctx,
+            mem,
+            iommu,
+            driver,
+            stack,
+            nic,
+        })
+    }
+
+    /// Boots a machine with event tracing enabled (for D-KASAN).
+    pub fn new_traced(cfg: TestbedConfig) -> Result<Self> {
+        let mut tb = Self::new(cfg)?;
+        tb.ctx.trace.enabled = true;
+        tb.ctx.clock.advance(0);
+        Ok(tb)
+    }
+
+    /// Device delivers one packet and the driver/stack process it to
+    /// completion (the benign fast path).
+    pub fn deliver_packet(&mut self, packet: &Packet) -> Result<()> {
+        let descs = self.driver.rx_descriptors();
+        let (iova, _) = *descs.first().ok_or(dma_core::DmaError::RingEmpty)?;
+        let n = self.nic.inject_rx(
+            &mut self.ctx,
+            &mut self.iommu,
+            &mut self.mem.phys,
+            iova,
+            packet,
+        )?;
+        self.driver.device_rx_complete(n)?;
+        self.rx_process()
+    }
+
+    /// Polls RX until empty and runs the stack on everything.
+    pub fn rx_process(&mut self) -> Result<()> {
+        while let Some(skb) =
+            self.driver
+                .rx_poll_quiet(&mut self.ctx, &mut self.mem, &mut self.iommu)?
+        {
+            self.stack.rx(
+                &mut self.ctx,
+                &mut self.mem,
+                &mut self.iommu,
+                &mut self.driver,
+                skb,
+            )?;
+        }
+        self.stack.flush(
+            &mut self.ctx,
+            &mut self.mem,
+            &mut self.iommu,
+            &mut self.driver,
+        )
+    }
+
+    /// Completes every in-flight TX (an honest device would) and reaps,
+    /// returning any surfaced destructor callbacks.
+    pub fn complete_all_tx(&mut self) -> Result<Vec<PendingCallback>> {
+        let descs = self.driver.tx_descriptors();
+        for d in &descs {
+            self.driver.device_tx_complete(d.idx)?;
+        }
+        self.driver
+            .tx_reap(&mut self.ctx, &mut self.mem, &mut self.iommu)
+    }
+
+    /// Advances simulated time.
+    pub fn advance_ms(&mut self, ms: u64) {
+        self.ctx.clock.advance_ms(ms);
+        self.iommu.tick(&mut self.ctx);
+    }
+}
+
+/// Early-boot allocation jitter: a seed-dependent number of page and
+/// object allocations made before the NIC driver probes, shifting where
+/// its RX buffers land — "while the pages each module receives may vary
+/// in a multi-core environment due to timing issues, we do not expect
+/// the drift to be too large" (§5.3).
+fn boot_noise(ctx: &mut SimCtx, mem: &mut MemorySystem, seed: u64) -> Result<()> {
+    let mut rng = dma_core::DetRng::new(seed ^ 0xb007_b007);
+    // Leaked (never-freed) early allocations: modules, firmware blobs...
+    let pages = rng.below(49);
+    for _ in 0..pages {
+        mem.alloc_pages(ctx, 0, "boot_early_alloc")?;
+    }
+    let objs = rng.below(32);
+    let mut transient = Vec::new();
+    for _ in 0..objs {
+        let size = 32 << rng.below(5);
+        let kva = mem.kmalloc(ctx, size as usize, "boot_module_init")?;
+        // Most early-boot allocations are short-lived (initdata, probe
+        // scratch); roughly two thirds are freed again before drivers
+        // settle, leaving partially filled slab pages behind.
+        if rng.chance(2, 3) {
+            transient.push(kva);
+        }
+    }
+    for kva in transient {
+        mem.kfree(ctx, kva)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn local_udp(payload: &[u8]) -> Packet {
+        Packet::udp(99, 1, payload.to_vec())
+    }
+
+    #[test]
+    fn boot_and_deliver() {
+        let mut tb = Testbed::new(TestbedConfig::default()).unwrap();
+        tb.deliver_packet(&local_udp(b"hello world")).unwrap();
+        assert_eq!(tb.stack.stats.delivered, 1);
+        assert_eq!(tb.stack.delivered()[0].payload, b"hello world");
+    }
+
+    #[test]
+    fn many_packets_cycle_the_ring() {
+        let mut tb = Testbed::new(TestbedConfig::default()).unwrap();
+        for i in 0..200u32 {
+            tb.deliver_packet(&local_udp(&i.to_le_bytes())).unwrap();
+        }
+        assert_eq!(tb.stack.stats.delivered, 200);
+        assert_eq!(tb.driver.stats.rx_packets, 200);
+    }
+
+    #[test]
+    fn echo_roundtrip_with_completion() {
+        let cfg = TestbedConfig {
+            stack: StackConfig {
+                echo_service: true,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let mut tb = Testbed::new(cfg).unwrap();
+        tb.deliver_packet(&local_udp(&[7u8; 128])).unwrap();
+        assert_eq!(tb.stack.stats.echoed, 1);
+        let cbs = tb.complete_all_tx().unwrap();
+        assert!(cbs.is_empty());
+    }
+
+    #[test]
+    fn traced_testbed_captures_events() {
+        let mut tb = Testbed::new_traced(TestbedConfig::default()).unwrap();
+        tb.deliver_packet(&local_udp(b"x")).unwrap();
+        assert!(!tb.ctx.trace.is_empty());
+    }
+}

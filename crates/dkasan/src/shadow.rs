@@ -1,0 +1,423 @@
+//! Shadow state: the event-stream replay engine.
+//!
+//! KASAN proper uses shadow bytes filled in by compiler instrumentation;
+//! here the simulators emit explicit events, and the shadow is rebuilt
+//! by replaying them in order. The state tracked per page mirrors what
+//! D-KASAN records: live objects (with allocation site and size) and
+//! live DMA mappings (with device, rights, and mapping site).
+
+use crate::report::{DKasanFinding, FindingKind};
+use dma_core::trace::DeviceId;
+use dma_core::vuln::AccessRight;
+use dma_core::{Event, Kva, PAGE_SIZE};
+use std::collections::HashMap;
+
+#[derive(Clone, Debug)]
+struct LiveObject {
+    kva: Kva,
+    size: usize,
+    site: &'static str,
+}
+
+#[derive(Clone, Debug)]
+struct LiveMapping {
+    device: DeviceId,
+    iova: u64,
+    right: AccessRight,
+    site: &'static str,
+}
+
+#[derive(Clone, Debug, Default)]
+struct PageShadow {
+    objects: Vec<LiveObject>,
+    mappings: Vec<LiveMapping>,
+}
+
+/// The D-KASAN replay engine.
+///
+/// # Examples
+///
+/// ```
+/// use dkasan::{DKasan, FindingKind};
+/// use dma_core::{Event, Iova, Kva, vuln::DmaDirection};
+///
+/// let mut dk = DKasan::new();
+/// dk.process(&[
+///     Event::DmaMap { at: 0, device: 1, iova: Iova(0xf0001000),
+///                     kva: Kva(0xffff_8880_0010_0000), len: 2048,
+///                     dir: DmaDirection::FromDevice, site: "nic_rx_map" },
+///     Event::Alloc { at: 1, kva: Kva(0xffff_8880_0010_0800), size: 512,
+///                    site: "load_elf_phdrs", cache: "kmalloc-512" },
+/// ]);
+/// assert_eq!(dk.findings_of(FindingKind::AllocAfterMap).len(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct DKasan {
+    pages: HashMap<u64, PageShadow>,
+    /// Object index for O(1) free handling: KVA → (page keys, size).
+    objects: HashMap<u64, (Vec<u64>, usize)>,
+    /// Mapping index: (device, iova page) → page keys.
+    mappings: HashMap<(DeviceId, u64), Vec<u64>>,
+    findings: Vec<DKasanFinding>,
+    /// Suppress duplicate (kind, site) reports, like the real tool's
+    /// once-per-site reporting.
+    seen: std::collections::HashSet<(FindingKind, &'static str)>,
+    /// Report every occurrence instead of once per (kind, site).
+    pub report_all: bool,
+}
+
+fn pages_of(kva: Kva, len: usize) -> Vec<u64> {
+    let first = kva.page_align_down().raw();
+    let last = Kva(kva.raw() + len.max(1) as u64 - 1)
+        .page_align_down()
+        .raw();
+    (0..=(last - first) / PAGE_SIZE as u64)
+        .map(|i| first + i * PAGE_SIZE as u64)
+        .collect()
+}
+
+impl DKasan {
+    /// Creates an empty shadow.
+    pub fn new() -> Self {
+        DKasan::default()
+    }
+
+    /// Replays a batch of events.
+    pub fn process(&mut self, events: &[Event]) {
+        for ev in events {
+            self.step(ev);
+        }
+    }
+
+    /// Collected findings so far.
+    pub fn findings(&self) -> &[DKasanFinding] {
+        &self.findings
+    }
+
+    /// Findings of one kind.
+    pub fn findings_of(&self, kind: FindingKind) -> Vec<&DKasanFinding> {
+        self.findings.iter().filter(|f| f.kind == kind).collect()
+    }
+
+    fn emit(&mut self, f: DKasanFinding) {
+        if self.report_all || self.seen.insert((f.kind, f.site)) {
+            self.findings.push(f);
+        }
+    }
+
+    fn step(&mut self, ev: &Event) {
+        match ev {
+            Event::Alloc {
+                kva, size, site, ..
+            } => self.on_alloc(*kva, *size, site),
+            Event::Free { kva, .. } => self.on_free(*kva),
+            Event::DmaMap {
+                device,
+                iova,
+                kva,
+                len,
+                dir,
+                site,
+                ..
+            } => self.on_map(*device, iova.raw(), *kva, *len, dir.access_right(), site),
+            Event::DmaUnmap { device, iova, .. } => self.on_unmap(*device, iova.raw()),
+            Event::CpuAccess {
+                kva,
+                len,
+                write,
+                site,
+                ..
+            } => self.on_cpu_access(*kva, *len, *write, site),
+            _ => {}
+        }
+    }
+
+    fn on_alloc(&mut self, kva: Kva, size: usize, site: &'static str) {
+        let keys = pages_of(kva, size);
+        // Class 1: alloc-after-map.
+        let mapped_rights: Vec<AccessRight> = keys
+            .iter()
+            .filter_map(|k| self.pages.get(k))
+            .flat_map(|p| p.mappings.iter().map(|m| m.right))
+            .collect();
+        if let Some(merged) = merge_rights(&mapped_rights) {
+            self.emit(DKasanFinding {
+                kind: FindingKind::AllocAfterMap,
+                size,
+                rights: merged,
+                site,
+                page: kva.page_align_down().raw(),
+            });
+        }
+        for k in &keys {
+            self.pages
+                .entry(*k)
+                .or_default()
+                .objects
+                .push(LiveObject { kva, size, site });
+        }
+        self.objects.insert(kva.raw(), (keys, size));
+    }
+
+    fn on_free(&mut self, kva: Kva) {
+        if let Some((keys, _)) = self.objects.remove(&kva.raw()) {
+            for k in keys {
+                if let Some(p) = self.pages.get_mut(&k) {
+                    p.objects.retain(|o| o.kva != kva);
+                }
+            }
+        }
+    }
+
+    fn on_map(
+        &mut self,
+        device: DeviceId,
+        iova: u64,
+        kva: Kva,
+        len: usize,
+        right: AccessRight,
+        site: &'static str,
+    ) {
+        let keys = pages_of(kva, len);
+        for k in &keys {
+            let page = self.pages.entry(*k).or_default();
+            // Class 4: multiple-map (possibly different permissions).
+            let prev = merge_rights(&page.mappings.iter().map(|m| m.right).collect::<Vec<_>>());
+            // Class 2: map-after-alloc — report each live co-located
+            // object whose page just became device-visible.
+            let co_located: Vec<(usize, &'static str)> = page
+                .objects
+                .iter()
+                .filter(|o| o.kva != kva)
+                .map(|o| (o.size, o.site))
+                .collect();
+            page.mappings.push(LiveMapping {
+                device,
+                iova,
+                right,
+                site,
+            });
+            if let Some(prev) = prev {
+                self.emit(DKasanFinding {
+                    kind: FindingKind::MultipleMap,
+                    size: len,
+                    rights: prev.union(right),
+                    site,
+                    page: *k,
+                });
+            }
+            for (osize, osite) in co_located {
+                self.emit(DKasanFinding {
+                    kind: FindingKind::MapAfterAlloc,
+                    size: osize,
+                    rights: right,
+                    site: osite,
+                    page: *k,
+                });
+            }
+        }
+        self.mappings
+            .insert((device, iova & !(PAGE_SIZE as u64 - 1)), keys);
+    }
+
+    fn on_unmap(&mut self, device: DeviceId, iova: u64) {
+        if let Some(keys) = self
+            .mappings
+            .remove(&(device, iova & !(PAGE_SIZE as u64 - 1)))
+        {
+            for k in keys {
+                if let Some(p) = self.pages.get_mut(&k) {
+                    if let Some(pos) = p
+                        .mappings
+                        .iter()
+                        .position(|m| m.device == device && m.iova == iova)
+                    {
+                        p.mappings.swap_remove(pos);
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_cpu_access(&mut self, kva: Kva, len: usize, _write: bool, site: &'static str) {
+        // Class 3: access-after-map.
+        let rights: Vec<AccessRight> = pages_of(kva, len)
+            .iter()
+            .filter_map(|k| self.pages.get(k))
+            .flat_map(|p| p.mappings.iter().map(|m| m.right))
+            .collect();
+        if let Some(merged) = merge_rights(&rights) {
+            self.emit(DKasanFinding {
+                kind: FindingKind::AccessAfterMap,
+                size: len,
+                rights: merged,
+                site,
+                page: kva.page_align_down().raw(),
+            });
+        }
+    }
+
+    /// The mapping sites currently covering a page (diagnostics).
+    pub fn mapping_sites(&self, page: u64) -> Vec<&'static str> {
+        self.pages
+            .get(&page)
+            .map(|p| p.mappings.iter().map(|m| m.site).collect())
+            .unwrap_or_default()
+    }
+
+    /// Number of pages currently carrying both live objects and live
+    /// mappings (the standing exposure surface).
+    pub fn exposed_pages(&self) -> usize {
+        self.pages
+            .values()
+            .filter(|p| !p.objects.is_empty() && !p.mappings.is_empty())
+            .count()
+    }
+}
+
+fn merge_rights(rights: &[AccessRight]) -> Option<AccessRight> {
+    rights.iter().copied().reduce(AccessRight::union)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dma_core::vuln::DmaDirection;
+    use dma_core::Iova;
+
+    fn alloc(at: u64, kva: u64, size: usize, site: &'static str) -> Event {
+        Event::Alloc {
+            at,
+            kva: Kva(kva),
+            size,
+            site,
+            cache: "kmalloc",
+        }
+    }
+
+    fn map(at: u64, kva: u64, len: usize, dir: DmaDirection, site: &'static str) -> Event {
+        Event::DmaMap {
+            at,
+            device: 1,
+            iova: Iova(0xf000_0000 + (kva & 0xfff)),
+            kva: Kva(kva),
+            len,
+            dir,
+            site,
+        }
+    }
+
+    const PAGE: u64 = 0xffff_8880_0020_0000;
+
+    #[test]
+    fn alloc_after_map_detected() {
+        let mut dk = DKasan::new();
+        dk.process(&[
+            map(0, PAGE + 0x100, 256, DmaDirection::FromDevice, "nic_rx_map"),
+            alloc(1, PAGE + 0x800, 512, "load_elf_phdrs"),
+        ]);
+        let f = dk.findings_of(FindingKind::AllocAfterMap);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].size, 512);
+        assert_eq!(f[0].site, "load_elf_phdrs");
+        assert_eq!(f[0].rights, AccessRight::Write);
+    }
+
+    #[test]
+    fn map_after_alloc_detected_per_object() {
+        let mut dk = DKasan::new();
+        dk.process(&[
+            alloc(0, PAGE, 64, "sock_alloc_inode"),
+            alloc(1, PAGE + 0x40, 328, "assoc_array_insert"),
+            map(
+                2,
+                PAGE + 0x800,
+                512,
+                DmaDirection::Bidirectional,
+                "nic_cmd_map",
+            ),
+        ]);
+        let f = dk.findings_of(FindingKind::MapAfterAlloc);
+        assert_eq!(f.len(), 2);
+        let sites: Vec<_> = f.iter().map(|x| x.site).collect();
+        assert!(sites.contains(&"sock_alloc_inode"));
+        assert!(sites.contains(&"assoc_array_insert"));
+        assert!(f.iter().all(|x| x.rights == AccessRight::Bidirectional));
+    }
+
+    #[test]
+    fn unmap_clears_exposure() {
+        let mut dk = DKasan::new();
+        dk.process(&[map(0, PAGE, 256, DmaDirection::FromDevice, "m")]);
+        dk.process(&[Event::DmaUnmap {
+            at: 1,
+            device: 1,
+            iova: Iova(0xf000_0000),
+            len: 256,
+        }]);
+        dk.process(&[alloc(2, PAGE + 0x800, 512, "late_alloc")]);
+        assert!(dk.findings_of(FindingKind::AllocAfterMap).is_empty());
+    }
+
+    #[test]
+    fn multiple_map_merges_rights() {
+        // §4.2 / Figure 3 line 1: a buffer mapped twice — once for read,
+        // once for write — shows as [READ, WRITE].
+        let mut dk = DKasan::new();
+        dk.process(&[
+            map(0, PAGE, 512, DmaDirection::FromDevice, "__alloc_skb"),
+            map(1, PAGE + 0x200, 512, DmaDirection::ToDevice, "__alloc_skb"),
+        ]);
+        let f = dk.findings_of(FindingKind::MultipleMap);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rights, AccessRight::Bidirectional);
+    }
+
+    #[test]
+    fn access_after_map_detected() {
+        let mut dk = DKasan::new();
+        dk.process(&[
+            map(0, PAGE, 2048, DmaDirection::FromDevice, "nic_rx_map"),
+            Event::CpuAccess {
+                at: 1,
+                kva: Kva(PAGE + 0x10),
+                len: 8,
+                write: true,
+                site: "memcpy_to_ring",
+            },
+        ]);
+        assert_eq!(dk.findings_of(FindingKind::AccessAfterMap).len(), 1);
+    }
+
+    #[test]
+    fn duplicate_sites_suppressed_unless_report_all() {
+        let mut dk = DKasan::new();
+        let evs = [
+            map(0, PAGE, 256, DmaDirection::FromDevice, "m"),
+            alloc(1, PAGE + 0x400, 64, "hot_site"),
+            Event::Free {
+                at: 2,
+                kva: Kva(PAGE + 0x400),
+            },
+            alloc(3, PAGE + 0x400, 64, "hot_site"),
+        ];
+        dk.process(&evs);
+        assert_eq!(dk.findings_of(FindingKind::AllocAfterMap).len(), 1);
+
+        let mut all = DKasan::new();
+        all.report_all = true;
+        all.process(&evs);
+        assert_eq!(all.findings_of(FindingKind::AllocAfterMap).len(), 2);
+    }
+
+    #[test]
+    fn straddling_buffers_shadow_both_pages() {
+        let mut dk = DKasan::new();
+        dk.process(&[
+            map(0, PAGE + 0xf00, 0x200, DmaDirection::FromDevice, "m"), // spans 2 pages
+            alloc(1, PAGE + 0x1800, 64, "second_page_obj"),
+        ]);
+        assert_eq!(dk.findings_of(FindingKind::AllocAfterMap).len(), 1);
+        assert_eq!(dk.exposed_pages(), 1);
+    }
+}

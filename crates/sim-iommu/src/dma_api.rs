@@ -1,0 +1,495 @@
+//! The Linux DMA API surface drivers call (§2.3).
+//!
+//! `dma_map_single` takes a KVA and a length and returns an IOVA; the
+//! driver programs the device with that IOVA and calls `dma_unmap_single`
+//! on completion. The API *insinuates* byte-granular ownership transfer,
+//! but what actually happens — and what this module faithfully does — is
+//! that **every page the buffer touches** is mapped for the device
+//! (§9.1's first bullet).
+
+use crate::iommu::Iommu;
+use dma_core::addr::pages_spanned;
+use dma_core::clock::MAP_PAGE_CYCLES;
+use dma_core::trace::DeviceId;
+use dma_core::vuln::DmaDirection;
+use dma_core::{Event, Iova, KernelLayout, Kva, Result, SimCtx, PAGE_SIZE};
+
+/// A live DMA mapping, as a driver would track it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DmaMapping {
+    /// IOVA of the buffer's first byte (page base + in-page offset).
+    pub iova: Iova,
+    /// KVA the mapping was created from.
+    pub kva: Kva,
+    /// Buffer length in bytes.
+    pub len: usize,
+    /// Transfer direction.
+    pub dir: DmaDirection,
+    /// Number of pages the mapping spans (the actual exposure).
+    pub pages: usize,
+    /// Owning device.
+    pub device: DeviceId,
+}
+
+impl DmaMapping {
+    /// IOVA of the first mapped page.
+    pub fn iova_page_base(&self) -> Iova {
+        self.iova.page_align_down()
+    }
+}
+
+/// `dma_map_single()`: maps `[kva, kva+len)` for `dev` and returns the
+/// IOVA. All pages spanned by the buffer become device-accessible with
+/// `dir`'s access right — the sub-page vulnerability in one line.
+///
+/// # Examples
+///
+/// ```
+/// use dma_core::{SimCtx, vuln::DmaDirection};
+/// use sim_iommu::{dma_map_single, dma_unmap_single, Iommu, IommuConfig};
+/// use sim_mem::{MemConfig, MemorySystem};
+///
+/// let mut ctx = SimCtx::new();
+/// let mut mem = MemorySystem::new(&MemConfig::default());
+/// let mut iommu = Iommu::new(IommuConfig::default());
+/// iommu.attach_device(1);
+///
+/// let buf = mem.kmalloc(&mut ctx, 1500, "rx").unwrap();
+/// let m = dma_map_single(&mut ctx, &mut iommu, &mem.layout, 1, buf, 1500,
+///                        DmaDirection::FromDevice, "example").unwrap();
+/// // The IOVA keeps the buffer's in-page offset (footnote 5 of the paper).
+/// assert_eq!(m.iova.page_offset(), buf.page_offset());
+/// dma_unmap_single(&mut ctx, &mut iommu, &m).unwrap();
+/// ```
+#[allow(clippy::too_many_arguments)]
+pub fn dma_map_single(
+    ctx: &mut SimCtx,
+    iommu: &mut Iommu,
+    layout: &KernelLayout,
+    dev: DeviceId,
+    kva: Kva,
+    len: usize,
+    dir: DmaDirection,
+    site: &'static str,
+) -> Result<DmaMapping> {
+    let offset = kva.page_offset();
+    let pages = pages_spanned(offset, len).max(1);
+    let base_iova = iommu.alloc_iova(dev, pages)?;
+    let first_pfn = layout.kva_to_pfn(kva.page_align_down())?;
+    for i in 0..pages {
+        let page_iova = Iova(base_iova.raw() + (i * PAGE_SIZE) as u64);
+        iommu.map_page(dev, page_iova, first_pfn.add(i as u64), dir.access_right())?;
+        ctx.clock.advance(MAP_PAGE_CYCLES);
+    }
+    let iova = Iova(base_iova.raw() + offset as u64);
+    ctx.emit(Event::DmaMap {
+        at: ctx.clock.now(),
+        device: dev,
+        iova,
+        kva,
+        len,
+        dir,
+        site,
+    });
+    Ok(DmaMapping {
+        iova,
+        kva,
+        len,
+        dir,
+        pages,
+        device: dev,
+    })
+}
+
+/// `dma_unmap_single()`: releases a mapping created by
+/// [`dma_map_single`]. Whether the device actually loses access right
+/// away depends on the IOMMU's invalidation mode (§5.2.1).
+pub fn dma_unmap_single(ctx: &mut SimCtx, iommu: &mut Iommu, mapping: &DmaMapping) -> Result<()> {
+    iommu.unmap_range(ctx, mapping.device, mapping.iova_page_base(), mapping.pages)?;
+    ctx.emit(Event::DmaUnmap {
+        at: ctx.clock.now(),
+        device: mapping.device,
+        iova: mapping.iova,
+        len: mapping.len,
+    });
+    Ok(())
+}
+
+/// `dma_map_sg()`: maps a scatter/gather list, returning one mapping per
+/// segment (the analogous Linux call coalesces IOVA ranges; per-segment
+/// mappings expose the same pages).
+pub fn dma_map_sg(
+    ctx: &mut SimCtx,
+    iommu: &mut Iommu,
+    layout: &KernelLayout,
+    dev: DeviceId,
+    segments: &[(Kva, usize)],
+    dir: DmaDirection,
+    site: &'static str,
+) -> Result<Vec<DmaMapping>> {
+    let mut out = Vec::with_capacity(segments.len());
+    for &(kva, len) in segments {
+        out.push(dma_map_single(
+            ctx, iommu, layout, dev, kva, len, dir, site,
+        )?);
+    }
+    Ok(out)
+}
+
+/// `dma_unmap_sg()`.
+pub fn dma_unmap_sg(ctx: &mut SimCtx, iommu: &mut Iommu, mappings: &[DmaMapping]) -> Result<()> {
+    for m in mappings {
+        dma_unmap_single(ctx, iommu, m)?;
+    }
+    Ok(())
+}
+
+/// A coalesced scatter/gather mapping: one contiguous IOVA range over
+/// physically discontiguous, page-aligned segments.
+#[derive(Clone, Debug)]
+pub struct SgMapping {
+    /// Base IOVA of the contiguous range.
+    pub iova: Iova,
+    /// Total pages mapped.
+    pub pages: usize,
+    /// (IOVA, original segment) per segment, in order.
+    pub segments: Vec<(Iova, Kva, usize)>,
+    /// Owning device.
+    pub device: DeviceId,
+}
+
+/// `dma_map_sg()` with IOVA coalescing — the IOMMU's *original* purpose
+/// (§2.2): "allow devices that did not support vectored I/O to access
+/// contiguous virtual memory that may map non-contiguous physical
+/// memory". Every segment must be page-aligned (as Linux requires for
+/// this optimization); the device sees one linear range.
+pub fn dma_map_sg_coalesced(
+    ctx: &mut SimCtx,
+    iommu: &mut Iommu,
+    layout: &KernelLayout,
+    dev: DeviceId,
+    segments: &[(Kva, usize)],
+    dir: DmaDirection,
+    site: &'static str,
+) -> Result<SgMapping> {
+    if segments.is_empty() {
+        return Err(dma_core::DmaError::InvalidAlloc(0));
+    }
+    let mut total_pages = 0usize;
+    for &(kva, len) in segments {
+        if !kva.is_page_aligned() || len == 0 {
+            return Err(dma_core::DmaError::InvalidAlloc(len));
+        }
+        total_pages += pages_spanned(0, len);
+    }
+    let base = iommu.alloc_iova(dev, total_pages)?;
+    let mut cursor = base;
+    let mut out_segments = Vec::with_capacity(segments.len());
+    for &(kva, len) in segments {
+        let first_pfn = layout.kva_to_pfn(kva)?;
+        let npages = pages_spanned(0, len);
+        for i in 0..npages {
+            iommu.map_page(
+                dev,
+                Iova(cursor.raw() + (i * PAGE_SIZE) as u64),
+                first_pfn.add(i as u64),
+                dir.access_right(),
+            )?;
+            ctx.clock.advance(MAP_PAGE_CYCLES);
+        }
+        out_segments.push((cursor, kva, len));
+        cursor = Iova(cursor.raw() + (npages * PAGE_SIZE) as u64);
+    }
+    ctx.emit(Event::DmaMap {
+        at: ctx.clock.now(),
+        device: dev,
+        iova: base,
+        kva: segments[0].0,
+        len: total_pages * PAGE_SIZE,
+        dir,
+        site,
+    });
+    Ok(SgMapping {
+        iova: base,
+        pages: total_pages,
+        segments: out_segments,
+        device: dev,
+    })
+}
+
+/// Unmaps a coalesced SG mapping.
+pub fn dma_unmap_sg_coalesced(ctx: &mut SimCtx, iommu: &mut Iommu, m: &SgMapping) -> Result<()> {
+    iommu.unmap_range(ctx, m.device, m.iova, m.pages)?;
+    ctx.emit(Event::DmaUnmap {
+        at: ctx.clock.now(),
+        device: m.device,
+        iova: m.iova,
+        len: m.pages * PAGE_SIZE,
+    });
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::iommu::{InvalidationMode, IommuConfig};
+    use dma_core::{AccessRight, DmaError};
+    use sim_mem::{MemConfig, MemorySystem};
+
+    fn setup() -> (SimCtx, MemorySystem, Iommu) {
+        let ctx = SimCtx::new();
+        let mem = MemorySystem::new(&MemConfig::default());
+        let mut iommu = Iommu::new(IommuConfig {
+            mode: InvalidationMode::Strict,
+            ..Default::default()
+        });
+        iommu.attach_device(1);
+        (ctx, mem, iommu)
+    }
+
+    #[test]
+    fn iova_preserves_page_offset() {
+        // Footnote 5: the low 12 bits of the IOVA equal the KVA's.
+        let (mut ctx, mut mem, mut iommu) = setup();
+        let kva = mem.kmalloc(&mut ctx, 1500, "rx").unwrap();
+        let m = dma_map_single(
+            &mut ctx,
+            &mut iommu,
+            &mem.layout,
+            1,
+            kva,
+            1500,
+            DmaDirection::FromDevice,
+            "t",
+        )
+        .unwrap();
+        assert_eq!(m.iova.page_offset(), kva.page_offset());
+    }
+
+    #[test]
+    fn sub_page_buffer_exposes_whole_page() {
+        // Map 64 bytes; the device can write anywhere on the page,
+        // including a co-located neighbour object.
+        let (mut ctx, mut mem, mut iommu) = setup();
+        let a = mem.kmalloc(&mut ctx, 64, "io").unwrap();
+        let b = mem.kmalloc(&mut ctx, 64, "victim").unwrap();
+        assert_eq!(a.page_align_down(), b.page_align_down());
+        let m = dma_map_single(
+            &mut ctx,
+            &mut iommu,
+            &mem.layout,
+            1,
+            a,
+            64,
+            DmaDirection::FromDevice,
+            "t",
+        )
+        .unwrap();
+        // Device overwrites the *victim* through the I/O buffer's mapping.
+        let delta = b - a;
+        let victim_iova = Iova(m.iova.raw() + delta);
+        iommu
+            .dev_write(&mut ctx, &mut mem.phys, 1, victim_iova, b"pwn")
+            .unwrap();
+        let mut buf = [0u8; 3];
+        mem.cpu_read(&mut ctx, b, &mut buf, "t").unwrap();
+        assert_eq!(&buf, b"pwn");
+    }
+
+    #[test]
+    fn straddling_buffer_maps_two_pages() {
+        let (mut ctx, mut mem, mut iommu) = setup();
+        // Craft a buffer near the end of a page with a large kmalloc.
+        let base = mem.kmalloc(&mut ctx, 8192, "big").unwrap();
+        let kva = Kva(base.raw() + 4000);
+        let m = dma_map_single(
+            &mut ctx,
+            &mut iommu,
+            &mem.layout,
+            1,
+            kva,
+            200,
+            DmaDirection::ToDevice,
+            "t",
+        )
+        .unwrap();
+        assert_eq!(m.pages, 2);
+        assert_eq!(iommu.mapped_pages(1), 2);
+        dma_unmap_single(&mut ctx, &mut iommu, &m).unwrap();
+        assert_eq!(iommu.mapped_pages(1), 0);
+    }
+
+    #[test]
+    fn direction_controls_device_rights() {
+        let (mut ctx, mut mem, mut iommu) = setup();
+        let tx = mem.kmalloc(&mut ctx, 256, "tx").unwrap();
+        let m = dma_map_single(
+            &mut ctx,
+            &mut iommu,
+            &mem.layout,
+            1,
+            tx,
+            256,
+            DmaDirection::ToDevice,
+            "t",
+        )
+        .unwrap();
+        let mut b = [0u8; 8];
+        iommu
+            .dev_read(&mut ctx, &mem.phys, 1, m.iova, &mut b)
+            .unwrap();
+        assert!(matches!(
+            iommu.dev_write(&mut ctx, &mut mem.phys, 1, m.iova, b"x"),
+            Err(DmaError::IommuPermission { .. })
+        ));
+    }
+
+    #[test]
+    fn two_mappings_of_one_page_are_both_live() {
+        // Type (c) through the DMA API itself: two sub-page buffers on one
+        // page, two mappings, two IOVAs → one frame.
+        let (mut ctx, mut mem, mut iommu) = setup();
+        let a = mem.page_frag_alloc(&mut ctx, 2048, "rx").unwrap();
+        let b = mem.page_frag_alloc(&mut ctx, 2048, "rx").unwrap();
+        assert_eq!(a.page_align_down(), b.page_align_down());
+        let ma = dma_map_single(
+            &mut ctx,
+            &mut iommu,
+            &mem.layout,
+            1,
+            a,
+            2048,
+            DmaDirection::FromDevice,
+            "t",
+        )
+        .unwrap();
+        let mb = dma_map_single(
+            &mut ctx,
+            &mut iommu,
+            &mem.layout,
+            1,
+            b,
+            2048,
+            DmaDirection::FromDevice,
+            "t",
+        )
+        .unwrap();
+        let pfn = mem.layout.kva_to_pfn(a).unwrap();
+        assert_eq!(iommu.iovas_of(1, pfn).len(), 2);
+        // Unmap one; the frame is still writable via the other.
+        dma_unmap_single(&mut ctx, &mut iommu, &ma).unwrap();
+        iommu
+            .dev_write(&mut ctx, &mut mem.phys, 1, mb.iova, b"still")
+            .unwrap();
+        let _ = AccessRight::Write;
+    }
+
+    #[test]
+    fn sg_maps_each_segment() {
+        let (mut ctx, mut mem, mut iommu) = setup();
+        let s1 = mem.kmalloc(&mut ctx, 512, "s1").unwrap();
+        let s2 = mem.kmalloc(&mut ctx, 1024, "s2").unwrap();
+        let ms = dma_map_sg(
+            &mut ctx,
+            &mut iommu,
+            &mem.layout,
+            1,
+            &[(s1, 512), (s2, 1024)],
+            DmaDirection::ToDevice,
+            "t",
+        )
+        .unwrap();
+        assert_eq!(ms.len(), 2);
+        dma_unmap_sg(&mut ctx, &mut iommu, &ms).unwrap();
+        assert_eq!(iommu.mapped_pages(1), 0);
+    }
+
+    #[test]
+    fn coalesced_sg_is_linear_for_the_device() {
+        // §2.2: discontiguous physical pages appear as one contiguous
+        // IOVA range.
+        let (mut ctx, mut mem, mut iommu) = setup();
+        // Two page-aligned buffers far apart physically.
+        let p1 = mem.alloc_pages(&mut ctx, 0, "sg1").unwrap();
+        let _gap = mem.alloc_pages(&mut ctx, 0, "gap").unwrap();
+        let p2 = mem.alloc_pages(&mut ctx, 0, "sg2").unwrap();
+        let k1 = mem.layout.pfn_to_kva(p1).unwrap();
+        let k2 = mem.layout.pfn_to_kva(p2).unwrap();
+        assert_ne!(p1.add(1), p2, "segments must be physically discontiguous");
+        mem.cpu_write(&mut ctx, k1, b"first-page....", "t").unwrap();
+        mem.cpu_write(&mut ctx, k2, b"second-page...", "t").unwrap();
+
+        let sg = dma_map_sg_coalesced(
+            &mut ctx,
+            &mut iommu,
+            &mem.layout,
+            1,
+            &[(k1, PAGE_SIZE), (k2, PAGE_SIZE)],
+            DmaDirection::ToDevice,
+            "sg",
+        )
+        .unwrap();
+        assert_eq!(sg.pages, 2);
+        // A single linear device read crosses the physical gap invisibly.
+        let mut buf = vec![0u8; PAGE_SIZE + 14];
+        iommu
+            .dev_read(&mut ctx, &mem.phys, 1, sg.iova, &mut buf)
+            .unwrap();
+        assert_eq!(&buf[..11], b"first-page.");
+        assert_eq!(&buf[PAGE_SIZE..PAGE_SIZE + 11], b"second-page");
+        dma_unmap_sg_coalesced(&mut ctx, &mut iommu, &sg).unwrap();
+        assert_eq!(iommu.mapped_pages(1), 0);
+    }
+
+    #[test]
+    fn coalesced_sg_rejects_unaligned_segments() {
+        let (mut ctx, mut mem, mut iommu) = setup();
+        let k = mem.kmalloc(&mut ctx, 100, "x").unwrap();
+        let unaligned = Kva(k.raw() | 0x10);
+        assert!(dma_map_sg_coalesced(
+            &mut ctx,
+            &mut iommu,
+            &mem.layout,
+            1,
+            &[(unaligned, 64)],
+            DmaDirection::ToDevice,
+            "sg",
+        )
+        .is_err());
+        assert!(dma_map_sg_coalesced(
+            &mut ctx,
+            &mut iommu,
+            &mem.layout,
+            1,
+            &[],
+            DmaDirection::ToDevice,
+            "sg",
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn map_emits_trace_event() {
+        let (_, mut mem, mut iommu) = setup();
+        let mut ctx = SimCtx::traced();
+        let kva = mem.kmalloc(&mut ctx, 100, "rx").unwrap();
+        let _ = dma_map_single(
+            &mut ctx,
+            &mut iommu,
+            &mem.layout,
+            1,
+            kva,
+            100,
+            DmaDirection::FromDevice,
+            "my_driver_rx",
+        )
+        .unwrap();
+        assert!(ctx.trace.events().iter().any(|e| matches!(
+            e,
+            Event::DmaMap {
+                site: "my_driver_rx",
+                ..
+            }
+        )));
+    }
+}

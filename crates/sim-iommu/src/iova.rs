@@ -1,0 +1,166 @@
+//! The per-domain IOVA allocator.
+//!
+//! Linux's `iova` rbtree allocator hands out ranges top-down from the end
+//! of the device's addressable space and caches freed ranges per size for
+//! fast reuse. We model exactly that: a descending bump pointer plus
+//! per-size free stacks. The reuse behaviour matters: after a deferred
+//! flush, recycled IOVAs are handed to new mappings, which is why stale
+//! IOTLB entries are dangerous.
+
+#[cfg(test)]
+use dma_core::PAGE_SIZE;
+use dma_core::{DmaError, Iova, Result, PAGE_SHIFT};
+use std::collections::HashMap;
+
+/// Top of the default 32-bit IOVA window Linux prefers for legacy reasons.
+pub const DEFAULT_IOVA_TOP: u64 = 1 << 32;
+/// Bottom of the allocatable window (never hand out IOVA 0).
+pub const DEFAULT_IOVA_BOTTOM: u64 = 1 << 20;
+
+/// Allocates page-granular IOVA ranges for one domain.
+#[derive(Debug)]
+pub struct IovaAllocator {
+    /// Next (exclusive) top for fresh descending allocations.
+    cursor: u64,
+    bottom: u64,
+    /// Freed ranges by page count, reused LIFO.
+    free: HashMap<usize, Vec<u64>>,
+    /// Ranges currently held: base → page count.
+    live: HashMap<u64, usize>,
+}
+
+impl Default for IovaAllocator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl IovaAllocator {
+    /// Creates an allocator over the default window.
+    pub fn new() -> Self {
+        IovaAllocator {
+            cursor: DEFAULT_IOVA_TOP,
+            bottom: DEFAULT_IOVA_BOTTOM,
+            free: HashMap::new(),
+            live: HashMap::new(),
+        }
+    }
+
+    /// Allocates `pages` contiguous IOVA pages, returning the base.
+    pub fn alloc(&mut self, pages: usize) -> Result<Iova> {
+        if pages == 0 {
+            return Err(DmaError::InvalidAlloc(0));
+        }
+        if let Some(base) = self.free.get_mut(&pages).and_then(|v| v.pop()) {
+            self.live.insert(base, pages);
+            return Ok(Iova(base));
+        }
+        let span = (pages as u64) << PAGE_SHIFT;
+        let base = self
+            .cursor
+            .checked_sub(span)
+            .filter(|&b| b >= self.bottom)
+            .ok_or(DmaError::OutOfIova)?;
+        self.cursor = base;
+        self.live.insert(base, pages);
+        Ok(Iova(base))
+    }
+
+    /// Returns a range for reuse. `base` must be a value returned by
+    /// [`Self::alloc`] that is still live.
+    pub fn free(&mut self, base: Iova, pages: usize) -> Result<()> {
+        match self.live.remove(&base.raw()) {
+            Some(n) if n == pages => {
+                self.free.entry(pages).or_default().push(base.raw());
+                Ok(())
+            }
+            Some(n) => {
+                // Size mismatch: restore and report.
+                self.live.insert(base.raw(), n);
+                Err(DmaError::BadFree(base.raw()))
+            }
+            None => Err(DmaError::BadFree(base.raw())),
+        }
+    }
+
+    /// Number of live ranges.
+    pub fn live_ranges(&self) -> usize {
+        self.live.len()
+    }
+
+    /// `true` if `base` is a live range returned by [`Self::alloc`].
+    pub fn is_live(&self, base: Iova) -> bool {
+        self.live.contains_key(&base.raw())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocations_descend_and_are_page_aligned() {
+        let mut a = IovaAllocator::new();
+        let x = a.alloc(1).unwrap();
+        let y = a.alloc(2).unwrap();
+        assert!(y < x);
+        assert_eq!(x - y, 2 * PAGE_SIZE as u64);
+        assert!(x.is_page_aligned());
+        assert!(y.is_page_aligned());
+    }
+
+    #[test]
+    fn freed_range_is_reused_for_same_size() {
+        let mut a = IovaAllocator::new();
+        let x = a.alloc(3).unwrap();
+        a.free(x, 3).unwrap();
+        let y = a.alloc(3).unwrap();
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn freed_range_not_reused_for_other_size() {
+        let mut a = IovaAllocator::new();
+        let x = a.alloc(3).unwrap();
+        a.free(x, 3).unwrap();
+        let y = a.alloc(2).unwrap();
+        assert_ne!(x, y);
+    }
+
+    #[test]
+    fn bad_frees_rejected() {
+        let mut a = IovaAllocator::new();
+        let x = a.alloc(2).unwrap();
+        assert!(a.free(Iova(x.raw() + PAGE_SIZE as u64), 2).is_err());
+        assert!(a.free(x, 1).is_err());
+        a.free(x, 2).unwrap();
+        assert!(a.free(x, 2).is_err());
+    }
+
+    #[test]
+    fn exhaustion_reported() {
+        let mut a = IovaAllocator::new();
+        // Drain the whole window in 1 GiB chunks (2^18 pages each).
+        let mut n = 0;
+        loop {
+            match a.alloc(1 << 18) {
+                Ok(_) => n += 1,
+                Err(DmaError::OutOfIova) => break,
+                Err(e) => panic!("unexpected {e}"),
+            }
+        }
+        assert!(n >= 3, "window should fit a few GiB-sized ranges, got {n}");
+        assert!(a.alloc(1 << 18).is_err());
+        // Small allocations may still fail too once the cursor is pinned.
+        let small = a.alloc(1);
+        if let Ok(_small) = small {
+            // Acceptable: tail space below the last GiB chunk.
+        }
+    }
+
+    #[test]
+    fn zero_pages_rejected() {
+        let mut a = IovaAllocator::new();
+        assert!(a.alloc(0).is_err());
+    }
+}

@@ -1,0 +1,36 @@
+//! A simulated IOMMU in the style of Intel VT-d, as used by Linux.
+//!
+//! The three properties the paper's attacks rest on are all first-class
+//! here:
+//!
+//! 1. **Page granularity** (§3.2): protection is per 4 KiB page. Mapping
+//!    any buffer exposes every byte of every page it touches.
+//! 2. **Deferred IOTLB invalidation** (§5.2.1, Figure 6): in the default
+//!    *deferred* mode, `dma_unmap` clears the page-table entry but the
+//!    IOTLB keeps serving the stale translation until the next periodic
+//!    global flush (up to 10 ms later).
+//! 3. **Multiple IOVAs per page** (type (c), Figure 1): nothing stops two
+//!    live mappings from naming the same frame; unmapping one does not
+//!    revoke the other.
+//!
+//! Modules:
+//! - [`pagetable`] — a 4-level radix page table with per-entry rights.
+//! - [`iova`] — the per-domain IOVA range allocator (top-down, like
+//!   Linux's caching allocator).
+//! - [`iotlb`] — the translation cache and both invalidation policies.
+//! - [`iommu`] — the [`Iommu`] façade: domains, translation, the device
+//!   DMA access path, and fault reporting.
+//! - [`dma_api`] — the Linux DMA API surface drivers call
+//!   (`dma_map_single` & friends).
+
+pub mod dma_api;
+pub mod iommu;
+pub mod iotlb;
+pub mod iova;
+pub mod pagetable;
+
+pub use dma_api::{dma_map_sg_coalesced, dma_map_single, dma_unmap_single, DmaMapping, SgMapping};
+pub use iommu::{FaultRecord, InvalidationMode, Iommu, IommuConfig};
+pub use iotlb::Iotlb;
+pub use iova::IovaAllocator;
+pub use pagetable::IoPageTable;

@@ -1,0 +1,265 @@
+//! A 4-level radix I/O page table, structurally like VT-d second-level
+//! translation: 9 bits per level, 4 KiB leaves, per-leaf access rights.
+
+use dma_core::{AccessRight, DmaError, Iova, Pfn, Result, PAGE_SHIFT};
+
+const LEVEL_BITS: u32 = 9;
+const FANOUT: usize = 1 << LEVEL_BITS;
+/// Number of translation levels (48-bit IOVA space).
+pub const LEVELS: u32 = 4;
+
+/// A leaf translation: frame plus rights.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IoPte {
+    /// Target frame.
+    pub pfn: Pfn,
+    /// Rights recorded for the mapping.
+    pub right: AccessRight,
+}
+
+enum Node {
+    Table(Box<[Option<Node>; FANOUT]>),
+    Leaf(IoPte),
+}
+
+impl Node {
+    fn new_table() -> Node {
+        Node::Table(Box::new(std::array::from_fn(|_| None)))
+    }
+}
+
+impl std::fmt::Debug for Node {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Node::Table(_) => write!(f, "Table"),
+            Node::Leaf(pte) => write!(f, "Leaf({pte:?})"),
+        }
+    }
+}
+
+/// The page table of one IOMMU domain.
+#[derive(Debug, Default)]
+pub struct IoPageTable {
+    root: Option<Node>,
+    mapped_pages: usize,
+}
+
+fn index(iova: Iova, level: u32) -> usize {
+    ((iova.raw() >> (PAGE_SHIFT + LEVEL_BITS * level)) & (FANOUT as u64 - 1)) as usize
+}
+
+impl IoPageTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        IoPageTable::default()
+    }
+
+    /// Number of currently mapped pages.
+    pub fn mapped_pages(&self) -> usize {
+        self.mapped_pages
+    }
+
+    /// Installs a translation for the page containing `iova`.
+    ///
+    /// Fails with [`DmaError::AlreadyMapped`] if the page already has one
+    /// (Linux never silently overwrites a live IOVA mapping).
+    pub fn map(&mut self, iova: Iova, pfn: Pfn, right: AccessRight) -> Result<()> {
+        let iova = iova.page_align_down();
+        let mut node = self.root.get_or_insert_with(Node::new_table);
+        for level in (1..LEVELS).rev() {
+            let idx = index(iova, level);
+            let Node::Table(slots) = node else {
+                return Err(DmaError::Invariant("leaf at interior level"));
+            };
+            node = slots[idx].get_or_insert_with(Node::new_table);
+        }
+        let Node::Table(slots) = node else {
+            return Err(DmaError::Invariant("leaf at interior level"));
+        };
+        let slot = &mut slots[index(iova, 0)];
+        if slot.is_some() {
+            return Err(DmaError::AlreadyMapped(iova.raw()));
+        }
+        *slot = Some(Node::Leaf(IoPte { pfn, right }));
+        self.mapped_pages += 1;
+        Ok(())
+    }
+
+    /// Removes the translation for the page containing `iova`, returning
+    /// the old entry.
+    pub fn unmap(&mut self, iova: Iova) -> Result<IoPte> {
+        let iova = iova.page_align_down();
+        let mut node = match &mut self.root {
+            Some(n) => n,
+            None => return Err(DmaError::NotMapped(iova.raw())),
+        };
+        for level in (1..LEVELS).rev() {
+            let idx = index(iova, level);
+            let Node::Table(slots) = node else {
+                return Err(DmaError::Invariant("leaf at interior level"));
+            };
+            node = match &mut slots[idx] {
+                Some(n) => n,
+                None => return Err(DmaError::NotMapped(iova.raw())),
+            };
+        }
+        let Node::Table(slots) = node else {
+            return Err(DmaError::Invariant("leaf at interior level"));
+        };
+        match slots[index(iova, 0)].take() {
+            Some(Node::Leaf(pte)) => {
+                self.mapped_pages -= 1;
+                Ok(pte)
+            }
+            Some(other) => {
+                slots[index(iova, 0)] = Some(other);
+                Err(DmaError::Invariant("table at leaf level"))
+            }
+            None => Err(DmaError::NotMapped(iova.raw())),
+        }
+    }
+
+    /// Walks the table for the page containing `iova`.
+    pub fn walk(&self, iova: Iova) -> Option<IoPte> {
+        let iova = iova.page_align_down();
+        let mut node = self.root.as_ref()?;
+        for level in (1..LEVELS).rev() {
+            let Node::Table(slots) = node else {
+                return None;
+            };
+            node = slots[index(iova, level)].as_ref()?;
+        }
+        let Node::Table(slots) = node else {
+            return None;
+        };
+        match slots[index(iova, 0)].as_ref()? {
+            Node::Leaf(pte) => Some(*pte),
+            Node::Table(_) => None,
+        }
+    }
+
+    /// Returns every live translation targeting `pfn` (used by tests and
+    /// D-KASAN's multiple-map detection).
+    pub fn iovas_of(&self, pfn: Pfn) -> Vec<(Iova, AccessRight)> {
+        let mut out = Vec::new();
+        if let Some(root) = &self.root {
+            Self::collect(root, 0, LEVELS - 1, pfn, &mut out);
+        }
+        out
+    }
+
+    fn collect(node: &Node, prefix: u64, level: u32, pfn: Pfn, out: &mut Vec<(Iova, AccessRight)>) {
+        match node {
+            Node::Leaf(pte) => {
+                if pte.pfn == pfn {
+                    out.push((Iova(prefix), pte.right));
+                }
+            }
+            Node::Table(slots) => {
+                for (i, slot) in slots.iter().enumerate() {
+                    if let Some(child) = slot {
+                        let child_prefix =
+                            prefix | ((i as u64) << (PAGE_SHIFT + LEVEL_BITS * level));
+                        if level == 0 {
+                            Self::collect(child, child_prefix, 0, pfn, out);
+                        } else {
+                            Self::collect(child, child_prefix, level - 1, pfn, out);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dma_core::PAGE_SIZE;
+
+    #[test]
+    fn map_walk_unmap_roundtrip() {
+        let mut pt = IoPageTable::new();
+        let iova = Iova(0xffee_d000);
+        pt.map(iova, Pfn(0x42), AccessRight::Write).unwrap();
+        assert_eq!(pt.mapped_pages(), 1);
+        let pte = pt.walk(Iova(0xffee_d123)).unwrap();
+        assert_eq!(pte.pfn, Pfn(0x42));
+        assert_eq!(pte.right, AccessRight::Write);
+        let old = pt.unmap(iova).unwrap();
+        assert_eq!(old.pfn, Pfn(0x42));
+        assert_eq!(pt.mapped_pages(), 0);
+        assert!(pt.walk(iova).is_none());
+    }
+
+    #[test]
+    fn double_map_rejected() {
+        let mut pt = IoPageTable::new();
+        pt.map(Iova(0x1000), Pfn(1), AccessRight::Read).unwrap();
+        assert_eq!(
+            pt.map(Iova(0x1fff), Pfn(2), AccessRight::Read),
+            Err(DmaError::AlreadyMapped(0x1000))
+        );
+    }
+
+    #[test]
+    fn unmap_missing_rejected() {
+        let mut pt = IoPageTable::new();
+        assert_eq!(pt.unmap(Iova(0x5000)), Err(DmaError::NotMapped(0x5000)));
+        pt.map(Iova(0x5000), Pfn(1), AccessRight::Read).unwrap();
+        pt.unmap(Iova(0x5000)).unwrap();
+        assert_eq!(pt.unmap(Iova(0x5000)), Err(DmaError::NotMapped(0x5000)));
+    }
+
+    #[test]
+    fn distinct_pages_do_not_collide() {
+        let mut pt = IoPageTable::new();
+        // Spread across all 4 levels' index bits.
+        let iovas = [
+            0x0000_0000_0000_1000u64,
+            0x0000_0000_0020_1000,
+            0x0000_0000_4000_1000,
+            0x0000_7f00_0000_1000,
+            0x0000_7fff_ffff_f000,
+        ];
+        for (i, &v) in iovas.iter().enumerate() {
+            pt.map(Iova(v), Pfn(i as u64 + 1), AccessRight::Bidirectional)
+                .unwrap();
+        }
+        for (i, &v) in iovas.iter().enumerate() {
+            assert_eq!(
+                pt.walk(Iova(v)).unwrap().pfn,
+                Pfn(i as u64 + 1),
+                "iova {v:#x}"
+            );
+        }
+    }
+
+    #[test]
+    fn multiple_iovas_can_target_one_pfn() {
+        // The type (c) situation: two live IOVAs naming one frame.
+        let mut pt = IoPageTable::new();
+        pt.map(Iova(0x10000), Pfn(7), AccessRight::Write).unwrap();
+        pt.map(Iova(0x20000), Pfn(7), AccessRight::Write).unwrap();
+        let mut aliases = pt.iovas_of(Pfn(7));
+        aliases.sort();
+        assert_eq!(
+            aliases,
+            vec![
+                (Iova(0x10000), AccessRight::Write),
+                (Iova(0x20000), AccessRight::Write)
+            ]
+        );
+        // Unmapping one leaves the other usable.
+        pt.unmap(Iova(0x10000)).unwrap();
+        assert!(pt.walk(Iova(0x20000)).is_some());
+    }
+
+    #[test]
+    fn adjacent_pages_are_independent() {
+        let mut pt = IoPageTable::new();
+        pt.map(Iova(0x3000), Pfn(3), AccessRight::Read).unwrap();
+        assert!(pt.walk(Iova(0x3000 - PAGE_SIZE as u64)).is_none());
+        assert!(pt.walk(Iova(0x3000 + PAGE_SIZE as u64)).is_none());
+    }
+}

@@ -1,0 +1,344 @@
+//! The [`MemorySystem`] facade: KASLR layout + physical memory + the
+//! three allocators, with all CPU access routed through KVAs.
+//!
+//! Devices never touch this type directly; their accesses are brokered by
+//! the IOMMU in `sim-iommu`, which translates IOVAs to physical addresses
+//! and only then reads/writes [`PhysMemory`].
+
+use crate::buddy::BuddyAllocator;
+use crate::page_frag::PageFragAllocator;
+use crate::phys::PhysMemory;
+use crate::slab::KmallocCaches;
+use dma_core::{
+    DetRng, DmaError, Event, KernelLayout, Kva, Pfn, Result, SimCtx, PAGE_SHIFT, PAGE_SIZE,
+};
+
+/// Configuration of a simulated machine's memory.
+#[derive(Clone, Debug)]
+pub struct MemConfig {
+    /// Physical memory size in bytes.
+    pub phys_bytes: u64,
+    /// Number of CPUs (per-CPU allocator instances).
+    pub num_cpus: usize,
+    /// KASLR seed; `None` disables randomization.
+    pub kaslr_seed: Option<u64>,
+    /// Low frames reserved for the kernel image / firmware.
+    pub reserved_pages: u64,
+}
+
+impl Default for MemConfig {
+    fn default() -> Self {
+        MemConfig {
+            phys_bytes: 256 << 20,
+            num_cpus: 4,
+            kaslr_seed: None,
+            reserved_pages: 256,
+        }
+    }
+}
+
+/// A machine's memory: layout, backing store, and allocators.
+#[derive(Debug)]
+pub struct MemorySystem {
+    /// The (possibly randomized) kernel virtual-memory layout.
+    pub layout: KernelLayout,
+    /// Backing physical frames.
+    pub phys: PhysMemory,
+    /// Page allocator.
+    pub buddy: BuddyAllocator,
+    /// kmalloc caches.
+    pub kmalloc: KmallocCaches,
+    /// page_frag caches.
+    pub frag: PageFragAllocator,
+    /// Synthetic kernel text bytes, mapped read/execute-only at
+    /// `layout.text_base`.
+    text: Vec<u8>,
+    cur_cpu: usize,
+}
+
+impl MemorySystem {
+    /// Builds a memory system from `config`.
+    pub fn new(config: &MemConfig) -> Self {
+        let layout = match config.kaslr_seed {
+            Some(seed) => {
+                let mut rng = DetRng::new(seed);
+                KernelLayout::randomize(&mut rng, config.phys_bytes)
+            }
+            None => KernelLayout::identity(config.phys_bytes),
+        };
+        let end = Pfn(config.phys_bytes >> PAGE_SHIFT);
+        MemorySystem {
+            phys: PhysMemory::new(config.phys_bytes),
+            buddy: BuddyAllocator::new(Pfn(config.reserved_pages), end, config.num_cpus),
+            kmalloc: KmallocCaches::new(),
+            frag: PageFragAllocator::new(config.num_cpus),
+            text: vec![0; layout.text_size as usize],
+            layout,
+            cur_cpu: 0,
+        }
+    }
+
+    /// Installs synthetic kernel text bytes (the gadget corpus).
+    pub fn install_text(&mut self, bytes: &[u8]) {
+        let n = bytes.len().min(self.text.len());
+        self.text[..n].copy_from_slice(&bytes[..n]);
+    }
+
+    /// Read-only view of the kernel text section.
+    pub fn text(&self) -> &[u8] {
+        &self.text
+    }
+
+    /// Selects the CPU subsequent allocations are attributed to.
+    pub fn set_cpu(&mut self, cpu: usize) {
+        self.cur_cpu = cpu;
+    }
+
+    /// Currently selected CPU.
+    pub fn cpu(&self) -> usize {
+        self.cur_cpu
+    }
+
+    // ------------------------------------------------------------------
+    // Allocation API (Linux-shaped).
+    // ------------------------------------------------------------------
+
+    /// `alloc_pages()`: 2^order frames from the buddy allocator.
+    pub fn alloc_pages(&mut self, ctx: &mut SimCtx, order: u32, site: &'static str) -> Result<Pfn> {
+        self.buddy.alloc_pages(ctx, self.cur_cpu, order, site)
+    }
+
+    /// `__free_pages()`.
+    pub fn free_pages(&mut self, ctx: &mut SimCtx, pfn: Pfn, order: u32) -> Result<()> {
+        self.buddy.free_pages(ctx, self.cur_cpu, pfn, order)
+    }
+
+    /// `kmalloc()`.
+    pub fn kmalloc(&mut self, ctx: &mut SimCtx, size: usize, site: &'static str) -> Result<Kva> {
+        self.kmalloc.kmalloc(
+            ctx,
+            &mut self.phys,
+            &mut self.buddy,
+            &self.layout,
+            self.cur_cpu,
+            size,
+            site,
+        )
+    }
+
+    /// `kzalloc()`: kmalloc + zero.
+    pub fn kzalloc(&mut self, ctx: &mut SimCtx, size: usize, site: &'static str) -> Result<Kva> {
+        let kva = self.kmalloc(ctx, size, site)?;
+        self.phys.zero(self.layout.kva_to_phys(kva)?, size)?;
+        Ok(kva)
+    }
+
+    /// `kfree()`.
+    pub fn kfree(&mut self, ctx: &mut SimCtx, kva: Kva) -> Result<()> {
+        self.kmalloc.kfree(
+            ctx,
+            &mut self.phys,
+            &mut self.buddy,
+            &self.layout,
+            self.cur_cpu,
+            kva,
+        )
+    }
+
+    /// `page_frag_alloc()` (used by `netdev_alloc_skb`/`napi_alloc_skb`).
+    pub fn page_frag_alloc(
+        &mut self,
+        ctx: &mut SimCtx,
+        size: usize,
+        site: &'static str,
+    ) -> Result<Kva> {
+        self.frag
+            .alloc(ctx, &mut self.buddy, &self.layout, self.cur_cpu, size, site)
+    }
+
+    /// `page_frag_free()` (a.k.a. `skb_free_frag`).
+    pub fn page_frag_free(&mut self, ctx: &mut SimCtx, kva: Kva) -> Result<()> {
+        self.frag
+            .free(ctx, &mut self.buddy, &self.layout, self.cur_cpu, kva)
+    }
+
+    // ------------------------------------------------------------------
+    // CPU access path (by KVA).
+    // ------------------------------------------------------------------
+
+    /// CPU load of `buf.len()` bytes at `kva`.
+    ///
+    /// Direct-map reads hit physical memory; text reads hit the synthetic
+    /// text section. Emits a `CpuAccess` event when tracing is on.
+    pub fn cpu_read(
+        &self,
+        ctx: &mut SimCtx,
+        kva: Kva,
+        buf: &mut [u8],
+        site: &'static str,
+    ) -> Result<()> {
+        if self.layout.in_text(kva) {
+            let off = (kva.raw() - self.layout.text_base.raw()) as usize;
+            let end = off
+                .checked_add(buf.len())
+                .ok_or(DmaError::NotDirectMap(kva.raw()))?;
+            if end > self.text.len() {
+                return Err(DmaError::NotDirectMap(kva.raw()));
+            }
+            buf.copy_from_slice(&self.text[off..end]);
+        } else {
+            let pa = self.layout.kva_to_phys(kva)?;
+            self.phys.read(pa, buf)?;
+        }
+        ctx.emit(Event::CpuAccess {
+            at: ctx.clock.now(),
+            kva,
+            len: buf.len(),
+            write: false,
+            site,
+        });
+        Ok(())
+    }
+
+    /// CPU store of `buf` at `kva`. Kernel text is write-protected (W^X).
+    pub fn cpu_write(
+        &mut self,
+        ctx: &mut SimCtx,
+        kva: Kva,
+        buf: &[u8],
+        site: &'static str,
+    ) -> Result<()> {
+        if self.layout.in_text(kva) {
+            return Err(DmaError::CpuFault("write to read-only kernel text"));
+        }
+        let pa = self.layout.kva_to_phys(kva)?;
+        self.phys.write(pa, buf)?;
+        ctx.emit(Event::CpuAccess {
+            at: ctx.clock.now(),
+            kva,
+            len: buf.len(),
+            write: true,
+            site,
+        });
+        Ok(())
+    }
+
+    /// CPU load of a little-endian u64.
+    pub fn cpu_read_u64(&self, ctx: &mut SimCtx, kva: Kva, site: &'static str) -> Result<u64> {
+        let mut b = [0u8; 8];
+        self.cpu_read(ctx, kva, &mut b, site)?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// CPU store of a little-endian u64.
+    pub fn cpu_write_u64(
+        &mut self,
+        ctx: &mut SimCtx,
+        kva: Kva,
+        v: u64,
+        site: &'static str,
+    ) -> Result<()> {
+        self.cpu_write(ctx, kva, &v.to_le_bytes(), site)
+    }
+
+    /// Number of whole pages of physical memory.
+    pub fn num_pages(&self) -> u64 {
+        self.phys.size() / PAGE_SIZE as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk() -> (SimCtx, MemorySystem) {
+        (SimCtx::new(), MemorySystem::new(&MemConfig::default()))
+    }
+
+    #[test]
+    fn kmalloc_roundtrip_through_cpu_access() {
+        let (mut ctx, mut m) = mk();
+        let k = m.kmalloc(&mut ctx, 100, "t").unwrap();
+        m.cpu_write(&mut ctx, k, b"payload", "t").unwrap();
+        let mut buf = [0u8; 7];
+        m.cpu_read(&mut ctx, k, &mut buf, "t").unwrap();
+        assert_eq!(&buf, b"payload");
+        m.kfree(&mut ctx, k).unwrap();
+    }
+
+    #[test]
+    fn kzalloc_zeroes() {
+        let (mut ctx, mut m) = mk();
+        let k = m.kmalloc(&mut ctx, 64, "t").unwrap();
+        m.cpu_write(&mut ctx, k, &[0xff; 64], "t").unwrap();
+        m.kfree(&mut ctx, k).unwrap();
+        let k2 = m.kzalloc(&mut ctx, 64, "t").unwrap();
+        assert_eq!(k, k2, "LIFO reuse expected");
+        let mut buf = [0u8; 64];
+        m.cpu_read(&mut ctx, k2, &mut buf, "t").unwrap();
+        assert_eq!(buf, [0u8; 64]);
+    }
+
+    #[test]
+    fn text_is_readable_but_not_writable() {
+        let (mut ctx, mut m) = mk();
+        m.install_text(&[0x90, 0x90, 0xc3]);
+        let t = m.layout.text_base;
+        let mut b = [0u8; 3];
+        m.cpu_read(&mut ctx, t, &mut b, "t").unwrap();
+        assert_eq!(b, [0x90, 0x90, 0xc3]);
+        assert_eq!(
+            m.cpu_write(&mut ctx, t, &[0; 1], "t"),
+            Err(DmaError::CpuFault("write to read-only kernel text"))
+        );
+    }
+
+    #[test]
+    fn text_read_past_end_rejected() {
+        let (mut ctx, m) = mk();
+        let near_end = Kva(m.layout.text_base.raw() + m.layout.text_size - 4);
+        let mut b = [0u8; 8];
+        assert!(m.cpu_read(&mut ctx, near_end, &mut b, "t").is_err());
+    }
+
+    #[test]
+    fn kaslr_seed_changes_layout() {
+        let a = MemorySystem::new(&MemConfig {
+            kaslr_seed: Some(1),
+            ..Default::default()
+        });
+        let b = MemorySystem::new(&MemConfig {
+            kaslr_seed: Some(2),
+            ..Default::default()
+        });
+        let c = MemorySystem::new(&MemConfig {
+            kaslr_seed: Some(1),
+            ..Default::default()
+        });
+        assert_eq!(a.layout, c.layout);
+        assert_ne!(a.layout, b.layout);
+    }
+
+    #[test]
+    fn vmalloc_kva_rejected_by_cpu_path() {
+        let (mut ctx, m) = mk();
+        let mut b = [0u8; 4];
+        assert!(m
+            .cpu_read(
+                &mut ctx,
+                Kva(dma_core::layout::VmRegion::Vmalloc.start()),
+                &mut b,
+                "t"
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn reserved_pages_never_allocated() {
+        let (mut ctx, mut m) = mk();
+        for _ in 0..100 {
+            let p = m.alloc_pages(&mut ctx, 0, "t").unwrap();
+            assert!(p.raw() >= MemConfig::default().reserved_pages);
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Property-based tests for the allocators: no-overlap, conservation,
+//! and crash-freedom under arbitrary alloc/free interleavings.
+
+use dma_core::{Pfn, SimCtx, PAGE_SIZE};
+use proptest::prelude::*;
+use sim_mem::{MemConfig, MemorySystem};
+use std::collections::HashSet;
+
+fn mem() -> (SimCtx, MemorySystem) {
+    (
+        SimCtx::new(),
+        MemorySystem::new(&MemConfig {
+            phys_bytes: 64 << 20,
+            ..Default::default()
+        }),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn buddy_blocks_never_overlap(ops in proptest::collection::vec((0u32..4, any::<bool>()), 1..120)) {
+        let (mut ctx, mut m) = mem();
+        let mut live: Vec<(Pfn, u32)> = Vec::new();
+        for (order, do_free) in ops {
+            if do_free && !live.is_empty() {
+                let (pfn, o) = live.swap_remove(0);
+                m.free_pages(&mut ctx, pfn, o).unwrap();
+            } else if let Ok(pfn) = m.alloc_pages(&mut ctx, order, "prop") {
+                live.push((pfn, order));
+            }
+        }
+        // No two live blocks may share a frame.
+        let mut frames = HashSet::new();
+        for (pfn, order) in &live {
+            for i in 0..(1u64 << order) {
+                prop_assert!(frames.insert(pfn.raw() + i), "frame {:#x} double-allocated", pfn.raw() + i);
+            }
+        }
+    }
+
+    #[test]
+    fn buddy_conserves_free_pages(orders in proptest::collection::vec(0u32..5, 1..60)) {
+        let (mut ctx, mut m) = mem();
+        let before = m.buddy.free_page_count();
+        let allocs: Vec<(Pfn, u32)> = orders
+            .iter()
+            .filter_map(|&o| m.alloc_pages(&mut ctx, o, "prop").ok().map(|p| (p, o)))
+            .collect();
+        let held: u64 = allocs.iter().map(|(_, o)| 1u64 << o).sum();
+        prop_assert_eq!(m.buddy.free_page_count(), before - held);
+        for (p, o) in allocs {
+            m.free_pages(&mut ctx, p, o).unwrap();
+        }
+        prop_assert_eq!(m.buddy.free_page_count(), before);
+    }
+
+    #[test]
+    fn kmalloc_objects_never_overlap(sizes in proptest::collection::vec(1usize..4096, 1..150)) {
+        let (mut ctx, mut m) = mem();
+        let mut spans: Vec<(u64, u64)> = Vec::new();
+        for size in sizes {
+            let k = m.kmalloc(&mut ctx, size, "prop").unwrap();
+            let class = sim_mem::KmallocCaches::size_class(size).unwrap() as u64;
+            for &(s, e) in &spans {
+                prop_assert!(k.raw() + class <= s || k.raw() >= e, "overlap at {k}");
+            }
+            spans.push((k.raw(), k.raw() + class));
+        }
+    }
+
+    #[test]
+    fn kmalloc_free_interleaving_is_sound(ops in proptest::collection::vec((1usize..2048, any::<bool>()), 1..200)) {
+        let (mut ctx, mut m) = mem();
+        let mut live = Vec::new();
+        for (size, do_free) in ops {
+            if do_free && !live.is_empty() {
+                let k = live.swap_remove(0);
+                m.kfree(&mut ctx, k).unwrap();
+            } else {
+                live.push(m.kmalloc(&mut ctx, size, "prop").unwrap());
+            }
+        }
+        // Everything still live is distinct.
+        let set: HashSet<u64> = live.iter().map(|k| k.raw()).collect();
+        prop_assert_eq!(set.len(), live.len());
+        for k in live {
+            m.kfree(&mut ctx, k).unwrap();
+        }
+    }
+
+    #[test]
+    fn kmalloc_data_is_isolated(sizes in proptest::collection::vec(8usize..512, 2..40)) {
+        // Writing each object's full class does not disturb the others.
+        let (mut ctx, mut m) = mem();
+        let objs: Vec<_> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| {
+                let k = m.kmalloc(&mut ctx, s, "prop").unwrap();
+                let fill = vec![i as u8 ^ 0x5a; s];
+                m.cpu_write(&mut ctx, k, &fill, "prop").unwrap();
+                (k, s, i as u8 ^ 0x5a)
+            })
+            .collect();
+        for (k, s, tag) in objs {
+            let mut buf = vec![0u8; s];
+            m.cpu_read(&mut ctx, k, &mut buf, "prop").unwrap();
+            prop_assert!(buf.iter().all(|&b| b == tag));
+        }
+    }
+
+    #[test]
+    fn page_frag_fragments_disjoint_and_aligned(sizes in proptest::collection::vec(64usize..4096, 1..80)) {
+        let (mut ctx, mut m) = mem();
+        let mut spans: Vec<(u64, u64)> = Vec::new();
+        for size in sizes {
+            let k = m.page_frag_alloc(&mut ctx, size, "prop").unwrap();
+            prop_assert_eq!(k.raw() % 64, 0);
+            for &(s, e) in &spans {
+                prop_assert!(k.raw() + size as u64 <= s || k.raw() >= e);
+            }
+            spans.push((k.raw(), k.raw() + size as u64));
+        }
+    }
+
+    #[test]
+    fn phys_memory_write_read_roundtrip(
+        addr in 0u64..((64 << 20) - 4096),
+        data in proptest::collection::vec(any::<u8>(), 1..256),
+    ) {
+        let (_, mut m) = mem();
+        m.phys.write(dma_core::PhysAddr(addr), &data).unwrap();
+        let mut back = vec![0u8; data.len()];
+        m.phys.read(dma_core::PhysAddr(addr), &mut back).unwrap();
+        prop_assert_eq!(back, data);
+    }
+
+    #[test]
+    fn size_class_is_monotone_and_covering(size in 1usize..8192) {
+        let class = sim_mem::KmallocCaches::size_class(size).unwrap();
+        prop_assert!(class >= size);
+        prop_assert!(sim_mem::SIZE_CLASSES.contains(&class));
+        // Minimality: no smaller class also fits.
+        for &c in sim_mem::SIZE_CLASSES.iter() {
+            if c < class {
+                prop_assert!(c < size);
+            }
+        }
+    }
+
+    #[test]
+    fn cross_page_cpu_access(off in 0usize..PAGE_SIZE, len in 1usize..512) {
+        let (mut ctx, mut m) = mem();
+        let base = m.kmalloc(&mut ctx, 8192, "prop").unwrap();
+        let kva = dma_core::Kva(base.raw() + off as u64);
+        let data = vec![0xabu8; len];
+        m.cpu_write(&mut ctx, kva, &data, "prop").unwrap();
+        let mut back = vec![0u8; len];
+        m.cpu_read(&mut ctx, kva, &mut back, "prop").unwrap();
+        prop_assert_eq!(back, data);
+    }
+}

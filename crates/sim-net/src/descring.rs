@@ -1,0 +1,276 @@
+//! The descriptor ring as *in-memory* state.
+//!
+//! Real NICs do not receive buffer addresses through a side channel: the
+//! driver writes descriptors — `{ IOVA, length, flags }` records — into
+//! a DMA-mapped ring in main memory, and the device *DMA-reads* them.
+//! This module models that honestly:
+//!
+//! - the ring is a kmalloc'd array, mapped BIDIRECTIONAL (the device
+//!   reads descriptors and writes back completion flags);
+//! - each descriptor is 16 bytes: IOVA (8), length (4), flags (4);
+//! - the device parses descriptors out of simulated memory through the
+//!   IOMMU, exactly as hardware would.
+//!
+//! Security-wise this is one more OS-metadata-on-a-mapped-page surface:
+//! a malicious device can rewrite its *own* descriptors — for example,
+//! inflating a buffer length so the driver later reads past the real
+//! allocation.
+
+use dma_core::trace::DeviceId;
+use dma_core::vuln::DmaDirection;
+use dma_core::{DmaError, Iova, Kva, Result, SimCtx};
+use sim_iommu::{dma_map_single, DmaMapping, Iommu};
+use sim_mem::MemorySystem;
+
+/// Bytes per descriptor.
+pub const DESC_SIZE: usize = 16;
+/// Flag: descriptor owned by the device (set by the driver on post).
+pub const FLAG_DEVICE_OWNED: u32 = 1;
+/// Flag: completion written back by the device.
+pub const FLAG_DONE: u32 = 2;
+
+/// One parsed descriptor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Descriptor {
+    /// Buffer IOVA.
+    pub iova: Iova,
+    /// Buffer length.
+    pub len: u32,
+    /// Ownership/completion flags.
+    pub flags: u32,
+}
+
+/// A DMA-mapped descriptor ring.
+#[derive(Debug)]
+pub struct DescRing {
+    /// KVA of the ring array.
+    pub base: Kva,
+    /// The ring's own DMA mapping.
+    pub mapping: DmaMapping,
+    /// Number of descriptor slots.
+    pub entries: usize,
+}
+
+impl DescRing {
+    /// Allocates and maps a ring of `entries` descriptors for `dev`.
+    pub fn new(
+        ctx: &mut SimCtx,
+        mem: &mut MemorySystem,
+        iommu: &mut Iommu,
+        dev: DeviceId,
+        entries: usize,
+    ) -> Result<Self> {
+        if entries == 0 {
+            return Err(DmaError::InvalidAlloc(0));
+        }
+        let bytes = entries * DESC_SIZE;
+        let base = mem.kzalloc(ctx, bytes, "nic_alloc_desc_ring")?;
+        let mapping = dma_map_single(
+            ctx,
+            iommu,
+            &mem.layout,
+            dev,
+            base,
+            bytes,
+            DmaDirection::Bidirectional,
+            "nic_map_desc_ring",
+        )?;
+        Ok(DescRing {
+            base,
+            mapping,
+            entries,
+        })
+    }
+
+    fn slot_kva(&self, idx: usize) -> Kva {
+        Kva(self.base.raw() + (idx * DESC_SIZE) as u64)
+    }
+
+    /// IOVA of slot `idx` (device side).
+    pub fn slot_iova(&self, idx: usize) -> Iova {
+        Iova(self.mapping.iova.raw() + (idx * DESC_SIZE) as u64)
+    }
+
+    /// Driver side: posts a descriptor into slot `idx` (CPU write into
+    /// the mapped ring memory).
+    pub fn post(
+        &self,
+        ctx: &mut SimCtx,
+        mem: &mut MemorySystem,
+        idx: usize,
+        d: Descriptor,
+    ) -> Result<()> {
+        if idx >= self.entries {
+            return Err(DmaError::Invariant("descriptor index out of range"));
+        }
+        let kva = self.slot_kva(idx);
+        mem.cpu_write_u64(ctx, kva, d.iova.raw(), "nic_post_desc")?;
+        let mut tail = [0u8; 8];
+        tail[0..4].copy_from_slice(&d.len.to_le_bytes());
+        tail[4..8].copy_from_slice(&d.flags.to_le_bytes());
+        mem.cpu_write(ctx, Kva(kva.raw() + 8), &tail, "nic_post_desc")
+    }
+
+    /// Driver side: reads a slot back (e.g. to check completion flags).
+    pub fn read_cpu(&self, ctx: &mut SimCtx, mem: &MemorySystem, idx: usize) -> Result<Descriptor> {
+        if idx >= self.entries {
+            return Err(DmaError::Invariant("descriptor index out of range"));
+        }
+        let kva = self.slot_kva(idx);
+        let iova = mem.cpu_read_u64(ctx, kva, "nic_read_desc")?;
+        let mut tail = [0u8; 8];
+        mem.cpu_read(ctx, Kva(kva.raw() + 8), &mut tail, "nic_read_desc")?;
+        Ok(Descriptor {
+            iova: Iova(iova),
+            len: u32::from_le_bytes(tail[0..4].try_into().expect("4")),
+            flags: u32::from_le_bytes(tail[4..8].try_into().expect("4")),
+        })
+    }
+
+    /// Device side: DMA-reads the descriptor in slot `idx` through the
+    /// IOMMU — how hardware actually learns buffer addresses.
+    pub fn read_device(
+        &self,
+        ctx: &mut SimCtx,
+        iommu: &mut Iommu,
+        mem: &MemorySystem,
+        dev: DeviceId,
+        idx: usize,
+    ) -> Result<Descriptor> {
+        if idx >= self.entries {
+            return Err(DmaError::Invariant("descriptor index out of range"));
+        }
+        let mut raw = [0u8; DESC_SIZE];
+        iommu.dev_read(ctx, &mem.phys, dev, self.slot_iova(idx), &mut raw)?;
+        Ok(Descriptor {
+            iova: Iova(u64::from_le_bytes(raw[0..8].try_into().expect("8"))),
+            len: u32::from_le_bytes(raw[8..12].try_into().expect("4")),
+            flags: u32::from_le_bytes(raw[12..16].try_into().expect("4")),
+        })
+    }
+
+    /// Device side: writes a completion back into the slot's flags.
+    pub fn complete_device(
+        &self,
+        ctx: &mut SimCtx,
+        iommu: &mut Iommu,
+        mem: &mut MemorySystem,
+        dev: DeviceId,
+        idx: usize,
+        written: u32,
+    ) -> Result<()> {
+        if idx >= self.entries {
+            return Err(DmaError::Invariant("descriptor index out of range"));
+        }
+        let slot = self.slot_iova(idx);
+        iommu.dev_write(
+            ctx,
+            &mut mem.phys,
+            dev,
+            Iova(slot.raw() + 8),
+            &written.to_le_bytes(),
+        )?;
+        iommu.dev_write(
+            ctx,
+            &mut mem.phys,
+            dev,
+            Iova(slot.raw() + 12),
+            &FLAG_DONE.to_le_bytes(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_iommu::{InvalidationMode, IommuConfig};
+    use sim_mem::MemConfig;
+
+    fn setup() -> (SimCtx, MemorySystem, Iommu, DescRing) {
+        let mut ctx = SimCtx::new();
+        let mut mem = MemorySystem::new(&MemConfig::default());
+        let mut iommu = Iommu::new(IommuConfig {
+            mode: InvalidationMode::Strict,
+            ..Default::default()
+        });
+        iommu.attach_device(1);
+        let ring = DescRing::new(&mut ctx, &mut mem, &mut iommu, 1, 64).unwrap();
+        (ctx, mem, iommu, ring)
+    }
+
+    #[test]
+    fn device_reads_what_the_driver_posted() {
+        let (mut ctx, mut mem, mut iommu, ring) = setup();
+        let d = Descriptor {
+            iova: Iova(0xffff_c000),
+            len: 2048,
+            flags: FLAG_DEVICE_OWNED,
+        };
+        ring.post(&mut ctx, &mut mem, 5, d).unwrap();
+        let got = ring.read_device(&mut ctx, &mut iommu, &mem, 1, 5).unwrap();
+        assert_eq!(got, d);
+    }
+
+    #[test]
+    fn completion_writeback_reaches_the_driver() {
+        let (mut ctx, mut mem, mut iommu, ring) = setup();
+        let d = Descriptor {
+            iova: Iova(0xffff_c000),
+            len: 2048,
+            flags: FLAG_DEVICE_OWNED,
+        };
+        ring.post(&mut ctx, &mut mem, 0, d).unwrap();
+        ring.complete_device(&mut ctx, &mut iommu, &mut mem, 1, 0, 1500)
+            .unwrap();
+        let got = ring.read_cpu(&mut ctx, &mem, 0).unwrap();
+        assert_eq!(got.len, 1500);
+        assert_eq!(got.flags, FLAG_DONE);
+    }
+
+    #[test]
+    fn device_can_rewrite_its_own_descriptors() {
+        // The attack surface: the ring is OS metadata on a mapped page.
+        // A malicious device inflates the posted length; the driver later
+        // trusts the descriptor it reads back.
+        let (mut ctx, mut mem, mut iommu, ring) = setup();
+        let d = Descriptor {
+            iova: Iova(0xffff_c000),
+            len: 1500,
+            flags: FLAG_DEVICE_OWNED,
+        };
+        ring.post(&mut ctx, &mut mem, 3, d).unwrap();
+        let slot = ring.slot_iova(3);
+        iommu
+            .dev_write(
+                &mut ctx,
+                &mut mem.phys,
+                1,
+                Iova(slot.raw() + 8),
+                &65535u32.to_le_bytes(),
+            )
+            .unwrap();
+        let got = ring.read_cpu(&mut ctx, &mem, 3).unwrap();
+        assert_eq!(got.len, 65535, "driver now believes the inflated length");
+    }
+
+    #[test]
+    fn out_of_range_slots_rejected() {
+        let (mut ctx, mut mem, mut iommu, ring) = setup();
+        let d = Descriptor {
+            iova: Iova(0),
+            len: 0,
+            flags: 0,
+        };
+        assert!(ring.post(&mut ctx, &mut mem, 64, d).is_err());
+        assert!(ring.read_cpu(&mut ctx, &mem, 64).is_err());
+        assert!(ring.read_device(&mut ctx, &mut iommu, &mem, 1, 64).is_err());
+    }
+
+    #[test]
+    fn foreign_device_cannot_read_the_ring() {
+        let (mut ctx, mut mem, mut iommu, ring) = setup();
+        iommu.attach_device(2);
+        assert!(ring.read_device(&mut ctx, &mut iommu, &mem, 2, 0).is_err());
+        let _ = &mut mem;
+    }
+}

@@ -1,0 +1,274 @@
+//! Generic Receive Offload (GRO).
+//!
+//! GRO converts multiple *linear* sk_buffs of one TCP stream into a
+//! single sk_buff with *fragments*: for each merged segment it writes a
+//! `skb_frag_t` — containing a **`struct page` pointer, a kernel
+//! address** — into the head skb's `skb_shared_info`, which lives on a
+//! DMA-mapped page.
+//!
+//! §5.5 / Figure 9: on a forwarding box, the attacker sends TCP segments,
+//! GRO fills `frags[]` with the pages holding *the attacker's own
+//! payload*, and the packet goes out TX with those kernel pointers
+//! readable by the device. That is the KVA leak that completes the
+//! Forward Thinking attack.
+
+use crate::packet::{FlowId, Packet, Proto};
+use crate::shinfo::{Frag, MAX_FRAGS};
+use crate::skb::SkBuff;
+use dma_core::{Result, SimCtx};
+use sim_mem::MemorySystem;
+use std::collections::HashMap;
+
+struct GroFlow {
+    head: SkBuff,
+    head_packet: Packet,
+    next_seq: u32,
+    merged: usize,
+}
+
+/// Per-NAPI GRO state.
+#[derive(Default)]
+pub struct GroEngine {
+    flows: HashMap<FlowId, GroFlow>,
+    /// Merge budget per head before an automatic flush (like
+    /// `MAX_GRO_SKBS` / gro_count limits).
+    pub max_merge: usize,
+}
+
+impl GroEngine {
+    /// Creates an engine with the default merge budget.
+    pub fn new() -> Self {
+        GroEngine {
+            flows: HashMap::new(),
+            max_merge: MAX_FRAGS,
+        }
+    }
+
+    /// `napi_gro_receive()`: offer a linear skb to GRO.
+    ///
+    /// Returns any skbs flushed up the stack by this call (each paired
+    /// with its parsed packet). The offered skb may be absorbed into a
+    /// flow head — its payload page is then referenced by a new frag
+    /// entry and its buffer ownership moves to the head.
+    pub fn receive(
+        &mut self,
+        ctx: &mut SimCtx,
+        mem: &mut MemorySystem,
+        skb: SkBuff,
+    ) -> Result<Vec<(Packet, SkBuff)>> {
+        let bytes = skb.payload(ctx, mem)?;
+        let Some(packet) = Packet::from_wire(&bytes) else {
+            // Unparseable: pass through untouched (the stack will drop it).
+            return Ok(vec![(Packet::udp(0, 0, bytes), skb)]);
+        };
+        let flow = packet.flow();
+
+        let Proto::Tcp { seq } = packet.proto else {
+            // UDP is never aggregated.
+            return Ok(vec![(packet, skb)]);
+        };
+
+        let mut out = Vec::new();
+        match self.flows.get_mut(&flow) {
+            Some(f) if seq == f.next_seq && f.merged < self.max_merge.min(MAX_FRAGS) => {
+                Self::merge(ctx, mem, f, &packet, skb)?;
+                return Ok(out);
+            }
+            Some(_) => {
+                // Out-of-order or full head: flush it, start fresh below.
+                let f = self.flows.remove(&flow).expect("checked present");
+                out.push((f.head_packet, f.head));
+            }
+            None => {}
+        }
+        let next_seq = seq.wrapping_add(packet.payload.len() as u32);
+        self.flows.insert(
+            flow,
+            GroFlow {
+                head: skb,
+                head_packet: packet,
+                next_seq,
+                merged: 0,
+            },
+        );
+        Ok(out)
+    }
+
+    fn merge(
+        ctx: &mut SimCtx,
+        mem: &mut MemorySystem,
+        f: &mut GroFlow,
+        packet: &Packet,
+        skb: SkBuff,
+    ) -> Result<()> {
+        // Frag entry describing the merged segment's payload *in place*:
+        // struct page of the payload's page + offset within it. This is
+        // the kernel-pointer write onto a device-visible page.
+        let payload_kva =
+            dma_core::Kva(skb.payload_kva().raw() + crate::packet::HEADER_SIZE as u64);
+        let payload_len = packet.payload.len() as u32;
+        let pfn = mem.layout.kva_to_pfn(payload_kva)?;
+        let page_ptr = mem.layout.pfn_to_page(pfn)?.raw();
+        let offset = payload_kva.page_offset() as u32;
+
+        let sh = f.head.shinfo();
+        let idx = sh.nr_frags(ctx, mem)? as usize;
+        sh.set_frag(
+            ctx,
+            mem,
+            idx,
+            Frag {
+                page: page_ptr,
+                offset,
+                size: payload_len,
+            },
+        )?;
+        sh.set_nr_frags(ctx, mem, (idx + 1) as u8)?;
+
+        // The head now owns the merged skb's buffer.
+        f.head.owned_frag_buffers.push((skb.data, skb.alloc));
+        f.head.owned_frag_buffers.extend(skb.owned_frag_buffers);
+        f.head_packet.payload.extend_from_slice(&packet.payload);
+        f.next_seq = f.next_seq.wrapping_add(payload_len);
+        f.merged += 1;
+        Ok(())
+    }
+
+    /// Flushes every held flow (end of a NAPI poll cycle).
+    pub fn flush_all(&mut self) -> Vec<(Packet, SkBuff)> {
+        self.flows
+            .drain()
+            .map(|(_, f)| (f.head_packet, f.head))
+            .collect()
+    }
+
+    /// Number of flows currently held.
+    pub fn held_flows(&self) -> usize {
+        self.flows.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::skb::netdev_alloc_skb;
+    use sim_mem::MemConfig;
+
+    fn mk() -> (SimCtx, MemorySystem, GroEngine) {
+        (
+            SimCtx::new(),
+            MemorySystem::new(&MemConfig::default()),
+            GroEngine::new(),
+        )
+    }
+
+    fn rx_skb(ctx: &mut SimCtx, mem: &mut MemorySystem, p: &Packet) -> SkBuff {
+        let mut skb = netdev_alloc_skb(ctx, mem, 1600).unwrap();
+        skb.put(ctx, mem, &p.to_wire()).unwrap();
+        skb
+    }
+
+    #[test]
+    fn consecutive_tcp_segments_merge_into_frags() {
+        let (mut ctx, mut mem, mut gro) = mk();
+        let p1 = Packet::tcp(1, 2, 0, vec![b'a'; 100]);
+        let p2 = Packet::tcp(1, 2, 100, vec![b'b'; 100]);
+        let p3 = Packet::tcp(1, 2, 200, vec![b'c'; 100]);
+        let s1 = rx_skb(&mut ctx, &mut mem, &p1);
+        let s2 = rx_skb(&mut ctx, &mut mem, &p2);
+        let s3 = rx_skb(&mut ctx, &mut mem, &p3);
+        assert!(gro.receive(&mut ctx, &mut mem, s1).unwrap().is_empty());
+        assert!(gro.receive(&mut ctx, &mut mem, s2).unwrap().is_empty());
+        assert!(gro.receive(&mut ctx, &mut mem, s3).unwrap().is_empty());
+        let flushed = gro.flush_all();
+        assert_eq!(flushed.len(), 1);
+        let (pkt, head) = &flushed[0];
+        assert_eq!(pkt.payload.len(), 300);
+        // Two frag entries were written into shared info — as vmemmap
+        // (struct page) kernel pointers.
+        let frags = head.shinfo().frags(&mut ctx, &mem).unwrap();
+        assert_eq!(frags.len(), 2);
+        for f in &frags {
+            assert_eq!(
+                dma_core::layout::VmRegion::classify(f.page),
+                Some(dma_core::layout::VmRegion::Vmemmap),
+                "frag page pointer must be a struct page address"
+            );
+            assert_eq!(f.size, 100);
+        }
+        assert_eq!(head.owned_frag_buffers.len(), 2);
+    }
+
+    #[test]
+    fn frag_points_at_the_segment_payload() {
+        let (mut ctx, mut mem, mut gro) = mk();
+        let p1 = Packet::tcp(1, 2, 0, vec![0xaa; 64]);
+        let p2 = Packet::tcp(1, 2, 64, vec![0xbb; 64]);
+        let s1 = rx_skb(&mut ctx, &mut mem, &p1);
+        let s2 = rx_skb(&mut ctx, &mut mem, &p2);
+        gro.receive(&mut ctx, &mut mem, s1).unwrap();
+        gro.receive(&mut ctx, &mut mem, s2).unwrap();
+        let (_, head) = gro.flush_all().pop().unwrap();
+        let f = head.shinfo().frag(&mut ctx, &mem, 0).unwrap();
+        // Resolve the frag back to a KVA and check the bytes.
+        let pfn = mem.layout.page_to_pfn(dma_core::Kva(f.page)).unwrap();
+        let kva = dma_core::Kva(mem.layout.pfn_to_kva(pfn).unwrap().raw() + f.offset as u64);
+        let mut buf = vec![0u8; f.size as usize];
+        mem.cpu_read(&mut ctx, kva, &mut buf, "t").unwrap();
+        assert_eq!(buf, vec![0xbb; 64]);
+    }
+
+    #[test]
+    fn udp_is_not_aggregated() {
+        let (mut ctx, mut mem, mut gro) = mk();
+        let p = Packet::udp(1, 2, vec![1, 2, 3]);
+        let s = rx_skb(&mut ctx, &mut mem, &p);
+        let out = gro.receive(&mut ctx, &mut mem, s).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, p);
+        assert_eq!(gro.held_flows(), 0);
+    }
+
+    #[test]
+    fn out_of_order_segment_flushes_head() {
+        let (mut ctx, mut mem, mut gro) = mk();
+        let p1 = Packet::tcp(1, 2, 0, vec![0; 50]);
+        let p_gap = Packet::tcp(1, 2, 999, vec![0; 50]);
+        let s1 = rx_skb(&mut ctx, &mut mem, &p1);
+        let sg = rx_skb(&mut ctx, &mut mem, &p_gap);
+        assert!(gro.receive(&mut ctx, &mut mem, s1).unwrap().is_empty());
+        let flushed = gro.receive(&mut ctx, &mut mem, sg).unwrap();
+        assert_eq!(flushed.len(), 1, "stale head must flush");
+        assert_eq!(flushed[0].0.payload.len(), 50);
+        assert_eq!(gro.held_flows(), 1, "gap segment becomes the new head");
+    }
+
+    #[test]
+    fn distinct_flows_do_not_merge() {
+        let (mut ctx, mut mem, mut gro) = mk();
+        for dst in 10..14 {
+            let p = Packet::tcp(1, dst, 0, vec![0; 10]);
+            let s = rx_skb(&mut ctx, &mut mem, &p);
+            assert!(gro.receive(&mut ctx, &mut mem, s).unwrap().is_empty());
+        }
+        assert_eq!(gro.held_flows(), 4);
+        assert_eq!(gro.flush_all().len(), 4);
+    }
+
+    #[test]
+    fn merge_budget_caps_frag_count() {
+        let (mut ctx, mut mem, mut gro) = mk();
+        gro.max_merge = 3;
+        let mut seq = 0u32;
+        let mut flushed_total = 0;
+        for _ in 0..10 {
+            let p = Packet::tcp(1, 2, seq, vec![0; 10]);
+            seq += 10;
+            let s = rx_skb(&mut ctx, &mut mem, &p);
+            flushed_total += gro.receive(&mut ctx, &mut mem, s).unwrap().len();
+        }
+        flushed_total += gro.flush_all().len();
+        // 10 segments, heads of 4 merges each (head + 3): ceil(10/4) heads.
+        assert_eq!(flushed_total, 3);
+    }
+}

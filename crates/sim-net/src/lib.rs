@@ -1,0 +1,42 @@
+//! A simulated Linux network-stack substrate.
+//!
+//! This is the subsystem the paper's compound attacks live in: 60 % of
+//! the DMA vulnerabilities SPADE finds trace back to Linux networking
+//! design choices (§5). The crate reproduces those choices byte-for-byte
+//! where they matter:
+//!
+//! - [`shinfo`] — the on-page layout of `skb_shared_info` (including
+//!   `destructor_arg`) and `ubuf_info`. `skb_shared_info` is **always**
+//!   allocated at the tail of the packet data buffer, so it is **always**
+//!   DMA-mapped with the packet's permissions (§5.1, Figure 4).
+//! - [`skb`] — `sk_buff` allocation (`alloc_skb`, `netdev_alloc_skb`,
+//!   `build_skb`) and release; `kfree_skb` consults `destructor_arg` *in
+//!   simulated memory* and surfaces the callback for the CPU to invoke —
+//!   the hijack point.
+//! - [`packet`] — a minimal packet format (flow, protocol, payload).
+//! - [`descring`] — the DMA-mapped descriptor ring: how a device really
+//!   learns buffer IOVAs, and one more writable-metadata surface.
+//! - [`driver`] — NIC driver models with configurable RX allocation
+//!   policy, buffer size (2 KiB vs 64 KiB HW-LRO), and unmap ordering
+//!   (the i40e-style build-then-unmap bug of Figure 7 path (i)).
+//! - [`gro`] — Generic Receive Offload: merges linear segments into one
+//!   sk_buff whose `frags[]` hold `struct page` pointers — the kernel
+//!   itself writing KVAs onto device-visible pages (Figure 9).
+//! - [`stack`] — sockets (with their `init_net` namespace pointers),
+//!   an echo service, and IP forwarding.
+
+pub mod descring;
+pub mod driver;
+pub mod gro;
+pub mod packet;
+pub mod shinfo;
+pub mod skb;
+pub mod stack;
+
+pub use descring::{DescRing, Descriptor};
+pub use driver::{AllocPolicy, DriverConfig, DriverStats, NicDriver, UnmapOrder};
+pub use gro::GroEngine;
+pub use packet::{FlowId, Packet, Proto};
+pub use shinfo::{SHINFO_SIZE, UBUF_INFO_SIZE};
+pub use skb::{AllocKind, PendingCallback, SkBuff};
+pub use stack::{NetStack, StackConfig};

@@ -1,0 +1,162 @@
+//! A minimal packet model: enough header structure for flow
+//! classification, GRO aggregation, and forwarding decisions.
+//!
+//! On the wire (and in RX/TX buffers) a packet is a 24-byte header
+//! followed by the payload. The header is what a NIC would parse; the
+//! simulator keeps it deliberately simple.
+
+/// A flow identifier: (src, dst, protocol discriminant).
+pub type FlowId = (u32, u32, u8);
+
+/// Transport protocol of a packet.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Proto {
+    /// TCP-like: carries a sequence number, eligible for GRO.
+    Tcp {
+        /// Byte sequence number of the first payload byte.
+        seq: u32,
+    },
+    /// UDP-like: no sequencing, never aggregated.
+    Udp,
+}
+
+/// A parsed packet.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Packet {
+    /// Source address.
+    pub src: u32,
+    /// Destination address.
+    pub dst: u32,
+    /// Transport protocol.
+    pub proto: Proto,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// Size of the serialized header.
+pub const HEADER_SIZE: usize = 24;
+
+impl Packet {
+    /// Creates a TCP segment.
+    pub fn tcp(src: u32, dst: u32, seq: u32, payload: impl Into<Vec<u8>>) -> Self {
+        Packet {
+            src,
+            dst,
+            proto: Proto::Tcp { seq },
+            payload: payload.into(),
+        }
+    }
+
+    /// Creates a UDP datagram.
+    pub fn udp(src: u32, dst: u32, payload: impl Into<Vec<u8>>) -> Self {
+        Packet {
+            src,
+            dst,
+            proto: Proto::Udp,
+            payload: payload.into(),
+        }
+    }
+
+    /// The packet's flow key.
+    pub fn flow(&self) -> FlowId {
+        let d = match self.proto {
+            Proto::Tcp { .. } => 6,
+            Proto::Udp => 17,
+        };
+        (self.src, self.dst, d)
+    }
+
+    /// Total wire length.
+    pub fn wire_len(&self) -> usize {
+        HEADER_SIZE + self.payload.len()
+    }
+
+    /// Serializes into wire format.
+    pub fn to_wire(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.wire_len());
+        out.extend_from_slice(&self.src.to_le_bytes());
+        out.extend_from_slice(&self.dst.to_le_bytes());
+        let (proto, seq) = match self.proto {
+            Proto::Tcp { seq } => (6u32, seq),
+            Proto::Udp => (17u32, 0),
+        };
+        out.extend_from_slice(&proto.to_le_bytes());
+        out.extend_from_slice(&seq.to_le_bytes());
+        out.extend_from_slice(&(self.payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    /// Parses wire format; `None` if malformed.
+    pub fn from_wire(bytes: &[u8]) -> Option<Packet> {
+        if bytes.len() < HEADER_SIZE {
+            return None;
+        }
+        let src = u32::from_le_bytes(bytes[0..4].try_into().ok()?);
+        let dst = u32::from_le_bytes(bytes[4..8].try_into().ok()?);
+        let proto = u32::from_le_bytes(bytes[8..12].try_into().ok()?);
+        let seq = u32::from_le_bytes(bytes[12..16].try_into().ok()?);
+        let plen = u64::from_le_bytes(bytes[16..24].try_into().ok()?) as usize;
+        if bytes.len() < HEADER_SIZE + plen {
+            return None;
+        }
+        let proto = match proto {
+            6 => Proto::Tcp { seq },
+            17 => Proto::Udp,
+            _ => return None,
+        };
+        Some(Packet {
+            src,
+            dst,
+            proto,
+            payload: bytes[HEADER_SIZE..HEADER_SIZE + plen].to_vec(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_roundtrip_tcp() {
+        let p = Packet::tcp(1, 2, 1000, b"hello".to_vec());
+        let w = p.to_wire();
+        assert_eq!(w.len(), HEADER_SIZE + 5);
+        assert_eq!(Packet::from_wire(&w).unwrap(), p);
+    }
+
+    #[test]
+    fn wire_roundtrip_udp() {
+        let p = Packet::udp(9, 8, vec![0u8; 100]);
+        assert_eq!(Packet::from_wire(&p.to_wire()).unwrap(), p);
+    }
+
+    #[test]
+    fn flows_distinguish_proto_and_endpoints() {
+        assert_ne!(
+            Packet::tcp(1, 2, 0, vec![]).flow(),
+            Packet::udp(1, 2, vec![]).flow()
+        );
+        assert_ne!(
+            Packet::tcp(1, 2, 0, vec![]).flow(),
+            Packet::tcp(1, 3, 0, vec![]).flow()
+        );
+        assert_eq!(
+            Packet::tcp(1, 2, 0, vec![]).flow(),
+            Packet::tcp(1, 2, 999, b"x".to_vec()).flow()
+        );
+    }
+
+    #[test]
+    fn malformed_wire_rejected() {
+        assert!(Packet::from_wire(&[0u8; 10]).is_none());
+        let p = Packet::tcp(1, 2, 0, vec![1, 2, 3]);
+        let mut w = p.to_wire();
+        w.truncate(w.len() - 1); // short payload
+        assert!(Packet::from_wire(&w).is_none());
+        let mut w2 = p.to_wire();
+        w2[8] = 99; // unknown proto
+        assert!(Packet::from_wire(&w2).is_none());
+    }
+}

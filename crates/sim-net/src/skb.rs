@@ -1,0 +1,346 @@
+//! `sk_buff` allocation and release.
+//!
+//! The `sk_buff` struct itself lives on the host side and is never
+//! DMA-mapped — exactly as in Linux, where it is a common belief that
+//! this makes the network stack safe from DMA attacks (§5.1). What *is*
+//! always mapped is the data buffer, and `skb_shared_info` is always
+//! allocated at its tail. `kfree_skb` reads `destructor_arg` back from
+//! simulated memory and, if set, surfaces the `ubuf_info` callback for
+//! invocation — that read-from-attackable-memory is the control-flow
+//! hijack the paper builds on (Figure 4 step (d)).
+
+use crate::packet::FlowId;
+use crate::shinfo::{SharedInfo, UbufInfo, SHINFO_SIZE};
+use dma_core::{DmaError, Kva, Result, SimCtx};
+use sim_mem::MemorySystem;
+
+/// Headroom reserved before packet data (`NET_SKB_PAD`).
+pub const NET_SKB_PAD: usize = 64;
+
+/// How an skb's data buffer was allocated (controls how it is freed).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AllocKind {
+    /// From the per-CPU `page_frag` allocator (`netdev_alloc_skb`).
+    PageFrag,
+    /// From `kmalloc` (`__alloc_skb`).
+    Kmalloc,
+    /// Whole pages from the buddy allocator (HW-LRO style drivers).
+    Pages {
+        /// Buddy order of the allocation.
+        order: u32,
+    },
+}
+
+/// A deferred callback discovered by `kfree_skb`: the CPU will call
+/// `callback(arg)`. In benign operation this is zero-copy completion
+/// accounting; in an attack it is the hijacked control transfer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PendingCallback {
+    /// Function pointer read from `ubuf_info.callback`.
+    pub callback: Kva,
+    /// The `ubuf_info` pointer itself, passed in `%rdi` (§6: "the kernel
+    /// then passes the callback in the %rdi register to its containing
+    /// struct").
+    pub arg: Kva,
+}
+
+/// A socket buffer. Host-side metadata only; all attackable state (the
+/// shared info, the payload) lives in simulated memory.
+#[derive(Clone, Debug)]
+pub struct SkBuff {
+    /// KVA of the data buffer's first byte.
+    pub data: Kva,
+    /// Bytes from `data` to the `skb_shared_info` (the "end" offset).
+    pub buf_size: usize,
+    /// Offset of the packet payload within the buffer (headroom).
+    pub data_offset: usize,
+    /// Linear payload length.
+    pub len: usize,
+    /// How the data buffer was allocated.
+    pub alloc: AllocKind,
+    /// Flow this skb belongs to, once classified.
+    pub flow: Option<FlowId>,
+    /// Owning socket object (kmalloc'd; holds the init_net pointer).
+    pub sock: Option<Kva>,
+    /// Buffers owned by this skb because their payloads were attached as
+    /// fragments (GRO merge, zero-copy echo): freed with the skb.
+    pub owned_frag_buffers: Vec<(Kva, AllocKind)>,
+}
+
+impl SkBuff {
+    /// KVA of the `skb_shared_info` (always `data + buf_size`).
+    pub fn shinfo_kva(&self) -> Kva {
+        Kva(self.data.raw() + self.buf_size as u64)
+    }
+
+    /// Typed accessor for the shared info.
+    pub fn shinfo(&self) -> SharedInfo {
+        SharedInfo {
+            base: self.shinfo_kva(),
+        }
+    }
+
+    /// KVA of the first payload byte.
+    pub fn payload_kva(&self) -> Kva {
+        Kva(self.data.raw() + self.data_offset as u64)
+    }
+
+    /// Total buffer footprint including the shared info (`truesize`-ish).
+    pub fn truesize(&self) -> usize {
+        self.buf_size + SHINFO_SIZE
+    }
+
+    /// Appends payload bytes (`skb_put`).
+    pub fn put(&mut self, ctx: &mut SimCtx, mem: &mut MemorySystem, bytes: &[u8]) -> Result<()> {
+        if self.data_offset + self.len + bytes.len() > self.buf_size {
+            return Err(DmaError::InvalidAlloc(bytes.len()));
+        }
+        let dst = Kva(self.data.raw() + (self.data_offset + self.len) as u64);
+        mem.cpu_write(ctx, dst, bytes, "skb_put")?;
+        self.len += bytes.len();
+        Ok(())
+    }
+
+    /// Reads the linear payload back.
+    pub fn payload(&self, ctx: &mut SimCtx, mem: &MemorySystem) -> Result<Vec<u8>> {
+        let mut buf = vec![0u8; self.len];
+        mem.cpu_read(ctx, self.payload_kva(), &mut buf, "skb_read")?;
+        Ok(buf)
+    }
+}
+
+/// Rounds a requested payload capacity up the way `__alloc_skb` does
+/// (`SKB_DATA_ALIGN`: cacheline alignment).
+pub fn skb_data_align(len: usize) -> usize {
+    (len + 63) & !63
+}
+
+/// `__alloc_skb()`: kmalloc-backed buffer (headroom + data + shared
+/// info), shared info initialized.
+pub fn alloc_skb(ctx: &mut SimCtx, mem: &mut MemorySystem, len: usize) -> Result<SkBuff> {
+    let buf_size = skb_data_align(NET_SKB_PAD + len);
+    let data = mem.kmalloc(ctx, buf_size + SHINFO_SIZE, "__alloc_skb")?;
+    finish_skb(ctx, mem, data, buf_size, AllocKind::Kmalloc)
+}
+
+/// `netdev_alloc_skb()` / `napi_alloc_skb()`: page_frag-backed buffer.
+///
+/// This is the allocation path that creates type (c) vulnerabilities:
+/// consecutive calls carve the same 32 KiB region, so RX buffers share
+/// pages (§5.2.2).
+pub fn netdev_alloc_skb(ctx: &mut SimCtx, mem: &mut MemorySystem, len: usize) -> Result<SkBuff> {
+    let buf_size = skb_data_align(NET_SKB_PAD + len);
+    let data = mem.page_frag_alloc(ctx, buf_size + SHINFO_SIZE, "netdev_alloc_skb")?;
+    finish_skb(ctx, mem, data, buf_size, AllocKind::PageFrag)
+}
+
+/// `build_skb()`: wraps an *existing* buffer (e.g. an RX buffer the
+/// device just filled), embedding the shared info at `data + buf_size`.
+///
+/// §9.1 calls this API out by name: it "facilitates building an sk_buff
+/// around an arbitrary I/O buffer, in turn embedding critical data
+/// structures inside the I/O buffer".
+pub fn build_skb(
+    ctx: &mut SimCtx,
+    mem: &mut MemorySystem,
+    data: Kva,
+    buf_size: usize,
+    alloc: AllocKind,
+) -> Result<SkBuff> {
+    finish_skb(ctx, mem, data, buf_size, alloc)
+}
+
+fn finish_skb(
+    ctx: &mut SimCtx,
+    mem: &mut MemorySystem,
+    data: Kva,
+    buf_size: usize,
+    alloc: AllocKind,
+) -> Result<SkBuff> {
+    let skb = SkBuff {
+        data,
+        buf_size,
+        data_offset: NET_SKB_PAD,
+        len: 0,
+        alloc,
+        flow: None,
+        sock: None,
+        owned_frag_buffers: Vec::new(),
+    };
+    skb.shinfo().init(ctx, mem)?;
+    Ok(skb)
+}
+
+fn free_buffer(ctx: &mut SimCtx, mem: &mut MemorySystem, kva: Kva, alloc: AllocKind) -> Result<()> {
+    match alloc {
+        AllocKind::PageFrag => mem.page_frag_free(ctx, kva),
+        AllocKind::Kmalloc => mem.kfree(ctx, kva),
+        AllocKind::Pages { order } => {
+            let pfn = mem.layout.kva_to_pfn(kva)?;
+            mem.free_pages(ctx, pfn, order)
+        }
+    }
+}
+
+/// `skb_clone()`: copies the sk_buff metadata only; the clone and the
+/// original *share the data buffer* (§5.1: "the Linux network stack
+/// supports packet cloning by merely copying sk_buff metadata").
+/// `skb_shared_info.dataref` counts the sharers.
+pub fn skb_clone(ctx: &mut SimCtx, mem: &mut MemorySystem, skb: &SkBuff) -> Result<SkBuff> {
+    let sh = skb.shinfo();
+    let refs = sh.dataref(ctx, mem)?;
+    sh.set_dataref(ctx, mem, refs + 1)?;
+    Ok(SkBuff {
+        data: skb.data,
+        buf_size: skb.buf_size,
+        data_offset: skb.data_offset,
+        len: skb.len,
+        alloc: skb.alloc,
+        flow: skb.flow,
+        sock: skb.sock,
+        // Owned fragment buffers are freed by whoever drops the last
+        // dataref; only the original carries the list.
+        owned_frag_buffers: Vec::new(),
+    })
+}
+
+/// `kfree_skb()`: drops one reference; releases the skb and its owned
+/// buffers when the last reference dies.
+///
+/// Before freeing, the kernel consults `skb_shared_info.destructor_arg`
+/// **in memory** — memory the device may have been writing to. A nonzero
+/// value is interpreted as a `ubuf_info*` whose `callback` the CPU will
+/// invoke. The returned [`PendingCallback`] is that invocation; the
+/// caller (the CPU model) performs it.
+pub fn kfree_skb(
+    ctx: &mut SimCtx,
+    mem: &mut MemorySystem,
+    skb: SkBuff,
+) -> Result<Option<PendingCallback>> {
+    let sh = skb.shinfo();
+    let refs = sh.dataref(ctx, mem)?;
+    if refs > 1 {
+        // Shared data buffer: drop our reference, keep the buffer. The
+        // destructor fires only on the final free.
+        sh.set_dataref(ctx, mem, refs - 1)?;
+        return Ok(None);
+    }
+    let darg = skb.shinfo().destructor_arg(ctx, mem)?;
+    let pending = if darg != 0 {
+        let ubuf = UbufInfo { base: Kva(darg) };
+        // The callback pointer is itself read from attackable memory.
+        match ubuf.callback(ctx, mem) {
+            Ok(cb) if cb != 0 => Some(PendingCallback {
+                callback: Kva(cb),
+                arg: Kva(darg),
+            }),
+            _ => None,
+        }
+    } else {
+        None
+    };
+    for (kva, alloc) in &skb.owned_frag_buffers {
+        free_buffer(ctx, mem, *kva, *alloc)?;
+    }
+    free_buffer(ctx, mem, skb.data, skb.alloc)?;
+    Ok(pending)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_mem::MemConfig;
+
+    fn mk() -> (SimCtx, MemorySystem) {
+        (SimCtx::new(), MemorySystem::new(&MemConfig::default()))
+    }
+
+    #[test]
+    fn shinfo_is_always_inside_the_buffer() {
+        // §5.1: "skb_shared_info ... is *always* allocated as part of the
+        // data buffer. Therefore it is *always* mapped to the device."
+        let (mut ctx, mut mem) = mk();
+        for skb in [
+            alloc_skb(&mut ctx, &mut mem, 1500).unwrap(),
+            netdev_alloc_skb(&mut ctx, &mut mem, 1500).unwrap(),
+        ] {
+            assert_eq!(skb.shinfo_kva().raw(), skb.data.raw() + skb.buf_size as u64);
+            // For MTU-sized packets the whole thing fits one or two pages.
+            assert!(skb.truesize() <= 2048);
+        }
+    }
+
+    #[test]
+    fn put_and_read_payload() {
+        let (mut ctx, mut mem) = mk();
+        let mut skb = netdev_alloc_skb(&mut ctx, &mut mem, 1500).unwrap();
+        skb.put(&mut ctx, &mut mem, b"abc").unwrap();
+        skb.put(&mut ctx, &mut mem, b"def").unwrap();
+        assert_eq!(skb.len, 6);
+        assert_eq!(skb.payload(&mut ctx, &mem).unwrap(), b"abcdef");
+    }
+
+    #[test]
+    fn put_overflow_rejected() {
+        let (mut ctx, mut mem) = mk();
+        let mut skb = netdev_alloc_skb(&mut ctx, &mut mem, 100).unwrap();
+        let cap = skb.buf_size - skb.data_offset;
+        assert!(skb.put(&mut ctx, &mut mem, &vec![0u8; cap + 1]).is_err());
+    }
+
+    #[test]
+    fn benign_free_has_no_callback() {
+        let (mut ctx, mut mem) = mk();
+        let skb = netdev_alloc_skb(&mut ctx, &mut mem, 1500).unwrap();
+        assert_eq!(kfree_skb(&mut ctx, &mut mem, skb).unwrap(), None);
+    }
+
+    #[test]
+    fn poisoned_destructor_arg_surfaces_callback() {
+        // Figure 4 steps (b)–(d) from the CPU's perspective.
+        let (mut ctx, mut mem) = mk();
+        let skb = netdev_alloc_skb(&mut ctx, &mut mem, 1500).unwrap();
+        // "Device" forges a ubuf_info inside the payload area and points
+        // destructor_arg at it. (Here we emulate the write CPU-side; the
+        // attack crates do it over real DMA.)
+        let forged = skb.payload_kva();
+        UbufInfo { base: forged }
+            .write(&mut ctx, &mut mem, 0xffff_ffff_8150_0000, 0, 0)
+            .unwrap();
+        skb.shinfo()
+            .set_destructor_arg(&mut ctx, &mut mem, forged.raw())
+            .unwrap();
+        let cb = kfree_skb(&mut ctx, &mut mem, skb).unwrap().unwrap();
+        assert_eq!(cb.callback, Kva(0xffff_ffff_8150_0000));
+        assert_eq!(cb.arg, forged);
+    }
+
+    #[test]
+    fn owned_frag_buffers_are_freed() {
+        let (mut ctx, mut mem) = mk();
+        let extra = mem.kmalloc(&mut ctx, 2048, "frag").unwrap();
+        let mut skb = alloc_skb(&mut ctx, &mut mem, 100).unwrap();
+        skb.owned_frag_buffers.push((extra, AllocKind::Kmalloc));
+        kfree_skb(&mut ctx, &mut mem, skb).unwrap();
+        // Freed: the next kmalloc of the class reuses it (LIFO).
+        let again = mem.kmalloc(&mut ctx, 2048, "x").unwrap();
+        assert_eq!(again, extra);
+    }
+
+    #[test]
+    fn build_skb_wraps_raw_buffers() {
+        let (mut ctx, mut mem) = mk();
+        let raw = mem.page_frag_alloc(&mut ctx, 2048, "rx_refill").unwrap();
+        let skb = build_skb(
+            &mut ctx,
+            &mut mem,
+            raw,
+            2048 - SHINFO_SIZE,
+            AllocKind::PageFrag,
+        )
+        .unwrap();
+        assert_eq!(skb.data, raw);
+        assert_eq!(skb.shinfo().nr_frags(&mut ctx, &mem).unwrap(), 0);
+        kfree_skb(&mut ctx, &mut mem, skb).unwrap();
+    }
+}

@@ -1,0 +1,505 @@
+//! The upper network stack: sockets, local delivery, a zero-copy echo
+//! service, and IP forwarding.
+//!
+//! Two behaviours here supply attack ingredients:
+//!
+//! - **Sockets carry a pointer to `init_net`** (§2.4): every socket
+//!   object holds the address of the global network-namespace object,
+//!   which lives in the kernel image. Socket objects are kmalloc'd, so
+//!   they co-locate with DMA-mapped buffers (type (d)) and leak a
+//!   text-region pointer whose low 21 bits survive KASLR.
+//! - **Echo / forwarding build TX packets that reference RX payload
+//!   pages via `frags[]`** — handing the device back kernel pointers to
+//!   pages whose *content the attacker chose* (§5.4, §5.5).
+
+use crate::driver::NicDriver;
+use crate::gro::GroEngine;
+use crate::packet::{FlowId, Packet, HEADER_SIZE};
+use crate::shinfo::Frag;
+use crate::skb::{alloc_skb, kfree_skb, PendingCallback, SkBuff};
+use dma_core::{Kva, Result, SimCtx};
+use sim_iommu::Iommu;
+use sim_mem::MemorySystem;
+use std::collections::HashMap;
+
+/// Offset of the `init_net` object within the kernel image. The symbol
+/// sits in the data section at a build-time-fixed offset; KASLR shifts
+/// the whole image by a 2 MiB-aligned slide, so the low 21 bits of
+/// `&init_net` are invariant (§2.4).
+pub const INIT_NET_IMAGE_OFFSET: u64 = 0x00e8_a940;
+
+/// Stack configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct StackConfig {
+    /// This host's address.
+    pub local_addr: u32,
+    /// Whether IP forwarding is enabled (§5.5; off by default on Linux).
+    pub forwarding: bool,
+    /// Whether the local echo service is running (the coerced userspace
+    /// process of §5.4).
+    pub echo_service: bool,
+}
+
+impl Default for StackConfig {
+    fn default() -> Self {
+        StackConfig {
+            local_addr: 1,
+            forwarding: false,
+            echo_service: false,
+        }
+    }
+}
+
+/// Stack counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StackStats {
+    /// Packets delivered to local sockets.
+    pub delivered: u64,
+    /// Packets echoed back out.
+    pub echoed: u64,
+    /// Packets forwarded.
+    pub forwarded: u64,
+    /// Packets dropped (not local, forwarding off).
+    pub dropped: u64,
+}
+
+/// The upper stack instance.
+pub struct NetStack {
+    /// Configuration.
+    pub cfg: StackConfig,
+    /// Counters.
+    pub stats: StackStats,
+    /// GRO engine feeding this stack.
+    pub gro: GroEngine,
+    /// KVA of the `init_net` global (inside the kernel image).
+    pub init_net: Kva,
+    sockets: HashMap<FlowId, Kva>,
+    delivered: Vec<Packet>,
+    /// Callbacks surfaced by skb frees on the stack's own paths.
+    pub pending_callbacks: Vec<PendingCallback>,
+}
+
+impl NetStack {
+    /// Creates a stack over the machine's layout.
+    pub fn new(cfg: StackConfig, mem: &MemorySystem) -> Self {
+        NetStack {
+            cfg,
+            stats: StackStats::default(),
+            gro: GroEngine::new(),
+            init_net: Kva(mem.layout.text_base.raw() + INIT_NET_IMAGE_OFFSET),
+            sockets: HashMap::new(),
+            delivered: Vec::new(),
+            pending_callbacks: Vec::new(),
+        }
+    }
+
+    /// Returns (allocating on first use) the socket object for a flow.
+    ///
+    /// The object is kmalloc'd and its first word is the `init_net`
+    /// pointer — the leak a scanning device hunts for.
+    pub fn socket_for(
+        &mut self,
+        ctx: &mut SimCtx,
+        mem: &mut MemorySystem,
+        flow: FlowId,
+    ) -> Result<Kva> {
+        if let Some(&s) = self.sockets.get(&flow) {
+            return Ok(s);
+        }
+        let sock = mem.kmalloc(ctx, 512, "sock_alloc_inode")?;
+        mem.cpu_write_u64(ctx, sock, self.init_net.raw(), "sock_init_data")?;
+        // Real `struct sock` objects are full of heap pointers (queues,
+        // protocol ops); model one: the receive-queue head, a direct-map
+        // KVA sitting right next to the init_net pointer.
+        let rcv_queue = mem.kmalloc(ctx, 256, "sk_rcv_queue")?;
+        mem.cpu_write_u64(ctx, Kva(sock.raw() + 8), rcv_queue.raw(), "sock_init_data")?;
+        self.sockets.insert(flow, sock);
+        Ok(sock)
+    }
+
+    /// Full receive path: GRO, then local delivery / echo / forward.
+    ///
+    /// `driver` is the NIC the skb arrived on (used for echo/forward TX).
+    pub fn rx(
+        &mut self,
+        ctx: &mut SimCtx,
+        mem: &mut MemorySystem,
+        iommu: &mut Iommu,
+        driver: &mut NicDriver,
+        skb: SkBuff,
+    ) -> Result<()> {
+        let flushed = self.gro.receive(ctx, mem, skb)?;
+        for (packet, skb) in flushed {
+            self.deliver(ctx, mem, iommu, driver, packet, skb)?;
+        }
+        Ok(())
+    }
+
+    /// Flushes GRO and processes everything held (end of NAPI poll).
+    pub fn flush(
+        &mut self,
+        ctx: &mut SimCtx,
+        mem: &mut MemorySystem,
+        iommu: &mut Iommu,
+        driver: &mut NicDriver,
+    ) -> Result<()> {
+        for (packet, skb) in self.gro.flush_all() {
+            self.deliver(ctx, mem, iommu, driver, packet, skb)?;
+        }
+        Ok(())
+    }
+
+    fn deliver(
+        &mut self,
+        ctx: &mut SimCtx,
+        mem: &mut MemorySystem,
+        iommu: &mut Iommu,
+        driver: &mut NicDriver,
+        packet: Packet,
+        mut skb: SkBuff,
+    ) -> Result<()> {
+        if packet.dst == self.cfg.local_addr {
+            let sock = self.socket_for(ctx, mem, packet.flow())?;
+            skb.sock = Some(sock);
+            if self.cfg.echo_service {
+                self.stats.echoed += 1;
+                return self.echo(ctx, mem, iommu, driver, packet, skb);
+            }
+            self.stats.delivered += 1;
+            self.delivered.push(packet);
+            if let Some(cb) = kfree_skb(ctx, mem, skb)? {
+                self.pending_callbacks.push(cb);
+            }
+            return Ok(());
+        }
+        if self.cfg.forwarding {
+            // Forward: the skb goes back out as-is — linear head plus
+            // whatever frags GRO accumulated (Figure 9).
+            self.stats.forwarded += 1;
+            driver.transmit(ctx, mem, iommu, skb)?;
+            return Ok(());
+        }
+        self.stats.dropped += 1;
+        if let Some(cb) = kfree_skb(ctx, mem, skb)? {
+            self.pending_callbacks.push(cb);
+        }
+        Ok(())
+    }
+
+    /// The echo service: sends the received payload back to the sender
+    /// **zero-copy** — the TX skb's `frags[]` reference the RX payload
+    /// page directly (§5.4: "a userspace process can be coerced into
+    /// echoing a malicious buffer's contents").
+    fn echo(
+        &mut self,
+        ctx: &mut SimCtx,
+        mem: &mut MemorySystem,
+        iommu: &mut Iommu,
+        driver: &mut NicDriver,
+        packet: Packet,
+        rx_skb: SkBuff,
+    ) -> Result<()> {
+        let reply_header = Packet {
+            src: self.cfg.local_addr,
+            dst: packet.src,
+            proto: packet.proto,
+            payload: Vec::new(), // payload travels in the frag
+        };
+        let mut tx = alloc_skb(ctx, mem, HEADER_SIZE + 64)?;
+        // Header with the payload length patched in.
+        let mut hdr = reply_header.to_wire();
+        let plen = packet.payload.len() as u64;
+        hdr[16..24].copy_from_slice(&plen.to_le_bytes());
+        tx.put(ctx, mem, &hdr)?;
+        tx.sock = rx_skb.sock;
+
+        // Zero-copy: frag 0 points into the RX buffer's payload bytes.
+        let payload_kva = Kva(rx_skb.payload_kva().raw() + HEADER_SIZE as u64);
+        let pfn = mem.layout.kva_to_pfn(payload_kva)?;
+        let frag = Frag {
+            page: mem.layout.pfn_to_page(pfn)?.raw(),
+            offset: payload_kva.page_offset() as u32,
+            size: packet.payload.len() as u32,
+        };
+        let sh = tx.shinfo();
+        sh.set_frag(ctx, mem, 0, frag)?;
+        sh.set_nr_frags(ctx, mem, 1)?;
+
+        // The TX skb owns the RX buffer now (freed on TX completion).
+        tx.owned_frag_buffers.push((rx_skb.data, rx_skb.alloc));
+        tx.owned_frag_buffers
+            .extend(rx_skb.owned_frag_buffers.iter().copied());
+
+        driver.transmit(ctx, mem, iommu, tx)?;
+        Ok(())
+    }
+
+    /// `MSG_ZEROCOPY` transmit (the benign owner of `destructor_arg`):
+    /// sends `payload` from a caller-owned buffer without copying. A real
+    /// `ubuf_info` is kmalloc'd, its `callback` pointed at the kernel's
+    /// `sock_zerocopy_callback`, and `skb_shared_info.destructor_arg`
+    /// set to it — exactly the mechanism the paper's attacks forge
+    /// (§5.1, footnote 4: "destructor_arg ... is used for socket buffer
+    /// accounting and facilitates custom handling when the buffer is
+    /// freed").
+    ///
+    /// `zerocopy_callback_addr` is the kernel's completion function
+    /// (resolved from the image's symbol table at boot).
+    #[allow(clippy::too_many_arguments)]
+    pub fn send_zerocopy(
+        &mut self,
+        ctx: &mut SimCtx,
+        mem: &mut MemorySystem,
+        iommu: &mut Iommu,
+        driver: &mut NicDriver,
+        dst: u32,
+        user_buf: Kva,
+        len: u32,
+        zerocopy_callback_addr: Kva,
+    ) -> Result<usize> {
+        use crate::shinfo::UbufInfo;
+        let header = Packet {
+            src: self.cfg.local_addr,
+            dst,
+            proto: crate::packet::Proto::Udp,
+            payload: Vec::new(),
+        };
+        let mut tx = alloc_skb(ctx, mem, HEADER_SIZE + 64)?;
+        let mut hdr = header.to_wire();
+        hdr[16..24].copy_from_slice(&(len as u64).to_le_bytes());
+        tx.put(ctx, mem, &hdr)?;
+
+        // The zero-copy frag points straight at the user buffer.
+        let pfn = mem.layout.kva_to_pfn(user_buf)?;
+        let frag = Frag {
+            page: mem.layout.pfn_to_page(pfn)?.raw(),
+            offset: user_buf.page_offset() as u32,
+            size: len,
+        };
+        let sh = tx.shinfo();
+        sh.set_frag(ctx, mem, 0, frag)?;
+        sh.set_nr_frags(ctx, mem, 1)?;
+
+        // The real ubuf_info: completion accounting for the user buffer.
+        let ubuf = mem.kmalloc(ctx, crate::shinfo::UBUF_INFO_SIZE, "sock_zerocopy_alloc")?;
+        UbufInfo { base: ubuf }.write(
+            ctx,
+            mem,
+            zerocopy_callback_addr.raw(),
+            user_buf.raw(),
+            len as u64,
+        )?;
+        sh.set_destructor_arg(ctx, mem, ubuf.raw())?;
+
+        driver.transmit(ctx, mem, iommu, tx)
+    }
+
+    /// Packets delivered locally so far.
+    pub fn delivered(&self) -> &[Packet] {
+        &self.delivered
+    }
+
+    /// Number of live sockets.
+    pub fn socket_count(&self) -> usize {
+        self.sockets.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::DriverConfig;
+    use crate::skb::netdev_alloc_skb;
+    use dma_core::layout::VmRegion;
+    use sim_iommu::{InvalidationMode, IommuConfig};
+    use sim_mem::MemConfig;
+
+    fn setup(cfg: StackConfig) -> (SimCtx, MemorySystem, Iommu, NicDriver, NetStack) {
+        let mut ctx = SimCtx::new();
+        let mut mem = MemorySystem::new(&MemConfig {
+            kaslr_seed: Some(77),
+            ..Default::default()
+        });
+        let mut iommu = Iommu::new(IommuConfig {
+            mode: InvalidationMode::Strict,
+            ..Default::default()
+        });
+        let drv =
+            NicDriver::probe(DriverConfig::default(), &mut ctx, &mut mem, &mut iommu).unwrap();
+        let stack = NetStack::new(cfg, &mem);
+        (ctx, mem, iommu, drv, stack)
+    }
+
+    fn rx_skb(ctx: &mut SimCtx, mem: &mut MemorySystem, p: &Packet) -> SkBuff {
+        let mut skb = netdev_alloc_skb(ctx, mem, 1600).unwrap();
+        skb.put(ctx, mem, &p.to_wire()).unwrap();
+        skb
+    }
+
+    #[test]
+    fn local_udp_is_delivered() {
+        let (mut ctx, mut mem, mut iommu, mut drv, mut stack) = setup(StackConfig::default());
+        let p = Packet::udp(9, 1, b"hi".to_vec());
+        let s = rx_skb(&mut ctx, &mut mem, &p);
+        stack
+            .rx(&mut ctx, &mut mem, &mut iommu, &mut drv, s)
+            .unwrap();
+        assert_eq!(stack.delivered(), &[p]);
+        assert_eq!(stack.stats.delivered, 1);
+        assert_eq!(stack.socket_count(), 1);
+    }
+
+    #[test]
+    fn socket_objects_hold_init_net_pointer_in_text_range() {
+        let (mut ctx, mut mem, _iommu, _drv, mut stack) = setup(StackConfig::default());
+        let sock = stack.socket_for(&mut ctx, &mut mem, (1, 2, 17)).unwrap();
+        let leaked = mem.cpu_read_u64(&mut ctx, sock, "t").unwrap();
+        assert_eq!(VmRegion::classify(leaked), Some(VmRegion::KernelText));
+        // The low 21 bits are the KASLR-invariant part.
+        assert_eq!(leaked & 0x1f_ffff, INIT_NET_IMAGE_OFFSET & 0x1f_ffff);
+    }
+
+    #[test]
+    fn non_local_dropped_without_forwarding() {
+        let (mut ctx, mut mem, mut iommu, mut drv, mut stack) = setup(StackConfig::default());
+        let p = Packet::udp(9, 42, b"x".to_vec());
+        let s = rx_skb(&mut ctx, &mut mem, &p);
+        stack
+            .rx(&mut ctx, &mut mem, &mut iommu, &mut drv, s)
+            .unwrap();
+        assert_eq!(stack.stats.dropped, 1);
+        assert_eq!(drv.stats.tx_packets, 0);
+    }
+
+    #[test]
+    fn forwarding_transmits_non_local() {
+        let cfg = StackConfig {
+            forwarding: true,
+            ..Default::default()
+        };
+        let (mut ctx, mut mem, mut iommu, mut drv, mut stack) = setup(cfg);
+        let p = Packet::udp(9, 42, b"fwd".to_vec());
+        let s = rx_skb(&mut ctx, &mut mem, &p);
+        stack
+            .rx(&mut ctx, &mut mem, &mut iommu, &mut drv, s)
+            .unwrap();
+        assert_eq!(stack.stats.forwarded, 1);
+        assert_eq!(drv.stats.tx_packets, 1);
+        assert_eq!(drv.tx_in_flight(), 1);
+    }
+
+    #[test]
+    fn forwarded_tcp_stream_goes_out_with_frags() {
+        // Figure 9 end-to-end (benign traffic): GRO merges, the forwarded
+        // TX skb carries struct-page pointers in its shared info, and the
+        // TX path maps those pages for device READ.
+        let cfg = StackConfig {
+            forwarding: true,
+            ..Default::default()
+        };
+        let (mut ctx, mut mem, mut iommu, mut drv, mut stack) = setup(cfg);
+        for i in 0..3u32 {
+            let p = Packet::tcp(9, 42, i * 100, vec![i as u8; 100]);
+            let s = rx_skb(&mut ctx, &mut mem, &p);
+            stack
+                .rx(&mut ctx, &mut mem, &mut iommu, &mut drv, s)
+                .unwrap();
+        }
+        stack
+            .flush(&mut ctx, &mut mem, &mut iommu, &mut drv)
+            .unwrap();
+        assert_eq!(stack.stats.forwarded, 1);
+        let descs = drv.tx_descriptors();
+        assert_eq!(descs.len(), 1);
+        assert_eq!(
+            descs[0].frags.len(),
+            2,
+            "two merged segments → two frag mappings"
+        );
+    }
+
+    #[test]
+    fn echo_service_reflects_payload_zero_copy() {
+        let cfg = StackConfig {
+            echo_service: true,
+            ..Default::default()
+        };
+        let (mut ctx, mut mem, mut iommu, mut drv, mut stack) = setup(cfg);
+        let p = Packet::udp(9, 1, vec![0x5a; 200]);
+        let s = rx_skb(&mut ctx, &mut mem, &p);
+        stack
+            .rx(&mut ctx, &mut mem, &mut iommu, &mut drv, s)
+            .unwrap();
+        assert_eq!(stack.stats.echoed, 1);
+        let descs = drv.tx_descriptors();
+        assert_eq!(descs.len(), 1);
+        assert_eq!(descs[0].frags.len(), 1);
+        // Device reads the frag: it must see the original payload bytes.
+        let (frag_iova, frag_len) = descs[0].frags[0];
+        let mut buf = vec![0u8; frag_len];
+        iommu
+            .dev_read(&mut ctx, &mem.phys, 1, frag_iova, &mut buf)
+            .unwrap();
+        assert_eq!(buf, vec![0x5a; 200]);
+    }
+
+    #[test]
+    fn malformed_packets_are_dropped_without_panic() {
+        let (mut ctx, mut mem, mut iommu, mut drv, mut stack) = setup(StackConfig::default());
+        // An skb whose bytes do not parse as a packet: GRO passes it
+        // through as an unparseable datagram; the stack drops it (dst 0).
+        let mut skb = netdev_alloc_skb(&mut ctx, &mut mem, 1600).unwrap();
+        skb.put(&mut ctx, &mut mem, &[0xff; 10]).unwrap();
+        stack
+            .rx(&mut ctx, &mut mem, &mut iommu, &mut drv, skb)
+            .unwrap();
+        assert_eq!(stack.stats.dropped + stack.stats.delivered, 1);
+    }
+
+    #[test]
+    fn sockets_are_reused_per_flow() {
+        let (mut ctx, mut mem, _iommu, _drv, mut stack) = setup(StackConfig::default());
+        let a = stack.socket_for(&mut ctx, &mut mem, (1, 2, 17)).unwrap();
+        let b = stack.socket_for(&mut ctx, &mut mem, (1, 2, 17)).unwrap();
+        let c = stack.socket_for(&mut ctx, &mut mem, (1, 3, 17)).unwrap();
+        assert_eq!(a, b, "same flow, same socket");
+        assert_ne!(a, c, "different flow, different socket");
+        assert_eq!(stack.socket_count(), 2);
+    }
+
+    #[test]
+    fn tcp_to_local_is_gro_held_until_flush() {
+        let (mut ctx, mut mem, mut iommu, mut drv, mut stack) = setup(StackConfig::default());
+        for i in 0..3u32 {
+            let p = Packet::tcp(9, 1, i * 50, vec![i as u8; 50]);
+            let s = rx_skb(&mut ctx, &mut mem, &p);
+            stack
+                .rx(&mut ctx, &mut mem, &mut iommu, &mut drv, s)
+                .unwrap();
+        }
+        assert_eq!(stack.stats.delivered, 0, "aggregate still held by GRO");
+        stack
+            .flush(&mut ctx, &mut mem, &mut iommu, &mut drv)
+            .unwrap();
+        assert_eq!(stack.stats.delivered, 1, "one merged delivery");
+        assert_eq!(stack.delivered()[0].payload.len(), 150);
+    }
+
+    #[test]
+    fn echo_completion_frees_rx_buffer() {
+        let cfg = StackConfig {
+            echo_service: true,
+            ..Default::default()
+        };
+        let (mut ctx, mut mem, mut iommu, mut drv, mut stack) = setup(cfg);
+        let p = Packet::udp(9, 1, vec![1; 64]);
+        let s = rx_skb(&mut ctx, &mut mem, &p);
+        stack
+            .rx(&mut ctx, &mut mem, &mut iommu, &mut drv, s)
+            .unwrap();
+        drv.device_tx_complete(0).unwrap();
+        let cbs = drv.tx_reap(&mut ctx, &mut mem, &mut iommu).unwrap();
+        assert!(cbs.is_empty());
+        assert_eq!(drv.tx_in_flight(), 0);
+    }
+}

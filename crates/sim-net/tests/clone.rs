@@ -1,0 +1,96 @@
+//! `skb_clone` semantics (§5.1) and the attack angle on `dataref`: the
+//! share count is *itself* on the DMA-mapped page.
+
+use dma_core::SimCtx;
+use sim_mem::{MemConfig, MemorySystem};
+use sim_net::skb::{kfree_skb, netdev_alloc_skb, skb_clone};
+
+fn mk() -> (SimCtx, MemorySystem) {
+    (SimCtx::new(), MemorySystem::new(&MemConfig::default()))
+}
+
+#[test]
+fn clone_shares_the_data_buffer() {
+    let (mut ctx, mut mem) = mk();
+    let mut orig = netdev_alloc_skb(&mut ctx, &mut mem, 1500).unwrap();
+    orig.put(&mut ctx, &mut mem, b"shared-bytes").unwrap();
+    let clone = skb_clone(&mut ctx, &mut mem, &orig).unwrap();
+    assert_eq!(clone.data, orig.data, "metadata copy only — same buffer");
+    assert_eq!(clone.payload(&mut ctx, &mem).unwrap(), b"shared-bytes");
+    assert_eq!(orig.shinfo().dataref(&mut ctx, &mem).unwrap(), 2);
+}
+
+#[test]
+fn buffer_survives_until_last_reference() {
+    let (mut ctx, mut mem) = mk();
+    let mut orig = netdev_alloc_skb(&mut ctx, &mut mem, 1500).unwrap();
+    orig.put(&mut ctx, &mut mem, b"payload").unwrap();
+    let clone = skb_clone(&mut ctx, &mut mem, &orig).unwrap();
+    let data = orig.data;
+
+    // Free the original: the clone still reads intact data.
+    assert_eq!(kfree_skb(&mut ctx, &mut mem, orig).unwrap(), None);
+    assert_eq!(clone.payload(&mut ctx, &mem).unwrap(), b"payload");
+    assert_eq!(clone.shinfo().dataref(&mut ctx, &mem).unwrap(), 1);
+
+    // Final free releases the fragment: the next netdev alloc reuses it.
+    kfree_skb(&mut ctx, &mut mem, clone).unwrap();
+    // page_frag recycling is region-based; at minimum the free must not
+    // have double-freed (checked by the allocator) and a new skb works.
+    let again = netdev_alloc_skb(&mut ctx, &mut mem, 1500).unwrap();
+    assert!(again.data.raw() != 0);
+    let _ = data;
+}
+
+#[test]
+fn nested_clones_count_correctly() {
+    let (mut ctx, mut mem) = mk();
+    let orig = netdev_alloc_skb(&mut ctx, &mut mem, 1500).unwrap();
+    let c1 = skb_clone(&mut ctx, &mut mem, &orig).unwrap();
+    let c2 = skb_clone(&mut ctx, &mut mem, &c1).unwrap();
+    assert_eq!(orig.shinfo().dataref(&mut ctx, &mem).unwrap(), 3);
+    kfree_skb(&mut ctx, &mut mem, c2).unwrap();
+    kfree_skb(&mut ctx, &mut mem, c1).unwrap();
+    assert_eq!(orig.shinfo().dataref(&mut ctx, &mem).unwrap(), 1);
+    kfree_skb(&mut ctx, &mut mem, orig).unwrap();
+}
+
+#[test]
+fn destructor_fires_only_on_the_last_free() {
+    let (mut ctx, mut mem) = mk();
+    let skb = netdev_alloc_skb(&mut ctx, &mut mem, 1500).unwrap();
+    let clone = skb_clone(&mut ctx, &mut mem, &skb).unwrap();
+    // Poison destructor_arg + a ubuf in the payload (CPU-side stand-in
+    // for the DMA write).
+    let forged = skb.payload_kva();
+    sim_net::shinfo::UbufInfo { base: forged }
+        .write(&mut ctx, &mut mem, 0xffff_ffff_8150_0000, 0, 0)
+        .unwrap();
+    skb.shinfo()
+        .set_destructor_arg(&mut ctx, &mut mem, forged.raw())
+        .unwrap();
+
+    // First free: refcount drop only — no callback surfaces yet.
+    assert_eq!(kfree_skb(&mut ctx, &mut mem, skb).unwrap(), None);
+    // Last free: the (poisoned) callback surfaces.
+    let cb = kfree_skb(&mut ctx, &mut mem, clone).unwrap().unwrap();
+    assert_eq!(cb.callback.raw(), 0xffff_ffff_8150_0000);
+}
+
+#[test]
+fn dataref_is_attackable_state() {
+    // The share count lives in skb_shared_info — on the mapped page. A
+    // device zeroing it turns the *first* free into the final one: a
+    // use-after-free primitive against the still-live clone.
+    let (mut ctx, mut mem) = mk();
+    let mut orig = netdev_alloc_skb(&mut ctx, &mut mem, 1500).unwrap();
+    orig.put(&mut ctx, &mut mem, b"precious").unwrap();
+    let clone = skb_clone(&mut ctx, &mut mem, &orig).unwrap();
+    // "Device" clobbers dataref down to 1.
+    orig.shinfo().set_dataref(&mut ctx, &mut mem, 1).unwrap();
+    kfree_skb(&mut ctx, &mut mem, orig).unwrap();
+    // The clone now dangles: its buffer was released while referenced.
+    // (The simulator's allocator will happily hand the region out again;
+    // the clone reading it afterwards is the UAF.)
+    let _uaf_view = clone.payload(&mut ctx, &mem).unwrap();
+}

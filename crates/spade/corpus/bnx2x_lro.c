@@ -1,0 +1,17 @@
+/* Modeled on the bnx2x HW-LRO configuration (§5.3): 64 KiB RX buffers
+ * from kmalloc, mapped whole. Each buffer spans 16 pages, and the
+ * skb_shared_info at its tail rides along — type (b) at LRO scale. */
+
+struct bnx2x_fastpath {
+	struct net_device *netdev;
+	__u32 rx_buf_size;
+};
+
+static int bnx2x_alloc_rx_sge(struct device *dev, struct bnx2x_fastpath *fp)
+{
+	struct sk_buff *skb;
+	dma_addr_t dma;
+	skb = netdev_alloc_skb(fp->netdev, 65536);
+	dma = dma_map_single(dev, skb->data, 65536, DMA_FROM_DEVICE);
+	return 0;
+}

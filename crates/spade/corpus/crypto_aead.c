@@ -1,0 +1,18 @@
+/* Modeled on crypto drivers that DMA-map the aead request context —
+ * a private region co-located with request metadata. */
+
+struct aead_request {
+	unsigned int cryptlen;
+	unsigned int assoclen;
+	void (*complete)(struct aead_request *req, int err);
+	void *iv;
+};
+
+static int ccp_aead_run(struct device *dev, struct aead_request *req)
+{
+	void *ctx;
+	dma_addr_t dma;
+	ctx = aead_request_ctx(req);
+	dma = dma_map_single(dev, ctx, 128, DMA_BIDIRECTIONAL);
+	return 0;
+}

@@ -1,0 +1,17 @@
+/* Modeled on drivers/firewire/ohci.c: the AR (asynchronous receive)
+ * context descriptor is embedded in a driver struct that also carries
+ * completion callbacks — a type (a) exposure. */
+
+struct fw_ohci_context {
+	char descriptor[64];
+	void (*callback)(struct fw_ohci_context *ctx);
+	void (*release)(struct fw_ohci_context *ctx);
+	__u32 regs;
+};
+
+static int ar_context_init(struct device *dev, struct fw_ohci_context *ctx)
+{
+	dma_addr_t dma;
+	dma = dma_map_single(dev, &ctx->descriptor, 64, DMA_BIDIRECTIONAL);
+	return 0;
+}

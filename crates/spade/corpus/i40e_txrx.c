@@ -1,0 +1,36 @@
+/* Modeled on drivers/net/ethernet/intel/i40e/i40e_txrx.c: RX buffers
+ * come from page_frag carvings (netdev_alloc_skb), the whole data page
+ * is mapped for the device, and the sk_buff is built BEFORE the buffer
+ * is unmapped — Figure 7 path (i). */
+
+struct i40e_rx_buffer {
+	dma_addr_t dma;
+	struct sk_buff *skb;
+	struct page *page;
+	__u32 page_offset;
+};
+
+struct i40e_ring {
+	void *desc;
+	struct net_device *netdev;
+	struct i40e_rx_buffer *rx_bi;
+	__u16 count;
+	__u16 next_to_use;
+};
+
+static int i40e_alloc_rx_buffers(struct device *dev, struct i40e_ring *ring, int cleaned)
+{
+	struct sk_buff *skb;
+	struct i40e_rx_buffer *bi;
+	skb = netdev_alloc_skb(ring->netdev, 2048);
+	bi->skb = skb;
+	bi->dma = dma_map_single(dev, skb->data, 2048, DMA_FROM_DEVICE);
+	return 0;
+}
+
+static netdev_tx_t i40e_xmit_frame(struct device *dev, struct sk_buff *skb)
+{
+	dma_addr_t dma;
+	dma = dma_map_single(dev, skb->data, skb->len, DMA_TO_DEVICE);
+	return 0;
+}

@@ -1,0 +1,70 @@
+/* Minimal Linux-5.0-style networking headers for the SPADE corpus.
+ * Byte layout of skb_shared_info mirrors the simulator (sim-net). */
+
+struct page {
+	unsigned long flags;
+	atomic_t refcount;
+};
+
+struct ubuf_info {
+	void (*callback)(struct ubuf_info *, bool);
+	void *ctx;
+	__u64 desc;
+};
+
+struct skb_frag_t {
+	struct page *page;
+	__u32 page_offset;
+	__u32 size;
+};
+
+struct skb_shared_hwtstamps {
+	__u64 hwtstamp;
+};
+
+struct skb_shared_info {
+	__u8 nr_frags;
+	__u8 tx_flags;
+	__u16 gso_size;
+	__u16 gso_segs;
+	__u16 gso_type;
+	struct sk_buff *frag_list;
+	struct skb_shared_hwtstamps hwtstamps;
+	__u32 tskey;
+	__u32 ip6_frag_id;
+	atomic_t dataref;
+	void *destructor_arg;
+	struct skb_frag_t frags[17];
+};
+
+struct sk_buff {
+	struct sk_buff *next;
+	struct sk_buff *prev;
+	struct sock *sk;
+	unsigned int len;
+	unsigned int data_len;
+	unsigned char *head;
+	unsigned char *data;
+	unsigned char *tail;
+	unsigned char *end;
+	void (*destructor)(struct sk_buff *skb);
+};
+
+struct net_device_ops {
+	int (*ndo_open)(struct net_device *dev);
+	int (*ndo_stop)(struct net_device *dev);
+	netdev_tx_t (*ndo_start_xmit)(struct sk_buff *skb, struct net_device *dev);
+	void (*ndo_set_rx_mode)(struct net_device *dev);
+	int (*ndo_set_mac_address)(struct net_device *dev, void *addr);
+	int (*ndo_do_ioctl)(struct net_device *dev, int cmd);
+	int (*ndo_change_mtu)(struct net_device *dev, int new_mtu);
+	void (*ndo_tx_timeout)(struct net_device *dev);
+};
+
+struct net_device {
+	char name[16];
+	unsigned long state;
+	const struct net_device_ops *netdev_ops;
+	unsigned int mtu;
+	unsigned char *dev_addr;
+};

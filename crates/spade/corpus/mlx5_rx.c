@@ -1,0 +1,34 @@
+/* Modeled on drivers/net/ethernet/mellanox/mlx5/core/en_rx.c: the RX
+ * completion path wraps the raw page_frag buffer with build_skb(),
+ * embedding skb_shared_info into the DMA-mapped region (§9.1). */
+
+struct mlx5e_rq {
+	struct net_device *netdev;
+	void *wqe;
+	__u32 frag_sz;
+};
+
+static int mlx5e_alloc_rx_wqe(struct device *dev, struct mlx5e_rq *rq)
+{
+	void *buf;
+	dma_addr_t dma;
+	buf = napi_alloc_frag(rq->frag_sz);
+	dma = dma_map_single(dev, buf, rq->frag_sz, DMA_FROM_DEVICE);
+	return 0;
+}
+
+static struct sk_buff *mlx5e_build_rx_skb(struct device *dev, struct mlx5e_rq *rq, void *va)
+{
+	struct sk_buff *skb;
+	skb = build_skb(va, rq->frag_sz);
+	return skb;
+}
+
+static int mlx5e_poll_rx_cq(struct device *dev, struct mlx5e_rq *rq, void *va)
+{
+	struct sk_buff *skb;
+	dma_addr_t dma;
+	dma = dma_map_single(dev, va, rq->frag_sz, DMA_FROM_DEVICE);
+	skb = build_skb(va, rq->frag_sz);
+	return 0;
+}

@@ -1,0 +1,10 @@
+/* A NIC driver mapping its netdev private area for a firmware DMA
+ * handshake, exposing net_device metadata. */
+static int fw_handshake(struct device *dev, struct net_device *nd)
+{
+	void *priv;
+	dma_addr_t dma;
+	priv = netdev_priv(nd);
+	dma = dma_map_single(dev, priv, 512, DMA_BIDIRECTIONAL);
+	return 0;
+}

@@ -1,0 +1,219 @@
+/* Modeled on drivers/nvme/host/fc.c (Linux 5.0): the Figure-2 finding.
+ * The response IU buffer is embedded in struct nvme_fc_fcp_op, so the
+ * dma_map_single of &op->rsp_iu exposes the whole op — including the
+ * fcp_req.done completion callback — to the device. */
+
+struct nvmefc_fcp_req {
+	void *cmdaddr;
+	void *rspaddr;
+	__u32 cmdlen;
+	__u32 rsplen;
+	__u32 payload_length;
+	__u32 transferred_length;
+	__u16 status;
+	void (*done)(struct nvmefc_fcp_req *req);
+	void *private;
+};
+
+struct nvme_fc_cmd_iu {
+	__u8 scsi_id;
+	__u8 fc_id;
+	__u16 iu_len;
+	__u32 connection_id;
+	__u32 csn;
+	__u8 rsvd[84];
+};
+
+struct nvme_fc_ersp_iu {
+	__u8 status_code;
+	__u8 rsvd1;
+	__u16 iu_len;
+	__u32 rsn;
+	__u32 xfrd_len;
+	__u8 rsvd2[84];
+};
+
+struct nvme_fc_port_template {
+	void (*localport_delete)(struct nvme_fc_local_port *port);
+	void (*remoteport_delete)(struct nvme_fc_remote_port *port);
+	int (*create_queue)(struct nvme_fc_local_port *port, unsigned int qidx, __u16 qsize);
+	void (*delete_queue)(struct nvme_fc_local_port *port, unsigned int qidx);
+	int (*ls_req)(struct nvme_fc_local_port *port, struct nvme_fc_remote_port *rport);
+	int (*fcp_io)(struct nvme_fc_local_port *port, struct nvme_fc_remote_port *rport);
+	void (*ls_abort)(struct nvme_fc_local_port *port, struct nvme_fc_remote_port *rport);
+	void (*fcp_abort)(struct nvme_fc_local_port *port, struct nvme_fc_remote_port *rport);
+	int (*xmt_ls_rsp)(struct nvme_fc_local_port *port);
+	void (*map_queues)(struct nvme_fc_local_port *port);
+	__u32 max_hw_queues;
+	__u16 max_sgl_segments;
+	__u16 max_dif_sgl_segments;
+	__u64 dma_boundary;
+};
+
+struct nvme_fc_local_port {
+	__u32 port_num;
+	__u32 port_role;
+	__u64 node_name;
+	__u64 port_name;
+	struct nvme_fc_port_template *ops;
+	void *private;
+};
+
+struct nvme_fc_remote_port {
+	__u32 port_num;
+	__u32 port_role;
+	__u64 node_name;
+	__u64 port_name;
+	struct nvme_fc_port_template *ops;
+	void *private;
+};
+
+struct blk_mq_ops {
+	int (*queue_rq)(void *hctx, void *bd);
+	void (*commit_rqs)(void *hctx);
+	int (*get_budget)(void *q);
+	void (*put_budget)(void *q);
+	void (*timeout)(void *req);
+	int (*poll)(void *hctx);
+	void (*complete)(void *req);
+	int (*init_hctx)(void *hctx, void *data, unsigned int idx);
+	void (*exit_hctx)(void *hctx, unsigned int idx);
+	int (*init_request)(void *set, void *req, unsigned int idx);
+	void (*exit_request)(void *set, void *req, unsigned int idx);
+	int (*map_queues)(void *set);
+};
+
+struct blk_mq_tag_set {
+	struct blk_mq_ops *ops;
+	unsigned int nr_hw_queues;
+	unsigned int queue_depth;
+	void *driver_data;
+};
+
+struct request_queue {
+	void *queuedata;
+	struct blk_mq_ops *mq_ops;
+	struct blk_mq_tag_set *tag_set;
+	struct device_t *dev;
+	void (*release)(struct request_queue *q);
+	unsigned long queue_flags;
+};
+
+struct nvme_ctrl_ops {
+	const char *name;
+	int (*reg_read32)(struct nvme_ctrl_t *ctrl, __u32 off, __u32 *val);
+	int (*reg_write32)(struct nvme_ctrl_t *ctrl, __u32 off, __u32 val);
+	int (*reg_read64)(struct nvme_ctrl_t *ctrl, __u32 off, __u64 *val);
+	void (*free_ctrl)(struct nvme_ctrl_t *ctrl);
+	void (*submit_async_event)(struct nvme_ctrl_t *ctrl);
+	void (*delete_ctrl)(struct nvme_ctrl_t *ctrl);
+	int (*get_address)(struct nvme_ctrl_t *ctrl, char *buf, int size);
+};
+
+struct nvme_ctrl_t {
+	unsigned long state;
+	struct nvme_ctrl_ops *ops;
+	struct request_queue *admin_q;
+	struct request_queue *connect_q;
+	struct blk_mq_tag_set *tagset;
+	struct blk_mq_tag_set *admin_tagset;
+	__u32 queue_count;
+	void (*remove_work)(void *w);
+};
+
+struct nvme_fc_ctrl {
+	struct nvme_fc_local_port *lport;
+	struct nvme_fc_remote_port *rport;
+	struct nvme_ctrl_t *ctrl;
+	struct device_t *dev;
+	struct blk_mq_hw_ctx_t *hctx;
+	__u32 cnum;
+	__u32 iocnt;
+	struct request_queue *rq;
+	struct blk_mq_tag_set tag_set;
+};
+
+struct nvme_fc_queue_t {
+	struct nvme_fc_ctrl *ctrl;
+	struct device_t *dev;
+	struct blk_mq_hw_ctx_t *hctx;
+	struct nvme_fc_local_port *lport;
+	__u64 connection_id;
+	__u32 qnum;
+};
+
+struct dev_pm_ops_t {
+	int (*prepare)(struct device_t *dev);
+	void (*complete)(struct device_t *dev);
+	int (*suspend)(struct device_t *dev);
+	int (*resume)(struct device_t *dev);
+	int (*freeze)(struct device_t *dev);
+	int (*thaw)(struct device_t *dev);
+	int (*poweroff)(struct device_t *dev);
+	int (*restore)(struct device_t *dev);
+	int (*suspend_late)(struct device_t *dev);
+	int (*resume_early)(struct device_t *dev);
+	int (*freeze_late)(struct device_t *dev);
+	int (*thaw_early)(struct device_t *dev);
+	int (*suspend_noirq)(struct device_t *dev);
+	int (*resume_noirq)(struct device_t *dev);
+	int (*freeze_noirq)(struct device_t *dev);
+	int (*thaw_noirq)(struct device_t *dev);
+	int (*poweroff_noirq)(struct device_t *dev);
+	int (*restore_noirq)(struct device_t *dev);
+	int (*runtime_suspend)(struct device_t *dev);
+	int (*runtime_resume)(struct device_t *dev);
+	int (*runtime_idle)(struct device_t *dev);
+};
+
+struct device_driver_t {
+	const char *name;
+	struct dev_pm_ops_t *pm;
+	int (*probe)(struct device_t *dev);
+	int (*remove)(struct device_t *dev);
+	void (*shutdown)(struct device_t *dev);
+	int (*suspend)(struct device_t *dev);
+	int (*resume)(struct device_t *dev);
+};
+
+struct device_t {
+	struct device_t *parent;
+	struct device_driver_t *driver;
+	void (*release)(struct device_t *dev);
+	void *driver_data;
+};
+
+struct blk_mq_hw_ctx_t {
+	struct blk_mq_ops *ops;
+	struct request_queue *queue;
+	void *driver_data;
+	unsigned int queue_num;
+};
+
+struct request_t {
+	struct blk_mq_hw_ctx_t *mq_hctx;
+	void (*end_io)(struct request_t *rq, int error);
+	void *end_io_data;
+	__u32 tag;
+};
+
+struct nvme_fc_fcp_op {
+	struct nvmefc_fcp_req fcp_req;
+	struct nvme_fc_ctrl *ctrl;
+	struct nvme_fc_queue_t *queue;
+	struct request_t *rq;
+	struct nvme_fc_cmd_iu cmd_iu;
+	struct nvme_fc_ersp_iu rsp_iu;
+	dma_addr_t fcp_req_cmddma;
+	dma_addr_t fcp_req_rspdma;
+	__u32 rqno;
+	__u16 opstate;
+};
+
+static int
+nvme_fc_init_request(struct device *dev, struct nvme_fc_fcp_op *op)
+{
+	op->fcp_req_cmddma = dma_map_single(dev, &op->cmd_iu, 96, DMA_TO_DEVICE);
+	op->fcp_req_rspdma = dma_map_single(dev, &op->rsp_iu, 96, DMA_BIDIRECTIONAL);
+	return 0;
+}

@@ -1,0 +1,18 @@
+/* Modeled on SCSI LLDs that DMA-map per-command private data obtained
+ * via scsi_cmd_priv(). */
+
+struct scsi_cmnd {
+	void *device;
+	void (*scsi_done)(struct scsi_cmnd *cmd);
+	unsigned char *cmnd;
+	int result;
+};
+
+static int snic_queue_cmd(struct device *dev, struct scsi_cmnd *sc)
+{
+	void *priv;
+	dma_addr_t dma;
+	priv = scsi_cmd_priv(sc);
+	dma = dma_map_single(dev, priv, 192, DMA_BIDIRECTIONAL);
+	return 0;
+}

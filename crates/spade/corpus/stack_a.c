@@ -1,0 +1,9 @@
+/* A driver mapping an on-stack command block (the paper found 3 such
+ * call sites in 3 files). */
+static int legacy_probe_a(struct device *dev)
+{
+	char inquiry[36];
+	dma_addr_t dma;
+	dma = dma_map_single(dev, inquiry, 36, DMA_TO_DEVICE);
+	return 0;
+}

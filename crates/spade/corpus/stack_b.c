@@ -1,0 +1,7 @@
+static int legacy_reset_b(struct device *dev)
+{
+	char cmd[16];
+	dma_addr_t dma;
+	dma = dma_map_single(dev, cmd, 16, DMA_TO_DEVICE);
+	return 0;
+}

@@ -1,0 +1,7 @@
+static int legacy_sense_c(struct device *dev)
+{
+	char sense[64];
+	dma_addr_t dma;
+	dma = dma_map_single(dev, sense, 64, DMA_BIDIRECTIONAL);
+	return 0;
+}

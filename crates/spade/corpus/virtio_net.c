@@ -1,0 +1,27 @@
+/* Modeled on drivers/net/virtio_net.c mergeable-buffer paths: whole
+ * pages are handed to the device via dma_map_page-style calls. Page-
+ * granular buffers avoid type (a)/(c) — the "clean" pattern. */
+
+struct virtnet_rq {
+	struct net_device *netdev;
+	void *vq;
+	unsigned int min_buf_len;
+};
+
+static int virtnet_add_recvbuf_page(struct device *dev, struct virtnet_rq *rq)
+{
+	struct page *page;
+	dma_addr_t dma;
+	page = alloc_page(GFP_ATOMIC);
+	dma = dma_map_page(dev, page, 0, 4096, DMA_FROM_DEVICE);
+	return 0;
+}
+
+static int virtnet_send_command(struct device *dev, struct virtnet_rq *rq)
+{
+	void *hdr;
+	dma_addr_t dma;
+	hdr = kzalloc(64, GFP_KERNEL);
+	dma = dma_map_single(dev, hdr, 64, DMA_TO_DEVICE);
+	return 0;
+}

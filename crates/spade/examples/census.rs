@@ -1,0 +1,22 @@
+//! Prints the Figure-2 callback census for the nvme_fc exemplar:
+//! the direct and spoofable counts SPADE reports on the corpus's
+//! `struct nvme_fc_fcp_op` (paper: 1 direct, 931 spoofable).
+//!
+//! Run with: `cargo run -p spade --example census`
+
+fn main() {
+    let corpus = spade::corpus::full_corpus(&spade::corpus::CorpusMix::default(), 1);
+    let tree = spade::xref::SourceTree::load(corpus.iter().map(|(p, s)| (p.as_str(), s.as_str())));
+    println!(
+        "direct(nvme_fc_fcp_op)   = {}",
+        tree.types.direct_callbacks("nvme_fc_fcp_op")
+    );
+    println!(
+        "spoofable(nvme_fc_fcp_op,6) = {}  [paper: 931]",
+        tree.types.spoofable_callbacks("nvme_fc_fcp_op", 6)
+    );
+    println!(
+        "heap_ptrs(nvme_fc_fcp_op) = {}",
+        tree.types.heap_pointers("nvme_fc_fcp_op")
+    );
+}

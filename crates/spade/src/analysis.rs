@@ -1,0 +1,582 @@
+//! The SPADE analysis pass (§4.1.1).
+//!
+//! "SPADE operates recursively starting from calls to the dma_map*
+//! functions. From this initial set of calls, SPADE identifies the
+//! mapped variables and backtracks their declarations and assignments.
+//! When a data structure is identified as exposed, SPADE identifies the
+//! exposed callback pointers or mapped heap pointers."
+//!
+//! Backtracking covers: address-of-member expressions (type (a)
+//! embedded buffers), `skb->data` and `build_skb` (type (b)
+//! `skb_shared_info` exposure), page_frag-family allocators (type (c)),
+//! `netdev_priv`-style private-data APIs, local stack buffers, and
+//! caller-argument tracing when the mapped pointer is a function
+//! parameter.
+
+use crate::parse::{calls_in_stmt, CType, Expr, FuncDef, Stmt};
+use crate::xref::{CallSite, SourceTree};
+
+/// DMA-mapping entry points and the argument index of the mapped
+/// pointer.
+pub const DMA_MAP_FNS: &[(&str, usize)] = &[
+    ("dma_map_single", 1),
+    ("pci_map_single", 1),
+    ("dma_map_page", 1),
+    ("dma_map_sg", 1),
+];
+
+/// Allocators that carve sub-page fragments from shared pages
+/// (type (c) producers; "used 344 times by network drivers", §5.2.2).
+pub const PAGE_FRAG_FNS: &[&str] = &[
+    "netdev_alloc_skb",
+    "napi_alloc_skb",
+    "netdev_alloc_frag",
+    "napi_alloc_frag",
+    "page_frag_alloc",
+    "__netdev_alloc_skb",
+];
+
+/// APIs that return private data regions co-located with driver/OS
+/// metadata on one allocation.
+pub const PRIVATE_DATA_FNS: &[&str] = &["netdev_priv", "aead_request_ctx", "scsi_cmd_priv"];
+
+/// Where a mapped pointer was found to come from.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MappedOrigin {
+    /// `&x->field`: the buffer is embedded in a larger struct — the
+    /// classic type (a).
+    EmbeddedInStruct {
+        /// The containing struct.
+        struct_name: String,
+        /// The embedded buffer field.
+        field: String,
+    },
+    /// `skb->data` (or a pointer assigned from it): the page carries
+    /// `skb_shared_info` (type (b)).
+    SkbData,
+    /// A buffer passed through `build_skb` in the same function: the
+    /// shared info was *placed into* the mapped buffer (type (b)).
+    BuildSkb,
+    /// A page_frag-family allocation (type (c)).
+    PageFrag {
+        /// The allocator used.
+        api: String,
+    },
+    /// A private-data API return (`netdev_priv`, ...).
+    PrivateData {
+        /// The API used.
+        api: String,
+    },
+    /// Plain kmalloc/kzalloc buffer (statically clean; random
+    /// co-location is D-KASAN's department).
+    Kmalloc,
+    /// A local (stack) array was mapped.
+    StackBuffer,
+    /// A whole `struct page` (dma_map_page).
+    PageArg,
+    /// The trail went cold.
+    Unknown,
+}
+
+/// One analyzed dma_map call site.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Source path.
+    pub file: String,
+    /// Call line.
+    pub line: u32,
+    /// Enclosing function.
+    pub caller: String,
+    /// The map function called.
+    pub map_fn: String,
+    /// Resolved origin of the mapped pointer.
+    pub origin: MappedOrigin,
+    /// Callback pointers directly on the exposed page (embedded
+    /// function-pointer fields of the exposed struct).
+    pub direct_callbacks: usize,
+    /// Callback pointers spoofable through exposed struct pointers.
+    pub spoofable_callbacks: usize,
+    /// Heap (data) pointers on the exposed structure — kernel-address
+    /// leaks ("exposed callback pointers or mapped heap pointers",
+    /// §4.1.1).
+    pub heap_pointers: usize,
+    /// `skb_shared_info` ends up on the mapped page.
+    pub shinfo_mapped: bool,
+    /// The enclosing function (or origin) uses `build_skb`.
+    pub uses_build_skb: bool,
+    /// The call site is exposed to type (c) page sharing.
+    pub type_c: bool,
+    /// Backtrace lines (Figure-2 style, innermost first).
+    pub trace: Vec<String>,
+}
+
+impl Finding {
+    /// "Callbacks exposed" in the Table-2 sense: the device can reach a
+    /// callback pointer, directly or by spoofing.
+    pub fn callbacks_exposed(&self) -> bool {
+        self.direct_callbacks > 0 || self.spoofable_callbacks > 0
+    }
+}
+
+/// Runs SPADE over a loaded source tree: one [`Finding`] per dma_map
+/// call site.
+///
+/// # Examples
+///
+/// ```
+/// use spade::{analyze, SourceTree};
+///
+/// let driver = r#"
+///     struct op { char buf[64]; void (*done)(void); };
+///     int probe(struct device *dev, struct op *op) {
+///         dma_map_single(dev, &op->buf, 64, DMA_BIDIRECTIONAL);
+///         return 0;
+///     }
+/// "#;
+/// let tree = SourceTree::load([("drv.c", driver)]);
+/// let findings = analyze(&tree);
+/// assert_eq!(findings.len(), 1);
+/// assert_eq!(findings[0].direct_callbacks, 1); // `done` is exposed
+/// ```
+pub fn analyze(tree: &SourceTree) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for &(map_fn, arg_idx) in DMA_MAP_FNS {
+        for site in tree.callers_of(map_fn) {
+            findings.push(analyze_site(tree, site, map_fn, arg_idx));
+        }
+    }
+    findings.sort_by_key(|a| (a.file.clone(), a.line));
+    findings
+}
+
+fn analyze_site(tree: &SourceTree, site: &CallSite, map_fn: &str, arg_idx: usize) -> Finding {
+    let file = tree.files[site.file].path.clone();
+    let mut trace = vec![format!(
+        "{}:{}: {}() called in {}()",
+        file, site.line, map_fn, site.caller
+    )];
+    let mut finding = Finding {
+        file: file.clone(),
+        line: site.line,
+        caller: site.caller.clone(),
+        map_fn: map_fn.to_string(),
+        origin: MappedOrigin::Unknown,
+        direct_callbacks: 0,
+        spoofable_callbacks: 0,
+        heap_pointers: 0,
+        shinfo_mapped: false,
+        uses_build_skb: false,
+        type_c: false,
+        trace: Vec::new(),
+    };
+
+    let Some((_, func)) = tree.func(&site.caller) else {
+        finding.trace = trace;
+        return finding;
+    };
+    let origin = match site.args.get(arg_idx) {
+        Some(expr) => resolve_origin(tree, func, expr, 3, &mut trace),
+        None => MappedOrigin::Unknown,
+    };
+
+    // Function-wide context: build_skb / page_frag usage.
+    let fn_calls = function_call_names(func);
+    finding.uses_build_skb = fn_calls.iter().any(|n| n == "build_skb");
+    let fn_uses_frag = fn_calls.iter().any(|n| PAGE_FRAG_FNS.contains(&n.as_str()));
+
+    match &origin {
+        MappedOrigin::EmbeddedInStruct { struct_name, .. } => {
+            finding.direct_callbacks = tree.types.direct_callbacks(struct_name);
+            finding.spoofable_callbacks = tree.types.spoofable_callbacks(struct_name, 6);
+            finding.heap_pointers = tree.types.heap_pointers(struct_name);
+            trace.push(format!(
+                "struct {} exposed: {} callback pointer(s) mapped, {} spoofable, {} heap pointer(s) leaked",
+                struct_name, finding.direct_callbacks, finding.spoofable_callbacks, finding.heap_pointers
+            ));
+        }
+        MappedOrigin::SkbData | MappedOrigin::BuildSkb => {
+            finding.shinfo_mapped = true;
+            finding.spoofable_callbacks = finding
+                .spoofable_callbacks
+                .max(tree.types.spoofable_callbacks("skb_shared_info", 6));
+            finding.direct_callbacks += tree.types.direct_callbacks("skb_shared_info");
+            trace.push(
+                "skb_shared_info resides on the mapped page (destructor_arg spoofable)".into(),
+            );
+        }
+        MappedOrigin::PageFrag { api } => {
+            finding.type_c = true;
+            // page_frag buffers carry skbs in network drivers; their
+            // shared info is on the page when the skb APIs are used.
+            if api.contains("skb") {
+                finding.shinfo_mapped = true;
+                finding.spoofable_callbacks = finding
+                    .spoofable_callbacks
+                    .max(tree.types.spoofable_callbacks("skb_shared_info", 6));
+            }
+            trace.push(format!(
+                "buffer carved by {api}() — page shared with other mappings"
+            ));
+        }
+        MappedOrigin::PrivateData { api } => {
+            trace.push(format!("private data region from {api}() mapped"));
+            // Private regions co-locate with the owning object's
+            // metadata; census the canonical container if known.
+            let container = match api.as_str() {
+                "netdev_priv" => Some("net_device"),
+                "aead_request_ctx" => Some("aead_request"),
+                "scsi_cmd_priv" => Some("scsi_cmnd"),
+                _ => None,
+            };
+            if let Some(c) = container {
+                finding.direct_callbacks = tree.types.direct_callbacks(c);
+                finding.spoofable_callbacks = tree.types.spoofable_callbacks(c, 6);
+            }
+        }
+        MappedOrigin::StackBuffer => {
+            trace.push("local stack buffer mapped — kernel stack exposed to device".into());
+        }
+        MappedOrigin::Kmalloc | MappedOrigin::PageArg | MappedOrigin::Unknown => {}
+    }
+    if fn_uses_frag && !finding.type_c {
+        finding.type_c = true;
+        trace.push("enclosing function allocates from page_frag (type (c) sharing)".into());
+    }
+    if finding.uses_build_skb && !finding.shinfo_mapped {
+        finding.shinfo_mapped = true;
+        finding.spoofable_callbacks = finding
+            .spoofable_callbacks
+            .max(tree.types.spoofable_callbacks("skb_shared_info", 6));
+        trace.push("build_skb() embeds skb_shared_info into the mapped buffer".into());
+    }
+    finding.origin = origin;
+    finding.trace = trace;
+    finding
+}
+
+fn function_call_names(func: &FuncDef) -> Vec<String> {
+    func.body
+        .iter()
+        .flat_map(calls_in_stmt)
+        .filter_map(|c| match c {
+            Expr::Call { name, .. } => Some(name.clone()),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Backtracks a mapped expression to its origin.
+fn resolve_origin(
+    tree: &SourceTree,
+    func: &FuncDef,
+    expr: &Expr,
+    depth: usize,
+    trace: &mut Vec<String>,
+) -> MappedOrigin {
+    match expr {
+        // &x->field / &x.field: embedded buffer.
+        Expr::AddrOf(inner) => {
+            if let Expr::Member { base, field, .. } = &**inner {
+                if let Some(ty) = tree.type_of_expr(func, base) {
+                    if let Some(sname) = ty.base_name() {
+                        trace.push(format!(
+                            "mapped expression &{}->{} — buffer embedded in struct {}",
+                            expr_name(base),
+                            field,
+                            sname
+                        ));
+                        return MappedOrigin::EmbeddedInStruct {
+                            struct_name: sname.to_string(),
+                            field: field.clone(),
+                        };
+                    }
+                }
+            }
+            resolve_origin(tree, func, inner, depth, trace)
+        }
+        // x->data on an sk_buff.
+        Expr::Member { base, field, .. } => {
+            if field == "data" {
+                if let Some(ty) = tree.type_of_expr(func, base) {
+                    if ty.base_name() == Some("sk_buff") {
+                        trace.push(format!(
+                            "mapped expression {}->data (sk_buff)",
+                            expr_name(base)
+                        ));
+                        return MappedOrigin::SkbData;
+                    }
+                }
+                // Heuristic: `x->data` on ring/buffer-info structs is the
+                // skb data pointer stashed by the driver.
+                trace.push(format!("mapped expression {}->data", expr_name(base)));
+                return MappedOrigin::SkbData;
+            }
+            MappedOrigin::Unknown
+        }
+        Expr::Call { name, .. } => classify_producer(name, trace),
+        Expr::Ident(name) => {
+            // Walk the function for the producing declaration/assignment.
+            for stmt in func.body.iter().rev() {
+                match stmt {
+                    Stmt::Decl {
+                        name: n,
+                        ty,
+                        init,
+                        line,
+                    } if n == name => {
+                        if let CType::Array(_, sz) = ty {
+                            trace.push(format!(
+                                "{}: '{}[{}]' is a local stack buffer",
+                                line, name, sz
+                            ));
+                            return MappedOrigin::StackBuffer;
+                        }
+                        if let Some(rhs) = init {
+                            trace.push(format!("{line}: '{name}' initialized here"));
+                            return resolve_origin(tree, func, rhs, depth, trace);
+                        }
+                    }
+                    Stmt::Assign {
+                        lhs: Expr::Ident(n),
+                        rhs,
+                        line,
+                    } if n == name => {
+                        trace.push(format!("{line}: '{name}' assigned here"));
+                        return resolve_origin(tree, func, rhs, depth, trace);
+                    }
+                    _ => {}
+                }
+            }
+            // A parameter? Trace through callers.
+            if let Some(pos) = func.params.iter().position(|p| &p.name == name) {
+                if depth > 0 {
+                    for caller_site in tree.callers_of(&func.name) {
+                        if let Some(arg) = caller_site.args.get(pos) {
+                            if let Some((_, caller_fn)) = tree.func(&caller_site.caller) {
+                                trace.push(format!(
+                                    "'{}' is parameter #{} of {}(); traced to caller {}() at {}:{}",
+                                    name,
+                                    pos,
+                                    func.name,
+                                    caller_site.caller,
+                                    tree.files[caller_site.file].path,
+                                    caller_site.line
+                                ));
+                                let o = resolve_origin(tree, caller_fn, arg, depth - 1, trace);
+                                if o != MappedOrigin::Unknown {
+                                    return o;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            MappedOrigin::Unknown
+        }
+        Expr::Deref(inner) | Expr::Index(inner) => resolve_origin(tree, func, inner, depth, trace),
+        _ => MappedOrigin::Unknown,
+    }
+}
+
+fn classify_producer(name: &str, trace: &mut Vec<String>) -> MappedOrigin {
+    if PAGE_FRAG_FNS.contains(&name) {
+        trace.push(format!("allocated by {name}()"));
+        return MappedOrigin::PageFrag {
+            api: name.to_string(),
+        };
+    }
+    if PRIVATE_DATA_FNS.contains(&name) {
+        trace.push(format!("obtained from {name}()"));
+        return MappedOrigin::PrivateData {
+            api: name.to_string(),
+        };
+    }
+    match name {
+        "build_skb" => {
+            trace.push("buffer wrapped by build_skb()".into());
+            MappedOrigin::BuildSkb
+        }
+        "kmalloc" | "kzalloc" | "kcalloc" | "kmalloc_array" => {
+            trace.push(format!("allocated by {name}()"));
+            MappedOrigin::Kmalloc
+        }
+        "alloc_page" | "alloc_pages" | "__get_free_pages" | "page_address" => {
+            trace.push(format!("whole page(s) from {name}()"));
+            MappedOrigin::PageArg
+        }
+        _ => MappedOrigin::Unknown,
+    }
+}
+
+fn expr_name(e: &Expr) -> String {
+    match e {
+        Expr::Ident(n) => n.clone(),
+        Expr::Member { base, field, arrow } => {
+            format!(
+                "{}{}{}",
+                expr_name(base),
+                if *arrow { "->" } else { "." },
+                field
+            )
+        }
+        Expr::Deref(i) => format!("*{}", expr_name(i)),
+        Expr::AddrOf(i) => format!("&{}", expr_name(i)),
+        Expr::Index(i) => format!("{}[]", expr_name(i)),
+        _ => "<expr>".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const HDR: &str = r#"
+        struct ubuf_info { void (*callback)(void); void *ctx; u64 desc; };
+        struct skb_shared_info {
+            u8 nr_frags;
+            struct ubuf_info *destructor_arg;
+        };
+        struct sk_buff { unsigned char *data; unsigned int len; };
+    "#;
+
+    fn run(driver: &str) -> Vec<Finding> {
+        let tree = SourceTree::load([("linux/skbuff.h", HDR), ("driver.c", driver)]);
+        analyze(&tree)
+    }
+
+    #[test]
+    fn embedded_struct_map_is_type_a_with_callbacks() {
+        let fs = run(r#"
+            struct fcp_op { char rsp_iu[96]; void (*done)(void); struct ubuf_info *extra; };
+            int setup(struct device *dev, struct fcp_op *op) {
+                op->dma = dma_map_single(dev, &op->rsp_iu, 96, DMA_BIDIRECTIONAL);
+                return 0;
+            }
+        "#);
+        assert_eq!(fs.len(), 1);
+        let f = &fs[0];
+        assert_eq!(
+            f.origin,
+            MappedOrigin::EmbeddedInStruct {
+                struct_name: "fcp_op".into(),
+                field: "rsp_iu".into()
+            }
+        );
+        assert_eq!(f.direct_callbacks, 1);
+        assert_eq!(f.spoofable_callbacks, 1); // via the ubuf_info pointer
+        assert!(f.callbacks_exposed());
+    }
+
+    #[test]
+    fn skb_data_map_flags_shinfo() {
+        let fs = run(r#"
+            int rx(struct device *dev, struct sk_buff *skb) {
+                dma_addr_t dma;
+                dma = dma_map_single(dev, skb->data, skb->len, DMA_FROM_DEVICE);
+                return 0;
+            }
+        "#);
+        assert_eq!(fs[0].origin, MappedOrigin::SkbData);
+        assert!(fs[0].shinfo_mapped);
+        assert!(fs[0].spoofable_callbacks >= 1, "destructor_arg spoofing");
+    }
+
+    #[test]
+    fn netdev_alloc_skb_is_type_c_and_shinfo() {
+        let fs = run(r#"
+            int refill(struct device *dev, struct net_device *nd) {
+                struct sk_buff *skb;
+                skb = netdev_alloc_skb(nd, 2048);
+                dma_map_single(dev, skb, 2048, DMA_FROM_DEVICE);
+                return 0;
+            }
+        "#);
+        assert!(fs[0].type_c);
+    }
+
+    #[test]
+    fn build_skb_in_function_flags_type_b() {
+        let fs = run(r#"
+            int rx_build(struct device *dev, void *buf) {
+                struct sk_buff *skb;
+                dma_map_single(dev, buf, 2048, DMA_FROM_DEVICE);
+                skb = build_skb(buf, 2048);
+                return 0;
+            }
+        "#);
+        assert!(fs[0].uses_build_skb);
+        assert!(fs[0].shinfo_mapped);
+    }
+
+    #[test]
+    fn stack_buffer_detected() {
+        let fs = run(r#"
+            int cmd(struct device *dev) {
+                char req[64];
+                dma_map_single(dev, req, 64, DMA_TO_DEVICE);
+                return 0;
+            }
+        "#);
+        assert_eq!(fs[0].origin, MappedOrigin::StackBuffer);
+    }
+
+    #[test]
+    fn kmalloc_buffer_is_statically_clean() {
+        let fs = run(r#"
+            int setup(struct device *dev) {
+                void *buf;
+                buf = kzalloc(512, GFP_KERNEL);
+                dma_map_single(dev, buf, 512, DMA_TO_DEVICE);
+                return 0;
+            }
+        "#);
+        assert_eq!(fs[0].origin, MappedOrigin::Kmalloc);
+        assert!(!fs[0].callbacks_exposed());
+        assert!(!fs[0].type_c);
+    }
+
+    #[test]
+    fn parameter_traced_through_caller() {
+        let fs = run(r#"
+            struct big { char data[128]; void (*handler)(void); };
+            static int do_map(struct device *dev, void *p, int len) {
+                dma_map_single(dev, p, len, DMA_TO_DEVICE);
+                return 0;
+            }
+            int top(struct device *dev, struct big *b) {
+                do_map(dev, &b->data, 128);
+                return 0;
+            }
+        "#);
+        assert_eq!(fs.len(), 1);
+        assert_eq!(
+            fs[0].origin,
+            MappedOrigin::EmbeddedInStruct {
+                struct_name: "big".into(),
+                field: "data".into()
+            }
+        );
+        assert_eq!(fs[0].direct_callbacks, 1);
+        assert!(fs[0].trace.iter().any(|t| t.contains("traced to caller")));
+    }
+
+    #[test]
+    fn private_data_api_detected() {
+        let fs = run(r#"
+            struct net_device { void (*ndo_start_xmit)(void); };
+            int map_priv(struct device *dev, struct net_device *nd) {
+                void *priv;
+                priv = netdev_priv(nd);
+                dma_map_single(dev, priv, 256, DMA_BIDIRECTIONAL);
+                return 0;
+            }
+        "#);
+        assert_eq!(
+            fs[0].origin,
+            MappedOrigin::PrivateData {
+                api: "netdev_priv".into()
+            }
+        );
+        assert_eq!(fs[0].direct_callbacks, 1);
+    }
+}

@@ -1,0 +1,364 @@
+//! Structure layout — the pahole equivalent.
+//!
+//! Computes LP64 field offsets and sizes for the parsed struct
+//! definitions, and performs the callback census SPADE reports:
+//!
+//! - **direct callbacks**: function-pointer fields reachable inside the
+//!   struct itself (including embedded structs and arrays) — these are
+//!   on the mapped page, immediately overwritable;
+//! - **spoofable callbacks**: callbacks reachable through struct
+//!   *pointer* fields — the device cannot write them directly, but it
+//!   can redirect the pointer to a forged instance (Figure 2 line \[8\]:
+//!   "931 callbacks may be spoofed").
+
+use crate::parse::{CType, StructDef};
+use std::collections::{HashMap, HashSet};
+
+/// Computed layout of one struct.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StructLayout {
+    /// Total size in bytes.
+    pub size: usize,
+    /// Alignment in bytes.
+    pub align: usize,
+    /// (field name, offset, size) in declaration order.
+    pub fields: Vec<(String, usize, usize)>,
+}
+
+/// A registry of all struct definitions and typedefs in a source tree.
+#[derive(Clone, Debug, Default)]
+pub struct TypeTable {
+    structs: HashMap<String, StructDef>,
+    typedefs: HashMap<String, CType>,
+}
+
+fn scalar_size(name: &str) -> Option<(usize, usize)> {
+    // (size, align) for LP64.
+    Some(match name {
+        "char" | "bool" | "u8" | "s8" | "__u8" | "uint8_t" | "u_char" => (1, 1),
+        "short" | "u16" | "s16" | "__u16" | "uint16_t" => (2, 2),
+        "int" | "unsigned" | "signed" | "u32" | "s32" | "__u32" | "uint32_t" | "atomic_t"
+        | "gfp_t" | "netdev_tx_t" | "irqreturn_t" | "spinlock_t" => (4, 4),
+        "long" | "u64" | "s64" | "__u64" | "uint64_t" | "size_t" | "ssize_t" | "dma_addr_t"
+        | "float" | "double" | "wait_queue_head_t" => (8, 8),
+        _ => return None,
+    })
+}
+
+impl TypeTable {
+    /// Builds a table from parsed definitions.
+    pub fn new(structs: &[StructDef], typedefs: &HashMap<String, CType>) -> Self {
+        let mut t = TypeTable::default();
+        for s in structs {
+            t.structs.insert(s.name.clone(), s.clone());
+        }
+        t.typedefs = typedefs.clone();
+        t
+    }
+
+    /// Looks up a struct definition (resolving typedef aliases).
+    pub fn struct_def(&self, name: &str) -> Option<&StructDef> {
+        if let Some(s) = self.structs.get(name) {
+            return Some(s);
+        }
+        match self.typedefs.get(name) {
+            Some(CType::Named(n)) if n != name => self.struct_def(n),
+            _ => None,
+        }
+    }
+
+    /// Size and alignment of a type; unknown types are treated as
+    /// 8-byte opaque words (fault tolerance).
+    pub fn size_align(&self, ty: &CType) -> (usize, usize) {
+        match ty {
+            CType::Void => (0, 1),
+            CType::Ptr(_) | CType::FnPtr => (8, 8),
+            CType::Array(inner, n) => {
+                let (s, a) = self.size_align(inner);
+                (s * n, a)
+            }
+            CType::Named(name) => {
+                if let Some((s, a)) = scalar_size(name) {
+                    return (s, a);
+                }
+                if let Some(l) = self.layout_of_name(name) {
+                    return (l.size, l.align);
+                }
+                (8, 8)
+            }
+        }
+    }
+
+    /// Computes the layout of a struct by name.
+    pub fn layout_of_name(&self, name: &str) -> Option<StructLayout> {
+        let def = self.struct_def(name)?;
+        Some(self.layout_of(def))
+    }
+
+    /// Computes the layout of a struct definition.
+    pub fn layout_of(&self, def: &StructDef) -> StructLayout {
+        let mut fields = Vec::new();
+        let mut offset = 0usize;
+        let mut align = 1usize;
+        for f in &def.fields {
+            let (s, a) = self.size_align(&f.ty);
+            align = align.max(a);
+            if def.is_union {
+                fields.push((f.name.clone(), 0, s));
+                offset = offset.max(s);
+            } else {
+                offset = offset.div_ceil(a.max(1)) * a.max(1);
+                fields.push((f.name.clone(), offset, s));
+                offset += s;
+            }
+        }
+        let size = offset.div_ceil(align) * align;
+        StructLayout {
+            size: size.max(1),
+            align,
+            fields,
+        }
+    }
+
+    /// Byte offset of `field` within struct `name`.
+    pub fn field_offset(&self, name: &str, field: &str) -> Option<usize> {
+        let l = self.layout_of_name(name)?;
+        l.fields
+            .iter()
+            .find(|(f, _, _)| f == field)
+            .map(|(_, o, _)| *o)
+    }
+
+    /// Resolves a field's declared type.
+    pub fn field_type(&self, name: &str, field: &str) -> Option<&CType> {
+        let def = self.struct_def(name)?;
+        def.fields.iter().find(|f| f.name == field).map(|f| &f.ty)
+    }
+
+    /// Counts function-pointer fields *embedded* in the struct
+    /// (recursing into embedded structs/unions and arrays).
+    pub fn direct_callbacks(&self, name: &str) -> usize {
+        let mut seen = HashSet::new();
+        self.direct_callbacks_inner(name, &mut seen)
+    }
+
+    fn direct_callbacks_inner(&self, name: &str, seen: &mut HashSet<String>) -> usize {
+        if !seen.insert(name.to_string()) {
+            return 0;
+        }
+        let Some(def) = self.struct_def(name) else {
+            return 0;
+        };
+        let mut n = 0;
+        for f in &def.fields {
+            n += self.count_embedded(&f.ty, seen);
+        }
+        seen.remove(name);
+        n
+    }
+
+    fn count_embedded(&self, ty: &CType, seen: &mut HashSet<String>) -> usize {
+        match ty {
+            CType::FnPtr => 1,
+            CType::Array(inner, n) => self.count_embedded(inner, seen) * n,
+            CType::Named(name) => self.direct_callbacks_inner(name, seen),
+            _ => 0, // Pointers are not embedded.
+        }
+    }
+
+    /// Counts callbacks *spoofable* through the struct: for every struct
+    /// pointer field, the total callbacks (direct + further spoofable,
+    /// bounded by `depth`) of the pointee. Replacing the pointer with a
+    /// forged instance lets the attacker control those callbacks.
+    pub fn spoofable_callbacks(&self, name: &str, depth: usize) -> usize {
+        let Some(def) = self.struct_def(name) else {
+            return 0;
+        };
+        if depth == 0 {
+            return 0;
+        }
+        let mut n = 0;
+        for f in &def.fields {
+            if let CType::Ptr(inner) = &f.ty {
+                if let Some(pointee) = inner.base_name() {
+                    if self.struct_def(pointee).is_some() {
+                        n += self.direct_callbacks(pointee)
+                            + self.spoofable_callbacks(pointee, depth - 1);
+                    }
+                }
+            }
+        }
+        n
+    }
+
+    /// Counts *heap pointer* fields in the struct (data pointers the
+    /// device can read — kernel-address leaks — or redirect before the
+    /// kernel dereferences them). Function pointers are counted by the
+    /// callback census instead; recursion covers embedded structs.
+    pub fn heap_pointers(&self, name: &str) -> usize {
+        let mut seen = HashSet::new();
+        self.heap_pointers_inner(name, &mut seen)
+    }
+
+    fn heap_pointers_inner(&self, name: &str, seen: &mut HashSet<String>) -> usize {
+        if !seen.insert(name.to_string()) {
+            return 0;
+        }
+        let Some(def) = self.struct_def(name) else {
+            return 0;
+        };
+        let mut n = 0;
+        for f in &def.fields {
+            n += match &f.ty {
+                CType::Ptr(_) => 1,
+                CType::Array(inner, cnt) => match &**inner {
+                    CType::Ptr(_) => *cnt,
+                    CType::Named(inner_name) => self.heap_pointers_inner(inner_name, seen) * cnt,
+                    _ => 0,
+                },
+                CType::Named(embedded) => self.heap_pointers_inner(embedded, seen),
+                _ => 0,
+            };
+        }
+        seen.remove(name);
+        n
+    }
+
+    /// Number of known struct definitions.
+    pub fn len(&self) -> usize {
+        self.structs.len()
+    }
+
+    /// `true` if no structs are registered.
+    pub fn is_empty(&self) -> bool {
+        self.structs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_file;
+
+    fn table(src: &str) -> TypeTable {
+        let f = parse_file("t.c", src);
+        TypeTable::new(&f.structs, &f.typedefs)
+    }
+
+    #[test]
+    fn natural_alignment_layout() {
+        let t = table("struct s { u8 a; u32 b; u8 c; u64 d; };");
+        let l = t.layout_of_name("s").unwrap();
+        assert_eq!(
+            l.fields,
+            vec![
+                ("a".into(), 0, 1),
+                ("b".into(), 4, 4),
+                ("c".into(), 8, 1),
+                ("d".into(), 16, 8),
+            ]
+        );
+        assert_eq!(l.size, 24);
+        assert_eq!(l.align, 8);
+    }
+
+    #[test]
+    fn skb_shared_info_model_layout_matches_simulator() {
+        // The corpus header mirrors sim-net's byte layout; verify the
+        // layout engine reproduces the same offsets.
+        let t = table(
+            r#"
+            struct skb_frag_t { struct page *page; __u32 page_offset; __u32 size; };
+            struct skb_shared_info {
+                __u8 nr_frags;
+                __u8 tx_flags;
+                __u16 gso_size;
+                __u16 gso_segs;
+                __u16 gso_type;
+                struct sk_buff *frag_list;
+                struct skb_shared_hwtstamps_t hwtstamps;
+                __u32 tskey;
+                __u32 ip6_frag_id;
+                atomic_t dataref;
+                void *destructor_arg;
+                struct skb_frag_t frags[17];
+            };
+            struct skb_shared_hwtstamps_t { __u64 hwtstamp; };
+            "#,
+        );
+        assert_eq!(
+            t.field_offset("skb_shared_info", "destructor_arg"),
+            Some(40)
+        );
+        assert_eq!(t.field_offset("skb_shared_info", "frags"), Some(48));
+        let l = t.layout_of_name("skb_shared_info").unwrap();
+        assert_eq!(l.size, 320);
+    }
+
+    #[test]
+    fn union_fields_overlap() {
+        let t = table("union u { u32 a; u64 b; u8 c; };");
+        let l = t.layout_of_name("u").unwrap();
+        assert!(l.fields.iter().all(|(_, off, _)| *off == 0));
+        assert_eq!(l.size, 8);
+    }
+
+    #[test]
+    fn direct_callback_census_recurses_embedded() {
+        let t = table(
+            r#"
+            struct inner { void (*cb)(void); int x; };
+            struct outer {
+                struct inner a;
+                struct inner pair[2];
+                void (*own)(int);
+                struct inner *ptr;
+            };
+            "#,
+        );
+        // a (1) + pair (2) + own (1); ptr is NOT embedded.
+        assert_eq!(t.direct_callbacks("outer"), 4);
+        assert_eq!(t.direct_callbacks("inner"), 1);
+    }
+
+    #[test]
+    fn spoofable_census_follows_pointers() {
+        let t = table(
+            r#"
+            struct ops { void (*a)(void); void (*b)(void); };
+            struct dev { struct ops *ops; int id; };
+            struct req { struct dev *dev; void (*done)(void); };
+            "#,
+        );
+        assert_eq!(t.direct_callbacks("req"), 1);
+        // Through req.dev: dev has 0 direct, but dev.ops has 2.
+        assert_eq!(t.spoofable_callbacks("req", 4), 2);
+        assert_eq!(t.spoofable_callbacks("dev", 4), 2);
+        assert_eq!(
+            t.spoofable_callbacks("req", 1),
+            0,
+            "depth 1 sees no fnptrs via dev"
+        );
+    }
+
+    #[test]
+    fn recursive_structs_terminate() {
+        let t = table("struct node { struct node *next; void (*f)(void); };");
+        assert_eq!(t.direct_callbacks("node"), 1);
+        // Bounded by depth, not by infinite recursion.
+        assert_eq!(t.spoofable_callbacks("node", 3), 3);
+    }
+
+    #[test]
+    fn typedef_alias_resolves() {
+        let t = table("typedef struct real { u64 x; } alias_t;");
+        assert_eq!(t.layout_of_name("alias_t").unwrap().size, 8);
+    }
+
+    #[test]
+    fn unknown_types_default_to_word() {
+        let t = table("struct s { struct mystery m; u8 tail; };");
+        let l = t.layout_of_name("s").unwrap();
+        assert_eq!(l.size, 16);
+    }
+}

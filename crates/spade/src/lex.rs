@@ -1,0 +1,308 @@
+//! A C tokenizer.
+//!
+//! Handles comments, string/char literals, numbers, identifiers,
+//! punctuation, and line-oriented preprocessor directives. Object-like
+//! `#define NAME <number>` macros are expanded (array sizes in the
+//! corpus use them); other directives are recorded and skipped.
+
+use std::collections::HashMap;
+
+/// A lexical token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Integer literal (value).
+    Num(i64),
+    /// String literal (contents).
+    Str(String),
+    /// Punctuation / operator, e.g. `->`, `(`, `;`.
+    Punct(&'static str),
+}
+
+/// A token with its source line (1-based).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpannedTok {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+const PUNCTS: &[&str] = &[
+    "->", "<<=", ">>=", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "++", "--", "+=", "-=",
+    "*=", "/=", "%=", "&=", "|=", "^=", "...", "(", ")", "{", "}", "[", "]", ";", ",", ".", "&",
+    "*", "+", "-", "/", "%", "<", ">", "=", "!", "|", "^", "~", "?", ":",
+];
+
+/// Tokenizes C source, expanding simple numeric `#define`s.
+pub fn lex(src: &str) -> Vec<SpannedTok> {
+    let mut defines: HashMap<String, i64> = HashMap::new();
+    let mut out = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let n = bytes.len();
+
+    while i < n {
+        let c = bytes[i] as char;
+        // Newlines / whitespace.
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < n {
+            match bytes[i + 1] as char {
+                '/' => {
+                    while i < n && bytes[i] != b'\n' {
+                        i += 1;
+                    }
+                    continue;
+                }
+                '*' => {
+                    i += 2;
+                    while i + 1 < n && !(bytes[i] == b'*' && bytes[i + 1] == b'/') {
+                        if bytes[i] == b'\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                    i = (i + 2).min(n);
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        // Preprocessor lines.
+        if c == '#' {
+            let start = i;
+            let mut end = i;
+            // Directives can continue with backslash-newline.
+            while end < n {
+                if bytes[end] == b'\\' && end + 1 < n && bytes[end + 1] == b'\n' {
+                    line += 1;
+                    end += 2;
+                    continue;
+                }
+                if bytes[end] == b'\n' {
+                    break;
+                }
+                end += 1;
+            }
+            let directive = String::from_utf8_lossy(&bytes[start..end]);
+            parse_define(&directive, &mut defines);
+            i = end;
+            continue;
+        }
+        // String literal.
+        if c == '"' {
+            let mut s = String::new();
+            i += 1;
+            while i < n && bytes[i] != b'"' {
+                if bytes[i] == b'\\' && i + 1 < n {
+                    s.push(bytes[i + 1] as char);
+                    i += 2;
+                } else {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                    }
+                    s.push(bytes[i] as char);
+                    i += 1;
+                }
+            }
+            i += 1;
+            out.push(SpannedTok {
+                tok: Tok::Str(s),
+                line,
+            });
+            continue;
+        }
+        // Char literal → number.
+        if c == '\'' {
+            let mut v = 0i64;
+            i += 1;
+            while i < n && bytes[i] != b'\'' {
+                if bytes[i] == b'\\' && i + 1 < n {
+                    i += 1;
+                }
+                v = bytes[i] as i64;
+                i += 1;
+            }
+            i += 1;
+            out.push(SpannedTok {
+                tok: Tok::Num(v),
+                line,
+            });
+            continue;
+        }
+        // Number.
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < n
+                && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b'.')
+            {
+                i += 1;
+            }
+            // The consumed bytes are all ASCII by construction.
+            let text = std::str::from_utf8(&bytes[start..i]).expect("ASCII run");
+            out.push(SpannedTok {
+                tok: Tok::Num(parse_int(text)),
+                line,
+            });
+            continue;
+        }
+        // Identifier / keyword.
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < n && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+            }
+            let word = std::str::from_utf8(&bytes[start..i]).expect("ASCII run");
+            if let Some(&v) = defines.get(word) {
+                out.push(SpannedTok {
+                    tok: Tok::Num(v),
+                    line,
+                });
+            } else {
+                out.push(SpannedTok {
+                    tok: Tok::Ident(word.to_string()),
+                    line,
+                });
+            }
+            continue;
+        }
+        // Punctuation (longest match).
+        let mut matched = false;
+        for p in PUNCTS {
+            if bytes[i..].starts_with(p.as_bytes()) {
+                out.push(SpannedTok {
+                    tok: Tok::Punct(p),
+                    line,
+                });
+                i += p.len();
+                matched = true;
+                break;
+            }
+        }
+        if !matched {
+            i += 1; // Skip unknown bytes (fault tolerance).
+        }
+    }
+    out
+}
+
+fn parse_define(directive: &str, defines: &mut HashMap<String, i64>) {
+    let mut parts = directive.trim_start_matches('#').split_whitespace();
+    if parts.next() != Some("define") {
+        return;
+    }
+    let Some(name) = parts.next() else { return };
+    if name.contains('(') {
+        return; // Function-like macros are not expanded.
+    }
+    let Some(value) = parts.next() else { return };
+    if parts.next().is_some() {
+        return; // Multi-token bodies skipped.
+    }
+    let v = parse_int(value);
+    if v != 0 || value.trim_start_matches('0').is_empty() {
+        defines.insert(name.to_string(), v);
+    }
+}
+
+fn parse_int(text: &str) -> i64 {
+    let t = text
+        .trim_end_matches(['u', 'U', 'l', 'L'])
+        .trim_end_matches(['u', 'U', 'l', 'L']);
+    if let Some(hex) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16).unwrap_or(0)
+    } else {
+        t.parse().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            toks("int x = 42;"),
+            vec![
+                Tok::Ident("int".into()),
+                Tok::Ident("x".into()),
+                Tok::Punct("="),
+                Tok::Num(42),
+                Tok::Punct(";"),
+            ]
+        );
+    }
+
+    #[test]
+    fn arrow_and_member() {
+        assert_eq!(
+            toks("a->b.c"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Punct("->"),
+                Tok::Ident("b".into()),
+                Tok::Punct("."),
+                Tok::Ident("c".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped_lines_counted() {
+        let ts = lex("/* multi\nline */ x // trailing\ny");
+        assert_eq!(ts.len(), 2);
+        assert_eq!(ts[0].line, 2);
+        assert_eq!(ts[1].line, 3);
+    }
+
+    #[test]
+    fn numeric_defines_expand() {
+        let ts = toks("#define RING_SIZE 256\nint ring[RING_SIZE];");
+        assert!(ts.contains(&Tok::Num(256)));
+        assert!(!ts
+            .iter()
+            .any(|t| matches!(t, Tok::Ident(s) if s == "RING_SIZE")));
+    }
+
+    #[test]
+    fn hex_and_suffixed_numbers() {
+        assert_eq!(toks("0x1F 10UL"), vec![Tok::Num(31), Tok::Num(10)]);
+    }
+
+    #[test]
+    fn strings_and_chars() {
+        assert_eq!(
+            toks(r#""dev \"x\"" 'A'"#),
+            vec![Tok::Str("dev \"x\"".into()), Tok::Num(65)]
+        );
+    }
+
+    #[test]
+    fn include_lines_skipped() {
+        let ts = toks("#include <linux/skbuff.h>\nstruct sk_buff *skb;");
+        assert_eq!(ts[0], Tok::Ident("struct".into()));
+    }
+
+    #[test]
+    fn continuation_defines() {
+        // Multi-token define bodies are skipped but don't break lexing.
+        let ts = toks("#define min(a, b) \\\n ((a) < (b) ? (a) : (b))\nint y;");
+        assert_eq!(ts[0], Tok::Ident("int".into()));
+    }
+}

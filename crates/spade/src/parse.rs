@@ -1,0 +1,1103 @@
+//! A fault-tolerant, fuzzy C parser.
+//!
+//! Like Cscope, SPADE does not need a conforming C front end — it needs
+//! struct layouts, function bodies reduced to declarations / assignments
+//! / calls, and the ability to skip anything it does not understand.
+//! Statements that fail to parse are skipped to the next `;`, control
+//! flow is flattened (the analysis is flow-insensitive), and binary
+//! expressions collapse to their left operand (pointer arithmetic does
+//! not change which page a buffer exposes).
+
+use crate::lex::{lex, SpannedTok, Tok};
+use std::collections::HashMap;
+
+/// A C type, reduced to what layout and exposure analysis need.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CType {
+    /// `void`.
+    Void,
+    /// A named scalar or struct type (`int`, `u64`, `sk_buff`, ...).
+    /// Struct types are stored by bare tag name.
+    Named(String),
+    /// Pointer to a type.
+    Ptr(Box<CType>),
+    /// Fixed-size array.
+    Array(Box<CType>, usize),
+    /// A function pointer (the callback pointers SPADE hunts).
+    FnPtr,
+}
+
+impl CType {
+    /// Strips pointers/arrays down to the base named type, if any.
+    pub fn base_name(&self) -> Option<&str> {
+        match self {
+            CType::Named(n) => Some(n),
+            CType::Ptr(inner) | CType::Array(inner, _) => inner.base_name(),
+            _ => None,
+        }
+    }
+}
+
+/// A struct field.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Field {
+    /// Field name.
+    pub name: String,
+    /// Field type.
+    pub ty: CType,
+}
+
+/// A struct definition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StructDef {
+    /// Tag name.
+    pub name: String,
+    /// Fields in declaration order.
+    pub fields: Vec<Field>,
+    /// Definition line.
+    pub line: u32,
+    /// `true` for unions (all fields at offset 0).
+    pub is_union: bool,
+}
+
+/// An expression (fuzzy).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Expr {
+    /// Identifier reference.
+    Ident(String),
+    /// Integer literal.
+    Num(i64),
+    /// `base->field` or `base.field`.
+    Member {
+        /// The accessed object.
+        base: Box<Expr>,
+        /// Field name.
+        field: String,
+        /// `true` for `->`.
+        arrow: bool,
+    },
+    /// `&expr`.
+    AddrOf(Box<Expr>),
+    /// `*expr`.
+    Deref(Box<Expr>),
+    /// `name(args)`.
+    Call {
+        /// Callee name.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+        /// Call line.
+        line: u32,
+    },
+    /// `base[...]` (index expression dropped).
+    Index(Box<Expr>),
+    /// Anything unparsed.
+    Other,
+}
+
+/// A statement (fuzzy, flattened).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Stmt {
+    /// A local declaration, possibly initialized.
+    Decl {
+        /// Declared type.
+        ty: CType,
+        /// Variable name.
+        name: String,
+        /// Initializer.
+        init: Option<Expr>,
+        /// Source line.
+        line: u32,
+    },
+    /// `lhs = rhs;`
+    Assign {
+        /// Left-hand side.
+        lhs: Expr,
+        /// Right-hand side.
+        rhs: Expr,
+        /// Source line.
+        line: u32,
+    },
+    /// An expression statement (usually a call).
+    ExprStmt(Expr, u32),
+    /// `return expr;`
+    Return(Option<Expr>, u32),
+}
+
+/// A function parameter.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Param {
+    /// Parameter type.
+    pub ty: CType,
+    /// Parameter name.
+    pub name: String,
+}
+
+/// A function definition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FuncDef {
+    /// Function name.
+    pub name: String,
+    /// Parameters.
+    pub params: Vec<Param>,
+    /// Flattened body statements.
+    pub body: Vec<Stmt>,
+    /// Definition line.
+    pub line: u32,
+}
+
+/// A parsed translation unit.
+#[derive(Clone, Debug, Default)]
+pub struct ParsedFile {
+    /// Source path (for reports).
+    pub path: String,
+    /// Struct/union definitions.
+    pub structs: Vec<StructDef>,
+    /// `typedef` aliases.
+    pub typedefs: HashMap<String, CType>,
+    /// Function definitions.
+    pub funcs: Vec<FuncDef>,
+}
+
+const TYPE_KEYWORDS: &[&str] = &[
+    "void",
+    "char",
+    "short",
+    "int",
+    "long",
+    "unsigned",
+    "signed",
+    "float",
+    "double",
+    "bool",
+    "u8",
+    "u16",
+    "u32",
+    "u64",
+    "s8",
+    "s16",
+    "s32",
+    "s64",
+    "__u8",
+    "__u16",
+    "__u32",
+    "__u64",
+    "size_t",
+    "ssize_t",
+    "dma_addr_t",
+    "atomic_t",
+    "gfp_t",
+    "netdev_tx_t",
+    "irqreturn_t",
+    "spinlock_t",
+    "wait_queue_head_t",
+    "u_char",
+    "uint8_t",
+    "uint16_t",
+    "uint32_t",
+    "uint64_t",
+];
+
+const QUALIFIERS: &[&str] = &[
+    "static",
+    "inline",
+    "__always_inline",
+    "extern",
+    "const",
+    "volatile",
+    "__iomem",
+    "__user",
+    "__rcu",
+    "noinline",
+    "register",
+    "__init",
+    "__exit",
+    "__must_check",
+];
+
+struct Parser<'a> {
+    toks: &'a [SpannedTok],
+    pos: usize,
+    known_types: Vec<String>,
+}
+
+/// Parses a C source file.
+pub fn parse_file(path: &str, src: &str) -> ParsedFile {
+    let toks = lex(src);
+    let mut p = Parser {
+        toks: &toks,
+        pos: 0,
+        known_types: Vec::new(),
+    };
+    let mut out = ParsedFile {
+        path: path.to_string(),
+        ..Default::default()
+    };
+
+    while !p.at_end() {
+        let start = p.pos;
+        if !p.parse_top_level(&mut out) {
+            // Recovery: skip one token.
+            p.pos = start + 1;
+        }
+    }
+    out
+}
+
+impl<'a> Parser<'a> {
+    fn at_end(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|t| &t.tok)
+    }
+
+    fn peek_at(&self, off: usize) -> Option<&Tok> {
+        self.toks.get(self.pos + off).map(|t| &t.tok)
+    }
+
+    fn line(&self) -> u32 {
+        self.toks.get(self.pos).map(|t| t.line).unwrap_or(0)
+    }
+
+    fn bump(&mut self) -> Option<&'a Tok> {
+        let t = self.toks.get(self.pos).map(|t| &t.tok);
+        self.pos += 1;
+        t
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        if matches!(self.peek(), Some(Tok::Punct(q)) if *q == p) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_ident(&mut self, word: &str) -> bool {
+        if matches!(self.peek(), Some(Tok::Ident(w)) if w == word) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Option<String> {
+        if let Some(Tok::Ident(w)) = self.peek() {
+            let w = w.clone();
+            self.pos += 1;
+            Some(w)
+        } else {
+            None
+        }
+    }
+
+    fn skip_to_punct(&mut self, p: &str) {
+        while let Some(t) = self.peek() {
+            if matches!(t, Tok::Punct(q) if *q == p) {
+                self.pos += 1;
+                return;
+            }
+            self.pos += 1;
+        }
+    }
+
+    /// Skips a balanced `{...}` (assumes positioned at `{`).
+    fn skip_block(&mut self) {
+        if !self.eat_punct("{") {
+            return;
+        }
+        let mut depth = 1;
+        while depth > 0 && !self.at_end() {
+            match self.bump() {
+                Some(Tok::Punct("{")) => depth += 1,
+                Some(Tok::Punct("}")) => depth -= 1,
+                _ => {}
+            }
+        }
+    }
+
+    fn skip_qualifiers(&mut self) {
+        while let Some(Tok::Ident(w)) = self.peek() {
+            if QUALIFIERS.contains(&w.as_str()) {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn is_type_start(&self) -> bool {
+        match self.peek() {
+            Some(Tok::Ident(w)) => {
+                w == "struct"
+                    || w == "union"
+                    || w == "enum"
+                    || TYPE_KEYWORDS.contains(&w.as_str())
+                    || QUALIFIERS.contains(&w.as_str())
+                    || self.known_types.contains(w)
+            }
+            _ => false,
+        }
+    }
+
+    /// Parses type specifiers (not declarator stars): `struct foo`,
+    /// `unsigned long`, `u32`, typedef names.
+    fn parse_type_spec(&mut self) -> Option<CType> {
+        self.skip_qualifiers();
+        if self.eat_ident("struct") || self.eat_ident("union") || self.eat_ident("enum") {
+            let name = self.ident()?;
+            return Some(CType::Named(name));
+        }
+        if let Some(Tok::Ident(w)) = self.peek() {
+            if TYPE_KEYWORDS.contains(&w.as_str()) {
+                // Consume possibly multiple keywords (unsigned long int).
+                let mut last = String::new();
+                while let Some(Tok::Ident(w)) = self.peek() {
+                    if TYPE_KEYWORDS.contains(&w.as_str()) {
+                        last = w.clone();
+                        self.pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+                return Some(if last == "void" {
+                    CType::Void
+                } else {
+                    CType::Named(last)
+                });
+            }
+            if self.known_types.contains(w) {
+                let w = w.clone();
+                self.pos += 1;
+                return Some(CType::Named(w));
+            }
+        }
+        None
+    }
+
+    fn wrap_ptrs(&mut self, mut ty: CType) -> CType {
+        while self.eat_punct("*") {
+            self.skip_qualifiers();
+            ty = CType::Ptr(Box::new(ty));
+        }
+        ty
+    }
+
+    /// Parses one top-level construct; returns false on no progress.
+    fn parse_top_level(&mut self, out: &mut ParsedFile) -> bool {
+        self.skip_qualifiers();
+        // typedef ...
+        if self.eat_ident("typedef") {
+            return self.parse_typedef(out);
+        }
+        // struct/union definition?
+        if matches!(self.peek(), Some(Tok::Ident(w)) if w == "struct" || w == "union") {
+            if let (Some(Tok::Ident(_)), Some(Tok::Punct("{"))) = (self.peek_at(1), self.peek_at(2))
+            {
+                return self.parse_struct_def(out).is_some();
+            }
+        }
+        // Otherwise: a declaration or function definition.
+        let Some(ty) = self.parse_type_spec() else {
+            // Unknown top-level token: advance by one and retry (coarser
+            // skipping could swallow a following definition).
+            if matches!(self.peek(), Some(Tok::Punct("{"))) {
+                self.skip_block();
+            } else {
+                self.pos += 1;
+            }
+            return true;
+        };
+        let _ty = self.wrap_ptrs(ty);
+        let Some(name) = self.ident() else {
+            self.skip_to_punct(";");
+            return true;
+        };
+        if self.eat_punct("(") {
+            // Function: parse params.
+            let line = self.line();
+            let params = self.parse_params();
+            self.skip_qualifiers();
+            if self.eat_punct(";") {
+                return true; // Prototype.
+            }
+            if matches!(self.peek(), Some(Tok::Punct("{"))) {
+                let body = self.parse_body();
+                out.funcs.push(FuncDef {
+                    name,
+                    params,
+                    body,
+                    line,
+                });
+                return true;
+            }
+            self.skip_to_punct(";");
+            return true;
+        }
+        // Global variable (possibly array / initializer): skip.
+        self.skip_to_punct(";");
+        true
+    }
+
+    fn parse_typedef(&mut self, out: &mut ParsedFile) -> bool {
+        // typedef struct X { ... } Y;  |  typedef struct X Y;  |  typedef u64 Y;
+        if matches!(self.peek(), Some(Tok::Ident(w)) if w == "struct" || w == "union") {
+            if let (Some(Tok::Ident(_)), Some(Tok::Punct("{"))) = (self.peek_at(1), self.peek_at(2))
+            {
+                if let Some(tag) = self.parse_struct_def_inner(out) {
+                    if let Some(alias) = self.ident() {
+                        out.typedefs.insert(alias.clone(), CType::Named(tag));
+                        self.known_types.push(alias);
+                    }
+                    self.skip_to_punct(";");
+                    return true;
+                }
+            }
+        }
+        let Some(ty) = self.parse_type_spec() else {
+            self.skip_to_punct(";");
+            return true;
+        };
+        let ty = self.wrap_ptrs(ty);
+        if let Some(alias) = self.ident() {
+            out.typedefs.insert(alias.clone(), ty);
+            self.known_types.push(alias);
+        }
+        self.skip_to_punct(";");
+        true
+    }
+
+    fn parse_struct_def(&mut self, out: &mut ParsedFile) -> Option<String> {
+        let tag = self.parse_struct_def_inner(out)?;
+        self.skip_to_punct(";");
+        Some(tag)
+    }
+
+    /// Parses `struct TAG { fields }` and registers it; leaves the
+    /// cursor after `}`.
+    fn parse_struct_def_inner(&mut self, out: &mut ParsedFile) -> Option<String> {
+        let is_union = matches!(self.peek(), Some(Tok::Ident(w)) if w == "union");
+        self.pos += 1; // struct/union
+        let tag = self.ident()?;
+        let line = self.line();
+        if !self.eat_punct("{") {
+            return None;
+        }
+        let mut fields = Vec::new();
+        while !self.at_end() && !matches!(self.peek(), Some(Tok::Punct("}"))) {
+            if let Some(mut fs) = self.parse_field_decl() {
+                fields.append(&mut fs);
+            } else {
+                self.skip_to_punct(";");
+            }
+        }
+        self.eat_punct("}");
+        out.structs.push(StructDef {
+            name: tag.clone(),
+            fields,
+            line,
+            is_union,
+        });
+        Some(tag)
+    }
+
+    /// Parses one field declaration (may declare several comma-separated
+    /// fields, arrays, or a function pointer).
+    fn parse_field_decl(&mut self) -> Option<Vec<Field>> {
+        self.skip_qualifiers();
+        let base = self.parse_type_spec()?;
+        let mut fields = Vec::new();
+        loop {
+            let mut ty = base.clone();
+            while self.eat_punct("*") {
+                self.skip_qualifiers();
+                ty = CType::Ptr(Box::new(ty));
+            }
+            // Function pointer: `ret (*name)(params)`.
+            if self.eat_punct("(") {
+                if self.eat_punct("*") {
+                    let name = self.ident()?;
+                    self.eat_punct(")");
+                    if self.eat_punct("(") {
+                        self.skip_paren_group();
+                    }
+                    fields.push(Field {
+                        name,
+                        ty: CType::FnPtr,
+                    });
+                } else {
+                    self.skip_paren_group();
+                }
+            } else {
+                let name = self.ident()?;
+                while self.eat_punct("[") {
+                    let n = if let Some(Tok::Num(v)) = self.peek() {
+                        let v = *v as usize;
+                        self.pos += 1;
+                        v
+                    } else {
+                        0
+                    };
+                    self.skip_to_punct("]");
+                    // skip_to_punct consumed "]"; nothing else to do.
+                    ty = CType::Array(Box::new(ty), n);
+                }
+                // Bitfields: `u8 x : 3` — record and move on.
+                if self.eat_punct(":") {
+                    self.bump();
+                }
+                fields.push(Field { name, ty });
+            }
+            if self.eat_punct(",") {
+                continue;
+            }
+            break;
+        }
+        self.eat_punct(";");
+        Some(fields)
+    }
+
+    /// Skips a balanced `(...)` group, cursor after opening paren.
+    fn skip_paren_group(&mut self) {
+        let mut depth = 1;
+        while depth > 0 && !self.at_end() {
+            match self.bump() {
+                Some(Tok::Punct("(")) => depth += 1,
+                Some(Tok::Punct(")")) => depth -= 1,
+                _ => {}
+            }
+        }
+    }
+
+    fn parse_params(&mut self) -> Vec<Param> {
+        let mut params = Vec::new();
+        if self.eat_punct(")") {
+            return params;
+        }
+        loop {
+            self.skip_qualifiers();
+            if self.eat_ident("void") && matches!(self.peek(), Some(Tok::Punct(")"))) {
+                self.eat_punct(")");
+                break;
+            }
+            // Back up if "void" consumed but not a lone void.
+            if let Some(ty) = {
+                // Re-handle void pointers: parse_type_spec below does it,
+                // but we may have eaten "void" above.
+                let prev = &self.toks[self.pos - 1].tok;
+                if matches!(prev, Tok::Ident(w) if w == "void") {
+                    Some(CType::Void)
+                } else {
+                    self.parse_type_spec()
+                }
+            } {
+                let ty = self.wrap_ptrs(ty);
+                let name = self.ident().unwrap_or_default();
+                // Array parameter suffix.
+                if self.eat_punct("[") {
+                    self.skip_to_punct("]");
+                }
+                params.push(Param { ty, name });
+            } else {
+                // Unparseable parameter: skip to , or ).
+                while !self.at_end()
+                    && !matches!(self.peek(), Some(Tok::Punct(",")) | Some(Tok::Punct(")")))
+                {
+                    self.pos += 1;
+                }
+            }
+            if self.eat_punct(",") {
+                continue;
+            }
+            self.eat_punct(")");
+            break;
+        }
+        params
+    }
+
+    /// Parses a `{ ... }` body into a flattened statement list.
+    fn parse_body(&mut self) -> Vec<Stmt> {
+        let mut stmts = Vec::new();
+        if !self.eat_punct("{") {
+            return stmts;
+        }
+        self.parse_stmts_until_close(&mut stmts);
+        stmts
+    }
+
+    fn parse_stmts_until_close(&mut self, out: &mut Vec<Stmt>) {
+        while !self.at_end() {
+            if self.eat_punct("}") {
+                return;
+            }
+            self.parse_stmt(out);
+        }
+    }
+
+    fn parse_stmt(&mut self, out: &mut Vec<Stmt>) {
+        let line = self.line();
+        // Control flow: flatten.
+        if let Some(Tok::Ident(w)) = self.peek() {
+            match w.as_str() {
+                "if" | "while" | "for" | "switch" => {
+                    self.pos += 1;
+                    if self.eat_punct("(") {
+                        self.skip_paren_group();
+                    }
+                    if matches!(self.peek(), Some(Tok::Punct("{"))) {
+                        self.eat_punct("{");
+                        self.parse_stmts_until_close(out);
+                    } else {
+                        self.parse_stmt(out);
+                    }
+                    // else / else if
+                    while self.eat_ident("else") {
+                        if matches!(self.peek(), Some(Tok::Punct("{"))) {
+                            self.eat_punct("{");
+                            self.parse_stmts_until_close(out);
+                        } else {
+                            self.parse_stmt(out);
+                        }
+                    }
+                    return;
+                }
+                "do" => {
+                    self.pos += 1;
+                    if matches!(self.peek(), Some(Tok::Punct("{"))) {
+                        self.eat_punct("{");
+                        self.parse_stmts_until_close(out);
+                    }
+                    self.skip_to_punct(";");
+                    return;
+                }
+                "return" => {
+                    self.pos += 1;
+                    if self.eat_punct(";") {
+                        out.push(Stmt::Return(None, line));
+                    } else {
+                        let e = self.parse_expr();
+                        self.skip_to_punct(";");
+                        out.push(Stmt::Return(Some(e), line));
+                    }
+                    return;
+                }
+                "goto" | "break" | "continue" | "case" | "default" => {
+                    self.skip_to_punct(";");
+                    return;
+                }
+                _ => {}
+            }
+        }
+        if matches!(self.peek(), Some(Tok::Punct("{"))) {
+            self.eat_punct("{");
+            self.parse_stmts_until_close(out);
+            return;
+        }
+        if self.eat_punct(";") {
+            return;
+        }
+        // Declaration?
+        if self.is_decl_lookahead() {
+            if let Some(ty) = self.parse_type_spec() {
+                let ty = self.wrap_ptrs(ty);
+                if let Some(name) = self.ident() {
+                    let mut ty = ty;
+                    while self.eat_punct("[") {
+                        let n = if let Some(Tok::Num(v)) = self.peek() {
+                            let v = *v as usize;
+                            self.pos += 1;
+                            v
+                        } else {
+                            0
+                        };
+                        self.skip_to_punct("]");
+                        ty = CType::Array(Box::new(ty), n);
+                    }
+                    let init = if self.eat_punct("=") {
+                        let e = self.parse_expr();
+                        Some(e)
+                    } else {
+                        None
+                    };
+                    self.skip_to_punct(";");
+                    out.push(Stmt::Decl {
+                        ty,
+                        name,
+                        init,
+                        line,
+                    });
+                    return;
+                }
+            }
+            self.skip_to_punct(";");
+            return;
+        }
+        // Expression / assignment statement.
+        let lhs = self.parse_expr();
+        if self.eat_punct("=") {
+            let rhs = self.parse_expr();
+            self.skip_to_punct(";");
+            out.push(Stmt::Assign { lhs, rhs, line });
+            return;
+        }
+        self.skip_to_punct(";");
+        out.push(Stmt::ExprStmt(lhs, line));
+    }
+
+    /// Heuristic: is the statement at the cursor a declaration?
+    fn is_decl_lookahead(&self) -> bool {
+        match self.peek() {
+            Some(Tok::Ident(w)) => {
+                if w == "struct" || w == "union" || w == "enum" {
+                    return true;
+                }
+                if TYPE_KEYWORDS.contains(&w.as_str()) || QUALIFIERS.contains(&w.as_str()) {
+                    return true;
+                }
+                if self.known_types.contains(w) {
+                    return true;
+                }
+                // Two consecutive identifiers: `foo_t bar`.
+                matches!(
+                    (self.peek(), self.peek_at(1)),
+                    (Some(Tok::Ident(_)), Some(Tok::Ident(_)))
+                )
+            }
+            _ => false,
+        }
+    }
+
+    /// Parses a (fuzzy) expression. Binary operators collapse to the
+    /// left operand; `?:` collapses to the condition's left arm.
+    fn parse_expr(&mut self) -> Expr {
+        let lhs = self.parse_unary();
+        // Swallow binary tails without representing them.
+        loop {
+            match self.peek() {
+                Some(Tok::Punct(p))
+                    if [
+                        "+", "-", "*", "/", "%", "<<", ">>", "<", ">", "<=", ">=", "==", "!=", "&",
+                        "|", "^", "&&", "||", "?", ":",
+                    ]
+                    .contains(p) =>
+                {
+                    self.pos += 1;
+                    let _ = self.parse_unary();
+                }
+                _ => break,
+            }
+        }
+        lhs
+    }
+
+    fn parse_unary(&mut self) -> Expr {
+        if self.eat_punct("&") {
+            return Expr::AddrOf(Box::new(self.parse_unary()));
+        }
+        if self.eat_punct("*") {
+            return Expr::Deref(Box::new(self.parse_unary()));
+        }
+        if self.eat_punct("!") || self.eat_punct("~") || self.eat_punct("-") || self.eat_punct("+")
+        {
+            return self.parse_unary();
+        }
+        if self.eat_punct("(") {
+            // Cast or parenthesized expression.
+            if self.is_type_start() {
+                let _ty = self.parse_type_spec();
+                // Wrap pointers and close.
+                while self.eat_punct("*") {}
+                self.eat_punct(")");
+                return self.parse_unary(); // The cast target.
+            }
+            let e = self.parse_expr();
+            self.eat_punct(")");
+            return self.parse_postfix(e);
+        }
+        match self.peek().cloned() {
+            Some(Tok::Num(v)) => {
+                self.pos += 1;
+                Expr::Num(v)
+            }
+            Some(Tok::Str(_)) => {
+                self.pos += 1;
+                Expr::Other
+            }
+            Some(Tok::Ident(w)) => {
+                let line = self.line();
+                self.pos += 1;
+                if self.eat_punct("(") {
+                    // Call.
+                    let mut args = Vec::new();
+                    if !self.eat_punct(")") {
+                        loop {
+                            args.push(self.parse_expr());
+                            if self.eat_punct(",") {
+                                continue;
+                            }
+                            self.eat_punct(")");
+                            break;
+                        }
+                    }
+                    return self.parse_postfix(Expr::Call {
+                        name: w,
+                        args,
+                        line,
+                    });
+                }
+                self.parse_postfix(Expr::Ident(w))
+            }
+            _ => {
+                self.pos += 1;
+                Expr::Other
+            }
+        }
+    }
+
+    fn parse_postfix(&mut self, mut e: Expr) -> Expr {
+        loop {
+            if self.eat_punct("->") {
+                if let Some(f) = self.ident() {
+                    e = Expr::Member {
+                        base: Box::new(e),
+                        field: f,
+                        arrow: true,
+                    };
+                    continue;
+                }
+                return e;
+            }
+            if self.eat_punct(".") {
+                if let Some(f) = self.ident() {
+                    e = Expr::Member {
+                        base: Box::new(e),
+                        field: f,
+                        arrow: false,
+                    };
+                    continue;
+                }
+                return e;
+            }
+            if self.eat_punct("[") {
+                let _ = self.parse_expr();
+                self.eat_punct("]");
+                e = Expr::Index(Box::new(e));
+                continue;
+            }
+            if self.eat_punct("++") || self.eat_punct("--") {
+                continue;
+            }
+            return e;
+        }
+    }
+}
+
+/// Collects every call expression in a statement, recursively.
+pub fn calls_in_stmt(stmt: &Stmt) -> Vec<&Expr> {
+    let mut out = Vec::new();
+    match stmt {
+        Stmt::Decl { init: Some(e), .. } => calls_in_expr(e, &mut out),
+        Stmt::Decl { .. } => {}
+        Stmt::Assign { lhs, rhs, .. } => {
+            calls_in_expr(lhs, &mut out);
+            calls_in_expr(rhs, &mut out);
+        }
+        Stmt::ExprStmt(e, _) => calls_in_expr(e, &mut out),
+        Stmt::Return(Some(e), _) => calls_in_expr(e, &mut out),
+        Stmt::Return(None, _) => {}
+    }
+    out
+}
+
+fn calls_in_expr<'e>(e: &'e Expr, out: &mut Vec<&'e Expr>) {
+    match e {
+        Expr::Call { args, .. } => {
+            out.push(e);
+            for a in args {
+                calls_in_expr(a, out);
+            }
+        }
+        Expr::Member { base, .. } | Expr::AddrOf(base) | Expr::Deref(base) | Expr::Index(base) => {
+            calls_in_expr(base, out)
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_struct_with_fn_ptr() {
+        let f = parse_file(
+            "t.c",
+            r#"
+            struct ubuf_info {
+                void (*callback)(struct ubuf_info *, bool);
+                void *ctx;
+                unsigned long desc;
+            };
+            "#,
+        );
+        assert_eq!(f.structs.len(), 1);
+        let s = &f.structs[0];
+        assert_eq!(s.name, "ubuf_info");
+        assert_eq!(s.fields.len(), 3);
+        assert_eq!(
+            s.fields[0],
+            Field {
+                name: "callback".into(),
+                ty: CType::FnPtr
+            }
+        );
+        assert_eq!(s.fields[1].ty, CType::Ptr(Box::new(CType::Void)));
+    }
+
+    #[test]
+    fn parses_arrays_and_nested_struct_fields() {
+        let f = parse_file(
+            "t.c",
+            r#"
+            struct skb_frag { struct page *page; u32 offset; u32 size; };
+            struct skb_shared_info {
+                u8 nr_frags;
+                struct ubuf_info *destructor_arg;
+                struct skb_frag frags[17];
+            };
+            "#,
+        );
+        let s = &f.structs[1];
+        assert_eq!(s.fields[2].name, "frags");
+        assert_eq!(
+            s.fields[2].ty,
+            CType::Array(Box::new(CType::Named("skb_frag".into())), 17)
+        );
+    }
+
+    #[test]
+    fn parses_function_with_decl_assign_call() {
+        let f = parse_file(
+            "t.c",
+            r#"
+            static int my_rx(struct my_priv *priv, int len)
+            {
+                struct sk_buff *skb;
+                dma_addr_t dma;
+                skb = netdev_alloc_skb(priv->dev, len);
+                dma = dma_map_single(priv->dev, skb->data, len, DMA_FROM_DEVICE);
+                return 0;
+            }
+            "#,
+        );
+        assert_eq!(f.funcs.len(), 1);
+        let func = &f.funcs[0];
+        assert_eq!(func.name, "my_rx");
+        assert_eq!(func.params.len(), 2);
+        // Two decls, two assigns, one return.
+        let assigns: Vec<_> = func
+            .body
+            .iter()
+            .filter(|s| matches!(s, Stmt::Assign { .. }))
+            .collect();
+        assert_eq!(assigns.len(), 2);
+        if let Stmt::Assign {
+            rhs: Expr::Call { name, args, .. },
+            ..
+        } = assigns[1]
+        {
+            assert_eq!(name, "dma_map_single");
+            assert_eq!(args.len(), 4);
+            assert!(matches!(&args[1], Expr::Member { field, arrow: true, .. } if field == "data"));
+        } else {
+            panic!("expected dma_map_single assign, got {:?}", assigns[1]);
+        }
+    }
+
+    #[test]
+    fn flattens_control_flow() {
+        let f = parse_file(
+            "t.c",
+            r#"
+            void f(int x) {
+                if (x > 0) {
+                    g(x);
+                } else {
+                    h(x);
+                }
+                for (i = 0; i < 10; i++)
+                    k(i);
+                while (x) { m(); }
+            }
+            "#,
+        );
+        let names: Vec<String> = f.funcs[0]
+            .body
+            .iter()
+            .flat_map(calls_in_stmt)
+            .filter_map(|c| match c {
+                Expr::Call { name, .. } => Some(name.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(names, vec!["g", "h", "k", "m"]);
+    }
+
+    #[test]
+    fn addr_of_member_expression() {
+        let f = parse_file("t.c", "void f(struct op *op) { map(&op->rsp_iu, 96); }");
+        let calls: Vec<_> = f.funcs[0].body.iter().flat_map(calls_in_stmt).collect();
+        let Expr::Call { args, .. } = calls[0] else {
+            panic!()
+        };
+        assert!(matches!(
+            &args[0],
+            Expr::AddrOf(inner) if matches!(&**inner, Expr::Member { field, .. } if field == "rsp_iu")
+        ));
+    }
+
+    #[test]
+    fn typedefs_become_known_types() {
+        let f = parse_file(
+            "t.c",
+            r#"
+            typedef struct my_ring { int head; } my_ring_t;
+            void f(void) { my_ring_t r; }
+            "#,
+        );
+        assert_eq!(
+            f.typedefs.get("my_ring_t"),
+            Some(&CType::Named("my_ring".into()))
+        );
+        assert!(matches!(&f.funcs[0].body[0], Stmt::Decl { name, .. } if name == "r"));
+    }
+
+    #[test]
+    fn garbage_is_skipped_without_panic() {
+        let f = parse_file("t.c", "@@@ ??? struct ok { int x; }; $$$ void g(void){}");
+        assert_eq!(f.structs.len(), 1);
+        assert_eq!(f.funcs.len(), 1);
+    }
+
+    #[test]
+    fn local_array_decl() {
+        let f = parse_file("t.c", "void f(void) { char buf[64]; map(buf); }");
+        assert!(matches!(
+            &f.funcs[0].body[0],
+            Stmt::Decl { ty: CType::Array(_, 64), name, .. } if name == "buf"
+        ));
+    }
+
+    #[test]
+    fn casts_collapse_to_target() {
+        let f = parse_file("t.c", "void f(void *p) { q = (struct foo *)p; }");
+        assert!(matches!(
+            &f.funcs[0].body[0],
+            Stmt::Assign { rhs: Expr::Ident(id), .. } if id == "p"
+        ));
+    }
+}

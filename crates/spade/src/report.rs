@@ -1,0 +1,307 @@
+//! SPADE output formatting: Figure-2-style per-finding traces and the
+//! Table-2 summary.
+
+use crate::analysis::{Finding, MappedOrigin};
+use std::collections::BTreeSet;
+
+/// Figure-2-style report for one finding: impact first, then the trace
+/// lines, numbered.
+pub struct TraceReport<'a>(pub &'a Finding);
+
+impl std::fmt::Display for TraceReport<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let fd = self.0;
+        let mut n = 1;
+        let mut line = |f: &mut std::fmt::Formatter<'_>, s: &str| {
+            let r = writeln!(f, "[{n}] {s}");
+            n += 1;
+            r
+        };
+        if fd.direct_callbacks > 0 {
+            line(
+                f,
+                &format!(
+                    "EXPOSED: {} callback pointer(s) mapped with write access",
+                    fd.direct_callbacks
+                ),
+            )?;
+        }
+        if fd.spoofable_callbacks > 0 {
+            line(
+                f,
+                &format!(
+                    "SPOOFABLE: {} callback pointer(s) reachable via mapped struct pointers",
+                    fd.spoofable_callbacks
+                ),
+            )?;
+        }
+        if fd.shinfo_mapped {
+            line(
+                f,
+                "skb_shared_info mapped with the packet's DMA permissions",
+            )?;
+        }
+        if fd.type_c {
+            line(
+                f,
+                "type (c): buffer page shared with other live mappings (page_frag)",
+            )?;
+        }
+        if matches!(fd.origin, MappedOrigin::StackBuffer) {
+            line(f, "STACK: kernel stack page mapped for DMA")?;
+        }
+        for t in fd.trace.iter().rev() {
+            line(f, t)?;
+        }
+        Ok(())
+    }
+}
+
+/// One row of the Table-2 summary: distinct call sites and files.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Row {
+    /// Number of dma-map call sites matching the row.
+    pub calls: usize,
+    /// Number of distinct files containing them.
+    pub files: usize,
+}
+
+/// The Table-2 aggregation (§4.1.3).
+#[derive(Clone, Debug, Default)]
+pub struct Table2 {
+    /// Row 1: callbacks exposed (direct or spoofable).
+    pub callbacks_exposed: Row,
+    /// Row 2: `skb_shared_info` mapped.
+    pub shinfo_mapped: Row,
+    /// Row 3: callbacks exposed directly.
+    pub callbacks_direct: Row,
+    /// Row 4: private data mapped.
+    pub private_data: Row,
+    /// Row 5: stack mapped.
+    pub stack_mapped: Row,
+    /// Row 6: type (c) vulnerability present.
+    pub type_c: Row,
+    /// Row 7: `build_skb` used.
+    pub build_skb: Row,
+    /// Total dma-map calls analyzed.
+    pub total: Row,
+}
+
+impl Table2 {
+    /// Aggregates findings into the Table-2 rows.
+    pub fn from_findings(findings: &[Finding]) -> Self {
+        fn row(findings: &[Finding], pred: impl Fn(&Finding) -> bool) -> Row {
+            let matching: Vec<&Finding> = findings.iter().filter(|f| pred(f)).collect();
+            let files: BTreeSet<&str> = matching.iter().map(|f| f.file.as_str()).collect();
+            Row {
+                calls: matching.len(),
+                files: files.len(),
+            }
+        }
+        Table2 {
+            callbacks_exposed: row(findings, |f| f.callbacks_exposed() && !f.shinfo_only()),
+            shinfo_mapped: row(findings, |f| f.shinfo_mapped),
+            callbacks_direct: row(findings, |f| f.direct_callbacks > 0),
+            private_data: row(findings, |f| {
+                matches!(f.origin, MappedOrigin::PrivateData { .. })
+            }),
+            stack_mapped: row(findings, |f| matches!(f.origin, MappedOrigin::StackBuffer)),
+            type_c: row(findings, |f| f.type_c),
+            build_skb: row(findings, |f| f.uses_build_skb),
+            total: row(findings, |_| true),
+        }
+    }
+
+    /// dma-map calls with *some* potential vulnerability (the paper's
+    /// headline: "742 dma-map calls (i.e., 72.8% of all dma-map calls)").
+    pub fn vulnerable_calls(findings: &[Finding]) -> usize {
+        findings
+            .iter()
+            .filter(|f| {
+                f.callbacks_exposed()
+                    || f.shinfo_mapped
+                    || f.type_c
+                    || matches!(
+                        f.origin,
+                        MappedOrigin::StackBuffer | MappedOrigin::PrivateData { .. }
+                    )
+            })
+            .count()
+    }
+
+    /// Renders the Table-2 rows, with call percentages like the paper.
+    pub fn render(&self) -> String {
+        let pct = |r: &Row| {
+            if self.total.calls == 0 {
+                0.0
+            } else {
+                100.0 * r.calls as f64 / self.total.calls as f64
+            }
+        };
+        let fpct = |r: &Row| {
+            if self.total.files == 0 {
+                0.0
+            } else {
+                100.0 * r.files as f64 / self.total.files as f64
+            }
+        };
+        let mut s = String::new();
+        s.push_str(&format!(
+            "{:<34}{:>16}{:>16}\n",
+            "Stat", "#API calls", "#Files"
+        ));
+        let mut push = |label: &str, r: &Row, with_pct: bool| {
+            if with_pct {
+                s.push_str(&format!(
+                    "{:<34}{:>9} ({:>4.1}%){:>9} ({:>4.1}%)\n",
+                    label,
+                    r.calls,
+                    pct(r),
+                    r.files,
+                    fpct(r)
+                ));
+            } else {
+                s.push_str(&format!("{:<34}{:>16}{:>16}\n", label, r.calls, r.files));
+            }
+        };
+        push("1. Callbacks exposed", &self.callbacks_exposed, true);
+        push("2. skb_shared_info mapped", &self.shinfo_mapped, true);
+        push(
+            "3. Callbacks exposed directly",
+            &self.callbacks_direct,
+            false,
+        );
+        push("4. Private data mapped", &self.private_data, false);
+        push("5. Stack mapped", &self.stack_mapped, false);
+        push("6. Type C vulnerability", &self.type_c, false);
+        push("7. build_skb used", &self.build_skb, false);
+        push("Total dma-map calls", &self.total, false);
+        s
+    }
+}
+
+/// Renders findings as machine-readable TSV (one row per dma-map call):
+/// `file, line, caller, origin, direct, spoofable, heap_ptrs, shinfo,
+/// type_c, build_skb`.
+pub fn render_tsv(findings: &[Finding]) -> String {
+    let mut out = String::from(
+        "file	line	caller	origin	direct_callbacks	spoofable_callbacks	heap_pointers	shinfo	type_c	build_skb
+",
+    );
+    for f in findings {
+        out.push_str(&format!(
+            "{}	{}	{}	{:?}	{}	{}	{}	{}	{}	{}
+",
+            f.file,
+            f.line,
+            f.caller,
+            f.origin,
+            f.direct_callbacks,
+            f.spoofable_callbacks,
+            f.heap_pointers,
+            f.shinfo_mapped,
+            f.type_c,
+            f.uses_build_skb,
+        ));
+    }
+    out
+}
+
+impl Finding {
+    /// `true` when the only callback exposure is the ubiquitous
+    /// `skb_shared_info` one. The paper's row 1 counts driver-structure
+    /// exposures; the skb_shared_info population has its own row 2.
+    pub fn shinfo_only(&self) -> bool {
+        self.shinfo_mapped
+            && self.direct_callbacks == 0
+            && !matches!(
+                self.origin,
+                MappedOrigin::EmbeddedInStruct { .. } | MappedOrigin::PrivateData { .. }
+            )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::analyze;
+    use crate::xref::SourceTree;
+
+    fn findings() -> Vec<Finding> {
+        let hdr = r#"
+            struct ubuf_info { void (*callback)(void); };
+            struct skb_shared_info { u8 nr_frags; struct ubuf_info *destructor_arg; };
+            struct sk_buff { unsigned char *data; unsigned int len; };
+        "#;
+        let drv_a = r#"
+            struct op { char iu[64]; void (*done)(void); };
+            int a(struct device *d, struct op *op) {
+                dma_map_single(d, &op->iu, 64, 1);
+                return 0;
+            }
+        "#;
+        let drv_b = r#"
+            int b(struct device *d, struct sk_buff *skb) {
+                dma_map_single(d, skb->data, skb->len, 2);
+                return 0;
+            }
+            int b2(struct device *d) {
+                char tmp[32];
+                dma_map_single(d, tmp, 32, 1);
+                return 0;
+            }
+        "#;
+        let tree = SourceTree::load([("h.h", hdr), ("a.c", drv_a), ("b.c", drv_b)]);
+        analyze(&tree)
+    }
+
+    #[test]
+    fn table2_counts_rows() {
+        let fs = findings();
+        let t = Table2::from_findings(&fs);
+        assert_eq!(t.total, Row { calls: 3, files: 2 });
+        assert_eq!(t.callbacks_exposed, Row { calls: 1, files: 1 });
+        assert_eq!(t.callbacks_direct, Row { calls: 1, files: 1 });
+        assert_eq!(t.shinfo_mapped, Row { calls: 1, files: 1 });
+        assert_eq!(t.stack_mapped, Row { calls: 1, files: 1 });
+        assert_eq!(Table2::vulnerable_calls(&fs), 3);
+    }
+
+    #[test]
+    fn render_contains_paper_row_labels() {
+        let t = Table2::from_findings(&findings());
+        let s = t.render();
+        for label in [
+            "Callbacks exposed",
+            "skb_shared_info mapped",
+            "Callbacks exposed directly",
+            "Private data mapped",
+            "Stack mapped",
+            "Type C vulnerability",
+            "build_skb used",
+            "Total dma-map calls",
+        ] {
+            assert!(s.contains(label), "missing row: {label}\n{s}");
+        }
+    }
+
+    #[test]
+    fn tsv_is_one_row_per_finding_with_header() {
+        let fs = findings();
+        let tsv = render_tsv(&fs);
+        let lines: Vec<&str> = tsv.lines().collect();
+        assert_eq!(lines.len(), fs.len() + 1);
+        assert!(lines[0].starts_with("file\tline\tcaller"));
+        let cols = lines[1].split('\t').count();
+        assert_eq!(cols, 10);
+    }
+
+    #[test]
+    fn trace_report_leads_with_impact() {
+        let fs = findings();
+        let f = fs.iter().find(|f| f.direct_callbacks > 0).unwrap();
+        let text = TraceReport(f).to_string();
+        assert!(text.starts_with("[1] EXPOSED:"), "got:\n{text}");
+        assert!(text.contains("dma_map_single"));
+    }
+}

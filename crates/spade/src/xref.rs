@@ -1,0 +1,207 @@
+//! Source-tree cross referencing — the Cscope equivalent.
+//!
+//! Parses every file of a source tree into one queryable database:
+//! merged type table, function definitions by name, and an index of
+//! call sites by callee (SPADE backtracks mapped variables through
+//! caller argument lists, exactly as the Perl original walked Cscope's
+//! "functions calling this function" output).
+
+use crate::layout::TypeTable;
+use crate::parse::{calls_in_stmt, parse_file, CType, Expr, FuncDef, ParsedFile};
+use std::collections::HashMap;
+
+/// A call site located in the tree.
+#[derive(Clone, Debug)]
+pub struct CallSite {
+    /// Index of the file in [`SourceTree::files`].
+    pub file: usize,
+    /// Name of the enclosing function.
+    pub caller: String,
+    /// Callee name.
+    pub callee: String,
+    /// Source line.
+    pub line: u32,
+    /// Argument expressions.
+    pub args: Vec<Expr>,
+}
+
+/// The cross-referenced source tree.
+#[derive(Debug, Default)]
+pub struct SourceTree {
+    /// Parsed files in load order.
+    pub files: Vec<ParsedFile>,
+    /// Merged struct/typedef registry.
+    pub types: TypeTable,
+    funcs: HashMap<String, (usize, usize)>,
+    calls_by_callee: HashMap<String, Vec<CallSite>>,
+}
+
+impl SourceTree {
+    /// Parses and indexes a set of (path, source) pairs.
+    pub fn load<'a>(sources: impl IntoIterator<Item = (&'a str, &'a str)>) -> Self {
+        let mut tree = SourceTree::default();
+        let mut all_structs = Vec::new();
+        let mut all_typedefs = HashMap::new();
+        for (path, src) in sources {
+            let parsed = parse_file(path, src);
+            all_structs.extend(parsed.structs.clone());
+            all_typedefs.extend(parsed.typedefs.clone());
+            tree.files.push(parsed);
+        }
+        tree.types = TypeTable::new(&all_structs, &all_typedefs);
+        for (fi, file) in tree.files.iter().enumerate() {
+            for (gi, func) in file.funcs.iter().enumerate() {
+                tree.funcs.entry(func.name.clone()).or_insert((fi, gi));
+                for stmt in &func.body {
+                    for call in calls_in_stmt(stmt) {
+                        let Expr::Call { name, args, line } = call else {
+                            continue;
+                        };
+                        tree.calls_by_callee
+                            .entry(name.clone())
+                            .or_default()
+                            .push(CallSite {
+                                file: fi,
+                                caller: func.name.clone(),
+                                callee: name.clone(),
+                                line: *line,
+                                args: args.clone(),
+                            });
+                    }
+                }
+            }
+        }
+        tree
+    }
+
+    /// Looks up a function definition by name.
+    pub fn func(&self, name: &str) -> Option<(&ParsedFile, &FuncDef)> {
+        let &(fi, gi) = self.funcs.get(name)?;
+        Some((&self.files[fi], &self.files[fi].funcs[gi]))
+    }
+
+    /// All call sites invoking `callee`.
+    pub fn callers_of(&self, callee: &str) -> &[CallSite] {
+        self.calls_by_callee
+            .get(callee)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// All call sites whose callee name satisfies `pred`.
+    pub fn call_sites(&self, mut pred: impl FnMut(&str) -> bool) -> Vec<&CallSite> {
+        let mut out: Vec<&CallSite> = self
+            .calls_by_callee
+            .iter()
+            .filter(|(name, _)| pred(name))
+            .flat_map(|(_, sites)| sites.iter())
+            .collect();
+        out.sort_by_key(|a| (a.file, a.line));
+        out
+    }
+
+    /// Resolves the static type of `expr` inside `func` (parameter or
+    /// local declaration lookup, member resolution through the type
+    /// table).
+    pub fn type_of_expr(&self, func: &FuncDef, expr: &Expr) -> Option<CType> {
+        match expr {
+            Expr::Ident(name) => {
+                for p in &func.params {
+                    if &p.name == name {
+                        return Some(p.ty.clone());
+                    }
+                }
+                for stmt in &func.body {
+                    if let crate::parse::Stmt::Decl { ty, name: n, .. } = stmt {
+                        if n == name {
+                            return Some(ty.clone());
+                        }
+                    }
+                }
+                None
+            }
+            Expr::Member { base, field, .. } => {
+                let base_ty = self.type_of_expr(func, base)?;
+                let sname = base_ty.base_name()?;
+                self.types.field_type(sname, field).cloned()
+            }
+            Expr::AddrOf(inner) => Some(CType::Ptr(Box::new(self.type_of_expr(func, inner)?))),
+            Expr::Deref(inner) | Expr::Index(inner) => match self.type_of_expr(func, inner)? {
+                CType::Ptr(t) | CType::Array(t, _) => Some(*t),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+
+    /// Total number of parsed files.
+    pub fn file_count(&self) -> usize {
+        self.files.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: &str = r#"
+        struct wid { void (*cb)(void); int x; };
+        void helper(struct wid *w, char *buf) {
+            dma_map_single(0, buf, 64, 1);
+        }
+    "#;
+    const B: &str = r#"
+        void top(struct wid *w) {
+            char scratch[64];
+            helper(w, scratch);
+            helper(w, w->x);
+        }
+    "#;
+
+    #[test]
+    fn load_indexes_functions_and_calls() {
+        let tree = SourceTree::load([("a.c", A), ("b.c", B)]);
+        assert_eq!(tree.file_count(), 2);
+        assert!(tree.func("helper").is_some());
+        assert_eq!(tree.callers_of("helper").len(), 2);
+        assert_eq!(tree.callers_of("dma_map_single").len(), 1);
+        assert_eq!(tree.callers_of("dma_map_single")[0].caller, "helper");
+    }
+
+    #[test]
+    fn call_sites_filter_by_name() {
+        let tree = SourceTree::load([("a.c", A), ("b.c", B)]);
+        let maps = tree.call_sites(|n| n.starts_with("dma_map"));
+        assert_eq!(maps.len(), 1);
+        assert_eq!(maps[0].callee, "dma_map_single");
+    }
+
+    #[test]
+    fn type_resolution_for_params_locals_members() {
+        let tree = SourceTree::load([("a.c", A), ("b.c", B)]);
+        let (_, helper) = tree.func("helper").unwrap();
+        let buf = Expr::Ident("buf".into());
+        assert_eq!(
+            tree.type_of_expr(helper, &buf),
+            Some(CType::Ptr(Box::new(CType::Named("char".into()))))
+        );
+        let member = Expr::Member {
+            base: Box::new(Expr::Ident("w".into())),
+            field: "cb".into(),
+            arrow: true,
+        };
+        assert_eq!(tree.type_of_expr(helper, &member), Some(CType::FnPtr));
+        let (_, top) = tree.func("top").unwrap();
+        let scratch = Expr::Ident("scratch".into());
+        assert!(matches!(
+            tree.type_of_expr(top, &scratch),
+            Some(CType::Array(_, 64))
+        ));
+    }
+
+    #[test]
+    fn merged_type_table_spans_files() {
+        let tree = SourceTree::load([("a.c", A), ("b.c", B)]);
+        assert_eq!(tree.types.direct_callbacks("wid"), 1);
+    }
+}

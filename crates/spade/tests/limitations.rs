@@ -1,0 +1,110 @@
+//! §4.3 "Discussion and Limitations" — the paper documents where SPADE
+//! is blind or over-reports; a faithful reproduction has the *same*
+//! blind spots, demonstrated here.
+
+use spade::analysis::{analyze, MappedOrigin};
+use spade::xref::SourceTree;
+
+const HDR: &str = r#"
+    struct ubuf_info { void (*callback)(void); void *ctx; u64 desc; };
+    struct sk_buff { unsigned char *data; unsigned int len; };
+"#;
+
+#[test]
+fn false_negative_indirect_call_through_function_pointer() {
+    // §4.3: "SPADE ... may fail to follow a mapped variable due to
+    // complex code constructs such as function pointers, macros, and
+    // others, potentially resulting in a false-negative result."
+    let driver = r#"
+        struct mapper_ops { void *(*do_map)(struct device *dev, void *buf, int len); };
+        struct op { char iu[64]; void (*done)(void); };
+        int indirect(struct mapper_ops *ops, struct device *dev, struct op *op) {
+            ops->do_map(dev, &op->iu, 64);
+            return 0;
+        }
+    "#;
+    let tree = SourceTree::load([("h.h", HDR), ("drv.c", driver)]);
+    let findings = analyze(&tree);
+    // The dma_map call is hidden behind the ops table: zero findings,
+    // even though the exposure is real. This is the documented miss.
+    assert!(
+        findings.is_empty(),
+        "indirect dispatch must be (knowingly) missed"
+    );
+}
+
+#[test]
+fn false_negative_unresolvable_producer() {
+    // A pointer whose producer SPADE cannot see (e.g. returned by an
+    // unknown helper) degrades to Unknown — no exposure counted.
+    let driver = r#"
+        int cold_trail(struct device *dev) {
+            void *buf;
+            buf = mystery_allocator(dev);
+            dma_map_single(dev, buf, 512, DMA_FROM_DEVICE);
+            return 0;
+        }
+    "#;
+    let tree = SourceTree::load([("h.h", HDR), ("drv.c", driver)]);
+    let findings = analyze(&tree);
+    assert_eq!(findings.len(), 1);
+    assert_eq!(findings[0].origin, MappedOrigin::Unknown);
+    assert!(!findings[0].callbacks_exposed());
+}
+
+#[test]
+fn false_positive_struct_crossing_a_page_boundary() {
+    // §4.3: "False positives may happen in the rare situation where the
+    // mapped data structure crosses a page boundary. In this case, SPADE
+    // may flag a callback function that may not be exposed, since it
+    // resides on a different page."
+    //
+    // A >4 KiB struct: the mapped buffer is at the front, the callback
+    // beyond offset 4096. SPADE's census is layout-blind to page
+    // boundaries and flags it anyway.
+    let driver = r#"
+        struct jumbo_op {
+            char big_buf[8000];
+            void (*done)(void);
+        };
+        int jumbo(struct device *dev, struct jumbo_op *op) {
+            dma_map_single(dev, &op->big_buf, 128, DMA_BIDIRECTIONAL);
+            return 0;
+        }
+    "#;
+    let tree = SourceTree::load([("h.h", HDR), ("drv.c", driver)]);
+    let findings = analyze(&tree);
+    assert_eq!(findings.len(), 1);
+    // The callback is at offset 8000 — on the *third* page, while only
+    // the first page is actually exposed by the 128-byte mapping. SPADE
+    // still reports it: the documented false positive.
+    assert_eq!(
+        tree.types.field_offset("jumbo_op", "done"),
+        Some(8000),
+        "callback truly lives past the mapped page"
+    );
+    assert_eq!(
+        findings[0].direct_callbacks, 1,
+        "flagged despite being out of reach"
+    );
+}
+
+#[test]
+fn macro_hidden_map_is_missed() {
+    // Function-like macros are not expanded (§4.3 "macros").
+    let driver = r#"
+        #define MAP_IT(dev, buf, len) dma_map_single(dev, buf, len, DMA_TO_DEVICE)
+        int hidden(struct device *dev) {
+            char scratch[32];
+            MAP_IT(dev, scratch, 32);
+            return 0;
+        }
+    "#;
+    let tree = SourceTree::load([("h.h", HDR), ("drv.c", driver)]);
+    let findings = analyze(&tree);
+    // The callee name after (non-)expansion is MAP_IT, not dma_map_single.
+    assert!(
+        findings.is_empty(),
+        "macro-wrapped map sites are (knowingly) missed"
+    );
+}

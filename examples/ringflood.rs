@@ -1,0 +1,87 @@
+//! The RingFlood compound attack (§5.3) end to end, including the §6
+//! demonstration: reboot survey → KASLR break → flood → JOP pivot → ROP
+//! chain → privilege escalation.
+//!
+//! Run with: `cargo run --example ringflood`
+
+use dma_lab::attacks::image::KernelImage;
+use dma_lab::attacks::ringflood::{self, BootSurvey};
+use dma_lab::attacks::{scan_gadgets, GadgetKind};
+use dma_lab::dma_core::vuln::WindowPath;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let image = KernelImage::build(1, 16 << 20);
+
+    println!("== Offline: gadget hunt on the attacker's identical kernel build (§6) ==");
+    let gadgets = scan_gadgets(&image.bytes);
+    for g in &gadgets {
+        println!("  {:?} at image offset {:#x}", g.kind, g.offset);
+    }
+    assert!(gadgets
+        .iter()
+        .any(|g| matches!(g.kind, GadgetKind::JopRspRdi { .. })));
+
+    println!("\n== Offline: 256-reboot PFN survey of an identical machine (§5.3) ==");
+    let driver = ringflood::kernel50_driver();
+    let survey = BootSurvey::run(driver, 256, 0)?;
+    let (pfn, frac) = survey.most_common().unwrap();
+    println!(
+        "  kernel-5.0 config (2 KiB buffers, {} KiB RX footprint):",
+        ringflood::rx_footprint(&driver) / 1024
+    );
+    println!(
+        "  most common RX PFN: {pfn} — present in {:.1}% of boots",
+        frac * 100.0
+    );
+    println!("  PFNs above 50%: {}", survey.pfns_above(0.5));
+
+    let d415 = ringflood::kernel415_driver();
+    let survey415 = BootSurvey::run(d415, 256, 0)?;
+    let (pfn415, frac415) = survey415.most_common().unwrap();
+    println!(
+        "  kernel-4.15 config (64 KiB HW-LRO buffers, {} MiB footprint):",
+        ringflood::rx_footprint(&d415) >> 20
+    );
+    println!(
+        "  most common RX PFN: {pfn415} — present in {:.1}% of boots",
+        frac415 * 100.0
+    );
+    println!("  PFNs above 95%: {}", survey415.pfns_above(0.95));
+
+    println!("\n== Online: attacking a fresh victim boot ==");
+    for path in [
+        WindowPath::UnmapAfterBuild,
+        WindowPath::DeferredIotlb,
+        WindowPath::NeighborIova,
+    ] {
+        let mut success = None;
+        for victim_seed in 9000..9012 {
+            let report = ringflood::run(&image, driver, path, victim_seed, &survey)?;
+            if report.outcome.succeeded() {
+                success = Some((victim_seed, report));
+                break;
+            }
+        }
+        match success {
+            Some((seed, report)) => {
+                println!("  window {path}:");
+                println!(
+                    "    victim boot seed {seed}: guessed PFN {} resident = {}",
+                    report.guessed_pfn, report.guess_was_resident
+                );
+                println!(
+                    "    recovered text base:  {:?}",
+                    report.knowledge.text_base.unwrap()
+                );
+                println!(
+                    "    recovered dmap base:  {:?}",
+                    report.knowledge.page_offset_base.unwrap()
+                );
+                println!("    outcome: {:?}", report.outcome);
+            }
+            None => println!("  window {path}: no success in 12 victim boots"),
+        }
+    }
+    println!("\nok: RingFlood demonstrated");
+    Ok(())
+}

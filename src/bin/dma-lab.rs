@@ -1,0 +1,406 @@
+//! The dma-lab command-line interface: one binary driving every
+//! experiment in the reproduction.
+//!
+//! ```text
+//! dma-lab layout                          Table 1 + a KASLR sample
+//! dma-lab spade [--filter P] [--seed N]   §4.1: Figure 2 + Table 2
+//! dma-lab dkasan [--rounds N] [--seed N]  §4.2: Figure 3 report
+//! dma-lab survey [--boots N] [--profile 5.0|4.15]   §5.3 reboot survey
+//! dma-lab attack <ringflood|poisoned-tx|forward-thinking|single-step>
+//!                [--window i|ii|iii] [--seed N]
+//! dma-lab surveil [--seed N]              §5.5 arbitrary-page read
+//! dma-lab help
+//! ```
+
+use dma_lab::attacks::image::KernelImage;
+use dma_lab::attacks::ringflood::{self, BootSurvey};
+use dma_lab::attacks::{forward_thinking, poisoned_tx, single_step};
+use dma_lab::devsim::MaliciousNic;
+use dma_lab::dkasan::{run_workload, FindingKind, WorkloadConfig};
+use dma_lab::dma_core::vuln::WindowPath;
+use dma_lab::dma_core::{DetRng, KernelLayout, SimCtx};
+use dma_lab::sim_iommu::{InvalidationMode, Iommu, IommuConfig};
+use dma_lab::sim_mem::{MemConfig, MemorySystem};
+use dma_lab::spade::analysis::analyze;
+use dma_lab::spade::corpus::{full_corpus, CorpusMix};
+use dma_lab::spade::report::{Table2, TraceReport};
+use dma_lab::spade::xref::SourceTree;
+
+/// Minimal flag parser: `--key value` pairs after the subcommand.
+struct Args {
+    positional: Vec<String>,
+    flags: std::collections::HashMap<String, String>,
+}
+
+impl Args {
+    fn parse(raw: &[String]) -> Args {
+        let mut positional = Vec::new();
+        let mut flags = std::collections::HashMap::new();
+        let mut i = 0;
+        while i < raw.len() {
+            if let Some(key) = raw[i].strip_prefix("--") {
+                if i + 1 < raw.len() {
+                    flags.insert(key.to_string(), raw[i + 1].clone());
+                    i += 2;
+                } else {
+                    flags.insert(key.to_string(), String::new());
+                    i += 1;
+                }
+            } else {
+                positional.push(raw[i].clone());
+                i += 1;
+            }
+        }
+        Args { positional, flags }
+    }
+
+    fn u64_flag(&self, key: &str, default: u64) -> u64 {
+        self.flags
+            .get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    fn str_flag(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(|s| s.as_str())
+    }
+}
+
+fn window_of(args: &Args) -> WindowPath {
+    match args.str_flag("window") {
+        Some("i") => WindowPath::UnmapAfterBuild,
+        Some("iii") => WindowPath::NeighborIova,
+        _ => WindowPath::DeferredIotlb,
+    }
+}
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = raw
+        .first()
+        .map(|s| s.as_str())
+        .unwrap_or("help")
+        .to_string();
+    let args = Args::parse(&raw[raw.len().min(1)..]);
+    let code = match cmd.as_str() {
+        "layout" => cmd_layout(&args),
+        "spade" => cmd_spade(&args),
+        "dkasan" => cmd_dkasan(&args),
+        "survey" => cmd_survey(&args),
+        "attack" => cmd_attack(&args),
+        "surveil" => cmd_surveil(&args),
+        "dos" => cmd_dos(&args),
+        "dump" => cmd_dump(&args),
+        _ => {
+            print!("{}", HELP);
+            0
+        }
+    };
+    std::process::exit(code);
+}
+
+const HELP: &str = "\
+dma-lab — reproduction of 'DMA Code Injection Vulnerabilities in the
+Presence of an IOMMU' (EuroSys '21)
+
+USAGE:
+    dma-lab layout
+    dma-lab spade [--filter PATH-SUBSTRING] [--seed N] [--tsv 1]
+    dma-lab dkasan [--rounds N] [--seed N]
+    dma-lab survey [--boots N] [--profile 5.0|4.15]
+    dma-lab attack <ringflood|poisoned-tx|forward-thinking|single-step>
+                   [--window i|ii|iii] [--seed N]
+    dma-lab surveil [--seed N]
+    dma-lab dos [--seed N]
+    dma-lab dump [--seed N] [--start PFN] [--frames N]
+";
+
+fn cmd_layout(args: &Args) -> i32 {
+    println!(
+        "{:<18} {:<18} {:>8}  VM area description",
+        "Start Addr", "End Addr", "Size"
+    );
+    for (start, end, size, desc) in KernelLayout::table1() {
+        println!("{start:<18} {end:<18} {size:>8}  {desc}");
+    }
+    let seed = args.u64_flag("seed", 1);
+    let mut rng = DetRng::new(seed);
+    let l = KernelLayout::randomize(&mut rng, 256 << 20);
+    println!("\nKASLR sample (seed {seed}):");
+    println!("  text_base        = {}", l.text_base);
+    println!("  page_offset_base = {}", l.page_offset_base);
+    println!("  vmemmap_base     = {}", l.vmemmap_base);
+    0
+}
+
+fn cmd_spade(args: &Args) -> i32 {
+    let seed = args.u64_flag("seed", 1);
+    let corpus = full_corpus(&CorpusMix::default(), seed);
+    let tree = SourceTree::load(corpus.iter().map(|(p, s)| (p.as_str(), s.as_str())));
+    let findings = analyze(&tree);
+    if let Some(pat) = args.str_flag("filter") {
+        let mut shown = 0;
+        for f in findings.iter().filter(|f| f.file.contains(pat)) {
+            println!("--- {}:{} ({}) ---", f.file, f.line, f.caller);
+            println!("{}", TraceReport(f));
+            shown += 1;
+        }
+        println!("{shown} finding(s) matched '{pat}'");
+        return 0;
+    }
+    if args.str_flag("tsv").is_some() {
+        print!("{}", dma_lab::spade::report::render_tsv(&findings));
+        return 0;
+    }
+    let t = Table2::from_findings(&findings);
+    println!("{}", t.render());
+    let v = Table2::vulnerable_calls(&findings);
+    println!(
+        "Potentially vulnerable: {v}/{} ({:.1}%)   [paper: 742/1019 (72.8%)]",
+        t.total.calls,
+        100.0 * v as f64 / t.total.calls as f64
+    );
+    0
+}
+
+fn cmd_dkasan(args: &Args) -> i32 {
+    let cfg = WorkloadConfig {
+        rounds: args.u64_flag("rounds", 200) as usize,
+        seed: args.u64_flag("seed", 0xd0_ca5a),
+    };
+    match run_workload(cfg) {
+        Ok(report) => {
+            println!("{}", report.render());
+            println!();
+            for kind in [
+                FindingKind::AllocAfterMap,
+                FindingKind::MapAfterAlloc,
+                FindingKind::AccessAfterMap,
+                FindingKind::MultipleMap,
+            ] {
+                println!("{:<18} {}", kind.to_string(), report.count(kind));
+            }
+            0
+        }
+        Err(e) => {
+            eprintln!("workload failed: {e}");
+            1
+        }
+    }
+}
+
+fn cmd_survey(args: &Args) -> i32 {
+    let boots = args.u64_flag("boots", 256) as usize;
+    let driver = match args.str_flag("profile") {
+        Some("4.15") => ringflood::kernel415_driver(),
+        _ => ringflood::kernel50_driver(),
+    };
+    match BootSurvey::run(driver, boots, 0) {
+        Ok(s) => {
+            let (pfn, frac) = s.most_common().expect("non-empty survey");
+            println!("driver profile : {}", driver.name);
+            println!(
+                "RX footprint   : {} KiB",
+                ringflood::rx_footprint(&driver) / 1024
+            );
+            println!("boots surveyed : {boots}");
+            println!("top PFN        : {pfn} ({:.1}% of boots)", frac * 100.0);
+            println!("PFNs >50%      : {}", s.pfns_above(0.5));
+            println!("PFNs >95%      : {}", s.pfns_above(0.95));
+            0
+        }
+        Err(e) => {
+            eprintln!("survey failed: {e}");
+            1
+        }
+    }
+}
+
+fn cmd_attack(args: &Args) -> i32 {
+    let which = args.positional.first().map(|s| s.as_str()).unwrap_or("");
+    let seed = args.u64_flag("seed", 42);
+    let window = window_of(args);
+    let image = KernelImage::build(1, 16 << 20);
+    let outcome = match which {
+        "ringflood" => {
+            let survey = match BootSurvey::run(ringflood::kernel50_driver(), 64, 0) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("survey failed: {e}");
+                    return 1;
+                }
+            };
+            ringflood::run(&image, ringflood::kernel50_driver(), window, seed, &survey).map(|r| {
+                println!(
+                    "guessed PFN {} (resident: {})",
+                    r.guessed_pfn, r.guess_was_resident
+                );
+                r.outcome
+            })
+        }
+        "poisoned-tx" => poisoned_tx::run(&image, window, seed).map(|r| {
+            if let Some(k) = r.poison_kva {
+                println!("poison KVA read from TX frags: {k}");
+            }
+            r.outcome
+        }),
+        "forward-thinking" => forward_thinking::run(&image, window, seed).map(|r| {
+            if let Some(k) = r.poison_kva {
+                println!("poison KVA from GRO frags: {k}");
+            }
+            r.outcome
+        }),
+        "single-step" => {
+            let mut ctx = SimCtx::new();
+            let mut mem = MemorySystem::new(&MemConfig {
+                kaslr_seed: Some(seed),
+                ..Default::default()
+            });
+            mem.install_text(&image.bytes);
+            let mut iommu = Iommu::new(IommuConfig {
+                mode: InvalidationMode::Strict,
+                ..Default::default()
+            });
+            iommu.attach_device(7);
+            let nic = MaliciousNic::new(7);
+            single_step::driver_setup_op(&mut ctx, &mut mem, &mut iommu, &image, 7)
+                .and_then(|(_, mapping)| {
+                    single_step::run(&mut ctx, &mut mem, &mut iommu, &image, &nic, &mapping)
+                })
+                .map(|r| {
+                    println!(
+                        "leaked op KVA {} / text base {}",
+                        r.leaked_op_kva, r.recovered_text_base
+                    );
+                    r.outcome
+                })
+        }
+        other => {
+            eprintln!("unknown attack '{other}'\n{HELP}");
+            return 2;
+        }
+    };
+    match outcome {
+        Ok(o) => {
+            println!("window : {window}");
+            println!("outcome: {o:?}");
+            i32::from(!o.succeeded())
+        }
+        Err(e) => {
+            eprintln!("attack errored: {e}");
+            1
+        }
+    }
+}
+
+fn cmd_dos(args: &Args) -> i32 {
+    use dma_lab::attacks::dos;
+    use dma_lab::dma_core::vuln::DmaDirection;
+    use dma_lab::sim_iommu::dma_map_single;
+    let seed = args.u64_flag("seed", 9);
+    let mut ctx = SimCtx::new();
+    let mut mem = MemorySystem::new(&MemConfig {
+        kaslr_seed: Some(seed),
+        ..Default::default()
+    });
+    let mut iommu = Iommu::new(IommuConfig {
+        mode: InvalidationMode::Strict,
+        ..Default::default()
+    });
+    iommu.attach_device(7);
+    let nic = MaliciousNic::new(7);
+    let mut run = || -> dma_lab::dma_core::Result<dos::DosReport> {
+        let cmdq = mem.kzalloc(&mut ctx, 512, "nic_cmd_queue")?;
+        let m = dma_map_single(
+            &mut ctx,
+            &mut iommu,
+            &mem.layout,
+            7,
+            cmdq,
+            512,
+            DmaDirection::Bidirectional,
+            "m",
+        )?;
+        dos::run_dos(&nic, &mut ctx, &mut iommu, &mut mem, &m, 512)
+    };
+    match run() {
+        Ok(r) => {
+            println!("corrupted freelist slot: {}", r.corrupted_slot);
+            println!(
+                "kernel panicked: {} (after {} allocations)",
+                r.panicked, r.allocations_until_panic
+            );
+            i32::from(!r.panicked)
+        }
+        Err(e) => {
+            eprintln!("dos failed: {e}");
+            1
+        }
+    }
+}
+
+fn cmd_dump(args: &Args) -> i32 {
+    use dma_lab::attacks::memory_dump::dump_range;
+    use dma_lab::attacks::ringflood::break_kaslr;
+    use dma_lab::dma_core::Pfn;
+    let seed = args.u64_flag("seed", 31);
+    let start = Pfn(args.u64_flag("start", 0x400));
+    let frames = args.u64_flag("frames", 4) as usize;
+    let image = KernelImage::build(1, 16 << 20);
+    let run = || -> dma_lab::dma_core::Result<()> {
+        let mut tb = forward_thinking::boot(WindowPath::UnmapAfterBuild, seed)?;
+        tb.mem.install_text(&image.bytes);
+        let k = break_kaslr(&mut tb)?;
+        let k = forward_thinking::leak_vmemmap(&mut tb, &k)?;
+        let dump = dump_range(&mut tb, &k, start, frames)?;
+        println!(
+            "dumped {} frame(s) from {start} ({} failed) in {} simulated cycles",
+            dump.frames(),
+            dump.failed_frames.len(),
+            dump.cycles
+        );
+        // Hexdump the first 64 bytes of each frame.
+        for i in 0..dump.frames() {
+            let head = &dump.frame(i)[..64];
+            let hex: String = head.iter().map(|b| format!("{b:02x}")).collect();
+            println!(
+                "  frame {}: {}",
+                start.raw() + i as u64,
+                &hex[..64.min(hex.len())]
+            );
+        }
+        Ok(())
+    };
+    match run() {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("dump failed: {e}");
+            1
+        }
+    }
+}
+
+fn cmd_surveil(args: &Args) -> i32 {
+    let seed = args.u64_flag("seed", 31);
+    let image = KernelImage::build(1, 16 << 20);
+    let run = || -> dma_lab::dma_core::Result<()> {
+        let mut tb = forward_thinking::boot(WindowPath::UnmapAfterBuild, seed)?;
+        tb.mem.install_text(&image.bytes);
+        let knowledge = ringflood::break_kaslr(&mut tb)?;
+        let knowledge = forward_thinking::leak_vmemmap(&mut tb, &knowledge)?;
+        let secret = tb.mem.kmalloc(&mut tb.ctx, 4096, "vault")?;
+        tb.mem
+            .cpu_write(&mut tb.ctx, secret, b"<secret-demo-bytes>", "vault")?;
+        let pfn = tb.mem.layout.kva_to_pfn(secret)?;
+        let r = forward_thinking::surveil(&mut tb, &knowledge, pfn, 0, 19)?;
+        println!("read frame {pfn}: {:?}", String::from_utf8_lossy(&r.stolen));
+        Ok(())
+    };
+    match run() {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("surveillance failed: {e}");
+            1
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! §3.3: all three vulnerability attributes are *required* — the
+//! hypothetical scenario of the paper, where a device with write access
+//! but missing attributes has "no viable attack options", plus the
+//! defenses ablation: which configurations block which attacks.
+
+use dma_lab::attacks::cpu::MiniCpu;
+use dma_lab::attacks::image::KernelImage;
+use dma_lab::attacks::kaslr::AttackerKnowledge;
+use dma_lab::attacks::rop::PoisonedBuffer;
+use dma_lab::attacks::window::{rx_with_window, PoisonPlan};
+use dma_lab::devsim::testbed::TestbedConfig;
+use dma_lab::devsim::Testbed;
+use dma_lab::dma_core::vuln::{VulnerabilityAttributes, WindowPath};
+use dma_lab::dma_core::Kva;
+use dma_lab::sim_iommu::{InvalidationMode, IommuConfig};
+use dma_lab::sim_net::driver::{AllocPolicy, DriverConfig, UnmapOrder};
+use dma_lab::sim_net::packet::Packet;
+use dma_lab::sim_net::skb::kfree_skb;
+
+#[test]
+fn attribute_tracker_demands_all_three() {
+    let mut a = VulnerabilityAttributes::none();
+    assert!(!a.is_complete());
+    a.malicious_kva = Some(Kva(0xffff_8880_0000_1000));
+    a.window = Some(dma_lab::dma_core::vuln::TimeWindow {
+        start: 0,
+        end: 100,
+        path: WindowPath::DeferredIotlb,
+    });
+    assert!(!a.is_complete(), "still missing the callback");
+    assert_eq!(a.missing(), vec!["writable callback pointer"]);
+}
+
+/// Without attribute 1 (a correct KVA), the poisoned pointer leads the
+/// CPU to garbage: a fault (kernel oops), not code execution.
+#[test]
+fn wrong_kva_guess_crashes_instead_of_escalating() {
+    let image = KernelImage::build(1, 16 << 20);
+    let mut tb = Testbed::new(TestbedConfig::default()).unwrap();
+    tb.mem.install_text(&image.bytes);
+    // Device has a window and a callback to clobber, but guesses a KVA
+    // pointing at unrelated zeroed memory.
+    let bogus = tb.mem.kzalloc(&mut tb.ctx, 512, "innocent").unwrap();
+    let plan = PoisonPlan {
+        poison_kva: bogus.raw(),
+    };
+    let p = Packet::udp(9, 1, b"x".to_vec());
+    let (skb, ok) = rx_with_window(&mut tb, WindowPath::NeighborIova, &p, &plan).unwrap();
+    assert!(ok);
+    let pending = kfree_skb(&mut tb.ctx, &mut tb.mem, skb).unwrap();
+    // ubuf_info.callback reads as 0 from the zeroed buffer → no pending
+    // callback at all (or, if nonzero, the CPU would NX-fault).
+    assert!(pending.is_none());
+}
+
+/// Without attribute 3 (a time window), the CPU's shared-info
+/// initialization erases the device's writes: strict mode + correct
+/// unmap ordering + isolated pages = no attack.
+#[test]
+fn hardened_configuration_closes_every_window() {
+    let mut tb = Testbed::new(TestbedConfig {
+        iommu: IommuConfig {
+            mode: InvalidationMode::Strict,
+            ..Default::default()
+        },
+        driver: DriverConfig {
+            unmap_order: UnmapOrder::UnmapThenBuild,
+            alloc: AllocPolicy::PagePerBuffer,
+            ..Default::default()
+        },
+        ..Default::default()
+    })
+    .unwrap();
+    let plan = PoisonPlan {
+        poison_kva: 0xffff_8880_0bad_0000,
+    };
+    for path in [
+        WindowPath::UnmapAfterBuild,
+        WindowPath::DeferredIotlb,
+        WindowPath::NeighborIova,
+    ] {
+        let p = Packet::udp(9, 1, b"x".to_vec());
+        let (skb, ok) = rx_with_window(&mut tb, path, &p, &plan).unwrap();
+        let darg = skb.shinfo().destructor_arg(&mut tb.ctx, &tb.mem).unwrap();
+        assert!(
+            !ok || darg == 0,
+            "window {path} should be closed in the hardened config (write ok={ok}, darg={darg:#x})"
+        );
+        kfree_skb(&mut tb.ctx, &mut tb.mem, skb).unwrap();
+    }
+}
+
+/// NX (§2.4): even with all three attributes, pointing the callback at
+/// the malicious *data* buffer itself faults — which is why the attacks
+/// need the JOP pivot into kernel text.
+#[test]
+fn nx_forces_the_jop_detour() {
+    let image = KernelImage::build(1, 16 << 20);
+    let mut tb = Testbed::new(TestbedConfig::default()).unwrap();
+    tb.mem.install_text(&image.bytes);
+    let cpu = MiniCpu::new(&image, tb.mem.layout.text_base);
+
+    let buf = tb.mem.kzalloc(&mut tb.ctx, 512, "payload").unwrap();
+    // Naive attacker: callback = the buffer (data page).
+    let err = cpu
+        .invoke_callback(&mut tb.ctx, &tb.mem, buf, buf)
+        .unwrap_err();
+    assert!(matches!(err, dma_lab::dma_core::DmaError::CpuFault(_)));
+
+    // Informed attacker: callback = JOP gadget, chain in the buffer.
+    let knowledge = AttackerKnowledge {
+        text_base: Some(tb.mem.layout.text_base),
+        page_offset_base: Some(tb.mem.layout.page_offset_base),
+        vmemmap_base: Some(tb.mem.layout.vmemmap_base),
+    };
+    let poison = PoisonedBuffer::build(&image, &knowledge).unwrap();
+    tb.mem
+        .cpu_write(&mut tb.ctx, buf, &poison.bytes, "deposit")
+        .unwrap();
+    let jop = image
+        .symbol_addr("jop_rsp_rdi", tb.mem.layout.text_base)
+        .unwrap();
+    let out = cpu.invoke_callback(&mut tb.ctx, &tb.mem, jop, buf).unwrap();
+    assert!(out.escalated);
+}
+
+/// §7: the MacOS XOR cookie stops the single-step use of a leaked
+/// pointer, but two samples with known candidates recover it.
+#[test]
+fn macos_cookie_blinding_and_its_break() {
+    use dma_lab::attacks::cookie::{blind, recover_cookie};
+    let image = KernelImage::build(1, 16 << 20);
+    let base = 0xffff_ffff_8800_0000u64;
+    let ext_free_a = base + image.symbol_offset("sock_zerocopy_callback").unwrap();
+    let ext_free_b = base + image.symbol_offset("nvme_fc_fcpio_done").unwrap();
+    let cookie = 0x5eed_c0de_1234_5678;
+    // The blinded value is useless alone...
+    let sample_a = blind(ext_free_a, cookie);
+    assert_ne!(sample_a, ext_free_a);
+    // ...but with KASLR broken the candidate plaintexts are known and
+    // one XOR reveals the cookie (§7 MacOS).
+    let recovered = recover_cookie(
+        &[sample_a, blind(ext_free_b, cookie)],
+        &[ext_free_a, ext_free_b],
+    );
+    assert_eq!(recovered, Some(cookie));
+}

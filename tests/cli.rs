@@ -1,0 +1,106 @@
+//! End-to-end CLI tests: every subcommand runs, exits zero, and prints
+//! the paper-shaped output it promises.
+
+use std::process::Command;
+
+fn run(args: &[&str]) -> (i32, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_dma-lab"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.code().unwrap_or(-1),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+    )
+}
+
+#[test]
+fn help_lists_all_subcommands() {
+    let (code, out) = run(&["help"]);
+    assert_eq!(code, 0);
+    for cmd in [
+        "layout", "spade", "dkasan", "survey", "attack", "surveil", "dos", "dump",
+    ] {
+        assert!(out.contains(cmd), "help missing {cmd}:\n{out}");
+    }
+}
+
+#[test]
+fn layout_prints_table1() {
+    let (code, out) = run(&["layout"]);
+    assert_eq!(code, 0);
+    assert!(out.contains("direct map of phys memory"));
+    assert!(out.contains("ffff888000000000"));
+    assert!(out.contains("KASLR sample"));
+}
+
+#[test]
+fn spade_prints_table2() {
+    let (code, out) = run(&["spade"]);
+    assert_eq!(code, 0);
+    assert!(out.contains("skb_shared_info mapped"));
+    assert!(out.contains("Total dma-map calls"));
+    assert!(out.contains("72.8%"), "paper reference figure shown");
+}
+
+#[test]
+fn spade_filter_prints_figure2_trace() {
+    let (code, out) = run(&["spade", "--filter", "nvme"]);
+    assert_eq!(code, 0);
+    assert!(out.contains("EXPOSED: 1 callback pointer"));
+    assert!(out.contains("SPOOFABLE"));
+}
+
+#[test]
+fn dkasan_prints_figure3_lines() {
+    let (code, out) = run(&["dkasan", "--rounds", "60"]);
+    assert_eq!(code, 0);
+    assert!(out.contains("[1] size "));
+    assert!(out.contains("alloc-after-map"));
+}
+
+#[test]
+fn survey_reports_fractions() {
+    let (code, out) = run(&["survey", "--boots", "24"]);
+    assert_eq!(code, 0);
+    assert!(out.contains("top PFN"));
+    assert!(out.contains("% of boots"));
+}
+
+#[test]
+fn attacks_escalate_and_exit_zero() {
+    for which in ["poisoned-tx", "forward-thinking", "single-step"] {
+        let (code, out) = run(&["attack", which, "--seed", "5"]);
+        assert_eq!(code, 0, "{which} failed:\n{out}");
+        assert!(out.contains("CodeExecution"), "{which}:\n{out}");
+    }
+}
+
+#[test]
+fn ringflood_attack_via_cli() {
+    // RingFlood's success depends on the PFN guess; accept either verdict
+    // but demand a well-formed report.
+    let (_code, out) = run(&["attack", "ringflood", "--seed", "1001", "--window", "iii"]);
+    assert!(out.contains("guessed PFN"));
+    assert!(out.contains("outcome:"));
+}
+
+#[test]
+fn dos_panics_the_allocator() {
+    let (code, out) = run(&["dos"]);
+    assert_eq!(code, 0);
+    assert!(out.contains("kernel panicked: true"));
+}
+
+#[test]
+fn dump_reads_frames() {
+    let (code, out) = run(&["dump", "--frames", "2"]);
+    assert_eq!(code, 0);
+    assert!(out.contains("dumped 2 frame(s)"));
+}
+
+#[test]
+fn unknown_attack_exits_nonzero() {
+    let (code, _) = run(&["attack", "nonsense"]);
+    assert_eq!(code, 2);
+}

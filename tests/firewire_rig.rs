@@ -1,0 +1,134 @@
+//! The §6 test rig: "we used a FireWire device ... We created an IOVA
+//! page table that is shared between the FireWire and the actual NIC.
+//! Because the attacker machine can access the same pages as the NIC,
+//! this allowed us to execute an attack using a programmable interface,
+//! emulating a malicious NIC."
+//!
+//! The FireWire controller (a separate DeviceId, driven over the
+//! simulated SBP-2-style interface) joins the NIC's translation domain
+//! and performs the actual attack DMA.
+
+use dma_lab::devsim::{MaliciousNic, Testbed, TestbedConfig};
+use dma_lab::dma_core::vuln::DmaDirection;
+use dma_lab::dma_core::Iova;
+use dma_lab::sim_iommu::dma_map_single;
+use dma_lab::sim_net::shinfo::SHINFO_DESTRUCTOR_ARG;
+
+const FIREWIRE: u32 = 0x1394;
+
+#[test]
+fn firewire_joins_the_nic_domain_and_sees_its_pages() {
+    let mut tb = Testbed::new(TestbedConfig::default()).unwrap();
+    tb.iommu.attach_device_shared(FIREWIRE, tb.nic.id).unwrap();
+    assert!(tb.iommu.same_domain(FIREWIRE, tb.nic.id));
+
+    // Everything the NIC driver posted is reachable from the FireWire
+    // controller through the shared page table.
+    let fw = MaliciousNic::new(FIREWIRE);
+    let (iova, _) = tb.driver.rx_descriptors()[0];
+    fw.write(
+        &mut tb.ctx,
+        &mut tb.iommu,
+        &mut tb.mem.phys,
+        iova,
+        b"from firewire",
+    )
+    .unwrap();
+    let kva = tb.driver.posted_slots().next().unwrap().mapping.kva;
+    let mut b = [0u8; 13];
+    tb.mem.cpu_read(&mut tb.ctx, kva, &mut b, "t").unwrap();
+    assert_eq!(&b, b"from firewire");
+}
+
+#[test]
+fn firewire_can_run_the_shinfo_overwrite() {
+    // The attack write of Figure 4, issued by the FireWire controller
+    // against a buffer the *NIC* driver mapped.
+    let mut tb = Testbed::new(TestbedConfig::default()).unwrap();
+    tb.iommu.attach_device_shared(FIREWIRE, tb.nic.id).unwrap();
+    let fw = MaliciousNic::new(FIREWIRE);
+
+    let (iova, buf_size) = tb.driver.rx_descriptors()[0];
+    fw.overwrite_destructor_arg(
+        &mut tb.ctx,
+        &mut tb.iommu,
+        &mut tb.mem.phys,
+        Iova(iova.raw() + buf_size as u64),
+        0xffff_8880_0bad_0000,
+    )
+    .unwrap();
+    let slot_kva = tb.driver.posted_slots().next().unwrap().mapping.kva;
+    let got = tb
+        .mem
+        .cpu_read_u64(
+            &mut tb.ctx,
+            dma_lab::dma_core::Kva(slot_kva.raw() + buf_size as u64 + SHINFO_DESTRUCTOR_ARG as u64),
+            "t",
+        )
+        .unwrap();
+    assert_eq!(got, 0xffff_8880_0bad_0000);
+}
+
+#[test]
+fn unshared_devices_stay_isolated() {
+    let mut tb = Testbed::new(TestbedConfig::default()).unwrap();
+    // A second device with its own domain sees nothing of the NIC's.
+    tb.iommu.attach_device(0x5555);
+    assert!(!tb.iommu.same_domain(0x5555, tb.nic.id));
+    let stranger = MaliciousNic::new(0x5555);
+    let (iova, _) = tb.driver.rx_descriptors()[0];
+    assert!(stranger
+        .write(&mut tb.ctx, &mut tb.iommu, &mut tb.mem.phys, iova, b"nope")
+        .is_err());
+}
+
+#[test]
+fn domain_wide_invalidation_covers_all_sharers() {
+    // Strict unmap by the NIC driver must also kill the FireWire
+    // controller's cached translation.
+    use dma_lab::sim_iommu::{dma_unmap_single, InvalidationMode, IommuConfig};
+    let mut tb = Testbed::new(TestbedConfig {
+        iommu: IommuConfig {
+            mode: InvalidationMode::Strict,
+            ..Default::default()
+        },
+        ..Default::default()
+    })
+    .unwrap();
+    tb.iommu.attach_device_shared(FIREWIRE, tb.nic.id).unwrap();
+    let fw = MaliciousNic::new(FIREWIRE);
+
+    let buf = tb.mem.kmalloc(&mut tb.ctx, 512, "io").unwrap();
+    let m = dma_map_single(
+        &mut tb.ctx,
+        &mut tb.iommu,
+        &tb.mem.layout,
+        tb.nic.id,
+        buf,
+        512,
+        DmaDirection::FromDevice,
+        "m",
+    )
+    .unwrap();
+    // FireWire warms its IOTLB entry.
+    fw.write(
+        &mut tb.ctx,
+        &mut tb.iommu,
+        &mut tb.mem.phys,
+        m.iova,
+        b"warm",
+    )
+    .unwrap();
+    dma_unmap_single(&mut tb.ctx, &mut tb.iommu, &m).unwrap();
+    assert!(
+        fw.write(
+            &mut tb.ctx,
+            &mut tb.iommu,
+            &mut tb.mem.phys,
+            m.iova,
+            b"late"
+        )
+        .is_err(),
+        "strict invalidation must cover every device in the domain"
+    );
+}

@@ -1,0 +1,142 @@
+//! IOTLB capacity ablation: the deferred-invalidation window (Figure 6)
+//! exists because the *cache* keeps answering after the page table is
+//! cleared. If the entry is evicted before the attacker uses it, the
+//! window closes early — capacity pressure is an accidental mitigation
+//! (and why the paper's attack prefers path (iii), which does not need
+//! the stale entry at all).
+
+use dma_lab::devsim::{Testbed, TestbedConfig};
+use dma_lab::dma_core::vuln::{DmaDirection, WindowPath};
+use dma_lab::sim_iommu::{dma_map_single, dma_unmap_single, InvalidationMode, IommuConfig};
+
+fn tb(iotlb_capacity: usize) -> Testbed {
+    Testbed::new(TestbedConfig {
+        iommu: IommuConfig {
+            mode: InvalidationMode::Deferred,
+            iotlb_capacity,
+            ..Default::default()
+        },
+        ..Default::default()
+    })
+    .unwrap()
+}
+
+#[test]
+fn tiny_iotlb_closes_the_deferred_window_under_pressure() {
+    let mut t = tb(4);
+    let buf = t.mem.kmalloc(&mut t.ctx, 512, "io").unwrap();
+    let m = dma_map_single(
+        &mut t.ctx,
+        &mut t.iommu,
+        &t.mem.layout,
+        t.nic.id,
+        buf,
+        512,
+        DmaDirection::FromDevice,
+        "m",
+    )
+    .unwrap();
+    t.nic
+        .write(&mut t.ctx, &mut t.iommu, &mut t.mem.phys, m.iova, b"warm")
+        .unwrap();
+    dma_unmap_single(&mut t.ctx, &mut t.iommu, &m).unwrap();
+
+    // Competing traffic: other mappings churn the tiny IOTLB.
+    for i in 0..8 {
+        let b2 = t.mem.kmalloc(&mut t.ctx, 512, "other").unwrap();
+        let m2 = dma_map_single(
+            &mut t.ctx,
+            &mut t.iommu,
+            &t.mem.layout,
+            t.nic.id,
+            b2,
+            512,
+            DmaDirection::FromDevice,
+            "m2",
+        )
+        .unwrap();
+        t.nic
+            .write(&mut t.ctx, &mut t.iommu, &mut t.mem.phys, m2.iova, &[i])
+            .unwrap();
+    }
+
+    // The stale entry has been evicted; the page-table walk faults.
+    assert!(
+        t.nic
+            .write(&mut t.ctx, &mut t.iommu, &mut t.mem.phys, m.iova, b"late")
+            .is_err(),
+        "evicted stale entry must not keep translating"
+    );
+}
+
+#[test]
+fn large_iotlb_keeps_the_window_open_under_the_same_pressure() {
+    let mut t = tb(4096);
+    let buf = t.mem.kmalloc(&mut t.ctx, 512, "io").unwrap();
+    let m = dma_map_single(
+        &mut t.ctx,
+        &mut t.iommu,
+        &t.mem.layout,
+        t.nic.id,
+        buf,
+        512,
+        DmaDirection::FromDevice,
+        "m",
+    )
+    .unwrap();
+    t.nic
+        .write(&mut t.ctx, &mut t.iommu, &mut t.mem.phys, m.iova, b"warm")
+        .unwrap();
+    dma_unmap_single(&mut t.ctx, &mut t.iommu, &m).unwrap();
+    for i in 0..8 {
+        let b2 = t.mem.kmalloc(&mut t.ctx, 512, "other").unwrap();
+        let m2 = dma_map_single(
+            &mut t.ctx,
+            &mut t.iommu,
+            &t.mem.layout,
+            t.nic.id,
+            b2,
+            512,
+            DmaDirection::FromDevice,
+            "m2",
+        )
+        .unwrap();
+        t.nic
+            .write(&mut t.ctx, &mut t.iommu, &mut t.mem.phys, m2.iova, &[i])
+            .unwrap();
+    }
+    assert!(
+        t.nic
+            .write(&mut t.ctx, &mut t.iommu, &mut t.mem.phys, m.iova, b"late")
+            .is_ok(),
+        "roomy IOTLB keeps the stale window open"
+    );
+    assert!(t.iommu.stats.stale_hits >= 1);
+}
+
+#[test]
+fn path_iii_is_immune_to_iotlb_pressure() {
+    // The type-(c) neighbour IOVA is a *live* mapping: eviction only
+    // costs a page-table walk, never access.
+    use dma_lab::attacks::window::{rx_with_window, PoisonPlan};
+    use dma_lab::sim_net::packet::Packet;
+    let mut t = Testbed::new(TestbedConfig {
+        iommu: IommuConfig {
+            mode: InvalidationMode::Strict,
+            iotlb_capacity: 2, // pathological pressure
+            ..Default::default()
+        },
+        ..Default::default()
+    })
+    .unwrap();
+    let plan = PoisonPlan {
+        poison_kva: 0xffff_8880_0bad_0000,
+    };
+    let p = Packet::udp(9, 1, b"x".to_vec());
+    let (skb, ok) = rx_with_window(&mut t, WindowPath::NeighborIova, &p, &plan).unwrap();
+    assert!(ok);
+    assert_eq!(
+        skb.shinfo().destructor_arg(&mut t.ctx, &t.mem).unwrap(),
+        plan.poison_kva
+    );
+}

@@ -1,0 +1,112 @@
+//! §5.3 scaling: "The memory footprint, in turn, depends on the NIC
+//! capabilities and the number of cores (number of RX rings) on the
+//! server. This means such attacks have a higher chance of success on
+//! larger machines."
+
+use dma_lab::attacks::ringflood::{self, BootSurvey};
+use dma_lab::devsim::testbed::{MemConfigLite, TestbedConfig};
+use dma_lab::devsim::Testbed;
+use dma_lab::sim_net::driver::DriverConfig;
+
+fn driver_with_queues(queues: usize) -> DriverConfig {
+    DriverConfig {
+        num_queues: queues,
+        map_ctrl_block: true,
+        ..ringflood::kernel50_driver()
+    }
+}
+
+#[test]
+fn rings_scale_with_queue_count() {
+    for queues in [1usize, 4, 8] {
+        let tb = Testbed::new(TestbedConfig {
+            mem: MemConfigLite {
+                num_cpus: queues,
+                ..Default::default()
+            },
+            driver: driver_with_queues(queues),
+            ..Default::default()
+        })
+        .unwrap();
+        assert_eq!(tb.driver.rx_descriptors().len(), 64 * queues);
+    }
+}
+
+#[test]
+fn per_queue_buffers_come_from_distinct_regions() {
+    let queues = 4;
+    let tb = Testbed::new(TestbedConfig {
+        mem: MemConfigLite {
+            num_cpus: queues,
+            ..Default::default()
+        },
+        driver: driver_with_queues(queues),
+        ..Default::default()
+    })
+    .unwrap();
+    // §5.2.2 / Figure 5: "each RX ring is served by its own (per-CPU)
+    // contiguous buffer". The first slot of each queue must live on a
+    // different page_frag region.
+    let kvas: Vec<u64> = tb
+        .driver
+        .posted_slots()
+        .take(queues)
+        .map(|s| s.mapping.kva.raw() & !(32 * 1024 - 1))
+        .collect();
+    let distinct: std::collections::HashSet<u64> = kvas.iter().copied().collect();
+    assert_eq!(
+        distinct.len(),
+        queues,
+        "per-CPU regions must differ: {kvas:x?}"
+    );
+}
+
+#[test]
+fn more_queues_mean_more_predictable_pfns() {
+    // The RingFlood success driver: a 8-queue machine covers 8× the
+    // frames each boot, so far more PFNs repeat across boots.
+    let survey = |queues: usize| {
+        let cfg = driver_with_queues(queues);
+        let mut freq: std::collections::HashMap<u64, u32> = Default::default();
+        let boots = 24;
+        for seed in 0..boots {
+            let tb = Testbed::new(TestbedConfig {
+                mem: MemConfigLite {
+                    num_cpus: queues,
+                    kaslr_seed: Some(seed),
+                    ..Default::default()
+                },
+                driver: cfg,
+                boot_noise_seed: Some(seed),
+                ..Default::default()
+            })
+            .unwrap();
+            let mut seen = std::collections::HashSet::new();
+            for slot in tb.driver.posted_slots() {
+                seen.insert(tb.mem.layout.kva_to_pfn(slot.mapping.kva).unwrap().raw());
+            }
+            for p in seen {
+                *freq.entry(p).or_insert(0) += 1;
+            }
+        }
+        let majority = freq
+            .values()
+            .filter(|c| **c as usize * 2 > boots as usize)
+            .count();
+        majority
+    };
+    let one = survey(1);
+    let eight = survey(8);
+    assert!(
+        eight > 2 * one,
+        "8-queue machine should have far more majority PFNs: 1q={one}, 8q={eight}"
+    );
+}
+
+#[test]
+fn survey_works_with_multiqueue_profile() {
+    // The stock BootSurvey machinery handles multi-queue drivers too.
+    let s = BootSurvey::run(driver_with_queues(2), 16, 0).unwrap();
+    let (_, frac) = s.most_common().unwrap();
+    assert!(frac > 0.5);
+}

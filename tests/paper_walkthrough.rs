@@ -1,0 +1,131 @@
+//! The paper, end to end, as one test: **characterize → detect →
+//! exploit → defend**, each stage feeding the next, across every crate
+//! in the workspace.
+
+use dma_lab::attacks::image::KernelImage;
+use dma_lab::attacks::ringflood::{self, BootSurvey};
+use dma_lab::defenses::bounce::BounceDma;
+use dma_lab::dkasan::{run_workload, FindingKind, WorkloadConfig};
+use dma_lab::dma_core::vuln::{SubPageVulnerability, WindowPath};
+use dma_lab::dma_core::{Iova, SimCtx, PAGE_SIZE};
+use dma_lab::sim_iommu::{InvalidationMode, Iommu, IommuConfig};
+use dma_lab::sim_mem::{MemConfig, MemorySystem};
+use dma_lab::spade::analysis::analyze;
+use dma_lab::spade::corpus::{full_corpus, CorpusMix};
+use dma_lab::spade::report::Table2;
+use dma_lab::spade::xref::SourceTree;
+
+#[test]
+fn characterize_detect_exploit_defend() {
+    // ------------------------------------------------------------------
+    // 1. CHARACTERIZE (§3): the four sub-page vulnerability types exist
+    //    as a taxonomy, and the attack needs all three attributes.
+    // ------------------------------------------------------------------
+    let taxonomy: Vec<char> = [
+        SubPageVulnerability::DriverMetadata,
+        SubPageVulnerability::OsMetadata,
+        SubPageVulnerability::MultipleIova,
+        SubPageVulnerability::RandomColocation,
+    ]
+    .iter()
+    .map(|v| v.letter())
+    .collect();
+    assert_eq!(taxonomy, vec!['a', 'b', 'c', 'd']);
+
+    // ------------------------------------------------------------------
+    // 2. DETECT, statically (§4.1): SPADE finds the exposure the attack
+    //    will later use — skb_shared_info on DMA-mapped pages, at scale.
+    // ------------------------------------------------------------------
+    let corpus = full_corpus(&CorpusMix::default(), 1);
+    let tree = SourceTree::load(corpus.iter().map(|(p, s)| (p.as_str(), s.as_str())));
+    let findings = analyze(&tree);
+    let table = Table2::from_findings(&findings);
+    let vulnerable = Table2::vulnerable_calls(&findings);
+    assert!(
+        vulnerable * 100 / table.total.calls >= 65,
+        "the kernel-wide exposure the paper reports must be visible statically"
+    );
+    let shinfo_share = table.shinfo_mapped.calls * 100 / table.total.calls;
+    assert!(
+        (38..=55).contains(&shinfo_share),
+        "skb_shared_info drives the exposure ({shinfo_share}%)"
+    );
+
+    // ------------------------------------------------------------------
+    // 3. DETECT, dynamically (§4.2): D-KASAN sees live co-location under
+    //    a realistic workload — the type (d) cases SPADE cannot.
+    // ------------------------------------------------------------------
+    let report = run_workload(WorkloadConfig {
+        rounds: 80,
+        seed: 0xabc,
+    })
+    .unwrap();
+    assert!(report.count(FindingKind::AllocAfterMap) > 0);
+    assert!(report.count(FindingKind::MultipleMap) > 0);
+
+    // ------------------------------------------------------------------
+    // 4. EXPLOIT (§5, §6): the compound attack converts the detected
+    //    exposure into kernel code execution.
+    // ------------------------------------------------------------------
+    let image = KernelImage::build(1, 16 << 20);
+    let survey = BootSurvey::run(ringflood::kernel50_driver(), 48, 0).unwrap();
+    let mut escalated = false;
+    for victim_seed in 4000..4010 {
+        let r = ringflood::run(
+            &image,
+            ringflood::kernel50_driver(),
+            WindowPath::NeighborIova,
+            victim_seed,
+            &survey,
+        )
+        .unwrap();
+        if r.outcome.succeeded() {
+            escalated = true;
+            // The exploit used exactly the ingredients the detectors
+            // flagged: the recovered KASLR bases and the shinfo exposure.
+            assert!(r.knowledge.text_base.is_some());
+            assert!(r.knowledge.page_offset_base.is_some());
+            break;
+        }
+    }
+    assert!(
+        escalated,
+        "the compound attack must land on some fresh boot"
+    );
+
+    // ------------------------------------------------------------------
+    // 5. DEFEND (§8/§9): bounce buffers remove the exposure class the
+    //    whole chain stood on.
+    // ------------------------------------------------------------------
+    let mut ctx = SimCtx::new();
+    let mut mem = MemorySystem::new(&MemConfig::default());
+    let mut iommu = Iommu::new(IommuConfig {
+        mode: InvalidationMode::Deferred, // even in the weak mode
+        ..Default::default()
+    });
+    let mut pool = BounceDma::new(&mut ctx, &mut mem, &mut iommu, 1, 4).unwrap();
+    let nic = dma_lab::devsim::MaliciousNic::new(1);
+    let io = mem.kmalloc(&mut ctx, 512, "io").unwrap();
+    let m = pool
+        .map(
+            &mut ctx,
+            &mut mem,
+            io,
+            512,
+            dma_lab::dma_core::vuln::DmaDirection::Bidirectional,
+        )
+        .unwrap();
+    let leaks = nic
+        .scan_for_pointers(
+            &mut ctx,
+            &mut iommu,
+            &mem.phys,
+            Iova(m.iova.raw() & !0xfff),
+            PAGE_SIZE,
+        )
+        .unwrap();
+    assert!(
+        leaks.is_empty(),
+        "with bounce buffers there is nothing left to characterize, detect, or exploit"
+    );
+}

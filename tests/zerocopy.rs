@@ -1,0 +1,157 @@
+//! MSG_ZEROCOPY: the *benign* owner of `destructor_arg` (§5.1
+//! footnote 4) — and what happens when the attacker piggybacks on it.
+
+use dma_lab::attacks::cpu::MiniCpu;
+use dma_lab::attacks::image::KernelImage;
+use dma_lab::devsim::{Testbed, TestbedConfig};
+
+fn armed() -> (Testbed, KernelImage) {
+    let image = KernelImage::build(1, 16 << 20);
+    let mut tb = Testbed::new(TestbedConfig::default()).unwrap();
+    tb.mem.install_text(&image.bytes);
+    (tb, image)
+}
+
+#[test]
+fn benign_zerocopy_send_invokes_the_real_callback() {
+    let (mut tb, image) = armed();
+    let cb_addr = image
+        .symbol_addr("sock_zerocopy_callback", tb.mem.layout.text_base)
+        .unwrap();
+    // A "userspace" buffer pinned for zero-copy TX.
+    let user_buf = tb
+        .mem
+        .kmalloc(&mut tb.ctx, 4096, "pinned_user_pages")
+        .unwrap();
+    tb.mem
+        .cpu_write(&mut tb.ctx, user_buf, b"zero-copy payload bytes", "user")
+        .unwrap();
+
+    tb.stack
+        .send_zerocopy(
+            &mut tb.ctx,
+            &mut tb.mem,
+            &mut tb.iommu,
+            &mut tb.driver,
+            42,
+            user_buf,
+            23,
+            cb_addr,
+        )
+        .unwrap();
+
+    // The device reads the user bytes straight from the pinned page.
+    let descs = tb.driver.tx_descriptors();
+    assert_eq!(descs[0].frags.len(), 1);
+    let (frag_iova, frag_len) = descs[0].frags[0];
+    let mut wire = vec![0u8; frag_len];
+    tb.nic
+        .read(
+            &mut tb.ctx,
+            &mut tb.iommu,
+            &tb.mem.phys,
+            frag_iova,
+            &mut wire,
+        )
+        .unwrap();
+    assert_eq!(&wire, b"zero-copy payload bytes");
+
+    // Completion surfaces the real callback; the CPU runs it benignly.
+    let cbs = tb.complete_all_tx().unwrap();
+    assert_eq!(cbs.len(), 1);
+    assert_eq!(cbs[0].callback, cb_addr);
+    let cpu = MiniCpu::new(&image, tb.mem.layout.text_base);
+    let out = cpu
+        .invoke_callback(&mut tb.ctx, &tb.mem, cbs[0].callback, cbs[0].arg)
+        .unwrap();
+    assert!(!out.escalated);
+    assert_eq!(out.entry_symbol, Some("sock_zerocopy_callback"));
+}
+
+#[test]
+fn attacker_can_retarget_a_live_zerocopy_ubuf() {
+    // The ubuf_info is a kmalloc-32 object; if the attacker gets write
+    // reach to its page (type (d) co-location with any mapped buffer),
+    // retargeting `callback` turns the *legitimate* completion path into
+    // the exploit trigger — no shared-info race needed at all.
+    use dma_lab::dma_core::vuln::DmaDirection;
+    use dma_lab::sim_iommu::dma_map_single;
+
+    let (mut tb, image) = armed();
+    let cb_addr = image
+        .symbol_addr("sock_zerocopy_callback", tb.mem.layout.text_base)
+        .unwrap();
+    let user_buf = tb
+        .mem
+        .kmalloc(&mut tb.ctx, 4096, "pinned_user_pages")
+        .unwrap();
+    tb.stack
+        .send_zerocopy(
+            &mut tb.ctx,
+            &mut tb.mem,
+            &mut tb.iommu,
+            &mut tb.driver,
+            42,
+            user_buf,
+            64,
+            cb_addr,
+        )
+        .unwrap();
+
+    // The driver maps a small kmalloc-32 control element; it lands on
+    // the same slab page as the live ubuf_info (kmalloc-32 too).
+    let ctrl = tb.mem.kmalloc(&mut tb.ctx, 24, "nic_small_ctrl").unwrap();
+    let m = dma_map_single(
+        &mut tb.ctx,
+        &mut tb.iommu,
+        &tb.mem.layout,
+        tb.nic.id,
+        ctrl,
+        24,
+        DmaDirection::Bidirectional,
+        "m",
+    )
+    .unwrap();
+
+    // Device-side: scan the mapped page for the known callback address,
+    // then replace it with the JOP pivot.
+    let page_iova = dma_lab::dma_core::Iova(m.iova.raw() & !0xfff);
+    let leaks = tb
+        .nic
+        .scan_for_pointers(&mut tb.ctx, &mut tb.iommu, &tb.mem.phys, page_iova, 4096)
+        .unwrap();
+    let hit = leaks.iter().find(|l| l.value == cb_addr.raw());
+    if let Some(hit) = hit {
+        let jop = image
+            .symbol_addr("jop_rsp_rdi", tb.mem.layout.text_base)
+            .unwrap();
+        tb.nic
+            .write_u64(
+                &mut tb.ctx,
+                &mut tb.iommu,
+                &mut tb.mem.phys,
+                hit.iova,
+                jop.raw(),
+            )
+            .unwrap();
+        let cbs = tb.complete_all_tx().unwrap();
+        assert_eq!(
+            cbs[0].callback, jop,
+            "completion now dispatches to the pivot"
+        );
+    } else {
+        // Slab placement kept them apart this time — the attack simply
+        // does not fire; nothing crashes.
+        let cbs = tb.complete_all_tx().unwrap();
+        assert_eq!(cbs[0].callback, cb_addr);
+    }
+}
+
+#[test]
+fn zerocopy_ubuf_is_the_template_the_forgeries_imitate() {
+    // The forged ubuf_info the compound attacks plant is byte-compatible
+    // with the real one: same offsets, same dispatch.
+    use dma_lab::sim_net::shinfo::{UBUF_CALLBACK, UBUF_INFO_SIZE};
+    assert_eq!(UBUF_CALLBACK, 0);
+    assert_eq!(UBUF_INFO_SIZE, 24);
+}
