@@ -1,5 +1,8 @@
-//! Property-based tests for the attack toolkit: scanner totality,
+//! Property-style tests for the attack toolkit: scanner totality,
 //! poison-buffer structure, aliasing arithmetic, and cookie recovery.
+//!
+//! Inputs are generated from the in-tree seeded `DetRng` (no external
+//! property-testing framework) so the suite builds offline.
 
 use attacks::cookie::{blind, recover_cookie};
 use attacks::image::{KernelImage, JOP_PIVOT_DISP};
@@ -8,9 +11,10 @@ use attacks::rop::PoisonedBuffer;
 use attacks::scan_gadgets;
 use devsim::MaliciousNic;
 use dma_core::layout::VmRegion;
-use dma_core::{Iova, Kva, PAGE_MASK};
-use proptest::prelude::*;
+use dma_core::{DetRng, Iova, Kva, PAGE_MASK};
 use std::sync::OnceLock;
+
+const CASES: usize = 64;
 
 /// One shared image for the whole suite — building it costs ~100 ms.
 fn shared_image() -> &'static KernelImage {
@@ -18,35 +22,45 @@ fn shared_image() -> &'static KernelImage {
     IMG.get_or_init(|| KernelImage::build(3, 16 << 20))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn gadget_scanner_is_total(bytes in proptest::collection::vec(any::<u8>(), 0..4096)) {
+#[test]
+fn gadget_scanner_is_total() {
+    let mut meta = DetRng::new(0x51);
+    for case in 0..CASES {
+        let mut rng = meta.fork();
+        let mut bytes = vec![0u8; rng.below(4096) as usize];
+        rng.fill_bytes(&mut bytes);
         let gadgets = scan_gadgets(&bytes);
         // Every reported gadget must actually decode at its offset.
         for g in gadgets {
             let off = g.offset as usize;
-            prop_assert!(off < bytes.len());
+            assert!(off < bytes.len(), "case {case}");
             match g.kind {
                 attacks::GadgetKind::PopRdiRet => {
-                    prop_assert_eq!(&bytes[off..off + 2], &[0x5f, 0xc3]);
+                    assert_eq!(&bytes[off..off + 2], &[0x5f, 0xc3], "case {case}");
                 }
                 attacks::GadgetKind::MovRdiRaxRet => {
-                    prop_assert_eq!(&bytes[off..off + 4], &[0x48, 0x89, 0xc7, 0xc3]);
+                    assert_eq!(
+                        &bytes[off..off + 4],
+                        &[0x48, 0x89, 0xc7, 0xc3],
+                        "case {case}"
+                    );
                 }
                 attacks::GadgetKind::JopRspRdi { disp } => {
-                    prop_assert_eq!(&bytes[off..off + 3], &[0x48, 0x8d, 0x67]);
-                    prop_assert_eq!(bytes[off + 3], disp);
-                    prop_assert_eq!(bytes[off + 4], 0xc3);
+                    assert_eq!(&bytes[off..off + 3], &[0x48, 0x8d, 0x67], "case {case}");
+                    assert_eq!(bytes[off + 3], disp, "case {case}");
+                    assert_eq!(bytes[off + 4], 0xc3, "case {case}");
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn poison_chain_words_are_text_addresses_or_null(slot in 0u64..248) {
-        let img = shared_image();
+#[test]
+fn poison_chain_words_are_text_addresses_or_null() {
+    let mut meta = DetRng::new(0x52);
+    let img = shared_image();
+    for case in 0..CASES {
+        let slot = meta.below(248);
         let base = VmRegion::KernelText.start() + slot * 0x20_0000;
         let k = AttackerKnowledge {
             text_base: Some(Kva(base)),
@@ -60,68 +74,104 @@ proptest! {
             let v = u64::from_le_bytes(w.try_into().unwrap());
             let in_chain = i * 8 >= JOP_PIVOT_DISP as usize || i == 0;
             if in_chain && v != 0 {
-                prop_assert!(v >= base && v < base + (16 << 20), "word {i} = {v:#x} outside image");
+                assert!(
+                    v >= base && v < base + (16 << 20),
+                    "case {case}: word {i} = {v:#x} outside image"
+                );
             }
         }
     }
+}
 
-    #[test]
-    fn alias_preserves_in_page_offset(a in any::<u64>(), b_page in 0u64..(1 << 40)) {
+#[test]
+fn alias_preserves_in_page_offset() {
+    let mut meta = DetRng::new(0x53);
+    for case in 0..CASES {
+        let a = meta.next_u64();
+        let b_page = meta.below(1 << 40);
         let nic = MaliciousNic::new(1);
         let target = Iova(a);
         let neighbor = Iova(b_page << 12);
         let alias = nic.alias_through_neighbor(target, neighbor).unwrap();
-        prop_assert_eq!(alias.page_offset(), target.page_offset());
-        prop_assert_eq!(alias.page_align_down(), neighbor.page_align_down());
+        assert_eq!(alias.page_offset(), target.page_offset(), "case {case}");
+        assert_eq!(
+            alias.page_align_down(),
+            neighbor.page_align_down(),
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn cookie_recovery_is_exact(cookie in any::<u64>(), a_off in 0u64..(1 << 21), b_off in 0u64..(1 << 21)) {
-        prop_assume!(a_off != b_off);
+#[test]
+fn cookie_recovery_is_exact() {
+    let mut meta = DetRng::new(0x54);
+    for case in 0..CASES {
+        let cookie = meta.next_u64();
+        let a_off = meta.below(1 << 21);
+        let mut b_off = meta.below(1 << 21);
+        if b_off == a_off {
+            b_off = (b_off + 1) % (1 << 21);
+        }
         let a = VmRegion::KernelText.start() + a_off;
         let b = VmRegion::KernelText.start() + b_off;
         let samples = [blind(a, cookie), blind(b, cookie)];
-        prop_assert_eq!(recover_cookie(&samples, &[a, b]), Some(cookie));
+        assert_eq!(
+            recover_cookie(&samples, &[a, b]),
+            Some(cookie),
+            "case {case}"
+        );
     }
-
 }
 
-proptest! {
+#[test]
+fn image_symbols_stay_inside_text() {
     // Image builds cost ~100 ms each; keep this property to a few cases.
-    #![proptest_config(ProptestConfig::with_cases(6))]
-
-    #[test]
-    fn image_symbols_stay_inside_text(seed in any::<u64>()) {
+    let mut meta = DetRng::new(0x55);
+    for case in 0..6 {
+        let seed = meta.next_u64();
         let img = KernelImage::build(seed, 16 << 20);
         for s in &img.symbols {
-            prop_assert!((s.offset as usize) < img.bytes.len());
+            assert!(
+                (s.offset as usize) < img.bytes.len(),
+                "case {case} seed={seed}"
+            );
         }
         // The pivot gadget is always discoverable by the scanner.
         let found = scan_gadgets(&img.bytes)
             .into_iter()
             .any(|g| matches!(g.kind, attacks::GadgetKind::JopRspRdi { .. }));
-        prop_assert!(found);
+        assert!(found, "case {case} seed={seed}");
     }
+}
 
-    #[test]
-    fn kaslr_absorb_never_produces_misaligned_bases(values in proptest::collection::vec(any::<u64>(), 0..32)) {
+#[test]
+fn kaslr_absorb_never_produces_misaligned_bases() {
+    let mut meta = DetRng::new(0x56);
+    for case in 0..CASES {
+        let mut rng = meta.fork();
+        let n = rng.below(32) as usize;
+        let values: Vec<u64> = (0..n).map(|_| rng.next_u64()).collect();
         let mut k = AttackerKnowledge::new();
         let leaks: Vec<devsim::LeakedPointer> = values
             .iter()
             .filter_map(|&v| {
-                VmRegion::classify(v).map(|region| devsim::LeakedPointer { iova: Iova(0), value: v, region })
+                VmRegion::classify(v).map(|region| devsim::LeakedPointer {
+                    iova: Iova(0),
+                    value: v,
+                    region,
+                })
             })
             .collect();
         k.absorb(&leaks);
         if let Some(t) = k.text_base {
-            prop_assert_eq!(t.raw() % dma_core::layout::TEXT_ALIGN, 0);
+            assert_eq!(t.raw() % dma_core::layout::TEXT_ALIGN, 0, "case {case}");
         }
         if let Some(d) = k.page_offset_base {
-            prop_assert_eq!(d.raw() % dma_core::layout::SECTION_ALIGN, 0);
-            prop_assert_eq!(d.raw() & PAGE_MASK, 0);
+            assert_eq!(d.raw() % dma_core::layout::SECTION_ALIGN, 0, "case {case}");
+            assert_eq!(d.raw() & PAGE_MASK, 0, "case {case}");
         }
         if let Some(v) = k.vmemmap_base {
-            prop_assert_eq!(v.raw() % dma_core::layout::SECTION_ALIGN, 0);
+            assert_eq!(v.raw() % dma_core::layout::SECTION_ALIGN, 0, "case {case}");
         }
     }
 }

@@ -66,6 +66,7 @@ fn bench_workload(c: &mut Criterion) {
     let report = run_workload(WorkloadConfig {
         rounds: 200,
         seed: 1,
+        fault_seed: None,
     })
     .unwrap();
     eprintln!("== Figure 3 workload findings ==");
@@ -85,9 +86,13 @@ fn bench_workload(c: &mut Criterion) {
         b.iter(|| {
             seed += 1;
             std::hint::black_box(
-                run_workload(WorkloadConfig { rounds: 50, seed })
-                    .unwrap()
-                    .allocs,
+                run_workload(WorkloadConfig {
+                    rounds: 50,
+                    seed,
+                    fault_seed: None,
+                })
+                .unwrap()
+                .allocs,
             )
         })
     });

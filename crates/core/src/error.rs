@@ -60,6 +60,19 @@ pub enum DmaError {
     Invariant(&'static str),
 }
 
+impl DmaError {
+    /// `true` for resource-pressure errors a driver may retry or absorb
+    /// (drop the packet, refill later) rather than treat as fatal —
+    /// the distinction real NIC drivers make between `-ENOMEM`/`-EBUSY`
+    /// and programming errors.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            DmaError::OutOfMemory | DmaError::OutOfIova | DmaError::RingFull | DmaError::RingEmpty
+        )
+    }
+}
+
 impl fmt::Display for DmaError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -18,10 +18,15 @@
 //! - [`rng`] — a small deterministic RNG (`splitmix64` / `xoshiro256**`)
 //!   used wherever determinism is load-bearing (e.g. the RingFlood
 //!   reboot survey).
+//! - [`fault`] — deterministic, seeded fault injection (the simulator's
+//!   `failslab` / `fail_page_alloc` analog): a [`FaultPlan`] of
+//!   site-tagged rules queried via `SimCtx::fault`, driving the
+//!   graceful-degradation paths in every layer.
 
 pub mod addr;
 pub mod clock;
 pub mod error;
+pub mod fault;
 pub mod layout;
 pub mod rng;
 pub mod trace;
@@ -30,6 +35,7 @@ pub mod vuln;
 pub use addr::{Iova, Kva, Pfn, PhysAddr, PAGE_MASK, PAGE_SHIFT, PAGE_SIZE};
 pub use clock::{Clock, Cycles};
 pub use error::{DmaError, Result};
+pub use fault::{FaultPlan, FaultRule, FaultTrigger};
 pub use layout::{KernelLayout, VmRegion};
 pub use rng::DetRng;
 pub use trace::{Event, SimCtx, Trace};

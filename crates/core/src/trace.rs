@@ -9,6 +9,7 @@
 
 use crate::addr::{Iova, Kva, Pfn};
 use crate::clock::{Clock, Cycles};
+use crate::fault::FaultPlan;
 use crate::vuln::DmaDirection;
 
 /// Identifier of a DMA-capable device (bus/device/function collapsed).
@@ -132,6 +133,13 @@ pub enum Event {
         /// Number of stale entries dropped.
         dropped: usize,
     },
+    /// The fault-injection engine forced a failure at a call site.
+    FaultInjected {
+        /// Timestamp in cycles.
+        at: Cycles,
+        /// Site tag of the failed call (e.g. `"sim_mem.kmalloc"`).
+        site: &'static str,
+    },
 }
 
 impl Event {
@@ -147,7 +155,8 @@ impl Event {
             | Event::CpuAccess { at, .. }
             | Event::DevAccess { at, .. }
             | Event::IotlbInvalidate { at, .. }
-            | Event::IotlbGlobalFlush { at, .. } => *at,
+            | Event::IotlbGlobalFlush { at, .. }
+            | Event::FaultInjected { at, .. } => *at,
         }
     }
 }
@@ -211,6 +220,8 @@ pub struct SimCtx {
     pub clock: Clock,
     /// Event log.
     pub trace: Trace,
+    /// Fault-injection schedule; empty (zero-overhead) by default.
+    pub faults: FaultPlan,
 }
 
 impl SimCtx {
@@ -236,6 +247,22 @@ impl SimCtx {
     #[inline]
     pub fn emit(&mut self, ev: Event) {
         self.trace.emit(ev);
+    }
+
+    /// Asks the fault plan whether the call at `site` should fail; on a
+    /// hit, records a [`Event::FaultInjected`] in the trace. Call sites
+    /// then return the natural error for the operation (allocators
+    /// return `OutOfMemory`, the DMA map path `OutOfIova`, device DMA
+    /// an `IommuFault`).
+    #[inline]
+    pub fn fault(&mut self, site: &'static str) -> bool {
+        if self.faults.should_fail(site) {
+            let at = self.clock.now();
+            self.trace.emit(Event::FaultInjected { at, site });
+            true
+        } else {
+            false
+        }
     }
 }
 
@@ -273,6 +300,19 @@ mod tests {
             site: "t",
         });
         assert_eq!(ctx.trace.len(), 1);
+    }
+
+    #[test]
+    fn fault_hits_are_traced() {
+        let mut ctx = SimCtx::traced();
+        ctx.faults = crate::fault::FaultPlan::seeded(1).fail_nth("t.op", 2);
+        assert!(!ctx.fault("t.op"));
+        assert!(ctx.fault("t.op"));
+        assert_eq!(ctx.trace.len(), 1);
+        assert!(matches!(
+            ctx.trace.events()[0],
+            Event::FaultInjected { site: "t.op", .. }
+        ));
     }
 
     #[test]

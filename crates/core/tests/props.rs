@@ -1,103 +1,169 @@
-//! Property-based tests for the core vocabulary: address arithmetic,
+//! Property-style tests for the core vocabulary: address arithmetic,
 //! the deterministic RNG, and KASLR layout invariants.
+//!
+//! These use seeded `DetRng` case loops instead of an external
+//! property-testing framework so the suite builds with no network
+//! access; on failure the panic message carries the failing input.
 
 use dma_core::layout::{SECTION_ALIGN, STRUCT_PAGE_SIZE, TEXT_ALIGN};
 use dma_core::{DetRng, KernelLayout, Kva, Pfn, PhysAddr, VmRegion, PAGE_MASK, PAGE_SIZE};
-use proptest::prelude::*;
 
-proptest! {
-    #[test]
-    fn page_align_down_is_idempotent_and_le(addr in any::<u64>()) {
-        let a = Kva(addr);
+const CASES: usize = 64;
+
+#[test]
+fn page_align_down_is_idempotent_and_le() {
+    let mut rng = DetRng::new(0x11);
+    for _ in 0..CASES {
+        let a = Kva(rng.next_u64());
         let d = a.page_align_down();
-        prop_assert!(d.raw() <= a.raw());
-        prop_assert_eq!(d.page_align_down(), d);
-        prop_assert_eq!(d.raw() & PAGE_MASK, 0);
-        prop_assert!(a.raw() - d.raw() < PAGE_SIZE as u64);
+        assert!(d.raw() <= a.raw(), "align-down grew {a:?}");
+        assert_eq!(d.page_align_down(), d);
+        assert_eq!(d.raw() & PAGE_MASK, 0);
+        assert!(a.raw() - d.raw() < PAGE_SIZE as u64);
     }
+}
 
-    #[test]
-    fn page_offset_plus_base_reconstructs(addr in any::<u64>()) {
-        let a = PhysAddr(addr);
-        prop_assert_eq!(a.page_align_down().raw() + a.page_offset() as u64, a.raw());
+#[test]
+fn page_offset_plus_base_reconstructs() {
+    let mut rng = DetRng::new(0x12);
+    for _ in 0..CASES {
+        let a = PhysAddr(rng.next_u64());
+        assert_eq!(a.page_align_down().raw() + a.page_offset() as u64, a.raw());
     }
+}
 
-    #[test]
-    fn pfn_base_roundtrip(pfn in 0u64..(1 << 40)) {
-        prop_assert_eq!(Pfn(pfn).base().pfn(), Pfn(pfn));
+#[test]
+fn pfn_base_roundtrip() {
+    let mut rng = DetRng::new(0x13);
+    for _ in 0..CASES {
+        let pfn = rng.below(1 << 40);
+        assert_eq!(Pfn(pfn).base().pfn(), Pfn(pfn));
     }
+}
 
-    #[test]
-    fn pages_spanned_bounds(offset in 0usize..PAGE_SIZE, len in 0usize..(1 << 20)) {
+#[test]
+fn pages_spanned_bounds() {
+    let mut rng = DetRng::new(0x14);
+    for _ in 0..CASES {
+        let offset = rng.below(PAGE_SIZE as u64) as usize;
+        let len = rng.below(1 << 20) as usize;
         let n = dma_core::addr::pages_spanned(offset, len);
         if len == 0 {
-            prop_assert_eq!(n, 0);
+            assert_eq!(n, 0);
         } else {
             // At least enough pages to hold the bytes, at most one extra
             // for the straddle.
-            prop_assert!(n >= len.div_ceil(PAGE_SIZE));
-            prop_assert!(n <= len.div_ceil(PAGE_SIZE) + 1);
+            assert!(n >= len.div_ceil(PAGE_SIZE), "offset={offset} len={len}");
+            assert!(
+                n <= len.div_ceil(PAGE_SIZE) + 1,
+                "offset={offset} len={len}"
+            );
             // The span truly covers [offset, offset + len).
-            prop_assert!(n * PAGE_SIZE >= offset + len);
+            assert!(n * PAGE_SIZE >= offset + len, "offset={offset} len={len}");
         }
     }
+}
 
-    #[test]
-    fn rng_below_is_in_range(seed in any::<u64>(), bound in 1u64..u64::MAX) {
+#[test]
+fn rng_below_is_in_range() {
+    let mut meta = DetRng::new(0x15);
+    for _ in 0..CASES {
+        let seed = meta.next_u64();
+        let bound = 1 + meta.below(u64::MAX - 1);
         let mut rng = DetRng::new(seed);
         for _ in 0..16 {
-            prop_assert!(rng.below(bound) < bound);
+            assert!(rng.below(bound) < bound, "seed={seed} bound={bound}");
         }
     }
+}
 
-    #[test]
-    fn rng_streams_are_reproducible(seed in any::<u64>()) {
+#[test]
+fn rng_streams_are_reproducible() {
+    let mut meta = DetRng::new(0x16);
+    for _ in 0..CASES {
+        let seed = meta.next_u64();
         let mut a = DetRng::new(seed);
         let mut b = DetRng::new(seed);
         for _ in 0..32 {
-            prop_assert_eq!(a.next_u64(), b.next_u64());
+            assert_eq!(a.next_u64(), b.next_u64(), "seed={seed}");
         }
     }
+}
 
-    #[test]
-    fn forked_rngs_diverge_from_parent(seed in any::<u64>()) {
+#[test]
+fn forked_rngs_diverge_from_parent() {
+    let mut meta = DetRng::new(0x17);
+    for _ in 0..CASES {
+        let seed = meta.next_u64();
         let mut parent = DetRng::new(seed);
         let mut fork = parent.fork();
-        let same = (0..16).filter(|_| parent.next_u64() == fork.next_u64()).count();
-        prop_assert!(same < 4, "fork should be a distinct stream");
+        let same = (0..16)
+            .filter(|_| parent.next_u64() == fork.next_u64())
+            .count();
+        assert!(same < 4, "fork should be a distinct stream (seed={seed})");
     }
+}
 
-    #[test]
-    fn kaslr_layout_invariants(seed in any::<u64>(), mem_mb in 64u64..1024) {
+#[test]
+fn kaslr_layout_invariants() {
+    let mut meta = DetRng::new(0x18);
+    for _ in 0..CASES {
+        let seed = meta.next_u64();
+        let mem_mb = meta.range(64, 1023);
         let mut rng = DetRng::new(seed);
         let l = KernelLayout::randomize(&mut rng, mem_mb << 20);
-        prop_assert_eq!(l.text_base.raw() % TEXT_ALIGN, 0);
-        prop_assert_eq!(l.page_offset_base.raw() % SECTION_ALIGN, 0);
-        prop_assert_eq!(l.vmemmap_base.raw() % SECTION_ALIGN, 0);
-        prop_assert_eq!(VmRegion::classify(l.text_base.raw()), Some(VmRegion::KernelText));
-        prop_assert_eq!(VmRegion::classify(l.page_offset_base.raw()), Some(VmRegion::DirectMap));
-        prop_assert_eq!(VmRegion::classify(l.vmemmap_base.raw()), Some(VmRegion::Vmemmap));
+        assert_eq!(l.text_base.raw() % TEXT_ALIGN, 0, "seed={seed}");
+        assert_eq!(l.page_offset_base.raw() % SECTION_ALIGN, 0, "seed={seed}");
+        assert_eq!(l.vmemmap_base.raw() % SECTION_ALIGN, 0, "seed={seed}");
+        assert_eq!(
+            VmRegion::classify(l.text_base.raw()),
+            Some(VmRegion::KernelText)
+        );
+        assert_eq!(
+            VmRegion::classify(l.page_offset_base.raw()),
+            Some(VmRegion::DirectMap)
+        );
+        assert_eq!(
+            VmRegion::classify(l.vmemmap_base.raw()),
+            Some(VmRegion::Vmemmap)
+        );
     }
+}
 
-    #[test]
-    fn translations_roundtrip_for_valid_pfns(seed in any::<u64>(), pfn_raw in 0u64..16384) {
+#[test]
+fn translations_roundtrip_for_valid_pfns() {
+    let mut meta = DetRng::new(0x19);
+    for _ in 0..CASES {
+        let seed = meta.next_u64();
+        let pfn_raw = meta.below(16384);
         let mut rng = DetRng::new(seed);
         let l = KernelLayout::randomize(&mut rng, 256 << 20);
         let pfn = Pfn(pfn_raw);
         let kva = l.pfn_to_kva(pfn).unwrap();
-        prop_assert_eq!(l.kva_to_pfn(kva).unwrap(), pfn);
+        assert_eq!(l.kva_to_pfn(kva).unwrap(), pfn, "seed={seed} pfn={pfn_raw}");
         let page = l.pfn_to_page(pfn).unwrap();
-        prop_assert_eq!(l.page_to_pfn(page).unwrap(), pfn);
-        prop_assert_eq!(page.raw() - l.vmemmap_base.raw(), pfn_raw * STRUCT_PAGE_SIZE);
+        assert_eq!(
+            l.page_to_pfn(page).unwrap(),
+            pfn,
+            "seed={seed} pfn={pfn_raw}"
+        );
+        assert_eq!(
+            page.raw() - l.vmemmap_base.raw(),
+            pfn_raw * STRUCT_PAGE_SIZE
+        );
     }
+}
 
-    #[test]
-    fn classify_is_total_and_consistent(value in any::<u64>()) {
+#[test]
+fn classify_is_total_and_consistent() {
+    let mut rng = DetRng::new(0x1a);
+    for _ in 0..CASES * 4 {
         // classify never panics, and when it names a region the value is
         // inside that region's range.
+        let value = rng.next_u64();
         if let Some(r) = VmRegion::classify(value) {
-            prop_assert!(value >= r.start());
-            prop_assert!(value <= r.end());
+            assert!(value >= r.start(), "value={value:#x}");
+            assert!(value <= r.end(), "value={value:#x}");
         }
     }
 }

@@ -65,7 +65,7 @@ impl BounceDma {
         for _ in 0..slots {
             let pfn = mem.alloc_pages(ctx, 0, "bounce_pool")?;
             let kva = mem.layout.pfn_to_kva(pfn)?;
-            let iova = iommu.alloc_iova(device, 1)?;
+            let iova = iommu.alloc_iova(ctx, device, 1)?;
             iommu.map_page(device, iova, pfn, dma_core::AccessRight::Bidirectional)?;
             free.push((kva, iova));
         }

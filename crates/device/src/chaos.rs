@@ -1,0 +1,207 @@
+//! Chaos harness: seeded fault schedules driven through the full stack.
+//!
+//! Each soak boots a [`Testbed`], arms a [`FaultPlan`] derived entirely
+//! from one seed, and pushes a seed-derived traffic mix (RX injections,
+//! echo TX, device scans, time advances) through it. The stack must
+//! **degrade, not break**: transient errors and IOMMU faults are counted
+//! as drops, anything else fails the soak. At the end the machine is
+//! shut down and the IOMMU is audited for leaked mappings.
+//!
+//! Determinism: the same seed produces the same plan, the same traffic,
+//! the same fault sequence, and therefore the same [`SoakReport`] —
+//! which is exactly what the replay test asserts.
+
+use crate::testbed::{Testbed, TestbedConfig};
+use dma_core::{DetRng, DmaError, FaultPlan, Result};
+use sim_net::driver::DriverConfig;
+use sim_net::packet::Packet;
+use sim_net::stack::StackConfig;
+use std::collections::BTreeMap;
+
+/// Every fault site the simulated stack exposes, one per layer.
+pub const ALL_SITES: &[&str] = &[
+    "sim_mem.alloc_pages",
+    "sim_mem.kmalloc",
+    "sim_mem.page_frag_alloc",
+    "sim_iommu.dma_map",
+    "sim_iommu.alloc_iova",
+    "sim_iommu.flush_jitter",
+    "sim_iommu.iotlb_evict",
+    "sim_net.rx_refill",
+    "device.dma_read",
+    "device.dma_write",
+];
+
+/// Everything a soak run measured, in deterministic (BTreeMap) order.
+/// Two runs with the same seed must produce `==` reports.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SoakReport {
+    /// The seed the schedule was derived from.
+    pub seed: u64,
+    /// Packets the stack delivered to local sockets.
+    pub delivered: u64,
+    /// Packets the echo service bounced back out (the soak runs with
+    /// echo on, so healthy packets land here rather than in `delivered`).
+    pub echoed: u64,
+    /// Workload operations dropped because of a (tolerated) fault.
+    pub dropped: u64,
+    /// Total faults the plan injected.
+    pub injected_total: u64,
+    /// Injected faults per site.
+    pub hits_by_site: BTreeMap<String, u64>,
+    /// RX allocations that failed transiently in the driver.
+    pub rx_alloc_failed: u64,
+    /// TX rejections due to a full ring.
+    pub tx_ring_full: u64,
+    /// DMA-mapped pages still held by the device after shutdown.
+    /// **Must be zero**: anything else is a leaked mapping.
+    pub leaked_pages: usize,
+}
+
+/// Derives a randomized-but-deterministic fault schedule from `seed`:
+/// a handful of rules spread across [`ALL_SITES`] with seed-chosen
+/// triggers, plus one guaranteed-hot allocator rule so every schedule
+/// injects at least one fault.
+pub fn build_fault_plan(seed: u64) -> FaultPlan {
+    let mut rng = DetRng::new(seed ^ 0xc4a0_55ed);
+    let mut plan = FaultPlan::seeded(seed);
+    let rules = 2 + rng.below(4);
+    for _ in 0..rules {
+        let site = ALL_SITES[rng.below(ALL_SITES.len() as u64) as usize];
+        plan = match rng.below(4) {
+            0 => plan.fail_nth(site, 1 + rng.below(24)),
+            1 => plan.fail_every(site, 2 + rng.below(9)),
+            2 => plan.fail_prob(site, 1, 4 + rng.below(16)),
+            _ => plan.fail_once(site),
+        };
+    }
+    // The allocator front door is on every packet's path; an every-k rule
+    // here guarantees the schedule actually fires.
+    plan.fail_every("sim_mem.*", 16 + rng.below(48))
+}
+
+/// True for errors the stack is *expected* to absorb under fault
+/// injection: resource pressure and aborted DMA transactions.
+fn tolerated(e: &DmaError) -> bool {
+    e.is_transient()
+        || matches!(
+            e,
+            DmaError::IommuFault { .. } | DmaError::IommuPermission { .. }
+        )
+}
+
+/// Boots a machine, drives a seed-derived workload against the fault
+/// plan for the same seed, shuts down, and audits for leaks.
+///
+/// Invariants enforced here (the chaos soak test layers more on top):
+/// any non-tolerated error fails the run, and the teardown audit
+/// (`leaked_pages`) is always taken.
+pub fn run_soak(seed: u64) -> Result<SoakReport> {
+    let mut rng = DetRng::new(seed ^ 0x50a7_50a7);
+    let cfg = TestbedConfig {
+        driver: DriverConfig {
+            map_ctrl_block: true,
+            num_queues: 1 + rng.below(3) as usize,
+            ..Default::default()
+        },
+        stack: StackConfig {
+            echo_service: true,
+            ..Default::default()
+        },
+        boot_noise_seed: Some(seed),
+        ..Default::default()
+    };
+    let mut tb = Testbed::new(cfg)?;
+    // Arm the faults after boot so every schedule exercises the same
+    // steady-state stack; probe-time degradation has its own unit tests.
+    tb.ctx.faults = build_fault_plan(seed);
+
+    let mut dropped = 0u64;
+    let packets = 150 + rng.below(100);
+    for i in 0..packets {
+        let mut payload = vec![0u8; 1 + rng.below(900) as usize];
+        rng.fill_bytes(&mut payload);
+        let pkt = if rng.chance(1, 2) {
+            Packet::udp(40 + (i as u32 % 8), 1, payload)
+        } else {
+            Packet::tcp(40 + (i as u32 % 8), 1, i as u32, payload)
+        };
+        match tb.deliver_packet(&pkt) {
+            Ok(()) => {}
+            Err(e) if tolerated(&e) => {
+                dropped += 1;
+                // A starved ring cannot recover through rx_poll (nothing
+                // completes), so kick the refill worker like a real
+                // driver's NAPI reschedule would.
+                tb.driver
+                    .rx_refill(&mut tb.ctx, &mut tb.mem, &mut tb.iommu)?;
+            }
+            Err(e) => return Err(e),
+        }
+        if rng.chance(1, 8) {
+            tb.advance_ms(1 + rng.below(20));
+        }
+        if rng.chance(1, 10) {
+            // Device-side scans exercise the device.dma_read site (and
+            // swallow per-range faults by design).
+            let descs = tb.driver.rx_descriptors();
+            let _ = tb
+                .nic
+                .scan_descriptors(&mut tb.ctx, &mut tb.iommu, &tb.mem.phys, &descs);
+        }
+        if rng.chance(1, 12) {
+            match tb.complete_all_tx() {
+                Ok(_) => {}
+                Err(e) if tolerated(&e) => dropped += 1,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    let delivered = tb.stack.stats.delivered;
+    let echoed = tb.stack.stats.echoed;
+    let rx_alloc_failed = tb.driver.stats.rx_alloc_failed;
+    let tx_ring_full = tb.driver.stats.tx_ring_full;
+    let injected_total = tb.ctx.faults.injected_total();
+    let hits_by_site = tb.ctx.faults.hits_by_site().clone();
+    let leaked_pages = tb.shutdown()?;
+    Ok(SoakReport {
+        seed,
+        delivered,
+        echoed,
+        dropped,
+        injected_total,
+        hits_by_site,
+        rx_alloc_failed,
+        tx_ring_full,
+        leaked_pages,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_seed_deterministic() {
+        let a = build_fault_plan(42);
+        let b = build_fault_plan(42);
+        assert_eq!(a.rules().len(), b.rules().len());
+        let c = build_fault_plan(43);
+        // Different seeds virtually always differ in rule count or sites.
+        let same = a.rules().len() == c.rules().len()
+            && a.rules()
+                .iter()
+                .zip(c.rules())
+                .all(|(x, y)| x.pattern == y.pattern);
+        assert!(!same, "seed 43 produced the same plan as seed 42");
+    }
+
+    #[test]
+    fn one_soak_runs_clean_and_leak_free() {
+        let r = run_soak(7).unwrap();
+        assert!(r.injected_total >= 1, "schedule must fire at least once");
+        assert_eq!(r.leaked_pages, 0, "no mapping may survive shutdown");
+        assert!(r.delivered + r.echoed + r.dropped > 0);
+    }
+}

@@ -35,6 +35,11 @@ impl MaliciousNic {
     }
 
     /// DMA-read `buf.len()` bytes at `iova`.
+    ///
+    /// Fault site `device.dma_read`: an injected fault aborts the
+    /// transaction before it reaches memory and surfaces as an
+    /// [`dma_core::DmaError::IommuFault`] — the same error a real aborted
+    /// bus transaction produces — never as a panic.
     pub fn read(
         &self,
         ctx: &mut SimCtx,
@@ -43,10 +48,20 @@ impl MaliciousNic {
         iova: Iova,
         buf: &mut [u8],
     ) -> Result<()> {
+        if ctx.fault("device.dma_read") {
+            return Err(dma_core::DmaError::IommuFault {
+                device: self.id,
+                iova: iova.raw(),
+                write: false,
+            });
+        }
         iommu.dev_read(ctx, phys, self.id, iova, buf)
     }
 
     /// DMA-write `buf` at `iova`.
+    ///
+    /// Fault site `device.dma_write`: injected faults abort the write
+    /// without touching memory (see [`MaliciousNic::read`]).
     pub fn write(
         &self,
         ctx: &mut SimCtx,
@@ -55,10 +70,18 @@ impl MaliciousNic {
         iova: Iova,
         buf: &[u8],
     ) -> Result<()> {
+        if ctx.fault("device.dma_write") {
+            return Err(dma_core::DmaError::IommuFault {
+                device: self.id,
+                iova: iova.raw(),
+                write: true,
+            });
+        }
         iommu.dev_write(ctx, phys, self.id, iova, buf)
     }
 
-    /// DMA-read a little-endian u64.
+    /// DMA-read a little-endian u64 (routes through [`MaliciousNic::read`]
+    /// so the `device.dma_read` fault site covers it too).
     pub fn read_u64(
         &self,
         ctx: &mut SimCtx,
@@ -66,10 +89,14 @@ impl MaliciousNic {
         phys: &PhysMemory,
         iova: Iova,
     ) -> Result<u64> {
-        iommu.dev_read_u64(ctx, phys, self.id, iova)
+        let mut b = [0u8; 8];
+        self.read(ctx, iommu, phys, iova, &mut b)?;
+        Ok(u64::from_le_bytes(b))
     }
 
-    /// DMA-write a little-endian u64.
+    /// DMA-write a little-endian u64 (routes through
+    /// [`MaliciousNic::write`] so the `device.dma_write` fault site
+    /// covers it too).
     pub fn write_u64(
         &self,
         ctx: &mut SimCtx,
@@ -78,7 +105,7 @@ impl MaliciousNic {
         iova: Iova,
         v: u64,
     ) -> Result<()> {
-        iommu.dev_write_u64(ctx, phys, self.id, iova, v)
+        self.write(ctx, iommu, phys, iova, &v.to_le_bytes())
     }
 
     /// Scans a readable mapped range for 8-byte-aligned values that look
@@ -367,6 +394,47 @@ mod tests {
         let a = Iova(0xfff0_0800);
         let b = Iova(0xffe0_0000);
         assert_eq!(nic.alias_through_neighbor(a, b), Some(Iova(0xffe0_0800)));
+    }
+
+    #[test]
+    fn injected_dma_faults_surface_as_iommu_faults_not_panics() {
+        let (mut ctx, mut mem, mut iommu, nic) = setup();
+        let buf = mem.kzalloc(&mut ctx, 256, "b").unwrap();
+        let m = dma_map_single(
+            &mut ctx,
+            &mut iommu,
+            &mem.layout,
+            7,
+            buf,
+            256,
+            DmaDirection::Bidirectional,
+            "t",
+        )
+        .unwrap();
+        ctx.faults = dma_core::FaultPlan::seeded(9)
+            .fail_once("device.dma_write")
+            .fail_once("device.dma_read");
+        let err = nic
+            .write(&mut ctx, &mut iommu, &mut mem.phys, m.iova, b"x")
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            dma_core::DmaError::IommuFault { write: true, .. }
+        ));
+        let mut b = [0u8; 1];
+        let err = nic
+            .read(&mut ctx, &mut iommu, &mem.phys, m.iova, &mut b)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            dma_core::DmaError::IommuFault { write: false, .. }
+        ));
+        // Both one-shot rules disarmed: the same accesses now land.
+        nic.write(&mut ctx, &mut iommu, &mut mem.phys, m.iova, b"x")
+            .unwrap();
+        nic.read(&mut ctx, &mut iommu, &mem.phys, m.iova, &mut b)
+            .unwrap();
+        assert_eq!(ctx.faults.injected_total(), 2);
     }
 
     #[test]

@@ -14,11 +14,17 @@
 //! - [`testbed`] — [`Testbed`]: a whole simulated machine (memory,
 //!   IOMMU, driver, stack) with benign traffic helpers, used by the
 //!   attacks, the examples, D-KASAN workloads, and the benches.
+//! - [`chaos`] — seeded fault-injection soaks over the whole machine:
+//!   [`chaos::build_fault_plan`] derives a deterministic schedule from a
+//!   seed and [`chaos::run_soak`] drives it to a leak-audited
+//!   [`chaos::SoakReport`].
 //!
 //! [`dev_write`]: sim_iommu::Iommu::dev_write
 
+pub mod chaos;
 pub mod device;
 pub mod testbed;
 
+pub use chaos::{build_fault_plan, run_soak, SoakReport};
 pub use device::{LeakedPointer, MaliciousNic};
 pub use testbed::{Testbed, TestbedConfig};

@@ -174,6 +174,23 @@ impl Testbed {
         self.ctx.clock.advance_ms(ms);
         self.iommu.tick(&mut self.ctx);
     }
+
+    /// Tears the machine down — completes and reaps all TX, unmaps and
+    /// frees every driver-held buffer — and returns the number of pages
+    /// the device can still DMA to afterwards.
+    ///
+    /// This is the mapping-leak audit: a clean shutdown returns `0`; any
+    /// path that lost track of a mapping (for example under fault
+    /// injection) shows up as a non-zero residue.
+    pub fn shutdown(&mut self) -> Result<usize> {
+        for d in &self.driver.tx_descriptors() {
+            self.driver.device_tx_complete(d.idx)?;
+        }
+        let _ = self
+            .driver
+            .shutdown(&mut self.ctx, &mut self.mem, &mut self.iommu)?;
+        Ok(self.iommu.mapped_pages(self.nic.id))
+    }
 }
 
 /// Early-boot allocation jitter: a seed-dependent number of page and

@@ -64,6 +64,11 @@ pub struct DKasan {
     seen: std::collections::HashSet<(FindingKind, &'static str)>,
     /// Report every occurrence instead of once per (kind, site).
     pub report_all: bool,
+    /// Injected-fault census: site tag → count. Fault-injection runs
+    /// replay streams in which some Alloc/DmaMap events are *missing*
+    /// (the operation failed); tracking the injections keeps the report
+    /// explainable instead of silently dropping the events.
+    faults: std::collections::BTreeMap<&'static str, u64>,
 }
 
 fn pages_of(kva: Kva, len: usize) -> Vec<u64> {
@@ -128,8 +133,20 @@ impl DKasan {
                 site,
                 ..
             } => self.on_cpu_access(*kva, *len, *write, site),
+            // Injected faults mean the corresponding Alloc/DmaMap never
+            // happened — the shadow must NOT invent state for them, only
+            // record the injection so reports stay explainable.
+            Event::FaultInjected { site, .. } => {
+                *self.faults.entry(site).or_insert(0) += 1;
+            }
             _ => {}
         }
+    }
+
+    /// Injected faults seen in the replayed stream, per site tag, in
+    /// deterministic (sorted) order.
+    pub fn injected_faults(&self) -> &std::collections::BTreeMap<&'static str, u64> {
+        &self.faults
     }
 
     fn on_alloc(&mut self, kva: Kva, size: usize, site: &'static str) {
@@ -408,6 +425,45 @@ mod tests {
         all.report_all = true;
         all.process(&evs);
         assert_eq!(all.findings_of(FindingKind::AllocAfterMap).len(), 2);
+    }
+
+    #[test]
+    fn fault_events_are_censused_without_perturbing_the_shadow() {
+        // Regression: a FaultInjected event marks an operation that did
+        // NOT happen. It must not create shadow state, must not panic,
+        // and must not change the findings a clean stream produces —
+        // only the census should differ.
+        let clean = [
+            map(0, PAGE + 0x100, 256, DmaDirection::FromDevice, "nic_rx_map"),
+            alloc(2, PAGE + 0x800, 512, "load_elf_phdrs"),
+        ];
+        let faulted = [
+            map(0, PAGE + 0x100, 256, DmaDirection::FromDevice, "nic_rx_map"),
+            Event::FaultInjected {
+                at: 1,
+                site: "sim_mem.kmalloc",
+            },
+            alloc(2, PAGE + 0x800, 512, "load_elf_phdrs"),
+            Event::FaultInjected {
+                at: 3,
+                site: "sim_iommu.dma_map",
+            },
+            Event::FaultInjected {
+                at: 4,
+                site: "sim_mem.kmalloc",
+            },
+        ];
+        let mut a = DKasan::new();
+        a.process(&clean);
+        let mut b = DKasan::new();
+        b.process(&faulted);
+        assert_eq!(a.findings().len(), b.findings().len());
+        let f = b.findings_of(FindingKind::AllocAfterMap);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].site, "load_elf_phdrs", "site tags stay accurate");
+        assert!(a.injected_faults().is_empty());
+        assert_eq!(b.injected_faults().get("sim_mem.kmalloc"), Some(&2));
+        assert_eq!(b.injected_faults().get("sim_iommu.dma_map"), Some(&1));
     }
 
     #[test]

@@ -72,9 +72,14 @@ pub fn dma_map_single(
     dir: DmaDirection,
     site: &'static str,
 ) -> Result<DmaMapping> {
+    // Fault-injection site `sim_iommu.dma_map`: mirrors a dma_map_single
+    // failure (-ENOMEM / DMA_MAPPING_ERROR) before any IOVA is handed out.
+    if ctx.fault("sim_iommu.dma_map") {
+        return Err(dma_core::DmaError::OutOfIova);
+    }
     let offset = kva.page_offset();
     let pages = pages_spanned(offset, len).max(1);
-    let base_iova = iommu.alloc_iova(dev, pages)?;
+    let base_iova = iommu.alloc_iova(ctx, dev, pages)?;
     let first_pfn = layout.kva_to_pfn(kva.page_align_down())?;
     for i in 0..pages {
         let page_iova = Iova(base_iova.raw() + (i * PAGE_SIZE) as u64);
@@ -175,6 +180,11 @@ pub fn dma_map_sg_coalesced(
     if segments.is_empty() {
         return Err(dma_core::DmaError::InvalidAlloc(0));
     }
+    // Same injection site as dma_map_single: both are `dma_map*` entry
+    // points and degrade identically for callers.
+    if ctx.fault("sim_iommu.dma_map") {
+        return Err(dma_core::DmaError::OutOfIova);
+    }
     let mut total_pages = 0usize;
     for &(kva, len) in segments {
         if !kva.is_page_aligned() || len == 0 {
@@ -182,7 +192,7 @@ pub fn dma_map_sg_coalesced(
         }
         total_pages += pages_spanned(0, len);
     }
-    let base = iommu.alloc_iova(dev, total_pages)?;
+    let base = iommu.alloc_iova(ctx, dev, total_pages)?;
     let mut cursor = base;
     let mut out_segments = Vec::with_capacity(segments.len());
     for &(kva, len) in segments {

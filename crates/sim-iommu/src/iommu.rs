@@ -186,7 +186,14 @@ impl Iommu {
     }
 
     /// Allocates an IOVA range of `pages` pages in `dev`'s domain.
-    pub fn alloc_iova(&mut self, dev: DeviceId, pages: usize) -> Result<Iova> {
+    ///
+    /// Fault-injection site `sim_iommu.alloc_iova`: an injected hit
+    /// models IOVA-space exhaustion (`OutOfIova`) before the allocator
+    /// is consulted.
+    pub fn alloc_iova(&mut self, ctx: &mut SimCtx, dev: DeviceId, pages: usize) -> Result<Iova> {
+        if ctx.fault("sim_iommu.alloc_iova") {
+            return Err(DmaError::OutOfIova);
+        }
         self.domain_mut(dev)?.iova.alloc(pages)
     }
 
@@ -270,6 +277,14 @@ impl Iommu {
             return;
         }
         while ctx.clock.now() >= self.next_flush {
+            // Fault-injection site `sim_iommu.flush_jitter`: delays the
+            // periodic flush by a quarter period, widening the stale
+            // window (flush-timer jitter under load). Terminates because
+            // every hit pushes the deadline forward.
+            if ctx.fault("sim_iommu.flush_jitter") {
+                self.next_flush += (self.config.flush_period / 4).max(1);
+                continue;
+            }
             let dropped = self.iotlb.global_flush();
             self.stats.global_flushes += 1;
             self.stats.invalidation_cycles += IOTLB_INV_CYCLES;
@@ -300,6 +315,14 @@ impl Iommu {
         iova: Iova,
         write: bool,
     ) -> Result<(Pfn, bool)> {
+        // Fault-injection site `sim_iommu.iotlb_evict`: drop the cached
+        // translation before the lookup, forcing a page-table walk —
+        // capacity eviction under adversarial IOTLB pressure. Note this
+        // *closes* stale windows early rather than opening them, so it
+        // perturbs timing without weakening any security invariant.
+        if ctx.fault("sim_iommu.iotlb_evict") {
+            self.iotlb.invalidate(dev, iova.page_align_down());
+        }
         if let Some(e) = self.iotlb.lookup(dev, iova) {
             ctx.clock.advance(IOTLB_HIT_CYCLES);
             let ok = if write {

@@ -1,11 +1,13 @@
-//! Property-based tests for the IOMMU: page-table consistency under
+//! Property-style tests for the IOMMU: page-table consistency under
 //! arbitrary map/unmap sequences, IOVA allocator disjointness, IOTLB
 //! coherence rules, and the central security invariant — a device can
 //! never reach an unmapped frame in strict mode.
+//!
+//! Inputs are generated from the in-tree seeded `DetRng` (no external
+//! property-testing framework) so the suite builds offline.
 
 use dma_core::vuln::DmaDirection;
-use dma_core::{AccessRight, Iova, Pfn, SimCtx, PAGE_SIZE};
-use proptest::prelude::*;
+use dma_core::{AccessRight, DetRng, Iova, Pfn, SimCtx, PAGE_SIZE};
 use sim_iommu::{
     dma_map_single, dma_unmap_single, InvalidationMode, IoPageTable, Iommu, IommuConfig,
     IovaAllocator,
@@ -13,145 +15,248 @@ use sim_iommu::{
 use sim_mem::{MemConfig, MemorySystem};
 use std::collections::HashMap;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: usize = 64;
 
-    #[test]
-    fn page_table_matches_reference_model(ops in proptest::collection::vec((0u64..256, 0u64..64, any::<bool>()), 1..200)) {
+#[test]
+fn page_table_matches_reference_model() {
+    let mut meta = DetRng::new(0x31);
+    for case in 0..CASES {
+        let mut rng = meta.fork();
         let mut pt = IoPageTable::new();
         let mut model: HashMap<u64, u64> = HashMap::new();
-        for (page, pfn, do_unmap) in ops {
+        let nops = rng.range(1, 199) as usize;
+        for _ in 0..nops {
+            let page = rng.below(256);
+            let pfn = rng.below(64);
+            let do_unmap = rng.chance(1, 2);
             let iova = Iova(page * PAGE_SIZE as u64);
             if do_unmap {
                 let expect = model.remove(&page);
                 let got = pt.unmap(iova).ok().map(|e| e.pfn.raw());
-                prop_assert_eq!(got, expect);
+                assert_eq!(got, expect, "case {case}");
             } else {
                 let ok = pt.map(iova, Pfn(pfn), AccessRight::Write).is_ok();
-                prop_assert_eq!(ok, !model.contains_key(&page));
+                assert_eq!(ok, !model.contains_key(&page), "case {case}");
                 if ok {
                     model.insert(page, pfn);
                 }
             }
-            prop_assert_eq!(pt.mapped_pages(), model.len());
+            assert_eq!(pt.mapped_pages(), model.len(), "case {case}");
         }
         // Final walk agreement.
         for (page, pfn) in model {
-            prop_assert_eq!(pt.walk(Iova(page * PAGE_SIZE as u64)).map(|e| e.pfn.raw()), Some(pfn));
+            assert_eq!(
+                pt.walk(Iova(page * PAGE_SIZE as u64)).map(|e| e.pfn.raw()),
+                Some(pfn),
+                "case {case}"
+            );
         }
     }
+}
 
-    #[test]
-    fn iova_ranges_are_disjoint(sizes in proptest::collection::vec(1usize..64, 1..80)) {
+#[test]
+fn iova_ranges_are_disjoint() {
+    let mut meta = DetRng::new(0x32);
+    for case in 0..CASES {
+        let mut rng = meta.fork();
         let mut a = IovaAllocator::new();
         let mut ranges: Vec<(u64, u64)> = Vec::new();
-        for pages in sizes {
+        let n = rng.range(1, 79) as usize;
+        for _ in 0..n {
+            let pages = rng.range(1, 63) as usize;
             if let Ok(base) = a.alloc(pages) {
                 let span = (pages * PAGE_SIZE) as u64;
                 for &(s, e) in &ranges {
-                    prop_assert!(base.raw() + span <= s || base.raw() >= e);
+                    assert!(base.raw() + span <= s || base.raw() >= e, "case {case}");
                 }
                 ranges.push((base.raw(), base.raw() + span));
             }
         }
     }
+}
 
-    #[test]
-    fn iova_free_realloc_cycles(ops in proptest::collection::vec((1usize..16, any::<bool>()), 1..120)) {
+#[test]
+fn iova_free_realloc_cycles() {
+    let mut meta = DetRng::new(0x33);
+    for case in 0..CASES {
+        let mut rng = meta.fork();
         let mut a = IovaAllocator::new();
         let mut live: Vec<(Iova, usize)> = Vec::new();
-        for (pages, do_free) in ops {
-            if do_free && !live.is_empty() {
+        let nops = rng.range(1, 119) as usize;
+        for _ in 0..nops {
+            let pages = rng.range(1, 15) as usize;
+            if rng.chance(1, 2) && !live.is_empty() {
                 let (base, n) = live.swap_remove(0);
                 a.free(base, n).unwrap();
             } else if let Ok(base) = a.alloc(pages) {
                 live.push((base, pages));
             }
         }
-        prop_assert_eq!(a.live_ranges(), live.len());
+        assert_eq!(a.live_ranges(), live.len(), "case {case}");
     }
+}
 
-    #[test]
-    fn strict_mode_never_leaks_unmapped_frames(
-        seeds in proptest::collection::vec((1usize..2000, any::<bool>()), 1..60)
-    ) {
-        // The central security property: after strict unmap, access via
-        // the dead IOVA always faults, and access to live mappings always
-        // succeeds.
+#[test]
+fn strict_mode_never_leaks_unmapped_frames() {
+    // The central security property: after strict unmap, access via
+    // the dead IOVA always faults, and access to live mappings always
+    // succeeds.
+    let mut meta = DetRng::new(0x34);
+    for case in 0..CASES {
+        let mut rng = meta.fork();
         let mut ctx = SimCtx::new();
         let mut mem = MemorySystem::new(&MemConfig::default());
-        let mut iommu = Iommu::new(IommuConfig { mode: InvalidationMode::Strict, ..Default::default() });
+        let mut iommu = Iommu::new(IommuConfig {
+            mode: InvalidationMode::Strict,
+            ..Default::default()
+        });
         iommu.attach_device(1);
         let mut live = Vec::new();
         let mut dead = Vec::new();
-        for (len, do_unmap) in seeds {
-            if do_unmap && !live.is_empty() {
+        let nops = rng.range(1, 59) as usize;
+        for _ in 0..nops {
+            let len = rng.range(1, 1999) as usize;
+            if rng.chance(1, 2) && !live.is_empty() {
                 let m: sim_iommu::DmaMapping = live.swap_remove(0);
                 dma_unmap_single(&mut ctx, &mut iommu, &m).unwrap();
                 dead.push(m);
             } else {
                 let buf = mem.kmalloc(&mut ctx, len, "prop").unwrap();
-                let m = dma_map_single(&mut ctx, &mut iommu, &mem.layout, 1, buf, len, DmaDirection::Bidirectional, "prop").unwrap();
+                let m = dma_map_single(
+                    &mut ctx,
+                    &mut iommu,
+                    &mem.layout,
+                    1,
+                    buf,
+                    len,
+                    DmaDirection::Bidirectional,
+                    "prop",
+                )
+                .unwrap();
                 live.push(m);
             }
         }
         let mut b = [0u8; 1];
         for m in &live {
-            prop_assert!(iommu.dev_read(&mut ctx, &mem.phys, 1, m.iova, &mut b).is_ok());
+            assert!(
+                iommu
+                    .dev_read(&mut ctx, &mem.phys, 1, m.iova, &mut b)
+                    .is_ok(),
+                "case {case}"
+            );
         }
         // A dead IOVA may have been *recycled* to a live mapping (correct
         // allocator behaviour); only never-recycled dead IOVAs must fault.
         let live_pages: std::collections::HashSet<u64> = live
             .iter()
             .flat_map(|m| {
-                (0..m.pages as u64).map(move |i| m.iova.page_align_down().raw() + i * PAGE_SIZE as u64)
+                (0..m.pages as u64)
+                    .map(move |i| m.iova.page_align_down().raw() + i * PAGE_SIZE as u64)
             })
             .collect();
         for m in &dead {
             if !live_pages.contains(&m.iova.page_align_down().raw()) {
-                prop_assert!(iommu.dev_read(&mut ctx, &mem.phys, 1, m.iova, &mut b).is_err());
+                assert!(
+                    iommu
+                        .dev_read(&mut ctx, &mem.phys, 1, m.iova, &mut b)
+                        .is_err(),
+                    "case {case}"
+                );
             }
         }
     }
+}
 
-    #[test]
-    fn device_writes_land_exactly_where_mapped(
-        len in 1usize..2048,
-        off in 0usize..1024,
-        data in proptest::collection::vec(any::<u8>(), 1..64),
-    ) {
+#[test]
+fn device_writes_land_exactly_where_mapped() {
+    let mut meta = DetRng::new(0x35);
+    for case in 0..CASES {
+        let mut rng = meta.fork();
         let mut ctx = SimCtx::new();
         let mut mem = MemorySystem::new(&MemConfig::default());
         let mut iommu = Iommu::new(IommuConfig::default());
         iommu.attach_device(1);
+        let len = rng.range(1, 2047) as usize;
+        let off = rng.below(1024) as usize;
+        let mut data = vec![0u8; rng.range(1, 63) as usize];
+        rng.fill_bytes(&mut data);
         let size = len.max(off + data.len());
         let buf = mem.kmalloc(&mut ctx, size, "prop").unwrap();
-        let m = dma_map_single(&mut ctx, &mut iommu, &mem.layout, 1, buf, size, DmaDirection::FromDevice, "prop").unwrap();
-        iommu.dev_write(&mut ctx, &mut mem.phys, 1, Iova(m.iova.raw() + off as u64), &data).unwrap();
+        let m = dma_map_single(
+            &mut ctx,
+            &mut iommu,
+            &mem.layout,
+            1,
+            buf,
+            size,
+            DmaDirection::FromDevice,
+            "prop",
+        )
+        .unwrap();
+        iommu
+            .dev_write(
+                &mut ctx,
+                &mut mem.phys,
+                1,
+                Iova(m.iova.raw() + off as u64),
+                &data,
+            )
+            .unwrap();
         let mut back = vec![0u8; data.len()];
-        mem.cpu_read(&mut ctx, dma_core::Kva(buf.raw() + off as u64), &mut back, "prop").unwrap();
-        prop_assert_eq!(back, data);
+        mem.cpu_read(
+            &mut ctx,
+            dma_core::Kva(buf.raw() + off as u64),
+            &mut back,
+            "prop",
+        )
+        .unwrap();
+        assert_eq!(back, data, "case {case} off={off}");
     }
+}
 
-    #[test]
-    fn deferred_window_always_closes(latency_us in 0u64..20_000) {
-        // Whatever the timing, a stale translation must be dead after
-        // one full flush period.
+#[test]
+fn deferred_window_always_closes() {
+    // Whatever the timing, a stale translation must be dead after
+    // one full flush period.
+    let mut meta = DetRng::new(0x36);
+    for case in 0..CASES {
+        let mut rng = meta.fork();
+        let latency_us = rng.below(20_000);
         let mut ctx = SimCtx::new();
         let mut mem = MemorySystem::new(&MemConfig::default());
-        let mut iommu = Iommu::new(IommuConfig { mode: InvalidationMode::Deferred, ..Default::default() });
+        let mut iommu = Iommu::new(IommuConfig {
+            mode: InvalidationMode::Deferred,
+            ..Default::default()
+        });
         iommu.attach_device(1);
         let buf = mem.kmalloc(&mut ctx, 512, "prop").unwrap();
-        let m = dma_map_single(&mut ctx, &mut iommu, &mem.layout, 1, buf, 512, DmaDirection::FromDevice, "prop").unwrap();
-        iommu.dev_write(&mut ctx, &mut mem.phys, 1, m.iova, b"x").unwrap();
+        let m = dma_map_single(
+            &mut ctx,
+            &mut iommu,
+            &mem.layout,
+            1,
+            buf,
+            512,
+            DmaDirection::FromDevice,
+            "prop",
+        )
+        .unwrap();
+        iommu
+            .dev_write(&mut ctx, &mut mem.phys, 1, m.iova, b"x")
+            .unwrap();
         dma_unmap_single(&mut ctx, &mut iommu, &m).unwrap();
         ctx.clock.advance_us(latency_us);
         let poked = iommu.dev_write(&mut ctx, &mut mem.phys, 1, m.iova, b"y");
         // Within the window it may succeed; past it, it must not.
         if latency_us > 10_000 {
-            prop_assert!(poked.is_err());
+            assert!(poked.is_err(), "case {case} latency={latency_us}");
         }
         ctx.clock.advance_us(10_001);
-        prop_assert!(iommu.dev_write(&mut ctx, &mut mem.phys, 1, m.iova, b"z").is_err());
+        assert!(
+            iommu
+                .dev_write(&mut ctx, &mut mem.phys, 1, m.iova, b"z")
+                .is_err(),
+            "case {case} latency={latency_us}"
+        );
     }
 }

@@ -104,7 +104,14 @@ impl MemorySystem {
     // ------------------------------------------------------------------
 
     /// `alloc_pages()`: 2^order frames from the buddy allocator.
+    ///
+    /// Fault-injection site `sim_mem.alloc_pages` (the
+    /// `fail_page_alloc` analog): an injected hit fails the request
+    /// with `OutOfMemory` before any allocator state changes.
     pub fn alloc_pages(&mut self, ctx: &mut SimCtx, order: u32, site: &'static str) -> Result<Pfn> {
+        if ctx.fault("sim_mem.alloc_pages") {
+            return Err(DmaError::OutOfMemory);
+        }
         self.buddy.alloc_pages(ctx, self.cur_cpu, order, site)
     }
 
@@ -114,7 +121,14 @@ impl MemorySystem {
     }
 
     /// `kmalloc()`.
+    ///
+    /// Fault-injection site `sim_mem.kmalloc` (the `failslab` analog):
+    /// an injected hit fails the request with `OutOfMemory` before any
+    /// cache state changes.
     pub fn kmalloc(&mut self, ctx: &mut SimCtx, size: usize, site: &'static str) -> Result<Kva> {
+        if ctx.fault("sim_mem.kmalloc") {
+            return Err(DmaError::OutOfMemory);
+        }
         self.kmalloc.kmalloc(
             ctx,
             &mut self.phys,
@@ -146,12 +160,18 @@ impl MemorySystem {
     }
 
     /// `page_frag_alloc()` (used by `netdev_alloc_skb`/`napi_alloc_skb`).
+    ///
+    /// Fault-injection site `sim_mem.page_frag_alloc`: an injected hit
+    /// fails with `OutOfMemory` before touching the per-CPU frag cache.
     pub fn page_frag_alloc(
         &mut self,
         ctx: &mut SimCtx,
         size: usize,
         site: &'static str,
     ) -> Result<Kva> {
+        if ctx.fault("sim_mem.page_frag_alloc") {
+            return Err(DmaError::OutOfMemory);
+        }
         self.frag
             .alloc(ctx, &mut self.buddy, &self.layout, self.cur_cpu, size, site)
     }

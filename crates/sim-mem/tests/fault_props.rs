@@ -1,0 +1,198 @@
+//! Property-style tests: injected allocation failures must leave the
+//! allocators exactly as they found them — consistent freelists, intact
+//! live objects, conserved page counts.
+//!
+//! This is the `failslab` / `fail_page_alloc` contract: a failed
+//! allocation is a *refusal*, not a half-done mutation. Randomized
+//! schedules come from the in-tree seeded `DetRng` (offline build);
+//! every assertion carries the case index for replay.
+
+use dma_core::{DetRng, DmaError, FaultPlan, Kva, Pfn, SimCtx};
+use sim_mem::{MemConfig, MemorySystem};
+use std::collections::HashSet;
+
+const CASES: usize = 64;
+
+fn mem() -> (SimCtx, MemorySystem) {
+    (
+        SimCtx::new(),
+        MemorySystem::new(&MemConfig {
+            phys_bytes: 64 << 20,
+            ..Default::default()
+        }),
+    )
+}
+
+#[test]
+fn failed_page_allocs_conserve_the_buddy_freelist() {
+    let mut meta = DetRng::new(0x71);
+    for case in 0..CASES {
+        let mut rng = meta.fork();
+        let (mut ctx, mut m) = mem();
+        ctx.faults = FaultPlan::seeded(rng.next_u64()).fail_prob("sim_mem.alloc_pages", 1, 3);
+        let baseline = m.buddy.free_page_count();
+        let mut live: Vec<(Pfn, u32)> = Vec::new();
+        let mut failures = 0u32;
+        for _ in 0..rng.range(40, 120) {
+            let order = rng.below(3) as u32;
+            let before = m.buddy.free_page_count();
+            match m.alloc_pages(&mut ctx, order, "fault_props") {
+                Ok(pfn) => live.push((pfn, order)),
+                Err(e) => {
+                    assert_eq!(e, DmaError::OutOfMemory, "case {case}");
+                    failures += 1;
+                    // A refused request must not consume or release pages.
+                    assert_eq!(
+                        m.buddy.free_page_count(),
+                        before,
+                        "case {case}: failed alloc changed the freelist"
+                    );
+                }
+            }
+            if !live.is_empty() && rng.chance(1, 3) {
+                let idx = rng.below(live.len() as u64) as usize;
+                let (pfn, order) = live.swap_remove(idx);
+                m.free_pages(&mut ctx, pfn, order).unwrap();
+            }
+        }
+        assert!(failures > 0, "case {case}: schedule never fired");
+        // No two live blocks overlap (the freelist is not corrupted).
+        let mut frames = HashSet::new();
+        for &(pfn, order) in &live {
+            for i in 0..(1u64 << order) {
+                assert!(
+                    frames.insert(pfn.0 + i),
+                    "case {case}: overlapping blocks after faults"
+                );
+            }
+        }
+        // Conservation: freeing the survivors restores the baseline.
+        for (pfn, order) in live {
+            m.free_pages(&mut ctx, pfn, order).unwrap();
+        }
+        assert_eq!(
+            m.buddy.free_page_count(),
+            baseline,
+            "case {case}: pages leaked through failed allocations"
+        );
+    }
+}
+
+#[test]
+fn failed_kmallocs_leave_live_objects_and_caches_intact() {
+    let mut meta = DetRng::new(0x72);
+    for case in 0..CASES {
+        let mut rng = meta.fork();
+        let (mut ctx, mut m) = mem();
+        ctx.faults = FaultPlan::seeded(rng.next_u64()).fail_prob("sim_mem.kmalloc", 1, 3);
+        let mut live: Vec<(Kva, usize, u8)> = Vec::new();
+        let mut failures = 0u32;
+        for step in 0..rng.range(40, 120) {
+            let size = 16usize << rng.below(6);
+            match m.kmalloc(&mut ctx, size, "fault_props") {
+                Ok(kva) => {
+                    let tag = (step % 251) as u8;
+                    m.cpu_write(&mut ctx, kva, &vec![tag; size], "fault_props")
+                        .unwrap();
+                    live.push((kva, size, tag));
+                }
+                Err(e) => {
+                    assert_eq!(e, DmaError::OutOfMemory, "case {case}");
+                    failures += 1;
+                }
+            }
+            if !live.is_empty() && rng.chance(1, 3) {
+                let idx = rng.below(live.len() as u64) as usize;
+                let (kva, _, _) = live.swap_remove(idx);
+                m.kfree(&mut ctx, kva).unwrap();
+            }
+        }
+        assert!(failures > 0, "case {case}: schedule never fired");
+        // Every surviving object still carries its data and its cache
+        // bookkeeping — a failed kmalloc corrupted nothing.
+        for &(kva, size, tag) in &live {
+            let mut buf = vec![0u8; size];
+            m.cpu_read(&mut ctx, kva, &mut buf, "fault_props").unwrap();
+            assert!(
+                buf.iter().all(|&b| b == tag),
+                "case {case}: object data corrupted after failed allocs"
+            );
+            assert!(
+                m.kmalloc.allocated_size(kva).is_some(),
+                "case {case}: live object lost its cache metadata"
+            );
+        }
+        // And every survivor frees cleanly (the slab freelists work).
+        for (kva, _, _) in live {
+            m.kfree(&mut ctx, kva).unwrap();
+        }
+    }
+}
+
+#[test]
+fn failed_page_frag_allocs_keep_the_hot_region_consistent() {
+    let mut meta = DetRng::new(0x73);
+    for case in 0..CASES {
+        let mut rng = meta.fork();
+        let (mut ctx, mut m) = mem();
+        ctx.faults = FaultPlan::seeded(rng.next_u64()).fail_prob("sim_mem.page_frag_alloc", 1, 3);
+        let mut live: Vec<(Kva, usize)> = Vec::new();
+        let mut failures = 0u32;
+        for _ in 0..rng.range(30, 90) {
+            let size = 64usize << rng.below(6);
+            match m.page_frag_alloc(&mut ctx, size, "fault_props") {
+                Ok(kva) => {
+                    assert_eq!(
+                        kva.raw() % 64,
+                        0,
+                        "case {case}: frag lost its 64-byte alignment"
+                    );
+                    live.push((kva, size));
+                }
+                Err(e) => {
+                    assert_eq!(e, DmaError::OutOfMemory, "case {case}");
+                    failures += 1;
+                }
+            }
+        }
+        assert!(failures > 0, "case {case}: schedule never fired");
+        // Live frags stay pairwise disjoint: a failed carve must not
+        // rewind or skip the region cursor into an existing carving.
+        for (i, &(a, alen)) in live.iter().enumerate() {
+            for &(b, blen) in live.iter().skip(i + 1) {
+                let disjoint = a.raw() + alen as u64 <= b.raw() || b.raw() + blen as u64 <= a.raw();
+                assert!(disjoint, "case {case}: frags overlap after failed carvings");
+            }
+        }
+        // Refcounts survived: every frag frees without error.
+        for (kva, _) in live {
+            m.page_frag_free(&mut ctx, kva).unwrap();
+        }
+    }
+}
+
+#[test]
+fn nth_call_faults_are_exact_across_the_facade() {
+    // Cross-check the plumbing end to end: a fail_nth(k) plan fails
+    // exactly the k-th facade call and nothing else.
+    let mut meta = DetRng::new(0x74);
+    for case in 0..CASES {
+        let mut rng = meta.fork();
+        let (mut ctx, mut m) = mem();
+        let n = 1 + rng.below(20);
+        ctx.faults = FaultPlan::seeded(rng.next_u64()).fail_nth("sim_mem.kmalloc", n);
+        for call in 1..=(n + 5) {
+            let r = m.kmalloc(&mut ctx, 64, "fault_props");
+            if call == n {
+                assert_eq!(
+                    r.unwrap_err(),
+                    DmaError::OutOfMemory,
+                    "case {case}: call {call} should have failed"
+                );
+            } else {
+                assert!(r.is_ok(), "case {case}: call {call} should have succeeded");
+            }
+        }
+        assert_eq!(ctx.faults.injected_total(), 1, "case {case}");
+    }
+}

@@ -1,10 +1,15 @@
-//! Property-based tests for the allocators: no-overlap, conservation,
+//! Property-style tests for the allocators: no-overlap, conservation,
 //! and crash-freedom under arbitrary alloc/free interleavings.
+//!
+//! Randomized inputs come from the in-tree seeded `DetRng` rather than
+//! an external property-testing framework, so the suite builds offline;
+//! each failure message includes the case seed for replay.
 
-use dma_core::{Pfn, SimCtx, PAGE_SIZE};
-use proptest::prelude::*;
+use dma_core::{DetRng, Pfn, SimCtx, PAGE_SIZE};
 use sim_mem::{MemConfig, MemorySystem};
 use std::collections::HashSet;
+
+const CASES: usize = 64;
 
 fn mem() -> (SimCtx, MemorySystem) {
     (
@@ -16,14 +21,17 @@ fn mem() -> (SimCtx, MemorySystem) {
     )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn buddy_blocks_never_overlap(ops in proptest::collection::vec((0u32..4, any::<bool>()), 1..120)) {
+#[test]
+fn buddy_blocks_never_overlap() {
+    let mut meta = DetRng::new(0x21);
+    for case in 0..CASES {
+        let mut rng = meta.fork();
         let (mut ctx, mut m) = mem();
         let mut live: Vec<(Pfn, u32)> = Vec::new();
-        for (order, do_free) in ops {
+        let nops = rng.range(1, 119) as usize;
+        for _ in 0..nops {
+            let order = rng.below(4) as u32;
+            let do_free = rng.chance(1, 2);
             if do_free && !live.is_empty() {
                 let (pfn, o) = live.swap_remove(0);
                 m.free_pages(&mut ctx, pfn, o).unwrap();
@@ -35,47 +43,73 @@ proptest! {
         let mut frames = HashSet::new();
         for (pfn, order) in &live {
             for i in 0..(1u64 << order) {
-                prop_assert!(frames.insert(pfn.raw() + i), "frame {:#x} double-allocated", pfn.raw() + i);
+                assert!(
+                    frames.insert(pfn.raw() + i),
+                    "case {case}: frame {:#x} double-allocated",
+                    pfn.raw() + i
+                );
             }
         }
     }
+}
 
-    #[test]
-    fn buddy_conserves_free_pages(orders in proptest::collection::vec(0u32..5, 1..60)) {
+#[test]
+fn buddy_conserves_free_pages() {
+    let mut meta = DetRng::new(0x22);
+    for case in 0..CASES {
+        let mut rng = meta.fork();
         let (mut ctx, mut m) = mem();
         let before = m.buddy.free_page_count();
-        let allocs: Vec<(Pfn, u32)> = orders
-            .iter()
-            .filter_map(|&o| m.alloc_pages(&mut ctx, o, "prop").ok().map(|p| (p, o)))
+        let n = rng.range(1, 59) as usize;
+        let allocs: Vec<(Pfn, u32)> = (0..n)
+            .filter_map(|_| {
+                let o = rng.below(5) as u32;
+                m.alloc_pages(&mut ctx, o, "prop").ok().map(|p| (p, o))
+            })
             .collect();
         let held: u64 = allocs.iter().map(|(_, o)| 1u64 << o).sum();
-        prop_assert_eq!(m.buddy.free_page_count(), before - held);
+        assert_eq!(m.buddy.free_page_count(), before - held, "case {case}");
         for (p, o) in allocs {
             m.free_pages(&mut ctx, p, o).unwrap();
         }
-        prop_assert_eq!(m.buddy.free_page_count(), before);
+        assert_eq!(m.buddy.free_page_count(), before, "case {case}");
     }
+}
 
-    #[test]
-    fn kmalloc_objects_never_overlap(sizes in proptest::collection::vec(1usize..4096, 1..150)) {
+#[test]
+fn kmalloc_objects_never_overlap() {
+    let mut meta = DetRng::new(0x23);
+    for case in 0..CASES {
+        let mut rng = meta.fork();
         let (mut ctx, mut m) = mem();
         let mut spans: Vec<(u64, u64)> = Vec::new();
-        for size in sizes {
+        let n = rng.range(1, 149) as usize;
+        for _ in 0..n {
+            let size = rng.range(1, 4095) as usize;
             let k = m.kmalloc(&mut ctx, size, "prop").unwrap();
             let class = sim_mem::KmallocCaches::size_class(size).unwrap() as u64;
             for &(s, e) in &spans {
-                prop_assert!(k.raw() + class <= s || k.raw() >= e, "overlap at {k}");
+                assert!(
+                    k.raw() + class <= s || k.raw() >= e,
+                    "case {case}: overlap at {k}"
+                );
             }
             spans.push((k.raw(), k.raw() + class));
         }
     }
+}
 
-    #[test]
-    fn kmalloc_free_interleaving_is_sound(ops in proptest::collection::vec((1usize..2048, any::<bool>()), 1..200)) {
+#[test]
+fn kmalloc_free_interleaving_is_sound() {
+    let mut meta = DetRng::new(0x24);
+    for case in 0..CASES {
+        let mut rng = meta.fork();
         let (mut ctx, mut m) = mem();
         let mut live = Vec::new();
-        for (size, do_free) in ops {
-            if do_free && !live.is_empty() {
+        let nops = rng.range(1, 199) as usize;
+        for _ in 0..nops {
+            let size = rng.range(1, 2047) as usize;
+            if rng.chance(1, 2) && !live.is_empty() {
                 let k = live.swap_remove(0);
                 m.kfree(&mut ctx, k).unwrap();
             } else {
@@ -84,20 +118,24 @@ proptest! {
         }
         // Everything still live is distinct.
         let set: HashSet<u64> = live.iter().map(|k| k.raw()).collect();
-        prop_assert_eq!(set.len(), live.len());
+        assert_eq!(set.len(), live.len(), "case {case}");
         for k in live {
             m.kfree(&mut ctx, k).unwrap();
         }
     }
+}
 
-    #[test]
-    fn kmalloc_data_is_isolated(sizes in proptest::collection::vec(8usize..512, 2..40)) {
-        // Writing each object's full class does not disturb the others.
+#[test]
+fn kmalloc_data_is_isolated() {
+    // Writing each object's full class does not disturb the others.
+    let mut meta = DetRng::new(0x25);
+    for case in 0..CASES {
+        let mut rng = meta.fork();
         let (mut ctx, mut m) = mem();
-        let objs: Vec<_> = sizes
-            .iter()
-            .enumerate()
-            .map(|(i, &s)| {
+        let n = rng.range(2, 39) as usize;
+        let objs: Vec<_> = (0..n)
+            .map(|i| {
+                let s = rng.range(8, 511) as usize;
                 let k = m.kmalloc(&mut ctx, s, "prop").unwrap();
                 let fill = vec![i as u8 ^ 0x5a; s];
                 m.cpu_write(&mut ctx, k, &fill, "prop").unwrap();
@@ -107,58 +145,77 @@ proptest! {
         for (k, s, tag) in objs {
             let mut buf = vec![0u8; s];
             m.cpu_read(&mut ctx, k, &mut buf, "prop").unwrap();
-            prop_assert!(buf.iter().all(|&b| b == tag));
+            assert!(buf.iter().all(|&b| b == tag), "case {case}");
         }
     }
+}
 
-    #[test]
-    fn page_frag_fragments_disjoint_and_aligned(sizes in proptest::collection::vec(64usize..4096, 1..80)) {
+#[test]
+fn page_frag_fragments_disjoint_and_aligned() {
+    let mut meta = DetRng::new(0x26);
+    for case in 0..CASES {
+        let mut rng = meta.fork();
         let (mut ctx, mut m) = mem();
         let mut spans: Vec<(u64, u64)> = Vec::new();
-        for size in sizes {
+        let n = rng.range(1, 79) as usize;
+        for _ in 0..n {
+            let size = rng.range(64, 4095) as usize;
             let k = m.page_frag_alloc(&mut ctx, size, "prop").unwrap();
-            prop_assert_eq!(k.raw() % 64, 0);
+            assert_eq!(k.raw() % 64, 0, "case {case}");
             for &(s, e) in &spans {
-                prop_assert!(k.raw() + size as u64 <= s || k.raw() >= e);
+                assert!(k.raw() + size as u64 <= s || k.raw() >= e, "case {case}");
             }
             spans.push((k.raw(), k.raw() + size as u64));
         }
     }
+}
 
-    #[test]
-    fn phys_memory_write_read_roundtrip(
-        addr in 0u64..((64 << 20) - 4096),
-        data in proptest::collection::vec(any::<u8>(), 1..256),
-    ) {
+#[test]
+fn phys_memory_write_read_roundtrip() {
+    let mut meta = DetRng::new(0x27);
+    for case in 0..CASES {
+        let mut rng = meta.fork();
         let (_, mut m) = mem();
+        let addr = rng.below((64 << 20) - 4096);
+        let len = rng.range(1, 255) as usize;
+        let mut data = vec![0u8; len];
+        rng.fill_bytes(&mut data);
         m.phys.write(dma_core::PhysAddr(addr), &data).unwrap();
         let mut back = vec![0u8; data.len()];
         m.phys.read(dma_core::PhysAddr(addr), &mut back).unwrap();
-        prop_assert_eq!(back, data);
+        assert_eq!(back, data, "case {case} addr={addr:#x}");
     }
+}
 
-    #[test]
-    fn size_class_is_monotone_and_covering(size in 1usize..8192) {
+#[test]
+fn size_class_is_monotone_and_covering() {
+    for size in 1usize..8192 {
         let class = sim_mem::KmallocCaches::size_class(size).unwrap();
-        prop_assert!(class >= size);
-        prop_assert!(sim_mem::SIZE_CLASSES.contains(&class));
+        assert!(class >= size);
+        assert!(sim_mem::SIZE_CLASSES.contains(&class));
         // Minimality: no smaller class also fits.
         for &c in sim_mem::SIZE_CLASSES.iter() {
             if c < class {
-                prop_assert!(c < size);
+                assert!(c < size, "size={size}");
             }
         }
     }
+}
 
-    #[test]
-    fn cross_page_cpu_access(off in 0usize..PAGE_SIZE, len in 1usize..512) {
+#[test]
+fn cross_page_cpu_access() {
+    let mut meta = DetRng::new(0x28);
+    for case in 0..CASES {
+        let mut rng = meta.fork();
         let (mut ctx, mut m) = mem();
+        let off = rng.below(PAGE_SIZE as u64) as usize;
+        let len = rng.range(1, 511) as usize;
         let base = m.kmalloc(&mut ctx, 8192, "prop").unwrap();
         let kva = dma_core::Kva(base.raw() + off as u64);
         let data = vec![0xabu8; len];
         m.cpu_write(&mut ctx, kva, &data, "prop").unwrap();
         let mut back = vec![0u8; len];
         m.cpu_read(&mut ctx, kva, &mut back, "prop").unwrap();
-        prop_assert_eq!(back, data);
+        assert_eq!(back, data, "case {case} off={off} len={len}");
     }
 }

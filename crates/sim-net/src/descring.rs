@@ -41,6 +41,15 @@ pub struct Descriptor {
 }
 
 /// A DMA-mapped descriptor ring.
+///
+/// The producer/consumer cursors (`head`/`tail`) are **free-running**
+/// counters, reduced modulo `entries` only when indexing a slot. This is
+/// how real drivers (and the kernel's `CIRC_*` helpers) distinguish a
+/// full ring from an empty one: with wrapped indices, `head == tail` is
+/// ambiguous — it holds both when the ring is empty and when the
+/// producer has lapped the consumer. With free-running counters the two
+/// states differ: empty is `head == tail`, full is
+/// `head - tail == entries`.
 #[derive(Debug)]
 pub struct DescRing {
     /// KVA of the ring array.
@@ -49,6 +58,10 @@ pub struct DescRing {
     pub mapping: DmaMapping,
     /// Number of descriptor slots.
     pub entries: usize,
+    /// Free-running producer counter (descriptors ever pushed).
+    head: u64,
+    /// Free-running consumer counter (descriptors ever popped).
+    tail: u64,
 }
 
 impl DescRing {
@@ -79,7 +92,69 @@ impl DescRing {
             base,
             mapping,
             entries,
+            head: 0,
+            tail: 0,
         })
+    }
+
+    // ------------------------------------------------------------------
+    // Cursor API (producer/consumer with full-vs-empty disambiguation).
+    // ------------------------------------------------------------------
+
+    /// Number of descriptors currently in the ring.
+    pub fn occupancy(&self) -> usize {
+        (self.head - self.tail) as usize
+    }
+
+    /// True when a `push` would be rejected with `RingFull`.
+    pub fn is_full(&self) -> bool {
+        self.occupancy() == self.entries
+    }
+
+    /// True when a `pop` would be rejected with `RingEmpty`.
+    pub fn is_empty(&self) -> bool {
+        self.head == self.tail
+    }
+
+    /// Slot index the next `push` will write.
+    pub fn head_index(&self) -> usize {
+        (self.head % self.entries as u64) as usize
+    }
+
+    /// Slot index the next `pop` will read.
+    pub fn tail_index(&self) -> usize {
+        (self.tail % self.entries as u64) as usize
+    }
+
+    /// Producer side: posts `d` at the head cursor and advances it.
+    /// Returns the slot index used, or `RingFull` when the producer has
+    /// lapped the consumer.
+    pub fn push(
+        &mut self,
+        ctx: &mut SimCtx,
+        mem: &mut MemorySystem,
+        d: Descriptor,
+    ) -> Result<usize> {
+        if self.is_full() {
+            return Err(DmaError::RingFull);
+        }
+        let idx = self.head_index();
+        self.post(ctx, mem, idx, d)?;
+        self.head += 1;
+        Ok(idx)
+    }
+
+    /// Consumer side: reads and retires the descriptor at the tail
+    /// cursor. Returns `(slot, descriptor)`, or `RingEmpty` when every
+    /// pushed descriptor has already been popped.
+    pub fn pop(&mut self, ctx: &mut SimCtx, mem: &MemorySystem) -> Result<(usize, Descriptor)> {
+        if self.is_empty() {
+            return Err(DmaError::RingEmpty);
+        }
+        let idx = self.tail_index();
+        let d = self.read_cpu(ctx, mem, idx)?;
+        self.tail += 1;
+        Ok((idx, d))
     }
 
     fn slot_kva(&self, idx: usize) -> Kva {
@@ -264,6 +339,113 @@ mod tests {
         assert!(ring.post(&mut ctx, &mut mem, 64, d).is_err());
         assert!(ring.read_cpu(&mut ctx, &mem, 64).is_err());
         assert!(ring.read_device(&mut ctx, &mut iommu, &mem, 1, 64).is_err());
+    }
+
+    fn desc(tag: u32) -> Descriptor {
+        Descriptor {
+            iova: Iova(0xffff_c000 + tag as u64 * 0x1000),
+            len: tag,
+            flags: FLAG_DEVICE_OWNED,
+        }
+    }
+
+    fn small_ring(entries: usize) -> (SimCtx, MemorySystem, Iommu, DescRing) {
+        let mut ctx = SimCtx::new();
+        let mut mem = MemorySystem::new(&MemConfig::default());
+        let mut iommu = Iommu::new(IommuConfig {
+            mode: InvalidationMode::Strict,
+            ..Default::default()
+        });
+        iommu.attach_device(1);
+        let ring = DescRing::new(&mut ctx, &mut mem, &mut iommu, 1, entries).unwrap();
+        (ctx, mem, iommu, ring)
+    }
+
+    #[test]
+    fn push_past_capacity_is_ring_full() {
+        let (mut ctx, mut mem, _, mut ring) = small_ring(4);
+        for i in 0..4 {
+            assert_eq!(ring.push(&mut ctx, &mut mem, desc(i)).unwrap(), i as usize);
+        }
+        assert!(ring.is_full());
+        let err = ring.push(&mut ctx, &mut mem, desc(99)).unwrap_err();
+        assert!(matches!(err, DmaError::RingFull));
+        // The rejected push must not clobber slot 0.
+        let got = ring.read_cpu(&mut ctx, &mem, 0).unwrap();
+        assert_eq!(got.len, 0);
+    }
+
+    #[test]
+    fn pop_on_empty_ring_is_ring_empty() {
+        let (mut ctx, mem, _, mut ring) = small_ring(4);
+        assert!(ring.is_empty());
+        let err = ring.pop(&mut ctx, &mem).unwrap_err();
+        assert!(matches!(err, DmaError::RingEmpty));
+    }
+
+    #[test]
+    fn full_and_empty_are_distinguishable_despite_equal_indices() {
+        // The classic ambiguity: after filling a 4-slot ring, head and
+        // tail *indices* are both 0 — exactly as when it is empty. The
+        // free-running counters must tell the two states apart.
+        let (mut ctx, mut mem, _, mut ring) = small_ring(4);
+        assert_eq!(ring.head_index(), ring.tail_index());
+        assert!(ring.is_empty() && !ring.is_full());
+        for i in 0..4 {
+            ring.push(&mut ctx, &mut mem, desc(i)).unwrap();
+        }
+        assert_eq!(ring.head_index(), ring.tail_index());
+        assert!(ring.is_full() && !ring.is_empty());
+        assert_eq!(ring.occupancy(), 4);
+    }
+
+    #[test]
+    fn wraparound_preserves_fifo_order() {
+        let (mut ctx, mut mem, _, mut ring) = small_ring(4);
+        for i in 0..4 {
+            ring.push(&mut ctx, &mut mem, desc(i)).unwrap();
+        }
+        // Drain two, then push two more — these wrap into slots 0 and 1.
+        assert_eq!(ring.pop(&mut ctx, &mem).unwrap().1.len, 0);
+        assert_eq!(ring.pop(&mut ctx, &mem).unwrap().1.len, 1);
+        assert_eq!(ring.push(&mut ctx, &mut mem, desc(4)).unwrap(), 0);
+        assert_eq!(ring.push(&mut ctx, &mut mem, desc(5)).unwrap(), 1);
+        assert!(ring.is_full());
+        // FIFO across the wrap: 2, 3, 4, 5.
+        for want in 2..6 {
+            let (_, d) = ring.pop(&mut ctx, &mem).unwrap();
+            assert_eq!(d.len, want);
+        }
+        assert!(ring.is_empty());
+        assert!(matches!(
+            ring.pop(&mut ctx, &mem).unwrap_err(),
+            DmaError::RingEmpty
+        ));
+    }
+
+    #[test]
+    fn occupancy_invariant_holds_across_many_wraps() {
+        let (mut ctx, mut mem, _, mut ring) = small_ring(3);
+        let mut pushed = 0u32;
+        let mut popped = 0u32;
+        // 10 laps of a 3-slot ring: push two, pop one, drain at the end.
+        for _ in 0..30 {
+            ring.push(&mut ctx, &mut mem, desc(pushed)).unwrap();
+            pushed += 1;
+            if ring.is_full() {
+                let (_, d) = ring.pop(&mut ctx, &mem).unwrap();
+                assert_eq!(d.len, popped);
+                popped += 1;
+            }
+            assert_eq!(ring.occupancy() as u32, pushed - popped);
+            assert!(ring.occupancy() <= 3);
+        }
+        while !ring.is_empty() {
+            let (_, d) = ring.pop(&mut ctx, &mem).unwrap();
+            assert_eq!(d.len, popped);
+            popped += 1;
+        }
+        assert_eq!(pushed, popped);
     }
 
     #[test]

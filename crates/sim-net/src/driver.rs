@@ -82,6 +82,9 @@ pub struct DriverConfig {
     /// TX completion timeout before the driver resets (§5.4: "usually a
     /// few seconds, which is sufficient to complete the attack").
     pub tx_timeout: Cycles,
+    /// TX descriptor ring size; `transmit` rejects with `RingFull` when
+    /// this many skbs are outstanding (posted but not yet reaped).
+    pub tx_ring_size: usize,
 }
 
 impl Default for DriverConfig {
@@ -97,11 +100,21 @@ impl Default for DriverConfig {
             xdp: false,
             num_queues: 1,
             tx_timeout: 5_000 * CYCLES_PER_MS,
+            tx_ring_size: 64,
         }
     }
 }
 
-/// Counters.
+/// Retries `rx_refill` performs on a transient failure before giving up
+/// and running with a partially-filled ring.
+const RX_REFILL_MAX_RETRIES: u32 = 3;
+
+/// Backoff between RX refill retries (real drivers reschedule NAPI or a
+/// refill worker; here the simulated clock advances instead).
+const RX_REFILL_BACKOFF: Cycles = CYCLES_PER_MS / 4;
+
+/// Counters, modeled on the `rx_alloc_failed` / `tx_dropped` families
+/// real NIC drivers export through ethtool.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct DriverStats {
     /// Packets delivered up the stack.
@@ -110,6 +123,16 @@ pub struct DriverStats {
     pub tx_packets: u64,
     /// TX watchdog resets.
     pub resets: u64,
+    /// RX buffer allocations that failed transiently during refill.
+    pub rx_alloc_failed: u64,
+    /// RX buffers allocated but dropped because the DMA map failed.
+    pub rx_map_failed: u64,
+    /// Backoff-and-retry rounds taken by `rx_refill`.
+    pub rx_refill_retries: u64,
+    /// Transmits rejected because the TX ring was full.
+    pub tx_ring_full: u64,
+    /// skbs dropped on the TX path because a DMA map failed.
+    pub tx_dropped: u64,
 }
 
 /// A posted RX buffer awaiting device DMA.
@@ -205,6 +228,15 @@ impl NicDriver {
 
     /// Refills the RX ring to capacity, allocating and DMA-mapping fresh
     /// buffers per the configured policy.
+    ///
+    /// Transient failures (allocator pressure, IOVA exhaustion, injected
+    /// faults) are absorbed: the refill backs off and retries up to
+    /// [`RX_REFILL_MAX_RETRIES`] times, then returns `Ok` with a
+    /// partially-filled ring — exactly how real drivers degrade when
+    /// `napi_alloc_frag` fails under memory pressure. The shortfall is
+    /// visible in `stats.rx_alloc_failed` / `stats.rx_map_failed`, and
+    /// the next poll's refill tries again. Non-transient errors (layout
+    /// or invariant violations) still propagate.
     pub fn rx_refill(
         &mut self,
         ctx: &mut SimCtx,
@@ -213,50 +245,122 @@ impl NicDriver {
     ) -> Result<()> {
         let queues = self.cfg.num_queues.max(1);
         let target = self.cfg.rx_ring_size * queues;
+        let mut retries_left = RX_REFILL_MAX_RETRIES;
         while self.posted.len() + self.completed.len() < target {
             // Round-robin the refills across the per-CPU rings: each
             // queue draws from its own CPU's page_frag region.
             let slot_index = self.posted.len() + self.completed.len();
             mem.set_cpu(slot_index % queues);
-            let (kva, alloc) = match self.cfg.alloc {
-                AllocPolicy::PageFrag => (
-                    mem.page_frag_alloc(ctx, self.cfg.rx_buf_size, "netdev_alloc_frag")?,
-                    AllocKind::PageFrag,
-                ),
-                AllocPolicy::PagePerBuffer => {
-                    let pages = self.cfg.rx_buf_size.div_ceil(PAGE_SIZE);
-                    let order = pages.next_power_of_two().trailing_zeros();
-                    let pfn = mem.alloc_pages(ctx, order, "nic_alloc_rx_page")?;
-                    (mem.layout.pfn_to_kva(pfn)?, AllocKind::Pages { order })
+            match self.try_post_rx_buffer(ctx, mem, iommu) {
+                Ok(()) => {}
+                Err(e) if e.is_transient() => {
+                    if retries_left == 0 {
+                        // Degrade: run with a short ring rather than fail
+                        // the poll path.
+                        break;
+                    }
+                    retries_left -= 1;
+                    self.stats.rx_refill_retries += 1;
+                    ctx.clock.advance(RX_REFILL_BACKOFF);
                 }
-                AllocPolicy::Kmalloc => (
-                    mem.kmalloc(ctx, self.cfg.rx_buf_size, "nic_alloc_rx_kmalloc")?,
-                    AllocKind::Kmalloc,
-                ),
-            };
-            let dir = if self.cfg.xdp {
-                DmaDirection::Bidirectional
-            } else {
-                DmaDirection::FromDevice
-            };
-            let mapping = dma_map_single(
-                ctx,
-                iommu,
-                &mem.layout,
-                self.cfg.dev,
-                kva,
-                self.cfg.rx_buf_size,
-                dir,
-                "nic_rx_map",
-            )?;
-            self.posted.push_back(RxSlot {
-                mapping,
-                buf_size: self.cfg.rx_buf_size - SHINFO_SIZE,
-                written: 0,
-                alloc,
-            });
+                Err(e) => return Err(e),
+            }
         }
         Ok(())
+    }
+
+    /// Allocates, maps, and posts one RX buffer. On a map failure the
+    /// just-allocated buffer is freed again so nothing leaks.
+    fn try_post_rx_buffer(
+        &mut self,
+        ctx: &mut SimCtx,
+        mem: &mut MemorySystem,
+        iommu: &mut Iommu,
+    ) -> Result<()> {
+        if ctx.fault("sim_net.rx_refill") {
+            self.stats.rx_alloc_failed += 1;
+            return Err(DmaError::OutOfMemory);
+        }
+        let (kva, alloc) = match self.alloc_rx_buffer(ctx, mem) {
+            Ok(pair) => pair,
+            Err(e) => {
+                if e.is_transient() {
+                    self.stats.rx_alloc_failed += 1;
+                }
+                return Err(e);
+            }
+        };
+        let dir = if self.cfg.xdp {
+            DmaDirection::Bidirectional
+        } else {
+            DmaDirection::FromDevice
+        };
+        let mapping = match dma_map_single(
+            ctx,
+            iommu,
+            &mem.layout,
+            self.cfg.dev,
+            kva,
+            self.cfg.rx_buf_size,
+            dir,
+            "nic_rx_map",
+        ) {
+            Ok(m) => m,
+            Err(e) => {
+                if e.is_transient() {
+                    self.stats.rx_map_failed += 1;
+                }
+                Self::free_rx_buffer(ctx, mem, kva, alloc)?;
+                return Err(e);
+            }
+        };
+        self.posted.push_back(RxSlot {
+            mapping,
+            buf_size: self.cfg.rx_buf_size - SHINFO_SIZE,
+            written: 0,
+            alloc,
+        });
+        Ok(())
+    }
+
+    fn alloc_rx_buffer(
+        &mut self,
+        ctx: &mut SimCtx,
+        mem: &mut MemorySystem,
+    ) -> Result<(Kva, AllocKind)> {
+        Ok(match self.cfg.alloc {
+            AllocPolicy::PageFrag => (
+                mem.page_frag_alloc(ctx, self.cfg.rx_buf_size, "netdev_alloc_frag")?,
+                AllocKind::PageFrag,
+            ),
+            AllocPolicy::PagePerBuffer => {
+                let pages = self.cfg.rx_buf_size.div_ceil(PAGE_SIZE);
+                let order = pages.next_power_of_two().trailing_zeros();
+                let pfn = mem.alloc_pages(ctx, order, "nic_alloc_rx_page")?;
+                (mem.layout.pfn_to_kva(pfn)?, AllocKind::Pages { order })
+            }
+            AllocPolicy::Kmalloc => (
+                mem.kmalloc(ctx, self.cfg.rx_buf_size, "nic_alloc_rx_kmalloc")?,
+                AllocKind::Kmalloc,
+            ),
+        })
+    }
+
+    /// Returns an RX buffer to the allocator it came from.
+    fn free_rx_buffer(
+        ctx: &mut SimCtx,
+        mem: &mut MemorySystem,
+        kva: Kva,
+        alloc: AllocKind,
+    ) -> Result<()> {
+        match alloc {
+            AllocKind::PageFrag => mem.page_frag_free(ctx, kva),
+            AllocKind::Pages { order } => {
+                let pfn = mem.layout.kva_to_pfn(kva)?;
+                mem.free_pages(ctx, pfn, order)
+            }
+            AllocKind::Kmalloc => mem.kfree(ctx, kva),
+        }
     }
 
     // ------------------------------------------------------------------
@@ -373,6 +477,13 @@ impl NicDriver {
     ///
     /// Trusting the in-memory `frags[]` is exactly what Linux does — and
     /// what lets a forged fragment list map arbitrary pages (§5.5).
+    ///
+    /// Returns `RingFull` (skb untouched by the caller's standards: it is
+    /// freed here, as `ndo_start_xmit` drops on error) once
+    /// `tx_ring_size` skbs are outstanding. A DMA-map failure mid-way
+    /// unmaps whatever was already mapped, frees the skb, and counts
+    /// `tx_dropped` — the driver stays consistent instead of leaking the
+    /// partial mappings.
     pub fn transmit(
         &mut self,
         ctx: &mut SimCtx,
@@ -380,7 +491,12 @@ impl NicDriver {
         iommu: &mut Iommu,
         skb: SkBuff,
     ) -> Result<usize> {
-        let linear = dma_map_single(
+        if self.tx.len() >= self.cfg.tx_ring_size {
+            self.stats.tx_ring_full += 1;
+            let _ = kfree_skb(ctx, mem, skb)?;
+            return Err(DmaError::RingFull);
+        }
+        let linear = match dma_map_single(
             ctx,
             iommu,
             &mem.layout,
@@ -389,14 +505,21 @@ impl NicDriver {
             skb.len.max(1),
             DmaDirection::ToDevice,
             "nic_tx_map",
-        )?;
+        ) {
+            Ok(m) => m,
+            Err(e) => {
+                self.stats.tx_dropped += 1;
+                let _ = kfree_skb(ctx, mem, skb)?;
+                return Err(e);
+            }
+        };
         let frags = skb.shinfo().frags(ctx, mem)?;
         let mut frag_maps = Vec::with_capacity(frags.len());
         for f in &frags {
             // struct page → PFN → KVA, then map for device read.
             let pfn = mem.layout.page_to_pfn(Kva(f.page))?;
             let kva = Kva(mem.layout.pfn_to_kva(pfn)?.raw() + f.offset as u64);
-            frag_maps.push(dma_map_single(
+            let fm = match dma_map_single(
                 ctx,
                 iommu,
                 &mem.layout,
@@ -405,7 +528,20 @@ impl NicDriver {
                 (f.size as usize).max(1),
                 DmaDirection::ToDevice,
                 "nic_tx_map_frag",
-            )?);
+            ) {
+                Ok(m) => m,
+                Err(e) => {
+                    // Roll back: revoke every mapping taken so far.
+                    dma_unmap_single(ctx, iommu, &linear)?;
+                    for m in &frag_maps {
+                        dma_unmap_single(ctx, iommu, m)?;
+                    }
+                    self.stats.tx_dropped += 1;
+                    let _ = kfree_skb(ctx, mem, skb)?;
+                    return Err(e);
+                }
+            };
+            frag_maps.push(fm);
         }
         self.stats.tx_packets += 1;
         self.tx.push(TxSlot {
@@ -481,6 +617,39 @@ impl NicDriver {
         let _ = self.tx_reap(ctx, mem, iommu)?;
         self.stats.resets += 1;
         Ok(true)
+    }
+
+    /// Tears the driver down: reaps all TX (completing outstanding slots
+    /// first), unmaps and frees every RX buffer — posted and completed —
+    /// and releases the control block.
+    ///
+    /// After `shutdown` returns `Ok`, the device holds **zero** DMA
+    /// mappings from this driver; the chaos harness asserts
+    /// `iommu.mapped_pages(dev) == 0` as its leak audit, so any path
+    /// that loses track of a mapping under fault injection fails here.
+    pub fn shutdown(
+        &mut self,
+        ctx: &mut SimCtx,
+        mem: &mut MemorySystem,
+        iommu: &mut Iommu,
+    ) -> Result<Vec<PendingCallback>> {
+        for s in self.tx.iter_mut() {
+            s.completed = true;
+        }
+        let callbacks = self.tx_reap(ctx, mem, iommu)?;
+        while let Some(slot) = self
+            .posted
+            .pop_front()
+            .or_else(|| self.completed.pop_front())
+        {
+            dma_unmap_single(ctx, iommu, &slot.mapping)?;
+            Self::free_rx_buffer(ctx, mem, slot.mapping.kva, slot.alloc)?;
+        }
+        if let Some((kva, m)) = self.ctrl_block.take() {
+            dma_unmap_single(ctx, iommu, &m)?;
+            mem.kfree(ctx, kva)?;
+        }
+        Ok(callbacks)
     }
 
     /// Number of in-flight (not completed) TX slots.
@@ -736,6 +905,91 @@ mod tests {
         assert!(iommu2
             .dev_read(&mut ctx2, &mem2.phys, 1, iova2, &mut b)
             .is_err());
+    }
+
+    #[test]
+    fn tx_ring_full_rejects_and_counts() {
+        let cfg = DriverConfig {
+            tx_ring_size: 2,
+            ..Default::default()
+        };
+        let (mut ctx, mut mem, mut iommu, mut drv) = setup(cfg);
+        for _ in 0..2 {
+            let skb = crate::skb::alloc_skb(&mut ctx, &mut mem, 64).unwrap();
+            drv.transmit(&mut ctx, &mut mem, &mut iommu, skb).unwrap();
+        }
+        let skb = crate::skb::alloc_skb(&mut ctx, &mut mem, 64).unwrap();
+        let err = drv
+            .transmit(&mut ctx, &mut mem, &mut iommu, skb)
+            .unwrap_err();
+        assert!(matches!(err, DmaError::RingFull));
+        assert_eq!(drv.stats.tx_ring_full, 1);
+        assert_eq!(drv.stats.tx_packets, 2);
+        // Reaping frees a slot and transmit works again.
+        drv.device_tx_complete(0).unwrap();
+        drv.tx_reap(&mut ctx, &mut mem, &mut iommu).unwrap();
+        let skb = crate::skb::alloc_skb(&mut ctx, &mut mem, 64).unwrap();
+        drv.transmit(&mut ctx, &mut mem, &mut iommu, skb).unwrap();
+    }
+
+    #[test]
+    fn rx_refill_degrades_gracefully_under_injected_allocation_faults() {
+        let mut ctx = SimCtx::new();
+        ctx.faults = dma_core::FaultPlan::seeded(7).fail_every("sim_net.rx_refill", 3);
+        let mut mem = MemorySystem::new(&MemConfig::default());
+        let mut iommu = Iommu::new(IommuConfig {
+            mode: InvalidationMode::Strict,
+            ..Default::default()
+        });
+        // Probe survives the faults: the ring comes up short, not broken.
+        let drv = NicDriver::probe(DriverConfig::default(), &mut ctx, &mut mem, &mut iommu)
+            .expect("probe must degrade, not fail");
+        let posted = drv.rx_descriptors().len();
+        assert!(posted > 0, "some buffers must still post");
+        assert!(posted < 64, "every-3rd faulting must leave the ring short");
+        assert!(drv.stats.rx_alloc_failed > 0);
+        assert_eq!(drv.stats.rx_refill_retries, RX_REFILL_MAX_RETRIES as u64);
+        assert!(ctx.faults.injected_total() > 0);
+    }
+
+    #[test]
+    fn rx_map_failure_frees_the_buffer_and_the_retry_recovers() {
+        let (mut ctx, mut mem, mut iommu, mut drv) = setup(DriverConfig::default());
+        iommu
+            .dev_write(&mut ctx, &mut mem.phys, 1, drv.rx_descriptors()[0].0, b"p")
+            .unwrap();
+        drv.device_rx_complete(1).unwrap();
+        // The next dma_map call is the refill remap inside rx_poll.
+        ctx.faults = dma_core::FaultPlan::seeded(1).fail_nth("sim_iommu.dma_map", 1);
+        let skb = drv
+            .rx_poll_quiet(&mut ctx, &mut mem, &mut iommu)
+            .unwrap()
+            .unwrap();
+        assert_eq!(skb.len, 1);
+        assert_eq!(drv.stats.rx_map_failed, 1);
+        // The retry filled the ring back to capacity.
+        assert_eq!(drv.rx_descriptors().len(), 64);
+    }
+
+    #[test]
+    fn shutdown_releases_every_mapping() {
+        let cfg = DriverConfig {
+            map_ctrl_block: true,
+            ..Default::default()
+        };
+        let (mut ctx, mut mem, mut iommu, mut drv) = setup(cfg);
+        // Leave the driver mid-flight: an unreaped TX and a completed RX.
+        let mut skb = crate::skb::alloc_skb(&mut ctx, &mut mem, 128).unwrap();
+        skb.put(&mut ctx, &mut mem, b"inflight").unwrap();
+        drv.transmit(&mut ctx, &mut mem, &mut iommu, skb).unwrap();
+        drv.device_rx_complete(16).unwrap();
+        assert!(iommu.mapped_pages(1) > 0);
+        drv.shutdown(&mut ctx, &mut mem, &mut iommu).unwrap();
+        assert_eq!(
+            iommu.mapped_pages(1),
+            0,
+            "shutdown must leave zero live mappings"
+        );
     }
 
     #[test]

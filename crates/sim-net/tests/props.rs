@@ -1,77 +1,113 @@
-//! Property-based tests for the network substrate: wire-format
+//! Property-style tests for the network substrate: wire-format
 //! roundtrips, shared-info field isolation, skb payload integrity, and
 //! GRO sequence reconstruction.
+//!
+//! Inputs are generated from the in-tree seeded `DetRng` (no external
+//! property-testing framework) so the suite builds offline.
 
-use dma_core::SimCtx;
-use proptest::prelude::*;
+use dma_core::{DetRng, SimCtx};
 use sim_mem::{MemConfig, MemorySystem};
 use sim_net::gro::GroEngine;
 use sim_net::packet::Packet;
 use sim_net::shinfo::{Frag, MAX_FRAGS};
 use sim_net::skb::netdev_alloc_skb;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: usize = 64;
 
-    #[test]
-    fn packet_wire_roundtrip(
-        src in any::<u32>(),
-        dst in any::<u32>(),
-        seq in any::<u32>(),
-        payload in proptest::collection::vec(any::<u8>(), 0..1400),
-        is_tcp in any::<bool>(),
-    ) {
-        let p = if is_tcp { Packet::tcp(src, dst, seq, payload) } else { Packet::udp(src, dst, payload) };
-        prop_assert_eq!(Packet::from_wire(&p.to_wire()), Some(p));
+#[test]
+fn packet_wire_roundtrip() {
+    let mut meta = DetRng::new(0x41);
+    for case in 0..CASES {
+        let mut rng = meta.fork();
+        let src = rng.next_u64() as u32;
+        let dst = rng.next_u64() as u32;
+        let seq = rng.next_u64() as u32;
+        let mut payload = vec![0u8; rng.below(1400) as usize];
+        rng.fill_bytes(&mut payload);
+        let is_tcp = rng.chance(1, 2);
+        let p = if is_tcp {
+            Packet::tcp(src, dst, seq, payload)
+        } else {
+            Packet::udp(src, dst, payload)
+        };
+        assert_eq!(Packet::from_wire(&p.to_wire()), Some(p), "case {case}");
     }
+}
 
-    #[test]
-    fn from_wire_is_total(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
+#[test]
+fn from_wire_is_total() {
+    let mut meta = DetRng::new(0x42);
+    for _ in 0..CASES * 4 {
+        let mut rng = meta.fork();
+        let mut bytes = vec![0u8; rng.below(200) as usize];
+        rng.fill_bytes(&mut bytes);
         let _ = Packet::from_wire(&bytes);
     }
+}
 
-    #[test]
-    fn skb_payload_roundtrip(chunks in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..100), 1..8)) {
+#[test]
+fn skb_payload_roundtrip() {
+    let mut meta = DetRng::new(0x43);
+    for case in 0..CASES {
+        let mut rng = meta.fork();
         let mut ctx = SimCtx::new();
         let mut mem = MemorySystem::new(&MemConfig::default());
         let mut skb = netdev_alloc_skb(&mut ctx, &mut mem, 1600).unwrap();
         let mut expect = Vec::new();
-        for c in &chunks {
+        let nchunks = rng.range(1, 7) as usize;
+        for _ in 0..nchunks {
+            let mut c = vec![0u8; rng.range(1, 99) as usize];
+            rng.fill_bytes(&mut c);
             if skb.data_offset + skb.len + c.len() <= skb.buf_size {
-                skb.put(&mut ctx, &mut mem, c).unwrap();
-                expect.extend_from_slice(c);
+                skb.put(&mut ctx, &mut mem, &c).unwrap();
+                expect.extend_from_slice(&c);
             }
         }
-        prop_assert_eq!(skb.payload(&mut ctx, &mem).unwrap(), expect);
+        assert_eq!(skb.payload(&mut ctx, &mem).unwrap(), expect, "case {case}");
     }
+}
 
-    #[test]
-    fn shinfo_frag_slots_are_independent(
-        frags in proptest::collection::vec((any::<u64>(), any::<u32>(), any::<u32>()), 1..MAX_FRAGS)
-    ) {
+#[test]
+fn shinfo_frag_slots_are_independent() {
+    let mut meta = DetRng::new(0x44);
+    for case in 0..CASES {
+        let mut rng = meta.fork();
         let mut ctx = SimCtx::new();
         let mut mem = MemorySystem::new(&MemConfig::default());
         let skb = netdev_alloc_skb(&mut ctx, &mut mem, 1600).unwrap();
         let sh = skb.shinfo();
+        let nfrags = rng.range(1, MAX_FRAGS as u64 - 1) as usize;
+        let frags: Vec<(u64, u32, u32)> = (0..nfrags)
+            .map(|_| (rng.next_u64(), rng.next_u64() as u32, rng.next_u64() as u32))
+            .collect();
         for (i, &(page, offset, size)) in frags.iter().enumerate() {
-            sh.set_frag(&mut ctx, &mut mem, i, Frag { page, offset, size }).unwrap();
+            sh.set_frag(&mut ctx, &mut mem, i, Frag { page, offset, size })
+                .unwrap();
         }
         // destructor_arg (between the header fields and frags) untouched.
-        prop_assert_eq!(sh.destructor_arg(&mut ctx, &mem).unwrap(), 0);
+        assert_eq!(sh.destructor_arg(&mut ctx, &mem).unwrap(), 0, "case {case}");
         for (i, &(page, offset, size)) in frags.iter().enumerate() {
-            prop_assert_eq!(sh.frag(&mut ctx, &mem, i).unwrap(), Frag { page, offset, size });
+            assert_eq!(
+                sh.frag(&mut ctx, &mem, i).unwrap(),
+                Frag { page, offset, size },
+                "case {case} frag {i}"
+            );
         }
     }
+}
 
-    #[test]
-    fn gro_reassembles_any_in_order_stream(
-        seg_sizes in proptest::collection::vec(1usize..200, 1..10)
-    ) {
+#[test]
+fn gro_reassembles_any_in_order_stream() {
+    let mut meta = DetRng::new(0x45);
+    for case in 0..CASES {
+        let mut rng = meta.fork();
         let mut ctx = SimCtx::new();
         let mut mem = MemorySystem::new(&MemConfig::default());
         let mut gro = GroEngine::new();
         let mut seq = 0u32;
         let mut total = Vec::new();
+        let nsegs = rng.range(1, 9) as usize;
+        let seg_sizes: Vec<usize> = (0..nsegs).map(|_| rng.range(1, 199) as usize).collect();
         for (i, size) in seg_sizes.iter().enumerate() {
             let payload = vec![i as u8; *size];
             total.extend_from_slice(&payload);
@@ -80,23 +116,32 @@ proptest! {
             let mut skb = netdev_alloc_skb(&mut ctx, &mut mem, 1600).unwrap();
             skb.put(&mut ctx, &mut mem, &p.to_wire()).unwrap();
             let out = gro.receive(&mut ctx, &mut mem, skb).unwrap();
-            prop_assert!(out.is_empty(), "in-order stream must keep merging");
+            assert!(
+                out.is_empty(),
+                "case {case}: in-order stream must keep merging"
+            );
         }
         let flushed = gro.flush_all();
-        prop_assert_eq!(flushed.len(), 1);
-        prop_assert_eq!(&flushed[0].0.payload, &total);
+        assert_eq!(flushed.len(), 1, "case {case}");
+        assert_eq!(&flushed[0].0.payload, &total, "case {case}");
         // Frag count equals merged segments.
         let nfrags = flushed[0].1.shinfo().nr_frags(&mut ctx, &mem).unwrap() as usize;
-        prop_assert_eq!(nfrags, seg_sizes.len() - 1);
+        assert_eq!(nfrags, seg_sizes.len() - 1, "case {case}");
     }
+}
 
-    #[test]
-    fn gro_never_merges_across_flows(flows in proptest::collection::vec(0u32..4, 2..12)) {
+#[test]
+fn gro_never_merges_across_flows() {
+    let mut meta = DetRng::new(0x46);
+    for case in 0..CASES {
+        let mut rng = meta.fork();
         let mut ctx = SimCtx::new();
         let mut mem = MemorySystem::new(&MemConfig::default());
         let mut gro = GroEngine::new();
         let mut delivered = 0usize;
         let mut seqs = [0u32; 4];
+        let nflows = rng.range(2, 11) as usize;
+        let flows: Vec<u32> = (0..nflows).map(|_| rng.below(4) as u32).collect();
         for f in &flows {
             let p = Packet::tcp(*f, 99, seqs[*f as usize], vec![1; 10]);
             seqs[*f as usize] += 10;
@@ -106,6 +151,10 @@ proptest! {
         }
         delivered += gro.flush_all().len();
         let distinct: std::collections::HashSet<u32> = flows.iter().copied().collect();
-        prop_assert_eq!(delivered, distinct.len(), "one aggregate per flow");
+        assert_eq!(
+            delivered,
+            distinct.len(),
+            "case {case}: one aggregate per flow"
+        );
     }
 }

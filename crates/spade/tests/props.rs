@@ -1,70 +1,147 @@
-//! Property-based tests for the C front end: the lexer and parser must
+//! Property-style tests for the C front end: the lexer and parser must
 //! be total (never panic, always terminate) on arbitrary input — the
 //! fault-tolerance cscope-style tooling requires — and the layout engine
 //! must uphold its arithmetic invariants.
+//!
+//! Inputs are generated from the in-tree seeded `dma_core::DetRng` (no
+//! external property-testing framework) so the suite builds offline.
 
-use proptest::prelude::*;
+use dma_core::DetRng;
 use spade::layout::TypeTable;
 use spade::lex::lex;
 use spade::parse::parse_file;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+const CASES: usize = 128;
 
-    #[test]
-    fn lexer_is_total_on_arbitrary_bytes(src in "\\PC*") {
+/// Arbitrary (possibly multi-byte) unicode junk of bounded length.
+fn junk_string(rng: &mut DetRng, max_len: usize) -> String {
+    let n = rng.below(max_len as u64 + 1) as usize;
+    (0..n)
+        .map(|_| {
+            // Mix plain ASCII with the odd multi-byte scalar.
+            if rng.chance(7, 8) {
+                (rng.range(0x20, 0x7e) as u8) as char
+            } else {
+                char::from_u32(rng.below(0xd800) as u32).unwrap_or('\u{fffd}')
+            }
+        })
+        .collect()
+}
+
+/// A string drawn from the C-adjacent charset the seed suite fuzzed with.
+fn c_soup_string(rng: &mut DetRng, max_len: usize) -> String {
+    const CHARSET: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789 \n;{}()*&>.,\"/#-";
+    let n = rng.below(max_len as u64 + 1) as usize;
+    (0..n)
+        .map(|_| CHARSET[rng.below(CHARSET.len() as u64) as usize] as char)
+        .collect()
+}
+
+#[test]
+fn lexer_is_total_on_arbitrary_bytes() {
+    let mut meta = DetRng::new(0x61);
+    for case in 0..CASES {
+        let mut rng = meta.fork();
         // Any unicode junk: must terminate without panicking.
+        let src = junk_string(&mut rng, 400);
         let toks = lex(&src);
-        prop_assert!(toks.len() <= src.len() + 1);
+        assert!(toks.len() <= src.len() + 1, "case {case}");
     }
+}
 
-    #[test]
-    fn lexer_line_numbers_are_monotone(src in "[a-z0-9 \\n;{}()*&>.,\"/#-]*") {
+#[test]
+fn lexer_line_numbers_are_monotone() {
+    let mut meta = DetRng::new(0x62);
+    for case in 0..CASES {
+        let mut rng = meta.fork();
+        let src = c_soup_string(&mut rng, 300);
         let toks = lex(&src);
         for w in toks.windows(2) {
-            prop_assert!(w[0].line <= w[1].line);
+            assert!(w[0].line <= w[1].line, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn parser_is_total_on_arbitrary_text(src in "\\PC{0,400}") {
+#[test]
+fn parser_is_total_on_arbitrary_text() {
+    let mut meta = DetRng::new(0x63);
+    for _ in 0..CASES {
+        let mut rng = meta.fork();
+        let src = junk_string(&mut rng, 400);
         let _ = parse_file("fuzz.c", &src);
     }
+}
 
-    #[test]
-    fn parser_is_total_on_c_like_soup(
-        words in proptest::collection::vec(
-            prop_oneof![
-                Just("struct"), Just("int"), Just("void"), Just("*"), Just("{"), Just("}"),
-                Just("("), Just(")"), Just(";"), Just(","), Just("="), Just("->"), Just("&"),
-                Just("foo"), Just("bar"), Just("dma_map_single"), Just("if"), Just("return"),
-                Just("typedef"), Just("u32"), Just("["), Just("]"), Just("42"),
-            ],
-            0..150,
-        )
-    ) {
+#[test]
+fn parser_is_total_on_c_like_soup() {
+    const WORDS: &[&str] = &[
+        "struct",
+        "int",
+        "void",
+        "*",
+        "{",
+        "}",
+        "(",
+        ")",
+        ";",
+        ",",
+        "=",
+        "->",
+        "&",
+        "foo",
+        "bar",
+        "dma_map_single",
+        "if",
+        "return",
+        "typedef",
+        "u32",
+        "[",
+        "]",
+        "42",
+    ];
+    let mut meta = DetRng::new(0x64);
+    for _ in 0..CASES {
+        let mut rng = meta.fork();
+        let n = rng.below(150) as usize;
+        let words: Vec<&str> = (0..n)
+            .map(|_| WORDS[rng.below(WORDS.len() as u64) as usize])
+            .collect();
         let src = words.join(" ");
         let _ = parse_file("soup.c", &src);
     }
+}
 
-    #[test]
-    fn struct_roundtrip_preserves_fields(nfields in 1usize..12) {
-        let fields: String = (0..nfields).map(|i| format!("    u32 field_{i};\n")).collect();
+#[test]
+fn struct_roundtrip_preserves_fields() {
+    for nfields in 1usize..12 {
+        let fields: String = (0..nfields)
+            .map(|i| format!("    u32 field_{i};\n"))
+            .collect();
         let src = format!("struct generated {{\n{fields}}};");
         let f = parse_file("gen.c", &src);
-        prop_assert_eq!(f.structs.len(), 1);
-        prop_assert_eq!(f.structs[0].fields.len(), nfields);
+        assert_eq!(f.structs.len(), 1, "nfields={nfields}");
+        assert_eq!(f.structs[0].fields.len(), nfields, "nfields={nfields}");
     }
+}
 
-    #[test]
-    fn layout_offsets_are_ordered_and_in_bounds(
-        kinds in proptest::collection::vec(0u8..5, 1..16)
-    ) {
+#[test]
+fn layout_offsets_are_ordered_and_in_bounds() {
+    let mut meta = DetRng::new(0x66);
+    for case in 0..CASES {
+        let mut rng = meta.fork();
+        let nkinds = rng.range(1, 15) as usize;
+        let kinds: Vec<u8> = (0..nkinds).map(|_| rng.below(5) as u8).collect();
         let fields: String = kinds
             .iter()
             .enumerate()
             .map(|(i, k)| {
-                let ty = match k { 0 => "u8", 1 => "u16", 2 => "u32", 3 => "u64", _ => "void *" };
+                let ty = match k {
+                    0 => "u8",
+                    1 => "u16",
+                    2 => "u32",
+                    3 => "u64",
+                    _ => "void *",
+                };
                 format!("    {ty} f{i};\n")
             })
             .collect();
@@ -74,51 +151,63 @@ proptest! {
         let l = t.layout_of_name("s").unwrap();
         let mut prev_end = 0usize;
         for (_, off, size) in &l.fields {
-            prop_assert!(*off >= prev_end, "fields must not overlap");
-            prop_assert_eq!(off % size.min(&8), 0, "natural alignment");
+            assert!(*off >= prev_end, "case {case}: fields must not overlap");
+            assert_eq!(off % size.min(&8), 0, "case {case}: natural alignment");
             prev_end = off + size;
         }
-        prop_assert!(l.size >= prev_end);
-        prop_assert_eq!(l.size % l.align, 0);
+        assert!(l.size >= prev_end, "case {case}");
+        assert_eq!(l.size % l.align, 0, "case {case}");
     }
+}
 
-    #[test]
-    fn callback_census_counts_exactly(fnptrs in 0usize..8, scalars in 0usize..8) {
-        let mut body = String::new();
-        for i in 0..fnptrs {
-            body.push_str(&format!("    void (*cb{i})(void);\n"));
+#[test]
+fn callback_census_counts_exactly() {
+    for fnptrs in 0usize..8 {
+        for scalars in 0usize..8 {
+            let mut body = String::new();
+            for i in 0..fnptrs {
+                body.push_str(&format!("    void (*cb{i})(void);\n"));
+            }
+            for i in 0..scalars {
+                body.push_str(&format!("    u64 x{i};\n"));
+            }
+            let src = format!("struct s {{\n{body}}};");
+            let f = parse_file("gen.c", &src);
+            let t = TypeTable::new(&f.structs, &f.typedefs);
+            assert_eq!(t.direct_callbacks("s"), fnptrs);
+            assert_eq!(t.spoofable_callbacks("s", 4), 0);
+            assert_eq!(t.heap_pointers("s"), 0, "no data pointers declared");
         }
-        for i in 0..scalars {
-            body.push_str(&format!("    u64 x{i};\n"));
-        }
-        let src = format!("struct s {{\n{body}}};");
-        let f = parse_file("gen.c", &src);
-        let t = TypeTable::new(&f.structs, &f.typedefs);
-        prop_assert_eq!(t.direct_callbacks("s"), fnptrs);
-        prop_assert_eq!(t.spoofable_callbacks("s", 4), 0);
-        prop_assert_eq!(t.heap_pointers("s"), 0, "no data pointers declared");
     }
+}
 
-    #[test]
-    fn heap_pointer_census_counts_exactly(ptrs in 0usize..8, scalars in 0usize..8) {
-        let mut body = String::new();
-        for i in 0..ptrs {
-            body.push_str(&format!("    void *p{i};\n"));
+#[test]
+fn heap_pointer_census_counts_exactly() {
+    for ptrs in 0usize..8 {
+        for scalars in 0usize..8 {
+            let mut body = String::new();
+            for i in 0..ptrs {
+                body.push_str(&format!("    void *p{i};\n"));
+            }
+            for i in 0..scalars {
+                body.push_str(&format!("    u32 x{i};\n"));
+            }
+            let src = format!("struct s {{\n{body}}};");
+            let f = parse_file("gen.c", &src);
+            let t = TypeTable::new(&f.structs, &f.typedefs);
+            assert_eq!(t.heap_pointers("s"), ptrs);
+            assert_eq!(t.direct_callbacks("s"), 0);
         }
-        for i in 0..scalars {
-            body.push_str(&format!("    u32 x{i};\n"));
-        }
-        let src = format!("struct s {{\n{body}}};");
-        let f = parse_file("gen.c", &src);
-        let t = TypeTable::new(&f.structs, &f.typedefs);
-        prop_assert_eq!(t.heap_pointers("s"), ptrs);
-        prop_assert_eq!(t.direct_callbacks("s"), 0);
     }
+}
 
-    #[test]
-    fn generated_driver_analysis_is_stable(seed in any::<u64>()) {
-        // Any generator seed must produce a parseable corpus with the
-        // same number of findings as dma-map call sites.
+#[test]
+fn generated_driver_analysis_is_stable() {
+    // Any generator seed must produce a parseable corpus with the
+    // same number of findings as dma-map call sites.
+    let mut meta = DetRng::new(0x68);
+    for case in 0..4 {
+        let seed = meta.next_u64();
         let mix = spade::corpus::CorpusMix {
             frag_skb_files: 3,
             frag_only_files: 2,
@@ -130,11 +219,15 @@ proptest! {
             clean_files: 2,
         };
         let corpus = spade::corpus::full_corpus(&mix, seed);
-        let tree = spade::xref::SourceTree::load(corpus.iter().map(|(p, s)| (p.as_str(), s.as_str())));
+        let tree =
+            spade::xref::SourceTree::load(corpus.iter().map(|(p, s)| (p.as_str(), s.as_str())));
         let findings = spade::analysis::analyze(&tree);
-        prop_assert!(findings.len() >= 14, "at least one finding per generated call site");
+        assert!(
+            findings.len() >= 14,
+            "case {case} seed={seed}: at least one finding per generated call site"
+        );
         // Determinism: same seed, same result.
         let corpus2 = spade::corpus::full_corpus(&mix, seed);
-        prop_assert_eq!(corpus, corpus2);
+        assert_eq!(corpus, corpus2, "case {case} seed={seed}");
     }
 }

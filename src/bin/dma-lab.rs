@@ -91,6 +91,7 @@ fn main() {
         "surveil" => cmd_surveil(&args),
         "dos" => cmd_dos(&args),
         "dump" => cmd_dump(&args),
+        "chaos" => cmd_chaos(&args),
         _ => {
             print!("{}", HELP);
             0
@@ -106,13 +107,14 @@ Presence of an IOMMU' (EuroSys '21)
 USAGE:
     dma-lab layout
     dma-lab spade [--filter PATH-SUBSTRING] [--seed N] [--tsv 1]
-    dma-lab dkasan [--rounds N] [--seed N]
     dma-lab survey [--boots N] [--profile 5.0|4.15]
     dma-lab attack <ringflood|poisoned-tx|forward-thinking|single-step>
                    [--window i|ii|iii] [--seed N]
     dma-lab surveil [--seed N]
     dma-lab dos [--seed N]
     dma-lab dump [--seed N] [--start PFN] [--frames N]
+    dma-lab dkasan [--rounds N] [--seed N] [--faults SEED]
+    dma-lab chaos [--seed N] [--runs N]
 ";
 
 fn cmd_layout(args: &Args) -> i32 {
@@ -167,6 +169,7 @@ fn cmd_dkasan(args: &Args) -> i32 {
     let cfg = WorkloadConfig {
         rounds: args.u64_flag("rounds", 200) as usize,
         seed: args.u64_flag("seed", 0xd0_ca5a),
+        fault_seed: args.str_flag("faults").and_then(|v| v.parse::<u64>().ok()),
     };
     match run_workload(cfg) {
         Ok(report) => {
@@ -187,6 +190,44 @@ fn cmd_dkasan(args: &Args) -> i32 {
             1
         }
     }
+}
+
+fn cmd_chaos(args: &Args) -> i32 {
+    use dma_lab::devsim::chaos::run_soak;
+    let base = args.u64_flag("seed", 1);
+    let runs = args.u64_flag("runs", 8);
+    println!(
+        "{:>18}  {:>6} {:>7} {:>8} {:>6}  fault sites hit",
+        "seed", "echoed", "dropped", "injected", "leaked"
+    );
+    let mut failed = 0;
+    for seed in base..base + runs {
+        match run_soak(seed) {
+            Ok(r) => {
+                let sites: Vec<String> = r
+                    .hits_by_site
+                    .iter()
+                    .map(|(s, n)| format!("{s}×{n}"))
+                    .collect();
+                println!(
+                    "{seed:>18}  {:>6} {:>7} {:>8} {:>6}  {}",
+                    r.delivered + r.echoed,
+                    r.dropped,
+                    r.injected_total,
+                    r.leaked_pages,
+                    sites.join(" ")
+                );
+                if r.leaked_pages > 0 {
+                    failed += 1;
+                }
+            }
+            Err(e) => {
+                println!("{seed:>18}  SOAK FAILED: {e}");
+                failed += 1;
+            }
+        }
+    }
+    i32::from(failed > 0)
 }
 
 fn cmd_survey(args: &Args) -> i32 {

@@ -58,6 +58,7 @@ fn characterize_detect_exploit_defend() {
     let report = run_workload(WorkloadConfig {
         rounds: 80,
         seed: 0xabc,
+        fault_seed: None,
     })
     .unwrap();
     assert!(report.count(FindingKind::AllocAfterMap) > 0);
