@@ -1,53 +1,29 @@
 //! D-KASAN overhead (§4.3: "a run-time tool that has a large memory
 //! footprint and the obvious overhead of callbacks on each memory
 //! access"): event-replay throughput, the Figure-3 workload, and the
-//! co-location ablation (shared kmalloc caches vs isolated pages).
+//! deterministic shadow-cost profile exported to
+//! `BENCH_observability.json`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::synth_events;
+use criterion::{criterion_group, Criterion};
 use dkasan::{run_workload, DKasan, FindingKind, WorkloadConfig};
-use dma_core::vuln::DmaDirection;
-use dma_core::{Event, Iova, Kva};
+use dma_core::Metrics;
 
-fn synth_events(n: usize) -> Vec<Event> {
-    let page = 0xffff_8880_0100_0000u64;
-    (0..n)
-        .map(|i| {
-            let k = page + ((i as u64 * 640) & 0xf_ffff);
-            match i % 4 {
-                0 => Event::Alloc {
-                    at: i as u64,
-                    kva: Kva(k),
-                    size: 512,
-                    site: "site_a",
-                    cache: "kmalloc-512",
-                },
-                1 => Event::DmaMap {
-                    at: i as u64,
-                    device: 1,
-                    iova: Iova(0xf000_0000 + (k & 0xffff)),
-                    kva: Kva(k),
-                    len: 512,
-                    dir: DmaDirection::FromDevice,
-                    site: "map_site",
-                },
-                2 => Event::CpuAccess {
-                    at: i as u64,
-                    kva: Kva(k),
-                    len: 8,
-                    write: true,
-                    site: "cpu_site",
-                },
-                _ => Event::Free {
-                    at: i as u64,
-                    kva: Kva(k.wrapping_sub(1280)),
-                },
-            }
-        })
-        .collect()
+const REPLAY_EVENTS: usize = 10_000;
+
+/// Deterministic section payload: replay the synthetic stream once and
+/// export the engine's own cost metrics (events, shadow updates,
+/// touches-per-event histogram, findings per class).
+fn replay_metrics_json() -> String {
+    let mut dk = DKasan::new();
+    dk.process(&synth_events(REPLAY_EVENTS));
+    let mut m = Metrics::new();
+    dk.publish_metrics(&mut m);
+    m.snapshot(0).to_json()
 }
 
 fn bench_replay(c: &mut Criterion) {
-    let events = synth_events(10_000);
+    let events = synth_events(REPLAY_EVENTS);
     let mut g = c.benchmark_group("dkasan_replay");
     g.sample_size(20);
     g.throughput(criterion::Throughput::Elements(events.len() as u64));
@@ -70,12 +46,7 @@ fn bench_workload(c: &mut Criterion) {
     })
     .unwrap();
     eprintln!("== Figure 3 workload findings ==");
-    for kind in [
-        FindingKind::AllocAfterMap,
-        FindingKind::MapAfterAlloc,
-        FindingKind::AccessAfterMap,
-        FindingKind::MultipleMap,
-    ] {
+    for kind in FindingKind::ALL {
         eprintln!("  {:<18} {}", kind.to_string(), report.count(kind));
     }
 
@@ -100,4 +71,11 @@ fn bench_workload(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_replay, bench_workload);
-criterion_main!(benches);
+
+fn main() {
+    let mut c = benches();
+    let det = vec![("replay_10k_events", replay_metrics_json())];
+    let results = c.take_results();
+    let path = bench::emit_section("dkasan", &det, &results).expect("write bench section");
+    eprintln!("section written: {}", path.display());
+}

@@ -1,3 +1,269 @@
-//! The benchmark crate has no library surface: all content lives in
-//! `benches/` (one Criterion harness per table/figure of the paper —
-//! see the workspace README for the index).
+//! The shared benchmark harness: workload builders used by several
+//! `benches/` targets, plus the `BENCH_observability.json` emitter.
+//!
+//! Each bench run produces two kinds of numbers, and the export keeps
+//! them apart:
+//!
+//! - **deterministic** — simulated-cycle metrics snapshots taken from
+//!   seeded runs. Same binary, same seed, byte-identical section.
+//! - **timing** — wall-clock [`BenchResult`]s from the criterion shim.
+//!   These vary run to run and machine to machine by nature.
+//!
+//! Because `cargo bench` runs every `[[bench]]` target as its own
+//! process, each harness writes one *section* file under
+//! `target/bench-sections/` and then reassembles the combined
+//! `BENCH_observability.json` at the repo root from whatever sections
+//! exist. Running a single bench refreshes its section and the roll-up;
+//! running them all yields the complete report.
+
+use criterion::{BenchResult, Throughput};
+use dma_core::jsonw::JsonWriter;
+use dma_core::vuln::DmaDirection;
+use dma_core::{Event, Iova, Kva, SimCtx};
+use sim_iommu::{dma_map_single, dma_unmap_single, InvalidationMode, Iommu, IommuConfig};
+use sim_mem::{MemConfig, MemorySystem};
+use std::path::PathBuf;
+
+/// Repo root (the bench crate lives at `crates/bench`).
+pub fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn sections_dir() -> PathBuf {
+    repo_root().join("target/bench-sections")
+}
+
+/// Path of the combined report the harness assembles.
+pub fn report_path() -> PathBuf {
+    repo_root().join("BENCH_observability.json")
+}
+
+// ---------------------------------------------------------------------
+// Shared workload builders.
+// ---------------------------------------------------------------------
+
+/// A synthetic alloc/map/access/free event stream for D-KASAN replay
+/// benchmarks: `n` events cycling through the four event classes over a
+/// sliding window of kmalloc-512 objects.
+pub fn synth_events(n: usize) -> Vec<Event> {
+    let page = 0xffff_8880_0100_0000u64;
+    (0..n)
+        .map(|i| {
+            let k = page + ((i as u64 * 640) & 0xf_ffff);
+            match i % 4 {
+                0 => Event::Alloc {
+                    at: i as u64,
+                    kva: Kva(k),
+                    size: 512,
+                    site: "site_a",
+                    cache: "kmalloc-512",
+                },
+                1 => Event::DmaMap {
+                    at: i as u64,
+                    device: 1,
+                    iova: Iova(0xf000_0000 + (k & 0xffff)),
+                    kva: Kva(k),
+                    len: 512,
+                    dir: DmaDirection::FromDevice,
+                    site: "map_site",
+                },
+                2 => Event::CpuAccess {
+                    at: i as u64,
+                    kva: Kva(k),
+                    len: 8,
+                    write: true,
+                    site: "cpu_site",
+                },
+                _ => Event::Free {
+                    at: i as u64,
+                    kva: Kva(k.wrapping_sub(1280)),
+                },
+            }
+        })
+        .collect()
+}
+
+/// A fresh single-device machine (memory + IOMMU) for map/unmap and
+/// translation benchmarks.
+pub fn iommu_setup(mode: InvalidationMode) -> (SimCtx, MemorySystem, Iommu) {
+    let ctx = SimCtx::new();
+    let mem = MemorySystem::new(&MemConfig::default());
+    let mut iommu = Iommu::new(IommuConfig {
+        mode,
+        ..Default::default()
+    });
+    iommu.attach_device(1);
+    (ctx, mem, iommu)
+}
+
+/// One full I/O: kmalloc, map, device DMA write, unmap, kfree.
+pub fn one_io(ctx: &mut SimCtx, mem: &mut MemorySystem, iommu: &mut Iommu) {
+    let buf = mem.kmalloc(ctx, 2048, "io").unwrap();
+    let m = dma_map_single(
+        ctx,
+        iommu,
+        &mem.layout,
+        1,
+        buf,
+        2048,
+        DmaDirection::FromDevice,
+        "m",
+    )
+    .unwrap();
+    iommu
+        .dev_write(ctx, &mut mem.phys, 1, m.iova, b"payload")
+        .unwrap();
+    dma_unmap_single(ctx, iommu, &m).unwrap();
+    mem.kfree(ctx, buf).unwrap();
+}
+
+/// Runs `ios` full I/O cycles under `mode`, lets any pending deferred
+/// flush fire, and returns the deterministic metrics snapshot as JSON —
+/// IOTLB hit/miss/stale counters, flush counts, map/unmap latency
+/// histograms, and (in deferred mode) the §5.2.1 stale-window
+/// distribution.
+pub fn iotlb_series_json(mode: InvalidationMode, ios: usize) -> String {
+    let (mut ctx, mut mem, mut iommu) = iommu_setup(mode);
+    for _ in 0..ios {
+        one_io(&mut ctx, &mut mem, &mut iommu);
+    }
+    ctx.clock.advance_ms(11);
+    iommu.tick(&mut ctx);
+    ctx.metrics_snapshot().to_json()
+}
+
+// ---------------------------------------------------------------------
+// BENCH_observability.json emitter.
+// ---------------------------------------------------------------------
+
+fn render_results(w: &mut JsonWriter, results: &[BenchResult]) {
+    w.arr(|w| {
+        for r in results {
+            w.elem(|w| {
+                w.obj(|w| {
+                    w.field_str("group", &r.group);
+                    w.field_str("id", &r.id);
+                    w.field_u64("iters", r.iters);
+                    w.field_u64("ns_per_iter", r.ns_per_iter);
+                    match r.throughput {
+                        Some(Throughput::Elements(n)) => w.field_u64("elements_per_iter", n),
+                        Some(Throughput::Bytes(n)) => w.field_u64("bytes_per_iter", n),
+                        None => {}
+                    }
+                });
+            });
+        }
+    });
+}
+
+/// Writes one bench harness's section file. `deterministic` maps a
+/// label to an already-rendered JSON document (normally a
+/// `Snapshot::to_json()` string); `timing` holds the shim's wall-clock
+/// results. Returns the section path.
+pub fn emit_section(
+    name: &str,
+    deterministic: &[(&str, String)],
+    timing: &[BenchResult],
+) -> std::io::Result<PathBuf> {
+    let mut w = JsonWriter::new();
+    w.obj(|w| {
+        w.field_str("section", name);
+        w.field("deterministic", |w| {
+            w.obj(|w| {
+                for (label, json) in deterministic {
+                    w.field(label, |w| w.raw(json));
+                }
+            });
+        });
+        w.field("timing", |w| render_results(w, timing));
+    });
+    let dir = sections_dir();
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{name}.json"));
+    std::fs::write(&path, w.finish())?;
+    assemble()?;
+    Ok(path)
+}
+
+/// Reassembles `BENCH_observability.json` from every section file
+/// currently present, in sorted (deterministic) section order.
+pub fn assemble() -> std::io::Result<PathBuf> {
+    let mut sections = Vec::new();
+    if let Ok(entries) = std::fs::read_dir(sections_dir()) {
+        for e in entries.flatten() {
+            if e.path().extension().is_some_and(|x| x == "json") {
+                sections.push((
+                    e.path()
+                        .file_stem()
+                        .unwrap_or_default()
+                        .to_string_lossy()
+                        .into_owned(),
+                    std::fs::read_to_string(e.path())?,
+                ));
+            }
+        }
+    }
+    sections.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut w = JsonWriter::new();
+    w.obj(|w| {
+        w.field_str("report", "observability");
+        w.field("sections", |w| {
+            w.obj(|w| {
+                for (name, body) in &sections {
+                    w.field(name, |w| w.raw(body));
+                }
+            });
+        });
+    });
+    let path = report_path();
+    std::fs::write(&path, w.finish())?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synth_events_cycle_all_four_classes() {
+        let evs = synth_events(8);
+        assert_eq!(evs.len(), 8);
+        assert!(matches!(evs[0], Event::Alloc { .. }));
+        assert!(matches!(evs[1], Event::DmaMap { .. }));
+        assert!(matches!(evs[2], Event::CpuAccess { .. }));
+        assert!(matches!(evs[3], Event::Free { .. }));
+    }
+
+    #[test]
+    fn iotlb_series_is_deterministic_and_mode_sensitive() {
+        let a = iotlb_series_json(InvalidationMode::Deferred, 50);
+        let b = iotlb_series_json(InvalidationMode::Deferred, 50);
+        assert_eq!(a, b, "same mode and count must render byte-identically");
+        assert!(a.contains("sim_iommu.stale_window.cycles"), "{a}");
+        let strict = iotlb_series_json(InvalidationMode::Strict, 50);
+        assert!(strict.contains("sim_iommu.iotlb.invalidate"), "{strict}");
+        assert!(!strict.contains("sim_iommu.stale_window.cycles"));
+    }
+
+    #[test]
+    fn emit_and_assemble_produce_valid_report() {
+        let results = vec![BenchResult {
+            group: "g".into(),
+            id: "b".into(),
+            iters: 3,
+            ns_per_iter: 100,
+            throughput: Some(Throughput::Elements(7)),
+        }];
+        let det = vec![("series", r#"{"x":1}"#.to_string())];
+        let path = emit_section("unit_test_section", &det, &results).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("\"section\":\"unit_test_section\""));
+        assert!(body.contains("\"elements_per_iter\":7"));
+        let report = std::fs::read_to_string(report_path()).unwrap();
+        assert!(report.contains("\"unit_test_section\""));
+        assert!(report.contains("\"report\":\"observability\""));
+        // Clean the marker section up so repeated test runs stay stable.
+        std::fs::remove_file(path).unwrap();
+        assemble().unwrap();
+    }
+}

@@ -22,12 +22,19 @@
 //!   `failslab` / `fail_page_alloc` analog): a [`FaultPlan`] of
 //!   site-tagged rules queried via `SimCtx::fault`, driving the
 //!   graceful-degradation paths in every layer.
+//! - [`metrics`] — the deterministic observability registry carried by
+//!   every [`SimCtx`]: counters, gauges, fixed-bucket histograms, and
+//!   span-scoped cycle attribution, exported as text or JSON.
+//! - [`jsonw`] — the serde-free JSON writer the exporters use so
+//!   machine-readable output stays byte-deterministic.
 
 pub mod addr;
 pub mod clock;
 pub mod error;
 pub mod fault;
+pub mod jsonw;
 pub mod layout;
+pub mod metrics;
 pub mod rng;
 pub mod trace;
 pub mod vuln;
@@ -37,6 +44,7 @@ pub use clock::{Clock, Cycles};
 pub use error::{DmaError, Result};
 pub use fault::{FaultPlan, FaultRule, FaultTrigger};
 pub use layout::{KernelLayout, VmRegion};
+pub use metrics::{Metrics, Snapshot, SpanToken};
 pub use rng::DetRng;
 pub use trace::{Event, SimCtx, Trace};
 pub use vuln::{AccessRight, AttackOutcome, SubPageVulnerability, VulnerabilityAttributes};

@@ -1,0 +1,606 @@
+//! Deterministic per-context metrics: counters, gauges, fixed-bucket
+//! histograms, and span-scoped cycle attribution.
+//!
+//! Everything here is **cycle-stamped and wall-clock-free**: the only
+//! notion of time is the simulated [`crate::Clock`], so the same seed
+//! and workload always produce a bit-identical [`Snapshot`]. There are
+//! no globals — a [`Metrics`] registry lives inside every
+//! [`crate::SimCtx`], mirroring how the fault plan is threaded.
+//!
+//! # Name taxonomy
+//!
+//! Metric names are dotted `subsystem.metric` tags, mirroring the fault
+//! site tags of [`crate::fault`]: `sim_mem.kmalloc.calls`,
+//! `sim_iommu.iotlb.hit`, `sim_net.tx.ring_full`,
+//! `dkasan.shadow.updates`. Names are `&'static str` so recording is
+//! allocation-free; the registry keys on them in a `BTreeMap`, which
+//! also fixes the (deterministic) export order.
+//!
+//! # Histogram bucket policy
+//!
+//! All histograms share one fixed bucket layout: powers of two from 1
+//! to 2^30, plus an overflow bucket. A recorded value `v` lands in the
+//! first bucket whose upper bound is `>= v` (value 0 lands in the `<=1`
+//! bucket). The layout never adapts to data, so two runs that record
+//! the same values always render the same buckets.
+
+use crate::clock::Cycles;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Number of finite histogram buckets (upper bounds 2^0 .. 2^30).
+pub const HIST_BUCKETS: usize = 31;
+
+/// Upper bound of finite bucket `i` (`2^i`).
+#[inline]
+pub fn bucket_bound(i: usize) -> u64 {
+    1u64 << i
+}
+
+/// Index of the bucket a value lands in; `HIST_BUCKETS` = overflow.
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v <= 1 {
+        return 0;
+    }
+    let idx = 64 - (v - 1).leading_zeros() as usize;
+    idx.min(HIST_BUCKETS)
+}
+
+/// A gauge: the last set value plus its observed extremes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Gauge {
+    /// Most recently set value.
+    pub value: u64,
+    /// Smallest value ever set.
+    pub min: u64,
+    /// Largest value ever set (the high-water mark).
+    pub max: u64,
+    /// Number of times the gauge was set.
+    pub sets: u64,
+}
+
+/// A fixed-bucket histogram (see the module docs for the bucket policy).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    /// Finite buckets plus one overflow bucket.
+    pub buckets: [u64; HIST_BUCKETS + 1],
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Largest recorded value.
+    pub max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; HIST_BUCKETS + 1],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one value.
+    #[inline]
+    pub fn observe(&mut self, v: u64) {
+        self.buckets[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.max = self.max.max(v);
+    }
+
+    /// Mean of the recorded values (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Smallest bucket upper bound covering at least `q` per mille of
+    /// the recorded values — a deterministic quantile approximation.
+    pub fn quantile_bound(&self, q_permille: u64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let want = (self.count * q_permille).div_ceil(1000);
+        let mut seen = 0;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= want {
+                return if i == HIST_BUCKETS {
+                    u64::MAX
+                } else {
+                    bucket_bound(i)
+                };
+            }
+        }
+        u64::MAX
+    }
+}
+
+/// One completed span occurrence on the timeline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Span name (`phase.subphase` style).
+    pub name: &'static str,
+    /// Cycle the span was entered.
+    pub start: Cycles,
+    /// Cycle the span was exited.
+    pub end: Cycles,
+    /// Nesting depth at entry (0 = top level).
+    pub depth: u32,
+}
+
+/// Aggregated per-name span statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SpanAgg {
+    /// Completed occurrences.
+    pub count: u64,
+    /// Total inclusive cycles across occurrences.
+    pub total_cycles: Cycles,
+    /// Longest single occurrence.
+    pub max_cycles: Cycles,
+}
+
+/// Opaque token returned by `span_begin`, consumed by `span_end`.
+/// Spans must nest (LIFO); ending out of order records the top span.
+#[derive(Debug)]
+#[must_use = "pass this token to SimCtx::span_end"]
+pub struct SpanToken(pub(crate) usize);
+
+/// Cap on stored timeline records; aggregates keep counting past it.
+pub const TIMELINE_CAP: usize = 4096;
+
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+struct SpanSet {
+    stack: Vec<(&'static str, Cycles)>,
+    timeline: Vec<SpanRecord>,
+    agg: BTreeMap<&'static str, SpanAgg>,
+    timeline_dropped: u64,
+}
+
+/// The per-context metric registry. Cheap when untouched: every table
+/// starts empty and only grows on first use of a name.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Metrics {
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, Gauge>,
+    hists: BTreeMap<&'static str, Histogram>,
+    spans: SpanSet,
+}
+
+impl Metrics {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Adds 1 to counter `name`.
+    #[inline]
+    pub fn incr(&mut self, name: &'static str) {
+        self.add(name, 1);
+    }
+
+    /// Adds `n` to counter `name`.
+    #[inline]
+    pub fn add(&mut self, name: &'static str, n: u64) {
+        *self.counters.entry(name).or_insert(0) += n;
+    }
+
+    /// Sets gauge `name`, updating its min/max watermarks.
+    #[inline]
+    pub fn gauge_set(&mut self, name: &'static str, v: u64) {
+        let g = self.gauges.entry(name).or_insert(Gauge {
+            value: v,
+            min: v,
+            max: v,
+            sets: 0,
+        });
+        g.value = v;
+        g.min = g.min.min(v);
+        g.max = g.max.max(v);
+        g.sets += 1;
+    }
+
+    /// Records `v` into histogram `name`.
+    #[inline]
+    pub fn observe(&mut self, name: &'static str, v: u64) {
+        self.hists.entry(name).or_default().observe(v);
+    }
+
+    /// Merges an externally accumulated histogram into `name`
+    /// (bucket-wise). Lets components without a `SimCtx` — e.g. the
+    /// D-KASAN replay engine — publish their cost profile afterwards.
+    pub fn merge_histogram(&mut self, name: &'static str, h: &Histogram) {
+        let dst = self.hists.entry(name).or_default();
+        for (d, s) in dst.buckets.iter_mut().zip(h.buckets.iter()) {
+            *d += s;
+        }
+        dst.count += h.count;
+        dst.sum += h.sum;
+        dst.max = dst.max.max(h.max);
+    }
+
+    /// Current value of counter `name` (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Gauge `name`, if ever set.
+    pub fn gauge(&self, name: &str) -> Option<Gauge> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Histogram `name`, if ever observed.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.hists.get(name)
+    }
+
+    /// Aggregated stats for span `name`, if it ever completed.
+    pub fn span_agg(&self, name: &str) -> Option<SpanAgg> {
+        self.spans.agg.get(name).copied()
+    }
+
+    /// The stored span timeline (capped at [`TIMELINE_CAP`] records).
+    pub fn span_timeline(&self) -> &[SpanRecord] {
+        &self.spans.timeline
+    }
+
+    /// Number of distinct metric names across all tables.
+    pub fn len(&self) -> usize {
+        self.counters.len() + self.gauges.len() + self.hists.len() + self.spans.agg.len()
+    }
+
+    /// `true` if nothing was ever recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub(crate) fn span_begin_at(&mut self, name: &'static str, now: Cycles) -> SpanToken {
+        self.spans.stack.push((name, now));
+        SpanToken(self.spans.stack.len())
+    }
+
+    pub(crate) fn span_end_at(&mut self, token: SpanToken, now: Cycles) {
+        // Tolerate out-of-order ends: unwind to the token's depth so a
+        // missed inner end cannot corrupt attribution forever.
+        while self.spans.stack.len() >= token.0.max(1) {
+            let Some((name, start)) = self.spans.stack.pop() else {
+                return;
+            };
+            let depth = self.spans.stack.len() as u32;
+            if self.spans.timeline.len() < TIMELINE_CAP {
+                self.spans.timeline.push(SpanRecord {
+                    name,
+                    start,
+                    end: now,
+                    depth,
+                });
+            } else {
+                self.spans.timeline_dropped += 1;
+            }
+            let agg = self.spans.agg.entry(name).or_default();
+            agg.count += 1;
+            agg.total_cycles += now - start;
+            agg.max_cycles = agg.max_cycles.max(now - start);
+            if self.spans.stack.len() < token.0 {
+                break;
+            }
+        }
+    }
+
+    /// Takes a deterministic snapshot, stamped with the current cycle.
+    pub fn snapshot(&self, now: Cycles) -> Snapshot {
+        Snapshot {
+            at: now,
+            counters: self
+                .counters
+                .iter()
+                .map(|(k, v)| (k.to_string(), *v))
+                .collect(),
+            gauges: self
+                .gauges
+                .iter()
+                .map(|(k, v)| (k.to_string(), *v))
+                .collect(),
+            hists: self
+                .hists
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+            spans: self
+                .spans
+                .agg
+                .iter()
+                .map(|(k, v)| (k.to_string(), *v))
+                .collect(),
+            timeline_dropped: self.spans.timeline_dropped,
+        }
+    }
+}
+
+/// A frozen, export-ready view of a [`Metrics`] registry.
+///
+/// Field order inside every table is the `BTreeMap` (lexicographic)
+/// order of the source registry, so both renderers below are
+/// byte-deterministic for a given simulation history.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Simulated cycle the snapshot was taken at.
+    pub at: Cycles,
+    /// Counter table.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge table.
+    pub gauges: Vec<(String, Gauge)>,
+    /// Histogram table.
+    pub hists: Vec<(String, Histogram)>,
+    /// Span aggregates.
+    pub spans: Vec<(String, SpanAgg)>,
+    /// Timeline records dropped past [`TIMELINE_CAP`].
+    pub timeline_dropped: u64,
+}
+
+impl Snapshot {
+    /// Total number of distinct metrics in the snapshot.
+    pub fn len(&self) -> usize {
+        self.counters.len() + self.gauges.len() + self.hists.len() + self.spans.len()
+    }
+
+    /// `true` when the snapshot carries no metrics.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Human-readable table rendering.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "metrics @ {} cycles", self.at);
+        if !self.counters.is_empty() {
+            let _ = writeln!(out, "\ncounters:");
+            for (k, v) in &self.counters {
+                let _ = writeln!(out, "  {k:<40} {v:>12}");
+            }
+        }
+        if !self.gauges.is_empty() {
+            let _ = writeln!(
+                out,
+                "\ngauges:                                           cur          min          max"
+            );
+            for (k, g) in &self.gauges {
+                let _ = writeln!(out, "  {k:<40} {:>12} {:>12} {:>12}", g.value, g.min, g.max);
+            }
+        }
+        if !self.hists.is_empty() {
+            let _ = writeln!(out, "\nhistograms:                                     count         mean          p99          max");
+            for (k, h) in &self.hists {
+                let _ = writeln!(
+                    out,
+                    "  {k:<40} {:>12} {:>12} {:>12} {:>12}",
+                    h.count,
+                    h.mean(),
+                    h.quantile_bound(990),
+                    h.max
+                );
+            }
+        }
+        if !self.spans.is_empty() {
+            let _ = writeln!(
+                out,
+                "\nspans:                                          count       cycles   max_cycles"
+            );
+            for (k, s) in &self.spans {
+                let _ = writeln!(
+                    out,
+                    "  {k:<40} {:>12} {:>12} {:>12}",
+                    s.count, s.total_cycles, s.max_cycles
+                );
+            }
+        }
+        out
+    }
+
+    /// Machine-readable rendering: serde-free, hand-rolled JSON with
+    /// sorted keys and integer-only values — byte-identical for
+    /// identical simulation histories.
+    pub fn to_json(&self) -> String {
+        let mut w = crate::jsonw::JsonWriter::new();
+        w.obj(|w| {
+            w.field_u64("at_cycles", self.at);
+            w.field("counters", |w| {
+                w.obj(|w| {
+                    for (k, v) in &self.counters {
+                        w.field_u64(k, *v);
+                    }
+                });
+            });
+            w.field("gauges", |w| {
+                w.obj(|w| {
+                    for (k, g) in &self.gauges {
+                        w.field(k, |w| {
+                            w.obj(|w| {
+                                w.field_u64("value", g.value);
+                                w.field_u64("min", g.min);
+                                w.field_u64("max", g.max);
+                                w.field_u64("sets", g.sets);
+                            });
+                        });
+                    }
+                });
+            });
+            w.field("histograms", |w| {
+                w.obj(|w| {
+                    for (k, h) in &self.hists {
+                        w.field(k, |w| {
+                            w.obj(|w| {
+                                w.field_u64("count", h.count);
+                                w.field_u64("sum", h.sum);
+                                w.field_u64("max", h.max);
+                                w.field_u64("mean", h.mean());
+                                w.field("buckets", |w| {
+                                    w.arr(|w| {
+                                        // Only non-empty buckets, as
+                                        // [bound, count] pairs; the
+                                        // overflow bucket uses bound 0.
+                                        for (i, c) in h.buckets.iter().enumerate() {
+                                            if *c == 0 {
+                                                continue;
+                                            }
+                                            let bound = if i == HIST_BUCKETS {
+                                                0
+                                            } else {
+                                                bucket_bound(i)
+                                            };
+                                            w.elem(|w| {
+                                                w.arr(|w| {
+                                                    w.elem(|w| w.u64(bound));
+                                                    w.elem(|w| w.u64(*c));
+                                                });
+                                            });
+                                        }
+                                    });
+                                });
+                            });
+                        });
+                    }
+                });
+            });
+            w.field("spans", |w| {
+                w.obj(|w| {
+                    for (k, s) in &self.spans {
+                        w.field(k, |w| {
+                            w.obj(|w| {
+                                w.field_u64("count", s.count);
+                                w.field_u64("total_cycles", s.total_cycles);
+                                w.field_u64("max_cycles", s.max_cycles);
+                            });
+                        });
+                    }
+                });
+            });
+            w.field_u64("timeline_dropped", self.timeline_dropped);
+        });
+        w.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_ceil_log2() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(5), 3);
+        assert_eq!(bucket_index(1 << 30), 30);
+        assert_eq!(bucket_index((1 << 30) + 1), HIST_BUCKETS);
+        assert_eq!(bucket_index(u64::MAX), HIST_BUCKETS);
+    }
+
+    #[test]
+    fn counters_and_gauges_accumulate() {
+        let mut m = Metrics::new();
+        m.incr("a.calls");
+        m.add("a.calls", 4);
+        m.gauge_set("a.depth", 3);
+        m.gauge_set("a.depth", 9);
+        m.gauge_set("a.depth", 1);
+        assert_eq!(m.counter("a.calls"), 5);
+        let g = m.gauge("a.depth").unwrap();
+        assert_eq!((g.value, g.min, g.max, g.sets), (1, 1, 9, 3));
+    }
+
+    #[test]
+    fn histogram_tracks_count_sum_and_quantiles() {
+        let mut m = Metrics::new();
+        for v in [1u64, 2, 2, 100, 5000] {
+            m.observe("h", v);
+        }
+        let h = m.histogram("h").unwrap();
+        assert_eq!(h.count, 5);
+        assert_eq!(h.sum, 5105);
+        assert_eq!(h.max, 5000);
+        assert_eq!(h.mean(), 1021);
+        assert_eq!(h.quantile_bound(500), 2, "median within the <=2 bucket");
+        assert_eq!(h.quantile_bound(1000), 8192, "max within the <=8192 bucket");
+    }
+
+    #[test]
+    fn spans_nest_and_aggregate() {
+        let mut m = Metrics::new();
+        let outer = m.span_begin_at("outer", 100);
+        let inner = m.span_begin_at("inner", 120);
+        m.span_end_at(inner, 150);
+        m.span_end_at(outer, 200);
+        let tl = m.span_timeline();
+        assert_eq!(tl.len(), 2);
+        assert_eq!(tl[0].name, "inner");
+        assert_eq!(tl[0].depth, 1);
+        assert_eq!(tl[1].name, "outer");
+        assert_eq!(tl[1].depth, 0);
+        assert_eq!(m.span_agg("outer").unwrap().total_cycles, 100);
+        assert_eq!(m.span_agg("inner").unwrap().total_cycles, 30);
+    }
+
+    #[test]
+    fn unbalanced_span_end_unwinds_to_token() {
+        let mut m = Metrics::new();
+        let outer = m.span_begin_at("outer", 0);
+        let _leaked = m.span_begin_at("leaked", 10);
+        // Ending the outer token also closes the leaked inner span.
+        m.span_end_at(outer, 50);
+        assert_eq!(m.span_agg("leaked").unwrap().count, 1);
+        assert_eq!(m.span_agg("outer").unwrap().count, 1);
+        assert!(m.span_timeline().len() == 2);
+    }
+
+    #[test]
+    fn snapshot_json_is_deterministic_and_sorted() {
+        let build = || {
+            let mut m = Metrics::new();
+            m.incr("z.last");
+            m.incr("a.first");
+            m.observe("lat", 7);
+            m.gauge_set("g", 2);
+            let t = m.span_begin_at("phase", 5);
+            m.span_end_at(t, 25);
+            m.snapshot(1234).to_json()
+        };
+        let a = build();
+        assert_eq!(a, build(), "same history must render byte-identically");
+        assert!(a.find("a.first").unwrap() < a.find("z.last").unwrap());
+        assert!(a.contains("\"at_cycles\":1234"));
+    }
+
+    #[test]
+    fn timeline_caps_but_aggregates_keep_counting() {
+        let mut m = Metrics::new();
+        for i in 0..(TIMELINE_CAP as u64 + 10) {
+            let t = m.span_begin_at("hot", i);
+            m.span_end_at(t, i + 1);
+        }
+        assert_eq!(m.span_timeline().len(), TIMELINE_CAP);
+        assert_eq!(m.span_agg("hot").unwrap().count, TIMELINE_CAP as u64 + 10);
+        assert_eq!(m.snapshot(0).timeline_dropped, 10);
+    }
+
+    #[test]
+    fn render_text_lists_every_table() {
+        let mut m = Metrics::new();
+        m.incr("c");
+        m.gauge_set("g", 1);
+        m.observe("h", 2);
+        let t = m.span_begin_at("s", 0);
+        m.span_end_at(t, 1);
+        let txt = m.snapshot(9).render_text();
+        for needle in ["counters:", "gauges:", "histograms:", "spans:", "9 cycles"] {
+            assert!(txt.contains(needle), "missing {needle} in:\n{txt}");
+        }
+    }
+}

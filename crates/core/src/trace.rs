@@ -10,6 +10,7 @@
 use crate::addr::{Iova, Kva, Pfn};
 use crate::clock::{Clock, Cycles};
 use crate::fault::FaultPlan;
+use crate::metrics::{Metrics, Snapshot, SpanToken};
 use crate::vuln::DmaDirection;
 
 /// Identifier of a DMA-capable device (bus/device/function collapsed).
@@ -222,6 +223,8 @@ pub struct SimCtx {
     pub trace: Trace,
     /// Fault-injection schedule; empty (zero-overhead) by default.
     pub faults: FaultPlan,
+    /// Deterministic metric registry (counters/gauges/histograms/spans).
+    pub metrics: Metrics,
 }
 
 impl SimCtx {
@@ -259,10 +262,55 @@ impl SimCtx {
         if self.faults.should_fail(site) {
             let at = self.clock.now();
             self.trace.emit(Event::FaultInjected { at, site });
+            self.metrics.incr("fault.injected");
             true
         } else {
             false
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Span-scoped tracing.
+    // ------------------------------------------------------------------
+
+    /// Opens a named span at the current cycle. Pair with
+    /// [`SimCtx::span_end`]; spans nest LIFO and their inclusive cycle
+    /// cost is attributed under the span name in the metric registry.
+    #[inline]
+    pub fn span_begin(&mut self, name: &'static str) -> SpanToken {
+        let now = self.clock.now();
+        self.metrics.span_begin_at(name, now)
+    }
+
+    /// Closes a span opened by [`SimCtx::span_begin`], recording its
+    /// occurrence on the timeline and in the per-name aggregate. Ending
+    /// an outer token first also closes any still-open inner spans.
+    #[inline]
+    pub fn span_end(&mut self, token: SpanToken) {
+        let now = self.clock.now();
+        self.metrics.span_end_at(token, now);
+    }
+
+    /// Runs `f` inside a named span — the closure-scoped convenience
+    /// form of `span_begin`/`span_end`.
+    ///
+    /// ```
+    /// use dma_core::SimCtx;
+    /// let mut ctx = SimCtx::new();
+    /// ctx.span("rx.refill", |ctx| ctx.clock.advance(100));
+    /// assert_eq!(ctx.metrics.span_agg("rx.refill").unwrap().total_cycles, 100);
+    /// ```
+    pub fn span<R>(&mut self, name: &'static str, f: impl FnOnce(&mut SimCtx) -> R) -> R {
+        let token = self.span_begin(name);
+        let r = f(self);
+        self.span_end(token);
+        r
+    }
+
+    /// Takes a deterministic metrics snapshot stamped with the current
+    /// simulated time.
+    pub fn metrics_snapshot(&self) -> Snapshot {
+        self.metrics.snapshot(self.clock.now())
     }
 }
 
@@ -313,6 +361,30 @@ mod tests {
             ctx.trace.events()[0],
             Event::FaultInjected { site: "t.op", .. }
         ));
+    }
+
+    #[test]
+    fn fault_hits_bump_the_injected_counter() {
+        let mut ctx = SimCtx::new();
+        ctx.faults = crate::fault::FaultPlan::seeded(1).fail_always("t.op");
+        assert!(ctx.fault("t.op"));
+        assert!(ctx.fault("t.op"));
+        assert_eq!(ctx.metrics.counter("fault.injected"), 2);
+    }
+
+    #[test]
+    fn spans_attribute_clock_advances() {
+        let mut ctx = SimCtx::new();
+        let outer = ctx.span_begin("outer");
+        ctx.clock.advance(10);
+        ctx.span("inner", |ctx| ctx.clock.advance(5));
+        ctx.clock.advance(1);
+        ctx.span_end(outer);
+        assert_eq!(ctx.metrics.span_agg("outer").unwrap().total_cycles, 16);
+        assert_eq!(ctx.metrics.span_agg("inner").unwrap().total_cycles, 5);
+        let snap = ctx.metrics_snapshot();
+        assert_eq!(snap.at, 16);
+        assert_eq!(snap.spans.len(), 2);
     }
 
     #[test]

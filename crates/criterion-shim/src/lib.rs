@@ -67,12 +67,30 @@ pub enum Throughput {
     Bytes(u64),
 }
 
+/// One finished benchmark measurement, kept by [`Criterion`] so a
+/// harness can export machine-readable results after the run (the real
+/// criterion writes these under `target/criterion/`; the shim hands
+/// them to the caller instead).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BenchResult {
+    /// Group the benchmark ran in.
+    pub group: String,
+    /// Benchmark id within the group.
+    pub id: String,
+    /// Iterations measured.
+    pub iters: u64,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub ns_per_iter: u64,
+    /// Declared per-iteration work, if any.
+    pub throughput: Option<Throughput>,
+}
+
 /// A named group of related benchmarks.
 pub struct BenchmarkGroup<'a> {
     name: String,
     samples: u64,
     throughput: Option<Throughput>,
-    _parent: &'a mut Criterion,
+    parent: &'a mut Criterion,
 }
 
 impl BenchmarkGroup<'_> {
@@ -122,6 +140,13 @@ impl BenchmarkGroup<'_> {
             "{}/{}: {} ns/iter ({} iters){rate}",
             self.name, id, per_iter, b.iters
         );
+        self.parent.results.push(BenchResult {
+            group: self.name.clone(),
+            id,
+            iters: b.iters,
+            ns_per_iter: per_iter as u64,
+            throughput: self.throughput,
+        });
         self
     }
 
@@ -133,12 +158,21 @@ impl BenchmarkGroup<'_> {
 #[derive(Default)]
 pub struct Criterion {
     samples: u64,
+    results: Vec<BenchResult>,
 }
 
 impl Criterion {
     /// Default configuration: 20 iterations per benchmark.
     pub fn new() -> Self {
-        Criterion { samples: 20 }
+        Criterion {
+            samples: 20,
+            results: Vec::new(),
+        }
+    }
+
+    /// Drains every [`BenchResult`] recorded so far, in run order.
+    pub fn take_results(&mut self) -> Vec<BenchResult> {
+        std::mem::take(&mut self.results)
     }
 
     /// Opens a named benchmark group.
@@ -148,7 +182,7 @@ impl Criterion {
             name: name.into(),
             samples,
             throughput: None,
-            _parent: self,
+            parent: self,
         }
     }
 
@@ -162,13 +196,18 @@ impl Criterion {
     }
 }
 
-/// Declares the benchmark list, mirroring criterion's macro.
+/// Declares the benchmark list, mirroring criterion's macro. The
+/// generated function returns the [`Criterion`] instance so a harness
+/// `main` can drain [`Criterion::take_results`] after the run;
+/// [`criterion_main!`] ignores the return value, matching the real
+/// criterion's `()`-returning groups.
 #[macro_export]
 macro_rules! criterion_group {
     ($name:ident, $($target:path),+ $(,)?) => {
-        pub fn $name() {
+        pub fn $name() -> $crate::Criterion {
             let mut c = $crate::Criterion::new();
             $( $target(&mut c); )+
+            c
         }
     };
 }
@@ -178,7 +217,7 @@ macro_rules! criterion_group {
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
-            $( $group(); )+
+            $( let _ = $group(); )+
         }
     };
 }
@@ -196,6 +235,23 @@ mod tests {
         g.bench_function("count", |b| b.iter(|| count += 1));
         g.finish();
         assert_eq!(count, 7);
+    }
+
+    #[test]
+    fn results_are_recorded_and_drained() {
+        let mut c = Criterion::new();
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(3)
+            .throughput(Throughput::Elements(10))
+            .bench_function("work", |b| b.iter(|| 1 + 1));
+        g.finish();
+        let rs = c.take_results();
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs[0].group, "grp");
+        assert_eq!(rs[0].id, "work");
+        assert_eq!(rs[0].iters, 3);
+        assert_eq!(rs[0].throughput, Some(Throughput::Elements(10)));
+        assert!(c.take_results().is_empty(), "drained");
     }
 
     #[test]

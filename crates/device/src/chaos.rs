@@ -56,6 +56,10 @@ pub struct SoakReport {
     /// DMA-mapped pages still held by the device after shutdown.
     /// **Must be zero**: anything else is a leaked mapping.
     pub leaked_pages: usize,
+    /// The full metrics snapshot of the run, rendered as JSON. Part of
+    /// the report (and its `==`) so the replay test also asserts that
+    /// every counter, gauge, histogram, and span is seed-deterministic.
+    pub stats_json: String,
 }
 
 /// Derives a randomized-but-deterministic fault schedule from `seed`:
@@ -130,6 +134,7 @@ pub fn run_soak(seed: u64) -> Result<SoakReport> {
             Ok(()) => {}
             Err(e) if tolerated(&e) => {
                 dropped += 1;
+                tb.ctx.metrics.incr("fault.recovered");
                 // A starved ring cannot recover through rx_poll (nothing
                 // completes), so kick the refill worker like a real
                 // driver's NAPI reschedule would.
@@ -152,7 +157,10 @@ pub fn run_soak(seed: u64) -> Result<SoakReport> {
         if rng.chance(1, 12) {
             match tb.complete_all_tx() {
                 Ok(_) => {}
-                Err(e) if tolerated(&e) => dropped += 1,
+                Err(e) if tolerated(&e) => {
+                    dropped += 1;
+                    tb.ctx.metrics.incr("fault.recovered");
+                }
                 Err(e) => return Err(e),
             }
         }
@@ -165,6 +173,7 @@ pub fn run_soak(seed: u64) -> Result<SoakReport> {
     let injected_total = tb.ctx.faults.injected_total();
     let hits_by_site = tb.ctx.faults.hits_by_site().clone();
     let leaked_pages = tb.shutdown()?;
+    let stats_json = tb.ctx.metrics_snapshot().to_json();
     Ok(SoakReport {
         seed,
         delivered,
@@ -175,6 +184,7 @@ pub fn run_soak(seed: u64) -> Result<SoakReport> {
         rx_alloc_failed,
         tx_ring_full,
         leaked_pages,
+        stats_json,
     })
 }
 

@@ -24,5 +24,5 @@ pub mod shadow;
 pub mod workload;
 
 pub use report::{DKasanFinding, FindingKind, Summary};
-pub use shadow::DKasan;
+pub use shadow::{DKasan, DKasanStats};
 pub use workload::{run_workload, WorkloadConfig, WorkloadReport};

@@ -23,6 +23,27 @@ pub enum FindingKind {
     MultipleMap,
 }
 
+impl FindingKind {
+    /// Every report class, in a fixed order (metric export, summaries).
+    pub const ALL: [FindingKind; 4] = [
+        FindingKind::AllocAfterMap,
+        FindingKind::MapAfterAlloc,
+        FindingKind::AccessAfterMap,
+        FindingKind::MultipleMap,
+    ];
+
+    /// Dotted metric name for this class, following the
+    /// `subsystem.metric` taxonomy of `dma_core::metrics`.
+    pub fn metric_name(&self) -> &'static str {
+        match self {
+            FindingKind::AllocAfterMap => "dkasan.findings.alloc_after_map",
+            FindingKind::MapAfterAlloc => "dkasan.findings.map_after_alloc",
+            FindingKind::AccessAfterMap => "dkasan.findings.access_after_map",
+            FindingKind::MultipleMap => "dkasan.findings.multiple_map",
+        }
+    }
+}
+
 impl std::fmt::Display for FindingKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {

@@ -7,10 +7,25 @@
 //! live DMA mappings (with device, rights, and mapping site).
 
 use crate::report::{DKasanFinding, FindingKind};
+use dma_core::metrics::{Histogram, Metrics};
 use dma_core::trace::DeviceId;
 use dma_core::vuln::AccessRight;
 use dma_core::{Event, Kva, PAGE_SIZE};
 use std::collections::HashMap;
+
+/// Replay-cost counters: what D-KASAN's shadow maintenance costs, in
+/// shadow-entry touches. The replay engine has no `SimCtx`, so these
+/// accumulate internally and are published into a [`Metrics`] registry
+/// afterwards via [`DKasan::publish_metrics`].
+#[derive(Clone, Debug, Default)]
+pub struct DKasanStats {
+    /// Events replayed.
+    pub events: u64,
+    /// Page-shadow entries mutated across all replayed events.
+    pub shadow_updates: u64,
+    /// Shadow entries mutated per event (the per-event cost profile).
+    pub touches_per_event: Histogram,
+}
 
 #[derive(Clone, Debug)]
 struct LiveObject {
@@ -69,6 +84,8 @@ pub struct DKasan {
     /// (the operation failed); tracking the injections keeps the report
     /// explainable instead of silently dropping the events.
     faults: std::collections::BTreeMap<&'static str, u64>,
+    /// Replay-cost counters (see [`DKasanStats`]).
+    stats: DKasanStats,
 }
 
 fn pages_of(kva: Kva, len: usize) -> Vec<u64> {
@@ -111,6 +128,15 @@ impl DKasan {
     }
 
     fn step(&mut self, ev: &Event) {
+        self.stats.events += 1;
+        let before = self.stats.shadow_updates;
+        self.dispatch(ev);
+        self.stats
+            .touches_per_event
+            .observe(self.stats.shadow_updates - before);
+    }
+
+    fn dispatch(&mut self, ev: &Event) {
         match ev {
             Event::Alloc {
                 kva, size, site, ..
@@ -166,6 +192,7 @@ impl DKasan {
                 page: kva.page_align_down().raw(),
             });
         }
+        self.stats.shadow_updates += keys.len() as u64;
         for k in &keys {
             self.pages
                 .entry(*k)
@@ -178,6 +205,7 @@ impl DKasan {
 
     fn on_free(&mut self, kva: Kva) {
         if let Some((keys, _)) = self.objects.remove(&kva.raw()) {
+            self.stats.shadow_updates += keys.len() as u64;
             for k in keys {
                 if let Some(p) = self.pages.get_mut(&k) {
                     p.objects.retain(|o| o.kva != kva);
@@ -196,6 +224,7 @@ impl DKasan {
         site: &'static str,
     ) {
         let keys = pages_of(kva, len);
+        self.stats.shadow_updates += keys.len() as u64;
         for k in &keys {
             let page = self.pages.entry(*k).or_default();
             // Class 4: multiple-map (possibly different permissions).
@@ -242,6 +271,7 @@ impl DKasan {
             .mappings
             .remove(&(device, iova & !(PAGE_SIZE as u64 - 1)))
         {
+            self.stats.shadow_updates += keys.len() as u64;
             for k in keys {
                 if let Some(p) = self.pages.get_mut(&k) {
                     if let Some(pos) = p
@@ -271,6 +301,30 @@ impl DKasan {
                 site,
                 page: kva.page_align_down().raw(),
             });
+        }
+    }
+
+    /// Replay-cost counters accumulated so far.
+    pub fn stats(&self) -> &DKasanStats {
+        &self.stats
+    }
+
+    /// Publishes the replay cost and findings census into `m` under the
+    /// `dkasan.*` metric names (additive, so repeated publishes from
+    /// separate replay engines aggregate).
+    pub fn publish_metrics(&self, m: &mut Metrics) {
+        m.add("dkasan.events", self.stats.events);
+        m.add("dkasan.shadow.updates", self.stats.shadow_updates);
+        m.merge_histogram(
+            "dkasan.shadow.touches_per_event",
+            &self.stats.touches_per_event,
+        );
+        m.gauge_set("dkasan.shadow.pages", self.pages.len() as u64);
+        m.gauge_set("dkasan.exposed_pages", self.exposed_pages() as u64);
+        m.add("dkasan.findings.total", self.findings.len() as u64);
+        for kind in FindingKind::ALL {
+            let n = self.findings.iter().filter(|f| f.kind == kind).count();
+            m.add(kind.metric_name(), n as u64);
         }
     }
 

@@ -79,6 +79,7 @@ pub fn dma_map_single(
     }
     let offset = kva.page_offset();
     let pages = pages_spanned(offset, len).max(1);
+    let map_started = ctx.clock.now();
     let base_iova = iommu.alloc_iova(ctx, dev, pages)?;
     let first_pfn = layout.kva_to_pfn(kva.page_align_down())?;
     for i in 0..pages {
@@ -86,6 +87,9 @@ pub fn dma_map_single(
         iommu.map_page(dev, page_iova, first_pfn.add(i as u64), dir.access_right())?;
         ctx.clock.advance(MAP_PAGE_CYCLES);
     }
+    ctx.metrics.add("sim_iommu.map.pages", pages as u64);
+    ctx.metrics
+        .observe("sim_iommu.map.cycles", ctx.clock.now() - map_started);
     let iova = Iova(base_iova.raw() + offset as u64);
     ctx.emit(Event::DmaMap {
         at: ctx.clock.now(),
@@ -110,7 +114,10 @@ pub fn dma_map_single(
 /// [`dma_map_single`]. Whether the device actually loses access right
 /// away depends on the IOMMU's invalidation mode (§5.2.1).
 pub fn dma_unmap_single(ctx: &mut SimCtx, iommu: &mut Iommu, mapping: &DmaMapping) -> Result<()> {
+    let unmap_started = ctx.clock.now();
     iommu.unmap_range(ctx, mapping.device, mapping.iova_page_base(), mapping.pages)?;
+    ctx.metrics
+        .observe("sim_iommu.unmap.cycles", ctx.clock.now() - unmap_started);
     ctx.emit(Event::DmaUnmap {
         at: ctx.clock.now(),
         device: mapping.device,
@@ -192,6 +199,7 @@ pub fn dma_map_sg_coalesced(
         }
         total_pages += pages_spanned(0, len);
     }
+    let map_started = ctx.clock.now();
     let base = iommu.alloc_iova(ctx, dev, total_pages)?;
     let mut cursor = base;
     let mut out_segments = Vec::with_capacity(segments.len());
@@ -210,6 +218,9 @@ pub fn dma_map_sg_coalesced(
         out_segments.push((cursor, kva, len));
         cursor = Iova(cursor.raw() + (npages * PAGE_SIZE) as u64);
     }
+    ctx.metrics.add("sim_iommu.map.pages", total_pages as u64);
+    ctx.metrics
+        .observe("sim_iommu.map.cycles", ctx.clock.now() - map_started);
     ctx.emit(Event::DmaMap {
         at: ctx.clock.now(),
         device: dev,

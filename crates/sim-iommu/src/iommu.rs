@@ -88,8 +88,10 @@ pub struct FaultRecord {
 struct Domain {
     pt: IoPageTable,
     iova: IovaAllocator,
-    /// IOVA ranges whose release is deferred to the next global flush.
-    deferred_free: Vec<(Iova, usize)>,
+    /// IOVA ranges whose release is deferred to the next global flush,
+    /// stamped with the unmap time so the flush can report how long each
+    /// stale window stayed open (§5.2.1).
+    deferred_free: Vec<(Iova, usize, Cycles)>,
 }
 
 /// The simulated IOMMU.
@@ -191,10 +193,15 @@ impl Iommu {
     /// models IOVA-space exhaustion (`OutOfIova`) before the allocator
     /// is consulted.
     pub fn alloc_iova(&mut self, ctx: &mut SimCtx, dev: DeviceId, pages: usize) -> Result<Iova> {
+        ctx.metrics.incr("sim_iommu.iova.alloc");
         if ctx.fault("sim_iommu.alloc_iova") {
             return Err(DmaError::OutOfIova);
         }
-        self.domain_mut(dev)?.iova.alloc(pages)
+        let d = self.domain_mut(dev)?;
+        let iova = d.iova.alloc(pages)?;
+        ctx.metrics
+            .gauge_set("sim_iommu.iova.live", d.iova.live_ranges() as u64);
+        Ok(iova)
     }
 
     /// Installs a translation for one page.
@@ -223,6 +230,7 @@ impl Iommu {
     ) -> Result<()> {
         let mode = self.config.mode;
         let base = iova.page_align_down();
+        ctx.metrics.add("sim_iommu.unmap.pages", pages as u64);
         for i in 0..pages {
             let page_iova = Iova(base.raw() + (i * PAGE_SIZE) as u64);
             let d = self.domain_mut(dev)?;
@@ -243,6 +251,7 @@ impl Iommu {
                     }
                     self.stats.invalidations += 1;
                     self.stats.invalidation_cycles += IOTLB_INV_CYCLES;
+                    ctx.metrics.incr("sim_iommu.iotlb.invalidate");
                     ctx.clock.advance(IOTLB_INV_CYCLES);
                     ctx.emit(Event::IotlbInvalidate {
                         at: ctx.clock.now(),
@@ -263,7 +272,10 @@ impl Iommu {
         if d.iova.is_live(base) {
             match mode {
                 InvalidationMode::Strict => d.iova.free(base, pages)?,
-                InvalidationMode::Deferred => d.deferred_free.push((base, pages)),
+                InvalidationMode::Deferred => {
+                    let at = ctx.clock.now();
+                    d.deferred_free.push((base, pages, at));
+                }
             }
         }
         Ok(())
@@ -288,14 +300,23 @@ impl Iommu {
             let dropped = self.iotlb.global_flush();
             self.stats.global_flushes += 1;
             self.stats.invalidation_cycles += IOTLB_INV_CYCLES;
+            ctx.metrics.incr("sim_iommu.iotlb.flush.global");
+            ctx.metrics
+                .observe("sim_iommu.iotlb.flush.dropped", dropped as u64);
             ctx.clock.advance(IOTLB_INV_CYCLES);
             ctx.emit(Event::IotlbGlobalFlush {
                 at: ctx.clock.now(),
                 dropped,
             });
+            let flushed_at = ctx.clock.now();
             for (id, domain) in self.domains.iter_mut() {
                 let _ = id;
-                for (base, pages) in domain.deferred_free.drain(..) {
+                for (base, pages, unmapped_at) in domain.deferred_free.drain(..) {
+                    // The stale window of §5.2.1: unmap → global flush.
+                    ctx.metrics.observe(
+                        "sim_iommu.stale_window.cycles",
+                        flushed_at.saturating_sub(unmapped_at),
+                    );
                     // IOVA release is deferred together with invalidation.
                     let _ = domain.iova.free(base, pages);
                 }
@@ -325,6 +346,7 @@ impl Iommu {
         }
         if let Some(e) = self.iotlb.lookup(dev, iova) {
             ctx.clock.advance(IOTLB_HIT_CYCLES);
+            ctx.metrics.incr("sim_iommu.iotlb.hit");
             let ok = if write {
                 e.right.allows_write()
             } else {
@@ -339,10 +361,12 @@ impl Iommu {
             }
             if e.stale {
                 self.stats.stale_hits += 1;
+                ctx.metrics.incr("sim_iommu.iotlb.stale_hit");
             }
             return Ok((e.pfn, e.stale));
         }
         ctx.clock.advance(PT_WALK_CYCLES);
+        ctx.metrics.incr("sim_iommu.iotlb.miss");
         let id = self.domain_id(dev)?;
         let d = self
             .domains
@@ -419,6 +443,7 @@ impl Iommu {
                 Ok(v) => v,
                 Err(e) => {
                     self.stats.faults += 1;
+                    ctx.metrics.incr("sim_iommu.fault.count");
                     if self.fault_log.len() == FAULT_LOG_CAPACITY {
                         self.fault_log.pop_front();
                     }

@@ -109,15 +109,23 @@ impl MemorySystem {
     /// `fail_page_alloc` analog): an injected hit fails the request
     /// with `OutOfMemory` before any allocator state changes.
     pub fn alloc_pages(&mut self, ctx: &mut SimCtx, order: u32, site: &'static str) -> Result<Pfn> {
+        ctx.metrics.incr("sim_mem.alloc_pages.calls");
         if ctx.fault("sim_mem.alloc_pages") {
             return Err(DmaError::OutOfMemory);
         }
-        self.buddy.alloc_pages(ctx, self.cur_cpu, order, site)
+        let pfn = self.buddy.alloc_pages(ctx, self.cur_cpu, order, site)?;
+        ctx.metrics
+            .gauge_set("sim_mem.buddy.free_pages", self.buddy.free_page_count());
+        Ok(pfn)
     }
 
     /// `__free_pages()`.
     pub fn free_pages(&mut self, ctx: &mut SimCtx, pfn: Pfn, order: u32) -> Result<()> {
-        self.buddy.free_pages(ctx, self.cur_cpu, pfn, order)
+        ctx.metrics.incr("sim_mem.free_pages.calls");
+        self.buddy.free_pages(ctx, self.cur_cpu, pfn, order)?;
+        ctx.metrics
+            .gauge_set("sim_mem.buddy.free_pages", self.buddy.free_page_count());
+        Ok(())
     }
 
     /// `kmalloc()`.
@@ -126,6 +134,8 @@ impl MemorySystem {
     /// an injected hit fails the request with `OutOfMemory` before any
     /// cache state changes.
     pub fn kmalloc(&mut self, ctx: &mut SimCtx, size: usize, site: &'static str) -> Result<Kva> {
+        ctx.metrics.incr("sim_mem.kmalloc.calls");
+        ctx.metrics.observe("sim_mem.kmalloc.size", size as u64);
         if ctx.fault("sim_mem.kmalloc") {
             return Err(DmaError::OutOfMemory);
         }
@@ -149,6 +159,7 @@ impl MemorySystem {
 
     /// `kfree()`.
     pub fn kfree(&mut self, ctx: &mut SimCtx, kva: Kva) -> Result<()> {
+        ctx.metrics.incr("sim_mem.kfree.calls");
         self.kmalloc.kfree(
             ctx,
             &mut self.phys,
@@ -169,6 +180,7 @@ impl MemorySystem {
         size: usize,
         site: &'static str,
     ) -> Result<Kva> {
+        ctx.metrics.incr("sim_mem.page_frag.allocs");
         if ctx.fault("sim_mem.page_frag_alloc") {
             return Err(DmaError::OutOfMemory);
         }
@@ -178,6 +190,7 @@ impl MemorySystem {
 
     /// `page_frag_free()` (a.k.a. `skb_free_frag`).
     pub fn page_frag_free(&mut self, ctx: &mut SimCtx, kva: Kva) -> Result<()> {
+        ctx.metrics.incr("sim_mem.page_frag.frees");
         self.frag
             .free(ctx, &mut self.buddy, &self.layout, self.cur_cpu, kva)
     }

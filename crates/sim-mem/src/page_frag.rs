@@ -95,6 +95,7 @@ impl PageFragAllocator {
                 }
             }
             let base = buddy.alloc_pages(ctx, cpu, FRAG_REGION_ORDER, site)?;
+            ctx.metrics.incr("sim_mem.page_frag.refills");
             self.regions.insert(
                 base.raw(),
                 Region {

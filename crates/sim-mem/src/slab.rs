@@ -171,12 +171,21 @@ impl KmallocCaches {
             .expect("size fits the largest class");
 
         // Grab a slab with space, creating one if needed.
+        let mut fresh_slab = false;
         let base = loop {
             match self.caches[cache_idx].partial.last().copied() {
                 Some(p) => break p,
-                None => self.new_slab(ctx, phys, buddy, layout, cpu, cache_idx, site)?,
+                None => {
+                    self.new_slab(ctx, phys, buddy, layout, cpu, cache_idx, site)?;
+                    fresh_slab = true;
+                }
             }
         };
+        ctx.metrics.incr(if fresh_slab {
+            "sim_mem.kmalloc.fresh"
+        } else {
+            "sim_mem.kmalloc.reuse"
+        });
 
         let cache = &mut self.caches[cache_idx];
         let slab = cache
@@ -277,6 +286,7 @@ impl KmallocCaches {
         let pfn = buddy.alloc_pages(ctx, cpu, order, site)?;
         let kva = layout.pfn_to_kva(pfn)?;
         self.large.insert(kva.raw(), order);
+        ctx.metrics.incr("sim_mem.kmalloc.fresh");
         ctx.emit(Event::Alloc {
             at: ctx.clock.now(),
             kva,

@@ -141,6 +141,8 @@ impl DescRing {
         let idx = self.head_index();
         self.post(ctx, mem, idx, d)?;
         self.head += 1;
+        ctx.metrics
+            .gauge_set("sim_net.ring.occupancy", self.occupancy() as u64);
         Ok(idx)
     }
 
@@ -154,6 +156,8 @@ impl DescRing {
         let idx = self.tail_index();
         let d = self.read_cpu(ctx, mem, idx)?;
         self.tail += 1;
+        ctx.metrics
+            .gauge_set("sim_net.ring.occupancy", self.occupancy() as u64);
         Ok((idx, d))
     }
 

@@ -243,6 +243,18 @@ impl NicDriver {
         mem: &mut MemorySystem,
         iommu: &mut Iommu,
     ) -> Result<()> {
+        let span = ctx.span_begin("rx.refill");
+        let res = self.rx_refill_inner(ctx, mem, iommu);
+        ctx.span_end(span);
+        res
+    }
+
+    fn rx_refill_inner(
+        &mut self,
+        ctx: &mut SimCtx,
+        mem: &mut MemorySystem,
+        iommu: &mut Iommu,
+    ) -> Result<()> {
         let queues = self.cfg.num_queues.max(1);
         let target = self.cfg.rx_ring_size * queues;
         let mut retries_left = RX_REFILL_MAX_RETRIES;
@@ -261,6 +273,7 @@ impl NicDriver {
                     }
                     retries_left -= 1;
                     self.stats.rx_refill_retries += 1;
+                    ctx.metrics.incr("sim_net.rx.refill_retries");
                     ctx.clock.advance(RX_REFILL_BACKOFF);
                 }
                 Err(e) => return Err(e),
@@ -279,6 +292,7 @@ impl NicDriver {
     ) -> Result<()> {
         if ctx.fault("sim_net.rx_refill") {
             self.stats.rx_alloc_failed += 1;
+            ctx.metrics.incr("sim_net.rx.alloc_failed");
             return Err(DmaError::OutOfMemory);
         }
         let (kva, alloc) = match self.alloc_rx_buffer(ctx, mem) {
@@ -286,6 +300,7 @@ impl NicDriver {
             Err(e) => {
                 if e.is_transient() {
                     self.stats.rx_alloc_failed += 1;
+                    ctx.metrics.incr("sim_net.rx.alloc_failed");
                 }
                 return Err(e);
             }
@@ -309,6 +324,7 @@ impl NicDriver {
             Err(e) => {
                 if e.is_transient() {
                     self.stats.rx_map_failed += 1;
+                    ctx.metrics.incr("sim_net.rx.map_failed");
                 }
                 Self::free_rx_buffer(ctx, mem, kva, alloc)?;
                 return Err(e);
@@ -320,6 +336,10 @@ impl NicDriver {
             written: 0,
             alloc,
         });
+        ctx.metrics.gauge_set(
+            "sim_net.rx_ring.occupancy",
+            (self.posted.len() + self.completed.len()) as u64,
+        );
         Ok(())
     }
 
@@ -431,9 +451,31 @@ impl NicDriver {
     where
         F: FnMut(&mut SimCtx, &mut MemorySystem, &mut Iommu, &RxSlot),
     {
+        let span = ctx.span_begin("rx.poll");
+        let res = self.rx_poll_inner(ctx, mem, iommu, &mut race);
+        ctx.span_end(span);
+        res
+    }
+
+    fn rx_poll_inner<F>(
+        &mut self,
+        ctx: &mut SimCtx,
+        mem: &mut MemorySystem,
+        iommu: &mut Iommu,
+        race: &mut F,
+    ) -> Result<Option<SkBuff>>
+    where
+        F: FnMut(&mut SimCtx, &mut MemorySystem, &mut Iommu, &RxSlot),
+    {
         let Some(slot) = self.completed.pop_front() else {
             return Ok(None);
         };
+        // The min watermark of this gauge shows how close the ring came
+        // to starvation before the refill below restocked it.
+        ctx.metrics.gauge_set(
+            "sim_net.rx_ring.occupancy",
+            (self.posted.len() + self.completed.len()) as u64,
+        );
         let skb = match self.cfg.unmap_order {
             UnmapOrder::BuildThenUnmap => {
                 // i40e-style: metadata initialized while the device still
@@ -457,6 +499,7 @@ impl NicDriver {
             }
         };
         self.stats.rx_packets += 1;
+        ctx.metrics.incr("sim_net.rx.packets");
         self.rx_refill(ctx, mem, iommu)?;
         Ok(Some(skb))
     }
@@ -491,8 +534,22 @@ impl NicDriver {
         iommu: &mut Iommu,
         skb: SkBuff,
     ) -> Result<usize> {
+        let span = ctx.span_begin("tx.xmit");
+        let res = self.transmit_inner(ctx, mem, iommu, skb);
+        ctx.span_end(span);
+        res
+    }
+
+    fn transmit_inner(
+        &mut self,
+        ctx: &mut SimCtx,
+        mem: &mut MemorySystem,
+        iommu: &mut Iommu,
+        skb: SkBuff,
+    ) -> Result<usize> {
         if self.tx.len() >= self.cfg.tx_ring_size {
             self.stats.tx_ring_full += 1;
+            ctx.metrics.incr("sim_net.tx.ring_full");
             let _ = kfree_skb(ctx, mem, skb)?;
             return Err(DmaError::RingFull);
         }
@@ -509,6 +566,7 @@ impl NicDriver {
             Ok(m) => m,
             Err(e) => {
                 self.stats.tx_dropped += 1;
+                ctx.metrics.incr("sim_net.tx.dropped");
                 let _ = kfree_skb(ctx, mem, skb)?;
                 return Err(e);
             }
@@ -537,6 +595,7 @@ impl NicDriver {
                         dma_unmap_single(ctx, iommu, m)?;
                     }
                     self.stats.tx_dropped += 1;
+                    ctx.metrics.incr("sim_net.tx.dropped");
                     let _ = kfree_skb(ctx, mem, skb)?;
                     return Err(e);
                 }
@@ -544,6 +603,7 @@ impl NicDriver {
             frag_maps.push(fm);
         }
         self.stats.tx_packets += 1;
+        ctx.metrics.incr("sim_net.tx.packets");
         self.tx.push(TxSlot {
             skb,
             linear,
@@ -552,6 +612,8 @@ impl NicDriver {
             completed: false,
             reaped: false,
         });
+        ctx.metrics
+            .gauge_set("sim_net.tx_ring.occupancy", self.tx.len() as u64);
         Ok(self.tx.len() - 1)
     }
 
@@ -588,6 +650,8 @@ impl NicDriver {
             }
         }
         self.tx.retain(|s| !s.reaped);
+        ctx.metrics
+            .gauge_set("sim_net.tx_ring.occupancy", self.tx.len() as u64);
         Ok(callbacks)
     }
 
@@ -616,6 +680,7 @@ impl NicDriver {
         }
         let _ = self.tx_reap(ctx, mem, iommu)?;
         self.stats.resets += 1;
+        ctx.metrics.incr("sim_net.tx.watchdog_resets");
         Ok(true)
     }
 

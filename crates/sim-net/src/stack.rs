@@ -163,9 +163,11 @@ impl NetStack {
             skb.sock = Some(sock);
             if self.cfg.echo_service {
                 self.stats.echoed += 1;
+                ctx.metrics.incr("sim_net.stack.echoed");
                 return self.echo(ctx, mem, iommu, driver, packet, skb);
             }
             self.stats.delivered += 1;
+            ctx.metrics.incr("sim_net.stack.delivered");
             self.delivered.push(packet);
             if let Some(cb) = kfree_skb(ctx, mem, skb)? {
                 self.pending_callbacks.push(cb);
@@ -176,10 +178,12 @@ impl NetStack {
             // Forward: the skb goes back out as-is — linear head plus
             // whatever frags GRO accumulated (Figure 9).
             self.stats.forwarded += 1;
+            ctx.metrics.incr("sim_net.stack.forwarded");
             driver.transmit(ctx, mem, iommu, skb)?;
             return Ok(());
         }
         self.stats.dropped += 1;
+        ctx.metrics.incr("sim_net.stack.dropped");
         if let Some(cb) = kfree_skb(ctx, mem, skb)? {
             self.pending_callbacks.push(cb);
         }

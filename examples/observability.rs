@@ -1,0 +1,122 @@
+//! The §5.2.1 stale-TLB window, measured: one RingFlood run through the
+//! deferred-IOTLB window, then an instrumented flood whose metrics
+//! registry captures how long each unmapped RX buffer stayed reachable
+//! from the device — printed as a histogram next to the paper's numbers
+//! (deferred invalidation flushes every 10 ms; at the simulated 2 GHz
+//! clock that is a 20,000,000-cycle worst-case window).
+//!
+//! Run with: `cargo run --example observability`
+
+use dma_lab::attacks::image::KernelImage;
+use dma_lab::attacks::ringflood::{self, BootSurvey};
+use dma_lab::dma_core::clock::{CYCLES_PER_MS, DEFERRED_FLUSH_PERIOD};
+use dma_lab::dma_core::metrics::bucket_bound;
+use dma_lab::dma_core::vuln::WindowPath;
+use dma_lab::sim_net::packet::Packet;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let driver = ringflood::kernel50_driver();
+
+    println!("== One RingFlood run through the deferred-IOTLB window (§5.2 + §5.3) ==");
+    let image = KernelImage::build(1, 16 << 20);
+    let survey = BootSurvey::run(driver, 64, 0)?;
+    let (pfn, frac) = survey.most_common().unwrap();
+    println!(
+        "  survey: top RX PFN {pfn} repeats in {:.0}% of 64 boots",
+        frac * 100.0
+    );
+    let report = ringflood::run(&image, driver, WindowPath::DeferredIotlb, 9003, &survey)?;
+    println!(
+        "  guessed PFN {} (resident this boot: {})",
+        report.guessed_pfn, report.guess_was_resident
+    );
+    println!(
+        "  outcome after {} trigger(s): {:?}",
+        report.triggers, report.outcome
+    );
+
+    // The attack consumed its own testbed; re-run the same flood on an
+    // instrumented boot so the registry is still in hand afterwards.
+    println!("\n== Instrumented flood: how long does each stale mapping live? ==");
+    let mut tb = ringflood::boot(driver, WindowPath::DeferredIotlb, 9003)?;
+    for burst in 0..10u64 {
+        for i in 0..24u32 {
+            tb.deliver_packet(&Packet::udp(9, 1, vec![(burst as u8) ^ (i as u8); 128]))?;
+        }
+        // Bursts land at different offsets into the 10 ms flush period,
+        // spreading the observed windows across the buckets.
+        tb.advance_ms(2);
+    }
+    let leaked = tb.shutdown()?;
+    assert_eq!(leaked, 0, "flood leaked mappings");
+    tb.advance_ms(12); // final periodic flush drains the last deferred unmaps
+
+    let h = tb
+        .ctx
+        .metrics
+        .histogram("sim_iommu.stale_window.cycles")
+        .expect("deferred mode must record stale windows");
+    println!(
+        "  sim_iommu.stale_window.cycles — {} windows observed",
+        h.count
+    );
+    let peak = h.buckets.iter().copied().max().unwrap_or(1).max(1);
+    for (i, &n) in h.buckets.iter().enumerate() {
+        if n == 0 {
+            continue;
+        }
+        let bar = "#".repeat((n * 40 / peak).max(1) as usize);
+        println!(
+            "  <= {:>10} cycles ({:>6.2} ms) {:>6}  {bar}",
+            bucket_bound(i),
+            bucket_bound(i) as f64 / CYCLES_PER_MS as f64,
+            n
+        );
+    }
+    println!(
+        "  mean {} cycles ({:.2} ms), p50 <= {}, p99 <= {}, max {} cycles ({:.2} ms)",
+        h.mean(),
+        h.mean() as f64 / CYCLES_PER_MS as f64,
+        h.quantile_bound(500),
+        h.quantile_bound(990),
+        h.max,
+        h.max as f64 / CYCLES_PER_MS as f64,
+    );
+
+    println!("\n== Paper §5.2 reference ==");
+    println!(
+        "  deferred invalidation flushes every 10 ms -> nominal worst-case stale window \
+         {DEFERRED_FLUSH_PERIOD} cycles"
+    );
+    println!(
+        "  measured worst case: {} cycles ({:.1}% of the flush period — the flush \
+         timer fires at the next housekeeping tick, so real windows overshoot it)",
+        h.max,
+        h.max as f64 * 100.0 / DEFERRED_FLUSH_PERIOD as f64
+    );
+    assert!(
+        h.max <= 2 * DEFERRED_FLUSH_PERIOD,
+        "a stale window outlived even a late flush"
+    );
+
+    // Strict invalidation (the other §5.2 arm): the window never opens,
+    // so the histogram never materializes.
+    let mut strict = ringflood::boot(driver, WindowPath::UnmapAfterBuild, 9003)?;
+    for i in 0..24u32 {
+        strict.deliver_packet(&Packet::udp(9, 1, vec![i as u8; 128]))?;
+    }
+    strict.shutdown()?;
+    strict.advance_ms(12);
+    assert!(
+        strict
+            .ctx
+            .metrics
+            .histogram("sim_iommu.stale_window.cycles")
+            .is_none(),
+        "strict mode must not leave stale windows"
+    );
+    println!("  strict mode, same flood: no stale-window histogram — invalidated at unmap");
+
+    println!("\nok: stale-window observability demonstrated");
+    Ok(())
+}

@@ -9,16 +9,23 @@
 //! dma-lab attack <ringflood|poisoned-tx|forward-thinking|single-step>
 //!                [--window i|ii|iii] [--seed N]
 //! dma-lab surveil [--seed N]              §5.5 arbitrary-page read
+//! dma-lab stats [--seed N] [--json]       metrics snapshot of one run
+//! dma-lab trace --spans [--seed N]        span-scoped cycle timeline
 //! dma-lab help
 //! ```
+//!
+//! Exit codes: `0` success, `1` experiment/run error, `2` usage error
+//! (unknown command or malformed arguments).
 
 use dma_lab::attacks::image::KernelImage;
 use dma_lab::attacks::ringflood::{self, BootSurvey};
 use dma_lab::attacks::{forward_thinking, poisoned_tx, single_step};
 use dma_lab::devsim::MaliciousNic;
 use dma_lab::dkasan::{run_workload, FindingKind, WorkloadConfig};
+use dma_lab::dma_core::jsonw::JsonWriter;
 use dma_lab::dma_core::vuln::WindowPath;
 use dma_lab::dma_core::{DetRng, KernelLayout, SimCtx};
+use dma_lab::obs::{render_timeline, run_observed, ObsConfig};
 use dma_lab::sim_iommu::{InvalidationMode, Iommu, IommuConfig};
 use dma_lab::sim_mem::{MemConfig, MemorySystem};
 use dma_lab::spade::analysis::analyze;
@@ -39,7 +46,10 @@ impl Args {
         let mut i = 0;
         while i < raw.len() {
             if let Some(key) = raw[i].strip_prefix("--") {
-                if i + 1 < raw.len() {
+                // A flag only consumes the next token as its value when
+                // that token is not itself a flag, so bare booleans
+                // compose: `--json --seed 5` keeps both.
+                if i + 1 < raw.len() && !raw[i + 1].starts_with("--") {
                     flags.insert(key.to_string(), raw[i + 1].clone());
                     i += 2;
                 } else {
@@ -63,6 +73,11 @@ impl Args {
 
     fn str_flag(&self, key: &str) -> Option<&str> {
         self.flags.get(key).map(|s| s.as_str())
+    }
+
+    /// True when `--key` was given at all (with or without a value).
+    fn bool_flag(&self, key: &str) -> bool {
+        self.flags.contains_key(key)
     }
 }
 
@@ -92,9 +107,15 @@ fn main() {
         "dos" => cmd_dos(&args),
         "dump" => cmd_dump(&args),
         "chaos" => cmd_chaos(&args),
-        _ => {
-            print!("{}", HELP);
+        "stats" => cmd_stats(&args),
+        "trace" => cmd_trace(&args),
+        "help" | "--help" | "-h" => {
+            print!("{HELP}");
             0
+        }
+        other => {
+            eprintln!("unknown command '{other}'\n{HELP}");
+            2
         }
     };
     std::process::exit(code);
@@ -106,15 +127,21 @@ Presence of an IOMMU' (EuroSys '21)
 
 USAGE:
     dma-lab layout
-    dma-lab spade [--filter PATH-SUBSTRING] [--seed N] [--tsv 1]
+    dma-lab spade [--filter PATH-SUBSTRING] [--seed N] [--tsv 1] [--json]
     dma-lab survey [--boots N] [--profile 5.0|4.15]
     dma-lab attack <ringflood|poisoned-tx|forward-thinking|single-step>
                    [--window i|ii|iii] [--seed N]
     dma-lab surveil [--seed N]
     dma-lab dos [--seed N]
     dma-lab dump [--seed N] [--start PFN] [--frames N]
-    dma-lab dkasan [--rounds N] [--seed N] [--faults SEED]
-    dma-lab chaos [--seed N] [--runs N]
+    dma-lab dkasan [--rounds N] [--seed N] [--faults SEED] [--json]
+    dma-lab chaos [--seed N] [--runs N] [--json]
+    dma-lab stats [--seed N] [--rounds N] [--faults SEED] [--json]
+    dma-lab trace --spans [--seed N] [--rounds N] [--json]
+    dma-lab help
+
+EXIT CODES:
+    0 success    1 experiment/run error    2 usage error
 ";
 
 fn cmd_layout(args: &Args) -> i32 {
@@ -154,6 +181,41 @@ fn cmd_spade(args: &Args) -> i32 {
         print!("{}", dma_lab::spade::report::render_tsv(&findings));
         return 0;
     }
+    if args.bool_flag("json") {
+        let t = Table2::from_findings(&findings);
+        let rows = [
+            ("callbacks_exposed", &t.callbacks_exposed),
+            ("shinfo_mapped", &t.shinfo_mapped),
+            ("callbacks_direct", &t.callbacks_direct),
+            ("private_data", &t.private_data),
+            ("stack_mapped", &t.stack_mapped),
+            ("type_c", &t.type_c),
+            ("build_skb", &t.build_skb),
+            ("total", &t.total),
+        ];
+        let mut w = JsonWriter::new();
+        w.obj(|w| {
+            w.field_u64("seed", seed);
+            w.field("table2", |w| {
+                w.obj(|w| {
+                    for (name, row) in rows {
+                        w.field(name, |w| {
+                            w.obj(|w| {
+                                w.field_u64("calls", row.calls as u64);
+                                w.field_u64("files", row.files as u64);
+                            });
+                        });
+                    }
+                });
+            });
+            w.field_u64(
+                "vulnerable_calls",
+                Table2::vulnerable_calls(&findings) as u64,
+            );
+        });
+        println!("{}", w.finish());
+        return 0;
+    }
     let t = Table2::from_findings(&findings);
     println!("{}", t.render());
     let v = Table2::vulnerable_calls(&findings);
@@ -173,14 +235,41 @@ fn cmd_dkasan(args: &Args) -> i32 {
     };
     match run_workload(cfg) {
         Ok(report) => {
+            if args.bool_flag("json") {
+                let mut w = JsonWriter::new();
+                w.obj(|w| {
+                    w.field_u64("packets", report.packets);
+                    w.field_u64("allocs", report.allocs);
+                    w.field_u64("dropped", report.dropped);
+                    w.field("counts", |w| {
+                        w.obj(|w| {
+                            for kind in FindingKind::ALL {
+                                w.field_u64(&kind.to_string(), report.count(kind) as u64);
+                            }
+                        });
+                    });
+                    w.field("findings", |w| {
+                        w.arr(|w| {
+                            for f in report.dkasan.findings() {
+                                w.elem(|w| {
+                                    w.obj(|w| {
+                                        w.field_str("kind", &f.kind.to_string());
+                                        w.field_u64("size", f.size as u64);
+                                        w.field_str("rights", &f.rights.to_string());
+                                        w.field_str("site", f.site);
+                                        w.field_u64("page", f.page);
+                                    });
+                                });
+                            }
+                        });
+                    });
+                });
+                println!("{}", w.finish());
+                return 0;
+            }
             println!("{}", report.render());
             println!();
-            for kind in [
-                FindingKind::AllocAfterMap,
-                FindingKind::MapAfterAlloc,
-                FindingKind::AccessAfterMap,
-                FindingKind::MultipleMap,
-            ] {
+            for kind in FindingKind::ALL {
                 println!("{:<18} {}", kind.to_string(), report.count(kind));
             }
             0
@@ -196,6 +285,46 @@ fn cmd_chaos(args: &Args) -> i32 {
     use dma_lab::devsim::chaos::run_soak;
     let base = args.u64_flag("seed", 1);
     let runs = args.u64_flag("runs", 8);
+    if args.bool_flag("json") {
+        let mut failed = 0;
+        let mut w = JsonWriter::new();
+        w.arr(|w| {
+            for seed in base..base + runs {
+                w.elem(|w| match run_soak(seed) {
+                    Ok(r) => {
+                        w.obj(|w| {
+                            w.field_u64("seed", r.seed);
+                            w.field_u64("delivered", r.delivered);
+                            w.field_u64("echoed", r.echoed);
+                            w.field_u64("dropped", r.dropped);
+                            w.field_u64("injected_total", r.injected_total);
+                            w.field("hits_by_site", |w| {
+                                w.obj(|w| {
+                                    for (site, n) in &r.hits_by_site {
+                                        w.field_u64(site, *n);
+                                    }
+                                });
+                            });
+                            w.field_u64("leaked_pages", r.leaked_pages as u64);
+                            w.field("stats", |w| w.raw(&r.stats_json));
+                        });
+                        if r.leaked_pages > 0 {
+                            failed += 1;
+                        }
+                    }
+                    Err(e) => {
+                        w.obj(|w| {
+                            w.field_u64("seed", seed);
+                            w.field_str("error", &e.to_string());
+                        });
+                        failed += 1;
+                    }
+                });
+            }
+        });
+        println!("{}", w.finish());
+        return i32::from(failed > 0);
+    }
     println!(
         "{:>18}  {:>6} {:>7} {:>8} {:>6}  fault sites hit",
         "seed", "echoed", "dropped", "injected", "leaked"
@@ -228,6 +357,76 @@ fn cmd_chaos(args: &Args) -> i32 {
         }
     }
     i32::from(failed > 0)
+}
+
+/// Shared config for the `stats` and `trace` observability commands.
+fn obs_config(args: &Args) -> ObsConfig {
+    ObsConfig {
+        seed: args.u64_flag("seed", ObsConfig::default().seed),
+        rounds: args.u64_flag("rounds", 200) as usize,
+        fault_seed: args.str_flag("faults").and_then(|v| v.parse().ok()),
+    }
+}
+
+fn cmd_stats(args: &Args) -> i32 {
+    match run_observed(obs_config(args)) {
+        Ok(r) => {
+            if args.bool_flag("json") {
+                println!("{}", r.snapshot.to_json());
+            } else {
+                print!("{}", r.snapshot.render_text());
+                println!(
+                    "\npackets {}  dropped {}  leaked_pages {}",
+                    r.packets, r.dropped, r.leaked_pages
+                );
+            }
+            0
+        }
+        Err(e) => {
+            eprintln!("stats run failed: {e}");
+            1
+        }
+    }
+}
+
+fn cmd_trace(args: &Args) -> i32 {
+    // `--spans` selects the only view there is today; tolerate its
+    // absence so `dma-lab trace` alone also works.
+    match run_observed(obs_config(args)) {
+        Ok(r) => {
+            if args.bool_flag("json") {
+                let mut w = JsonWriter::new();
+                w.obj(|w| {
+                    w.field("spans", |w| {
+                        w.arr(|w| {
+                            for rec in &r.timeline {
+                                w.elem(|w| {
+                                    w.obj(|w| {
+                                        w.field_str("name", rec.name);
+                                        w.field_u64("start", rec.start);
+                                        w.field_u64("end", rec.end);
+                                        w.field_u64("depth", rec.depth as u64);
+                                    });
+                                });
+                            }
+                        });
+                    });
+                    w.field_u64("dropped", r.snapshot.timeline_dropped);
+                });
+                println!("{}", w.finish());
+            } else {
+                print!("{}", render_timeline(&r.timeline));
+                if r.snapshot.timeline_dropped > 0 {
+                    println!("({} records past the cap)", r.snapshot.timeline_dropped);
+                }
+            }
+            0
+        }
+        Err(e) => {
+            eprintln!("trace run failed: {e}");
+            1
+        }
+    }
 }
 
 fn cmd_survey(args: &Args) -> i32 {

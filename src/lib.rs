@@ -23,6 +23,8 @@
 //! - [`dkasan`] — the run-time sanitizer (§4.2).
 //! - [`defenses`] — the §8/§9 countermeasures (bounce buffers, DAMN,
 //!   sub-page limits, KARL, CET) as executable ablations.
+//! - [`obs`] — the observability workload: one deterministic run with
+//!   every metric source lit, behind `dma-lab stats`/`dma-lab trace`.
 //!
 //! ## Quickstart
 //!
@@ -34,6 +36,8 @@
 //! tb.deliver_packet(&Packet::udp(9, 1, b"hello".to_vec())).unwrap();
 //! assert_eq!(tb.stack.stats.delivered, 1);
 //! ```
+
+pub mod obs;
 
 pub use attacks;
 pub use defenses;

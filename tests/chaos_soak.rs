@@ -87,6 +87,43 @@ fn chaos_soak_replays_identically_from_the_same_seed() {
     }
 }
 
+/// Pulls `"name":value` out of a flat JSON counter table.
+fn counter(json: &str, name: &str) -> Option<u64> {
+    let key = format!("\"{name}\":");
+    let at = json.find(&key)? + key.len();
+    let rest = &json[at..];
+    let end = rest.find([',', '}'])?;
+    rest[..end].parse().ok()
+}
+
+#[test]
+fn metrics_survive_fault_schedules_without_drift() {
+    // Under every schedule the registry must (a) replay byte-identically
+    // and (b) stay consistent with the fault engine's own census: the
+    // `fault.injected` counter is incremented at the injection sites,
+    // `injected_total` is counted by the plan — if they ever disagree, a
+    // code path bumped one but not the other.
+    for &seed in &[3u64, 42, 0xcafe_babe] {
+        let a = run_soak(seed).unwrap();
+        let b = run_soak(seed).unwrap();
+        assert_eq!(
+            a.stats_json, b.stats_json,
+            "seed {seed:#x}: metrics snapshot diverged across replays"
+        );
+        assert_eq!(
+            counter(&a.stats_json, "fault.injected").unwrap_or(0),
+            a.injected_total,
+            "seed {seed:#x}: fault.injected counter drifted from the plan census"
+        );
+        // The recovery paths count what the report counts as drops.
+        assert_eq!(
+            counter(&a.stats_json, "fault.recovered").unwrap_or(0),
+            a.dropped,
+            "seed {seed:#x}: fault.recovered counter drifted from dropped"
+        );
+    }
+}
+
 #[test]
 fn different_seeds_produce_different_schedules() {
     let a = run_soak(1).unwrap();

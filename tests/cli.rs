@@ -19,10 +19,32 @@ fn help_lists_all_subcommands() {
     let (code, out) = run(&["help"]);
     assert_eq!(code, 0);
     for cmd in [
-        "layout", "spade", "dkasan", "survey", "attack", "surveil", "dos", "dump",
+        "layout", "spade", "dkasan", "survey", "attack", "surveil", "dos", "dump", "chaos",
+        "stats", "trace",
     ] {
         assert!(out.contains(cmd), "help missing {cmd}:\n{out}");
     }
+    assert!(out.contains("EXIT CODES"), "help documents exit codes");
+}
+
+#[test]
+fn no_args_prints_help_and_exits_zero() {
+    let (code, out) = run(&[]);
+    assert_eq!(code, 0);
+    assert!(out.contains("USAGE"));
+}
+
+#[test]
+fn unknown_command_exits_two_with_help_on_stderr() {
+    let out = Command::new(env!("CARGO_BIN_EXE_dma-lab"))
+        .arg("frobnicate")
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown command 'frobnicate'"), "{err}");
+    assert!(err.contains("USAGE"), "help goes to stderr: {err}");
+    assert!(out.stdout.is_empty(), "nothing on stdout for usage errors");
 }
 
 #[test]

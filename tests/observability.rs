@@ -1,0 +1,107 @@
+//! End-to-end observability contract: `dma-lab stats --json` is
+//! byte-deterministic per seed, covers every subsystem, and the span
+//! timeline reflects real phase attribution.
+
+use std::process::Command;
+
+fn run(args: &[&str]) -> (i32, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_dma-lab"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.code().unwrap_or(-1),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+    )
+}
+
+#[test]
+fn stats_json_is_byte_identical_per_seed() {
+    let (c1, a) = run(&["stats", "--seed", "11", "--rounds", "60", "--json"]);
+    let (c2, b) = run(&["stats", "--seed", "11", "--rounds", "60", "--json"]);
+    assert_eq!((c1, c2), (0, 0));
+    assert_eq!(a, b, "same seed must export byte-identical JSON");
+    let (_, c) = run(&["stats", "--seed", "12", "--rounds", "60", "--json"]);
+    assert_ne!(a, c, "different seeds must differ");
+}
+
+#[test]
+fn stats_json_spans_all_four_subsystems_with_enough_metrics() {
+    let (code, out) = run(&["stats", "--rounds", "80", "--json"]);
+    assert_eq!(code, 0);
+    for prefix in ["sim_mem.", "sim_iommu.", "sim_net.", "dkasan."] {
+        assert!(out.contains(prefix), "missing {prefix} metrics:\n{out}");
+    }
+    // ≥ 15 distinct metric names: count the dotted keys.
+    let distinct: std::collections::BTreeSet<&str> = out
+        .match_indices('"')
+        .zip(out.match_indices('"').skip(1))
+        .map(|((s, _), (e, _))| &out[s + 1..e])
+        .filter(|k| k.contains('.') && k.chars().next().is_some_and(|c| c.is_ascii_lowercase()))
+        .collect();
+    assert!(
+        distinct.len() >= 15,
+        "only {} distinct metrics: {distinct:?}",
+        distinct.len()
+    );
+    // The §5.2.1 stale-window histogram is present under deferred mode.
+    assert!(out.contains("sim_iommu.stale_window.cycles"), "{out}");
+}
+
+#[test]
+fn stats_text_renders_all_tables() {
+    let (code, out) = run(&["stats", "--rounds", "40"]);
+    assert_eq!(code, 0);
+    for needle in ["counters:", "gauges:", "histograms:", "spans:", "packets"] {
+        assert!(out.contains(needle), "missing {needle}:\n{out}");
+    }
+}
+
+#[test]
+fn stats_runs_under_fault_injection_deterministically() {
+    let (c1, a) = run(&["stats", "--seed", "7", "--faults", "7", "--json"]);
+    let (c2, b) = run(&["stats", "--seed", "7", "--faults", "7", "--json"]);
+    assert_eq!((c1, c2), (0, 0));
+    assert_eq!(a, b, "fault runs must replay byte-identically");
+    assert!(
+        a.contains("fault.injected"),
+        "armed plan never counted:\n{a}"
+    );
+}
+
+#[test]
+fn trace_prints_span_timeline() {
+    let (code, out) = run(&["trace", "--spans", "--rounds", "20"]);
+    assert_eq!(code, 0);
+    for span in ["rx.refill", "rx.poll", "tx.xmit"] {
+        assert!(out.contains(span), "timeline missing {span}:\n{out}");
+    }
+    assert!(out.contains("cycles"), "{out}");
+}
+
+#[test]
+fn trace_json_lists_span_records() {
+    let (code, out) = run(&["trace", "--rounds", "10", "--json"]);
+    assert_eq!(code, 0);
+    assert!(out.contains("\"spans\":["));
+    assert!(out.contains("\"name\":\"rx.poll\""));
+    assert!(out.contains("\"depth\":"));
+}
+
+#[test]
+fn json_flag_works_on_existing_subcommands() {
+    let (code, out) = run(&["spade", "--json"]);
+    assert_eq!(code, 0);
+    assert!(out.contains("\"table2\":"), "{out}");
+    assert!(out.contains("\"vulnerable_calls\":"), "{out}");
+
+    let (code, out) = run(&["dkasan", "--rounds", "40", "--json"]);
+    assert_eq!(code, 0);
+    assert!(out.contains("\"findings\":["), "{out}");
+    assert!(out.contains("\"alloc-after-map\":"), "{out}");
+
+    let (code, out) = run(&["chaos", "--runs", "1", "--json"]);
+    assert_eq!(code, 0);
+    assert!(out.contains("\"leaked_pages\":0"), "{out}");
+    assert!(out.contains("\"stats\":{"), "{out}");
+}
