@@ -38,6 +38,48 @@ pub fn report_path() -> PathBuf {
     repo_root().join("BENCH_observability.json")
 }
 
+/// Path of the standalone fuzzing report `fuzz_bench` writes.
+pub fn fuzz_report_path() -> PathBuf {
+    repo_root().join("BENCH_fuzz.json")
+}
+
+/// Writes `BENCH_fuzz.json`: the campaign's deterministic
+/// coverage-over-time series and metrics snapshot (byte-identical for
+/// one seed) alongside the shim's wall-clock timings, from which an
+/// execs/sec figure is derived. Returns the report path.
+pub fn emit_fuzz_report(
+    report: &fuzz::FuzzReport,
+    timing: &[BenchResult],
+) -> std::io::Result<PathBuf> {
+    let mut w = JsonWriter::new();
+    w.obj(|w| {
+        w.field_str("report", "fuzz");
+        w.field("deterministic", |w| {
+            w.obj(|w| {
+                w.field_u64("seed", report.seed);
+                w.field_u64("iters", report.iters);
+                w.field_u64("execs", report.execs);
+                w.field_u64("coverage_bits", report.coverage_bits as u64);
+                w.field_u64("corpus_entries", report.corpus.len() as u64);
+                w.field_u64("finding_classes", report.findings.len() as u64);
+                w.field("series", |w| w.raw(&report.series_json()));
+                w.field("stats", |w| w.raw(&report.stats_json));
+            });
+        });
+        w.field("timing", |w| render_results(w, timing));
+        // Wall-clock execs/sec from the per-exec timing row, when the
+        // shim produced one.
+        if let Some(r) = timing.iter().find(|r| r.id == "execute_one_input") {
+            if r.ns_per_iter > 0 {
+                w.field_f64("execs_per_sec", 1e9 / r.ns_per_iter as f64);
+            }
+        }
+    });
+    let path = fuzz_report_path();
+    std::fs::write(&path, w.finish())?;
+    Ok(path)
+}
+
 // ---------------------------------------------------------------------
 // Shared workload builders.
 // ---------------------------------------------------------------------

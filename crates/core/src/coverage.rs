@@ -1,0 +1,233 @@
+//! Deterministic coverage bitmap for the DMA-input fuzzer.
+//!
+//! Coverage-guided fuzzing needs a cheap, replayable notion of "did
+//! this input do something new?". Here that signal is a fixed-size
+//! bitmap over *semantic* features rather than code edges: each feature
+//! is a `(namespace, key)` string pair — a fault/trace site tag, a
+//! D-KASAN finding class, a Figure-1 taxonomy letter, a §5.2 window
+//! path — hashed (FNV-1a) to one of [`COVERAGE_BITS`] bits. Same input,
+//! same features, same bits: the map is a pure function of the
+//! simulation history, so two runs with the same seed produce identical
+//! bitmaps, signatures, and corpus decisions.
+//!
+//! The [`CoverageMap::signature`] digest hashes the sorted indices of
+//! the set bits; the fuzzer's corpus uses it for dedup and its
+//! minimizer for "did shrinking change behavior?" checks.
+
+use crate::vuln::{SubPageVulnerability, WindowPath};
+
+/// Number of bits in a [`CoverageMap`]. Small enough to clone freely,
+/// large enough that the few hundred distinct semantic features the
+/// simulators can produce rarely collide.
+pub const COVERAGE_BITS: usize = 4096;
+
+const WORDS: usize = COVERAGE_BITS / 64;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// A fixed-size deterministic feature bitmap.
+#[derive(Clone, PartialEq, Eq)]
+pub struct CoverageMap {
+    words: [u64; WORDS],
+}
+
+impl Default for CoverageMap {
+    fn default() -> Self {
+        CoverageMap::new()
+    }
+}
+
+impl std::fmt::Debug for CoverageMap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "CoverageMap({} bits, sig {:016x})",
+            self.count_ones(),
+            self.signature()
+        )
+    }
+}
+
+fn fnv1a(h: u64, bytes: &[u8]) -> u64 {
+    let mut h = h;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+impl CoverageMap {
+    /// An empty map.
+    pub fn new() -> Self {
+        CoverageMap { words: [0; WORDS] }
+    }
+
+    /// The bit index a `(namespace, key)` feature hashes to. Public so
+    /// tests can pin the layout.
+    pub fn probe(namespace: &str, key: &str) -> usize {
+        // 0x1f separator keeps ("ab","c") and ("a","bc") distinct.
+        let h = fnv1a(
+            fnv1a(fnv1a(FNV_OFFSET, namespace.as_bytes()), &[0x1f]),
+            key.as_bytes(),
+        );
+        (h % COVERAGE_BITS as u64) as usize
+    }
+
+    /// Sets the feature's bit; returns `true` when the bit was new.
+    pub fn add(&mut self, namespace: &str, key: &str) -> bool {
+        self.set(Self::probe(namespace, key))
+    }
+
+    /// Sets a raw bit index; returns `true` when it was previously clear.
+    pub fn set(&mut self, bit: usize) -> bool {
+        let bit = bit % COVERAGE_BITS;
+        let (w, m) = (bit / 64, 1u64 << (bit % 64));
+        let fresh = self.words[w] & m == 0;
+        self.words[w] |= m;
+        fresh
+    }
+
+    /// `true` when the feature's bit is set.
+    pub fn contains(&self, namespace: &str, key: &str) -> bool {
+        let bit = Self::probe(namespace, key);
+        self.words[bit / 64] & (1u64 << (bit % 64)) != 0
+    }
+
+    /// Taxonomy channel: one bit per Figure-1 vulnerability letter.
+    pub fn add_taxonomy(&mut self, v: SubPageVulnerability) -> bool {
+        self.add("taxonomy", v.letter().encode_utf8(&mut [0u8; 4]))
+    }
+
+    /// Time-window channel: one bit per §5.2 window path.
+    pub fn add_window(&mut self, w: WindowPath) -> bool {
+        self.add("window", &w.to_string())
+    }
+
+    /// Site channel: fault/trace site tags threaded through `SimCtx`.
+    pub fn add_site(&mut self, tag: &str) -> bool {
+        self.add("site", tag)
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> u32 {
+        self.words.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// `true` when no bit is set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// ORs `other` into `self`; returns how many bits were newly set.
+    pub fn merge(&mut self, other: &CoverageMap) -> u32 {
+        let mut new_bits = 0;
+        for (w, o) in self.words.iter_mut().zip(other.words.iter()) {
+            new_bits += (o & !*w).count_ones();
+            *w |= o;
+        }
+        new_bits
+    }
+
+    /// Set bit indices in ascending order.
+    pub fn bits(&self) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.count_ones() as usize);
+        for (wi, &w) in self.words.iter().enumerate() {
+            let mut w = w;
+            while w != 0 {
+                let b = w.trailing_zeros() as usize;
+                out.push(wi * 64 + b);
+                w &= w - 1;
+            }
+        }
+        out
+    }
+
+    /// Order-independent digest of the set-bit indices — the corpus
+    /// dedup / minimizer-preservation fingerprint.
+    pub fn signature(&self) -> u64 {
+        let mut h = FNV_OFFSET;
+        for bit in self.bits() {
+            h = fnv1a(h, &(bit as u16).to_le_bytes());
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_reports_new_bits_once() {
+        let mut m = CoverageMap::new();
+        assert!(m.add("site", "sim_mem.kmalloc"));
+        assert!(!m.add("site", "sim_mem.kmalloc"));
+        assert_eq!(m.count_ones(), 1);
+        assert!(m.contains("site", "sim_mem.kmalloc"));
+        assert!(!m.contains("site", "sim_mem.kfree"));
+    }
+
+    #[test]
+    fn namespaces_separate_identical_keys() {
+        let mut m = CoverageMap::new();
+        assert!(m.add("site", "x"));
+        assert!(m.add("op", "x"));
+        assert_eq!(m.count_ones(), 2);
+        assert_ne!(
+            CoverageMap::probe("ab", "c"),
+            CoverageMap::probe("a", "bc"),
+            "separator keeps boundary distinct"
+        );
+    }
+
+    #[test]
+    fn merge_counts_only_fresh_bits() {
+        let mut a = CoverageMap::new();
+        a.add("t", "1");
+        a.add("t", "2");
+        let mut b = CoverageMap::new();
+        b.add("t", "2");
+        b.add("t", "3");
+        assert_eq!(a.merge(&b), 1);
+        assert_eq!(a.count_ones(), 3);
+        assert_eq!(a.merge(&b), 0, "idempotent");
+    }
+
+    #[test]
+    fn signature_is_order_independent_and_collision_sensitive() {
+        let mut a = CoverageMap::new();
+        a.add("t", "1");
+        a.add("t", "2");
+        let mut b = CoverageMap::new();
+        b.add("t", "2");
+        b.add("t", "1");
+        assert_eq!(a.signature(), b.signature());
+        b.add("t", "3");
+        assert_ne!(a.signature(), b.signature());
+        assert_eq!(CoverageMap::new().signature(), FNV_OFFSET);
+    }
+
+    #[test]
+    fn typed_channels_set_distinct_bits() {
+        let mut m = CoverageMap::new();
+        assert!(m.add_taxonomy(SubPageVulnerability::OsMetadata));
+        assert!(m.add_taxonomy(SubPageVulnerability::MultipleIova));
+        assert!(m.add_window(WindowPath::UnmapAfterBuild));
+        assert!(m.add_window(WindowPath::DeferredIotlb));
+        assert!(m.add_site("device.dma_write"));
+        assert_eq!(m.count_ones(), 5);
+    }
+
+    #[test]
+    fn bits_are_sorted_ascending() {
+        let mut m = CoverageMap::new();
+        for k in ["a", "b", "c", "d", "e"] {
+            m.add("t", k);
+        }
+        let bits = m.bits();
+        assert_eq!(bits.len(), 5);
+        assert!(bits.windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -14,13 +14,25 @@
 //! produces the same fault sequence — the chaos soak asserts exact
 //! replayability of fault-hit and drop counters.
 //!
-//! # Site tags
+//! # Site tags and the pattern grammar
 //!
 //! Sites are `&'static str` tags named `"<crate>.<operation>"`, e.g.
 //! `"sim_mem.kmalloc"`, `"sim_iommu.dma_map"`, `"sim_net.rx_refill"`,
-//! `"device.dma_read"`. A rule pattern matches a site either exactly or
-//! by prefix when the pattern ends in `*` (`"sim_mem.*"` matches every
-//! allocator site).
+//! `"device.dma_read"`. Rule patterns are matched against sites by
+//! [`pattern_matches`] under a small glob grammar:
+//!
+//! - A pattern with no `*` matches exactly one site tag, verbatim.
+//! - Otherwise the pattern and site are split on `.` and compared
+//!   segment by segment. Inside a segment, `*` matches any run of
+//!   characters (including none), so `"sim_*.dma_*"` matches
+//!   `"sim_iommu.dma_map"` and `"*.rx_refill"` matches
+//!   `"sim_net.rx_refill"` but not `"sim_net.rx_poll"`.
+//! - As a special case, a **final** segment that is exactly `*`
+//!   matches one *or more* trailing site segments: `"sim_mem.*"`
+//!   matches every allocator site and a bare `"*"` matches every site.
+//!   (This keeps the historical trailing-`*` prefix behavior.)
+//! - Segment counts must otherwise agree: `"*.refill"` never matches a
+//!   three-segment tag.
 //!
 //! # Writing a plan in a test
 //!
@@ -65,7 +77,8 @@ pub enum FaultTrigger {
 /// One site-tagged injection rule with its bookkeeping counters.
 #[derive(Clone, Debug)]
 pub struct FaultRule {
-    /// Site pattern: exact tag, or prefix when ending in `*`.
+    /// Site pattern under the module-level glob grammar (exact tag,
+    /// per-segment `*` wildcards, or a trailing bare-`*` segment).
     pub pattern: String,
     /// Firing condition.
     pub trigger: FaultTrigger,
@@ -79,11 +92,57 @@ pub struct FaultRule {
 
 impl FaultRule {
     fn matches(&self, site: &str) -> bool {
-        match self.pattern.strip_suffix('*') {
-            Some(prefix) => site.starts_with(prefix),
-            None => self.pattern == site,
+        pattern_matches(&self.pattern, site)
+    }
+}
+
+/// Matches a site tag against a rule pattern under the glob grammar
+/// documented in the module header: no `*` ⇒ exact match; otherwise
+/// per-`.`-segment comparison with in-segment `*` wildcards, where a
+/// final bare-`*` segment swallows one or more trailing site segments.
+pub fn pattern_matches(pattern: &str, site: &str) -> bool {
+    if !pattern.contains('*') {
+        return pattern == site;
+    }
+    let psegs: Vec<&str> = pattern.split('.').collect();
+    let ssegs: Vec<&str> = site.split('.').collect();
+    if psegs.last() == Some(&"*") {
+        let lead = &psegs[..psegs.len() - 1];
+        return ssegs.len() >= psegs.len()
+            && lead.iter().zip(&ssegs).all(|(p, s)| segment_matches(p, s));
+    }
+    psegs.len() == ssegs.len() && psegs.iter().zip(&ssegs).all(|(p, s)| segment_matches(p, s))
+}
+
+/// In-segment glob: `*` matches any (possibly empty) run of characters.
+/// Iterative with backtracking to the last star, so `"dma_*"` and
+/// `"*refill*"` both work without recursion.
+fn segment_matches(pat: &str, seg: &str) -> bool {
+    let p = pat.as_bytes();
+    let s = seg.as_bytes();
+    let (mut pi, mut si) = (0usize, 0usize);
+    let mut star: Option<usize> = None;
+    let mut mark = 0usize;
+    while si < s.len() {
+        if pi < p.len() && (p[pi] == s[si]) {
+            pi += 1;
+            si += 1;
+        } else if pi < p.len() && p[pi] == b'*' {
+            star = Some(pi);
+            mark = si;
+            pi += 1;
+        } else if let Some(sp) = star {
+            pi = sp + 1;
+            mark += 1;
+            si = mark;
+        } else {
+            return false;
         }
     }
+    while pi < p.len() && p[pi] == b'*' {
+        pi += 1;
+    }
+    pi == p.len()
 }
 
 /// A deterministic schedule of injected faults, threaded through
@@ -326,6 +385,51 @@ mod tests {
         assert_eq!(p.rules()[1].calls, 2);
         // Only one injected fault is reported per call.
         assert_eq!(*p.hits_by_site().get("a.b").unwrap(), 2);
+    }
+
+    #[test]
+    fn glob_matches_operation_segment_across_layers() {
+        let mut p = FaultPlan::seeded(1).fail_always("*.rx_refill");
+        assert!(p.should_fail("sim_net.rx_refill"));
+        assert!(!p.should_fail("sim_net.rx_poll"));
+        assert!(!p.should_fail("sim_mem.kmalloc"));
+    }
+
+    #[test]
+    fn glob_wildcards_work_inside_segments() {
+        assert!(pattern_matches("sim_*.dma_*", "sim_iommu.dma_map"));
+        assert!(!pattern_matches("sim_*.dma_*", "device.dma_read"));
+        assert!(pattern_matches("*.dma_*", "device.dma_read"));
+        assert!(pattern_matches(
+            "sim_mem.*alloc*",
+            "sim_mem.page_frag_alloc"
+        ));
+        assert!(pattern_matches("sim_mem.*alloc*", "sim_mem.alloc_pages"));
+        assert!(!pattern_matches("sim_mem.*alloc*", "sim_mem.kfree"));
+    }
+
+    #[test]
+    fn glob_requires_matching_segment_counts() {
+        assert!(!pattern_matches("*.refill", "a.b.refill"));
+        assert!(!pattern_matches("a.*.c", "a.b"));
+        assert!(pattern_matches("a.*.c", "a.anything.c"));
+    }
+
+    #[test]
+    fn trailing_bare_star_matches_remaining_segments() {
+        assert!(pattern_matches("sim_mem.*", "sim_mem.kmalloc"));
+        assert!(pattern_matches("a.*", "a.b.c"), "one-or-more trailing");
+        assert!(!pattern_matches("a.*", "a"), "star needs a segment");
+        assert!(
+            pattern_matches("*", "device.dma_write"),
+            "bare * is match-all"
+        );
+    }
+
+    #[test]
+    fn exact_patterns_do_not_glob() {
+        assert!(pattern_matches("sim_mem.kmalloc", "sim_mem.kmalloc"));
+        assert!(!pattern_matches("sim_mem.kmalloc", "sim_mem.kmalloc2"));
     }
 
     #[test]

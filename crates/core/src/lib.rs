@@ -27,9 +27,13 @@
 //!   span-scoped cycle attribution, exported as text or JSON.
 //! - [`jsonw`] — the serde-free JSON writer the exporters use so
 //!   machine-readable output stays byte-deterministic.
+//! - [`coverage`] — the deterministic feature bitmap the `fuzz` crate
+//!   uses as its coverage signal: site tags, D-KASAN finding classes,
+//!   and taxonomy hits hashed into a fixed-size, signature-carrying map.
 
 pub mod addr;
 pub mod clock;
+pub mod coverage;
 pub mod error;
 pub mod fault;
 pub mod jsonw;
@@ -41,6 +45,7 @@ pub mod vuln;
 
 pub use addr::{Iova, Kva, Pfn, PhysAddr, PAGE_MASK, PAGE_SHIFT, PAGE_SIZE};
 pub use clock::{Clock, Cycles};
+pub use coverage::{CoverageMap, COVERAGE_BITS};
 pub use error::{DmaError, Result};
 pub use fault::{FaultPlan, FaultRule, FaultTrigger};
 pub use layout::{KernelLayout, VmRegion};

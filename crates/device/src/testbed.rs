@@ -10,7 +10,7 @@ use sim_iommu::{Iommu, IommuConfig};
 use sim_mem::{MemConfig, MemorySystem};
 use sim_net::driver::{DriverConfig, NicDriver};
 use sim_net::packet::Packet;
-use sim_net::skb::PendingCallback;
+use sim_net::skb::{PendingCallback, NET_SKB_PAD};
 use sim_net::stack::{NetStack, StackConfig};
 
 /// Full machine configuration.
@@ -131,6 +131,31 @@ impl Testbed {
             &mut self.mem.phys,
             iova,
             packet,
+        )?;
+        self.driver.device_rx_complete(n)?;
+        self.rx_process()
+    }
+
+    /// Device delivers `bytes` verbatim — no `Packet` framing — into the
+    /// head RX buffer at the payload offset and signals completion. This
+    /// is the fuzzer's malformed-frame path: the wire bytes need not
+    /// parse, and the stack is expected to drop garbage gracefully
+    /// rather than panic.
+    pub fn deliver_raw(&mut self, bytes: &[u8]) -> Result<()> {
+        let descs = self.driver.rx_descriptors();
+        let (iova, buf_size) = *descs.first().ok_or(dma_core::DmaError::RingEmpty)?;
+        let room = buf_size.saturating_sub(NET_SKB_PAD);
+        if room == 0 {
+            return Err(dma_core::DmaError::RingEmpty);
+        }
+        let n = bytes.len().min(room);
+        self.nic.deposit(
+            &mut self.ctx,
+            &mut self.iommu,
+            &mut self.mem.phys,
+            iova,
+            NET_SKB_PAD,
+            &bytes[..n],
         )?;
         self.driver.device_rx_complete(n)?;
         self.rx_process()
@@ -263,6 +288,18 @@ mod tests {
         assert_eq!(tb.stack.stats.echoed, 1);
         let cbs = tb.complete_all_tx().unwrap();
         assert!(cbs.is_empty());
+    }
+
+    #[test]
+    fn raw_garbage_frames_are_dropped_not_fatal() {
+        let mut tb = Testbed::new(TestbedConfig::default()).unwrap();
+        tb.deliver_raw(&[0xff; 97]).unwrap();
+        assert_eq!(tb.stack.stats.delivered, 0);
+        assert_eq!(tb.stack.stats.dropped, 1, "garbage is dropped, not fatal");
+        // A well-formed packet still flows afterwards.
+        tb.deliver_packet(&local_udp(b"after")).unwrap();
+        assert_eq!(tb.stack.stats.delivered, 1);
+        assert_eq!(tb.shutdown().unwrap(), 0);
     }
 
     #[test]

@@ -1,0 +1,578 @@
+//! Deterministic execution of one fuzz input against a fresh machine.
+//!
+//! Each input boots its own traced [`Testbed`] (configuration chosen by
+//! `config_id`), applies its op program, replays the event trace
+//! through D-KASAN after every op, and folds everything observable into
+//! a [`CoverageMap`]: per-op outcomes, trace-event shapes, fault-site
+//! hits, metric/span names, D-KASAN finding classes, Figure-1 taxonomy
+//! letters, and §5.2 window paths. The map's signature is the input's
+//! behavioral fingerprint — identical across replays of the same
+//! `(seed, iteration)`.
+
+use devsim::testbed::MemConfigLite;
+use devsim::{Testbed, TestbedConfig};
+use dkasan::{DKasan, FindingKind};
+use dma_core::vuln::{
+    CallbackExposure, SubPageVulnerability, TimeWindow, VulnerabilityAttributes, WindowPath,
+};
+use dma_core::{CoverageMap, DetRng, DmaError, Event, Iova, Kva, Result, VmRegion};
+use sim_iommu::{InvalidationMode, IommuConfig};
+use sim_net::driver::{AllocPolicy, DriverConfig, UnmapOrder};
+use sim_net::packet::Packet;
+use sim_net::shinfo::{DEVICE_WRITABLE_FIELDS, SHINFO_DESTRUCTOR_ARG};
+use sim_net::stack::StackConfig;
+
+use crate::input::{FuzzInput, MutationOp, FAULT_GLOBS, NUM_CONFIGS};
+
+/// One §3.3-classified vulnerability observation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FuzzFinding {
+    /// Iteration that produced it (replay with the run seed).
+    pub iteration: u64,
+    /// Figure-1 sub-page vulnerability type.
+    pub taxonomy: SubPageVulnerability,
+    /// D-KASAN finding class, when the oracle confirmed it.
+    pub dkasan: Option<FindingKind>,
+    /// Site tag (D-KASAN findings) or tampered field name.
+    pub site: String,
+    /// The §3.3 attribute set assembled for this observation.
+    pub attrs: VulnerabilityAttributes,
+}
+
+impl FuzzFinding {
+    /// Dedup key: class identity without the per-run details.
+    pub fn key(&self) -> String {
+        format!(
+            "{}|{}|{}|{}",
+            self.taxonomy.letter(),
+            self.dkasan.map(|k| k.to_string()).unwrap_or_default(),
+            self.site,
+            self.attrs
+                .window
+                .map(|w| w.path.to_string())
+                .unwrap_or_default(),
+        )
+    }
+}
+
+/// Everything one execution produced.
+#[derive(Clone, Debug)]
+pub struct ExecOutcome {
+    /// The input's coverage map.
+    pub coverage: CoverageMap,
+    /// `coverage.signature()`, precomputed.
+    pub signature: u64,
+    /// Classified findings, in discovery order.
+    pub findings: Vec<FuzzFinding>,
+    /// Packets the stack delivered or echoed.
+    pub delivered: u64,
+    /// Ops absorbed as tolerated drops.
+    pub dropped: u64,
+    /// Final simulated cycle of the run.
+    pub cycles: u64,
+    /// Pages the device could still DMA to after shutdown.
+    pub leaked_pages: usize,
+}
+
+/// Human-readable name of a machine configuration.
+pub fn config_name(config_id: u8) -> &'static str {
+    match config_id % NUM_CONFIGS {
+        0 => "pagefrag-deferred",
+        1 => "i40e-build-then-unmap-strict",
+        2 => "kmalloc-ctrlblock-deferred",
+        _ => "pageperbuffer-strict",
+    }
+}
+
+/// The machine configuration sweep. Index 1 is the planted i40e-style
+/// shape (build_skb before unmap, §5.2.2 path (i)); index 2 is the
+/// kmalloc + mapped-control-block shape whose slab sharing D-KASAN
+/// flags (types (b)/(d)).
+pub fn machine_config(config_id: u8, seed: u64) -> TestbedConfig {
+    let (driver, mode) = match config_id % NUM_CONFIGS {
+        0 => (
+            DriverConfig {
+                alloc: AllocPolicy::PageFrag,
+                unmap_order: UnmapOrder::UnmapThenBuild,
+                ..Default::default()
+            },
+            InvalidationMode::Deferred,
+        ),
+        1 => (
+            DriverConfig {
+                alloc: AllocPolicy::PageFrag,
+                unmap_order: UnmapOrder::BuildThenUnmap,
+                ..Default::default()
+            },
+            InvalidationMode::Strict,
+        ),
+        2 => (
+            DriverConfig {
+                alloc: AllocPolicy::Kmalloc,
+                map_ctrl_block: true,
+                ..Default::default()
+            },
+            InvalidationMode::Deferred,
+        ),
+        _ => (
+            DriverConfig {
+                alloc: AllocPolicy::PagePerBuffer,
+                unmap_order: UnmapOrder::UnmapThenBuild,
+                ..Default::default()
+            },
+            InvalidationMode::Strict,
+        ),
+    };
+    TestbedConfig {
+        mem: MemConfigLite {
+            kaslr_seed: Some(seed),
+            ..Default::default()
+        },
+        iommu: IommuConfig {
+            mode,
+            ..Default::default()
+        },
+        driver,
+        stack: StackConfig {
+            echo_service: true,
+            ..Default::default()
+        },
+        boot_noise_seed: Some(seed),
+    }
+}
+
+/// Errors an op may absorb as a drop (same set as the chaos soak).
+fn tolerated(e: &DmaError) -> bool {
+    e.is_transient()
+        || matches!(
+            e,
+            DmaError::IommuFault { .. } | DmaError::IommuPermission { .. }
+        )
+}
+
+/// The kmalloc sites the churn op draws from.
+const CHURN_SITES: &[(&str, usize)] = &[
+    ("load_elf_phdrs", 512),
+    ("sock_alloc_inode", 64),
+    ("kstrdup", 32),
+    ("getname_flags", 1024),
+];
+
+fn taxonomy_of(kind: FindingKind, cfg: &DriverConfig) -> SubPageVulnerability {
+    match kind {
+        FindingKind::MultipleMap => SubPageVulnerability::MultipleIova,
+        FindingKind::AccessAfterMap => SubPageVulnerability::OsMetadata,
+        FindingKind::AllocAfterMap | FindingKind::MapAfterAlloc => {
+            if matches!(cfg.alloc, AllocPolicy::Kmalloc) || cfg.map_ctrl_block {
+                SubPageVulnerability::RandomColocation
+            } else {
+                SubPageVulnerability::DriverMetadata
+            }
+        }
+    }
+}
+
+/// Executes one input on a clean machine. See [`execute_under_faults`]
+/// for the variant the chaos soak uses.
+pub fn execute(input: &FuzzInput) -> Result<ExecOutcome> {
+    execute_under_faults(input, None)
+}
+
+/// Executes one input with an optional chaos fault plan armed on top of
+/// whatever `ArmFault` ops the input itself carries.
+pub fn execute_under_faults(input: &FuzzInput, fault_seed: Option<u64>) -> Result<ExecOutcome> {
+    let mut tb = Testbed::new_traced(machine_config(input.config_id, input.seed))?;
+    tb.ctx.trace.record_cpu_access = true;
+    if let Some(fs) = fault_seed {
+        tb.ctx.faults = devsim::build_fault_plan(fs);
+    }
+
+    let mut cov = CoverageMap::new();
+    let mut dkasan = DKasan::new();
+    let mut findings: Vec<FuzzFinding> = Vec::new();
+    let mut dropped = 0u64;
+    cov.add("config", config_name(input.config_id));
+
+    for (idx, op) in input.ops.iter().enumerate() {
+        let mut op_rng = DetRng::new(
+            input.seed ^ input.iteration.wrapping_mul(0x517c_c1b7_2722_0a95) ^ idx as u64,
+        );
+        match apply_op(
+            &mut tb,
+            op,
+            input.iteration,
+            &mut op_rng,
+            &mut cov,
+            &mut findings,
+        ) {
+            Ok(()) => {
+                cov.add("op", &format!("{}.ok", op.name()));
+            }
+            Err(e) if tolerated(&e) => {
+                dropped += 1;
+                cov.add("op", &format!("{}.drop", op.name()));
+                // A starved ring blocks every later delivery; kick the
+                // refill path exactly like the chaos soak does.
+                tb.driver
+                    .rx_refill(&mut tb.ctx, &mut tb.mem, &mut tb.iommu)?;
+            }
+            Err(e) => return Err(e),
+        }
+        let events = tb.ctx.trace.drain();
+        absorb_events(&events, &mut cov);
+        dkasan.process(&events);
+    }
+
+    let leaked_pages = tb.shutdown()?;
+    let events = tb.ctx.trace.drain();
+    absorb_events(&events, &mut cov);
+    dkasan.process(&events);
+
+    // Oracle: every D-KASAN finding class becomes coverage plus a
+    // taxonomy-classified fuzz finding.
+    for f in dkasan.findings() {
+        cov.add("dkasan", &format!("{}.{}", f.kind, f.site));
+        let taxonomy = taxonomy_of(f.kind, &tb.driver.cfg);
+        cov.add_taxonomy(taxonomy);
+        findings.push(FuzzFinding {
+            iteration: input.iteration,
+            taxonomy,
+            dkasan: Some(f.kind),
+            site: f.site.to_string(),
+            attrs: VulnerabilityAttributes::default(),
+        });
+    }
+
+    // Fold in fault-site hits and which metrics/spans the run lit up.
+    for site in tb.ctx.faults.hits_by_site().keys() {
+        cov.add("fault", site);
+    }
+    let snap = tb.ctx.metrics_snapshot();
+    for (name, _) in &snap.counters {
+        cov.add("metric", name);
+    }
+    for (name, _) in &snap.spans {
+        cov.add("span", name);
+    }
+    for f in &findings {
+        if let Some(w) = f.attrs.window {
+            cov.add_window(w.path);
+        }
+    }
+
+    Ok(ExecOutcome {
+        signature: cov.signature(),
+        coverage: cov,
+        findings,
+        delivered: tb.stack.stats.delivered + tb.stack.stats.echoed,
+        dropped,
+        cycles: tb.ctx.clock.now(),
+        leaked_pages,
+    })
+}
+
+fn absorb_events(events: &[Event], cov: &mut CoverageMap) {
+    for e in events {
+        match e {
+            Event::Alloc { cache, .. } => {
+                cov.add("event", &format!("alloc.{cache}"));
+            }
+            Event::Free { .. } => {
+                cov.add("event", "free");
+            }
+            Event::PageAlloc { .. } => {
+                cov.add("event", "page_alloc");
+            }
+            Event::PageFree { .. } => {
+                cov.add("event", "page_free");
+            }
+            Event::DmaMap { dir, site, .. } => {
+                cov.add("event", &format!("dma_map.{dir:?}"));
+                cov.add_site(site);
+            }
+            Event::DmaUnmap { .. } => {
+                cov.add("event", "dma_unmap");
+            }
+            Event::CpuAccess { .. } => {
+                cov.add("event", "cpu_access");
+            }
+            Event::DevAccess {
+                write,
+                allowed,
+                stale,
+                ..
+            } => {
+                cov.add("event", &format!("dev_access.w{write}.a{allowed}.s{stale}"));
+            }
+            Event::IotlbInvalidate { .. } => {
+                cov.add("event", "iotlb_invalidate");
+            }
+            Event::IotlbGlobalFlush { .. } => {
+                cov.add("event", "iotlb_global_flush");
+            }
+            Event::FaultInjected { site, .. } => {
+                cov.add("fault", site);
+            }
+        }
+    }
+}
+
+/// The head RX descriptor, or `RingEmpty`.
+fn head_desc(tb: &Testbed) -> Result<(Iova, usize)> {
+    tb.driver
+        .rx_descriptors()
+        .first()
+        .copied()
+        .ok_or(DmaError::RingEmpty)
+}
+
+fn classify_kva(value: u64) -> Option<Kva> {
+    VmRegion::classify(value).map(|_| Kva(value))
+}
+
+fn apply_op(
+    tb: &mut Testbed,
+    op: &MutationOp,
+    iteration: u64,
+    op_rng: &mut DetRng,
+    cov: &mut CoverageMap,
+    findings: &mut Vec<FuzzFinding>,
+) -> Result<()> {
+    match *op {
+        MutationOp::Deliver { len, fill } => {
+            let pkt = Packet::udp(60 + (fill as u32 % 8), 1, vec![fill; len]);
+            tb.deliver_packet(&pkt)
+        }
+        MutationOp::InjectRaw { len, fill } => {
+            let bytes: Vec<u8> = (0..len).map(|i| fill.wrapping_add(i as u8)).collect();
+            tb.deliver_raw(&bytes)
+        }
+        MutationOp::ShinfoWrite { field, value } => {
+            let (name, offset, width) =
+                DEVICE_WRITABLE_FIELDS[field % DEVICE_WRITABLE_FIELDS.len()];
+            let (iova, buf_size) = head_desc(tb)?;
+            let shinfo = tb.nic.shinfo_iova(iova, buf_size);
+            let bytes = value.to_le_bytes();
+            tb.nic.deposit(
+                &mut tb.ctx,
+                &mut tb.iommu,
+                &mut tb.mem.phys,
+                shinfo,
+                offset,
+                &bytes[..width.min(8)],
+            )?;
+            cov.add("shinfo", name);
+            // A pointer-bearing field reachable by device write is the
+            // §5.1 callback exposure (type (b)): record it, with the
+            // malicious-KVA attribute when the value parses as one.
+            if width == 8 {
+                findings.push(FuzzFinding {
+                    iteration,
+                    taxonomy: SubPageVulnerability::OsMetadata,
+                    dkasan: None,
+                    site: format!("skb_shared_info.{name}"),
+                    attrs: VulnerabilityAttributes {
+                        malicious_kva: classify_kva(value),
+                        callback: Some(CallbackExposure {
+                            iova: Iova(shinfo.raw() + offset as u64),
+                            page_offset: ((shinfo.raw() + offset as u64)
+                                % dma_core::PAGE_SIZE as u64)
+                                as usize,
+                            via: SubPageVulnerability::OsMetadata,
+                            field: name,
+                        }),
+                        window: None,
+                    },
+                });
+            }
+            Ok(())
+        }
+        MutationOp::PayloadDeposit { offset, fill, len } => {
+            let (iova, buf_size) = head_desc(tb)?;
+            let room = buf_size.saturating_sub(1).max(1);
+            let offset = offset % room;
+            let len = len.min(buf_size - offset).max(1);
+            let bytes = vec![fill; len];
+            tb.nic.deposit(
+                &mut tb.ctx,
+                &mut tb.iommu,
+                &mut tb.mem.phys,
+                iova,
+                offset,
+                &bytes,
+            )
+        }
+        MutationOp::RaceWrite { value } => race_write(tb, iteration, value, cov, findings),
+        MutationOp::StaleWrite { value } => stale_write(tb, iteration, value, cov, findings),
+        MutationOp::AdvanceTime { ms } => {
+            tb.advance_ms(ms);
+            Ok(())
+        }
+        MutationOp::KmallocChurn { rounds } => {
+            let mut live = Vec::new();
+            for _ in 0..rounds {
+                for _ in 0..(1 + op_rng.below(3)) {
+                    let (site, size) = CHURN_SITES[op_rng.below(CHURN_SITES.len() as u64) as usize];
+                    let kva = tb.mem.kmalloc(&mut tb.ctx, size, site)?;
+                    live.push(kva);
+                }
+                // Free roughly half so slab slots recycle under the
+                // device's nose (the type-(d) reuse pattern).
+                while live.len() > 2 {
+                    let idx = op_rng.below(live.len() as u64) as usize;
+                    let kva = live.swap_remove(idx);
+                    tb.mem.kfree(&mut tb.ctx, kva)?;
+                }
+            }
+            for kva in live {
+                tb.mem.kfree(&mut tb.ctx, kva)?;
+            }
+            Ok(())
+        }
+        MutationOp::DescriptorScan => {
+            let descs = tb.driver.rx_descriptors();
+            let nic = tb.nic;
+            let leaks = nic.scan_descriptors(&mut tb.ctx, &mut tb.iommu, &tb.mem.phys, &descs);
+            if !leaks.is_empty() {
+                cov.add("op", "descriptor_scan.leaked_ptr");
+            }
+            Ok(())
+        }
+        MutationOp::CompleteTx => tb.complete_all_tx().map(|_| ()),
+        MutationOp::ArmFault { glob, every } => {
+            let pattern = FAULT_GLOBS[glob % FAULT_GLOBS.len()];
+            let plan = std::mem::take(&mut tb.ctx.faults);
+            tb.ctx.faults = plan.fail_every(pattern, every);
+            Ok(())
+        }
+    }
+}
+
+/// Delivers a frame and fires the device write *inside* the rx_poll
+/// race window — between build_skb and dma_unmap on BuildThenUnmap
+/// drivers (path (i)), or after the unmap on UnmapThenBuild drivers,
+/// where it only lands through a stale IOTLB entry (path (ii)).
+fn race_write(
+    tb: &mut Testbed,
+    iteration: u64,
+    value: u64,
+    cov: &mut CoverageMap,
+    findings: &mut Vec<FuzzFinding>,
+) -> Result<()> {
+    let (iova, _) = head_desc(tb)?;
+    let pkt = Packet::udp(61, 1, vec![0xa5; 64]);
+    let n = tb
+        .nic
+        .inject_rx(&mut tb.ctx, &mut tb.iommu, &mut tb.mem.phys, iova, &pkt)?;
+    tb.driver.device_rx_complete(n)?;
+
+    let nic = tb.nic;
+    let start = tb.ctx.clock.now();
+    let mut landed: Option<Iova> = None;
+    loop {
+        let polled = tb.driver.rx_poll(
+            &mut tb.ctx,
+            &mut tb.mem,
+            &mut tb.iommu,
+            |ctx, mem, iommu, slot| {
+                let shinfo = nic.shinfo_iova(slot.mapping.iova, slot.buf_size);
+                let target = Iova(shinfo.raw() + SHINFO_DESTRUCTOR_ARG as u64);
+                if nic
+                    .write_u64(ctx, iommu, &mut mem.phys, target, value)
+                    .is_ok()
+                {
+                    landed = Some(target);
+                }
+            },
+        )?;
+        match polled {
+            Some(skb) => {
+                tb.stack
+                    .rx(&mut tb.ctx, &mut tb.mem, &mut tb.iommu, &mut tb.driver, skb)?
+            }
+            None => break,
+        }
+    }
+    tb.stack
+        .flush(&mut tb.ctx, &mut tb.mem, &mut tb.iommu, &mut tb.driver)?;
+
+    if let Some(target) = landed {
+        let path = match tb.driver.cfg.unmap_order {
+            UnmapOrder::BuildThenUnmap => WindowPath::UnmapAfterBuild,
+            UnmapOrder::UnmapThenBuild => WindowPath::DeferredIotlb,
+        };
+        cov.add_window(path);
+        findings.push(FuzzFinding {
+            iteration,
+            taxonomy: SubPageVulnerability::OsMetadata,
+            dkasan: None,
+            site: "skb_shared_info.destructor_arg".to_string(),
+            attrs: VulnerabilityAttributes {
+                malicious_kva: classify_kva(value),
+                callback: Some(CallbackExposure {
+                    iova: target,
+                    page_offset: (target.raw() % dma_core::PAGE_SIZE as u64) as usize,
+                    via: SubPageVulnerability::OsMetadata,
+                    field: "destructor_arg",
+                }),
+                window: Some(TimeWindow {
+                    start,
+                    end: tb.ctx.clock.now(),
+                    path,
+                }),
+            },
+        });
+    }
+    Ok(())
+}
+
+/// Captures the head descriptor, lets the driver consume and unmap it,
+/// then writes through the captured IOVA: only a stale IOTLB entry
+/// (deferred invalidation, §5.2.1) lets this land.
+fn stale_write(
+    tb: &mut Testbed,
+    iteration: u64,
+    value: u64,
+    cov: &mut CoverageMap,
+    findings: &mut Vec<FuzzFinding>,
+) -> Result<()> {
+    let (iova, buf_size) = head_desc(tb)?;
+    let target = Iova(iova.raw() + buf_size as u64 + SHINFO_DESTRUCTOR_ARG as u64);
+    let start = tb.ctx.clock.now();
+    // Consuming the head frame fills the IOTLB through this IOVA and
+    // then unmaps it; under deferred invalidation the entry lingers.
+    tb.deliver_packet(&Packet::udp(62, 1, vec![0x5a; 48]))?;
+    match tb
+        .nic
+        .write_u64(&mut tb.ctx, &mut tb.iommu, &mut tb.mem.phys, target, value)
+    {
+        Ok(()) => {
+            cov.add_window(WindowPath::DeferredIotlb);
+            findings.push(FuzzFinding {
+                iteration,
+                taxonomy: SubPageVulnerability::OsMetadata,
+                dkasan: None,
+                site: "skb_shared_info.destructor_arg".to_string(),
+                attrs: VulnerabilityAttributes {
+                    malicious_kva: classify_kva(value),
+                    callback: Some(CallbackExposure {
+                        iova: target,
+                        page_offset: (target.raw() % dma_core::PAGE_SIZE as u64) as usize,
+                        via: SubPageVulnerability::OsMetadata,
+                        field: "destructor_arg",
+                    }),
+                    window: Some(TimeWindow {
+                        start,
+                        end: tb.ctx.clock.now(),
+                        path: WindowPath::DeferredIotlb,
+                    }),
+                },
+            });
+            Ok(())
+        }
+        // Strict invalidation revoked the entry: the window is closed,
+        // which is itself a (negative) observation — the IOMMU fault is
+        // already in the coverage map via the event stream.
+        Err(e) => Err(e),
+    }
+}

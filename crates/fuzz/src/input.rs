@@ -1,0 +1,294 @@
+//! Seeded generation of fuzz inputs.
+//!
+//! A [`FuzzInput`] is a short program of [`MutationOp`]s plus a machine
+//! configuration index, derived *entirely* from `(seed, iteration)`
+//! through a [`DetRng`]. There is no stored corpus format to replay —
+//! regenerating the input from the pair reproduces it bit for bit,
+//! which is what makes every finding replayable from two integers.
+
+use dma_core::DetRng;
+use sim_net::shinfo::DEVICE_WRITABLE_FIELDS;
+
+/// Upper bound on ops per input (the first op is always a frame
+/// delivery so later ops have ring state to chew on).
+pub const MAX_OPS: usize = 12;
+
+/// Fault-rule glob patterns the fuzzer arms (exercising the
+/// `dma_core::fault` pattern grammar end to end: operation-segment
+/// globs, in-segment wildcards, layer prefixes).
+pub const FAULT_GLOBS: &[&str] = &[
+    "*.rx_refill",
+    "sim_mem.*",
+    "*.dma_*",
+    "sim_iommu.alloc_iova",
+    "sim_*.*alloc*",
+];
+
+/// One step of a fuzz input: something the device (or time) does to the
+/// machine. All payload bytes and addresses are derived at generation
+/// time so applying an op is deterministic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MutationOp {
+    /// Deliver a well-formed UDP frame of `len` payload bytes.
+    Deliver {
+        /// Payload length.
+        len: usize,
+        /// Payload fill byte.
+        fill: u8,
+    },
+    /// Device writes `len` raw (unframed, adversarial) wire bytes.
+    InjectRaw {
+        /// Wire length.
+        len: usize,
+        /// Fill byte; successive bytes increment from it.
+        fill: u8,
+    },
+    /// Device overwrites one `skb_shared_info` field of the head RX
+    /// buffer while its mapping is live (§3.2 type (b) tampering).
+    ShinfoWrite {
+        /// Index into [`DEVICE_WRITABLE_FIELDS`].
+        field: usize,
+        /// Value written (truncated to the field width).
+        value: u64,
+    },
+    /// Device deposits bytes into the head RX payload window without
+    /// signalling completion.
+    PayloadDeposit {
+        /// Offset within the payload area.
+        offset: usize,
+        /// Fill byte.
+        fill: u8,
+        /// Length.
+        len: usize,
+    },
+    /// Deliver a frame and fire a device write at `destructor_arg`
+    /// *inside* the rx_poll window (§5.2.2 paths (i)/(ii)).
+    RaceWrite {
+        /// Value the device writes into the callback slot.
+        value: u64,
+    },
+    /// Capture the head descriptor, let the driver consume/unmap it,
+    /// then write through the captured IOVA — lands only while a stale
+    /// IOTLB entry survives (deferred invalidation, path (ii)).
+    StaleWrite {
+        /// Value the device writes.
+        value: u64,
+    },
+    /// Advance simulated time (triggers deferred IOTLB flushes, closing
+    /// windows).
+    AdvanceTime {
+        /// Milliseconds.
+        ms: u64,
+    },
+    /// Kmalloc churn rounds: allocations that may land on mapped slab
+    /// pages (type (d) random co-location).
+    KmallocChurn {
+        /// Alloc/free rounds.
+        rounds: usize,
+    },
+    /// Device scans all RX descriptors for leaked kernel pointers.
+    DescriptorScan,
+    /// Honest TX completion of everything in flight.
+    CompleteTx,
+    /// Arm a fault-injection rule by glob pattern.
+    ArmFault {
+        /// Index into [`FAULT_GLOBS`].
+        glob: usize,
+        /// EveryK period.
+        every: u64,
+    },
+}
+
+impl MutationOp {
+    /// Short op name for coverage keys and corpus files.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MutationOp::Deliver { .. } => "deliver",
+            MutationOp::InjectRaw { .. } => "inject_raw",
+            MutationOp::ShinfoWrite { .. } => "shinfo_write",
+            MutationOp::PayloadDeposit { .. } => "payload_deposit",
+            MutationOp::RaceWrite { .. } => "race_write",
+            MutationOp::StaleWrite { .. } => "stale_write",
+            MutationOp::AdvanceTime { .. } => "advance_time",
+            MutationOp::KmallocChurn { .. } => "kmalloc_churn",
+            MutationOp::DescriptorScan => "descriptor_scan",
+            MutationOp::CompleteTx => "complete_tx",
+            MutationOp::ArmFault { .. } => "arm_fault",
+        }
+    }
+
+    /// One-line rendering for corpus files and reports.
+    pub fn describe(&self) -> String {
+        match self {
+            MutationOp::Deliver { len, fill } => format!("deliver len={len} fill={fill:#04x}"),
+            MutationOp::InjectRaw { len, fill } => format!("inject_raw len={len} fill={fill:#04x}"),
+            MutationOp::ShinfoWrite { field, value } => {
+                let (name, ..) = DEVICE_WRITABLE_FIELDS[field % DEVICE_WRITABLE_FIELDS.len()];
+                format!("shinfo_write field={name} value={value:#x}")
+            }
+            MutationOp::PayloadDeposit { offset, fill, len } => {
+                format!("payload_deposit offset={offset} len={len} fill={fill:#04x}")
+            }
+            MutationOp::RaceWrite { value } => format!("race_write value={value:#x}"),
+            MutationOp::StaleWrite { value } => format!("stale_write value={value:#x}"),
+            MutationOp::AdvanceTime { ms } => format!("advance_time ms={ms}"),
+            MutationOp::KmallocChurn { rounds } => format!("kmalloc_churn rounds={rounds}"),
+            MutationOp::DescriptorScan => "descriptor_scan".to_string(),
+            MutationOp::CompleteTx => "complete_tx".to_string(),
+            MutationOp::ArmFault { glob, every } => {
+                let pat = FAULT_GLOBS[glob % FAULT_GLOBS.len()];
+                format!("arm_fault glob={pat} every={every}")
+            }
+        }
+    }
+}
+
+/// One fuzz input: a machine configuration plus an op program, fully
+/// determined by `(seed, iteration)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FuzzInput {
+    /// Run seed.
+    pub seed: u64,
+    /// Iteration within the run.
+    pub iteration: u64,
+    /// Machine configuration index (see `exec::machine_config`).
+    pub config_id: u8,
+    /// The op program.
+    pub ops: Vec<MutationOp>,
+}
+
+/// Number of machine configurations the fuzzer sweeps.
+pub const NUM_CONFIGS: u8 = 4;
+
+fn pick_value(rng: &mut DetRng) -> u64 {
+    match rng.below(4) {
+        // A direct-map-looking KVA — the "malicious pointer" class the
+        // §3.3 attributes care about.
+        0 => 0xffff_8880_0000_0000 + (rng.below(1 << 28) & !0x7),
+        // A kernel-text-looking pointer.
+        1 => 0xffff_ffff_8100_0000 + (rng.below(1 << 20) & !0xf),
+        // A small integer (interesting for counts like nr_frags/dataref).
+        2 => rng.below(64),
+        _ => rng.next_u64(),
+    }
+}
+
+impl FuzzInput {
+    /// Derives the input for `(seed, iteration)`. Early iterations sweep
+    /// the machine configurations round-robin so every driver shape is
+    /// explored even under tiny budgets.
+    pub fn generate(seed: u64, iteration: u64) -> FuzzInput {
+        let mut rng =
+            DetRng::new(seed ^ iteration.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0x00f0_22ed_u64);
+        let config_id = (iteration % NUM_CONFIGS as u64) as u8;
+        let n = 3 + rng.below((MAX_OPS - 4) as u64) as usize;
+        let mut ops = Vec::with_capacity(n + 1);
+        ops.push(MutationOp::Deliver {
+            len: 16 + rng.below(240) as usize,
+            fill: rng.below(256) as u8,
+        });
+        for _ in 0..n {
+            ops.push(match rng.below(12) {
+                0 | 1 => MutationOp::Deliver {
+                    len: 1 + rng.below(512) as usize,
+                    fill: rng.below(256) as u8,
+                },
+                2 => MutationOp::InjectRaw {
+                    len: 1 + rng.below(256) as usize,
+                    fill: rng.below(256) as u8,
+                },
+                3 => MutationOp::ShinfoWrite {
+                    field: rng.below(DEVICE_WRITABLE_FIELDS.len() as u64) as usize,
+                    value: pick_value(&mut rng),
+                },
+                4 => MutationOp::PayloadDeposit {
+                    offset: rng.below(1664) as usize,
+                    fill: rng.below(256) as u8,
+                    len: 1 + rng.below(64) as usize,
+                },
+                5 => MutationOp::RaceWrite {
+                    value: pick_value(&mut rng),
+                },
+                6 => MutationOp::StaleWrite {
+                    value: pick_value(&mut rng),
+                },
+                7 => MutationOp::AdvanceTime {
+                    ms: 1 + rng.below(24),
+                },
+                8 => MutationOp::KmallocChurn {
+                    rounds: 1 + rng.below(6) as usize,
+                },
+                9 => MutationOp::DescriptorScan,
+                10 => MutationOp::CompleteTx,
+                _ => MutationOp::ArmFault {
+                    glob: rng.below(FAULT_GLOBS.len() as u64) as usize,
+                    every: 2 + rng.below(6),
+                },
+            });
+        }
+        FuzzInput {
+            seed,
+            iteration,
+            config_id,
+            ops,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = FuzzInput::generate(7, 33);
+        let b = FuzzInput::generate(7, 33);
+        assert_eq!(a, b);
+        assert_ne!(a, FuzzInput::generate(7, 34));
+        assert_ne!(a, FuzzInput::generate(8, 33));
+    }
+
+    #[test]
+    fn first_op_is_always_a_delivery() {
+        for it in 0..64 {
+            let input = FuzzInput::generate(1, it);
+            assert!(matches!(input.ops[0], MutationOp::Deliver { .. }));
+            assert!(input.ops.len() <= MAX_OPS);
+            assert_eq!(input.config_id, (it % NUM_CONFIGS as u64) as u8);
+        }
+    }
+
+    #[test]
+    fn all_op_kinds_appear_within_a_small_budget() {
+        let mut seen = std::collections::BTreeSet::new();
+        for it in 0..96 {
+            for op in &FuzzInput::generate(3, it).ops {
+                seen.insert(op.name());
+            }
+        }
+        for kind in [
+            "deliver",
+            "inject_raw",
+            "shinfo_write",
+            "payload_deposit",
+            "race_write",
+            "stale_write",
+            "advance_time",
+            "kmalloc_churn",
+            "descriptor_scan",
+            "complete_tx",
+            "arm_fault",
+        ] {
+            assert!(seen.contains(kind), "{kind} never generated");
+        }
+    }
+
+    #[test]
+    fn describe_names_every_op() {
+        for it in 0..16 {
+            for op in &FuzzInput::generate(5, it).ops {
+                assert!(op.describe().starts_with(op.name()), "{:?}", op);
+            }
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! The run report: everything `dma-lab fuzz` prints and the bench
+//! serializes, rendered byte-deterministically with [`JsonWriter`].
+
+use dma_core::jsonw::JsonWriter;
+
+use crate::corpus::CorpusEntry;
+use crate::exec::FuzzFinding;
+
+/// One coverage-over-time sample, taken whenever the global map grew
+/// (plus the final iteration). Cycles are *simulated*, so the series is
+/// identical across runs with one seed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SeriesPoint {
+    /// Iteration index.
+    pub iteration: u64,
+    /// Global coverage bits after this iteration.
+    pub coverage_bits: u32,
+    /// Corpus size after this iteration.
+    pub corpus_size: usize,
+    /// Accumulated simulated cycles across all executions so far.
+    pub sim_cycles: u64,
+}
+
+/// Everything one fuzzing run produced.
+pub struct FuzzReport {
+    /// Run seed.
+    pub seed: u64,
+    /// Requested iteration budget.
+    pub iters: u64,
+    /// Driver executions performed (one per iteration).
+    pub execs: u64,
+    /// Extra executions spent minimizing admitted entries.
+    pub minimize_execs: u64,
+    /// Final global coverage bit count.
+    pub coverage_bits: u32,
+    /// Admitted (minimized) corpus entries, in discovery order.
+    pub corpus: Vec<CorpusEntry>,
+    /// Class-deduped findings, in first-discovery order.
+    pub findings: Vec<FuzzFinding>,
+    /// Coverage-over-time series.
+    pub series: Vec<SeriesPoint>,
+    /// Packets delivered/echoed across all executions.
+    pub delivered: u64,
+    /// Tolerated drops across all executions.
+    pub dropped: u64,
+    /// Total simulated cycles across all executions.
+    pub total_cycles: u64,
+    /// The runner's metrics snapshot (`fuzz.execs`, `fuzz.corpus.size`,
+    /// `fuzz.coverage.bits`, ...), rendered as JSON.
+    pub stats_json: String,
+}
+
+fn render_finding(w: &mut JsonWriter, f: &FuzzFinding) {
+    w.obj(|w| {
+        w.field_u64("iteration", f.iteration);
+        w.field_str("taxonomy", f.taxonomy.letter().encode_utf8(&mut [0u8; 4]));
+        w.field_str("description", &f.taxonomy.to_string());
+        w.field_str(
+            "dkasan",
+            &f.dkasan.map(|k| k.to_string()).unwrap_or_default(),
+        );
+        w.field_str("site", &f.site);
+        w.field_str(
+            "window",
+            &f.attrs
+                .window
+                .map(|win| win.path.to_string())
+                .unwrap_or_default(),
+        );
+        w.field_bool("callback_exposed", f.attrs.callback.is_some());
+        w.field_bool("malicious_kva", f.attrs.malicious_kva.is_some());
+        w.field_bool("complete", f.attrs.is_complete());
+        w.field("missing", |w| {
+            w.arr(|w| {
+                for m in f.attrs.missing() {
+                    w.elem(|w| w.str(m));
+                }
+            });
+        });
+    });
+}
+
+impl FuzzReport {
+    /// Renders just the coverage-over-time series (the deterministic
+    /// half of `BENCH_fuzz.json`).
+    pub fn series_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.obj(|w| {
+            w.field_u64("seed", self.seed);
+            w.field_u64("final_bits", self.coverage_bits as u64);
+            w.field_u64("total_sim_cycles", self.total_cycles);
+            w.field("points", |w| {
+                w.arr(|w| {
+                    for p in &self.series {
+                        w.elem(|w| {
+                            w.obj(|w| {
+                                w.field_u64("iteration", p.iteration);
+                                w.field_u64("coverage_bits", p.coverage_bits as u64);
+                                w.field_u64("corpus_size", p.corpus_size as u64);
+                                w.field_u64("sim_cycles", p.sim_cycles);
+                            });
+                        });
+                    }
+                });
+            });
+        });
+        w.finish()
+    }
+
+    /// Full report JSON — the `dma-lab fuzz --json` schema.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.obj(|w| {
+            w.field_u64("seed", self.seed);
+            w.field_u64("iters", self.iters);
+            w.field_u64("execs", self.execs);
+            w.field_u64("minimize_execs", self.minimize_execs);
+            w.field_u64("coverage_bits", self.coverage_bits as u64);
+            w.field_u64("delivered", self.delivered);
+            w.field_u64("dropped", self.dropped);
+            w.field("corpus", |w| {
+                w.arr(|w| {
+                    for e in &self.corpus {
+                        w.elem(|w| w.raw(&e.to_json()));
+                    }
+                });
+            });
+            w.field("findings", |w| {
+                w.arr(|w| {
+                    for f in &self.findings {
+                        w.elem(|w| render_finding(w, f));
+                    }
+                });
+            });
+            w.field("series", |w| w.raw(&self.series_json()));
+            w.field("stats", |w| w.raw(&self.stats_json));
+        });
+        w.finish()
+    }
+
+    /// Human-readable summary for the non-`--json` CLI path.
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "fuzz seed {}: {} execs (+{} minimizer), {} coverage bits, {} corpus entries, {} finding classes",
+            self.seed, self.execs, self.minimize_execs, self.coverage_bits,
+            self.corpus.len(), self.findings.len()
+        );
+        let _ = writeln!(
+            out,
+            "traffic: {} delivered, {} dropped, {} simulated cycles",
+            self.delivered, self.dropped, self.total_cycles
+        );
+        if !self.corpus.is_empty() {
+            let _ = writeln!(
+                out,
+                "\ncorpus (replay with --seed {} at the iteration):",
+                self.seed
+            );
+            for e in &self.corpus {
+                let _ = writeln!(
+                    out,
+                    "  iter {:>4}  sig {:016x}  +{:<3} bits  ops {} -> {}",
+                    e.iteration,
+                    e.signature,
+                    e.new_bits,
+                    e.ops,
+                    e.input.ops.len()
+                );
+            }
+        }
+        if !self.findings.is_empty() {
+            let _ = writeln!(out, "\nfindings:");
+            for f in &self.findings {
+                let oracle = f
+                    .dkasan
+                    .map(|k| format!("dkasan {k}"))
+                    .unwrap_or_else(|| "device write landed".to_string());
+                let window = f
+                    .attrs
+                    .window
+                    .map(|w| format!(", window {}", w.path))
+                    .unwrap_or_default();
+                let _ = writeln!(
+                    out,
+                    "  iter {:>4}  {}  at {} [{}{}]",
+                    f.iteration, f.taxonomy, f.site, oracle, window
+                );
+            }
+        }
+        out
+    }
+}

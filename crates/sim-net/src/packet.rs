@@ -96,8 +96,11 @@ impl Packet {
         let dst = u32::from_le_bytes(bytes[4..8].try_into().ok()?);
         let proto = u32::from_le_bytes(bytes[8..12].try_into().ok()?);
         let seq = u32::from_le_bytes(bytes[12..16].try_into().ok()?);
-        let plen = u64::from_le_bytes(bytes[16..24].try_into().ok()?) as usize;
-        if bytes.len() < HEADER_SIZE + plen {
+        // The length field is attacker-controlled wire data: reject
+        // anything the buffer cannot hold without risking overflow in
+        // the bound computation.
+        let plen = usize::try_from(u64::from_le_bytes(bytes[16..24].try_into().ok()?)).ok()?;
+        if plen > bytes.len().checked_sub(HEADER_SIZE)? {
             return None;
         }
         let proto = match proto {
@@ -158,5 +161,10 @@ mod tests {
         let mut w2 = p.to_wire();
         w2[8] = 99; // unknown proto
         assert!(Packet::from_wire(&w2).is_none());
+        // A length field near u64::MAX must not overflow the bound check.
+        let mut w3 = p.to_wire();
+        w3[16..24].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(Packet::from_wire(&w3).is_none());
+        assert!(Packet::from_wire(&[0xff; 97]).is_none());
     }
 }

@@ -11,6 +11,7 @@
 //! dma-lab surveil [--seed N]              §5.5 arbitrary-page read
 //! dma-lab stats [--seed N] [--json]       metrics snapshot of one run
 //! dma-lab trace --spans [--seed N]        span-scoped cycle timeline
+//! dma-lab fuzz [--seed N] [--iters N] [--corpus-dir D] [--json]
 //! dma-lab help
 //! ```
 //!
@@ -109,6 +110,7 @@ fn main() {
         "chaos" => cmd_chaos(&args),
         "stats" => cmd_stats(&args),
         "trace" => cmd_trace(&args),
+        "fuzz" => cmd_fuzz(&args),
         "help" | "--help" | "-h" => {
             print!("{HELP}");
             0
@@ -138,6 +140,7 @@ USAGE:
     dma-lab chaos [--seed N] [--runs N] [--json]
     dma-lab stats [--seed N] [--rounds N] [--faults SEED] [--json]
     dma-lab trace --spans [--seed N] [--rounds N] [--json]
+    dma-lab fuzz [--seed N] [--iters N] [--corpus-dir DIR] [--json]
     dma-lab help
 
 EXIT CODES:
@@ -424,6 +427,42 @@ fn cmd_trace(args: &Args) -> i32 {
         }
         Err(e) => {
             eprintln!("trace run failed: {e}");
+            1
+        }
+    }
+}
+
+fn cmd_fuzz(args: &Args) -> i32 {
+    use dma_lab::fuzz::{run_fuzz, FuzzConfig};
+    // Malformed numeric flags are usage errors, not silent defaults.
+    for key in ["seed", "iters"] {
+        if let Some(v) = args.str_flag(key) {
+            if v.parse::<u64>().is_err() {
+                eprintln!("--{key} wants an unsigned integer, got '{v}'\n{HELP}");
+                return 2;
+            }
+        }
+    }
+    let cfg = FuzzConfig {
+        seed: args.u64_flag("seed", 7),
+        iters: args.u64_flag("iters", 96),
+        corpus_dir: args.str_flag("corpus-dir").map(std::path::PathBuf::from),
+    };
+    if cfg.iters == 0 {
+        eprintln!("--iters must be at least 1\n{HELP}");
+        return 2;
+    }
+    match run_fuzz(&cfg) {
+        Ok(report) => {
+            if args.bool_flag("json") {
+                println!("{}", report.to_json());
+            } else {
+                print!("{}", report.render_text());
+            }
+            0
+        }
+        Err(e) => {
+            eprintln!("fuzz run failed: {e}");
             1
         }
     }

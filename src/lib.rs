@@ -21,6 +21,8 @@
 //!   and the single-step + three compound attacks (§5, §6).
 //! - [`spade`] — the static analyzer (§4.1) with its driver corpus.
 //! - [`dkasan`] — the run-time sanitizer (§4.2).
+//! - [`fuzz`] — deterministic coverage-guided DMA-input fuzzing with
+//!   D-KASAN as oracle, behind `dma-lab fuzz`.
 //! - [`defenses`] — the §8/§9 countermeasures (bounce buffers, DAMN,
 //!   sub-page limits, KARL, CET) as executable ablations.
 //! - [`obs`] — the observability workload: one deterministic run with
@@ -44,6 +46,7 @@ pub use defenses;
 pub use devsim;
 pub use dkasan;
 pub use dma_core;
+pub use fuzz;
 pub use sim_iommu;
 pub use sim_mem;
 pub use sim_net;

@@ -125,6 +125,37 @@ fn metrics_survive_fault_schedules_without_drift() {
 }
 
 #[test]
+fn fuzz_corpus_entry_survives_chaos_fault_schedules() {
+    // Cross-subsystem soak: take a real admitted corpus entry from the
+    // pinned campaign and re-execute it with a chaos fault plan armed on
+    // top of whatever faults the input itself carries. The combined
+    // schedule must degrade gracefully — no panics, no leaked DMA
+    // mappings — and replay identically.
+    use dma_lab::fuzz::{replay_under_faults, run_fuzz, FuzzConfig};
+    let report = run_fuzz(&FuzzConfig {
+        seed: 7,
+        iters: 8,
+        corpus_dir: None,
+    })
+    .unwrap();
+    let entry = report.corpus.first().expect("campaign admitted an entry");
+    for fault_seed in [1u64, 42, 0xdead_beef] {
+        let a = replay_under_faults(entry.seed, entry.iteration, fault_seed)
+            .unwrap_or_else(|e| panic!("fault seed {fault_seed:#x}: failed to degrade: {e}"));
+        assert_eq!(
+            a.leaked_pages, 0,
+            "fault seed {fault_seed:#x}: DMA mappings leaked past shutdown"
+        );
+        let b = replay_under_faults(entry.seed, entry.iteration, fault_seed).unwrap();
+        assert_eq!(
+            a.signature, b.signature,
+            "fault seed {fault_seed:#x}: replay under faults diverged"
+        );
+        assert_eq!(a.dropped, b.dropped);
+    }
+}
+
+#[test]
 fn different_seeds_produce_different_schedules() {
     let a = run_soak(1).unwrap();
     let b = run_soak(2).unwrap();

@@ -20,7 +20,7 @@ fn help_lists_all_subcommands() {
     assert_eq!(code, 0);
     for cmd in [
         "layout", "spade", "dkasan", "survey", "attack", "surveil", "dos", "dump", "chaos",
-        "stats", "trace",
+        "stats", "trace", "fuzz",
     ] {
         assert!(out.contains(cmd), "help missing {cmd}:\n{out}");
     }
@@ -125,4 +125,86 @@ fn dump_reads_frames() {
 fn unknown_attack_exits_nonzero() {
     let (code, _) = run(&["attack", "nonsense"]);
     assert_eq!(code, 2);
+}
+
+#[test]
+fn fuzz_finds_the_planted_callback_exposure() {
+    // The pinned smoke campaign (also run by CI): seed 7, 24 iterations
+    // is enough to hit the seeded destructor_arg exposure.
+    let (code, out) = run(&["fuzz", "--seed", "7", "--iters", "24"]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("coverage bits"), "{out}");
+    assert!(
+        out.contains("skb_shared_info.destructor_arg"),
+        "planted callback exposure not rediscovered:\n{out}"
+    );
+    assert!(out.contains("dkasan"), "oracle findings missing:\n{out}");
+}
+
+#[test]
+fn fuzz_json_has_the_documented_schema() {
+    let (code, out) = run(&["fuzz", "--seed", "7", "--iters", "12", "--json"]);
+    assert_eq!(code, 0);
+    for key in [
+        "\"seed\":7",
+        "\"iters\":12",
+        "\"execs\":12",
+        "\"coverage_bits\":",
+        "\"corpus\":[",
+        "\"findings\":[",
+        "\"series\":",
+        "\"stats\":",
+        "\"signature\":",
+        "\"program\":[",
+        "\"taxonomy\":",
+        "\"fuzz.execs\"",
+    ] {
+        assert!(out.contains(key), "missing {key} in:\n{out}");
+    }
+}
+
+#[test]
+fn fuzz_usage_errors_exit_two() {
+    for args in [
+        &["fuzz", "--iters", "0"][..],
+        &["fuzz", "--iters", "banana"][..],
+        &["fuzz", "--seed", "0x7"][..],
+    ] {
+        let out = Command::new(env!("CARGO_BIN_EXE_dma-lab"))
+            .args(args)
+            .output()
+            .expect("binary runs");
+        assert_eq!(out.status.code(), Some(2), "{args:?}");
+        assert!(out.stdout.is_empty(), "usage errors keep stdout clean");
+    }
+}
+
+#[test]
+fn fuzz_writes_a_corpus_dir() {
+    let dir = std::env::temp_dir().join(format!("dma-lab-corpus-{}", std::process::id()));
+    let (code, _) = run(&[
+        "fuzz",
+        "--seed",
+        "7",
+        "--iters",
+        "8",
+        "--corpus-dir",
+        dir.to_str().unwrap(),
+    ]);
+    assert_eq!(code, 0);
+    let entries: Vec<_> = std::fs::read_dir(&dir)
+        .expect("corpus dir created")
+        .flatten()
+        .collect();
+    assert!(!entries.is_empty(), "no corpus files written");
+    for e in &entries {
+        let name = e.file_name().to_string_lossy().into_owned();
+        assert!(
+            name.starts_with("entry-") && name.ends_with(".json"),
+            "{name}"
+        );
+        let body = std::fs::read_to_string(e.path()).unwrap();
+        assert!(body.contains("\"program\""), "{name} lacks a program");
+    }
+    std::fs::remove_dir_all(&dir).ok();
 }

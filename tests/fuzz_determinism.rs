@@ -1,0 +1,134 @@
+//! Fuzzing-subsystem determinism: the whole point of the design is that
+//! a campaign is a pure function of its seed. These tests hold the
+//! subsystem to that — identical corpora, identical series, identical
+//! reports across runs — and pin the acceptance scenario: the seeded
+//! `skb_shared_info` callback exposure is rediscovered end to end with
+//! a D-KASAN-confirmed report.
+
+use dma_lab::dma_core::vuln::{SubPageVulnerability, WindowPath};
+use dma_lab::fuzz::{replay, run_fuzz, FuzzConfig};
+
+/// The pinned campaign shared with CI, the README, and `fuzz_bench`.
+const SEED: u64 = 7;
+const ITERS: u64 = 96;
+
+fn pinned() -> FuzzConfig {
+    FuzzConfig {
+        seed: SEED,
+        iters: ITERS,
+        corpus_dir: None,
+    }
+}
+
+#[test]
+fn two_runs_build_identical_corpora_and_series() {
+    let a = run_fuzz(&pinned()).unwrap();
+    let b = run_fuzz(&pinned()).unwrap();
+    // Corpus: same signatures, same order, same minimized programs.
+    assert_eq!(
+        a.corpus.iter().map(|e| e.signature).collect::<Vec<_>>(),
+        b.corpus.iter().map(|e| e.signature).collect::<Vec<_>>(),
+        "corpus signatures diverged between identically-seeded runs"
+    );
+    for (ea, eb) in a.corpus.iter().zip(&b.corpus) {
+        assert_eq!(ea.to_json(), eb.to_json());
+    }
+    // Simulated-cycle series: byte-identical (the BENCH_fuzz.json
+    // deterministic half).
+    assert_eq!(a.series_json(), b.series_json());
+    // Metrics snapshot and full report too.
+    assert_eq!(a.stats_json, b.stats_json);
+    assert_eq!(a.to_json(), b.to_json());
+}
+
+#[test]
+fn every_corpus_entry_replays_from_two_integers() {
+    let report = run_fuzz(&FuzzConfig {
+        seed: SEED,
+        iters: 24,
+        corpus_dir: None,
+    })
+    .unwrap();
+    assert!(!report.corpus.is_empty());
+    for e in &report.corpus {
+        let out = replay(e.seed, e.iteration).unwrap();
+        assert_eq!(
+            out.signature, e.signature,
+            "iter {}: replay signature diverged from the admitted one",
+            e.iteration
+        );
+    }
+}
+
+#[test]
+fn campaign_rediscovers_the_planted_figure1_classes() {
+    let report = run_fuzz(&pinned()).unwrap();
+
+    // The seeded skb_shared_info callback exposure, complete with the
+    // §3.3 attributes: a device-writable callback slot hit inside a
+    // §5.2 window.
+    let exposure = report
+        .findings
+        .iter()
+        .find(|f| f.site == "skb_shared_info.destructor_arg" && f.attrs.window.is_some())
+        .expect("destructor_arg callback exposure not rediscovered");
+    assert_eq!(exposure.taxonomy, SubPageVulnerability::OsMetadata);
+    let cb = exposure
+        .attrs
+        .callback
+        .as_ref()
+        .expect("callback attribute");
+    assert_eq!(cb.field, "destructor_arg");
+    assert!(cb.page_offset < dma_lab::dma_core::PAGE_SIZE);
+
+    // Both §5.2.2 window paths show up across the config sweep: the
+    // planted i40e shape yields (i), deferred invalidation yields (ii).
+    let paths: Vec<WindowPath> = report
+        .findings
+        .iter()
+        .filter_map(|f| f.attrs.window.map(|w| w.path))
+        .collect();
+    assert!(paths.contains(&WindowPath::UnmapAfterBuild), "{paths:?}");
+    assert!(paths.contains(&WindowPath::DeferredIotlb), "{paths:?}");
+
+    // The D-KASAN oracle confirms all four Figure-1 taxonomy letters.
+    let mut letters: Vec<char> = report
+        .findings
+        .iter()
+        .map(|f| f.taxonomy.letter())
+        .collect();
+    letters.sort_unstable();
+    letters.dedup();
+    assert_eq!(
+        letters,
+        vec!['a', 'b', 'c', 'd'],
+        "taxonomy sweep incomplete"
+    );
+    assert!(
+        report.findings.iter().any(|f| f.dkasan.is_some()),
+        "no D-KASAN-confirmed finding"
+    );
+}
+
+#[test]
+fn coverage_and_metrics_are_internally_consistent() {
+    let report = run_fuzz(&FuzzConfig {
+        seed: 3,
+        iters: 16,
+        corpus_dir: None,
+    })
+    .unwrap();
+    // The final series point equals the report totals.
+    let last = report.series.last().expect("non-empty series");
+    assert_eq!(last.coverage_bits, report.coverage_bits);
+    assert_eq!(last.corpus_size, report.corpus.len());
+    assert_eq!(last.sim_cycles, report.total_cycles);
+    // The metrics snapshot carries the campaign gauges.
+    assert!(
+        report.stats_json.contains("\"fuzz.execs\":16"),
+        "{}",
+        report.stats_json
+    );
+    assert!(report.stats_json.contains("\"fuzz.corpus.size\""));
+    assert!(report.stats_json.contains("\"fuzz.coverage.bits\""));
+}
