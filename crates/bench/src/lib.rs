@@ -43,6 +43,53 @@ pub fn fuzz_report_path() -> PathBuf {
     repo_root().join("BENCH_fuzz.json")
 }
 
+/// Path of the standalone forensics report `forensics_bench` writes.
+pub fn forensics_report_path() -> PathBuf {
+    repo_root().join("BENCH_forensics.json")
+}
+
+/// Writes `BENCH_forensics.json`: the pinned forensics campaign
+/// (byte-identical per seed) plus the recorder-vs-unbounded-trace
+/// timing rows, from which the bounded-recorder overhead factor is
+/// derived. Returns the report path.
+pub fn emit_forensics_report(
+    report: &fuzz::ForensicsReport,
+    timing: &[BenchResult],
+) -> std::io::Result<PathBuf> {
+    let mut w = JsonWriter::new();
+    w.obj(|w| {
+        w.field_str("report", "forensics");
+        w.field("deterministic", |w| {
+            w.obj(|w| {
+                w.field_u64("seed", report.seed);
+                w.field_u64("iters", report.iters);
+                w.field_u64("forensic_execs", report.forensic_execs);
+                w.field_u64("incident_classes", report.cases.len() as u64);
+                w.field_u64("callback_exposures", report.callbacks.len() as u64);
+                w.field_u64("trace_dropped", report.trace_dropped);
+                w.field("campaign", |w| w.raw(&report.to_json()));
+            });
+        });
+        w.field("timing", |w| render_results(w, timing));
+        // Bounded-recorder emit cost relative to the unbounded trace:
+        // the number the recorder's "ring buffer is cheap enough to
+        // leave on" claim rests on.
+        let ns = |id: &str| {
+            timing
+                .iter()
+                .find(|r| r.id == id)
+                .map(|r| r.ns_per_iter)
+                .filter(|&n| n > 0)
+        };
+        if let (Some(rec), Some(unb)) = (ns("emit_recorded_1024"), ns("emit_unbounded")) {
+            w.field_f64("recorder_overhead_x", rec as f64 / unb as f64);
+        }
+    });
+    let path = forensics_report_path();
+    std::fs::write(&path, w.finish())?;
+    Ok(path)
+}
+
 /// Writes `BENCH_fuzz.json`: the campaign's deterministic
 /// coverage-over-time series and metrics snapshot (byte-identical for
 /// one seed) alongside the shim's wall-clock timings, from which an

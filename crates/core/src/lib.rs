@@ -30,8 +30,17 @@
 //! - [`coverage`] — the deterministic feature bitmap the `fuzz` crate
 //!   uses as its coverage signal: site tags, D-KASAN finding classes,
 //!   and taxonomy hits hashed into a fixed-size, signature-carrying map.
+//! - [`recorder`] — the bounded flight recorder: a deterministic ring
+//!   buffer over events with eviction accounting, for long-running
+//!   soaks and fuzz campaigns (`SimCtx::recorded`).
+//! - [`provenance`] — the causal graph over events: alloc → map →
+//!   access → unmap → flush lineage plus slab/page reuse edges, walked
+//!   backward by the forensics engine in crate `dkasan`.
+//! - [`chrome`] — Perfetto / Chrome `trace_event` JSON export of spans
+//!   and events (byte-deterministic per seed).
 
 pub mod addr;
+pub mod chrome;
 pub mod clock;
 pub mod coverage;
 pub mod error;
@@ -39,6 +48,8 @@ pub mod fault;
 pub mod jsonw;
 pub mod layout;
 pub mod metrics;
+pub mod provenance;
+pub mod recorder;
 pub mod rng;
 pub mod trace;
 pub mod vuln;
@@ -50,6 +61,8 @@ pub use error::{DmaError, Result};
 pub use fault::{FaultPlan, FaultRule, FaultTrigger};
 pub use layout::{KernelLayout, VmRegion};
 pub use metrics::{Metrics, Snapshot, SpanToken};
+pub use provenance::{EdgeKind, ProvenanceGraph};
+pub use recorder::FlightRecorder;
 pub use rng::DetRng;
 pub use trace::{Event, SimCtx, Trace};
 pub use vuln::{AccessRight, AttackOutcome, SubPageVulnerability, VulnerabilityAttributes};

@@ -1,0 +1,180 @@
+//! The flight recorder: a bounded ring buffer over [`Event`]s.
+//!
+//! The unbounded [`crate::Trace`] vector is the right tool for short
+//! replay windows (D-KASAN drains it every round), but long-running
+//! soaks and fuzz campaigns need a *black box*: keep the most recent
+//! `capacity` events, count what fell off the front, and never grow.
+//! Eviction is purely positional — oldest first — so the retained
+//! window and the `dropped` counter are identical for identical event
+//! streams, which is what the determinism tests pin.
+
+use crate::trace::Event;
+
+/// A bounded, deterministic ring buffer of trace events.
+///
+/// # Examples
+///
+/// ```
+/// use dma_core::recorder::FlightRecorder;
+/// use dma_core::{Event, Kva};
+///
+/// let mut r = FlightRecorder::new(2);
+/// for at in 0..5 {
+///     r.push(Event::Free { at, kva: Kva(0x1000) });
+/// }
+/// assert_eq!(r.len(), 2);
+/// assert_eq!(r.dropped(), 3);
+/// let evs = r.drain();
+/// assert_eq!(evs[0].at(), 3, "oldest retained event");
+/// assert_eq!(evs[1].at(), 4);
+/// ```
+#[derive(Clone, Debug)]
+pub struct FlightRecorder {
+    buf: Vec<Event>,
+    capacity: usize,
+    /// Index of the oldest retained event once the buffer has wrapped.
+    head: usize,
+    dropped: u64,
+}
+
+impl FlightRecorder {
+    /// An empty recorder retaining at most `capacity` events (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        FlightRecorder {
+            buf: Vec::with_capacity(capacity.min(4096)),
+            capacity,
+            head: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Maximum number of retained events.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of currently retained events.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` when nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Events evicted from the front since creation (or the last drain).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Appends an event, evicting the oldest when full. Returns `true`
+    /// when an event was evicted.
+    pub fn push(&mut self, ev: Event) -> bool {
+        if self.buf.len() < self.capacity {
+            self.buf.push(ev);
+            false
+        } else {
+            self.buf[self.head] = ev;
+            self.head = (self.head + 1) % self.capacity;
+            self.dropped += 1;
+            true
+        }
+    }
+
+    /// Retained events in *storage* order — chronological only while the
+    /// recorder has never wrapped. Use [`FlightRecorder::drain`] or
+    /// [`FlightRecorder::snapshot`] for guaranteed chronological order.
+    pub fn as_slice(&self) -> &[Event] {
+        &self.buf
+    }
+
+    /// Retained events in chronological (oldest-first) order, leaving
+    /// the recorder untouched.
+    pub fn snapshot(&self) -> Vec<Event> {
+        let mut v = self.buf.clone();
+        v.rotate_left(self.head);
+        v
+    }
+
+    /// Removes and returns the retained events in chronological order,
+    /// resetting the drop counter (a drain is a consumption point: what
+    /// was dropped before it can never be recovered downstream).
+    pub fn drain(&mut self) -> Vec<Event> {
+        let mut v = core::mem::take(&mut self.buf);
+        v.rotate_left(self.head);
+        self.head = 0;
+        self.dropped = 0;
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Kva;
+
+    fn ev(at: u64) -> Event {
+        Event::Free { at, kva: Kva(at) }
+    }
+
+    #[test]
+    fn fills_then_wraps_oldest_first() {
+        let mut r = FlightRecorder::new(3);
+        for at in 0..3 {
+            assert!(!r.push(ev(at)));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 0);
+        assert!(r.push(ev(3)), "fourth push evicts");
+        assert_eq!(r.dropped(), 1);
+        let s = r.snapshot();
+        assert_eq!(
+            s.iter().map(|e| e.at()).collect::<Vec<_>>(),
+            vec![1, 2, 3],
+            "event 0 fell off the front"
+        );
+    }
+
+    #[test]
+    fn drain_is_chronological_and_resets() {
+        let mut r = FlightRecorder::new(4);
+        for at in 0..11 {
+            r.push(ev(at));
+        }
+        assert_eq!(r.dropped(), 7);
+        let evs = r.drain();
+        assert_eq!(
+            evs.iter().map(|e| e.at()).collect::<Vec<_>>(),
+            vec![7, 8, 9, 10]
+        );
+        assert!(r.is_empty());
+        assert_eq!(r.dropped(), 0);
+        // Refilling after a drain behaves like a fresh recorder.
+        r.push(ev(99));
+        assert_eq!(r.snapshot()[0].at(), 99);
+    }
+
+    #[test]
+    fn identical_streams_retain_identical_windows() {
+        let run = || {
+            let mut r = FlightRecorder::new(5);
+            for at in 0..37 {
+                r.push(ev(at * 3));
+            }
+            (r.snapshot(), r.dropped())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let mut r = FlightRecorder::new(0);
+        assert_eq!(r.capacity(), 1);
+        r.push(ev(1));
+        r.push(ev(2));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.snapshot()[0].at(), 2);
+    }
+}

@@ -11,6 +11,7 @@ use crate::addr::{Iova, Kva, Pfn};
 use crate::clock::{Clock, Cycles};
 use crate::fault::FaultPlan;
 use crate::metrics::{Metrics, Snapshot, SpanToken};
+use crate::recorder::FlightRecorder;
 use crate::vuln::DmaDirection;
 
 /// Identifier of a DMA-capable device (bus/device/function collapsed).
@@ -162,10 +163,27 @@ impl Event {
     }
 }
 
-/// An append-only event log with selective capture.
+/// Backing storage for a [`Trace`]: the classic unbounded vector, or a
+/// bounded [`FlightRecorder`] ring for long-running campaigns.
+#[derive(Clone, Debug)]
+enum Store {
+    Unbounded(Vec<Event>),
+    Bounded(FlightRecorder),
+}
+
+impl Default for Store {
+    fn default() -> Self {
+        Store::Unbounded(Vec::new())
+    }
+}
+
+/// An event log with selective capture. By default it is append-only
+/// and unbounded; [`Trace::recorded`] swaps the backing store for a
+/// bounded [`FlightRecorder`] that evicts oldest-first and counts what
+/// it dropped.
 #[derive(Clone, Debug, Default)]
 pub struct Trace {
-    events: Vec<Event>,
+    store: Store,
     /// Master switch; when off, nothing is recorded (fast path).
     pub enabled: bool,
     /// CPU accesses are high-volume; they are only recorded when this is
@@ -179,37 +197,83 @@ impl Trace {
         Trace::default()
     }
 
-    /// Appends an event if capture is enabled.
-    #[inline]
-    pub fn emit(&mut self, ev: Event) {
-        if self.enabled {
-            if let Event::CpuAccess { .. } = ev {
-                if !self.record_cpu_access {
-                    return;
-                }
-            }
-            self.events.push(ev);
+    /// Creates a trace backed by a bounded flight recorder retaining at
+    /// most `capacity` events. Capture is still off until `enabled`.
+    pub fn recorded(capacity: usize) -> Self {
+        Trace {
+            store: Store::Bounded(FlightRecorder::new(capacity)),
+            ..Trace::default()
         }
     }
 
-    /// Number of captured events.
+    /// `true` when backed by a bounded flight recorder.
+    pub fn is_bounded(&self) -> bool {
+        matches!(self.store, Store::Bounded(_))
+    }
+
+    /// Appends an event if capture is enabled. Returns `true` when the
+    /// append evicted an older event (bounded store only); the caller
+    /// ([`SimCtx::emit`]) accounts evictions under `trace.dropped`.
+    #[inline]
+    pub fn emit(&mut self, ev: Event) -> bool {
+        if self.enabled {
+            if let Event::CpuAccess { .. } = ev {
+                if !self.record_cpu_access {
+                    return false;
+                }
+            }
+            match &mut self.store {
+                Store::Unbounded(v) => {
+                    v.push(ev);
+                    false
+                }
+                Store::Bounded(r) => r.push(ev),
+            }
+        } else {
+            false
+        }
+    }
+
+    /// Number of captured (retained) events.
     pub fn len(&self) -> usize {
-        self.events.len()
+        match &self.store {
+            Store::Unbounded(v) => v.len(),
+            Store::Bounded(r) => r.len(),
+        }
     }
 
     /// `true` if no events were captured.
     pub fn is_empty(&self) -> bool {
-        self.events.is_empty()
+        self.len() == 0
     }
 
-    /// Read-only view of the captured events.
+    /// Events evicted by the bounded store since the last drain
+    /// (always 0 for the unbounded store).
+    pub fn dropped(&self) -> u64 {
+        match &self.store {
+            Store::Unbounded(_) => 0,
+            Store::Bounded(r) => r.dropped(),
+        }
+    }
+
+    /// Read-only view of the retained events in *storage* order —
+    /// chronological for the unbounded store and for a bounded store
+    /// that has never wrapped. Use [`Trace::drain`] when a wrapped
+    /// recorder must be read oldest-first.
     pub fn events(&self) -> &[Event] {
-        &self.events
+        match &self.store {
+            Store::Unbounded(v) => v,
+            Store::Bounded(r) => r.as_slice(),
+        }
     }
 
-    /// Removes and returns all captured events (streaming consumption).
+    /// Removes and returns all retained events in chronological order
+    /// (streaming consumption).
     pub fn drain(&mut self) -> Vec<Event> {
-        core::mem::take(&mut self.events)
+        match &mut self.store {
+            Store::Unbounded(v) => core::mem::take(v),
+            Store::Bounded(r) => r.drain(),
+        }
     }
 }
 
@@ -240,16 +304,31 @@ impl SimCtx {
         ctx
     }
 
+    /// Creates a context whose event capture goes through a bounded
+    /// [`FlightRecorder`] of `capacity` events. Evictions are counted
+    /// under the `trace.dropped` metric, so long soaks keep a black-box
+    /// window of recent history instead of growing without bound.
+    pub fn recorded(capacity: usize) -> Self {
+        let mut ctx = SimCtx::new();
+        ctx.trace = Trace::recorded(capacity);
+        ctx.trace.enabled = true;
+        ctx
+    }
+
     /// Current simulated time.
     #[inline]
     pub fn now(&self) -> Cycles {
         self.clock.now()
     }
 
-    /// Emits an event stamped with the current time.
+    /// Emits an event stamped with the current time. When the bounded
+    /// recorder evicts an older event to make room, the loss is counted
+    /// under the `trace.dropped` metric so reports can surface it.
     #[inline]
     pub fn emit(&mut self, ev: Event) {
-        self.trace.emit(ev);
+        if self.trace.emit(ev) {
+            self.metrics.incr("trace.dropped");
+        }
     }
 
     /// Asks the fault plan whether the call at `site` should fail; on a
@@ -261,7 +340,9 @@ impl SimCtx {
     pub fn fault(&mut self, site: &'static str) -> bool {
         if self.faults.should_fail(site) {
             let at = self.clock.now();
-            self.trace.emit(Event::FaultInjected { at, site });
+            if self.trace.emit(Event::FaultInjected { at, site }) {
+                self.metrics.incr("trace.dropped");
+            }
             self.metrics.incr("fault.injected");
             true
         } else {
@@ -385,6 +466,35 @@ mod tests {
         let snap = ctx.metrics_snapshot();
         assert_eq!(snap.at, 16);
         assert_eq!(snap.spans.len(), 2);
+    }
+
+    #[test]
+    fn recorded_ctx_bounds_the_log_and_counts_drops() {
+        let mut ctx = SimCtx::recorded(3);
+        assert!(ctx.trace.is_bounded());
+        for at in 0..8u64 {
+            ctx.emit(Event::Free { at, kva: Kva(at) });
+        }
+        assert_eq!(ctx.trace.len(), 3);
+        assert_eq!(ctx.trace.dropped(), 5);
+        assert_eq!(ctx.metrics.counter("trace.dropped"), 5);
+        let evs = ctx.trace.drain();
+        assert_eq!(
+            evs.iter().map(|e| e.at()).collect::<Vec<_>>(),
+            vec![5, 6, 7],
+            "drain is chronological after wrapping"
+        );
+    }
+
+    #[test]
+    fn recorded_fault_evictions_count_as_dropped() {
+        let mut ctx = SimCtx::recorded(1);
+        ctx.faults = crate::fault::FaultPlan::seeded(1).fail_always("t.op");
+        assert!(ctx.fault("t.op"));
+        assert!(ctx.fault("t.op"));
+        assert_eq!(ctx.trace.len(), 1);
+        assert_eq!(ctx.metrics.counter("trace.dropped"), 1);
+        assert_eq!(ctx.metrics.counter("fault.injected"), 2);
     }
 
     #[test]

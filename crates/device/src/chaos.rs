@@ -56,11 +56,18 @@ pub struct SoakReport {
     /// DMA-mapped pages still held by the device after shutdown.
     /// **Must be zero**: anything else is a leaked mapping.
     pub leaked_pages: usize,
+    /// Events the bounded flight recorder evicted during the soak (the
+    /// soak keeps a black-box window of recent events instead of an
+    /// unbounded trace; this is how much history fell off the front).
+    pub trace_dropped: u64,
     /// The full metrics snapshot of the run, rendered as JSON. Part of
     /// the report (and its `==`) so the replay test also asserts that
     /// every counter, gauge, histogram, and span is seed-deterministic.
     pub stats_json: String,
 }
+
+/// How many recent events the soak's flight recorder retains.
+pub const SOAK_RECORDER_CAPACITY: usize = 2048;
 
 /// Derives a randomized-but-deterministic fault schedule from `seed`:
 /// a handful of rules spread across [`ALL_SITES`] with seed-chosen
@@ -115,7 +122,10 @@ pub fn run_soak(seed: u64) -> Result<SoakReport> {
         boot_noise_seed: Some(seed),
         ..Default::default()
     };
-    let mut tb = Testbed::new(cfg)?;
+    // The soak's trace is a black box: a bounded recorder keeps the
+    // most recent events and counts evictions, so week-long schedules
+    // cannot grow memory without bound.
+    let mut tb = Testbed::new_recorded(cfg, SOAK_RECORDER_CAPACITY)?;
     // Arm the faults after boot so every schedule exercises the same
     // steady-state stack; probe-time degradation has its own unit tests.
     tb.ctx.faults = build_fault_plan(seed);
@@ -173,6 +183,7 @@ pub fn run_soak(seed: u64) -> Result<SoakReport> {
     let injected_total = tb.ctx.faults.injected_total();
     let hits_by_site = tb.ctx.faults.hits_by_site().clone();
     let leaked_pages = tb.shutdown()?;
+    let trace_dropped = tb.ctx.trace.dropped();
     let stats_json = tb.ctx.metrics_snapshot().to_json();
     Ok(SoakReport {
         seed,
@@ -184,6 +195,7 @@ pub fn run_soak(seed: u64) -> Result<SoakReport> {
         rx_alloc_failed,
         tx_ring_full,
         leaked_pages,
+        trace_dropped,
         stats_json,
     })
 }
@@ -213,5 +225,14 @@ mod tests {
         assert!(r.injected_total >= 1, "schedule must fire at least once");
         assert_eq!(r.leaked_pages, 0, "no mapping may survive shutdown");
         assert!(r.delivered + r.echoed + r.dropped > 0);
+        // The soak emits far more events than the recorder retains; the
+        // loss must be accounted, not silent — in the report AND in the
+        // metrics snapshot.
+        assert!(r.trace_dropped > 0, "soak should overflow the recorder");
+        assert!(
+            r.stats_json.contains("\"trace.dropped\""),
+            "{}",
+            r.stats_json
+        );
     }
 }

@@ -120,6 +120,19 @@ impl Testbed {
         Ok(tb)
     }
 
+    /// Boots a machine whose event capture goes through a bounded
+    /// flight recorder of `capacity` events (evictions are counted
+    /// under the `trace.dropped` metric). The long-running harnesses —
+    /// chaos soak, fuzz executor — use this instead of the unbounded
+    /// trace.
+    pub fn new_recorded(cfg: TestbedConfig, capacity: usize) -> Result<Self> {
+        let mut tb = Self::new(cfg)?;
+        tb.ctx.trace = dma_core::Trace::recorded(capacity);
+        tb.ctx.trace.enabled = true;
+        tb.ctx.clock.advance(0);
+        Ok(tb)
+    }
+
     /// Device delivers one packet and the driver/stack process it to
     /// completion (the benign fast path).
     pub fn deliver_packet(&mut self, packet: &Packet) -> Result<()> {

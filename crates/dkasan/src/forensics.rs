@@ -1,0 +1,464 @@
+//! The forensics engine: from a [`DKasanFinding`] to a causal incident
+//! timeline.
+//!
+//! D-KASAN's report line says *what* leaked (size, rights, site); the
+//! incident report says *why*: it locates the finding's trigger event
+//! in the [`ProvenanceGraph`], walks the causal ancestry backward, and
+//! renders a cycle-stamped timeline naming the co-resident objects,
+//! the mapping site that exposed the page, the Figure-1 taxonomy class,
+//! and whether the offending access needed a §5.2 stale-IOTLB window or
+//! rode a standing exposure.
+
+use dma_core::clock::Cycles;
+use dma_core::provenance::{EdgeKind, ProvenanceGraph};
+use dma_core::vuln::SubPageVulnerability;
+use dma_core::Event;
+
+use crate::report::{DKasanFinding, FindingKind};
+
+/// One rendered step of an incident timeline.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IncidentStep {
+    /// Simulated cycle of the step's event.
+    pub at: Cycles,
+    /// Human-readable description of the event.
+    pub what: String,
+    /// The causal edge through which this step entered the ancestry
+    /// (empty for the trigger event itself).
+    pub edge: String,
+}
+
+/// The §5.2 verdict for an incident: did the offending access need a
+/// race window, and which one?
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WindowVerdict {
+    /// A device access was served by a stale IOTLB translation after
+    /// unmap — the §5.2.1 deferred-invalidation window.
+    StaleIotlb,
+    /// The page stayed mapped through a co-located buffer's IOVA
+    /// (§5.2.2 path (iii)); no stale entry required.
+    NeighborIova,
+    /// The exposure was standing — object and mapping were simply live
+    /// at the same time; no §5.2 window was required at all.
+    StandingExposure,
+}
+
+impl core::fmt::Display for WindowVerdict {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(match self {
+            WindowVerdict::StaleIotlb => {
+                "window (ii) deferred IOTLB invalidation (stale entry, \u{a7}5.2.1)"
+            }
+            WindowVerdict::NeighborIova => "window (iii) co-located buffer IOVA (\u{a7}5.2.2)",
+            WindowVerdict::StandingExposure => {
+                "standing exposure (no \u{a7}5.2 race window required)"
+            }
+        })
+    }
+}
+
+/// A fully-investigated finding: the causal story behind one D-KASAN
+/// report line.
+#[derive(Clone, Debug)]
+pub struct Incident {
+    /// The finding under investigation.
+    pub finding: DKasanFinding,
+    /// Figure-1 taxonomy class, derived from the causal chain (kmalloc
+    /// co-location → type (d); driver-owned page sharing → type (a);
+    /// CPU-side metadata access → type (b); double mapping → type (c)).
+    pub taxonomy: SubPageVulnerability,
+    /// §5.2 verdict.
+    pub window: WindowVerdict,
+    /// DMA-map call sites that exposed the page, in first-seen order.
+    pub mapping_sites: Vec<&'static str>,
+    /// Objects co-resident on the page up to the trigger cycle:
+    /// (allocation site, size).
+    pub co_resident: Vec<(&'static str, usize)>,
+    /// Cycle-ordered causal timeline ending at the trigger event.
+    pub steps: Vec<IncidentStep>,
+}
+
+/// Renders one event the way incident timelines and corpus causal
+/// chains print it.
+pub fn describe_event(ev: &Event) -> String {
+    match *ev {
+        Event::Alloc {
+            kva,
+            size,
+            site,
+            cache,
+            ..
+        } => format!("alloc {size} B at {site} ({cache}) kva {kva}"),
+        Event::Free { kva, .. } => format!("free kva {kva}"),
+        Event::PageAlloc {
+            pfn, order, site, ..
+        } => format!("page alloc pfn {pfn} order {order} at {site}"),
+        Event::PageFree { pfn, order, .. } => format!("page free pfn {pfn} order {order}"),
+        Event::DmaMap {
+            device,
+            iova,
+            kva,
+            len,
+            site,
+            ..
+        } => format!("dma_map dev {device} iova {iova} -> kva {kva} len {len} at {site}"),
+        Event::DmaUnmap {
+            device, iova, len, ..
+        } => format!("dma_unmap dev {device} iova {iova} len {len}"),
+        Event::CpuAccess {
+            kva,
+            len,
+            write,
+            site,
+            ..
+        } => format!(
+            "cpu {} {len} B kva {kva} at {site}",
+            if write { "write" } else { "read" }
+        ),
+        Event::DevAccess {
+            device,
+            iova,
+            len,
+            write,
+            allowed,
+            stale,
+            ..
+        } => format!(
+            "device {device} {} {len} B iova {iova}{}{}",
+            if write { "write" } else { "read" },
+            if stale { " [STALE IOTLB]" } else { "" },
+            if allowed { "" } else { " [BLOCKED]" }
+        ),
+        Event::IotlbInvalidate {
+            device, iova_page, ..
+        } => format!("iotlb invalidate dev {device} page {iova_page}"),
+        Event::IotlbGlobalFlush { dropped, .. } => {
+            format!("iotlb global flush ({dropped} entries dropped)")
+        }
+        Event::FaultInjected { site, .. } => format!("fault injected at {site}"),
+    }
+}
+
+/// Finds the graph index of the event that triggered `finding`, by
+/// class, cycle, and page. Falls back to the last page-touching event
+/// at or before the finding's cycle.
+fn locate_trigger(graph: &ProvenanceGraph, finding: &DKasanFinding) -> Option<usize> {
+    let on_page = graph.events_touching_page(finding.page);
+    let exact = on_page.iter().rev().find(|&&i| {
+        let ev = graph.event(i);
+        if ev.at() != finding.at {
+            return false;
+        }
+        match (finding.kind, ev) {
+            (FindingKind::AllocAfterMap, Event::Alloc { site, .. }) => *site == finding.site,
+            (FindingKind::MapAfterAlloc, Event::DmaMap { .. }) => true,
+            (FindingKind::MultipleMap, Event::DmaMap { site, .. }) => *site == finding.site,
+            (FindingKind::AccessAfterMap, Event::CpuAccess { site, .. }) => *site == finding.site,
+            _ => false,
+        }
+    });
+    exact
+        .or_else(|| {
+            on_page
+                .iter()
+                .rev()
+                .find(|&&i| graph.event(i).at() <= finding.at)
+        })
+        .copied()
+}
+
+fn taxonomy_for(
+    finding: &DKasanFinding,
+    graph: &ProvenanceGraph,
+    trigger: Option<usize>,
+) -> SubPageVulnerability {
+    match finding.kind {
+        FindingKind::MultipleMap => SubPageVulnerability::MultipleIova,
+        FindingKind::AccessAfterMap => SubPageVulnerability::OsMetadata,
+        FindingKind::AllocAfterMap | FindingKind::MapAfterAlloc => {
+            // The finding's named site is the *allocation* site; its
+            // cache tells driver-owned sharing (page frags, per-buffer
+            // pages) apart from random slab co-location.
+            let cache = graph
+                .events_touching_page(finding.page)
+                .iter()
+                .chain(trigger.iter())
+                .filter_map(|&i| match graph.event(i) {
+                    Event::Alloc { site, cache, .. } if *site == finding.site => Some(*cache),
+                    _ => None,
+                })
+                .next_back();
+            match cache {
+                Some(c) if c.starts_with("kmalloc") => SubPageVulnerability::RandomColocation,
+                Some(_) => SubPageVulnerability::DriverMetadata,
+                None => SubPageVulnerability::RandomColocation,
+            }
+        }
+    }
+}
+
+/// Investigates one finding against the graph: locates the trigger,
+/// walks ancestry, and assembles the incident.
+pub fn investigate(graph: &ProvenanceGraph, finding: &DKasanFinding) -> Incident {
+    let trigger = locate_trigger(graph, finding);
+    let mut raw: Vec<(usize, String)> = Vec::new();
+    if let Some(t) = trigger {
+        raw.push((t, String::new()));
+        for (idx, kind) in graph.ancestry(t) {
+            raw.push((idx, kind.to_string()));
+        }
+    }
+    raw.sort_by_key(|&(idx, _)| idx);
+    let steps: Vec<IncidentStep> = raw
+        .iter()
+        .map(|(idx, edge)| IncidentStep {
+            at: graph.event(*idx).at(),
+            what: describe_event(graph.event(*idx)),
+            edge: edge.clone(),
+        })
+        .collect();
+
+    // Page context: mapping sites and co-resident objects up to the
+    // trigger cycle (or the finding cycle when no trigger was located).
+    let horizon = trigger.map(|t| graph.event(t).at()).unwrap_or(finding.at);
+    let mut mapping_sites: Vec<&'static str> = Vec::new();
+    let mut co_resident: Vec<(&'static str, usize)> = Vec::new();
+    for &i in graph.events_touching_page(finding.page) {
+        let ev = graph.event(i);
+        if ev.at() > horizon {
+            break;
+        }
+        match ev {
+            Event::DmaMap { site, .. } if !mapping_sites.contains(site) => {
+                mapping_sites.push(site);
+            }
+            Event::Alloc { site, size, .. } if !co_resident.contains(&(*site, *size)) => {
+                co_resident.push((*site, *size));
+            }
+            _ => {}
+        }
+    }
+
+    // §5.2 verdict: a stale device access anywhere in the ancestry (or
+    // on the page) means the deferred-invalidation window was in play.
+    let ancestors: Vec<usize> = trigger
+        .map(|t| {
+            let mut v: Vec<usize> = graph.ancestry(t).iter().map(|&(i, _)| i).collect();
+            v.push(t);
+            v
+        })
+        .unwrap_or_default();
+    let saw_stale = ancestors
+        .iter()
+        .chain(graph.events_touching_page(finding.page).iter())
+        .any(|&i| {
+            matches!(graph.event(i), Event::DevAccess { stale: true, .. })
+                || graph
+                    .parents(i)
+                    .iter()
+                    .any(|&(_, k)| k == EdgeKind::StaleTranslation)
+        });
+    let window = if saw_stale {
+        WindowVerdict::StaleIotlb
+    } else if finding.kind == FindingKind::MultipleMap {
+        WindowVerdict::NeighborIova
+    } else {
+        WindowVerdict::StandingExposure
+    };
+
+    Incident {
+        taxonomy: taxonomy_for(finding, graph, trigger),
+        finding: finding.clone(),
+        window,
+        mapping_sites,
+        co_resident,
+        steps,
+    }
+}
+
+impl Incident {
+    /// Renders the incident block: header, context lines, timeline.
+    pub fn render(&self, index: usize) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "incident [{index}] {} — {} (size {}, rights [{}]) on page {:#x} at cycle {}",
+            self.finding.id(),
+            self.finding.kind,
+            self.finding.size,
+            self.finding.rights,
+            self.finding.page,
+            self.finding.at
+        );
+        let _ = writeln!(s, "  taxonomy:  {}", self.taxonomy);
+        let _ = writeln!(s, "  window:    {}", self.window);
+        let _ = writeln!(
+            s,
+            "  alloc site: {}   mapping sites: {}",
+            self.finding.site,
+            if self.mapping_sites.is_empty() {
+                "(none live)".to_string()
+            } else {
+                self.mapping_sites.join(", ")
+            }
+        );
+        if !self.co_resident.is_empty() {
+            let objs: Vec<String> = self
+                .co_resident
+                .iter()
+                .map(|(site, size)| format!("{site} ({size} B)"))
+                .collect();
+            let _ = writeln!(s, "  co-resident objects: {}", objs.join(", "));
+        }
+        let _ = writeln!(s, "  timeline:");
+        for step in &self.steps {
+            if step.edge.is_empty() {
+                let _ = writeln!(s, "    cycle {:>8}  {}", step.at, step.what);
+            } else {
+                let _ = writeln!(
+                    s,
+                    "    cycle {:>8}  {}  [{}]",
+                    step.at, step.what, step.edge
+                );
+            }
+        }
+        s
+    }
+
+    /// One-line causal chain (corpus annotations): oldest → trigger.
+    pub fn chain(&self) -> String {
+        self.steps
+            .iter()
+            .map(|s| format!("{}@{}", s.what, s.at))
+            .collect::<Vec<_>>()
+            .join(" -> ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DKasan;
+    use dma_core::vuln::DmaDirection;
+    use dma_core::{Iova, Kva};
+
+    const PAGE: u64 = 0xffff_8880_0030_0000;
+
+    fn exposure_stream() -> Vec<Event> {
+        vec![
+            Event::DmaMap {
+                at: 10,
+                device: 1,
+                iova: Iova(0xf000),
+                kva: Kva(PAGE),
+                len: 2048,
+                dir: DmaDirection::FromDevice,
+                site: "nic_rx_map",
+            },
+            Event::Alloc {
+                at: 14,
+                kva: Kva(PAGE + 2048),
+                size: 512,
+                site: "load_elf_phdrs",
+                cache: "kmalloc-512",
+            },
+        ]
+    }
+
+    #[test]
+    fn incident_names_site_map_taxonomy_and_window() {
+        let evs = exposure_stream();
+        let mut dk = DKasan::new();
+        dk.process(&evs);
+        let mut graph = ProvenanceGraph::new();
+        graph.ingest_all(evs);
+        let f = dk.findings_of(FindingKind::AllocAfterMap)[0].clone();
+        let inc = investigate(&graph, &f);
+        assert_eq!(inc.taxonomy, SubPageVulnerability::RandomColocation);
+        assert_eq!(inc.window, WindowVerdict::StandingExposure);
+        assert_eq!(inc.mapping_sites, vec!["nic_rx_map"]);
+        assert_eq!(inc.steps.len(), 2, "trigger + its causal map");
+        let text = inc.render(1);
+        assert!(text.contains("alloc-after-map"), "{text}");
+        assert!(text.contains("load_elf_phdrs"), "{text}");
+        assert!(text.contains("nic_rx_map"), "{text}");
+        assert!(text.contains("type (d)"), "{text}");
+        assert!(text.contains("standing exposure"), "{text}");
+        assert!(text.contains(&f.id()), "{text}");
+    }
+
+    #[test]
+    fn stale_device_write_yields_the_521_verdict() {
+        let mut evs = exposure_stream();
+        evs.push(Event::DmaUnmap {
+            at: 20,
+            device: 1,
+            iova: Iova(0xf000),
+            len: 2048,
+        });
+        evs.push(Event::DevAccess {
+            at: 25,
+            device: 1,
+            iova: Iova(0xf040),
+            len: 8,
+            write: true,
+            allowed: true,
+            stale: true,
+        });
+        let mut dk = DKasan::new();
+        dk.process(&evs);
+        let mut graph = ProvenanceGraph::new();
+        graph.ingest_all(evs);
+        let f = dk.findings_of(FindingKind::AllocAfterMap)[0].clone();
+        let inc = investigate(&graph, &f);
+        assert_eq!(inc.window, WindowVerdict::StaleIotlb);
+        assert!(inc.render(1).contains("window (ii)"));
+    }
+
+    #[test]
+    fn page_frag_colocations_classify_as_driver_metadata() {
+        let evs = vec![
+            Event::Alloc {
+                at: 1,
+                kva: Kva(PAGE),
+                size: 640,
+                site: "netdev_alloc_frag",
+                cache: "page_frag",
+            },
+            Event::DmaMap {
+                at: 2,
+                device: 1,
+                iova: Iova(0xf000),
+                kva: Kva(PAGE + 640),
+                len: 640,
+                dir: DmaDirection::FromDevice,
+                site: "nic_rx_map",
+            },
+        ];
+        let mut dk = DKasan::new();
+        dk.process(&evs);
+        let mut graph = ProvenanceGraph::new();
+        graph.ingest_all(evs);
+        let f = dk.findings_of(FindingKind::MapAfterAlloc)[0].clone();
+        let inc = investigate(&graph, &f);
+        assert_eq!(inc.taxonomy, SubPageVulnerability::DriverMetadata);
+        assert!(inc.render(1).contains("type (a)"));
+    }
+
+    #[test]
+    fn investigation_is_deterministic() {
+        let run = || {
+            let evs = exposure_stream();
+            let mut dk = DKasan::new();
+            dk.process(&evs);
+            let mut graph = ProvenanceGraph::new();
+            graph.ingest_all(evs);
+            dk.findings()
+                .iter()
+                .map(|f| investigate(&graph, f).render(0))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -17,12 +17,16 @@
 //! replays that stream into shadow state ([`shadow`]) and renders
 //! findings in the paper's Figure-3 format ([`report`]). The [`workload`]
 //! module reproduces the §4.2 experiment ("cloning a large project and
-//! compiling it concurrently with light network traffic").
+//! compiling it concurrently with light network traffic"). The
+//! [`forensics`] module turns findings into causal incident timelines
+//! by walking the `dma_core::provenance` graph backward.
 
+pub mod forensics;
 pub mod report;
 pub mod shadow;
 pub mod workload;
 
+pub use forensics::{investigate, Incident, IncidentStep, WindowVerdict};
 pub use report::{DKasanFinding, FindingKind, Summary};
 pub use shadow::{DKasan, DKasanStats};
 pub use workload::{run_workload, WorkloadConfig, WorkloadReport};

@@ -7,6 +7,7 @@
 //! [1] size 512 [READ, WRITE] __alloc_skb+0xe0/0x3f0
 //! ```
 
+use dma_core::clock::Cycles;
 use dma_core::vuln::AccessRight;
 
 /// The four report classes of §4.2.
@@ -68,9 +69,30 @@ pub struct DKasanFinding {
     pub site: &'static str,
     /// Page base (direct-map KVA) of the exposure.
     pub page: u64,
+    /// Simulated cycle of the triggering event.
+    pub at: Cycles,
 }
 
 impl DKasanFinding {
+    /// Stable deterministic identifier: an FNV-1a hash over
+    /// kind + site + page + cycle, rendered as `dk-<16 hex digits>`.
+    /// Forensics timelines and fuzz-corpus entries cross-reference
+    /// findings by this id instead of array position.
+    pub fn id(&self) -> String {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        mix(self.kind.metric_name().as_bytes());
+        mix(self.site.as_bytes());
+        mix(&self.page.to_le_bytes());
+        mix(&self.at.to_le_bytes());
+        format!("dk-{h:016x}")
+    }
+
     /// Renders one Figure-3-style line. The `+0x../0x..` suffix mirrors
     /// kallsyms offset/size annotations; the simulator derives stable
     /// pseudo-offsets from the site name.
@@ -112,6 +134,10 @@ pub struct Summary {
     /// Findings where the device holds write (or bidirectional) rights —
     /// the ones that are attack surface rather than mere leakage.
     pub writable: usize,
+    /// Events the bounded flight recorder evicted before D-KASAN could
+    /// replay them (0 when tracing was unbounded). Non-zero means the
+    /// finding set is a lower bound, not silently complete.
+    pub trace_dropped: u64,
 }
 
 impl Summary {
@@ -136,6 +162,16 @@ impl Summary {
             top_sites,
             pages: pages.len(),
             writable,
+            trace_dropped: 0,
+        }
+    }
+
+    /// Same as [`Summary::of`], recording how many events the bounded
+    /// recorder evicted before replay.
+    pub fn of_recorded(findings: &[DKasanFinding], trace_dropped: u64) -> Summary {
+        Summary {
+            trace_dropped,
+            ..Summary::of(findings)
         }
     }
 
@@ -147,6 +183,12 @@ impl Summary {
         }
         s.push_str(&format!("  distinct pages     {}\n", self.pages));
         s.push_str(&format!("  device-writable    {}\n", self.writable));
+        if self.trace_dropped > 0 {
+            s.push_str(&format!(
+                "  trace dropped      {} (recorder evicted; counts are lower bounds)\n",
+                self.trace_dropped
+            ));
+        }
         s.push_str("  top sites:\n");
         for (site, n) in self.top_sites.iter().take(5) {
             s.push_str(&format!("    {site:<28} {n}\n"));
@@ -167,6 +209,7 @@ mod tests {
             rights: AccessRight::Bidirectional,
             site: "__alloc_skb",
             page: 0xffff_8880_0020_0000,
+            at: 100,
         };
         let line = f.render(1);
         assert!(
@@ -184,6 +227,7 @@ mod tests {
             rights: AccessRight::Write,
             site: "sock_alloc_inode",
             page: 0,
+            at: 7,
         };
         assert!(f.render(4).contains("size 64 [WRITE] sock_alloc_inode"));
     }
@@ -196,6 +240,7 @@ mod tests {
             rights: AccessRight::Read,
             site: "x",
             page: 0,
+            at: 0,
         };
         let r = render_report(&[f.clone(), f]);
         let lines: Vec<&str> = r.lines().collect();
@@ -211,6 +256,7 @@ mod tests {
             rights,
             site,
             page,
+            at: 1,
         };
         let findings = vec![
             mk(
@@ -244,6 +290,48 @@ mod tests {
     }
 
     #[test]
+    fn ids_are_stable_and_discriminate() {
+        let f = DKasanFinding {
+            kind: FindingKind::AllocAfterMap,
+            size: 512,
+            rights: AccessRight::Bidirectional,
+            site: "__alloc_skb",
+            page: 0x1000,
+            at: 77,
+        };
+        let id = f.id();
+        assert!(id.starts_with("dk-") && id.len() == 19, "{id}");
+        assert_eq!(id, f.clone().id(), "pure function of the finding");
+        for other in [
+            DKasanFinding {
+                kind: FindingKind::MultipleMap,
+                ..f.clone()
+            },
+            DKasanFinding {
+                site: "kstrdup",
+                ..f.clone()
+            },
+            DKasanFinding {
+                page: 0x2000,
+                ..f.clone()
+            },
+            DKasanFinding {
+                at: 78,
+                ..f.clone()
+            },
+        ] {
+            assert_ne!(f.id(), other.id(), "{other:?}");
+        }
+    }
+
+    #[test]
+    fn summary_renders_recorder_drops_only_when_present() {
+        let s = Summary::of_recorded(&[], 12);
+        assert!(s.render().contains("trace dropped      12"));
+        assert!(!Summary::of(&[]).render().contains("trace dropped"));
+    }
+
+    #[test]
     fn pseudo_offsets_are_stable() {
         let f = DKasanFinding {
             kind: FindingKind::AllocAfterMap,
@@ -251,6 +339,7 @@ mod tests {
             rights: AccessRight::Read,
             site: "stable_site",
             page: 0,
+            at: 42,
         };
         assert_eq!(f.render(1), f.render(1));
     }

@@ -139,26 +139,38 @@ impl DKasan {
     fn dispatch(&mut self, ev: &Event) {
         match ev {
             Event::Alloc {
-                kva, size, site, ..
-            } => self.on_alloc(*kva, *size, site),
+                at,
+                kva,
+                size,
+                site,
+                ..
+            } => self.on_alloc(*at, *kva, *size, site),
             Event::Free { kva, .. } => self.on_free(*kva),
             Event::DmaMap {
+                at,
                 device,
                 iova,
                 kva,
                 len,
                 dir,
                 site,
-                ..
-            } => self.on_map(*device, iova.raw(), *kva, *len, dir.access_right(), site),
+            } => self.on_map(
+                *at,
+                *device,
+                iova.raw(),
+                *kva,
+                *len,
+                dir.access_right(),
+                site,
+            ),
             Event::DmaUnmap { device, iova, .. } => self.on_unmap(*device, iova.raw()),
             Event::CpuAccess {
+                at,
                 kva,
                 len,
                 write,
                 site,
-                ..
-            } => self.on_cpu_access(*kva, *len, *write, site),
+            } => self.on_cpu_access(*at, *kva, *len, *write, site),
             // Injected faults mean the corresponding Alloc/DmaMap never
             // happened — the shadow must NOT invent state for them, only
             // record the injection so reports stay explainable.
@@ -175,7 +187,7 @@ impl DKasan {
         &self.faults
     }
 
-    fn on_alloc(&mut self, kva: Kva, size: usize, site: &'static str) {
+    fn on_alloc(&mut self, at: u64, kva: Kva, size: usize, site: &'static str) {
         let keys = pages_of(kva, size);
         // Class 1: alloc-after-map.
         let mapped_rights: Vec<AccessRight> = keys
@@ -190,6 +202,7 @@ impl DKasan {
                 rights: merged,
                 site,
                 page: kva.page_align_down().raw(),
+                at,
             });
         }
         self.stats.shadow_updates += keys.len() as u64;
@@ -214,8 +227,10 @@ impl DKasan {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn on_map(
         &mut self,
+        at: u64,
         device: DeviceId,
         iova: u64,
         kva: Kva,
@@ -250,6 +265,7 @@ impl DKasan {
                     rights: prev.union(right),
                     site,
                     page: *k,
+                    at,
                 });
             }
             for (osize, osite) in co_located {
@@ -259,6 +275,7 @@ impl DKasan {
                     rights: right,
                     site: osite,
                     page: *k,
+                    at,
                 });
             }
         }
@@ -286,7 +303,7 @@ impl DKasan {
         }
     }
 
-    fn on_cpu_access(&mut self, kva: Kva, len: usize, _write: bool, site: &'static str) {
+    fn on_cpu_access(&mut self, at: u64, kva: Kva, len: usize, _write: bool, site: &'static str) {
         // Class 3: access-after-map.
         let rights: Vec<AccessRight> = pages_of(kva, len)
             .iter()
@@ -300,6 +317,7 @@ impl DKasan {
                 rights: merged,
                 site,
                 page: kva.page_align_down().raw(),
+                at,
             });
         }
     }
@@ -392,6 +410,8 @@ mod tests {
         assert_eq!(f[0].size, 512);
         assert_eq!(f[0].site, "load_elf_phdrs");
         assert_eq!(f[0].rights, AccessRight::Write);
+        assert_eq!(f[0].at, 1, "finding stamped with the trigger cycle");
+        assert!(f[0].id().starts_with("dk-"));
     }
 
     #[test]

@@ -13,12 +13,12 @@
 //! - skb allocation and zero-copy echo traffic (`__alloc_skb`, mapped
 //!   for both directions — the double mapping of Figure 3 line 1).
 
-use crate::report::render_report;
+use crate::report::{render_report, Summary};
 use crate::shadow::DKasan;
 use crate::FindingKind;
 use devsim::testbed::{MemConfigLite, TestbedConfig};
 use devsim::Testbed;
-use dma_core::{DetRng, Kva, Result};
+use dma_core::{DetRng, FlightRecorder, Kva, Result};
 use sim_iommu::IommuConfig;
 use sim_net::driver::{AllocPolicy, DriverConfig};
 use sim_net::packet::Packet;
@@ -48,6 +48,11 @@ impl Default for WorkloadConfig {
     }
 }
 
+/// How many recent events the workload's black box retains for
+/// post-hoc forensics (the full stream is consumed by D-KASAN as it
+/// goes; the recorder keeps only the tail, counting what it evicted).
+pub const BLACK_BOX_CAPACITY: usize = 4096;
+
 /// Result of a workload run.
 pub struct WorkloadReport {
     /// The D-KASAN engine with all findings.
@@ -58,6 +63,10 @@ pub struct WorkloadReport {
     pub allocs: u64,
     /// Operations absorbed as drops under fault injection.
     pub dropped: u64,
+    /// Flight recorder holding the most recent events of the run —
+    /// enough to reconstruct provenance for late findings without
+    /// retaining the whole stream.
+    pub black_box: FlightRecorder,
 }
 
 impl WorkloadReport {
@@ -69,6 +78,12 @@ impl WorkloadReport {
     /// Count of findings of a class.
     pub fn count(&self, kind: FindingKind) -> usize {
         self.dkasan.findings_of(kind).len()
+    }
+
+    /// Aggregated summary, surfacing how many events fell out of the
+    /// black box before anyone could investigate them.
+    pub fn summary(&self) -> Summary {
+        Summary::of_recorded(self.dkasan.findings(), self.black_box.dropped())
     }
 }
 
@@ -115,6 +130,7 @@ pub fn run_workload(cfg: WorkloadConfig) -> Result<WorkloadReport> {
 
     let mut rng = DetRng::new(cfg.seed);
     let mut dkasan = DKasan::new();
+    let mut black_box = FlightRecorder::new(BLACK_BOX_CAPACITY);
     let mut live: Vec<Kva> = Vec::new();
     let mut packets = 0u64;
     let mut allocs = 0u64;
@@ -171,18 +187,26 @@ pub fn run_workload(cfg: WorkloadConfig) -> Result<WorkloadReport> {
             }
         }
 
-        // Stream events into the shadow as they happen.
+        // Stream events into the shadow as they happen; the black box
+        // keeps the recent tail for forensics.
         let events = tb.ctx.trace.drain();
         dkasan.process(&events);
+        for ev in events {
+            black_box.push(ev);
+        }
     }
     let events = tb.ctx.trace.drain();
     dkasan.process(&events);
+    for ev in events {
+        black_box.push(ev);
+    }
 
     Ok(WorkloadReport {
         dkasan,
         packets,
         allocs,
         dropped,
+        black_box,
     })
 }
 
@@ -221,6 +245,22 @@ mod tests {
             text.lines().next().unwrap().starts_with("[1] size "),
             "{text}"
         );
+    }
+
+    #[test]
+    fn black_box_retains_the_tail_and_summary_surfaces_drops() {
+        let report = run_workload(WorkloadConfig::default()).unwrap();
+        assert!(!report.black_box.is_empty());
+        assert!(
+            report.black_box.dropped() > 0,
+            "200 rounds emit more than the black box retains"
+        );
+        let summary = report.summary();
+        assert_eq!(summary.trace_dropped, report.black_box.dropped());
+        assert!(summary.render().contains("trace dropped"));
+        // The retained tail is chronological.
+        let tail = report.black_box.snapshot();
+        assert!(tail.windows(2).all(|w| w[0].at() <= w[1].at()));
     }
 
     #[test]

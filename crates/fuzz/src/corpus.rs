@@ -14,8 +14,11 @@ use dma_core::{CoverageMap, Result};
 use std::collections::BTreeSet;
 use std::path::Path;
 
-use crate::exec::{config_name, execute, ExecOutcome};
+use crate::exec::{config_name, execute, execute_with_forensics, ExecOutcome};
 use crate::input::FuzzInput;
+
+/// How many causal chains a corpus entry retains at most.
+const MAX_CHAINS: usize = 4;
 
 /// One admitted corpus entry.
 #[derive(Clone, Debug)]
@@ -34,6 +37,11 @@ pub struct CorpusEntry {
     pub ops: usize,
     /// The minimized input (its op count is the post-minimization size).
     pub input: FuzzInput,
+    /// Causal provenance chains — one per D-KASAN finding the minimized
+    /// input still triggers (oldest event → trigger), capped at
+    /// [`MAX_CHAINS`]. Empty when the entry was admitted on coverage
+    /// novelty alone.
+    pub chains: Vec<String>,
 }
 
 impl CorpusEntry {
@@ -52,6 +60,13 @@ impl CorpusEntry {
                 w.arr(|w| {
                     for op in &self.input.ops {
                         w.elem(|w| w.str(&op.describe()));
+                    }
+                });
+            });
+            w.field("causal_chains", |w| {
+                w.arr(|w| {
+                    for c in &self.chains {
+                        w.elem(|w| w.str(c));
                     }
                 });
             });
@@ -95,8 +110,9 @@ impl Corpus {
 
     /// Considers an executed input: merges its coverage into `global`
     /// and admits it (minimized) when it added new bits and its
-    /// signature is unseen. Returns the number of minimizer
-    /// re-executions performed (0 when not admitted).
+    /// signature is unseen. Returns the number of extra executions
+    /// spent (minimizer replays plus one forensic annotation replay; 0
+    /// when not admitted).
     pub fn consider(
         &mut self,
         input: &FuzzInput,
@@ -108,6 +124,19 @@ impl Corpus {
             return Ok(0);
         }
         let (minimized, execs) = minimize(input, outcome.signature)?;
+        // One forensic replay of the kept input annotates the entry
+        // with the causal chains behind its D-KASAN findings.
+        let run = execute_with_forensics(&minimized)?;
+        let mut chains: Vec<String> = Vec::new();
+        for inc in &run.incidents {
+            let c = inc.chain();
+            if !c.is_empty() && !chains.contains(&c) {
+                chains.push(c);
+            }
+            if chains.len() == MAX_CHAINS {
+                break;
+            }
+        }
         self.entries.push(CorpusEntry {
             seed: input.seed,
             iteration: input.iteration,
@@ -116,8 +145,9 @@ impl Corpus {
             new_bits,
             ops: input.ops.len(),
             input: minimized,
+            chains,
         });
-        Ok(execs)
+        Ok(execs + 1)
     }
 
     /// Writes every entry as `entry-<idx>-<signature>.json` under

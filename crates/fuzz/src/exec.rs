@@ -11,11 +11,13 @@
 
 use devsim::testbed::MemConfigLite;
 use devsim::{Testbed, TestbedConfig};
-use dkasan::{DKasan, FindingKind};
+use dkasan::{investigate, DKasan, FindingKind, Incident};
 use dma_core::vuln::{
     CallbackExposure, SubPageVulnerability, TimeWindow, VulnerabilityAttributes, WindowPath,
 };
-use dma_core::{CoverageMap, DetRng, DmaError, Event, Iova, Kva, Result, VmRegion};
+use dma_core::{
+    CoverageMap, DetRng, DmaError, Event, Iova, Kva, ProvenanceGraph, Result, VmRegion,
+};
 use sim_iommu::{InvalidationMode, IommuConfig};
 use sim_net::driver::{AllocPolicy, DriverConfig, UnmapOrder};
 use sim_net::packet::Packet;
@@ -35,6 +37,9 @@ pub struct FuzzFinding {
     pub dkasan: Option<FindingKind>,
     /// Site tag (D-KASAN findings) or tampered field name.
     pub site: String,
+    /// Stable id of the backing [`dkasan::DKasanFinding`] (empty for
+    /// device-write observations with no oracle report).
+    pub dkasan_id: String,
     /// The §3.3 attribute set assembled for this observation.
     pub attrs: VulnerabilityAttributes,
 }
@@ -72,6 +77,21 @@ pub struct ExecOutcome {
     pub cycles: u64,
     /// Pages the device could still DMA to after shutdown.
     pub leaked_pages: usize,
+    /// Events the bounded flight recorder evicted before a drain could
+    /// consume them (the `trace.dropped` counter at run end).
+    pub trace_dropped: u64,
+}
+
+/// One forensically-instrumented execution: the outcome, the full
+/// provenance graph of the run's event stream, and one investigated
+/// [`Incident`] per D-KASAN finding.
+pub struct ForensicRun {
+    /// The ordinary execution outcome.
+    pub outcome: ExecOutcome,
+    /// Causal graph built from every event the run emitted.
+    pub graph: ProvenanceGraph,
+    /// Incidents in D-KASAN discovery order.
+    pub incidents: Vec<Incident>,
 }
 
 /// Human-readable name of a machine configuration.
@@ -158,7 +178,10 @@ const CHURN_SITES: &[(&str, usize)] = &[
     ("getname_flags", 1024),
 ];
 
-fn taxonomy_of(kind: FindingKind, cfg: &DriverConfig) -> SubPageVulnerability {
+/// Figure-1 taxonomy class for a D-KASAN finding under a given driver
+/// configuration (kmalloc or mapped-control-block shapes co-locate
+/// random objects; page-frag shapes share driver-owned metadata).
+pub fn taxonomy_of(kind: FindingKind, cfg: &DriverConfig) -> SubPageVulnerability {
     match kind {
         FindingKind::MultipleMap => SubPageVulnerability::MultipleIova,
         FindingKind::AccessAfterMap => SubPageVulnerability::OsMetadata,
@@ -172,6 +195,13 @@ fn taxonomy_of(kind: FindingKind, cfg: &DriverConfig) -> SubPageVulnerability {
     }
 }
 
+/// Capacity of the bounded flight recorder each execution runs under.
+/// Events are drained after every op, so the recorder only needs to
+/// absorb one op's burst (plus boot); evictions — counted in
+/// `trace.dropped` and surfaced on the outcome — mean an op out-emitted
+/// the ring and the oracle saw a truncated stream.
+pub const EXEC_RECORDER_CAPACITY: usize = 8192;
+
 /// Executes one input on a clean machine. See [`execute_under_faults`]
 /// for the variant the chaos soak uses.
 pub fn execute(input: &FuzzInput) -> Result<ExecOutcome> {
@@ -181,7 +211,37 @@ pub fn execute(input: &FuzzInput) -> Result<ExecOutcome> {
 /// Executes one input with an optional chaos fault plan armed on top of
 /// whatever `ArmFault` ops the input itself carries.
 pub fn execute_under_faults(input: &FuzzInput, fault_seed: Option<u64>) -> Result<ExecOutcome> {
-    let mut tb = Testbed::new_traced(machine_config(input.config_id, input.seed))?;
+    execute_core(input, fault_seed, None).map(|(out, _)| out)
+}
+
+/// Executes one input while feeding every event into a
+/// [`ProvenanceGraph`], then investigates each D-KASAN finding against
+/// it. This is the `dma-lab forensics` execution path; the ordinary
+/// fuzzing loop skips the graph.
+pub fn execute_with_forensics(input: &FuzzInput) -> Result<ForensicRun> {
+    let mut graph = ProvenanceGraph::new();
+    let (outcome, dkasan) = execute_core(input, None, Some(&mut graph))?;
+    let incidents = dkasan
+        .findings()
+        .iter()
+        .map(|f| investigate(&graph, f))
+        .collect();
+    Ok(ForensicRun {
+        outcome,
+        graph,
+        incidents,
+    })
+}
+
+fn execute_core(
+    input: &FuzzInput,
+    fault_seed: Option<u64>,
+    mut graph: Option<&mut ProvenanceGraph>,
+) -> Result<(ExecOutcome, DKasan)> {
+    let mut tb = Testbed::new_recorded(
+        machine_config(input.config_id, input.seed),
+        EXEC_RECORDER_CAPACITY,
+    )?;
     tb.ctx.trace.record_cpu_access = true;
     if let Some(fs) = fault_seed {
         tb.ctx.faults = devsim::build_fault_plan(fs);
@@ -221,12 +281,18 @@ pub fn execute_under_faults(input: &FuzzInput, fault_seed: Option<u64>) -> Resul
         let events = tb.ctx.trace.drain();
         absorb_events(&events, &mut cov);
         dkasan.process(&events);
+        if let Some(g) = graph.as_deref_mut() {
+            g.ingest_all(events);
+        }
     }
 
     let leaked_pages = tb.shutdown()?;
     let events = tb.ctx.trace.drain();
     absorb_events(&events, &mut cov);
     dkasan.process(&events);
+    if let Some(g) = graph {
+        g.ingest_all(events);
+    }
 
     // Oracle: every D-KASAN finding class becomes coverage plus a
     // taxonomy-classified fuzz finding.
@@ -239,6 +305,7 @@ pub fn execute_under_faults(input: &FuzzInput, fault_seed: Option<u64>) -> Resul
             taxonomy,
             dkasan: Some(f.kind),
             site: f.site.to_string(),
+            dkasan_id: f.id(),
             attrs: VulnerabilityAttributes::default(),
         });
     }
@@ -260,7 +327,7 @@ pub fn execute_under_faults(input: &FuzzInput, fault_seed: Option<u64>) -> Resul
         }
     }
 
-    Ok(ExecOutcome {
+    let outcome = ExecOutcome {
         signature: cov.signature(),
         coverage: cov,
         findings,
@@ -268,7 +335,9 @@ pub fn execute_under_faults(input: &FuzzInput, fault_seed: Option<u64>) -> Resul
         dropped,
         cycles: tb.ctx.clock.now(),
         leaked_pages,
-    })
+        trace_dropped: tb.ctx.metrics.counter("trace.dropped"),
+    };
+    Ok((outcome, dkasan))
 }
 
 fn absorb_events(events: &[Event], cov: &mut CoverageMap) {
@@ -371,6 +440,7 @@ fn apply_op(
                     taxonomy: SubPageVulnerability::OsMetadata,
                     dkasan: None,
                     site: format!("skb_shared_info.{name}"),
+                    dkasan_id: String::new(),
                     attrs: VulnerabilityAttributes {
                         malicious_kva: classify_kva(value),
                         callback: Some(CallbackExposure {
@@ -507,6 +577,7 @@ fn race_write(
             taxonomy: SubPageVulnerability::OsMetadata,
             dkasan: None,
             site: "skb_shared_info.destructor_arg".to_string(),
+            dkasan_id: String::new(),
             attrs: VulnerabilityAttributes {
                 malicious_kva: classify_kva(value),
                 callback: Some(CallbackExposure {
@@ -553,6 +624,7 @@ fn stale_write(
                 taxonomy: SubPageVulnerability::OsMetadata,
                 dkasan: None,
                 site: "skb_shared_info.destructor_arg".to_string(),
+                dkasan_id: String::new(),
                 attrs: VulnerabilityAttributes {
                     malicious_kva: classify_kva(value),
                     callback: Some(CallbackExposure {

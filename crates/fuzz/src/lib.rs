@@ -24,13 +24,16 @@
 
 pub mod corpus;
 pub mod exec;
+pub mod forensics;
 pub mod input;
 pub mod report;
 
 pub use corpus::{Corpus, CorpusEntry};
 pub use exec::{
-    config_name, execute, execute_under_faults, machine_config, ExecOutcome, FuzzFinding,
+    config_name, execute, execute_under_faults, execute_with_forensics, machine_config,
+    taxonomy_of, ExecOutcome, ForensicRun, FuzzFinding, EXEC_RECORDER_CAPACITY,
 };
+pub use forensics::{run_forensics, ForensicsCase, ForensicsReport};
 pub use input::{FuzzInput, MutationOp, FAULT_GLOBS, MAX_OPS, NUM_CONFIGS};
 pub use report::{FuzzReport, SeriesPoint};
 
@@ -74,6 +77,7 @@ pub fn run_fuzz(cfg: &FuzzConfig) -> Result<FuzzReport> {
     let mut delivered = 0u64;
     let mut dropped = 0u64;
     let mut total_cycles = 0u64;
+    let mut trace_dropped = 0u64;
 
     for it in 0..cfg.iters {
         let input = FuzzInput::generate(cfg.seed, it);
@@ -83,6 +87,7 @@ pub fn run_fuzz(cfg: &FuzzConfig) -> Result<FuzzReport> {
         delivered += out.delivered;
         dropped += out.dropped;
         total_cycles += out.cycles;
+        trace_dropped += out.trace_dropped;
 
         let bits_before = global.count_ones();
         minimize_execs += corpus.consider(&input, &out, &mut global)? as u64;
@@ -126,6 +131,7 @@ pub fn run_fuzz(cfg: &FuzzConfig) -> Result<FuzzReport> {
         delivered,
         dropped,
         total_cycles,
+        trace_dropped,
         stats_json,
     })
 }

@@ -45,6 +45,10 @@ pub struct FuzzReport {
     pub dropped: u64,
     /// Total simulated cycles across all executions.
     pub total_cycles: u64,
+    /// Events the bounded per-execution flight recorders evicted,
+    /// summed across all executions (0 = every event reached the
+    /// oracle; counts are lower bounds otherwise).
+    pub trace_dropped: u64,
     /// The runner's metrics snapshot (`fuzz.execs`, `fuzz.corpus.size`,
     /// `fuzz.coverage.bits`, ...), rendered as JSON.
     pub stats_json: String,
@@ -59,6 +63,7 @@ fn render_finding(w: &mut JsonWriter, f: &FuzzFinding) {
             "dkasan",
             &f.dkasan.map(|k| k.to_string()).unwrap_or_default(),
         );
+        w.field_str("dkasan_id", &f.dkasan_id);
         w.field_str("site", &f.site);
         w.field_str(
             "window",
@@ -118,6 +123,7 @@ impl FuzzReport {
             w.field_u64("coverage_bits", self.coverage_bits as u64);
             w.field_u64("delivered", self.delivered);
             w.field_u64("dropped", self.dropped);
+            w.field_u64("trace_dropped", self.trace_dropped);
             w.field("corpus", |w| {
                 w.arr(|w| {
                     for e in &self.corpus {
@@ -153,6 +159,13 @@ impl FuzzReport {
             "traffic: {} delivered, {} dropped, {} simulated cycles",
             self.delivered, self.dropped, self.total_cycles
         );
+        if self.trace_dropped > 0 {
+            let _ = writeln!(
+                out,
+                "recorder: {} events evicted before the oracle saw them",
+                self.trace_dropped
+            );
+        }
         if !self.corpus.is_empty() {
             let _ = writeln!(
                 out,

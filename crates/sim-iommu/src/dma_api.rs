@@ -513,4 +513,58 @@ mod tests {
             }
         )));
     }
+
+    #[test]
+    fn deferred_flush_retires_the_unmap_in_the_provenance_graph() {
+        // §5.2.1 as provenance: under deferred invalidation, the unmap
+        // leaves a pending stale translation, and the later periodic
+        // global flush must pick up a FlushRetiresUnmap edge to it.
+        use dma_core::{EdgeKind, ProvenanceGraph};
+        let mut ctx = SimCtx::traced();
+        let mut mem = MemorySystem::new(&MemConfig::default());
+        let mut iommu = Iommu::new(IommuConfig {
+            mode: InvalidationMode::Deferred,
+            ..Default::default()
+        });
+        iommu.attach_device(1);
+
+        let kva = mem.kmalloc(&mut ctx, 2048, "rx").unwrap();
+        let m = dma_map_single(
+            &mut ctx,
+            &mut iommu,
+            &mem.layout,
+            1,
+            kva,
+            2048,
+            DmaDirection::FromDevice,
+            "t_map",
+        )
+        .unwrap();
+        dma_unmap_single(&mut ctx, &mut iommu, &m).unwrap();
+        ctx.clock
+            .advance(dma_core::clock::DEFERRED_FLUSH_PERIOD + 1);
+        iommu.tick(&mut ctx);
+
+        let mut g = ProvenanceGraph::new();
+        g.ingest_all(ctx.trace.drain());
+        let unmap = (0..g.len())
+            .find(|&i| matches!(g.event(i), Event::DmaUnmap { .. }))
+            .expect("unmap ingested");
+        let flush = (0..g.len())
+            .find(|&i| matches!(g.event(i), Event::IotlbGlobalFlush { .. }))
+            .expect("deferred mode must emit the periodic global flush");
+        assert!(
+            g.parents(unmap)
+                .iter()
+                .any(|&(_, k)| k == EdgeKind::UnmapOfMap),
+            "{:?}",
+            g.parents(unmap)
+        );
+        assert!(
+            g.parents(flush)
+                .contains(&(unmap, EdgeKind::FlushRetiresUnmap)),
+            "{:?}",
+            g.parents(flush)
+        );
+    }
 }

@@ -374,4 +374,33 @@ mod tests {
             assert!(p.raw() >= MemConfig::default().reserved_pages);
         }
     }
+
+    #[test]
+    fn allocator_event_stream_yields_reuse_provenance_edges() {
+        // The real allocator's trace, not a synthetic stream: slab LIFO
+        // reuse and buddy hot-frame reuse must surface as SlabReuse /
+        // PageReuse edges when the drained events hit the graph.
+        use dma_core::{EdgeKind, ProvenanceGraph};
+        let mut ctx = SimCtx::traced();
+        let mut m = MemorySystem::new(&MemConfig::default());
+
+        let a = m.kmalloc(&mut ctx, 128, "t_first").unwrap();
+        m.kfree(&mut ctx, a).unwrap();
+        let b = m.kmalloc(&mut ctx, 128, "t_second").unwrap();
+        assert_eq!(a, b, "slab LIFO reuse expected");
+
+        let p = m.alloc_pages(&mut ctx, 0, "t_page").unwrap();
+        m.free_pages(&mut ctx, p, 0).unwrap();
+        let q = m.alloc_pages(&mut ctx, 0, "t_page").unwrap();
+        assert_eq!(p, q, "buddy hot-frame reuse expected");
+
+        let mut g = ProvenanceGraph::new();
+        g.ingest_all(ctx.trace.drain());
+        let kinds: Vec<EdgeKind> = (0..g.len())
+            .flat_map(|i| g.parents(i).iter().map(|&(_, k)| k))
+            .collect();
+        assert!(kinds.contains(&EdgeKind::FreeOfAlloc), "{kinds:?}");
+        assert!(kinds.contains(&EdgeKind::SlabReuse), "{kinds:?}");
+        assert!(kinds.contains(&EdgeKind::PageReuse), "{kinds:?}");
+    }
 }

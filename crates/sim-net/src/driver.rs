@@ -1067,4 +1067,37 @@ mod tests {
         drv.device_rx_complete(10).unwrap();
         assert!(drv.device_rx_complete(10).is_err());
     }
+
+    #[test]
+    fn rx_refill_links_each_mapping_to_its_covered_allocation() {
+        // The RX-refill path allocates a buffer and immediately maps it
+        // for the device; in the provenance graph every nic_rx_map event
+        // must carry a MapCoversObject edge back to the Alloc it covers.
+        use dma_core::{EdgeKind, Event, ProvenanceGraph};
+        let mut ctx = dma_core::SimCtx::traced();
+        let mut mem = MemorySystem::new(&MemConfig::default());
+        let mut iommu = Iommu::new(IommuConfig {
+            mode: InvalidationMode::Strict,
+            ..Default::default()
+        });
+        let _drv =
+            NicDriver::probe(DriverConfig::default(), &mut ctx, &mut mem, &mut iommu).unwrap();
+
+        let mut g = ProvenanceGraph::new();
+        g.ingest_all(ctx.trace.drain());
+        let rx_maps: Vec<usize> = (0..g.len())
+            .filter(|&i| matches!(g.event(i), Event::DmaMap { site, .. } if site.contains("rx")))
+            .collect();
+        assert!(!rx_maps.is_empty(), "probe fills the RX ring through maps");
+        for m in rx_maps {
+            let covered = g.parents(m).iter().any(|&(p, k)| {
+                k == EdgeKind::MapCoversObject && matches!(g.event(p), Event::Alloc { .. })
+            });
+            assert!(
+                covered,
+                "map {m} has no covered allocation: {:?}",
+                g.parents(m)
+            );
+        }
+    }
 }

@@ -1,9 +1,12 @@
 //! Runs the D-KASAN workload of §4.2 — simulated project build under
-//! light network traffic — and prints the Figure-3-style report.
+//! light network traffic — and prints the Figure-3-style report, then
+//! replays the workload's flight recorder through the provenance graph
+//! to explain the most recent finding as a causal timeline.
 //!
 //! Run with: `cargo run --example dkasan_trace`
 
-use dma_lab::dkasan::{run_workload, FindingKind, WorkloadConfig};
+use dma_lab::dkasan::{investigate, run_workload, DKasan, FindingKind, WorkloadConfig};
+use dma_lab::dma_core::ProvenanceGraph;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let report = run_workload(WorkloadConfig::default())?;
@@ -28,5 +31,35 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\npages currently holding both live kernel objects and live DMA mappings: {}",
         report.dkasan.exposed_pages()
     );
+
+    // The workload keeps a bounded flight recorder (the "black box")
+    // alongside the oracle: the tail of the event stream, with an
+    // eviction count for everything that fell out. Rebuilding the
+    // provenance graph from that tail is enough to explain recent
+    // findings without ever retaining the full trace.
+    println!("\n== Forensics: black-box replay of the latest finding ==");
+    println!(
+        "flight recorder: {} of {} slots used, {} events evicted",
+        report.black_box.len(),
+        report.black_box.capacity(),
+        report.black_box.dropped()
+    );
+    // Replay the retained tail through a fresh oracle: findings and
+    // graph then come from the same window, so every incident timeline
+    // is fully reconstructible — exactly what a post-incident analyst
+    // holding only the black box would do.
+    let tail = report.black_box.snapshot();
+    let mut graph = ProvenanceGraph::new();
+    graph.ingest_all(tail.iter().cloned());
+    let mut replay = DKasan::new();
+    replay.process(&tail);
+    let finding = replay
+        .findings()
+        .last()
+        .expect("the retained tail always re-exposes at least one site");
+    let incident = investigate(&graph, finding);
+    print!("{}", incident.render(1));
+
+    println!("\n{}", report.summary().render());
     Ok(())
 }

@@ -9,10 +9,17 @@
 
 use dma_lab::attacks::image::KernelImage;
 use dma_lab::attacks::ringflood::{self, BootSurvey};
+use dma_lab::dkasan::{investigate, DKasan};
 use dma_lab::dma_core::clock::{CYCLES_PER_MS, DEFERRED_FLUSH_PERIOD};
 use dma_lab::dma_core::metrics::bucket_bound;
 use dma_lab::dma_core::vuln::WindowPath;
+use dma_lab::dma_core::{ProvenanceGraph, Trace};
 use dma_lab::sim_net::packet::Packet;
+
+/// Bounded flight-recorder capacity for the instrumented flood — small
+/// enough that eviction accounting is visible, large enough that each
+/// per-burst drain empties it before it wraps.
+const RECORDER_CAPACITY: usize = 2048;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let driver = ringflood::kernel50_driver();
@@ -39,6 +46,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // instrumented boot so the registry is still in hand afterwards.
     println!("\n== Instrumented flood: how long does each stale mapping live? ==");
     let mut tb = ringflood::boot(driver, WindowPath::DeferredIotlb, 9003)?;
+    // Swap the trace for a bounded flight recorder and drain it once per
+    // burst: D-KASAN replays each drained batch while the provenance
+    // graph keeps the causal structure — no unbounded buffering.
+    tb.ctx.trace = Trace::recorded(RECORDER_CAPACITY);
+    tb.ctx.trace.enabled = true;
+    let mut dkasan = DKasan::new();
+    let mut graph = ProvenanceGraph::new();
     for burst in 0..10u64 {
         for i in 0..24u32 {
             tb.deliver_packet(&Packet::udp(9, 1, vec![(burst as u8) ^ (i as u8); 128]))?;
@@ -46,10 +60,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // Bursts land at different offsets into the 10 ms flush period,
         // spreading the observed windows across the buckets.
         tb.advance_ms(2);
+        let events = tb.ctx.trace.drain();
+        dkasan.process(&events);
+        graph.ingest_all(events);
     }
     let leaked = tb.shutdown()?;
     assert_eq!(leaked, 0, "flood leaked mappings");
     tb.advance_ms(12); // final periodic flush drains the last deferred unmaps
+    let events = tb.ctx.trace.drain();
+    dkasan.process(&events);
+    graph.ingest_all(events);
 
     let h = tb
         .ctx
@@ -116,6 +136,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "strict mode must not leave stale windows"
     );
     println!("  strict mode, same flood: no stale-window histogram — invalidated at unmap");
+
+    // One forensic timeline from the recorded flood: walk the
+    // provenance graph backward from a D-KASAN finding and print the
+    // cycle-stamped causal story behind it.
+    println!("\n== Forensic timeline (flight recorder -> provenance graph) ==");
+    println!(
+        "  graph holds {} event(s); recorder evicted {} (counter `trace.dropped`)",
+        graph.events().len(),
+        tb.ctx.metrics.counter("trace.dropped")
+    );
+    let finding = dkasan
+        .findings()
+        .last()
+        .expect("the deferred-mode flood always exposes mapped pages");
+    let incident = investigate(&graph, finding);
+    print!("{}", incident.render(1));
 
     println!("\nok: stale-window observability demonstrated");
     Ok(())

@@ -11,7 +11,9 @@
 //! dma-lab surveil [--seed N]              §5.5 arbitrary-page read
 //! dma-lab stats [--seed N] [--json]       metrics snapshot of one run
 //! dma-lab trace --spans [--seed N]        span-scoped cycle timeline
+//! dma-lab trace --chrome OUT.json         Perfetto/Chrome trace export
 //! dma-lab fuzz [--seed N] [--iters N] [--corpus-dir D] [--json]
+//! dma-lab forensics [--seed N] [--iters N] [--json]
 //! dma-lab help
 //! ```
 //!
@@ -111,6 +113,7 @@ fn main() {
         "stats" => cmd_stats(&args),
         "trace" => cmd_trace(&args),
         "fuzz" => cmd_fuzz(&args),
+        "forensics" => cmd_forensics(&args),
         "help" | "--help" | "-h" => {
             print!("{HELP}");
             0
@@ -139,8 +142,9 @@ USAGE:
     dma-lab dkasan [--rounds N] [--seed N] [--faults SEED] [--json]
     dma-lab chaos [--seed N] [--runs N] [--json]
     dma-lab stats [--seed N] [--rounds N] [--faults SEED] [--json]
-    dma-lab trace --spans [--seed N] [--rounds N] [--json]
+    dma-lab trace --spans [--seed N] [--rounds N] [--json] [--chrome OUT.json]
     dma-lab fuzz [--seed N] [--iters N] [--corpus-dir DIR] [--json]
+    dma-lab forensics [--seed N] [--iters N] [--json]
     dma-lab help
 
 EXIT CODES:
@@ -393,10 +397,29 @@ fn cmd_stats(args: &Args) -> i32 {
 }
 
 fn cmd_trace(args: &Args) -> i32 {
-    // `--spans` selects the only view there is today; tolerate its
-    // absence so `dma-lab trace` alone also works.
+    // `--spans` selects the default view; `--chrome OUT.json` writes a
+    // Perfetto/Chrome `trace_event` file instead. Tolerate the absence
+    // of both so `dma-lab trace` alone also works.
+    if args.bool_flag("chrome") && args.str_flag("chrome").unwrap_or("").is_empty() {
+        eprintln!("--chrome wants an output path\n{HELP}");
+        return 2;
+    }
     match run_observed(obs_config(args)) {
         Ok(r) => {
+            if let Some(path) = args.str_flag("chrome") {
+                let json = dma_lab::dma_core::chrome::export(&r.timeline, &r.events);
+                if let Err(e) = std::fs::write(path, &json) {
+                    eprintln!("cannot write {path}: {e}");
+                    return 1;
+                }
+                println!(
+                    "wrote {path}: {} spans + {} events ({} bytes) — open at ui.perfetto.dev",
+                    r.timeline.len(),
+                    r.events.len(),
+                    json.len()
+                );
+                return 0;
+            }
             if args.bool_flag("json") {
                 let mut w = JsonWriter::new();
                 w.obj(|w| {
@@ -463,6 +486,38 @@ fn cmd_fuzz(args: &Args) -> i32 {
         }
         Err(e) => {
             eprintln!("fuzz run failed: {e}");
+            1
+        }
+    }
+}
+
+fn cmd_forensics(args: &Args) -> i32 {
+    use dma_lab::fuzz::run_forensics;
+    for key in ["seed", "iters"] {
+        if let Some(v) = args.str_flag(key) {
+            if v.parse::<u64>().is_err() {
+                eprintln!("--{key} wants an unsigned integer, got '{v}'\n{HELP}");
+                return 2;
+            }
+        }
+    }
+    let seed = args.u64_flag("seed", 7);
+    let iters = args.u64_flag("iters", 96);
+    if iters == 0 {
+        eprintln!("--iters must be at least 1\n{HELP}");
+        return 2;
+    }
+    match run_forensics(seed, iters) {
+        Ok(report) => {
+            if args.bool_flag("json") {
+                println!("{}", report.to_json());
+            } else {
+                print!("{}", report.render_text());
+            }
+            0
+        }
+        Err(e) => {
+            eprintln!("forensics run failed: {e}");
             1
         }
     }

@@ -15,7 +15,7 @@ use devsim::testbed::{MemConfigLite, TestbedConfig};
 use devsim::Testbed;
 use dkasan::DKasan;
 use dma_core::metrics::SpanRecord;
-use dma_core::{DetRng, DmaError, Result, Snapshot};
+use dma_core::{DetRng, DmaError, Event, Result, Snapshot};
 use sim_iommu::IommuConfig;
 use sim_net::driver::{AllocPolicy, DriverConfig};
 use sim_net::packet::Packet;
@@ -50,6 +50,10 @@ pub struct ObsReport {
     pub snapshot: Snapshot,
     /// The span timeline: every completed phase occurrence in order.
     pub timeline: Vec<SpanRecord>,
+    /// The full event stream of the run, in emission order — what
+    /// `dma-lab trace --chrome` exports and the provenance graph
+    /// ingests.
+    pub events: Vec<Event>,
     /// Packets that made it through the stack.
     pub packets: u64,
     /// Operations absorbed as drops under fault injection.
@@ -107,6 +111,7 @@ pub fn run_observed(cfg: ObsConfig) -> Result<ObsReport> {
 
     let mut rng = DetRng::new(cfg.seed ^ 0x0b5e_0b5e);
     let mut dkasan = DKasan::new();
+    let mut all_events: Vec<Event> = Vec::new();
     let mut live = Vec::new();
     let mut packets = 0u64;
     let mut dropped = 0u64;
@@ -158,11 +163,13 @@ pub fn run_observed(cfg: ObsConfig) -> Result<ObsReport> {
 
         let events = tb.ctx.trace.drain();
         dkasan.process(&events);
+        all_events.extend(events);
     }
 
     let leaked_pages = tb.shutdown()?;
     let events = tb.ctx.trace.drain();
     dkasan.process(&events);
+    all_events.extend(events);
 
     // Fold in sources that live outside the registry: the D-KASAN
     // replay engine (no SimCtx of its own) and the one per-layer stat
@@ -178,6 +185,7 @@ pub fn run_observed(cfg: ObsConfig) -> Result<ObsReport> {
     Ok(ObsReport {
         snapshot,
         timeline,
+        events: all_events,
         packets,
         dropped,
         leaked_pages,

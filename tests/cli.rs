@@ -19,8 +19,19 @@ fn help_lists_all_subcommands() {
     let (code, out) = run(&["help"]);
     assert_eq!(code, 0);
     for cmd in [
-        "layout", "spade", "dkasan", "survey", "attack", "surveil", "dos", "dump", "chaos",
-        "stats", "trace", "fuzz",
+        "layout",
+        "spade",
+        "dkasan",
+        "survey",
+        "attack",
+        "surveil",
+        "dos",
+        "dump",
+        "chaos",
+        "stats",
+        "trace",
+        "fuzz",
+        "forensics",
     ] {
         assert!(out.contains(cmd), "help missing {cmd}:\n{out}");
     }
@@ -177,6 +188,50 @@ fn fuzz_usage_errors_exit_two() {
         assert_eq!(out.status.code(), Some(2), "{args:?}");
         assert!(out.stdout.is_empty(), "usage errors keep stdout clean");
     }
+}
+
+#[test]
+fn forensics_renders_incident_timelines() {
+    let (code, out) = run(&["forensics", "--seed", "7", "--iters", "24"]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("incident [1]"), "{out}");
+    assert!(out.contains("taxonomy:"), "{out}");
+    assert!(out.contains("window:"), "{out}");
+    assert!(out.contains("timeline:"), "{out}");
+    assert!(out.contains("skb_shared_info.destructor_arg"), "{out}");
+}
+
+#[test]
+fn forensics_usage_errors_exit_two() {
+    for args in [
+        &["forensics", "--iters", "0"][..],
+        &["forensics", "--seed", "banana"][..],
+    ] {
+        let out = Command::new(env!("CARGO_BIN_EXE_dma-lab"))
+            .args(args)
+            .output()
+            .expect("binary runs");
+        assert_eq!(out.status.code(), Some(2), "{args:?}");
+        assert!(out.stdout.is_empty(), "usage errors keep stdout clean");
+    }
+}
+
+#[test]
+fn trace_chrome_writes_a_trace_event_file() {
+    let path = std::env::temp_dir().join(format!("dma-lab-chrome-{}.json", std::process::id()));
+    let (code, out) = run(&[
+        "trace",
+        "--rounds",
+        "40",
+        "--chrome",
+        path.to_str().unwrap(),
+    ]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("ui.perfetto.dev"), "{out}");
+    let body = std::fs::read_to_string(&path).expect("trace file written");
+    assert!(body.contains("\"traceEvents\":["), "{body:.200}");
+    assert!(body.contains("\"displayTimeUnit\""), "{body:.200}");
+    std::fs::remove_file(&path).ok();
 }
 
 #[test]
