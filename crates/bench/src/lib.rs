@@ -48,6 +48,45 @@ pub fn forensics_report_path() -> PathBuf {
     repo_root().join("BENCH_forensics.json")
 }
 
+/// Path of the standalone crash-safety report `resilience_bench` writes.
+pub fn resilience_report_path() -> PathBuf {
+    repo_root().join("BENCH_resilience.json")
+}
+
+/// Writes `BENCH_resilience.json`: the deterministic half is the
+/// kill-and-resume experiment (byte-identity verdict, resume point,
+/// recovered generations) plus checkpoint payload sizes at two corpus
+/// scales; the timing half covers checkpoint save/load cost and the
+/// per-exec overhead of the `catch_unwind` + watchdog guard, from
+/// which `guard_overhead_x` is derived. Returns the report path.
+pub fn emit_resilience_report(
+    deterministic_json: &str,
+    timing: &[BenchResult],
+) -> std::io::Result<PathBuf> {
+    let mut w = JsonWriter::new();
+    w.obj(|w| {
+        w.field_str("report", "resilience");
+        w.field("deterministic", |w| w.raw(deterministic_json));
+        w.field("timing", |w| render_results(w, timing));
+        // Guarded (catch_unwind + watchdog) exec cost relative to the
+        // plain executor: the number the "isolation is cheap enough to
+        // leave on" claim rests on.
+        let ns = |id: &str| {
+            timing
+                .iter()
+                .find(|r| r.id == id)
+                .map(|r| r.ns_per_iter)
+                .filter(|&n| n > 0)
+        };
+        if let (Some(guarded), Some(plain)) = (ns("exec_guarded"), ns("exec_plain")) {
+            w.field_f64("guard_overhead_x", guarded as f64 / plain as f64);
+        }
+    });
+    let path = resilience_report_path();
+    std::fs::write(&path, w.finish())?;
+    Ok(path)
+}
+
 /// Writes `BENCH_forensics.json`: the pinned forensics campaign
 /// (byte-identical per seed) plus the recorder-vs-unbounded-trace
 /// timing rows, from which the bounded-recorder overhead factor is

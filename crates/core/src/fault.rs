@@ -18,7 +18,10 @@
 //!
 //! Sites are `&'static str` tags named `"<crate>.<operation>"`, e.g.
 //! `"sim_mem.kmalloc"`, `"sim_iommu.dma_map"`, `"sim_net.rx_refill"`,
-//! `"device.dma_read"`. Rule patterns are matched against sites by
+//! `"device.dma_read"`. Checkpoint I/O exposes `"checkpoint.write"`
+//! and `"checkpoint.load"` (see [`crate::checkpoint`]), whose failures
+//! are retried with seeded backoff rather than surfaced immediately.
+//! Rule patterns are matched against sites by
 //! [`pattern_matches`] under a small glob grammar:
 //!
 //! - A pattern with no `*` matches exactly one site tag, verbatim.

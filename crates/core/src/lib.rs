@@ -38,13 +38,22 @@
 //!   backward by the forensics engine in crate `dkasan`.
 //! - [`chrome`] — Perfetto / Chrome `trace_event` JSON export of spans
 //!   and events (byte-deterministic per seed).
+//! - [`jsonr`] — the matching serde-free JSON reader, so checkpoint
+//!   snapshots written via [`jsonw`] can be loaded back losslessly.
+//! - [`checkpoint`] — crash-safe campaign snapshots: a versioned,
+//!   checksummed envelope persisted under a two-generation A/B scheme
+//!   with injectable, retried I/O faults, plus the codecs that carry
+//!   events, recorders, coverage maps, and metric registries across a
+//!   process kill.
 
 pub mod addr;
+pub mod checkpoint;
 pub mod chrome;
 pub mod clock;
 pub mod coverage;
 pub mod error;
 pub mod fault;
+pub mod jsonr;
 pub mod jsonw;
 pub mod layout;
 pub mod metrics;
@@ -55,10 +64,12 @@ pub mod trace;
 pub mod vuln;
 
 pub use addr::{Iova, Kva, Pfn, PhysAddr, PAGE_MASK, PAGE_SHIFT, PAGE_SIZE};
+pub use checkpoint::{CheckpointStore, LoadedCheckpoint, CHECKPOINT_VERSION};
 pub use clock::{Clock, Cycles};
 pub use coverage::{CoverageMap, COVERAGE_BITS};
 pub use error::{DmaError, Result};
 pub use fault::{FaultPlan, FaultRule, FaultTrigger};
+pub use jsonr::{JValue, JsonError};
 pub use layout::{KernelLayout, VmRegion};
 pub use metrics::{Metrics, Snapshot, SpanToken};
 pub use provenance::{EdgeKind, ProvenanceGraph};

@@ -292,6 +292,35 @@ impl Metrics {
         }
     }
 
+    /// Restores counter `name` to an absolute value (checkpoint resume).
+    pub fn restore_counter(&mut self, name: &'static str, v: u64) {
+        self.counters.insert(name, v);
+    }
+
+    /// Restores gauge `name` including its watermarks (checkpoint resume).
+    pub fn restore_gauge(&mut self, name: &'static str, g: Gauge) {
+        self.gauges.insert(name, g);
+    }
+
+    /// Restores histogram `name` wholesale (checkpoint resume).
+    pub fn restore_histogram(&mut self, name: &'static str, h: Histogram) {
+        self.hists.insert(name, h);
+    }
+
+    /// Restores the aggregate for span `name` (checkpoint resume). The
+    /// per-record timeline is not restored — only the recorder window
+    /// and aggregates survive a resume, which the snapshot format
+    /// documents.
+    pub fn restore_span_agg(&mut self, name: &'static str, s: SpanAgg) {
+        self.spans.agg.insert(name, s);
+    }
+
+    /// Restores the count of timeline records dropped past
+    /// [`TIMELINE_CAP`] (checkpoint resume).
+    pub fn restore_timeline_dropped(&mut self, n: u64) {
+        self.spans.timeline_dropped = n;
+    }
+
     /// Takes a deterministic snapshot, stamped with the current cycle.
     pub fn snapshot(&self, now: Cycles) -> Snapshot {
         Snapshot {
@@ -588,6 +617,31 @@ mod tests {
         assert_eq!(m.span_timeline().len(), TIMELINE_CAP);
         assert_eq!(m.span_agg("hot").unwrap().count, TIMELINE_CAP as u64 + 10);
         assert_eq!(m.snapshot(0).timeline_dropped, 10);
+    }
+
+    #[test]
+    fn restore_methods_rebuild_an_identical_registry() {
+        let mut m = Metrics::new();
+        m.add("c", 41);
+        m.gauge_set("g", 7);
+        m.gauge_set("g", 3);
+        m.observe("h", 9);
+        m.observe("h", 1 << 40);
+        let t = m.span_begin_at("s", 10);
+        m.span_end_at(t, 30);
+        m.restore_timeline_dropped(5);
+
+        let mut r = Metrics::new();
+        r.restore_counter("c", m.counter("c"));
+        r.restore_gauge("g", m.gauge("g").unwrap());
+        r.restore_histogram("h", m.histogram("h").unwrap().clone());
+        r.restore_span_agg("s", m.span_agg("s").unwrap());
+        r.restore_timeline_dropped(5);
+        assert_eq!(
+            m.snapshot(0).to_json(),
+            r.snapshot(0).to_json(),
+            "restored registry must render byte-identically"
+        );
     }
 
     #[test]

@@ -38,14 +38,35 @@ pub struct FlightRecorder {
 }
 
 impl FlightRecorder {
-    /// An empty recorder retaining at most `capacity` events (minimum 1).
+    /// An empty recorder retaining at most `capacity` events. A
+    /// capacity of 0 is honored literally: every push is dropped and
+    /// counted, nothing is ever retained.
     pub fn new(capacity: usize) -> Self {
-        let capacity = capacity.max(1);
         FlightRecorder {
             buf: Vec::with_capacity(capacity.min(4096)),
             capacity,
             head: 0,
             dropped: 0,
+        }
+    }
+
+    /// Rebuilds a recorder from checkpointed state: `events` must be in
+    /// chronological order (as produced by [`FlightRecorder::snapshot`])
+    /// and is truncated to the newest `capacity` events, adding the
+    /// excess to `dropped` so the drop accounting stays consistent
+    /// across a resume.
+    pub fn restore(capacity: usize, mut events: Vec<Event>, dropped: u64) -> Self {
+        let mut dropped = dropped;
+        if events.len() > capacity {
+            let excess = events.len() - capacity;
+            events.drain(..excess);
+            dropped += excess as u64;
+        }
+        FlightRecorder {
+            buf: events,
+            capacity,
+            head: 0,
+            dropped,
         }
     }
 
@@ -70,8 +91,12 @@ impl FlightRecorder {
     }
 
     /// Appends an event, evicting the oldest when full. Returns `true`
-    /// when an event was evicted.
+    /// when an event was evicted (or, at capacity 0, dropped outright).
     pub fn push(&mut self, ev: Event) -> bool {
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return true;
+        }
         if self.buf.len() < self.capacity {
             self.buf.push(ev);
             false
@@ -169,12 +194,82 @@ mod tests {
     }
 
     #[test]
-    fn zero_capacity_is_clamped_to_one() {
+    fn zero_capacity_drops_everything_but_counts() {
         let mut r = FlightRecorder::new(0);
-        assert_eq!(r.capacity(), 1);
-        r.push(ev(1));
-        r.push(ev(2));
+        assert_eq!(r.capacity(), 0);
+        assert!(r.push(ev(1)), "capacity-0 push reports a drop");
+        assert!(r.push(ev(2)));
+        assert_eq!(r.len(), 0);
+        assert!(r.is_empty());
+        assert_eq!(r.dropped(), 2);
+        assert!(r.snapshot().is_empty());
+        assert!(r.drain().is_empty());
+        assert_eq!(r.dropped(), 0, "drain still resets the counter");
+    }
+
+    #[test]
+    fn capacity_one_keeps_exactly_the_newest() {
+        let mut r = FlightRecorder::new(1);
+        assert!(!r.push(ev(1)), "first push fills without evicting");
+        assert_eq!(r.dropped(), 0);
+        assert!(r.push(ev(2)));
+        assert!(r.push(ev(3)));
         assert_eq!(r.len(), 1);
-        assert_eq!(r.snapshot()[0].at(), 2);
+        assert_eq!(r.dropped(), 2);
+        assert_eq!(r.snapshot()[0].at(), 3);
+    }
+
+    #[test]
+    fn eviction_starts_exactly_at_the_full_boundary() {
+        // Pushes 1..=capacity must not evict; push capacity+1 must.
+        for cap in [1usize, 2, 3, 7] {
+            let mut r = FlightRecorder::new(cap);
+            for at in 0..cap as u64 {
+                assert!(!r.push(ev(at)), "cap {cap}: push {at} evicted early");
+                assert_eq!(r.dropped(), 0);
+            }
+            assert_eq!(r.len(), cap);
+            assert!(r.push(ev(cap as u64)), "cap {cap}: boundary push kept");
+            assert_eq!(r.dropped(), 1);
+            assert_eq!(r.len(), cap);
+            assert_eq!(r.snapshot()[0].at(), 1, "oldest event evicted first");
+        }
+    }
+
+    #[test]
+    fn restore_resumes_the_stream_identically() {
+        // A recorder restored mid-stream must retain the same window and
+        // drop count as one that saw the whole stream uninterrupted.
+        let mut whole = FlightRecorder::new(4);
+        for at in 0..11 {
+            whole.push(ev(at));
+        }
+
+        let mut first = FlightRecorder::new(4);
+        for at in 0..6 {
+            first.push(ev(at));
+        }
+        let mut resumed = FlightRecorder::restore(4, first.snapshot(), first.dropped());
+        for at in 6..11 {
+            resumed.push(ev(at));
+        }
+        assert_eq!(resumed.snapshot(), whole.snapshot());
+        assert_eq!(resumed.dropped(), whole.dropped());
+    }
+
+    #[test]
+    fn restore_truncates_oversized_snapshots_into_dropped() {
+        let events: Vec<Event> = (0..5).map(ev).collect();
+        let r = FlightRecorder::restore(2, events, 3);
+        assert_eq!(r.len(), 2);
+        assert_eq!(
+            r.snapshot().iter().map(|e| e.at()).collect::<Vec<_>>(),
+            vec![3, 4],
+            "newest events survive the truncation"
+        );
+        assert_eq!(r.dropped(), 6, "3 prior + 3 truncated");
+        let zero = FlightRecorder::restore(0, (0..2).map(ev).collect(), 1);
+        assert_eq!(zero.len(), 0);
+        assert_eq!(zero.dropped(), 3);
     }
 }

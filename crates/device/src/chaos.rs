@@ -200,9 +200,41 @@ pub fn run_soak(seed: u64) -> Result<SoakReport> {
     })
 }
 
+/// Panic-isolated soak: the campaign-facing entry point. A panic
+/// anywhere inside the soak (a simulator invariant blowing up under a
+/// hostile schedule) is contained by `catch_unwind` and surfaced as a
+/// first-class [`DmaError::Invariant`] instead of tearing down the
+/// whole campaign process — the same containment the fuzz engine's
+/// quarantine applies per execution.
+pub fn run_soak_isolated(seed: u64) -> Result<SoakReport> {
+    match std::panic::catch_unwind(|| run_soak(seed)) {
+        Ok(result) => result,
+        Err(_) => Err(DmaError::Invariant("chaos soak panicked")),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn isolated_soak_matches_the_plain_soak() {
+        assert_eq!(run_soak_isolated(7).unwrap(), run_soak(7).unwrap());
+    }
+
+    #[test]
+    fn isolated_soak_contains_panics() {
+        let r = std::panic::catch_unwind(|| {
+            match std::panic::catch_unwind(|| -> Result<SoakReport> {
+                panic!("synthetic soak panic")
+            }) {
+                Ok(result) => result,
+                Err(_) => Err(DmaError::Invariant("chaos soak panicked")),
+            }
+        })
+        .expect("outer unwind must never fire");
+        assert!(matches!(r, Err(DmaError::Invariant(_))));
+    }
 
     #[test]
     fn plans_are_seed_deterministic() {

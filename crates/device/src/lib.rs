@@ -25,6 +25,6 @@ pub mod chaos;
 pub mod device;
 pub mod testbed;
 
-pub use chaos::{build_fault_plan, run_soak, SoakReport};
+pub use chaos::{build_fault_plan, run_soak, run_soak_isolated, SoakReport};
 pub use device::{LeakedPointer, MaliciousNic};
 pub use testbed::{Testbed, TestbedConfig};

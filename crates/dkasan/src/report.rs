@@ -56,6 +56,25 @@ impl std::fmt::Display for FindingKind {
     }
 }
 
+/// Deterministic stable identifier: sequential FNV-1a-64 over `parts`
+/// (no separators), rendered as `<prefix>-<16 hex digits>`.
+///
+/// This is the id scheme shared by D-KASAN findings (`dk-…`) and the
+/// fuzz campaign's quarantined crash/hang findings (`dq-…`): tools and
+/// humans cross-reference findings by these ids instead of array
+/// positions, and the hash is a pure function of its inputs, so the id
+/// survives re-runs, resumes, and replays.
+pub fn stable_id(prefix: &str, parts: &[&[u8]]) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for part in parts {
+        for &b in *part {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    format!("{prefix}-{h:016x}")
+}
+
 /// One D-KASAN finding.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct DKasanFinding {
@@ -79,18 +98,15 @@ impl DKasanFinding {
     /// Forensics timelines and fuzz-corpus entries cross-reference
     /// findings by this id instead of array position.
     pub fn id(&self) -> String {
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        let mut mix = |bytes: &[u8]| {
-            for &b in bytes {
-                h ^= b as u64;
-                h = h.wrapping_mul(0x0000_0100_0000_01b3);
-            }
-        };
-        mix(self.kind.metric_name().as_bytes());
-        mix(self.site.as_bytes());
-        mix(&self.page.to_le_bytes());
-        mix(&self.at.to_le_bytes());
-        format!("dk-{h:016x}")
+        stable_id(
+            "dk",
+            &[
+                self.kind.metric_name().as_bytes(),
+                self.site.as_bytes(),
+                &self.page.to_le_bytes(),
+                &self.at.to_le_bytes(),
+            ],
+        )
     }
 
     /// Renders one Figure-3-style line. The `+0x../0x..` suffix mirrors

@@ -88,6 +88,17 @@ impl Corpus {
         Corpus::default()
     }
 
+    /// Rebuilds a corpus from snapshot entries, restoring the signature
+    /// dedup set so a resumed campaign admits exactly what the
+    /// uninterrupted one would.
+    pub fn restore(entries: Vec<CorpusEntry>) -> Self {
+        let signatures = entries.iter().map(|e| e.signature).collect();
+        Corpus {
+            entries,
+            signatures,
+        }
+    }
+
     /// Entries in discovery order.
     pub fn entries(&self) -> &[CorpusEntry] {
         &self.entries

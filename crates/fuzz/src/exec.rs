@@ -60,9 +60,37 @@ impl FuzzFinding {
     }
 }
 
+/// How one execution ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecStatus {
+    /// The op program ran to completion (the only status the corpus
+    /// ever admits).
+    Completed,
+    /// The deterministic watchdog aborted the run: the simulated clock
+    /// crossed the cycle budget. Because the budget is counted in
+    /// simulated cycles — never wall-clock — the abort point replays
+    /// bit-identically.
+    HangAborted {
+        /// Simulated cycle at which the budget was found exceeded.
+        at_cycles: u64,
+        /// Index of the op after which the check fired.
+        after_op: usize,
+    },
+}
+
+/// Default per-execution watchdog budget, in simulated cycles. Sized at
+/// roughly 8x the most expensive legitimate input observed across the
+/// configuration sweep, so only genuinely runaway executions trip it.
+pub const DEFAULT_WATCHDOG_BUDGET: u64 = 5_000_000_000;
+
+/// Simulated cycles one `BusySpin` round burns.
+pub const SPIN_COST: u64 = 4096;
+
 /// Everything one execution produced.
 #[derive(Clone, Debug)]
 pub struct ExecOutcome {
+    /// How the execution ended.
+    pub status: ExecStatus,
     /// The input's coverage map.
     pub coverage: CoverageMap,
     /// `coverage.signature()`, precomputed.
@@ -211,7 +239,16 @@ pub fn execute(input: &FuzzInput) -> Result<ExecOutcome> {
 /// Executes one input with an optional chaos fault plan armed on top of
 /// whatever `ArmFault` ops the input itself carries.
 pub fn execute_under_faults(input: &FuzzInput, fault_seed: Option<u64>) -> Result<ExecOutcome> {
-    execute_core(input, fault_seed, None).map(|(out, _)| out)
+    execute_core(input, fault_seed, None, None).map(|(out, _)| out)
+}
+
+/// Executes one input under a deterministic watchdog: once the
+/// simulated clock crosses `budget` cycles the run is aborted with
+/// [`ExecStatus::HangAborted`] instead of running to completion. The
+/// campaign engine wraps every exec in this so a runaway input becomes
+/// a finding, not a wedged process.
+pub fn execute_with_budget(input: &FuzzInput, budget: u64) -> Result<ExecOutcome> {
+    execute_core(input, None, None, Some(budget)).map(|(out, _)| out)
 }
 
 /// Executes one input while feeding every event into a
@@ -220,7 +257,7 @@ pub fn execute_under_faults(input: &FuzzInput, fault_seed: Option<u64>) -> Resul
 /// fuzzing loop skips the graph.
 pub fn execute_with_forensics(input: &FuzzInput) -> Result<ForensicRun> {
     let mut graph = ProvenanceGraph::new();
-    let (outcome, dkasan) = execute_core(input, None, Some(&mut graph))?;
+    let (outcome, dkasan) = execute_core(input, None, Some(&mut graph), None)?;
     let incidents = dkasan
         .findings()
         .iter()
@@ -237,6 +274,7 @@ fn execute_core(
     input: &FuzzInput,
     fault_seed: Option<u64>,
     mut graph: Option<&mut ProvenanceGraph>,
+    budget: Option<u64>,
 ) -> Result<(ExecOutcome, DKasan)> {
     let mut tb = Testbed::new_recorded(
         machine_config(input.config_id, input.seed),
@@ -253,6 +291,7 @@ fn execute_core(
     let mut dropped = 0u64;
     cov.add("config", config_name(input.config_id));
 
+    let mut status = ExecStatus::Completed;
     for (idx, op) in input.ops.iter().enumerate() {
         let mut op_rng = DetRng::new(
             input.seed ^ input.iteration.wrapping_mul(0x517c_c1b7_2722_0a95) ^ idx as u64,
@@ -264,6 +303,7 @@ fn execute_core(
             &mut op_rng,
             &mut cov,
             &mut findings,
+            budget,
         ) {
             Ok(()) => {
                 cov.add("op", &format!("{}.ok", op.name()));
@@ -284,15 +324,34 @@ fn execute_core(
         if let Some(g) = graph.as_deref_mut() {
             g.ingest_all(events);
         }
+        // Deterministic watchdog: the deadline is checked against the
+        // *simulated* clock at op granularity, so the abort point is a
+        // pure function of the input, never of host speed.
+        if let Some(b) = budget {
+            if tb.ctx.clock.now() >= b {
+                status = ExecStatus::HangAborted {
+                    at_cycles: tb.ctx.clock.now(),
+                    after_op: idx,
+                };
+                break;
+            }
+        }
     }
 
-    let leaked_pages = tb.shutdown()?;
-    let events = tb.ctx.trace.drain();
-    absorb_events(&events, &mut cov);
-    dkasan.process(&events);
-    if let Some(g) = graph {
-        g.ingest_all(events);
-    }
+    // A hang-aborted run skips the orderly shutdown — the campaign
+    // quarantines it rather than admitting its outcome anywhere.
+    let leaked_pages = if status == ExecStatus::Completed {
+        let lp = tb.shutdown()?;
+        let events = tb.ctx.trace.drain();
+        absorb_events(&events, &mut cov);
+        dkasan.process(&events);
+        if let Some(g) = graph {
+            g.ingest_all(events);
+        }
+        lp
+    } else {
+        0
+    };
 
     // Oracle: every D-KASAN finding class becomes coverage plus a
     // taxonomy-classified fuzz finding.
@@ -328,6 +387,7 @@ fn execute_core(
     }
 
     let outcome = ExecOutcome {
+        status,
         signature: cov.signature(),
         coverage: cov,
         findings,
@@ -406,6 +466,7 @@ fn apply_op(
     op_rng: &mut DetRng,
     cov: &mut CoverageMap,
     findings: &mut Vec<FuzzFinding>,
+    budget: Option<u64>,
 ) -> Result<()> {
     match *op {
         MutationOp::Deliver { len, fill } => {
@@ -513,6 +574,21 @@ fn apply_op(
             let pattern = FAULT_GLOBS[glob % FAULT_GLOBS.len()];
             let plan = std::mem::take(&mut tb.ctx.faults);
             tb.ctx.faults = plan.fail_every(pattern, every);
+            Ok(())
+        }
+        MutationOp::DebugPanic => {
+            panic!("planted debug panic at iteration {iteration}");
+        }
+        MutationOp::BusySpin { spins } => {
+            // Burn simulated cycles only: the spin terminates either at
+            // its (finite) count or as soon as the watchdog deadline is
+            // crossed, so a budgeted run aborts at a replayable cycle.
+            for _ in 0..spins {
+                tb.ctx.clock.advance(SPIN_COST);
+                if budget.is_some_and(|b| tb.ctx.clock.now() >= b) {
+                    break;
+                }
+            }
             Ok(())
         }
     }

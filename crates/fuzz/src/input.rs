@@ -13,6 +13,25 @@ use sim_net::shinfo::DEVICE_WRITABLE_FIELDS;
 /// delivery so later ops have ring state to chew on).
 pub const MAX_OPS: usize = 12;
 
+/// Iteration flag selecting the planted *panicking* input: ORed into an
+/// iteration number, [`FuzzInput::generate`] returns a fixed two-op
+/// program ending in [`MutationOp::DebugPanic`]. The campaign engine
+/// uses it to prove panic isolation end to end; because the flag bits
+/// sit far above any realistic iteration count, the normal random input
+/// stream is untouched.
+pub const PLANT_PANIC_BIT: u64 = 1 << 63;
+
+/// Iteration flag selecting the planted *runaway* input: a fixed
+/// program ending in a [`MutationOp::BusySpin`] long enough to exceed
+/// the default watchdog budget (but still finite, so an unbudgeted
+/// replay terminates).
+pub const PLANT_HANG_BIT: u64 = 1 << 62;
+
+/// Spin count of the planted runaway input: at `SPIN_COST` simulated
+/// cycles per spin this exceeds `exec::DEFAULT_WATCHDOG_BUDGET` while
+/// remaining finite.
+pub const PLANT_HANG_SPINS: u64 = 2_000_000;
+
 /// Fault-rule glob patterns the fuzzer arms (exercising the
 /// `dma_core::fault` pattern grammar end to end: operation-segment
 /// globs, in-segment wildcards, layer prefixes).
@@ -97,6 +116,17 @@ pub enum MutationOp {
         /// EveryK period.
         every: u64,
     },
+    /// Deliberately panic the executor. Never randomly generated — only
+    /// the planted [`PLANT_PANIC_BIT`] input carries it, so the campaign
+    /// engine's panic isolation can be exercised deterministically.
+    DebugPanic,
+    /// Busy-spin for `spins` rounds of simulated work. Never randomly
+    /// generated — the planted [`PLANT_HANG_BIT`] input uses it to
+    /// exceed the watchdog's cycle budget deterministically.
+    BusySpin {
+        /// Spin rounds; each costs `exec::SPIN_COST` simulated cycles.
+        spins: u64,
+    },
 }
 
 impl MutationOp {
@@ -114,6 +144,8 @@ impl MutationOp {
             MutationOp::DescriptorScan => "descriptor_scan",
             MutationOp::CompleteTx => "complete_tx",
             MutationOp::ArmFault { .. } => "arm_fault",
+            MutationOp::DebugPanic => "debug_panic",
+            MutationOp::BusySpin { .. } => "busy_spin",
         }
     }
 
@@ -139,6 +171,8 @@ impl MutationOp {
                 let pat = FAULT_GLOBS[glob % FAULT_GLOBS.len()];
                 format!("arm_fault glob={pat} every={every}")
             }
+            MutationOp::DebugPanic => "debug_panic".to_string(),
+            MutationOp::BusySpin { spins } => format!("busy_spin spins={spins}"),
         }
     }
 }
@@ -178,6 +212,39 @@ impl FuzzInput {
     /// the machine configurations round-robin so every driver shape is
     /// explored even under tiny budgets.
     pub fn generate(seed: u64, iteration: u64) -> FuzzInput {
+        // Planted inputs come first so the normal random stream below is
+        // byte-for-byte unchanged by their existence: realistic iteration
+        // numbers never carry the high flag bits.
+        if iteration & PLANT_PANIC_BIT != 0 {
+            return FuzzInput {
+                seed,
+                iteration,
+                config_id: 0,
+                ops: vec![
+                    MutationOp::Deliver {
+                        len: 64,
+                        fill: 0xaa,
+                    },
+                    MutationOp::DebugPanic,
+                ],
+            };
+        }
+        if iteration & PLANT_HANG_BIT != 0 {
+            return FuzzInput {
+                seed,
+                iteration,
+                config_id: 0,
+                ops: vec![
+                    MutationOp::Deliver {
+                        len: 64,
+                        fill: 0xbb,
+                    },
+                    MutationOp::BusySpin {
+                        spins: PLANT_HANG_SPINS,
+                    },
+                ],
+            };
+        }
         let mut rng =
             DetRng::new(seed ^ iteration.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0x00f0_22ed_u64);
         let config_id = (iteration % NUM_CONFIGS as u64) as u8;
@@ -280,6 +347,30 @@ mod tests {
             "arm_fault",
         ] {
             assert!(seen.contains(kind), "{kind} never generated");
+        }
+    }
+
+    #[test]
+    fn planted_inputs_are_fixed_and_never_randomly_generated() {
+        let panic_in = FuzzInput::generate(7, 5 | PLANT_PANIC_BIT);
+        assert_eq!(panic_in.ops.len(), 2);
+        assert!(matches!(panic_in.ops[1], MutationOp::DebugPanic));
+        let hang_in = FuzzInput::generate(7, 5 | PLANT_HANG_BIT);
+        assert_eq!(hang_in.ops.len(), 2);
+        assert!(matches!(
+            hang_in.ops[1],
+            MutationOp::BusySpin {
+                spins: PLANT_HANG_SPINS
+            }
+        ));
+        // The random stream never emits either op.
+        for it in 0..256 {
+            for op in &FuzzInput::generate(9, it).ops {
+                assert!(
+                    !matches!(op, MutationOp::DebugPanic | MutationOp::BusySpin { .. }),
+                    "planted op leaked into the random stream at iteration {it}"
+                );
+            }
         }
     }
 

@@ -21,24 +21,43 @@
 //!
 //! Any finding is therefore replayable from two integers:
 //! [`replay`]`(seed, iteration)` re-executes bit for bit.
+//!
+//! The [`campaign`] module wraps the loop in the crash-safety model
+//! (DESIGN.md §11): periodic checkpoints through a two-generation A/B
+//! store ([`snapshot`] is the codec), `catch_unwind` panic isolation
+//! with quarantine, and a deterministic simulated-cycle watchdog. The
+//! [`resilience`] module is the kill-and-resume harness proving a
+//! resumed campaign's report is byte-identical to an uninterrupted
+//! one's.
 
+pub mod campaign;
 pub mod corpus;
 pub mod exec;
 pub mod forensics;
 pub mod input;
 pub mod report;
+pub mod resilience;
+pub mod snapshot;
 
+pub use campaign::{
+    crash_id, silence_quarantined_panics, Campaign, CampaignConfig, CampaignState, CrashFinding,
+    CrashKind, JOURNAL_CAPACITY,
+};
 pub use corpus::{Corpus, CorpusEntry};
 pub use exec::{
-    config_name, execute, execute_under_faults, execute_with_forensics, machine_config,
-    taxonomy_of, ExecOutcome, ForensicRun, FuzzFinding, EXEC_RECORDER_CAPACITY,
+    config_name, execute, execute_under_faults, execute_with_budget, execute_with_forensics,
+    machine_config, taxonomy_of, ExecOutcome, ExecStatus, ForensicRun, FuzzFinding,
+    DEFAULT_WATCHDOG_BUDGET, EXEC_RECORDER_CAPACITY, SPIN_COST,
 };
 pub use forensics::{run_forensics, ForensicsCase, ForensicsReport};
-pub use input::{FuzzInput, MutationOp, FAULT_GLOBS, MAX_OPS, NUM_CONFIGS};
+pub use input::{
+    FuzzInput, MutationOp, FAULT_GLOBS, MAX_OPS, NUM_CONFIGS, PLANT_HANG_BIT, PLANT_HANG_SPINS,
+    PLANT_PANIC_BIT,
+};
 pub use report::{FuzzReport, SeriesPoint};
+pub use resilience::{kill_and_resume, KillResumeOutcome};
 
-use dma_core::{Metrics, Result};
-use std::collections::BTreeSet;
+use dma_core::Result;
 use std::path::PathBuf;
 
 /// Configuration for one fuzzing run.
@@ -64,76 +83,22 @@ pub fn replay_under_faults(seed: u64, iteration: u64, fault_seed: u64) -> Result
     execute_under_faults(&FuzzInput::generate(seed, iteration), Some(fault_seed))
 }
 
+/// Replay under a watchdog budget — how a quarantined hang finding is
+/// re-examined without wedging the examiner.
+pub fn replay_with_budget(seed: u64, iteration: u64, budget: u64) -> Result<ExecOutcome> {
+    execute_with_budget(&FuzzInput::generate(seed, iteration), budget)
+}
+
 /// Runs the fuzzing loop: generate, execute, merge coverage, admit to
 /// the corpus, record findings. Returns the full [`FuzzReport`].
+///
+/// This is the plain front-end over the crash-safe [`Campaign`] engine
+/// — no checkpoints, no planted inputs, default watchdog. Output is
+/// byte-identical to the historical standalone loop.
 pub fn run_fuzz(cfg: &FuzzConfig) -> Result<FuzzReport> {
-    let mut global = dma_core::CoverageMap::new();
-    let mut corpus = Corpus::new();
-    let mut metrics = Metrics::new();
-    let mut findings: Vec<FuzzFinding> = Vec::new();
-    let mut seen_keys: BTreeSet<String> = BTreeSet::new();
-    let mut series: Vec<report::SeriesPoint> = Vec::new();
-    let mut minimize_execs = 0u64;
-    let mut delivered = 0u64;
-    let mut dropped = 0u64;
-    let mut total_cycles = 0u64;
-    let mut trace_dropped = 0u64;
-
-    for it in 0..cfg.iters {
-        let input = FuzzInput::generate(cfg.seed, it);
-        let out = execute(&input)?;
-        metrics.incr("fuzz.execs");
-        metrics.observe("fuzz.exec.cycles", out.cycles);
-        delivered += out.delivered;
-        dropped += out.dropped;
-        total_cycles += out.cycles;
-        trace_dropped += out.trace_dropped;
-
-        let bits_before = global.count_ones();
-        minimize_execs += corpus.consider(&input, &out, &mut global)? as u64;
-        let bits_after = global.count_ones();
-        metrics.gauge_set("fuzz.corpus.size", corpus.len() as u64);
-        metrics.gauge_set("fuzz.coverage.bits", bits_after as u64);
-
-        for f in &out.findings {
-            if seen_keys.insert(f.key()) {
-                findings.push(f.clone());
-            }
-        }
-        metrics.gauge_set("fuzz.findings", findings.len() as u64);
-
-        if bits_after != bits_before || it + 1 == cfg.iters {
-            series.push(report::SeriesPoint {
-                iteration: it,
-                coverage_bits: bits_after,
-                corpus_size: corpus.len(),
-                sim_cycles: total_cycles,
-            });
-        }
-    }
-
-    if let Some(dir) = &cfg.corpus_dir {
-        corpus
-            .write_to_dir(dir)
-            .map_err(|_| dma_core::DmaError::Invariant("corpus dir not writable"))?;
-    }
-
-    let stats_json = metrics.snapshot(total_cycles).to_json();
-    Ok(FuzzReport {
-        seed: cfg.seed,
-        iters: cfg.iters,
-        execs: cfg.iters,
-        minimize_execs,
-        coverage_bits: global.count_ones(),
-        corpus: corpus.entries().to_vec(),
-        findings,
-        series,
-        delivered,
-        dropped,
-        total_cycles,
-        trace_dropped,
-        stats_json,
-    })
+    let mut ccfg = CampaignConfig::new(cfg.seed, cfg.iters);
+    ccfg.corpus_dir = cfg.corpus_dir.clone();
+    Campaign::run(ccfg)
 }
 
 #[cfg(test)]

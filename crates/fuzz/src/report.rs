@@ -3,6 +3,7 @@
 
 use dma_core::jsonw::JsonWriter;
 
+use crate::campaign::CrashFinding;
 use crate::corpus::CorpusEntry;
 use crate::exec::FuzzFinding;
 
@@ -37,6 +38,9 @@ pub struct FuzzReport {
     pub corpus: Vec<CorpusEntry>,
     /// Class-deduped findings, in first-discovery order.
     pub findings: Vec<FuzzFinding>,
+    /// Quarantined crash/hang findings (panic-isolated executions and
+    /// watchdog aborts), in occurrence order.
+    pub crashes: Vec<CrashFinding>,
     /// Coverage-over-time series.
     pub series: Vec<SeriesPoint>,
     /// Packets delivered/echoed across all executions.
@@ -138,6 +142,21 @@ impl FuzzReport {
                     }
                 });
             });
+            w.field("crashes", |w| {
+                w.arr(|w| {
+                    for c in &self.crashes {
+                        w.elem(|w| {
+                            w.obj(|w| {
+                                w.field_str("id", &c.id);
+                                w.field_str("kind", c.kind.as_str());
+                                w.field_u64("seed", c.seed);
+                                w.field_u64("iteration", c.iteration);
+                                w.field_str("detail", &c.detail);
+                            });
+                        });
+                    }
+                });
+            });
             w.field("series", |w| w.raw(&self.series_json()));
             w.field("stats", |w| w.raw(&self.stats_json));
         });
@@ -181,6 +200,19 @@ impl FuzzReport {
                     e.new_bits,
                     e.ops,
                     e.input.ops.len()
+                );
+            }
+        }
+        if !self.crashes.is_empty() {
+            let _ = writeln!(out, "\nquarantined (replay with --seed and the iteration):");
+            for c in &self.crashes {
+                let _ = writeln!(
+                    out,
+                    "  {}  {}  iter {:#x}  {}",
+                    c.id,
+                    c.kind.as_str(),
+                    c.iteration,
+                    c.detail
                 );
             }
         }

@@ -1,0 +1,499 @@
+//! The campaign snapshot codec: [`capture`] serializes a
+//! [`CampaignState`] into the deterministic JSON payload a
+//! [`dma_core::CheckpointStore`] envelopes, and [`restore`] rebuilds
+//! the state losslessly. Round-tripping is exact — a resumed campaign's
+//! payload and final report are byte-identical to an uninterrupted
+//! run's — which the resilience tests pin.
+
+use dma_core::checkpoint::{
+    coverage_from_json, coverage_to_json, intern, metrics_from_json, metrics_to_json,
+    recorder_from_json, recorder_to_json,
+};
+use dma_core::jsonw::JsonWriter;
+use dma_core::vuln::{
+    CallbackExposure, SubPageVulnerability, TimeWindow, VulnerabilityAttributes, WindowPath,
+};
+use dma_core::{DetRng, Iova, JValue, Kva};
+
+use crate::campaign::{CampaignState, CrashFinding, CrashKind};
+use crate::corpus::CorpusEntry;
+use crate::exec::FuzzFinding;
+use crate::input::{FuzzInput, MutationOp, FAULT_GLOBS};
+use crate::report::SeriesPoint;
+use crate::Corpus;
+use dkasan::FindingKind;
+
+/// Serializes the campaign state as the checkpoint payload.
+pub fn capture(seed: u64, s: &CampaignState) -> String {
+    let mut w = JsonWriter::new();
+    w.obj(|w| {
+        w.field_u64("seed", seed);
+        w.field_u64("next_iter", s.next_iter);
+        w.field_u64("minimize_execs", s.minimize_execs);
+        w.field_u64("delivered", s.delivered);
+        w.field_u64("dropped", s.dropped);
+        w.field_u64("total_cycles", s.total_cycles);
+        w.field_u64("trace_dropped", s.trace_dropped);
+        w.field("rng", |w| {
+            w.arr(|w| {
+                for word in s.rng.state() {
+                    w.elem(|w| w.u64(word));
+                }
+            });
+        });
+        w.field("coverage", |w| coverage_to_json(w, &s.global));
+        w.field("journal", |w| recorder_to_json(w, &s.journal));
+        w.field("metrics", |w| w.raw(&metrics_to_json(&s.metrics)));
+        w.field("corpus", |w| {
+            w.arr(|w| {
+                for e in s.corpus.entries() {
+                    w.elem(|w| entry_to_json(w, e));
+                }
+            });
+        });
+        w.field("findings", |w| {
+            w.arr(|w| {
+                for f in &s.findings {
+                    w.elem(|w| finding_to_json(w, f));
+                }
+            });
+        });
+        w.field("crashes", |w| {
+            w.arr(|w| {
+                for c in &s.crashes {
+                    w.elem(|w| crash_to_json(w, c));
+                }
+            });
+        });
+        w.field("series", |w| {
+            w.arr(|w| {
+                for p in &s.series {
+                    w.elem(|w| {
+                        w.obj(|w| {
+                            w.field_u64("iteration", p.iteration);
+                            w.field_u64("coverage_bits", p.coverage_bits as u64);
+                            w.field_u64("corpus_size", p.corpus_size as u64);
+                            w.field_u64("sim_cycles", p.sim_cycles);
+                        });
+                    });
+                }
+            });
+        });
+    });
+    w.finish()
+}
+
+/// Rebuilds `(seed, state)` from a checkpoint payload. `None` means the
+/// payload is structurally invalid (the store's checksum already rules
+/// out corruption, so this only fires on version-skew bugs).
+pub fn restore(v: &JValue) -> Option<(u64, CampaignState)> {
+    let seed = v.u64_field("seed")?;
+    let rng_words = v.get("rng")?.as_arr()?;
+    if rng_words.len() != 4 {
+        return None;
+    }
+    let mut state_words = [0u64; 4];
+    for (i, word) in rng_words.iter().enumerate() {
+        state_words[i] = word.as_u64()?;
+    }
+    let entries = v
+        .get("corpus")?
+        .as_arr()?
+        .iter()
+        .map(entry_from_json)
+        .collect::<Option<Vec<_>>>()?;
+    let findings = v
+        .get("findings")?
+        .as_arr()?
+        .iter()
+        .map(finding_from_json)
+        .collect::<Option<Vec<_>>>()?;
+    let crashes = v
+        .get("crashes")?
+        .as_arr()?
+        .iter()
+        .map(crash_from_json)
+        .collect::<Option<Vec<_>>>()?;
+    let series = v
+        .get("series")?
+        .as_arr()?
+        .iter()
+        .map(|p| {
+            Some(SeriesPoint {
+                iteration: p.u64_field("iteration")?,
+                coverage_bits: p.u64_field("coverage_bits")? as u32,
+                corpus_size: p.u64_field("corpus_size")? as usize,
+                sim_cycles: p.u64_field("sim_cycles")?,
+            })
+        })
+        .collect::<Option<Vec<_>>>()?;
+    // seen_keys is not serialized: findings are exactly the first
+    // occurrence of each key, so the set rebuilds bijectively.
+    let seen_keys = findings.iter().map(|f: &FuzzFinding| f.key()).collect();
+    Some((
+        seed,
+        CampaignState {
+            next_iter: v.u64_field("next_iter")?,
+            global: coverage_from_json(v.get("coverage")?)?,
+            corpus: Corpus::restore(entries),
+            metrics: metrics_from_json(v.get("metrics")?)?,
+            findings,
+            seen_keys,
+            crashes,
+            series,
+            minimize_execs: v.u64_field("minimize_execs")?,
+            delivered: v.u64_field("delivered")?,
+            dropped: v.u64_field("dropped")?,
+            total_cycles: v.u64_field("total_cycles")?,
+            trace_dropped: v.u64_field("trace_dropped")?,
+            rng: DetRng::from_state(state_words),
+            journal: recorder_from_json(v.get("journal")?)?,
+        },
+    ))
+}
+
+fn op_to_json(w: &mut JsonWriter, op: &MutationOp) {
+    w.obj(|w| {
+        w.field_str("op", op.name());
+        match *op {
+            MutationOp::Deliver { len, fill } | MutationOp::InjectRaw { len, fill } => {
+                w.field_u64("len", len as u64);
+                w.field_u64("fill", fill as u64);
+            }
+            MutationOp::ShinfoWrite { field, value } => {
+                w.field_u64("field", field as u64);
+                w.field_u64("value", value);
+            }
+            MutationOp::PayloadDeposit { offset, fill, len } => {
+                w.field_u64("offset", offset as u64);
+                w.field_u64("fill", fill as u64);
+                w.field_u64("len", len as u64);
+            }
+            MutationOp::RaceWrite { value } | MutationOp::StaleWrite { value } => {
+                w.field_u64("value", value);
+            }
+            MutationOp::AdvanceTime { ms } => w.field_u64("ms", ms),
+            MutationOp::KmallocChurn { rounds } => w.field_u64("rounds", rounds as u64),
+            MutationOp::DescriptorScan | MutationOp::CompleteTx | MutationOp::DebugPanic => {}
+            MutationOp::ArmFault { glob, every } => {
+                w.field_u64("glob", glob as u64);
+                w.field_u64("every", every);
+            }
+            MutationOp::BusySpin { spins } => w.field_u64("spins", spins),
+        }
+    });
+}
+
+fn op_from_json(v: &JValue) -> Option<MutationOp> {
+    Some(match v.str_field("op")? {
+        "deliver" => MutationOp::Deliver {
+            len: v.u64_field("len")? as usize,
+            fill: v.u64_field("fill")? as u8,
+        },
+        "inject_raw" => MutationOp::InjectRaw {
+            len: v.u64_field("len")? as usize,
+            fill: v.u64_field("fill")? as u8,
+        },
+        "shinfo_write" => MutationOp::ShinfoWrite {
+            field: v.u64_field("field")? as usize,
+            value: v.u64_field("value")?,
+        },
+        "payload_deposit" => MutationOp::PayloadDeposit {
+            offset: v.u64_field("offset")? as usize,
+            fill: v.u64_field("fill")? as u8,
+            len: v.u64_field("len")? as usize,
+        },
+        "race_write" => MutationOp::RaceWrite {
+            value: v.u64_field("value")?,
+        },
+        "stale_write" => MutationOp::StaleWrite {
+            value: v.u64_field("value")?,
+        },
+        "advance_time" => MutationOp::AdvanceTime {
+            ms: v.u64_field("ms")?,
+        },
+        "kmalloc_churn" => MutationOp::KmallocChurn {
+            rounds: v.u64_field("rounds")? as usize,
+        },
+        "descriptor_scan" => MutationOp::DescriptorScan,
+        "complete_tx" => MutationOp::CompleteTx,
+        "arm_fault" => MutationOp::ArmFault {
+            glob: (v.u64_field("glob")? as usize) % FAULT_GLOBS.len(),
+            every: v.u64_field("every")?,
+        },
+        "debug_panic" => MutationOp::DebugPanic,
+        "busy_spin" => MutationOp::BusySpin {
+            spins: v.u64_field("spins")?,
+        },
+        _ => return None,
+    })
+}
+
+fn input_to_json(w: &mut JsonWriter, input: &FuzzInput) {
+    w.obj(|w| {
+        w.field_u64("seed", input.seed);
+        w.field_u64("iteration", input.iteration);
+        w.field_u64("config_id", input.config_id as u64);
+        w.field("ops", |w| {
+            w.arr(|w| {
+                for op in &input.ops {
+                    w.elem(|w| op_to_json(w, op));
+                }
+            });
+        });
+    });
+}
+
+fn input_from_json(v: &JValue) -> Option<FuzzInput> {
+    Some(FuzzInput {
+        seed: v.u64_field("seed")?,
+        iteration: v.u64_field("iteration")?,
+        config_id: v.u64_field("config_id")? as u8,
+        ops: v
+            .get("ops")?
+            .as_arr()?
+            .iter()
+            .map(op_from_json)
+            .collect::<Option<Vec<_>>>()?,
+    })
+}
+
+fn entry_to_json(w: &mut JsonWriter, e: &CorpusEntry) {
+    w.obj(|w| {
+        w.field_u64("seed", e.seed);
+        w.field_u64("iteration", e.iteration);
+        w.field_u64("config_id", e.config_id as u64);
+        w.field_u64("signature", e.signature);
+        w.field_u64("new_bits", e.new_bits as u64);
+        w.field_u64("ops", e.ops as u64);
+        w.field("input", |w| input_to_json(w, &e.input));
+        w.field("chains", |w| {
+            w.arr(|w| {
+                for c in &e.chains {
+                    w.elem(|w| w.str(c));
+                }
+            });
+        });
+    });
+}
+
+fn entry_from_json(v: &JValue) -> Option<CorpusEntry> {
+    Some(CorpusEntry {
+        seed: v.u64_field("seed")?,
+        iteration: v.u64_field("iteration")?,
+        config_id: v.u64_field("config_id")? as u8,
+        signature: v.u64_field("signature")?,
+        new_bits: v.u64_field("new_bits")? as u32,
+        ops: v.u64_field("ops")? as usize,
+        input: input_from_json(v.get("input")?)?,
+        chains: v
+            .get("chains")?
+            .as_arr()?
+            .iter()
+            .map(|c| c.as_str().map(String::from))
+            .collect::<Option<Vec<_>>>()?,
+    })
+}
+
+fn taxonomy_tag(t: SubPageVulnerability) -> String {
+    t.letter().to_string()
+}
+
+fn taxonomy_from_tag(s: &str) -> Option<SubPageVulnerability> {
+    Some(match s {
+        "a" => SubPageVulnerability::DriverMetadata,
+        "b" => SubPageVulnerability::OsMetadata,
+        "c" => SubPageVulnerability::MultipleIova,
+        "d" => SubPageVulnerability::RandomColocation,
+        _ => return None,
+    })
+}
+
+fn kind_from_tag(s: &str) -> Option<FindingKind> {
+    Some(match s {
+        "alloc-after-map" => FindingKind::AllocAfterMap,
+        "map-after-alloc" => FindingKind::MapAfterAlloc,
+        "access-after-map" => FindingKind::AccessAfterMap,
+        "multiple-map" => FindingKind::MultipleMap,
+        _ => return None,
+    })
+}
+
+fn window_tag(p: WindowPath) -> &'static str {
+    match p {
+        WindowPath::UnmapAfterBuild => "unmap_after_build",
+        WindowPath::DeferredIotlb => "deferred_iotlb",
+        WindowPath::NeighborIova => "neighbor_iova",
+    }
+}
+
+fn window_from_tag(s: &str) -> Option<WindowPath> {
+    Some(match s {
+        "unmap_after_build" => WindowPath::UnmapAfterBuild,
+        "deferred_iotlb" => WindowPath::DeferredIotlb,
+        "neighbor_iova" => WindowPath::NeighborIova,
+        _ => return None,
+    })
+}
+
+fn finding_to_json(w: &mut JsonWriter, f: &FuzzFinding) {
+    w.obj(|w| {
+        w.field_u64("iteration", f.iteration);
+        w.field_str("taxonomy", &taxonomy_tag(f.taxonomy));
+        w.field_str(
+            "dkasan",
+            &f.dkasan.map(|k| k.to_string()).unwrap_or_default(),
+        );
+        w.field_str("site", &f.site);
+        w.field_str("dkasan_id", &f.dkasan_id);
+        if let Some(kva) = f.attrs.malicious_kva {
+            w.field_u64("malicious_kva", kva.raw());
+        }
+        if let Some(cb) = &f.attrs.callback {
+            w.field("callback", |w| {
+                w.obj(|w| {
+                    w.field_u64("iova", cb.iova.raw());
+                    w.field_u64("page_offset", cb.page_offset as u64);
+                    w.field_str("via", &taxonomy_tag(cb.via));
+                    w.field_str("field", cb.field);
+                });
+            });
+        }
+        if let Some(win) = f.attrs.window {
+            w.field("window", |w| {
+                w.obj(|w| {
+                    w.field_u64("start", win.start);
+                    w.field_u64("end", win.end);
+                    w.field_str("path", window_tag(win.path));
+                });
+            });
+        }
+    });
+}
+
+fn finding_from_json(v: &JValue) -> Option<FuzzFinding> {
+    let dkasan = match v.str_field("dkasan")? {
+        "" => None,
+        tag => Some(kind_from_tag(tag)?),
+    };
+    let callback = match v.get("callback") {
+        Some(cb) => Some(CallbackExposure {
+            iova: Iova(cb.u64_field("iova")?),
+            page_offset: cb.u64_field("page_offset")? as usize,
+            via: taxonomy_from_tag(cb.str_field("via")?)?,
+            field: intern(cb.str_field("field")?),
+        }),
+        None => None,
+    };
+    let window = match v.get("window") {
+        Some(win) => Some(TimeWindow {
+            start: win.u64_field("start")?,
+            end: win.u64_field("end")?,
+            path: window_from_tag(win.str_field("path")?)?,
+        }),
+        None => None,
+    };
+    Some(FuzzFinding {
+        iteration: v.u64_field("iteration")?,
+        taxonomy: taxonomy_from_tag(v.str_field("taxonomy")?)?,
+        dkasan,
+        site: v.str_field("site")?.to_string(),
+        dkasan_id: v.str_field("dkasan_id")?.to_string(),
+        attrs: VulnerabilityAttributes {
+            malicious_kva: v.u64_field("malicious_kva").map(Kva),
+            callback,
+            window,
+        },
+    })
+}
+
+fn crash_to_json(w: &mut JsonWriter, c: &CrashFinding) {
+    w.obj(|w| {
+        w.field_str("id", &c.id);
+        w.field_str("kind", c.kind.as_str());
+        w.field_u64("seed", c.seed);
+        w.field_u64("iteration", c.iteration);
+        w.field_str("detail", &c.detail);
+    });
+}
+
+fn crash_from_json(v: &JValue) -> Option<CrashFinding> {
+    Some(CrashFinding {
+        id: v.str_field("id")?.to_string(),
+        kind: match v.str_field("kind")? {
+            "panic" => CrashKind::Panic,
+            "hang" => CrashKind::Hang,
+            _ => return None,
+        },
+        seed: v.u64_field("seed")?,
+        iteration: v.u64_field("iteration")?,
+        detail: v.str_field("detail")?.to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{Campaign, CampaignConfig};
+    use dma_core::jsonr;
+
+    fn campaign_state_after(iters: u64) -> (u64, String) {
+        let mut cfg = CampaignConfig::new(11, iters);
+        cfg.plant_panic_at = Some(1);
+        let mut c = Campaign::new(cfg).unwrap();
+        c.run_to_end().unwrap();
+        (11, c.snapshot_payload())
+    }
+
+    #[test]
+    fn capture_restore_roundtrips_byte_identically() {
+        let (seed, payload) = campaign_state_after(4);
+        let v = jsonr::parse(&payload).unwrap();
+        let (seed2, state) = restore(&v).unwrap();
+        assert_eq!(seed, seed2);
+        assert_eq!(capture(seed2, &state), payload);
+    }
+
+    #[test]
+    fn restored_state_resumes_the_identical_stream() {
+        // Run 2 of 5 iterations, snapshot, restore into a second
+        // campaign, finish both: reports must match byte for byte.
+        let cfg = CampaignConfig::new(7, 5);
+        let mut full = Campaign::new(cfg.clone()).unwrap();
+        full.run_to_end().unwrap();
+        let full_json = full.finish().unwrap().to_json();
+
+        let mut front = Campaign::new(cfg.clone()).unwrap();
+        front.run_until(2).unwrap();
+        let payload = front.snapshot_payload();
+        drop(front);
+        let v = jsonr::parse(&payload).unwrap();
+        let (seed, state) = restore(&v).unwrap();
+        assert_eq!(seed, 7);
+        let mut back = Campaign::new(cfg).unwrap();
+        // Transplant the restored state (what Campaign::resume does via
+        // the store).
+        back.replace_state_for_tests(state);
+        back.run_to_end().unwrap();
+        assert_eq!(back.finish().unwrap().to_json(), full_json);
+    }
+
+    #[test]
+    fn every_op_kind_roundtrips() {
+        let mut inputs: Vec<FuzzInput> = (0..24).map(|it| FuzzInput::generate(3, it)).collect();
+        inputs.push(FuzzInput::generate(3, 1 | crate::input::PLANT_PANIC_BIT));
+        inputs.push(FuzzInput::generate(3, 1 | crate::input::PLANT_HANG_BIT));
+        for input in inputs {
+            let mut w = JsonWriter::new();
+            input_to_json(&mut w, &input);
+            let v = jsonr::parse(&w.finish()).unwrap();
+            assert_eq!(input_from_json(&v).unwrap(), input);
+        }
+    }
+
+    #[test]
+    fn malformed_payload_restores_to_none() {
+        let v = jsonr::parse("{\"seed\":1}").unwrap();
+        assert!(restore(&v).is_none());
+    }
+}

@@ -13,6 +13,8 @@
 //! dma-lab trace --spans [--seed N]        span-scoped cycle timeline
 //! dma-lab trace --chrome OUT.json         Perfetto/Chrome trace export
 //! dma-lab fuzz [--seed N] [--iters N] [--corpus-dir D] [--json]
+//!              [--checkpoint-every N] [--checkpoint-dir D] [--resume D]
+//!              [--watchdog-budget CYCLES] [--plant-panic K] [--plant-hang K]
 //! dma-lab forensics [--seed N] [--iters N] [--json]
 //! dma-lab help
 //! ```
@@ -67,11 +69,17 @@ impl Args {
         Args { positional, flags }
     }
 
-    fn u64_flag(&self, key: &str, default: u64) -> u64 {
-        self.flags
-            .get(key)
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(default)
+    /// Parses `--key` as u64, erroring on anything present but
+    /// malformed (junk, empty, or overflowing) instead of silently
+    /// falling back to the default — a mistyped seed must be a usage
+    /// error, not a different experiment.
+    fn u64_flag(&self, key: &str, default: u64) -> Result<u64, String> {
+        match self.flags.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key} wants an unsigned 64-bit integer, got '{v}'")),
+        }
     }
 
     fn str_flag(&self, key: &str) -> Option<&str> {
@@ -82,6 +90,20 @@ impl Args {
     fn bool_flag(&self, key: &str) -> bool {
         self.flags.contains_key(key)
     }
+}
+
+/// Unwraps a hardened numeric flag, turning a parse failure into the
+/// documented exit-code-2 usage error.
+macro_rules! num_flag {
+    ($args:expr, $key:expr, $default:expr) => {
+        match $args.u64_flag($key, $default) {
+            Ok(v) => v,
+            Err(msg) => {
+                eprintln!("{msg}\n{HELP}");
+                return 2;
+            }
+        }
+    };
 }
 
 fn window_of(args: &Args) -> WindowPath {
@@ -144,6 +166,8 @@ USAGE:
     dma-lab stats [--seed N] [--rounds N] [--faults SEED] [--json]
     dma-lab trace --spans [--seed N] [--rounds N] [--json] [--chrome OUT.json]
     dma-lab fuzz [--seed N] [--iters N] [--corpus-dir DIR] [--json]
+                 [--checkpoint-every N] [--checkpoint-dir DIR] [--resume DIR]
+                 [--watchdog-budget CYCLES] [--plant-panic K] [--plant-hang K]
     dma-lab forensics [--seed N] [--iters N] [--json]
     dma-lab help
 
@@ -159,7 +183,7 @@ fn cmd_layout(args: &Args) -> i32 {
     for (start, end, size, desc) in KernelLayout::table1() {
         println!("{start:<18} {end:<18} {size:>8}  {desc}");
     }
-    let seed = args.u64_flag("seed", 1);
+    let seed = num_flag!(args, "seed", 1);
     let mut rng = DetRng::new(seed);
     let l = KernelLayout::randomize(&mut rng, 256 << 20);
     println!("\nKASLR sample (seed {seed}):");
@@ -170,7 +194,7 @@ fn cmd_layout(args: &Args) -> i32 {
 }
 
 fn cmd_spade(args: &Args) -> i32 {
-    let seed = args.u64_flag("seed", 1);
+    let seed = num_flag!(args, "seed", 1);
     let corpus = full_corpus(&CorpusMix::default(), seed);
     let tree = SourceTree::load(corpus.iter().map(|(p, s)| (p.as_str(), s.as_str())));
     let findings = analyze(&tree);
@@ -236,9 +260,12 @@ fn cmd_spade(args: &Args) -> i32 {
 
 fn cmd_dkasan(args: &Args) -> i32 {
     let cfg = WorkloadConfig {
-        rounds: args.u64_flag("rounds", 200) as usize,
-        seed: args.u64_flag("seed", 0xd0_ca5a),
-        fault_seed: args.str_flag("faults").and_then(|v| v.parse::<u64>().ok()),
+        rounds: num_flag!(args, "rounds", 200) as usize,
+        seed: num_flag!(args, "seed", 0xd0_ca5a),
+        fault_seed: match args.str_flag("faults") {
+            None => None,
+            Some(_) => Some(num_flag!(args, "faults", 0)),
+        },
     };
     match run_workload(cfg) {
         Ok(report) => {
@@ -289,9 +316,11 @@ fn cmd_dkasan(args: &Args) -> i32 {
 }
 
 fn cmd_chaos(args: &Args) -> i32 {
-    use dma_lab::devsim::chaos::run_soak;
-    let base = args.u64_flag("seed", 1);
-    let runs = args.u64_flag("runs", 8);
+    // The isolated soak converts a panicking schedule into a reported
+    // per-seed failure instead of killing the whole sweep.
+    use dma_lab::devsim::chaos::run_soak_isolated as run_soak;
+    let base = num_flag!(args, "seed", 1);
+    let runs = num_flag!(args, "runs", 8);
     if args.bool_flag("json") {
         let mut failed = 0;
         let mut w = JsonWriter::new();
@@ -367,16 +396,33 @@ fn cmd_chaos(args: &Args) -> i32 {
 }
 
 /// Shared config for the `stats` and `trace` observability commands.
-fn obs_config(args: &Args) -> ObsConfig {
-    ObsConfig {
-        seed: args.u64_flag("seed", ObsConfig::default().seed),
-        rounds: args.u64_flag("rounds", 200) as usize,
-        fault_seed: args.str_flag("faults").and_then(|v| v.parse().ok()),
-    }
+/// `Err` carries the usage message of a malformed numeric flag.
+fn obs_config(args: &Args) -> Result<ObsConfig, String> {
+    Ok(ObsConfig {
+        seed: args.u64_flag("seed", ObsConfig::default().seed)?,
+        rounds: args.u64_flag("rounds", 200)? as usize,
+        fault_seed: match args.str_flag("faults") {
+            None => None,
+            Some(_) => Some(args.u64_flag("faults", 0)?),
+        },
+    })
+}
+
+/// Unwraps [`obs_config`] into the exit-2 usage path.
+macro_rules! obs_config_or_usage {
+    ($args:expr) => {
+        match obs_config($args) {
+            Ok(cfg) => cfg,
+            Err(msg) => {
+                eprintln!("{msg}\n{HELP}");
+                return 2;
+            }
+        }
+    };
 }
 
 fn cmd_stats(args: &Args) -> i32 {
-    match run_observed(obs_config(args)) {
+    match run_observed(obs_config_or_usage!(args)) {
         Ok(r) => {
             if args.bool_flag("json") {
                 println!("{}", r.snapshot.to_json());
@@ -404,7 +450,7 @@ fn cmd_trace(args: &Args) -> i32 {
         eprintln!("--chrome wants an output path\n{HELP}");
         return 2;
     }
-    match run_observed(obs_config(args)) {
+    match run_observed(obs_config_or_usage!(args)) {
         Ok(r) => {
             if let Some(path) = args.str_flag("chrome") {
                 let json = dma_lab::dma_core::chrome::export(&r.timeline, &r.events);
@@ -456,26 +502,106 @@ fn cmd_trace(args: &Args) -> i32 {
 }
 
 fn cmd_fuzz(args: &Args) -> i32 {
-    use dma_lab::fuzz::{run_fuzz, FuzzConfig};
-    // Malformed numeric flags are usage errors, not silent defaults.
-    for key in ["seed", "iters"] {
-        if let Some(v) = args.str_flag(key) {
-            if v.parse::<u64>().is_err() {
-                eprintln!("--{key} wants an unsigned integer, got '{v}'\n{HELP}");
-                return 2;
-            }
-        }
-    }
-    let cfg = FuzzConfig {
-        seed: args.u64_flag("seed", 7),
-        iters: args.u64_flag("iters", 96),
-        corpus_dir: args.str_flag("corpus-dir").map(std::path::PathBuf::from),
+    use dma_lab::fuzz::{
+        silence_quarantined_panics, Campaign, CampaignConfig, DEFAULT_WATCHDOG_BUDGET,
     };
-    if cfg.iters == 0 {
+    use std::path::PathBuf;
+    // Contained panics become quarantined findings; their default-hook
+    // backtrace spew would only pollute stderr.
+    silence_quarantined_panics();
+    let seed = num_flag!(args, "seed", 7);
+    let iters = num_flag!(args, "iters", 96);
+    let checkpoint_every = num_flag!(args, "checkpoint-every", 0);
+    let watchdog_budget = num_flag!(args, "watchdog-budget", DEFAULT_WATCHDOG_BUDGET);
+    if iters == 0 {
         eprintln!("--iters must be at least 1\n{HELP}");
         return 2;
     }
-    match run_fuzz(&cfg) {
+    if watchdog_budget == 0 {
+        eprintln!("--watchdog-budget must be at least 1 cycle\n{HELP}");
+        return 2;
+    }
+    let plant_panic_at = match args.str_flag("plant-panic") {
+        None => None,
+        Some(_) => Some(num_flag!(args, "plant-panic", 0)),
+    };
+    let plant_hang_at = match args.str_flag("plant-hang") {
+        None => None,
+        Some(_) => Some(num_flag!(args, "plant-hang", 0)),
+    };
+    let corpus_dir = match args.str_flag("corpus-dir") {
+        Some("") => {
+            eprintln!("--corpus-dir wants a path\n{HELP}");
+            return 2;
+        }
+        other => other.map(PathBuf::from),
+    };
+    // The corpus dir itself may be fresh (it is created on demand), but
+    // a missing parent is almost always a typo — reject it up front.
+    if let Some(parent) = corpus_dir.as_deref().and_then(|d| d.parent()) {
+        if !parent.as_os_str().is_empty() && !parent.exists() {
+            eprintln!(
+                "--corpus-dir parent '{}' does not exist\n{HELP}",
+                parent.display()
+            );
+            return 2;
+        }
+    }
+    let resume_dir = match args.str_flag("resume") {
+        None => None,
+        Some("") => {
+            eprintln!("--resume wants a checkpoint directory\n{HELP}");
+            return 2;
+        }
+        Some(d) if !std::path::Path::new(d).is_dir() => {
+            eprintln!("--resume '{d}' is not an existing directory\n{HELP}");
+            return 2;
+        }
+        Some(d) => Some(PathBuf::from(d)),
+    };
+    let checkpoint_dir = match args.str_flag("checkpoint-dir") {
+        Some("") => {
+            eprintln!("--checkpoint-dir wants a path\n{HELP}");
+            return 2;
+        }
+        other => other.map(PathBuf::from).or_else(|| resume_dir.clone()),
+    };
+    if checkpoint_every > 0 && checkpoint_dir.is_none() {
+        eprintln!("--checkpoint-every needs --checkpoint-dir or --resume\n{HELP}");
+        return 2;
+    }
+
+    let mut cfg = CampaignConfig::new(seed, iters);
+    cfg.corpus_dir = corpus_dir;
+    cfg.checkpoint_dir = checkpoint_dir;
+    cfg.checkpoint_every = checkpoint_every;
+    cfg.watchdog_budget = watchdog_budget;
+    cfg.plant_panic_at = plant_panic_at;
+    cfg.plant_hang_at = plant_hang_at;
+    let resuming = resume_dir.is_some();
+    let run = (|| {
+        let mut campaign = if resuming {
+            let c = Campaign::resume(cfg)?;
+            eprintln!(
+                "resumed at iteration {} (seed {})",
+                c.next_iter(),
+                c.config().seed
+            );
+            c
+        } else {
+            Campaign::new(cfg)?
+        };
+        campaign.run_to_end()?;
+        if let Some(store) = campaign.store() {
+            let writes = store.io_metrics().counter("checkpoint.writes");
+            let recovered = store.recovered();
+            if writes > 0 || recovered > 0 {
+                eprintln!("checkpoints: {writes} written, {recovered} recovered");
+            }
+        }
+        campaign.finish()
+    })();
+    match run {
         Ok(report) => {
             if args.bool_flag("json") {
                 println!("{}", report.to_json());
@@ -493,16 +619,8 @@ fn cmd_fuzz(args: &Args) -> i32 {
 
 fn cmd_forensics(args: &Args) -> i32 {
     use dma_lab::fuzz::run_forensics;
-    for key in ["seed", "iters"] {
-        if let Some(v) = args.str_flag(key) {
-            if v.parse::<u64>().is_err() {
-                eprintln!("--{key} wants an unsigned integer, got '{v}'\n{HELP}");
-                return 2;
-            }
-        }
-    }
-    let seed = args.u64_flag("seed", 7);
-    let iters = args.u64_flag("iters", 96);
+    let seed = num_flag!(args, "seed", 7);
+    let iters = num_flag!(args, "iters", 96);
     if iters == 0 {
         eprintln!("--iters must be at least 1\n{HELP}");
         return 2;
@@ -524,7 +642,7 @@ fn cmd_forensics(args: &Args) -> i32 {
 }
 
 fn cmd_survey(args: &Args) -> i32 {
-    let boots = args.u64_flag("boots", 256) as usize;
+    let boots = num_flag!(args, "boots", 256) as usize;
     let driver = match args.str_flag("profile") {
         Some("4.15") => ringflood::kernel415_driver(),
         _ => ringflood::kernel50_driver(),
@@ -552,7 +670,7 @@ fn cmd_survey(args: &Args) -> i32 {
 
 fn cmd_attack(args: &Args) -> i32 {
     let which = args.positional.first().map(|s| s.as_str()).unwrap_or("");
-    let seed = args.u64_flag("seed", 42);
+    let seed = num_flag!(args, "seed", 42);
     let window = window_of(args);
     let image = KernelImage::build(1, 16 << 20);
     let outcome = match which {
@@ -631,7 +749,7 @@ fn cmd_dos(args: &Args) -> i32 {
     use dma_lab::attacks::dos;
     use dma_lab::dma_core::vuln::DmaDirection;
     use dma_lab::sim_iommu::dma_map_single;
-    let seed = args.u64_flag("seed", 9);
+    let seed = num_flag!(args, "seed", 9);
     let mut ctx = SimCtx::new();
     let mut mem = MemorySystem::new(&MemConfig {
         kaslr_seed: Some(seed),
@@ -677,9 +795,9 @@ fn cmd_dump(args: &Args) -> i32 {
     use dma_lab::attacks::memory_dump::dump_range;
     use dma_lab::attacks::ringflood::break_kaslr;
     use dma_lab::dma_core::Pfn;
-    let seed = args.u64_flag("seed", 31);
-    let start = Pfn(args.u64_flag("start", 0x400));
-    let frames = args.u64_flag("frames", 4) as usize;
+    let seed = num_flag!(args, "seed", 31);
+    let start = Pfn(num_flag!(args, "start", 0x400));
+    let frames = num_flag!(args, "frames", 4) as usize;
     let image = KernelImage::build(1, 16 << 20);
     let run = || -> dma_lab::dma_core::Result<()> {
         let mut tb = forward_thinking::boot(WindowPath::UnmapAfterBuild, seed)?;
@@ -715,7 +833,7 @@ fn cmd_dump(args: &Args) -> i32 {
 }
 
 fn cmd_surveil(args: &Args) -> i32 {
-    let seed = args.u64_flag("seed", 31);
+    let seed = num_flag!(args, "seed", 31);
     let image = KernelImage::build(1, 16 << 20);
     let run = || -> dma_lab::dma_core::Result<()> {
         let mut tb = forward_thinking::boot(WindowPath::UnmapAfterBuild, seed)?;

@@ -235,6 +235,118 @@ fn trace_chrome_writes_a_trace_event_file() {
 }
 
 #[test]
+fn fuzz_resume_roundtrip_is_byte_identical_to_uninterrupted() {
+    // The CLI half of the kill-and-resume contract: a campaign
+    // truncated at iteration 6 (the "kill"), resumed from its
+    // checkpoint directory, must print the exact bytes an
+    // uninterrupted 12-iteration run prints.
+    let dir = std::env::temp_dir().join(format!("dma-lab-cli-resume-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let (code, _) = run(&[
+        "fuzz",
+        "--seed",
+        "7",
+        "--iters",
+        "6",
+        "--checkpoint-every",
+        "3",
+        "--checkpoint-dir",
+        dir.to_str().unwrap(),
+        "--json",
+    ]);
+    assert_eq!(code, 0);
+    let (code, resumed) = run(&[
+        "fuzz",
+        "--iters",
+        "12",
+        "--resume",
+        dir.to_str().unwrap(),
+        "--json",
+    ]);
+    assert_eq!(code, 0);
+    let (code, uninterrupted) = run(&["fuzz", "--seed", "7", "--iters", "12", "--json"]);
+    assert_eq!(code, 0);
+    assert_eq!(
+        resumed, uninterrupted,
+        "resumed --json output diverged from the uninterrupted run"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn fuzz_plant_panic_quarantines_via_the_cli() {
+    let dir = std::env::temp_dir().join(format!("dma-lab-cli-plant-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let result = Command::new(env!("CARGO_BIN_EXE_dma-lab"))
+        .args([
+            "fuzz",
+            "--seed",
+            "7",
+            "--iters",
+            "6",
+            "--plant-panic",
+            "2",
+            "--corpus-dir",
+            dir.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    let (code, out) = (
+        result.status.code().unwrap_or(-1),
+        String::from_utf8_lossy(&result.stdout).into_owned(),
+    );
+    assert_eq!(code, 0, "planted panic must not abort the campaign");
+    let err = String::from_utf8_lossy(&result.stderr);
+    assert!(
+        !err.contains("panicked at"),
+        "contained panic leaked hook output to stderr:\n{err}"
+    );
+    assert!(out.contains("quarantined"), "{out}");
+    assert!(out.contains("dq-"), "stable quarantine id missing:\n{out}");
+    let quarantined: Vec<_> = std::fs::read_dir(dir.join("quarantine"))
+        .expect("quarantine dir created")
+        .flatten()
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .collect();
+    assert!(
+        quarantined
+            .iter()
+            .any(|n| n.starts_with("dq-") && n.ends_with(".json")),
+        "{quarantined:?}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn hardened_arg_parsing_rejects_malformed_numbers_everywhere() {
+    for args in [
+        // u64::MAX + 1 overflows --seed
+        &["fuzz", "--seed", "18446744073709551616"][..],
+        &["fuzz", "--watchdog-budget", "0"][..],
+        &["fuzz", "--checkpoint-every", "junk"][..],
+        &["fuzz", "--iters", "4", "--checkpoint-every", "2"][..], // no dir
+        &["fuzz", "--resume", "/nonexistent/checkpoints"][..],
+        &["stats", "--rounds", "junk"][..],
+        &["trace", "--spans", "--seed", ""][..],
+        &["dkasan", "--rounds", "1e3"][..],
+        &["survey", "--boots", "-4"][..],
+        &["dump", "--frames", "two"][..],
+    ] {
+        let out = Command::new(env!("CARGO_BIN_EXE_dma-lab"))
+            .args(args)
+            .output()
+            .expect("binary runs");
+        assert_eq!(out.status.code(), Some(2), "{args:?}");
+        assert!(
+            out.stdout.is_empty(),
+            "usage errors keep stdout clean: {args:?}"
+        );
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("USAGE"), "help on stderr for {args:?}: {err}");
+    }
+}
+
+#[test]
 fn fuzz_writes_a_corpus_dir() {
     let dir = std::env::temp_dir().join(format!("dma-lab-corpus-{}", std::process::id()));
     let (code, _) = run(&[
