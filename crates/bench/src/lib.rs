@@ -53,6 +53,46 @@ pub fn resilience_report_path() -> PathBuf {
     repo_root().join("BENCH_resilience.json")
 }
 
+/// Path of the standalone telemetry-service report `serve_bench` writes.
+pub fn serve_report_path() -> PathBuf {
+    repo_root().join("BENCH_serve.json")
+}
+
+/// Writes `BENCH_serve.json`: the deterministic half carries the
+/// scripted-session transcript verdict (two seeded runs, byte-identity)
+/// and the snapshot-vs-delta frame sizes from which `delta_ratio` is
+/// derived; the timing half covers per-frame service cost, from which
+/// `frames_per_sec` figures are derived. Returns the report path.
+pub fn emit_serve_report(
+    deterministic_json: &str,
+    timing: &[BenchResult],
+) -> std::io::Result<PathBuf> {
+    let mut w = JsonWriter::new();
+    w.obj(|w| {
+        w.field_str("report", "serve");
+        w.field("deterministic", |w| w.raw(deterministic_json));
+        w.field("timing", |w| render_results(w, timing));
+        // Wall-clock frames/sec for the two stats modes: the numbers
+        // the "poll deltas, not full dumps" claim rests on.
+        let ns = |id: &str| {
+            timing
+                .iter()
+                .find(|r| r.id == id)
+                .map(|r| r.ns_per_iter)
+                .filter(|&n| n > 0)
+        };
+        if let Some(full) = ns("stats_full_frame") {
+            w.field_f64("full_frames_per_sec", 1e9 / full as f64);
+        }
+        if let Some(delta) = ns("stats_delta_frame") {
+            w.field_f64("delta_frames_per_sec", 1e9 / delta as f64);
+        }
+    });
+    let path = serve_report_path();
+    std::fs::write(&path, w.finish())?;
+    Ok(path)
+}
+
 /// Writes `BENCH_resilience.json`: the deterministic half is the
 /// kill-and-resume experiment (byte-identity verdict, resume point,
 /// recovered generations) plus checkpoint payload sizes at two corpus
@@ -315,12 +355,26 @@ pub fn emit_section(
 
 /// Reassembles `BENCH_observability.json` from every section file
 /// currently present, in sorted (deterministic) section order.
+///
+/// Fails (and the harness exits non-zero) when `target/bench-sections/`
+/// yields no sections at all: an empty roll-up used to be written
+/// silently, and an empty `BENCH_observability.json` once made it into
+/// the tree that way.
 pub fn assemble() -> std::io::Result<PathBuf> {
-    let mut sections = Vec::new();
-    if let Ok(entries) = std::fs::read_dir(sections_dir()) {
+    assemble_from(&sections_dir(), &report_path())
+}
+
+/// [`assemble`] against explicit directories, for the harness and its
+/// tests.
+pub fn assemble_from(
+    sections: &std::path::Path,
+    report: &std::path::Path,
+) -> std::io::Result<PathBuf> {
+    let mut found = Vec::new();
+    if let Ok(entries) = std::fs::read_dir(sections) {
         for e in entries.flatten() {
             if e.path().extension().is_some_and(|x| x == "json") {
-                sections.push((
+                found.push((
                     e.path()
                         .file_stem()
                         .unwrap_or_default()
@@ -331,21 +385,30 @@ pub fn assemble() -> std::io::Result<PathBuf> {
             }
         }
     }
-    sections.sort_by(|a, b| a.0.cmp(&b.0));
+    if found.is_empty() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::NotFound,
+            format!(
+                "no bench sections under {} — run `cargo bench` so at least \
+                 one harness emits its section before assembling",
+                sections.display()
+            ),
+        ));
+    }
+    found.sort_by(|a, b| a.0.cmp(&b.0));
     let mut w = JsonWriter::new();
     w.obj(|w| {
         w.field_str("report", "observability");
         w.field("sections", |w| {
             w.obj(|w| {
-                for (name, body) in &sections {
+                for (name, body) in &found {
                     w.field(name, |w| w.raw(body));
                 }
             });
         });
     });
-    let path = report_path();
-    std::fs::write(&path, w.finish())?;
-    Ok(path)
+    std::fs::write(report, w.finish())?;
+    Ok(report.to_path_buf())
 }
 
 #[cfg(test)]
@@ -390,8 +453,37 @@ mod tests {
         let report = std::fs::read_to_string(report_path()).unwrap();
         assert!(report.contains("\"unit_test_section\""));
         assert!(report.contains("\"report\":\"observability\""));
-        // Clean the marker section up so repeated test runs stay stable.
+        // Clean the marker section up so repeated test runs stay
+        // stable. With the marker gone the directory may be empty, in
+        // which case assemble now (correctly) refuses to roll up.
         std::fs::remove_file(path).unwrap();
-        assemble().unwrap();
+        match assemble() {
+            Ok(_) => {}
+            Err(e) => assert_eq!(e.kind(), std::io::ErrorKind::NotFound, "{e}"),
+        }
+    }
+
+    #[test]
+    fn assemble_refuses_an_empty_sections_directory() {
+        let dir = std::env::temp_dir().join(format!(
+            "dma-lab-bench-empty-sections-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let report = dir.join("report.json");
+
+        let err = assemble_from(&dir, &report).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::NotFound);
+        assert!(err.to_string().contains("no bench sections"), "{err}");
+        assert!(!report.exists(), "refusal must not write a report");
+
+        // One section in place and the same call succeeds.
+        std::fs::write(dir.join("s.json"), r#"{"section":"s"}"#).unwrap();
+        assemble_from(&dir, &report).unwrap();
+        let body = std::fs::read_to_string(&report).unwrap();
+        assert!(body.contains("\"report\":\"observability\""));
+        assert!(body.contains("\"s\":{\"section\":\"s\"}"), "{body}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

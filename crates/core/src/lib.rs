@@ -45,6 +45,11 @@
 //!   with injectable, retried I/O faults, plus the codecs that carry
 //!   events, recorders, coverage maps, and metric registries across a
 //!   process kill.
+//! - [`posture`] — the IOMMU protection-posture audit report
+//!   (`iommu_status.py` analog): invalidation policy, per-domain
+//!   isolation groups, sub-page sharing surface and observed §5.2.1
+//!   stale-window statistics, graded into deterministic findings for
+//!   the `dma-lab serve` `posture` request.
 
 pub mod addr;
 pub mod checkpoint;
@@ -57,6 +62,7 @@ pub mod jsonr;
 pub mod jsonw;
 pub mod layout;
 pub mod metrics;
+pub mod posture;
 pub mod provenance;
 pub mod recorder;
 pub mod rng;
@@ -71,7 +77,8 @@ pub use error::{DmaError, Result};
 pub use fault::{FaultPlan, FaultRule, FaultTrigger};
 pub use jsonr::{JValue, JsonError};
 pub use layout::{KernelLayout, VmRegion};
-pub use metrics::{Metrics, Snapshot, SpanToken};
+pub use metrics::{Metrics, Snapshot, SnapshotDelta, SpanToken};
+pub use posture::{GroupPosture, PostureFinding, PostureReport, Severity, StaleWindowStats};
 pub use provenance::{EdgeKind, ProvenanceGraph};
 pub use recorder::FlightRecorder;
 pub use rng::DetRng;

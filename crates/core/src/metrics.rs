@@ -515,6 +515,361 @@ impl Snapshot {
     }
 }
 
+impl Snapshot {
+    /// Rebuilds a snapshot from its [`Snapshot::to_json`] rendering.
+    ///
+    /// This is the load half of the `stats --diff` and `serve` delta
+    /// surfaces: dumps written by one process (or committed to disk)
+    /// can be compared against live registries without serde. Returns
+    /// `None` on structurally invalid input; the round trip
+    /// `from_json(s.to_json())` is exact (the derived `mean` field is
+    /// ignored on load and recomputed on render).
+    pub fn from_json(doc: &str) -> Option<Snapshot> {
+        let v = crate::jsonr::parse(doc).ok()?;
+        Snapshot::from_jvalue(&v)
+    }
+
+    /// [`Snapshot::from_json`] over an already-parsed [`crate::JValue`].
+    pub fn from_jvalue(v: &crate::JValue) -> Option<Snapshot> {
+        let at = v.u64_field("at_cycles")?;
+        let mut counters = Vec::new();
+        for (k, c) in v.get("counters")?.as_obj()? {
+            counters.push((k.clone(), c.as_u64()?));
+        }
+        let mut gauges = Vec::new();
+        for (k, g) in v.get("gauges")?.as_obj()? {
+            gauges.push((
+                k.clone(),
+                Gauge {
+                    value: g.u64_field("value")?,
+                    min: g.u64_field("min")?,
+                    max: g.u64_field("max")?,
+                    sets: g.u64_field("sets")?,
+                },
+            ));
+        }
+        let mut hists = Vec::new();
+        for (k, h) in v.get("histograms")?.as_obj()? {
+            let mut hist = Histogram {
+                count: h.u64_field("count")?,
+                sum: h.u64_field("sum")?,
+                max: h.u64_field("max")?,
+                ..Default::default()
+            };
+            for pair in h.get("buckets")?.as_arr()? {
+                let pair = pair.as_arr()?;
+                if pair.len() != 2 {
+                    return None;
+                }
+                let (bound, n) = (pair[0].as_u64()?, pair[1].as_u64()?);
+                // Bounds are powers of two (bound 0 = overflow bucket);
+                // anything else is not a bucket this layout produced.
+                let idx = if bound == 0 {
+                    HIST_BUCKETS
+                } else {
+                    let idx = bound.trailing_zeros() as usize;
+                    if idx >= HIST_BUCKETS || bucket_bound(idx) != bound {
+                        return None;
+                    }
+                    idx
+                };
+                hist.buckets[idx] = n;
+            }
+            hists.push((k.clone(), hist));
+        }
+        let mut spans = Vec::new();
+        for (k, s) in v.get("spans")?.as_obj()? {
+            spans.push((
+                k.clone(),
+                SpanAgg {
+                    count: s.u64_field("count")?,
+                    total_cycles: s.u64_field("total_cycles")?,
+                    max_cycles: s.u64_field("max_cycles")?,
+                },
+            ));
+        }
+        Some(Snapshot {
+            at,
+            counters,
+            gauges,
+            hists,
+            spans,
+            timeline_dropped: v.u64_field("timeline_dropped")?,
+        })
+    }
+
+    /// Computes the per-metric change from `prev` to `self`.
+    ///
+    /// This is the delta layer behind `dma-lab serve`'s incremental
+    /// stats frames and `dma-lab stats --diff`: instead of shipping a
+    /// full dump every poll, a client receives only the metrics whose
+    /// value moved since the previous snapshot, each with its signed
+    /// delta. Metrics present in `prev` but absent from `self` are
+    /// reported as having dropped to zero — for live registries that
+    /// never happens (registries only grow), so in file-diff mode it
+    /// flags a genuinely suspect trajectory.
+    pub fn diff(&self, prev: &Snapshot) -> SnapshotDelta {
+        fn union_keys<'a, T>(new: &'a [(String, T)], old: &'a [(String, T)]) -> Vec<&'a str> {
+            let mut keys: Vec<&str> = new
+                .iter()
+                .map(|(k, _)| k.as_str())
+                .chain(old.iter().map(|(k, _)| k.as_str()))
+                .collect();
+            keys.sort_unstable();
+            keys.dedup();
+            keys
+        }
+        fn find<'a, T>(table: &'a [(String, T)], key: &str) -> Option<&'a T> {
+            table.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+        }
+
+        let mut counters = Vec::new();
+        for k in union_keys(&self.counters, &prev.counters) {
+            let new = find(&self.counters, k).copied().unwrap_or(0);
+            let old = find(&prev.counters, k).copied().unwrap_or(0);
+            if new != old {
+                counters.push((k.to_string(), new, new as i64 - old as i64));
+            }
+        }
+        let mut gauges = Vec::new();
+        for k in union_keys(&self.gauges, &prev.gauges) {
+            let new = find(&self.gauges, k).copied().unwrap_or_default();
+            let old = find(&prev.gauges, k).copied().unwrap_or_default();
+            if new != old {
+                gauges.push((k.to_string(), new, new.value as i64 - old.value as i64));
+            }
+        }
+        let mut hists = Vec::new();
+        for k in union_keys(&self.hists, &prev.hists) {
+            let new = find(&self.hists, k).cloned().unwrap_or_default();
+            let old = find(&prev.hists, k).cloned().unwrap_or_default();
+            if new != old {
+                hists.push((
+                    k.to_string(),
+                    HistDelta {
+                        count: new.count,
+                        count_delta: new.count as i64 - old.count as i64,
+                        sum_delta: new.sum as i64 - old.sum as i64,
+                        max: new.max,
+                    },
+                ));
+            }
+        }
+        let mut spans = Vec::new();
+        for k in union_keys(&self.spans, &prev.spans) {
+            let new = find(&self.spans, k).copied().unwrap_or_default();
+            let old = find(&prev.spans, k).copied().unwrap_or_default();
+            if new != old {
+                spans.push((
+                    k.to_string(),
+                    SpanDelta {
+                        count: new.count,
+                        count_delta: new.count as i64 - old.count as i64,
+                        cycles_delta: new.total_cycles as i64 - old.total_cycles as i64,
+                    },
+                ));
+            }
+        }
+        SnapshotDelta {
+            from: prev.at,
+            at: self.at,
+            counters,
+            gauges,
+            hists,
+            spans,
+            timeline_dropped_delta: self.timeline_dropped as i64 - prev.timeline_dropped as i64,
+        }
+    }
+}
+
+/// Change of one histogram between two snapshots.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HistDelta {
+    /// New total count.
+    pub count: u64,
+    /// Count change since the previous snapshot.
+    pub count_delta: i64,
+    /// Sum change since the previous snapshot.
+    pub sum_delta: i64,
+    /// New maximum.
+    pub max: u64,
+}
+
+/// Change of one span aggregate between two snapshots.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpanDelta {
+    /// New completed-occurrence count.
+    pub count: u64,
+    /// Occurrence change since the previous snapshot.
+    pub count_delta: i64,
+    /// Inclusive-cycle change since the previous snapshot.
+    pub cycles_delta: i64,
+}
+
+/// The cycle-stamped difference between two [`Snapshot`]s: only the
+/// metrics that changed, each with its signed delta. Produced by
+/// [`Snapshot::diff`]; rendered deterministically by
+/// [`SnapshotDelta::to_json`] (the `serve` delta-frame body) and
+/// [`SnapshotDelta::render_text`] (the `stats --diff` table).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SnapshotDelta {
+    /// Cycle stamp of the previous snapshot.
+    pub from: Cycles,
+    /// Cycle stamp of the new snapshot.
+    pub at: Cycles,
+    /// Changed counters: `(name, new_value, delta)`.
+    pub counters: Vec<(String, u64, i64)>,
+    /// Changed gauges: `(name, new_gauge, value_delta)`.
+    pub gauges: Vec<(String, Gauge, i64)>,
+    /// Changed histograms.
+    pub hists: Vec<(String, HistDelta)>,
+    /// Changed span aggregates.
+    pub spans: Vec<(String, SpanDelta)>,
+    /// Change in dropped timeline records.
+    pub timeline_dropped_delta: i64,
+}
+
+impl SnapshotDelta {
+    /// Number of changed metrics across all tables.
+    pub fn changed(&self) -> usize {
+        self.counters.len() + self.gauges.len() + self.hists.len() + self.spans.len()
+    }
+
+    /// `true` when nothing moved between the two snapshots.
+    pub fn is_empty(&self) -> bool {
+        self.changed() == 0 && self.timeline_dropped_delta == 0
+    }
+
+    /// Counters that went *backwards* — impossible for one live
+    /// registry (counters are monotone), so across two dumps it marks a
+    /// regression: a code path that stopped firing, or dumps compared
+    /// in the wrong order. `stats --diff` exits non-zero when this is
+    /// non-empty.
+    pub fn regressed_counters(&self) -> Vec<&str> {
+        self.counters
+            .iter()
+            .filter(|(_, _, d)| *d < 0)
+            .map(|(k, _, _)| k.as_str())
+            .collect()
+    }
+
+    /// Deterministic JSON rendering (sorted keys, changed metrics only).
+    pub fn to_json(&self) -> String {
+        let mut w = crate::jsonw::JsonWriter::new();
+        w.obj(|w| {
+            w.field_u64("from_cycles", self.from);
+            w.field_u64("at_cycles", self.at);
+            w.field_u64("changed", self.changed() as u64);
+            w.field("counters", |w| {
+                w.obj(|w| {
+                    for (k, v, d) in &self.counters {
+                        w.field(k, |w| {
+                            w.obj(|w| {
+                                w.field_u64("value", *v);
+                                w.field_i64("delta", *d);
+                            });
+                        });
+                    }
+                });
+            });
+            w.field("gauges", |w| {
+                w.obj(|w| {
+                    for (k, g, d) in &self.gauges {
+                        w.field(k, |w| {
+                            w.obj(|w| {
+                                w.field_u64("value", g.value);
+                                w.field_u64("min", g.min);
+                                w.field_u64("max", g.max);
+                                w.field_u64("sets", g.sets);
+                                w.field_i64("delta", *d);
+                            });
+                        });
+                    }
+                });
+            });
+            w.field("histograms", |w| {
+                w.obj(|w| {
+                    for (k, h) in &self.hists {
+                        w.field(k, |w| {
+                            w.obj(|w| {
+                                w.field_u64("count", h.count);
+                                w.field_i64("count_delta", h.count_delta);
+                                w.field_i64("sum_delta", h.sum_delta);
+                                w.field_u64("max", h.max);
+                            });
+                        });
+                    }
+                });
+            });
+            w.field("spans", |w| {
+                w.obj(|w| {
+                    for (k, s) in &self.spans {
+                        w.field(k, |w| {
+                            w.obj(|w| {
+                                w.field_u64("count", s.count);
+                                w.field_i64("count_delta", s.count_delta);
+                                w.field_i64("cycles_delta", s.cycles_delta);
+                            });
+                        });
+                    }
+                });
+            });
+            w.field_i64("timeline_dropped_delta", self.timeline_dropped_delta);
+        });
+        w.finish()
+    }
+
+    /// Human-readable per-metric delta table.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "delta over {} cycles ({} -> {}), {} metric(s) changed",
+            self.at.saturating_sub(self.from),
+            self.from,
+            self.at,
+            self.changed()
+        );
+        if !self.counters.is_empty() {
+            let _ = writeln!(out, "\ncounters:");
+            for (k, v, d) in &self.counters {
+                let _ = writeln!(out, "  {k:<40} {v:>12} ({d:>+8})");
+            }
+        }
+        if !self.gauges.is_empty() {
+            let _ = writeln!(out, "\ngauges:");
+            for (k, g, d) in &self.gauges {
+                let _ = writeln!(out, "  {k:<40} {:>12} ({d:>+8})", g.value);
+            }
+        }
+        if !self.hists.is_empty() {
+            let _ = writeln!(out, "\nhistograms:");
+            for (k, h) in &self.hists {
+                let _ = writeln!(
+                    out,
+                    "  {k:<40} {:>12} ({:>+8})  max {}",
+                    h.count, h.count_delta, h.max
+                );
+            }
+        }
+        if !self.spans.is_empty() {
+            let _ = writeln!(out, "\nspans:");
+            for (k, s) in &self.spans {
+                let _ = writeln!(
+                    out,
+                    "  {k:<40} {:>12} ({:>+8})  cycles {:>+10}",
+                    s.count, s.count_delta, s.cycles_delta
+                );
+            }
+        }
+        let regressed = self.regressed_counters();
+        if !regressed.is_empty() {
+            let _ = writeln!(out, "\nREGRESSED counters: {}", regressed.join(", "));
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -656,5 +1011,98 @@ mod tests {
         for needle in ["counters:", "gauges:", "histograms:", "spans:", "9 cycles"] {
             assert!(txt.contains(needle), "missing {needle} in:\n{txt}");
         }
+    }
+
+    fn busy_registry() -> Metrics {
+        let mut m = Metrics::new();
+        m.add("pkts", 3);
+        m.incr("drops");
+        m.gauge_set("ring", 7);
+        m.gauge_set("ring", 2);
+        m.observe("lat", 1);
+        m.observe("lat", 900);
+        m.observe("lat", 1 << 40); // overflow bucket
+        let t = m.span_begin_at("rx", 10);
+        m.span_end_at(t, 40);
+        m.restore_timeline_dropped(4);
+        m
+    }
+
+    #[test]
+    fn snapshot_json_round_trips_exactly() {
+        let snap = busy_registry().snapshot(123);
+        let back = Snapshot::from_json(&snap.to_json()).expect("parse own rendering");
+        assert_eq!(back, snap);
+        assert_eq!(back.to_json(), snap.to_json());
+    }
+
+    #[test]
+    fn snapshot_from_json_rejects_garbage() {
+        assert!(Snapshot::from_json("").is_none());
+        assert!(Snapshot::from_json("{}").is_none());
+        assert!(Snapshot::from_json("[1,2]").is_none());
+        // A bucket bound that is not a power of two is not ours.
+        let bad = r#"{"at_cycles":0,"counters":{},"gauges":{},
+            "histograms":{"h":{"count":1,"sum":3,"max":3,"mean":3.000,
+            "buckets":[[3,1]]}},"spans":{},"timeline_dropped":0}"#;
+        assert!(Snapshot::from_json(bad).is_none());
+    }
+
+    #[test]
+    fn diff_reports_only_changed_metrics() {
+        let mut m = busy_registry();
+        let before = m.snapshot(100);
+        m.add("pkts", 5);
+        m.incr("fresh");
+        m.observe("lat", 16);
+        let after = m.snapshot(160);
+        let d = after.diff(&before);
+        assert_eq!(d.from, 100);
+        assert_eq!(d.at, 160);
+        let names: Vec<&str> = d.counters.iter().map(|(k, _, _)| k.as_str()).collect();
+        assert_eq!(names, ["fresh", "pkts"], "drops did not change");
+        assert!(d.counters.contains(&("pkts".into(), 8, 5)));
+        assert!(d.counters.contains(&("fresh".into(), 1, 1)));
+        assert!(d.gauges.is_empty() && d.spans.is_empty());
+        assert_eq!(d.hists.len(), 1);
+        assert_eq!(d.hists[0].1.count_delta, 1);
+        assert!(d.regressed_counters().is_empty());
+        assert!(after.diff(&after).is_empty());
+    }
+
+    #[test]
+    fn diff_flags_missing_counters_as_regressions() {
+        let mut m = Metrics::new();
+        m.add("stable", 2);
+        m.add("gone", 9);
+        let old = m.snapshot(0);
+        let mut n = Metrics::new();
+        n.add("stable", 2);
+        let new = n.snapshot(10);
+        let d = new.diff(&old);
+        assert_eq!(d.regressed_counters(), ["gone"]);
+        assert!(d.counters.contains(&("gone".into(), 0, -9)));
+        let txt = d.render_text();
+        assert!(txt.contains("REGRESSED counters: gone"), "{txt}");
+    }
+
+    #[test]
+    fn delta_json_is_deterministic_and_parseable() {
+        let mut m = busy_registry();
+        let before = m.snapshot(1);
+        m.incr("pkts");
+        let after = m.snapshot(2);
+        let a = after.diff(&before).to_json();
+        let b = after.diff(&before).to_json();
+        assert_eq!(a, b);
+        let v = crate::jsonr::parse(&a).expect("delta json parses");
+        assert_eq!(v.u64_field("changed"), Some(1));
+        assert_eq!(
+            v.get("counters")
+                .and_then(|c| c.get("pkts"))
+                .and_then(|p| p.get("delta"))
+                .and_then(|d| d.as_i64()),
+            Some(1)
+        );
     }
 }

@@ -1,0 +1,438 @@
+//! IOMMU protection-posture audit report.
+//!
+//! The paper's attack surface is a function of *configuration*, not
+//! just code: deferred invalidation opens the §5.2.1 stale-translation
+//! window, shared domains collapse per-device isolation, and sub-page
+//! RX buffers expose neighbouring kernel data even under a perfectly
+//! strict IOMMU (§3.3). Production tooling audits exactly these knobs
+//! (`iommu_status.py` walks `/sys/kernel/iommu_groups` and the
+//! `intel_iommu=`/`iommu.strict=` cmdline); this module is the
+//! simulated-stack equivalent: a plain-data [`PostureReport`] assembled
+//! by `sim-iommu` from live state, graded by [`PostureReport::assess`],
+//! and rendered deterministically for the `dma-lab serve` `posture`
+//! request and test pinning.
+//!
+//! The report is pure data — `dma-core` knows nothing about the IOMMU
+//! model; `sim-iommu` fills the fields and this module only derives
+//! findings and renders JSON/text, so the grading policy lives in one
+//! dependency-free place.
+
+use crate::addr::PAGE_SIZE;
+use crate::jsonw::JsonWriter;
+use crate::metrics::Histogram;
+use std::fmt::Write as _;
+
+/// Severity of one posture finding.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Configuration note, no exposure.
+    Info,
+    /// Weakens isolation; exploitable only combined with other state.
+    Warn,
+    /// Directly enables a paper attack class.
+    High,
+}
+
+impl Severity {
+    /// Stable lower-case label used in JSON and text output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warn => "warn",
+            Severity::High => "high",
+        }
+    }
+}
+
+/// One graded observation about the audited configuration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PostureFinding {
+    /// Severity grade.
+    pub severity: Severity,
+    /// Stable machine-readable code (e.g. `stale-translation-window`).
+    pub code: &'static str,
+    /// Human-readable explanation with the relevant numbers inlined.
+    pub detail: String,
+}
+
+/// Isolation posture of one IOMMU domain — the simulated analogue of
+/// one `/sys/kernel/iommu_groups/N` entry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GroupPosture {
+    /// Domain identifier.
+    pub domain: u32,
+    /// Devices attached to this domain, sorted.
+    pub devices: Vec<u32>,
+    /// Pages currently mapped into the domain.
+    pub mapped_pages: usize,
+    /// Live (allocated, not yet freed) IOVA ranges.
+    pub live_iovas: usize,
+    /// Unmapped ranges still walkable until the next global flush —
+    /// the §5.2.1 exposure, counted live.
+    pub deferred_pending: usize,
+}
+
+/// Observed §5.2.1 stale-window width statistics, summarized from the
+/// `sim_iommu.stale_window.cycles` histogram.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StaleWindowStats {
+    /// Number of windows observed (one per deferred unmap retired).
+    pub count: u64,
+    /// Mean window width in cycles.
+    pub mean_cycles: u64,
+    /// p99 bucket bound in cycles.
+    pub p99_cycles: u64,
+    /// Widest observed window in cycles.
+    pub max_cycles: u64,
+}
+
+impl StaleWindowStats {
+    /// Summarizes a `sim_iommu.stale_window.cycles` histogram; `None`
+    /// when no window was ever observed (strict mode, or no unmaps).
+    pub fn from_histogram(h: &Histogram) -> Option<StaleWindowStats> {
+        if h.count == 0 {
+            return None;
+        }
+        Some(StaleWindowStats {
+            count: h.count,
+            mean_cycles: h.mean(),
+            p99_cycles: h.quantile_bound(990),
+            max_cycles: h.max,
+        })
+    }
+}
+
+/// An `iommu_status.py`-style audit of one simulated stack
+/// configuration. Assembled by `sim-iommu` (which can see domains and
+/// page tables) plus the caller (which knows the driver's buffer
+/// policy); graded here.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PostureReport {
+    /// Configuration label (e.g. the fuzz machine-config name).
+    pub label: String,
+    /// `"strict"` or `"deferred"` invalidation.
+    pub invalidation: &'static str,
+    /// Cycles between global flushes (deferred mode; 0 when strict).
+    pub flush_period: u64,
+    /// IOTLB entry capacity.
+    pub iotlb_capacity: usize,
+    /// Per-domain isolation view, sorted by domain id.
+    pub groups: Vec<GroupPosture>,
+    /// RX buffer size the driver requests per packet.
+    pub rx_buf_size: usize,
+    /// Simulated page size.
+    pub page_size: usize,
+    /// Observed stale-window widths, when any window opened.
+    pub stale_window: Option<StaleWindowStats>,
+    /// Device reads answered by a stale IOTLB translation so far.
+    pub stale_hits: u64,
+    /// IOMMU faults taken so far.
+    pub faults: u64,
+    /// Graded findings, ordered most severe first.
+    pub findings: Vec<PostureFinding>,
+    /// `"exposed"` when any warn/high finding exists, else `"hardened"`.
+    pub grade: &'static str,
+}
+
+impl PostureReport {
+    /// `true` when the invalidation policy defers IOTLB flushes.
+    pub fn is_deferred(&self) -> bool {
+        self.invalidation == "deferred"
+    }
+
+    /// Total live IOVA ranges across all domains.
+    pub fn live_iovas(&self) -> usize {
+        self.groups.iter().map(|g| g.live_iovas).sum()
+    }
+
+    /// How many RX buffers share one page under the audited policy.
+    pub fn buffers_per_page(&self) -> usize {
+        if self.rx_buf_size == 0 || self.rx_buf_size >= self.page_size {
+            1
+        } else {
+            self.page_size / self.rx_buf_size
+        }
+    }
+
+    /// Derives [`PostureFinding`]s and the overall grade from the raw
+    /// fields. Call once after filling every observation field; the
+    /// policy is deliberately centralized here so every surface
+    /// (serve, tests, CI greps) agrees on what "exposed" means.
+    pub fn assess(&mut self) {
+        let mut findings = Vec::new();
+        if self.is_deferred() {
+            let observed = match self.stale_window {
+                Some(w) => format!(
+                    "; observed {} window(s), mean {} / p99 {} / max {} cycles",
+                    w.count, w.mean_cycles, w.p99_cycles, w.max_cycles
+                ),
+                None => String::new(),
+            };
+            findings.push(PostureFinding {
+                severity: Severity::High,
+                code: "stale-translation-window",
+                detail: format!(
+                    "deferred invalidation leaves unmapped IOVAs walkable for up to \
+                     {} cycles until the next global flush (the Sec. 5.2.1 window){}",
+                    self.flush_period, observed
+                ),
+            });
+        } else {
+            findings.push(PostureFinding {
+                severity: Severity::Info,
+                code: "strict-invalidation",
+                detail: "unmap invalidates the IOTLB synchronously; no stale-translation window"
+                    .to_string(),
+            });
+        }
+        for g in &self.groups {
+            if g.devices.len() > 1 {
+                findings.push(PostureFinding {
+                    severity: Severity::Warn,
+                    code: "shared-domain",
+                    detail: format!(
+                        "domain {} is shared by {} devices ({:?}); any one device can \
+                         read every mapping in the group",
+                        g.domain,
+                        g.devices.len(),
+                        g.devices
+                    ),
+                });
+            }
+        }
+        if self.buffers_per_page() > 1 {
+            findings.push(PostureFinding {
+                severity: Severity::Warn,
+                code: "subpage-sharing",
+                detail: format!(
+                    "rx_buf_size {} packs {} buffers per {}-byte page; IOMMU page \
+                     granularity exposes co-resident kernel bytes to the device (Sec. 3.3)",
+                    self.rx_buf_size,
+                    self.buffers_per_page(),
+                    self.page_size
+                ),
+            });
+        }
+        if self.stale_hits > 0 {
+            findings.push(PostureFinding {
+                severity: Severity::High,
+                code: "stale-hits-observed",
+                detail: format!(
+                    "{} device access(es) were answered through a stale IOTLB entry",
+                    self.stale_hits
+                ),
+            });
+        }
+        findings.sort_by(|a, b| b.severity.cmp(&a.severity).then(a.code.cmp(b.code)));
+        self.grade = if findings.iter().any(|f| f.severity >= Severity::Warn) {
+            "exposed"
+        } else {
+            "hardened"
+        };
+        self.findings = findings;
+    }
+
+    /// Deterministic single-line JSON rendering.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.obj(|w| {
+            w.field_str("label", &self.label);
+            w.field_str("invalidation", self.invalidation);
+            w.field_u64("flush_period_cycles", self.flush_period);
+            w.field_u64("iotlb_capacity", self.iotlb_capacity as u64);
+            w.field("groups", |w| {
+                w.arr(|w| {
+                    for g in &self.groups {
+                        w.elem(|w| {
+                            w.obj(|w| {
+                                w.field_u64("domain", g.domain as u64);
+                                w.field("devices", |w| {
+                                    w.arr(|w| {
+                                        for d in &g.devices {
+                                            w.elem(|w| w.u64(*d as u64));
+                                        }
+                                    });
+                                });
+                                w.field_u64("mapped_pages", g.mapped_pages as u64);
+                                w.field_u64("live_iovas", g.live_iovas as u64);
+                                w.field_u64("deferred_pending", g.deferred_pending as u64);
+                            });
+                        });
+                    }
+                });
+            });
+            w.field_u64("live_iovas", self.live_iovas() as u64);
+            w.field_u64("rx_buf_size", self.rx_buf_size as u64);
+            w.field_u64("page_size", self.page_size as u64);
+            w.field_u64("buffers_per_page", self.buffers_per_page() as u64);
+            w.field("stale_window", |w| match &self.stale_window {
+                None => w.raw("null"),
+                Some(s) => w.obj(|w| {
+                    w.field_u64("count", s.count);
+                    w.field_u64("mean_cycles", s.mean_cycles);
+                    w.field_u64("p99_cycles", s.p99_cycles);
+                    w.field_u64("max_cycles", s.max_cycles);
+                }),
+            });
+            w.field_u64("stale_hits", self.stale_hits);
+            w.field_u64("faults", self.faults);
+            w.field("findings", |w| {
+                w.arr(|w| {
+                    for f in &self.findings {
+                        w.elem(|w| {
+                            w.obj(|w| {
+                                w.field_str("severity", f.severity.label());
+                                w.field_str("code", f.code);
+                                w.field_str("detail", &f.detail);
+                            });
+                        });
+                    }
+                });
+            });
+            w.field_str("grade", self.grade);
+        });
+        w.finish()
+    }
+
+    /// Human-readable audit table, `iommu_status.py` style.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "posture: {} [{}]", self.label, self.grade);
+        let _ = writeln!(
+            out,
+            "  invalidation: {} (flush period {} cycles, iotlb {} entries)",
+            self.invalidation, self.flush_period, self.iotlb_capacity
+        );
+        let _ = writeln!(
+            out,
+            "  buffers: rx_buf_size {} -> {} per {}-byte page",
+            self.rx_buf_size,
+            self.buffers_per_page(),
+            self.page_size
+        );
+        for g in &self.groups {
+            let _ = writeln!(
+                out,
+                "  group {}: devices {:?}, {} mapped pages, {} live IOVAs, {} deferred",
+                g.domain, g.devices, g.mapped_pages, g.live_iovas, g.deferred_pending
+            );
+        }
+        if let Some(s) = &self.stale_window {
+            let _ = writeln!(
+                out,
+                "  stale window: {} observed, mean {} / p99 {} / max {} cycles",
+                s.count, s.mean_cycles, s.p99_cycles, s.max_cycles
+            );
+        }
+        let _ = writeln!(
+            out,
+            "  stale hits: {}, faults: {}",
+            self.stale_hits, self.faults
+        );
+        for f in &self.findings {
+            let _ = writeln!(out, "  [{}] {}: {}", f.severity.label(), f.code, f.detail);
+        }
+        out
+    }
+
+    /// Skeleton report with observation fields zeroed; the assembler
+    /// fills them in and then calls [`PostureReport::assess`].
+    pub fn new(label: &str, invalidation: &'static str) -> PostureReport {
+        PostureReport {
+            label: label.to_string(),
+            invalidation,
+            flush_period: 0,
+            iotlb_capacity: 0,
+            groups: Vec::new(),
+            rx_buf_size: 0,
+            page_size: PAGE_SIZE,
+            stale_window: None,
+            stale_hits: 0,
+            faults: 0,
+            findings: Vec::new(),
+            grade: "hardened",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base(invalidation: &'static str) -> PostureReport {
+        let mut r = PostureReport::new("test-config", invalidation);
+        r.flush_period = 10_000;
+        r.iotlb_capacity = 64;
+        r.rx_buf_size = PAGE_SIZE;
+        r.groups.push(GroupPosture {
+            domain: 1,
+            devices: vec![1],
+            mapped_pages: 4,
+            live_iovas: 4,
+            deferred_pending: 0,
+        });
+        r
+    }
+
+    #[test]
+    fn strict_isolated_fullpage_is_hardened() {
+        let mut r = base("strict");
+        r.assess();
+        assert_eq!(r.grade, "hardened");
+        assert!(r.findings.iter().any(|f| f.code == "strict-invalidation"));
+        assert!(r.findings.iter().all(|f| f.severity == Severity::Info));
+    }
+
+    #[test]
+    fn deferred_mode_flags_the_521_window() {
+        let mut r = base("deferred");
+        let mut h = Histogram::default();
+        h.observe(500);
+        h.observe(9_000);
+        r.stale_window = StaleWindowStats::from_histogram(&h);
+        r.assess();
+        assert_eq!(r.grade, "exposed");
+        let f = r
+            .findings
+            .iter()
+            .find(|f| f.code == "stale-translation-window")
+            .expect("window finding");
+        assert_eq!(f.severity, Severity::High);
+        assert!(f.detail.contains("5.2.1"), "{}", f.detail);
+        assert!(f.detail.contains("2 window(s)"), "{}", f.detail);
+        // Highest severity sorts first.
+        assert_eq!(r.findings[0].severity, Severity::High);
+    }
+
+    #[test]
+    fn subpage_and_shared_domain_warn() {
+        let mut r = base("strict");
+        r.rx_buf_size = 2048;
+        r.groups[0].devices = vec![1, 2];
+        r.assess();
+        assert_eq!(r.grade, "exposed");
+        assert_eq!(r.buffers_per_page(), PAGE_SIZE / 2048);
+        let codes: Vec<&str> = r.findings.iter().map(|f| f.code).collect();
+        assert!(codes.contains(&"subpage-sharing"));
+        assert!(codes.contains(&"shared-domain"));
+    }
+
+    #[test]
+    fn json_is_deterministic_and_valid() {
+        let mut r = base("deferred");
+        r.rx_buf_size = 2048;
+        r.assess();
+        let a = r.to_json();
+        assert_eq!(a, r.to_json());
+        let v = crate::jsonr::parse(&a).expect("posture json parses");
+        assert_eq!(v.str_field("grade"), Some("exposed"));
+        assert_eq!(v.str_field("invalidation"), Some("deferred"));
+        assert_eq!(v.u64_field("buffers_per_page"), Some(2));
+        assert!(matches!(
+            v.get("stale_window"),
+            Some(crate::jsonr::JValue::Null)
+        ));
+        let groups = v.get("groups").and_then(|g| g.as_arr()).unwrap();
+        assert_eq!(groups[0].u64_field("domain"), Some(1));
+    }
+}

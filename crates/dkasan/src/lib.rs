@@ -27,6 +27,6 @@ pub mod shadow;
 pub mod workload;
 
 pub use forensics::{investigate, Incident, IncidentStep, WindowVerdict};
-pub use report::{stable_id, DKasanFinding, FindingKind, Summary};
+pub use report::{observation_id, stable_id, DKasanFinding, FindingKind, Summary};
 pub use shadow::{DKasan, DKasanStats};
 pub use workload::{run_workload, WorkloadConfig, WorkloadReport};

@@ -75,6 +75,20 @@ pub fn stable_id(prefix: &str, parts: &[&[u8]]) -> String {
     format!("{prefix}-{h:016x}")
 }
 
+/// Stable `dk-…` id for a device-write *observation* that has no
+/// backing [`DKasanFinding`] (the fuzz executor records tampered-field
+/// writes the shadow oracle never sees). A pure function of the class
+/// identity — taxonomy letter, site/field name, and the §5.2 window
+/// path when one applies — so the finding-stream id emitted by
+/// `dma-lab serve` is identical across runs, resumes, and replays of
+/// the same discovery.
+pub fn observation_id(taxonomy: char, site: &str, window: &str) -> String {
+    stable_id(
+        "dk",
+        &[&[taxonomy as u8], site.as_bytes(), window.as_bytes()],
+    )
+}
+
 /// One D-KASAN finding.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct DKasanFinding {

@@ -125,6 +125,61 @@ impl CrashFinding {
     }
 }
 
+/// One live campaign occurrence, published on the event bus the moment
+/// it happens. `dma-lab serve` drains these between steps and streams
+/// them to clients as finding/health frames — the push-side complement
+/// of the pull-side metrics snapshots. Events are *transient*: they are
+/// not part of [`CampaignState`] and never enter a checkpoint (the
+/// durable record of the same occurrences is the journal, findings, and
+/// crash lists), so adding or draining them cannot perturb resume
+/// byte-identity.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CampaignEvent {
+    /// A new class-deduped finding entered the finding set.
+    Finding {
+        /// Iteration of first discovery.
+        iteration: u64,
+        /// Stable `dk-…` id (oracle-backed or observation-derived).
+        id: String,
+        /// Figure-1 taxonomy letter (`a`–`d`).
+        taxonomy: char,
+        /// D-KASAN class name, or `device-write` for oracle-less
+        /// tampered-field observations.
+        class: String,
+        /// Site tag or tampered field name.
+        site: String,
+        /// §5.2 window path, when one applies.
+        window: Option<String>,
+    },
+    /// An execution was contained and quarantined.
+    Quarantine {
+        /// Iteration (including planted flag bits — the replay key).
+        iteration: u64,
+        /// Stable `dq-…` id.
+        id: String,
+        /// Panic or hang.
+        kind: CrashKind,
+        /// Human-readable cause.
+        detail: String,
+    },
+    /// Global coverage grew at this iteration.
+    CoverageGrew {
+        /// Iteration where the growth happened.
+        iteration: u64,
+        /// New global coverage bit count.
+        bits: usize,
+        /// Corpus size after admission.
+        corpus: usize,
+    },
+    /// A checkpoint generation was persisted.
+    Checkpoint {
+        /// `next_iter` captured by the checkpoint.
+        iteration: u64,
+        /// Store sequence number of the generation.
+        sequence: u64,
+    },
+}
+
 /// Derives the stable `dq-…` id of a crash/hang finding.
 pub fn crash_id(kind: CrashKind, seed: u64, iteration: u64) -> String {
     stable_id(
@@ -242,6 +297,11 @@ pub struct Campaign {
     cfg: CampaignConfig,
     store: Option<CheckpointStore>,
     state: CampaignState,
+    /// Transient event bus (see [`CampaignEvent`]); not checkpointed.
+    bus: Vec<CampaignEvent>,
+    /// Newest persisted checkpoint as `(sequence, at_iteration)` —
+    /// the health-frame "checkpoint age" source.
+    last_checkpoint: Option<(u64, u64)>,
 }
 
 impl Campaign {
@@ -253,7 +313,13 @@ impl Campaign {
             None => None,
         };
         let state = CampaignState::new(cfg.seed);
-        Ok(Campaign { cfg, store, state })
+        Ok(Campaign {
+            cfg,
+            store,
+            state,
+            bus: Vec::new(),
+            last_checkpoint: None,
+        })
     }
 
     /// Like [`Campaign::new`] but with a fault plan armed on the
@@ -270,6 +336,8 @@ impl Campaign {
             cfg,
             store: Some(store),
             state,
+            bus: Vec::new(),
+            last_checkpoint: None,
         })
     }
 
@@ -289,10 +357,13 @@ impl Campaign {
         let (seed, state) = snapshot::restore(&loaded.payload)
             .ok_or(DmaError::Invariant("checkpoint payload malformed"))?;
         cfg.seed = seed;
+        let last_checkpoint = Some((loaded.sequence, state.next_iter));
         Ok(Campaign {
             cfg,
             store: Some(store),
             state,
+            bus: Vec::new(),
+            last_checkpoint,
         })
     }
 
@@ -331,9 +402,29 @@ impl Campaign {
     pub fn checkpoint_now(&mut self) -> Result<u64> {
         let payload = snapshot::capture(self.cfg.seed, &self.state);
         match self.store.as_mut() {
-            Some(store) => store.save(&payload),
+            Some(store) => {
+                let sequence = store.save(&payload)?;
+                self.last_checkpoint = Some((sequence, self.state.next_iter));
+                self.bus.push(CampaignEvent::Checkpoint {
+                    iteration: self.state.next_iter,
+                    sequence,
+                });
+                Ok(sequence)
+            }
             None => Err(DmaError::Invariant("no checkpoint dir configured")),
         }
+    }
+
+    /// Drains the transient event bus: everything published since the
+    /// previous drain, in occurrence order.
+    pub fn drain_events(&mut self) -> Vec<CampaignEvent> {
+        std::mem::take(&mut self.bus)
+    }
+
+    /// Newest persisted checkpoint as `(sequence, at_iteration)`;
+    /// `None` until the first save (or resume).
+    pub fn last_checkpoint(&self) -> Option<(u64, u64)> {
+        self.last_checkpoint
     }
 
     /// Executes one iteration; returns `false` once the budget is
@@ -422,6 +513,11 @@ impl Campaign {
                 at: it,
                 site: intern("campaign.admit"),
             });
+            self.bus.push(CampaignEvent::CoverageGrew {
+                iteration: it,
+                bits: bits_after as usize,
+                corpus: s.corpus.len(),
+            });
         }
         s.metrics
             .gauge_set("fuzz.corpus.size", s.corpus.len() as u64);
@@ -429,6 +525,26 @@ impl Campaign {
 
         for f in &out.findings {
             if s.seen_keys.insert(f.key()) {
+                let window = f.attrs.window.map(|w| w.path.to_string());
+                self.bus.push(CampaignEvent::Finding {
+                    iteration: it,
+                    id: if f.dkasan_id.is_empty() {
+                        dkasan::observation_id(
+                            f.taxonomy.letter(),
+                            &f.site,
+                            window.as_deref().unwrap_or(""),
+                        )
+                    } else {
+                        f.dkasan_id.clone()
+                    },
+                    taxonomy: f.taxonomy.letter(),
+                    class: f
+                        .dkasan
+                        .map(|k| k.to_string())
+                        .unwrap_or_else(|| "device-write".to_string()),
+                    site: f.site.clone(),
+                    window,
+                });
                 s.findings.push(f.clone());
             }
         }
@@ -481,6 +597,12 @@ impl Campaign {
             iteration,
             detail,
         };
+        self.bus.push(CampaignEvent::Quarantine {
+            iteration,
+            id: finding.id.clone(),
+            kind,
+            detail: finding.detail.clone(),
+        });
         if let Some(dir) = &self.cfg.corpus_dir {
             let qdir = dir.join("quarantine");
             std::fs::create_dir_all(&qdir)
@@ -615,6 +737,93 @@ mod tests {
             Some(crate::MutationOp::DebugPanic)
         ));
         assert_eq!(c.id, crash_id(c.kind, c.seed, c.iteration));
+    }
+
+    #[test]
+    fn event_bus_streams_findings_the_iteration_they_land() {
+        let mut c = Campaign::new(CampaignConfig::new(7, 96)).unwrap();
+        let mut finding_events = Vec::new();
+        let mut coverage_events = 0usize;
+        while c.step().unwrap() {
+            for ev in c.drain_events() {
+                match ev {
+                    CampaignEvent::Finding { iteration, .. } => {
+                        assert_eq!(
+                            iteration + 1,
+                            c.next_iter(),
+                            "finding streamed the iteration it was discovered"
+                        );
+                        finding_events.push(ev);
+                    }
+                    CampaignEvent::CoverageGrew { .. } => coverage_events += 1,
+                    _ => {}
+                }
+            }
+        }
+        assert!(c.drain_events().is_empty(), "drain empties the bus");
+        assert!(coverage_events > 0);
+        let report = c.finish().unwrap();
+        assert_eq!(
+            finding_events.len(),
+            report.findings.len(),
+            "one event per deduped finding"
+        );
+        for (ev, f) in finding_events.iter().zip(&report.findings) {
+            let CampaignEvent::Finding {
+                id,
+                taxonomy,
+                site,
+                iteration,
+                ..
+            } = ev
+            else {
+                unreachable!()
+            };
+            assert_eq!(*taxonomy, f.taxonomy.letter());
+            assert_eq!(site, &f.site);
+            assert_eq!(*iteration, f.iteration);
+            assert!(id.starts_with("dk-") && id.len() == 19, "{id}");
+        }
+    }
+
+    #[test]
+    fn event_bus_reports_quarantines_and_checkpoints() {
+        let dir = std::env::temp_dir().join(format!("dma-evbus-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut cfg = CampaignConfig::new(11, 4);
+        cfg.checkpoint_dir = Some(dir.clone());
+        cfg.checkpoint_every = 2;
+        cfg.plant_panic_at = Some(1);
+        let mut c = Campaign::new(cfg).unwrap();
+        assert_eq!(c.last_checkpoint(), None);
+        c.run_to_end().unwrap();
+        let events = c.drain_events();
+        let quarantines: Vec<_> = events
+            .iter()
+            .filter(|e| matches!(e, CampaignEvent::Quarantine { .. }))
+            .collect();
+        assert_eq!(quarantines.len(), 1);
+        let CampaignEvent::Quarantine { id, kind, .. } = quarantines[0] else {
+            unreachable!()
+        };
+        assert_eq!(*kind, CrashKind::Panic);
+        assert!(id.starts_with("dq-"));
+        let checkpoints: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                CampaignEvent::Checkpoint {
+                    iteration,
+                    sequence,
+                } => Some((*iteration, *sequence)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(checkpoints.len(), 2, "every 2 of 4 iterations");
+        assert_eq!(
+            c.last_checkpoint(),
+            checkpoints.last().copied().map(|(i, s)| (s, i))
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

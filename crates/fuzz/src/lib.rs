@@ -40,8 +40,8 @@ pub mod resilience;
 pub mod snapshot;
 
 pub use campaign::{
-    crash_id, silence_quarantined_panics, Campaign, CampaignConfig, CampaignState, CrashFinding,
-    CrashKind, JOURNAL_CAPACITY,
+    crash_id, silence_quarantined_panics, Campaign, CampaignConfig, CampaignEvent, CampaignState,
+    CrashFinding, CrashKind, JOURNAL_CAPACITY,
 };
 pub use corpus::{Corpus, CorpusEntry};
 pub use exec::{

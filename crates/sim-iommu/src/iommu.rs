@@ -14,6 +14,8 @@ use dma_core::clock::{
     Cycles, DEFERRED_FLUSH_PERIOD, DMA_ACCESS_CYCLES, IOTLB_HIT_CYCLES, IOTLB_INV_CYCLES,
     PT_WALK_CYCLES,
 };
+use dma_core::metrics::Histogram;
+use dma_core::posture::{GroupPosture, PostureReport, StaleWindowStats};
 use dma_core::trace::DeviceId;
 use dma_core::{AccessRight, DmaError, Event, Iova, Pfn, Result, SimCtx, PAGE_SIZE};
 use sim_mem::PhysMemory;
@@ -530,6 +532,67 @@ impl Iommu {
     pub fn iotlb(&self) -> &Iotlb {
         &self.iotlb
     }
+
+    /// Simulated `/sys/kernel/iommu_groups`: one entry per translation
+    /// domain, with its attached devices and live-mapping counts.
+    /// Deterministically ordered (domains by id, devices sorted) so the
+    /// posture report renders byte-identically per seed.
+    pub fn groups(&self) -> Vec<GroupPosture> {
+        let mut out: Vec<GroupPosture> = self
+            .domains
+            .iter()
+            .map(|(&id, d)| {
+                let mut devices: Vec<DeviceId> = self
+                    .device_domain
+                    .iter()
+                    .filter(|(_, &dom)| dom == id)
+                    .map(|(&dev, _)| dev)
+                    .collect();
+                devices.sort_unstable();
+                GroupPosture {
+                    domain: id,
+                    devices,
+                    mapped_pages: d.pt.mapped_pages(),
+                    live_iovas: d.iova.live_ranges(),
+                    deferred_pending: d.deferred_free.len(),
+                }
+            })
+            .collect();
+        out.sort_unstable_by_key(|g| g.domain);
+        out
+    }
+
+    /// Assembles an `iommu_status.py`-style [`PostureReport`] from the
+    /// live IOMMU state: invalidation policy, isolation groups, and the
+    /// accumulated stale/fault counters. The caller supplies what the
+    /// IOMMU cannot see — the driver's RX buffer size (the sub-page
+    /// sharing surface) and the observed §5.2.1 stale-window histogram
+    /// (`sim_iommu.stale_window.cycles`) — and gets back a fully
+    /// [`assessed`](PostureReport::assess) report.
+    pub fn posture(
+        &self,
+        label: &str,
+        rx_buf_size: usize,
+        stale_window: Option<&Histogram>,
+    ) -> PostureReport {
+        let invalidation = match self.config.mode {
+            InvalidationMode::Strict => "strict",
+            InvalidationMode::Deferred => "deferred",
+        };
+        let mut report = PostureReport::new(label, invalidation);
+        report.flush_period = match self.config.mode {
+            InvalidationMode::Strict => 0,
+            InvalidationMode::Deferred => self.config.flush_period,
+        };
+        report.iotlb_capacity = self.config.iotlb_capacity;
+        report.groups = self.groups();
+        report.rx_buf_size = rx_buf_size;
+        report.stale_window = stale_window.and_then(StaleWindowStats::from_histogram);
+        report.stale_hits = self.stats.stale_hits;
+        report.faults = self.stats.faults;
+        report.assess();
+        report
+    }
 }
 
 #[cfg(test)]
@@ -736,6 +799,84 @@ mod tests {
             ctx.clock.now(),
             before,
             "no invalidation cost at unmap time"
+        );
+    }
+
+    #[test]
+    fn groups_enumerate_domains_deterministically() {
+        let (mut ctx, _phys, mut iommu) = setup(InvalidationMode::Deferred);
+        iommu.attach_device(3);
+        iommu.attach_device(1);
+        iommu.attach_device_shared(7, 3).unwrap();
+        iommu
+            .map_page(1, Iova(0x10000), Pfn(5), AccessRight::Read)
+            .unwrap();
+        let iova = iommu.alloc_iova(&mut ctx, 1, 1).unwrap();
+        iommu.map_page(1, iova, Pfn(6), AccessRight::Read).unwrap();
+        iommu.unmap_range(&mut ctx, 1, iova, 1).unwrap();
+        let groups = iommu.groups();
+        assert_eq!(groups.len(), 2);
+        assert!(groups.windows(2).all(|w| w[0].domain < w[1].domain));
+        let shared = groups.iter().find(|g| g.devices.len() == 2).unwrap();
+        assert_eq!(shared.devices, vec![3, 7], "devices sorted");
+        let solo = groups.iter().find(|g| g.devices == vec![1]).unwrap();
+        assert_eq!(solo.mapped_pages, 1);
+        assert_eq!(solo.deferred_pending, 1, "deferred unmap still pending");
+    }
+
+    #[test]
+    fn posture_distinguishes_strict_from_deferred() {
+        for (mode, inval, grade_expected) in [
+            (InvalidationMode::Strict, "strict", "hardened"),
+            (InvalidationMode::Deferred, "deferred", "exposed"),
+        ] {
+            let (_ctx, _phys, mut iommu) = setup(mode);
+            iommu.attach_device(1);
+            let r = iommu.posture("unit", PAGE_SIZE, None);
+            assert_eq!(r.invalidation, inval);
+            assert_eq!(r.grade, grade_expected, "mode {inval}");
+            if inval == "deferred" {
+                assert!(r.flush_period > 0);
+                let f = &r.findings[0];
+                assert_eq!(f.code, "stale-translation-window");
+                assert!(f.detail.contains("5.2.1"));
+            } else {
+                assert_eq!(r.flush_period, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn posture_reflects_observed_stale_windows_and_shared_domains() {
+        let (mut ctx, mut phys, mut iommu) = setup(InvalidationMode::Deferred);
+        iommu.attach_device(1);
+        iommu.attach_device_shared(2, 1).unwrap();
+        let iova = iommu.alloc_iova(&mut ctx, 1, 1).unwrap();
+        iommu.map_page(1, iova, Pfn(5), AccessRight::Write).unwrap();
+        iommu.dev_write(&mut ctx, &mut phys, 1, iova, b"x").unwrap();
+        iommu.unmap_range(&mut ctx, 1, iova, 1).unwrap();
+        // Stale IOTLB entry still serves the device until the flush.
+        iommu.dev_write(&mut ctx, &mut phys, 1, iova, b"y").unwrap();
+        ctx.clock.advance(iommu.config.flush_period);
+        iommu.tick(&mut ctx);
+        let hist = ctx
+            .metrics
+            .histogram("sim_iommu.stale_window.cycles")
+            .cloned()
+            .expect("flush observed the window");
+        let r = iommu.posture("rig", 2048, Some(&hist));
+        assert_eq!(r.grade, "exposed");
+        let codes: Vec<&str> = r.findings.iter().map(|f| f.code).collect();
+        assert!(codes.contains(&"stale-translation-window"));
+        assert!(codes.contains(&"stale-hits-observed"));
+        assert!(codes.contains(&"shared-domain"));
+        assert!(codes.contains(&"subpage-sharing"));
+        let w = r.stale_window.expect("window stats present");
+        assert!(w.count >= 1 && w.max_cycles > 0);
+        // Deterministic rendering.
+        assert_eq!(
+            r.to_json(),
+            iommu.posture("rig", 2048, Some(&hist)).to_json()
         );
     }
 }

@@ -10,8 +10,11 @@
 //!                [--window i|ii|iii] [--seed N]
 //! dma-lab surveil [--seed N]              §5.5 arbitrary-page read
 //! dma-lab stats [--seed N] [--json]       metrics snapshot of one run
+//! dma-lab stats --diff A.json B.json      per-metric delta of two dumps
 //! dma-lab trace --spans [--seed N]        span-scoped cycle timeline
 //! dma-lab trace --chrome OUT.json         Perfetto/Chrome trace export
+//! dma-lab serve [--seed N] [--iters N] [--port P] [--script FILE]
+//!               live line-JSON campaign telemetry over TCP
 //! dma-lab fuzz [--seed N] [--iters N] [--corpus-dir D] [--json]
 //!              [--checkpoint-every N] [--checkpoint-dir D] [--resume D]
 //!              [--watchdog-budget CYCLES] [--plant-panic K] [--plant-hang K]
@@ -136,6 +139,7 @@ fn main() {
         "trace" => cmd_trace(&args),
         "fuzz" => cmd_fuzz(&args),
         "forensics" => cmd_forensics(&args),
+        "serve" => cmd_serve(&args),
         "help" | "--help" | "-h" => {
             print!("{HELP}");
             0
@@ -164,7 +168,11 @@ USAGE:
     dma-lab dkasan [--rounds N] [--seed N] [--faults SEED] [--json]
     dma-lab chaos [--seed N] [--runs N] [--json]
     dma-lab stats [--seed N] [--rounds N] [--faults SEED] [--json]
+                  [--checkpoint-dir DIR]
+    dma-lab stats --diff OLD.json NEW.json [--json]
     dma-lab trace --spans [--seed N] [--rounds N] [--json] [--chrome OUT.json]
+    dma-lab serve [--seed N] [--iters N] [--port P] [--script FILE]
+                  [--transcript OUT] [--checkpoint-dir DIR] [--checkpoint-every N]
     dma-lab fuzz [--seed N] [--iters N] [--corpus-dir DIR] [--json]
                  [--checkpoint-every N] [--checkpoint-dir DIR] [--resume DIR]
                  [--watchdog-budget CYCLES] [--plant-panic K] [--plant-hang K]
@@ -422,12 +430,99 @@ macro_rules! obs_config_or_usage {
 }
 
 fn cmd_stats(args: &Args) -> i32 {
+    // `--diff OLD.json NEW.json` is a pure file mode: no simulated run,
+    // just the per-metric delta of two dumps written by `stats --json`
+    // (or fetched from a `serve` stats frame). Exit 1 when any counter
+    // regressed — counters are monotone in a live registry, so a drop
+    // between dumps always marks a suspect trajectory.
+    if args.bool_flag("diff") {
+        let old_path = match args.str_flag("diff") {
+            Some(p) if !p.is_empty() => p,
+            _ => {
+                eprintln!("--diff wants two metric dump paths\n{HELP}");
+                return 2;
+            }
+        };
+        let Some(new_path) = args.positional.first() else {
+            eprintln!("--diff wants a second (newer) dump path\n{HELP}");
+            return 2;
+        };
+        let load = |path: &str| -> Result<dma_lab::dma_core::Snapshot, String> {
+            let doc =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            dma_lab::dma_core::Snapshot::from_json(&doc)
+                .ok_or_else(|| format!("{path} is not a metrics dump"))
+        };
+        let (old, new) = match (load(old_path), load(new_path)) {
+            (Ok(o), Ok(n)) => (o, n),
+            (Err(e), _) | (_, Err(e)) => {
+                eprintln!("{e}");
+                return 1;
+            }
+        };
+        let delta = new.diff(&old);
+        if args.bool_flag("json") {
+            println!("{}", delta.to_json());
+        } else {
+            print!("{}", delta.render_text());
+        }
+        return i32::from(!delta.regressed_counters().is_empty());
+    }
+    // `--checkpoint-dir DIR` folds the newest campaign checkpoint
+    // generation into the report, so long campaigns can audit silent
+    // loss (trace.dropped) and checkpoint age from one command.
+    let checkpoint = match args.str_flag("checkpoint-dir") {
+        None => None,
+        Some("") => {
+            eprintln!("--checkpoint-dir wants a path\n{HELP}");
+            return 2;
+        }
+        Some(dir) => {
+            use dma_lab::dma_core::CheckpointStore;
+            let loaded = CheckpointStore::open(dir).and_then(|mut s| s.load());
+            match loaded {
+                Ok(Some(c)) => {
+                    let next_iter = c.payload.u64_field("next_iter").unwrap_or(0);
+                    Some((c.sequence, next_iter))
+                }
+                Ok(None) => {
+                    eprintln!("no valid checkpoint generation under {dir}");
+                    return 1;
+                }
+                Err(e) => {
+                    eprintln!("cannot open checkpoint dir {dir}: {e}");
+                    return 1;
+                }
+            }
+        }
+    };
     match run_observed(obs_config_or_usage!(args)) {
         Ok(r) => {
             if args.bool_flag("json") {
-                println!("{}", r.snapshot.to_json());
+                match checkpoint {
+                    // The bare shape is unchanged so existing pipelines
+                    // keep parsing; the checkpoint wrapper only appears
+                    // when explicitly requested.
+                    None => println!("{}", r.snapshot.to_json()),
+                    Some((sequence, next_iter)) => {
+                        let mut w = JsonWriter::new();
+                        w.obj(|w| {
+                            w.field("snapshot", |w| w.raw(&r.snapshot.to_json()));
+                            w.field("checkpoint", |w| {
+                                w.obj(|w| {
+                                    w.field_u64("sequence", sequence);
+                                    w.field_u64("next_iter", next_iter);
+                                });
+                            });
+                        });
+                        println!("{}", w.finish());
+                    }
+                }
             } else {
                 print!("{}", r.snapshot.render_text());
+                if let Some((sequence, next_iter)) = checkpoint {
+                    println!("\ncheckpoint generation {sequence}  next_iter {next_iter}");
+                }
                 println!(
                     "\npackets {}  dropped {}  leaked_pages {}",
                     r.packets, r.dropped, r.leaked_pages
@@ -437,6 +532,105 @@ fn cmd_stats(args: &Args) -> i32 {
         }
         Err(e) => {
             eprintln!("stats run failed: {e}");
+            1
+        }
+    }
+}
+
+fn cmd_serve(args: &Args) -> i32 {
+    use dma_lab::fuzz::silence_quarantined_panics;
+    use dma_lab::serve::{run_scripted_session, ServeConfig, Server};
+    use std::path::PathBuf;
+    silence_quarantined_panics();
+    let seed = num_flag!(args, "seed", 7);
+    let iters = num_flag!(args, "iters", 10_000);
+    let port = num_flag!(args, "port", 0);
+    let checkpoint_every = num_flag!(args, "checkpoint-every", 0);
+    if iters == 0 {
+        eprintln!("--iters must be at least 1\n{HELP}");
+        return 2;
+    }
+    if port > u16::MAX as u64 {
+        eprintln!("--port must fit in 16 bits\n{HELP}");
+        return 2;
+    }
+    let checkpoint_dir = match args.str_flag("checkpoint-dir") {
+        Some("") => {
+            eprintln!("--checkpoint-dir wants a path\n{HELP}");
+            return 2;
+        }
+        other => other.map(PathBuf::from),
+    };
+    if checkpoint_every > 0 && checkpoint_dir.is_none() {
+        eprintln!("--checkpoint-every needs --checkpoint-dir\n{HELP}");
+        return 2;
+    }
+    let cfg = ServeConfig {
+        seed,
+        iters,
+        checkpoint_dir,
+        checkpoint_every,
+    };
+    if let Some(script_path) = args.str_flag("script") {
+        if script_path.is_empty() {
+            eprintln!("--script wants a path\n{HELP}");
+            return 2;
+        }
+        let script = match std::fs::read_to_string(script_path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot read {script_path}: {e}");
+                return 1;
+            }
+        };
+        let transcript = match run_scripted_session(cfg, &script) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("scripted session failed: {e}");
+                return 1;
+            }
+        };
+        match args.str_flag("transcript") {
+            Some(out) if !out.is_empty() => {
+                if let Err(e) = std::fs::write(out, &transcript) {
+                    eprintln!("cannot write {out}: {e}");
+                    return 1;
+                }
+                eprintln!(
+                    "wrote {out}: {} frames ({} bytes)",
+                    transcript.lines().count(),
+                    transcript.len()
+                );
+            }
+            _ => print!("{transcript}"),
+        }
+        return 0;
+    }
+    let server = match Server::new(cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("campaign setup failed: {e}");
+            return 1;
+        }
+    };
+    let listener = match std::net::TcpListener::bind(("127.0.0.1", port as u16)) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("cannot bind 127.0.0.1:{port}: {e}");
+            return 1;
+        }
+    };
+    match listener.local_addr() {
+        Ok(addr) => eprintln!("listening on {addr} (seed {seed}, {iters} iters)"),
+        Err(e) => {
+            eprintln!("cannot resolve bound address: {e}");
+            return 1;
+        }
+    }
+    match server.serve(listener, None) {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("serve loop failed: {e}");
             1
         }
     }

@@ -27,6 +27,9 @@
 //!   sub-page limits, KARL, CET) as executable ablations.
 //! - [`obs`] — the observability workload: one deterministic run with
 //!   every metric source lit, behind `dma-lab stats`/`dma-lab trace`.
+//! - [`serve`] — live campaign telemetry: the line-JSON-over-TCP
+//!   service behind `dma-lab serve` (streaming findings, metric
+//!   deltas, the IOMMU posture audit, Perfetto export).
 //!
 //! ## Quickstart
 //!
@@ -40,6 +43,7 @@
 //! ```
 
 pub mod obs;
+pub mod serve;
 
 pub use attacks;
 pub use defenses;

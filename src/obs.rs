@@ -179,6 +179,12 @@ pub fn run_observed(cfg: ObsConfig) -> Result<ObsReport> {
         "sim_iommu.iotlb.invalidation_cycles",
         tb.iommu.stats.invalidation_cycles,
     );
+    // FlightRecorder eviction accounting (0 under this run's unbounded
+    // trace, but always present so long campaigns can watch it move and
+    // detect silent event loss from `stats` output alone).
+    tb.ctx
+        .metrics
+        .restore_counter("trace.dropped", tb.ctx.trace.dropped());
 
     let timeline = tb.ctx.metrics.span_timeline().to_vec();
     let snapshot = tb.ctx.metrics_snapshot();

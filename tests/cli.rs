@@ -32,6 +32,7 @@ fn help_lists_all_subcommands() {
         "trace",
         "fuzz",
         "forensics",
+        "serve",
     ] {
         assert!(out.contains(cmd), "help missing {cmd}:\n{out}");
     }
@@ -331,6 +332,10 @@ fn hardened_arg_parsing_rejects_malformed_numbers_everywhere() {
         &["dkasan", "--rounds", "1e3"][..],
         &["survey", "--boots", "-4"][..],
         &["dump", "--frames", "two"][..],
+        &["serve", "--iters", "0"][..],
+        &["serve", "--port", "70000"][..],
+        &["serve", "--checkpoint-every", "2"][..], // no dir
+        &["stats", "--diff"][..],                  // no dump paths
     ] {
         let out = Command::new(env!("CARGO_BIN_EXE_dma-lab"))
             .args(args)
@@ -344,6 +349,83 @@ fn hardened_arg_parsing_rejects_malformed_numbers_everywhere() {
         let err = String::from_utf8_lossy(&out.stderr);
         assert!(err.contains("USAGE"), "help on stderr for {args:?}: {err}");
     }
+}
+
+#[test]
+fn serve_scripted_sessions_are_byte_identical_across_runs() {
+    let dir = std::env::temp_dir().join(format!("dma-lab-cli-serve-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let script = dir.join("session.jsonl");
+    std::fs::write(
+        &script,
+        "{\"req\":\"hello\"}\n{\"req\":\"step\",\"n\":32}\n{\"req\":\"stats\"}\n\
+         {\"req\":\"posture\"}\n{\"req\":\"shutdown\"}\n",
+    )
+    .unwrap();
+
+    let session = || {
+        let (code, out) = run(&["serve", "--seed", "7", "--script", script.to_str().unwrap()]);
+        assert_eq!(code, 0);
+        out
+    };
+    let a = session();
+    let b = session();
+    assert_eq!(
+        a, b,
+        "two seeded scripted sessions must match byte-for-byte"
+    );
+    assert!(a.contains("\"frame\":\"hello\""), "{a}");
+    assert!(a.contains("\"frame\":\"finding\""), "{a}");
+    assert!(a.contains("\"frame\":\"posture\""), "{a}");
+    assert!(a.contains("stale-translation-window"), "{a}");
+    assert!(a.contains("\"frame\":\"bye\""), "{a}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn stats_diff_exits_one_only_on_counter_regressions() {
+    let dir = std::env::temp_dir().join(format!("dma-lab-cli-diff-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let old = dir.join("old.json");
+    let new = dir.join("new.json");
+    let dump = |rounds: &str, path: &std::path::Path| {
+        let (code, out) = run(&["stats", "--json", "--seed", "7", "--rounds", rounds]);
+        assert_eq!(code, 0);
+        std::fs::write(path, out).unwrap();
+    };
+    dump("40", &old);
+    dump("80", &new);
+
+    // Forward diff: counters only grew, exit 0 and report deltas.
+    let (code, out) = run(&[
+        "stats",
+        "--diff",
+        old.to_str().unwrap(),
+        new.to_str().unwrap(),
+    ]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("delta") || out.contains("+"), "{out}");
+    assert!(!out.contains("REGRESSED"), "{out}");
+
+    // Reversed: every counter drops, exit 1 and name the regression.
+    let (code, out) = run(&[
+        "stats",
+        "--diff",
+        new.to_str().unwrap(),
+        old.to_str().unwrap(),
+    ]);
+    assert_eq!(code, 1, "{out}");
+    assert!(out.contains("REGRESSED"), "{out}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn stats_output_exposes_trace_dropped() {
+    let (code, out) = run(&["stats", "--json", "--rounds", "30"]);
+    assert_eq!(code, 0);
+    assert!(out.contains("\"trace.dropped\""), "{out}");
 }
 
 #[test]

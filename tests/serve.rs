@@ -1,0 +1,203 @@
+//! Integration tests for `dma-lab serve`: the determinism contract the
+//! telemetry service ships on (same seed + same script ⇒ byte-identical
+//! transcript, over TCP and in memory), the posture audit's
+//! strict-vs-deferred verdicts, line-JSON framing edges, and the
+//! snapshot round-trip `stats --diff` depends on.
+
+use dma_lab::dma_core::Snapshot;
+use dma_lab::serve::{
+    run_scripted_session, ConnState, Flow, ServeConfig, Server, END_MARKER, MAX_LINE,
+};
+
+/// The pinned campaign every surface shares (CI smoke, README, tests).
+const SEED: u64 = 7;
+
+/// The session script CI replays twice and `cmp`s.
+const SCRIPT: &str = "\
+{\"req\":\"hello\"}
+{\"req\":\"step\",\"n\":32}
+{\"req\":\"stats\"}
+{\"req\":\"watch\",\"findings\":2}
+{\"req\":\"stats\",\"mode\":\"delta\"}
+{\"req\":\"health\"}
+{\"req\":\"posture\"}
+{\"req\":\"shutdown\"}
+";
+
+fn transcript(seed: u64) -> String {
+    let mut server = Server::new(ServeConfig::new(seed, 10_000)).expect("server");
+    server.run_script(SCRIPT)
+}
+
+#[test]
+fn two_seeded_runs_yield_byte_identical_transcripts() {
+    let a = transcript(SEED);
+    let b = transcript(SEED);
+    assert_eq!(a, b, "same seed + same script must replay byte-for-byte");
+    assert_ne!(a, transcript(SEED + 1), "a different seed must diverge");
+    // Every frame is one line of valid single-line JSON, and every
+    // request's final frame carries the end marker as its last field.
+    for line in a.lines() {
+        assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        assert!(!line.contains('\n'));
+    }
+    assert!(a.lines().any(|l| l.ends_with(END_MARKER)));
+}
+
+#[test]
+fn tcp_transcript_matches_the_in_memory_replay() {
+    let over_tcp = run_scripted_session(ServeConfig::new(SEED, 10_000), SCRIPT).expect("session");
+    assert_eq!(
+        over_tcp,
+        transcript(SEED),
+        "the socket layer must add nothing to the frame stream"
+    );
+}
+
+#[test]
+fn streamed_findings_carry_taxonomy_classes_the_iteration_they_land() {
+    let t = transcript(SEED);
+    let findings: Vec<&str> = t
+        .lines()
+        .filter(|l| l.contains("\"frame\":\"finding\""))
+        .collect();
+    assert!(!findings.is_empty(), "pinned campaign finds nothing?\n{t}");
+    for f in &findings {
+        assert!(
+            f.contains("\"id\":\"dk-") || f.contains("\"id\":\"dq-"),
+            "{f}"
+        );
+        assert!(f.contains("\"taxonomy\":"), "{f}");
+        assert!(f.contains("\"class\":"), "{f}");
+        assert!(f.contains("\"iteration\":"), "{f}");
+    }
+}
+
+#[test]
+fn posture_sweep_distinguishes_strict_from_deferred_and_flags_the_window() {
+    let t = transcript(SEED);
+    let postures: Vec<&str> = t
+        .lines()
+        .filter(|l| l.contains("\"frame\":\"posture\""))
+        .collect();
+    assert_eq!(postures.len(), 4, "one frame per machine config:\n{t}");
+    let deferred: Vec<&&str> = postures
+        .iter()
+        .filter(|l| l.contains("\"invalidation\":\"deferred\""))
+        .collect();
+    let strict: Vec<&&str> = postures
+        .iter()
+        .filter(|l| l.contains("\"invalidation\":\"strict\""))
+        .collect();
+    assert!(!deferred.is_empty() && !strict.is_empty());
+    // Every deferred config is exposed to the §5.2.1 stale-translation
+    // window; no strict config may carry that finding.
+    for l in &deferred {
+        assert!(l.contains("stale-translation-window"), "{l}");
+        assert!(l.contains("5.2.1"), "{l}");
+        assert!(l.contains("\"grade\":\"exposed\""), "{l}");
+    }
+    for l in &strict {
+        assert!(!l.contains("stale-translation-window"), "{l}");
+    }
+    // The page-per-buffer strict config has no sub-page sharing either:
+    // the sweep must contain at least one fully hardened posture.
+    assert!(
+        strict.iter().any(|l| l.contains("\"grade\":\"hardened\"")),
+        "{t}"
+    );
+}
+
+#[test]
+fn framing_edges_answer_errors_without_panicking() {
+    let mut server = Server::new(ServeConfig::new(SEED, 100)).expect("server");
+    let mut conn = ConnState::default();
+    let mut out = Vec::new();
+
+    // Unknown request type: one error frame, connection stays open.
+    let flow = server.handle_line(r#"{"req":"frobnicate"}"#, &mut conn, &mut out);
+    assert!(matches!(flow, Flow::Continue));
+    assert_eq!(out.len(), 1);
+    assert!(out[0].contains("\"frame\":\"error\""), "{}", out[0]);
+    assert!(out[0].ends_with(END_MARKER), "{}", out[0]);
+
+    // Malformed JSON and a non-object line: same contract.
+    for bad in [r#"{"req":"#, r#"[1,2,3]"#, "not json at all"] {
+        out.clear();
+        let flow = server.handle_line(bad, &mut conn, &mut out);
+        assert!(matches!(flow, Flow::Continue), "{bad}");
+        assert!(
+            out[0].contains("\"frame\":\"error\""),
+            "{bad} -> {}",
+            out[0]
+        );
+    }
+
+    // An oversized request line answers an error and closes the
+    // connection instead of buffering without bound.
+    out.clear();
+    let huge = format!("{{\"req\":\"{}\"}}", "x".repeat(MAX_LINE));
+    let flow = server.handle_line(&huge, &mut conn, &mut out);
+    assert!(matches!(flow, Flow::CloseConn));
+    assert!(out[0].contains("\"frame\":\"error\""), "{}", out[0]);
+
+    // The server is still usable afterwards on a fresh connection.
+    let mut conn = ConnState::default();
+    out.clear();
+    let flow = server.handle_line(r#"{"req":"hello"}"#, &mut conn, &mut out);
+    assert!(matches!(flow, Flow::Continue));
+    assert!(out[0].contains("\"frame\":\"hello\""), "{}", out[0]);
+}
+
+#[test]
+fn partial_frame_then_disconnect_leaves_the_server_serving() {
+    use std::io::Write;
+    use std::net::{TcpListener, TcpStream};
+
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let server = Server::new(ServeConfig::new(SEED, 100)).expect("server");
+    let handle = std::thread::spawn(move || server.serve(listener, Some(2)));
+
+    // First client sends half a frame and vanishes.
+    {
+        let mut c = TcpStream::connect(addr).expect("connect");
+        c.write_all(b"{\"req\":\"hel").expect("write");
+    }
+    // Second client gets a full, normal session.
+    {
+        use std::io::{BufRead, BufReader};
+        let mut c = TcpStream::connect(addr).expect("connect");
+        c.write_all(b"{\"req\":\"hello\"}\n{\"req\":\"shutdown\"}\n")
+            .expect("write");
+        let mut lines = Vec::new();
+        for line in BufReader::new(c).lines() {
+            lines.push(line.expect("frame"));
+        }
+        assert!(lines[0].contains("\"frame\":\"hello\""), "{lines:?}");
+        assert!(lines.iter().any(|l| l.contains("\"frame\":\"bye\"")));
+    }
+    handle.join().expect("serve thread").expect("serve io");
+}
+
+#[test]
+fn stats_frames_round_trip_through_the_snapshot_parser() {
+    let mut server = Server::new(ServeConfig::new(SEED, 10_000)).expect("server");
+    let t = server
+        .run_script("{\"req\":\"step\",\"n\":24}\n{\"req\":\"stats\"}\n{\"req\":\"shutdown\"}\n");
+    let stats = t
+        .lines()
+        .find(|l| l.contains("\"frame\":\"stats\""))
+        .expect("stats frame");
+    // The embedded snapshot is exactly what the snapshot parser
+    // accepts — the contract `dma-lab stats --diff` is built on.
+    let frame = dma_lab::dma_core::jsonr::parse(stats).expect("frame parses");
+    let snap = Snapshot::from_jvalue(frame.get("snapshot").expect("snapshot field"))
+        .expect("snapshot parses from the frame");
+    assert!(!snap.is_empty());
+    assert_eq!(
+        snap.diff(&snap).regressed_counters().len(),
+        0,
+        "self-diff regresses nothing"
+    );
+}
