@@ -4,7 +4,7 @@
 //! observability stack, not a section of it).
 
 use criterion::{criterion_group, Criterion};
-use fuzz::{execute, run_fuzz, FuzzConfig, FuzzInput};
+use fuzz::{execute, run_fuzz, ExecContext, FuzzConfig, FuzzInput};
 
 /// The pinned campaign every surface shares (CI smoke, README, tests):
 /// seed 7 for 96 iterations rediscovers all four Figure-1 classes.
@@ -18,6 +18,21 @@ fn bench_execute(c: &mut Criterion) {
     g.throughput(criterion::Throughput::Elements(1));
     g.bench_function("execute_one_input", |b| {
         b.iter(|| std::hint::black_box(execute(&input).unwrap().signature))
+    });
+    g.finish();
+}
+
+fn bench_execute_warm(c: &mut Criterion) {
+    let input = FuzzInput::generate(SEED, 0);
+    let mut cx = ExecContext::new();
+    // Prime the boot template outside the timed region so the rows
+    // compare steady-state warm execs against cold boot-per-exec ones.
+    cx.execute(&input).expect("prime exec context");
+    let mut g = c.benchmark_group("fuzz");
+    g.sample_size(20);
+    g.throughput(criterion::Throughput::Elements(1));
+    g.bench_function("execute_one_input_warm", |b| {
+        b.iter(|| std::hint::black_box(cx.execute(&input).unwrap().signature))
     });
     g.finish();
 }
@@ -42,7 +57,7 @@ fn bench_campaign(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_execute, bench_campaign);
+criterion_group!(benches, bench_execute, bench_execute_warm, bench_campaign);
 
 fn main() {
     let mut c = benches();

@@ -58,6 +58,48 @@ pub fn serve_report_path() -> PathBuf {
     repo_root().join("BENCH_serve.json")
 }
 
+/// Path of the standalone sharded-throughput report `scale_bench`
+/// writes.
+pub fn scale_report_path() -> PathBuf {
+    repo_root().join("BENCH_scale.json")
+}
+
+/// Writes `BENCH_scale.json`: the deterministic half carries the
+/// thread-identity verdict and per-shard-count campaign facts, `scale`
+/// carries the derived execs/sec and sim-cycles/sec rows at 1/2/4/8
+/// shards plus merge cost, and the timing half holds the raw shim rows.
+/// The headline `speedup_8_shards_vs_cold_x` compares the 8-shard warm
+/// engine against the cold boot-per-exec path the engine used before
+/// template caching. Returns the report path.
+pub fn emit_scale_report(
+    deterministic_json: &str,
+    scale_json: &str,
+    timing: &[BenchResult],
+) -> std::io::Result<PathBuf> {
+    let mut w = JsonWriter::new();
+    w.obj(|w| {
+        w.field_str("report", "scale");
+        w.field("deterministic", |w| w.raw(deterministic_json));
+        w.field("scale", |w| w.raw(scale_json));
+        w.field("timing", |w| render_results(w, timing));
+        // Warm sharded engine vs the cold boot-per-exec baseline: the
+        // number the "scaling a campaign is worth it" claim rests on.
+        let ns = |id: &str| {
+            timing
+                .iter()
+                .find(|r| r.id == id)
+                .map(|r| r.ns_per_iter)
+                .filter(|&n| n > 0)
+        };
+        if let (Some(cold), Some(warm)) = (ns("exec_cold"), ns("shards_8")) {
+            w.field_f64("speedup_8_shards_vs_cold_x", cold as f64 / warm as f64);
+        }
+    });
+    let path = scale_report_path();
+    std::fs::write(&path, w.finish())?;
+    Ok(path)
+}
+
 /// Writes `BENCH_serve.json`: the deterministic half carries the
 /// scripted-session transcript verdict (two seeded runs, byte-identity)
 /// and the snapshot-vs-delta frame sizes from which `delta_ratio` is
@@ -193,12 +235,24 @@ pub fn emit_fuzz_report(
             });
         });
         w.field("timing", |w| render_results(w, timing));
-        // Wall-clock execs/sec from the per-exec timing row, when the
-        // shim produced one.
-        if let Some(r) = timing.iter().find(|r| r.id == "execute_one_input") {
-            if r.ns_per_iter > 0 {
-                w.field_f64("execs_per_sec", 1e9 / r.ns_per_iter as f64);
-            }
+        // Wall-clock execs/sec from the per-exec timing rows, when the
+        // shim produced them; `warm_exec_speedup_x` pins the gain from
+        // reusing boot templates and scratch buffers across execs.
+        let ns = |id: &str| {
+            timing
+                .iter()
+                .find(|r| r.id == id)
+                .map(|r| r.ns_per_iter)
+                .filter(|&n| n > 0)
+        };
+        if let Some(cold) = ns("execute_one_input") {
+            w.field_f64("execs_per_sec", 1e9 / cold as f64);
+        }
+        if let Some(warm) = ns("execute_one_input_warm") {
+            w.field_f64("warm_execs_per_sec", 1e9 / warm as f64);
+        }
+        if let (Some(cold), Some(warm)) = (ns("execute_one_input"), ns("execute_one_input_warm")) {
+            w.field_f64("warm_exec_speedup_x", cold as f64 / warm as f64);
         }
     });
     let path = fuzz_report_path();

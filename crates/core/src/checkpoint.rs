@@ -286,6 +286,55 @@ impl CheckpointStore {
     }
 }
 
+// ----------------------------------------------------------------------
+// Sharded campaigns: one A/B store per shard under a common root.
+// ----------------------------------------------------------------------
+
+/// Name of the checkpoint subdirectory owned by shard `shard_id`.
+pub fn shard_dir_name(shard_id: u32) -> String {
+    format!("shard-{shard_id:04}")
+}
+
+/// Root of shard `shard_id`'s own A/B store under campaign root `base`.
+/// Each shard checkpoints independently (its own generation pair, its
+/// own sequence numbers); the campaign-level view is the generation
+/// vector returned by [`shard_generations`].
+pub fn shard_dir(base: &Path, shard_id: u32) -> PathBuf {
+    base.join(shard_dir_name(shard_id))
+}
+
+/// Scans `base` for per-shard stores and returns the generation vector:
+/// `(shard_id, newest_valid_sequence)` for every `shard-NNNN/`
+/// subdirectory, sorted by shard id. A shard directory with no valid
+/// generation reports sequence 0 — visible in `serve`'s health frame as
+/// a shard that has not reached its first checkpoint yet.
+pub fn shard_generations(base: &Path) -> Vec<(u32, u64)> {
+    let mut out = Vec::new();
+    let Ok(entries) = fs::read_dir(base) else {
+        return out;
+    };
+    for e in entries.flatten() {
+        let name = e.file_name();
+        let Some(id) = name
+            .to_str()
+            .and_then(|n| n.strip_prefix("shard-"))
+            .and_then(|n| n.parse::<u32>().ok())
+        else {
+            continue;
+        };
+        let newest = SLOT_FILES
+            .iter()
+            .filter_map(|f| fs::read_to_string(e.path().join(f)).ok())
+            .filter_map(|body| validate_envelope(&body))
+            .map(|l| l.sequence)
+            .max()
+            .unwrap_or(0);
+        out.push((id, newest));
+    }
+    out.sort_unstable();
+    out
+}
+
 /// Validates a checkpoint envelope: magic, version, checksum over the
 /// exact payload byte range, and well-formed JSON. Returns `None` on
 /// any mismatch (the caller treats the generation as corrupt).
@@ -685,6 +734,30 @@ mod tests {
         assert_eq!(loaded.sequence, 3);
         assert_eq!(loaded.payload.u64_field("n"), Some(3));
         assert_eq!(store.recovered(), 0);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn shard_generation_vector_scans_per_shard_stores() {
+        let dir = tmp_dir("shards");
+        // Shards 0 and 2 have checkpoints (different depths), shard 1
+        // has a directory but no valid generation yet.
+        let mut s0 = CheckpointStore::open(shard_dir(&dir, 0)).unwrap();
+        s0.save("{\"n\":1}").unwrap();
+        fs::create_dir_all(shard_dir(&dir, 1)).unwrap();
+        let mut s2 = CheckpointStore::open(shard_dir(&dir, 2)).unwrap();
+        s2.save("{\"n\":1}").unwrap();
+        s2.save("{\"n\":2}").unwrap();
+        // Unrelated files are ignored.
+        fs::write(dir.join("notes.txt"), "x").unwrap();
+        assert_eq!(shard_generations(&dir), [(0, 1), (1, 0), (2, 2)]);
+        // Corrupting shard 2's newest generation drops it to the
+        // surviving one — the vector reads through the A/B fallback.
+        let newest = shard_dir(&dir, 2).join(SLOT_FILES[1]);
+        let body = fs::read_to_string(&newest).unwrap();
+        fs::write(&newest, &body[..body.len() / 2]).unwrap();
+        assert_eq!(shard_generations(&dir), [(0, 1), (1, 0), (2, 1)]);
+        assert!(shard_generations(&dir.join("missing")).is_empty());
         fs::remove_dir_all(&dir).ok();
     }
 

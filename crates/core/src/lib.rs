@@ -81,6 +81,6 @@ pub use metrics::{Metrics, Snapshot, SnapshotDelta, SpanToken};
 pub use posture::{GroupPosture, PostureFinding, PostureReport, Severity, StaleWindowStats};
 pub use provenance::{EdgeKind, ProvenanceGraph};
 pub use recorder::FlightRecorder;
-pub use rng::DetRng;
+pub use rng::{shard_seed, DetRng};
 pub use trace::{Event, SimCtx, Trace};
 pub use vuln::{AccessRight, AttackOutcome, SubPageVulnerability, VulnerabilityAttributes};

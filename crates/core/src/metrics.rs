@@ -670,6 +670,21 @@ impl Snapshot {
                 ));
             }
         }
+        fn absent<T>(new: &[(String, T)], old: &[(String, T)], missing: &mut Vec<String>) {
+            for (k, _) in old {
+                if !new.iter().any(|(nk, _)| nk == k) {
+                    missing.push(k.clone());
+                }
+            }
+        }
+        let mut missing = Vec::new();
+        absent(&self.counters, &prev.counters, &mut missing);
+        absent(&self.gauges, &prev.gauges, &mut missing);
+        absent(&self.hists, &prev.hists, &mut missing);
+        absent(&self.spans, &prev.spans, &mut missing);
+        missing.sort_unstable();
+        missing.dedup();
+
         SnapshotDelta {
             from: prev.at,
             at: self.at,
@@ -677,8 +692,64 @@ impl Snapshot {
             gauges,
             hists,
             spans,
+            missing,
             timeline_dropped_delta: self.timeline_dropped as i64 - prev.timeline_dropped as i64,
         }
+    }
+
+    /// Folds `other` into `self` — the deterministic shard-merge
+    /// operation behind `ShardedCampaign`.
+    ///
+    /// Counters, histogram buckets/counts/sums, span counts/cycles, the
+    /// cycle stamp, and `timeline_dropped` add; histogram/span maxima
+    /// take the maximum. Gauges aggregate as if the shards were one
+    /// machine observed together: values and set counts add, watermarks
+    /// take the min-of-mins / max-of-maxes. Tables stay sorted by name,
+    /// so merging the same snapshots in the same order is byte-stable —
+    /// and because each input is itself deterministic, the fold is too.
+    pub fn merge(&mut self, other: &Snapshot) {
+        fn fold<T: Clone>(
+            dst: &mut Vec<(String, T)>,
+            src: &[(String, T)],
+            combine: impl Fn(&mut T, &T),
+        ) {
+            let mut map: BTreeMap<String, T> = dst.drain(..).collect();
+            for (k, v) in src {
+                match map.get_mut(k) {
+                    Some(d) => combine(d, v),
+                    None => {
+                        map.insert(k.clone(), v.clone());
+                    }
+                }
+            }
+            *dst = map.into_iter().collect();
+        }
+        self.at += other.at;
+        fold(&mut self.counters, &other.counters, |d, s| *d += *s);
+        fold(&mut self.gauges, &other.gauges, |d, s| {
+            if d.sets == 0 {
+                *d = *s;
+            } else if s.sets > 0 {
+                d.value += s.value;
+                d.min = d.min.min(s.min);
+                d.max = d.max.max(s.max);
+                d.sets += s.sets;
+            }
+        });
+        fold(&mut self.hists, &other.hists, |d, s| {
+            for (db, sb) in d.buckets.iter_mut().zip(s.buckets.iter()) {
+                *db += sb;
+            }
+            d.count += s.count;
+            d.sum += s.sum;
+            d.max = d.max.max(s.max);
+        });
+        fold(&mut self.spans, &other.spans, |d, s| {
+            d.count += s.count;
+            d.total_cycles += s.total_cycles;
+            d.max_cycles = d.max_cycles.max(s.max_cycles);
+        });
+        self.timeline_dropped += other.timeline_dropped;
     }
 }
 
@@ -725,6 +796,12 @@ pub struct SnapshotDelta {
     pub hists: Vec<(String, HistDelta)>,
     /// Changed span aggregates.
     pub spans: Vec<(String, SpanDelta)>,
+    /// Metrics present in the previous snapshot but absent from the new
+    /// one — any table, sorted. A live registry never loses a metric
+    /// (registries only grow), so across two dumps a vanished metric is
+    /// as suspect as a counter going backwards; a zero-valued counter
+    /// that disappears would otherwise be invisible (no value moved).
+    pub missing: Vec<String>,
     /// Change in dropped timeline records.
     pub timeline_dropped_delta: i64,
 }
@@ -737,7 +814,7 @@ impl SnapshotDelta {
 
     /// `true` when nothing moved between the two snapshots.
     pub fn is_empty(&self) -> bool {
-        self.changed() == 0 && self.timeline_dropped_delta == 0
+        self.changed() == 0 && self.missing.is_empty() && self.timeline_dropped_delta == 0
     }
 
     /// Counters that went *backwards* — impossible for one live
@@ -751,6 +828,14 @@ impl SnapshotDelta {
             .filter(|(_, _, d)| *d < 0)
             .map(|(k, _, _)| k.as_str())
             .collect()
+    }
+
+    /// `true` when the delta shows a regression: a counter went
+    /// backwards *or* a metric vanished entirely. `stats --diff` gates
+    /// on this, so a shard-merge bug that drops a metric can't hide
+    /// behind "nothing changed".
+    pub fn has_regressions(&self) -> bool {
+        !self.missing.is_empty() || !self.regressed_counters().is_empty()
     }
 
     /// Deterministic JSON rendering (sorted keys, changed metrics only).
@@ -814,6 +899,13 @@ impl SnapshotDelta {
                     }
                 });
             });
+            w.field("missing", |w| {
+                w.arr(|w| {
+                    for k in &self.missing {
+                        w.elem(|w| w.str(k));
+                    }
+                });
+            });
             w.field_i64("timeline_dropped_delta", self.timeline_dropped_delta);
         });
         w.finish()
@@ -865,6 +957,9 @@ impl SnapshotDelta {
         let regressed = self.regressed_counters();
         if !regressed.is_empty() {
             let _ = writeln!(out, "\nREGRESSED counters: {}", regressed.join(", "));
+        }
+        if !self.missing.is_empty() {
+            let _ = writeln!(out, "\nMISSING metrics: {}", self.missing.join(", "));
         }
         out
     }
@@ -1084,6 +1179,73 @@ mod tests {
         assert!(d.counters.contains(&("gone".into(), 0, -9)));
         let txt = d.render_text();
         assert!(txt.contains("REGRESSED counters: gone"), "{txt}");
+    }
+
+    #[test]
+    fn diff_flags_vanished_metrics_even_at_value_zero() {
+        // A zero-valued counter and a histogram/span/gauge that vanish
+        // move no value, so the changed tables alone would miss them.
+        let mut m = Metrics::new();
+        m.add("zeroed", 0);
+        m.observe("lat", 5);
+        m.gauge_set("depth", 2);
+        let t = m.span_begin_at("phase", 0);
+        m.span_end_at(t, 9);
+        let old = m.snapshot(0);
+        let new = Metrics::new().snapshot(10);
+        let d = new.diff(&old);
+        assert!(d.has_regressions());
+        assert_eq!(d.missing, ["depth", "lat", "phase", "zeroed"]);
+        assert!(d.render_text().contains("MISSING metrics:"));
+        assert!(d.to_json().contains("\"missing\":[\"depth\""));
+        // And an unchanged pair reports none.
+        assert!(old.diff(&old).missing.is_empty());
+        assert!(!old.diff(&old).has_regressions());
+    }
+
+    #[test]
+    fn snapshot_merge_adds_deterministically() {
+        let shard = |seed: u64| {
+            let mut m = Metrics::new();
+            m.add("execs", seed);
+            m.observe("lat", seed * 3);
+            m.gauge_set("ring", seed);
+            let t = m.span_begin_at("poll", 0);
+            m.span_end_at(t, seed * 10);
+            m.snapshot(seed * 100)
+        };
+        let mut merged = shard(1);
+        merged.merge(&shard(2));
+        merged.merge(&shard(4));
+        assert_eq!(merged.at, 700);
+        assert_eq!(merged.counters, [("execs".to_string(), 7)]);
+        let h = &merged.hists[0].1;
+        assert_eq!((h.count, h.sum, h.max), (3, 21, 12));
+        let g = merged.gauges[0].1;
+        assert_eq!((g.value, g.min, g.max, g.sets), (7, 1, 4, 3));
+        let s = merged.spans[0].1;
+        assert_eq!((s.count, s.total_cycles, s.max_cycles), (3, 70, 40));
+        // Identity: merging one snapshot into an empty one is that
+        // snapshot with the tables untouched.
+        let mut one = Snapshot {
+            at: 0,
+            counters: vec![],
+            gauges: vec![],
+            hists: vec![],
+            spans: vec![],
+            timeline_dropped: 0,
+        };
+        one.merge(&shard(5));
+        assert_eq!(one, shard(5));
+        // Associative over this data: (a+b)+c == a+(b+c).
+        let mut left = shard(1);
+        left.merge(&shard(2));
+        left.merge(&shard(4));
+        let mut bc = shard(2);
+        bc.merge(&shard(4));
+        let mut right = shard(1);
+        right.merge(&bc);
+        assert_eq!(left, right);
     }
 
     #[test]

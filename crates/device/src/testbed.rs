@@ -64,6 +64,12 @@ impl From<MemConfigLite> for MemConfig {
 }
 
 /// The assembled machine.
+///
+/// `Clone` performs a deep copy of the whole machine — memory, IOMMU,
+/// rings, stack — which is what lets a fuzzing shard boot one template
+/// per machine config and stamp out per-exec copies instead of
+/// re-running the (far more expensive) boot sequence.
+#[derive(Clone)]
 pub struct Testbed {
     /// Simulation context (clock + trace).
     pub ctx: SimCtx,

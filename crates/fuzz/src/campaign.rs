@@ -32,7 +32,7 @@ use dma_core::{
     Result,
 };
 
-use crate::exec::{execute_with_budget, ExecStatus, FuzzFinding, DEFAULT_WATCHDOG_BUDGET};
+use crate::exec::{ExecContext, ExecStatus, FuzzFinding, DEFAULT_WATCHDOG_BUDGET};
 use crate::input::{FuzzInput, PLANT_HANG_BIT, PLANT_PANIC_BIT};
 use crate::report::{FuzzReport, SeriesPoint};
 use crate::snapshot;
@@ -299,6 +299,11 @@ pub struct Campaign {
     state: CampaignState,
     /// Transient event bus (see [`CampaignEvent`]); not checkpointed.
     bus: Vec<CampaignEvent>,
+    /// Warm execution context: cached boot templates plus per-exec
+    /// scratch buffers. Pure cache — never checkpointed, and warm
+    /// executions are outcome-identical to cold ones, so resume
+    /// byte-identity is unaffected.
+    exec_cx: ExecContext,
     /// Newest persisted checkpoint as `(sequence, at_iteration)` —
     /// the health-frame "checkpoint age" source.
     last_checkpoint: Option<(u64, u64)>,
@@ -318,6 +323,7 @@ impl Campaign {
             store,
             state,
             bus: Vec::new(),
+            exec_cx: ExecContext::new(),
             last_checkpoint: None,
         })
     }
@@ -337,6 +343,7 @@ impl Campaign {
             store: Some(store),
             state,
             bus: Vec::new(),
+            exec_cx: ExecContext::new(),
             last_checkpoint: None,
         })
     }
@@ -363,6 +370,7 @@ impl Campaign {
             store: Some(store),
             state,
             bus: Vec::new(),
+            exec_cx: ExecContext::new(),
             last_checkpoint,
         })
     }
@@ -453,8 +461,12 @@ impl Campaign {
         };
         let input = FuzzInput::generate(self.cfg.seed, gen_it);
         let budget = self.cfg.watchdog_budget;
+        // Warm execution: boot templates live outside the unwind scope
+        // and are only ever cloned, so a contained panic cannot poison
+        // them; the scratch buffers reset on next use.
+        let cx = &mut self.exec_cx;
         IN_GUARDED_EXEC.with(|f| f.set(true));
-        let guarded = catch_unwind(AssertUnwindSafe(|| execute_with_budget(&input, budget)));
+        let guarded = catch_unwind(AssertUnwindSafe(|| cx.execute_with_budget(&input, budget)));
         IN_GUARDED_EXEC.with(|f| f.set(false));
         match guarded {
             Err(payload) => {
@@ -505,7 +517,10 @@ impl Campaign {
         s.trace_dropped += out.trace_dropped;
 
         let bits_before = s.global.count_ones();
-        let extra = s.corpus.consider(input, out, &mut s.global)? as u64;
+        let extra = s
+            .corpus
+            .consider_with(Some(&mut self.exec_cx), input, out, &mut s.global)?
+            as u64;
         s.minimize_execs += extra;
         let bits_after = s.global.count_ones();
         if bits_after != bits_before {

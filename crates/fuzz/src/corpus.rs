@@ -14,7 +14,7 @@ use dma_core::{CoverageMap, Result};
 use std::collections::BTreeSet;
 use std::path::Path;
 
-use crate::exec::{config_name, execute, execute_with_forensics, ExecOutcome};
+use crate::exec::{config_name, execute, execute_with_forensics, ExecContext, ExecOutcome};
 use crate::input::FuzzInput;
 
 /// How many causal chains a corpus entry retains at most.
@@ -130,14 +130,31 @@ impl Corpus {
         outcome: &ExecOutcome,
         global: &mut CoverageMap,
     ) -> Result<usize> {
+        self.consider_with(None, input, outcome, global)
+    }
+
+    /// [`Corpus::consider`] with an optional warm [`ExecContext`]: the
+    /// minimizer's replays and the forensic annotation replay go through
+    /// the cached boot templates instead of booting per replay. Warm and
+    /// cold admissions are outcome-identical.
+    pub fn consider_with(
+        &mut self,
+        mut cx: Option<&mut ExecContext>,
+        input: &FuzzInput,
+        outcome: &ExecOutcome,
+        global: &mut CoverageMap,
+    ) -> Result<usize> {
         let new_bits = global.merge(&outcome.coverage);
         if new_bits == 0 || !self.signatures.insert(outcome.signature) {
             return Ok(0);
         }
-        let (minimized, execs) = minimize(input, outcome.signature)?;
+        let (minimized, execs) = minimize(cx.as_deref_mut(), input, outcome.signature)?;
         // One forensic replay of the kept input annotates the entry
         // with the causal chains behind its D-KASAN findings.
-        let run = execute_with_forensics(&minimized)?;
+        let run = match cx {
+            Some(cx) => cx.execute_with_forensics(&minimized)?,
+            None => execute_with_forensics(&minimized)?,
+        };
         let mut chains: Vec<String> = Vec::new();
         for inc in &run.incidents {
             let c = inc.chain();
@@ -176,7 +193,11 @@ impl Corpus {
 /// Greedy shrink: drop ops back to front, keeping each removal only if
 /// the re-executed signature still equals `target`. Returns the
 /// minimized input and how many re-executions it took.
-fn minimize(input: &FuzzInput, target: u64) -> Result<(FuzzInput, usize)> {
+fn minimize(
+    mut cx: Option<&mut ExecContext>,
+    input: &FuzzInput,
+    target: u64,
+) -> Result<(FuzzInput, usize)> {
     let mut cur = input.clone();
     let mut execs = 0;
     let mut i = cur.ops.len();
@@ -188,7 +209,11 @@ fn minimize(input: &FuzzInput, target: u64) -> Result<(FuzzInput, usize)> {
         let mut cand = cur.clone();
         cand.ops.remove(i);
         execs += 1;
-        if execute(&cand)?.signature == target {
+        let sig = match cx.as_deref_mut() {
+            Some(cx) => cx.execute(&cand)?.signature,
+            None => execute(&cand)?.signature,
+        };
+        if sig == target {
             cur = cand;
         }
     }
@@ -217,7 +242,7 @@ mod tests {
     fn minimizer_preserves_signature_and_never_grows() {
         let input = FuzzInput::generate(11, 2);
         let out = execute(&input).unwrap();
-        let (min, _) = minimize(&input, out.signature).unwrap();
+        let (min, _) = minimize(None, &input, out.signature).unwrap();
         assert!(min.ops.len() <= input.ops.len());
         assert!(!min.ops.is_empty());
         assert_eq!(execute(&min).unwrap().signature, out.signature);

@@ -230,6 +230,89 @@ pub fn taxonomy_of(kind: FindingKind, cfg: &DriverConfig) -> SubPageVulnerabilit
 /// the ring and the oracle saw a truncated stream.
 pub const EXEC_RECORDER_CAPACITY: usize = 8192;
 
+/// Per-shard reusable execution state: booted machine templates plus
+/// per-exec scratch buffers.
+///
+/// Booting a testbed is ~90% of a cold execution's cost, yet for a given
+/// `(config_id, seed)` every boot is identical. A context boots each of
+/// the [`NUM_CONFIGS`] machine shapes once and deep-clones the template
+/// per exec — the clone carries the exact post-boot state a fresh boot
+/// produces (allocator layout, recorder contents, metrics), so warm and
+/// cold executions are outcome-identical; tests/scale.rs pins this. The
+/// scratch side reuses the input-byte staging buffer and the coverage
+/// bitmap across execs instead of re-allocating them per exec.
+///
+/// One context per shard: it is deliberately `!Sync`-shaped state that a
+/// single shard thread owns, which is what keeps the sharded campaign
+/// free of cross-thread mutation.
+pub struct ExecContext {
+    /// One booted template per machine config, keyed by the campaign
+    /// seed it was booted with (a context survives seed changes by
+    /// re-booting the slot).
+    templates: Vec<Option<(u64, Testbed)>>,
+    /// Reused input-byte staging buffer (`InjectRaw` / `PayloadDeposit`).
+    bytes: Vec<u8>,
+    /// Reused coverage bitmap, reset per exec.
+    cov: CoverageMap,
+}
+
+impl ExecContext {
+    /// Creates an empty context; templates boot lazily on first use.
+    pub fn new() -> Self {
+        ExecContext {
+            templates: (0..NUM_CONFIGS as usize).map(|_| None).collect(),
+            bytes: Vec::new(),
+            cov: CoverageMap::new(),
+        }
+    }
+
+    /// A ready-to-run machine for `input`'s configuration: a deep clone
+    /// of the cached boot template (booting it first if this is the
+    /// slot's first use or the seed changed).
+    fn testbed(&mut self, config_id: u8, seed: u64) -> Result<Testbed> {
+        let idx = (config_id % NUM_CONFIGS) as usize;
+        if !matches!(&self.templates[idx], Some((s, _)) if *s == seed) {
+            let mut tb =
+                Testbed::new_recorded(machine_config(config_id, seed), EXEC_RECORDER_CAPACITY)?;
+            tb.ctx.trace.record_cpu_access = true;
+            self.templates[idx] = Some((seed, tb));
+        }
+        Ok(self.templates[idx].as_ref().expect("just booted").1.clone())
+    }
+
+    /// Warm-path [`execute`]: same outcome, no per-exec boot.
+    pub fn execute(&mut self, input: &FuzzInput) -> Result<ExecOutcome> {
+        execute_core(input, None, None, None, Some(self)).map(|(out, _)| out)
+    }
+
+    /// Warm-path [`execute_with_budget`].
+    pub fn execute_with_budget(&mut self, input: &FuzzInput, budget: u64) -> Result<ExecOutcome> {
+        execute_core(input, None, None, Some(budget), Some(self)).map(|(out, _)| out)
+    }
+
+    /// Warm-path [`execute_with_forensics`].
+    pub fn execute_with_forensics(&mut self, input: &FuzzInput) -> Result<ForensicRun> {
+        let mut graph = ProvenanceGraph::new();
+        let (outcome, dkasan) = execute_core(input, None, Some(&mut graph), None, Some(self))?;
+        let incidents = dkasan
+            .findings()
+            .iter()
+            .map(|f| investigate(&graph, f))
+            .collect();
+        Ok(ForensicRun {
+            outcome,
+            graph,
+            incidents,
+        })
+    }
+}
+
+impl Default for ExecContext {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// Executes one input on a clean machine. See [`execute_under_faults`]
 /// for the variant the chaos soak uses.
 pub fn execute(input: &FuzzInput) -> Result<ExecOutcome> {
@@ -239,7 +322,7 @@ pub fn execute(input: &FuzzInput) -> Result<ExecOutcome> {
 /// Executes one input with an optional chaos fault plan armed on top of
 /// whatever `ArmFault` ops the input itself carries.
 pub fn execute_under_faults(input: &FuzzInput, fault_seed: Option<u64>) -> Result<ExecOutcome> {
-    execute_core(input, fault_seed, None, None).map(|(out, _)| out)
+    execute_core(input, fault_seed, None, None, None).map(|(out, _)| out)
 }
 
 /// Executes one input under a deterministic watchdog: once the
@@ -248,7 +331,7 @@ pub fn execute_under_faults(input: &FuzzInput, fault_seed: Option<u64>) -> Resul
 /// campaign engine wraps every exec in this so a runaway input becomes
 /// a finding, not a wedged process.
 pub fn execute_with_budget(input: &FuzzInput, budget: u64) -> Result<ExecOutcome> {
-    execute_core(input, None, None, Some(budget)).map(|(out, _)| out)
+    execute_core(input, None, None, Some(budget), None).map(|(out, _)| out)
 }
 
 /// Executes one input while feeding every event into a
@@ -257,7 +340,7 @@ pub fn execute_with_budget(input: &FuzzInput, budget: u64) -> Result<ExecOutcome
 /// fuzzing loop skips the graph.
 pub fn execute_with_forensics(input: &FuzzInput) -> Result<ForensicRun> {
     let mut graph = ProvenanceGraph::new();
-    let (outcome, dkasan) = execute_core(input, None, Some(&mut graph), None)?;
+    let (outcome, dkasan) = execute_core(input, None, Some(&mut graph), None, None)?;
     let incidents = dkasan
         .findings()
         .iter()
@@ -275,17 +358,30 @@ fn execute_core(
     fault_seed: Option<u64>,
     mut graph: Option<&mut ProvenanceGraph>,
     budget: Option<u64>,
+    warm: Option<&mut ExecContext>,
 ) -> Result<(ExecOutcome, DKasan)> {
-    let mut tb = Testbed::new_recorded(
-        machine_config(input.config_id, input.seed),
-        EXEC_RECORDER_CAPACITY,
-    )?;
-    tb.ctx.trace.record_cpu_access = true;
+    // The cold path's locals; unused (and unallocated) on the warm path.
+    let mut cold_bytes = Vec::new();
+    let mut cold_cov = CoverageMap::new();
+    let (mut tb, bytes, cov) = match warm {
+        Some(cx) => {
+            let tb = cx.testbed(input.config_id, input.seed)?;
+            cx.cov = CoverageMap::new();
+            (tb, &mut cx.bytes, &mut cx.cov)
+        }
+        None => {
+            let mut tb = Testbed::new_recorded(
+                machine_config(input.config_id, input.seed),
+                EXEC_RECORDER_CAPACITY,
+            )?;
+            tb.ctx.trace.record_cpu_access = true;
+            (tb, &mut cold_bytes, &mut cold_cov)
+        }
+    };
     if let Some(fs) = fault_seed {
         tb.ctx.faults = devsim::build_fault_plan(fs);
     }
 
-    let mut cov = CoverageMap::new();
     let mut dkasan = DKasan::new();
     let mut findings: Vec<FuzzFinding> = Vec::new();
     let mut dropped = 0u64;
@@ -301,7 +397,8 @@ fn execute_core(
             op,
             input.iteration,
             &mut op_rng,
-            &mut cov,
+            bytes,
+            cov,
             &mut findings,
             budget,
         ) {
@@ -319,7 +416,7 @@ fn execute_core(
             Err(e) => return Err(e),
         }
         let events = tb.ctx.trace.drain();
-        absorb_events(&events, &mut cov);
+        absorb_events(&events, cov);
         dkasan.process(&events);
         if let Some(g) = graph.as_deref_mut() {
             g.ingest_all(events);
@@ -343,7 +440,7 @@ fn execute_core(
     let leaked_pages = if status == ExecStatus::Completed {
         let lp = tb.shutdown()?;
         let events = tb.ctx.trace.drain();
-        absorb_events(&events, &mut cov);
+        absorb_events(&events, cov);
         dkasan.process(&events);
         if let Some(g) = graph {
             g.ingest_all(events);
@@ -389,7 +486,7 @@ fn execute_core(
     let outcome = ExecOutcome {
         status,
         signature: cov.signature(),
-        coverage: cov,
+        coverage: cov.clone(),
         findings,
         delivered: tb.stack.stats.delivered + tb.stack.stats.echoed,
         dropped,
@@ -459,11 +556,13 @@ fn classify_kva(value: u64) -> Option<Kva> {
     VmRegion::classify(value).map(|_| Kva(value))
 }
 
+#[allow(clippy::too_many_arguments)]
 fn apply_op(
     tb: &mut Testbed,
     op: &MutationOp,
     iteration: u64,
     op_rng: &mut DetRng,
+    bytes: &mut Vec<u8>,
     cov: &mut CoverageMap,
     findings: &mut Vec<FuzzFinding>,
     budget: Option<u64>,
@@ -474,8 +573,9 @@ fn apply_op(
             tb.deliver_packet(&pkt)
         }
         MutationOp::InjectRaw { len, fill } => {
-            let bytes: Vec<u8> = (0..len).map(|i| fill.wrapping_add(i as u8)).collect();
-            tb.deliver_raw(&bytes)
+            bytes.clear();
+            bytes.extend((0..len).map(|i| fill.wrapping_add(i as u8)));
+            tb.deliver_raw(bytes)
         }
         MutationOp::ShinfoWrite { field, value } => {
             let (name, offset, width) =
@@ -523,14 +623,15 @@ fn apply_op(
             let room = buf_size.saturating_sub(1).max(1);
             let offset = offset % room;
             let len = len.min(buf_size - offset).max(1);
-            let bytes = vec![fill; len];
+            bytes.clear();
+            bytes.resize(len, fill);
             tb.nic.deposit(
                 &mut tb.ctx,
                 &mut tb.iommu,
                 &mut tb.mem.phys,
                 iova,
                 offset,
-                &bytes,
+                bytes,
             )
         }
         MutationOp::RaceWrite { value } => race_write(tb, iteration, value, cov, findings),

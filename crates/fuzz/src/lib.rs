@@ -37,6 +37,7 @@ pub mod forensics;
 pub mod input;
 pub mod report;
 pub mod resilience;
+pub mod shard;
 pub mod snapshot;
 
 pub use campaign::{
@@ -46,7 +47,7 @@ pub use campaign::{
 pub use corpus::{Corpus, CorpusEntry};
 pub use exec::{
     config_name, execute, execute_under_faults, execute_with_budget, execute_with_forensics,
-    machine_config, taxonomy_of, ExecOutcome, ExecStatus, ForensicRun, FuzzFinding,
+    machine_config, taxonomy_of, ExecContext, ExecOutcome, ExecStatus, ForensicRun, FuzzFinding,
     DEFAULT_WATCHDOG_BUDGET, EXEC_RECORDER_CAPACITY, SPIN_COST,
 };
 pub use forensics::{run_forensics, ForensicsCase, ForensicsReport};
@@ -56,6 +57,7 @@ pub use input::{
 };
 pub use report::{FuzzReport, SeriesPoint};
 pub use resilience::{kill_and_resume, KillResumeOutcome};
+pub use shard::{ShardConfig, ShardOutcome, ShardedCampaign};
 
 use dma_core::Result;
 use std::path::PathBuf;

@@ -86,7 +86,7 @@ pub struct FaultRecord {
     pub at: Cycles,
 }
 
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 struct Domain {
     pt: IoPageTable,
     iova: IovaAllocator,
@@ -97,7 +97,7 @@ struct Domain {
 }
 
 /// The simulated IOMMU.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct Iommu {
     /// Active configuration.
     pub config: IommuConfig,

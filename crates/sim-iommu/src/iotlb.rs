@@ -22,7 +22,7 @@ pub struct IotlbEntry {
 }
 
 /// The translation cache, shared by all domains (tagged by device).
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct Iotlb {
     entries: HashMap<(DeviceId, u64), IotlbEntry>,
     /// FIFO of insertion order for capacity eviction.

@@ -18,7 +18,7 @@ pub const DEFAULT_IOVA_TOP: u64 = 1 << 32;
 pub const DEFAULT_IOVA_BOTTOM: u64 = 1 << 20;
 
 /// Allocates page-granular IOVA ranges for one domain.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct IovaAllocator {
     /// Next (exclusive) top for fresh descending allocations.
     cursor: u64,

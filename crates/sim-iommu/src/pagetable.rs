@@ -17,6 +17,7 @@ pub struct IoPte {
     pub right: AccessRight,
 }
 
+#[derive(Clone)]
 enum Node {
     Table(Box<[Option<Node>; FANOUT]>),
     Leaf(IoPte),
@@ -38,7 +39,7 @@ impl std::fmt::Debug for Node {
 }
 
 /// The page table of one IOMMU domain.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct IoPageTable {
     root: Option<Node>,
     mapped_pages: usize,

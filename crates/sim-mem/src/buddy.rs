@@ -19,7 +19,7 @@ pub const MAX_ORDER: u32 = 10;
 const PCP_CACHE_MAX: usize = 64;
 
 /// The buddy allocator over a contiguous PFN range.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct BuddyAllocator {
     /// Free blocks per order, used as LIFO stacks (hot reuse).
     free_lists: Vec<Vec<Pfn>>,

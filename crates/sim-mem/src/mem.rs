@@ -12,6 +12,7 @@ use crate::slab::KmallocCaches;
 use dma_core::{
     DetRng, DmaError, Event, KernelLayout, Kva, Pfn, Result, SimCtx, PAGE_SHIFT, PAGE_SIZE,
 };
+use std::sync::Arc;
 
 /// Configuration of a simulated machine's memory.
 #[derive(Clone, Debug)]
@@ -38,7 +39,7 @@ impl Default for MemConfig {
 }
 
 /// A machine's memory: layout, backing store, and allocators.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct MemorySystem {
     /// The (possibly randomized) kernel virtual-memory layout.
     pub layout: KernelLayout,
@@ -51,8 +52,11 @@ pub struct MemorySystem {
     /// page_frag caches.
     pub frag: PageFragAllocator,
     /// Synthetic kernel text bytes, mapped read/execute-only at
-    /// `layout.text_base`.
-    text: Vec<u8>,
+    /// `layout.text_base`. Shared copy-on-write: the section is 16 MiB
+    /// of mostly-identical bytes and W^X keeps CPU stores out, so
+    /// cloned machines (boot templates, sharded campaigns) alias one
+    /// buffer until someone calls [`MemorySystem::install_text`].
+    text: Arc<Vec<u8>>,
     cur_cpu: usize,
 }
 
@@ -72,7 +76,7 @@ impl MemorySystem {
             buddy: BuddyAllocator::new(Pfn(config.reserved_pages), end, config.num_cpus),
             kmalloc: KmallocCaches::new(),
             frag: PageFragAllocator::new(config.num_cpus),
-            text: vec![0; layout.text_size as usize],
+            text: Arc::new(vec![0; layout.text_size as usize]),
             layout,
             cur_cpu: 0,
         }
@@ -80,8 +84,9 @@ impl MemorySystem {
 
     /// Installs synthetic kernel text bytes (the gadget corpus).
     pub fn install_text(&mut self, bytes: &[u8]) {
-        let n = bytes.len().min(self.text.len());
-        self.text[..n].copy_from_slice(&bytes[..n]);
+        let text = Arc::make_mut(&mut self.text);
+        let n = bytes.len().min(text.len());
+        text[..n].copy_from_slice(&bytes[..n]);
     }
 
     /// Read-only view of the kernel text section.

@@ -28,7 +28,7 @@ struct FragCache {
     offset: usize,
 }
 
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct Region {
     /// Live fragments carved from the region.
     refs: u32,
@@ -38,7 +38,7 @@ struct Region {
 }
 
 /// Per-CPU page_frag caches plus region refcounts.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct PageFragAllocator {
     per_cpu: Vec<FragCache>,
     regions: HashMap<u64, Region>,

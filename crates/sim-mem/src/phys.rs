@@ -7,7 +7,7 @@
 use dma_core::{DmaError, Pfn, PhysAddr, Result, PAGE_SIZE};
 
 /// A lazily populated array of 4 KiB physical frames.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct PhysMemory {
     frames: Vec<Option<Box<[u8; PAGE_SIZE]>>>,
     bytes: u64,

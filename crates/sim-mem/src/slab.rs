@@ -25,7 +25,7 @@ pub const SIZE_CLASSES: [usize; 13] = [
 /// buddy allocator (`kmalloc_large`).
 pub const KMALLOC_MAX_CACHE: usize = 8192;
 
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct Slab {
     /// KVA of the first free object, 0 if the slab is full.
     free_head: u64,
@@ -33,7 +33,7 @@ struct Slab {
     inuse: u32,
 }
 
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct Cache {
     object_size: usize,
     order: u32,
@@ -87,7 +87,7 @@ struct LiveObject {
 }
 
 /// The set of kmalloc caches plus the page→cache ownership index.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct KmallocCaches {
     caches: Vec<Cache>,
     /// Every page of every slab → (cache index, slab base PFN).

@@ -50,7 +50,7 @@ pub struct Descriptor {
 /// producer has lapped the consumer. With free-running counters the two
 /// states differ: empty is `head == tail`, full is
 /// `head - tail == entries`.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct DescRing {
     /// KVA of the ring array.
     pub base: Kva,

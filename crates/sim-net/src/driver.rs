@@ -161,7 +161,7 @@ pub struct TxDesc {
     pub frags: Vec<(Iova, usize)>,
 }
 
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct TxSlot {
     skb: SkBuff,
     linear: DmaMapping,
@@ -172,7 +172,7 @@ struct TxSlot {
 }
 
 /// A simulated NIC driver instance.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct NicDriver {
     /// Configuration.
     pub cfg: DriverConfig,

@@ -19,6 +19,7 @@ use dma_core::{Result, SimCtx};
 use sim_mem::MemorySystem;
 use std::collections::HashMap;
 
+#[derive(Clone)]
 struct GroFlow {
     head: SkBuff,
     head_packet: Packet,
@@ -27,7 +28,7 @@ struct GroFlow {
 }
 
 /// Per-NAPI GRO state.
-#[derive(Default)]
+#[derive(Clone, Default)]
 pub struct GroEngine {
     flows: HashMap<FlowId, GroFlow>,
     /// Merge budget per head before an automatic flush (like

@@ -64,6 +64,7 @@ pub struct StackStats {
 }
 
 /// The upper stack instance.
+#[derive(Clone)]
 pub struct NetStack {
     /// Configuration.
     pub cfg: StackConfig,

@@ -16,6 +16,7 @@
 //! dma-lab serve [--seed N] [--iters N] [--port P] [--script FILE]
 //!               live line-JSON campaign telemetry over TCP
 //! dma-lab fuzz [--seed N] [--iters N] [--corpus-dir D] [--json]
+//!              [--shards N] [--threads T]
 //!              [--checkpoint-every N] [--checkpoint-dir D] [--resume D]
 //!              [--watchdog-budget CYCLES] [--plant-panic K] [--plant-hang K]
 //! dma-lab forensics [--seed N] [--iters N] [--json]
@@ -171,9 +172,10 @@ USAGE:
                   [--checkpoint-dir DIR]
     dma-lab stats --diff OLD.json NEW.json [--json]
     dma-lab trace --spans [--seed N] [--rounds N] [--json] [--chrome OUT.json]
-    dma-lab serve [--seed N] [--iters N] [--port P] [--script FILE]
+    dma-lab serve [--seed N] [--iters N] [--port P] [--script FILE] [--shards N]
                   [--transcript OUT] [--checkpoint-dir DIR] [--checkpoint-every N]
     dma-lab fuzz [--seed N] [--iters N] [--corpus-dir DIR] [--json]
+                 [--shards N] [--threads T]
                  [--checkpoint-every N] [--checkpoint-dir DIR] [--resume DIR]
                  [--watchdog-budget CYCLES] [--plant-panic K] [--plant-hang K]
     dma-lab forensics [--seed N] [--iters N] [--json]
@@ -466,7 +468,11 @@ fn cmd_stats(args: &Args) -> i32 {
         } else {
             print!("{}", delta.render_text());
         }
-        return i32::from(!delta.regressed_counters().is_empty());
+        // A watched metric that vanished from the newer dump is just as
+        // suspect as a counter that went backwards — a zero-valued
+        // counter or a dropped histogram would otherwise slip through
+        // the value diff unnoticed.
+        return i32::from(delta.has_regressions());
     }
     // `--checkpoint-dir DIR` folds the newest campaign checkpoint
     // generation into the report, so long campaigns can audit silent
@@ -546,8 +552,13 @@ fn cmd_serve(args: &Args) -> i32 {
     let iters = num_flag!(args, "iters", 10_000);
     let port = num_flag!(args, "port", 0);
     let checkpoint_every = num_flag!(args, "checkpoint-every", 0);
+    let shards = num_flag!(args, "shards", 1);
     if iters == 0 {
         eprintln!("--iters must be at least 1\n{HELP}");
+        return 2;
+    }
+    if shards == 0 || shards > 4096 {
+        eprintln!("--shards must be between 1 and 4096\n{HELP}");
         return 2;
     }
     if port > u16::MAX as u64 {
@@ -570,6 +581,7 @@ fn cmd_serve(args: &Args) -> i32 {
         iters,
         checkpoint_dir,
         checkpoint_every,
+        shards: shards as u32,
     };
     if let Some(script_path) = args.str_flag("script") {
         if script_path.is_empty() {
@@ -697,7 +709,8 @@ fn cmd_trace(args: &Args) -> i32 {
 
 fn cmd_fuzz(args: &Args) -> i32 {
     use dma_lab::fuzz::{
-        silence_quarantined_panics, Campaign, CampaignConfig, DEFAULT_WATCHDOG_BUDGET,
+        silence_quarantined_panics, Campaign, CampaignConfig, ShardConfig, ShardedCampaign,
+        DEFAULT_WATCHDOG_BUDGET,
     };
     use std::path::PathBuf;
     // Contained panics become quarantined findings; their default-hook
@@ -707,12 +720,31 @@ fn cmd_fuzz(args: &Args) -> i32 {
     let iters = num_flag!(args, "iters", 96);
     let checkpoint_every = num_flag!(args, "checkpoint-every", 0);
     let watchdog_budget = num_flag!(args, "watchdog-budget", DEFAULT_WATCHDOG_BUDGET);
+    let shards = num_flag!(args, "shards", 1);
+    let threads = num_flag!(args, "threads", 1);
     if iters == 0 {
         eprintln!("--iters must be at least 1\n{HELP}");
         return 2;
     }
     if watchdog_budget == 0 {
         eprintln!("--watchdog-budget must be at least 1 cycle\n{HELP}");
+        return 2;
+    }
+    if shards == 0 || shards > 4096 {
+        eprintln!("--shards must be between 1 and 4096\n{HELP}");
+        return 2;
+    }
+    if threads == 0 {
+        eprintln!("--threads must be at least 1\n{HELP}");
+        return 2;
+    }
+    // `--shards` (even `--shards 1`) selects the sharded engine; its
+    // 1-shard output is byte-identical to the legacy path, which the
+    // scale tests pin.
+    let sharded = args.flags.contains_key("shards") || args.flags.contains_key("threads");
+    if sharded && (args.str_flag("plant-panic").is_some() || args.str_flag("plant-hang").is_some())
+    {
+        eprintln!("--plant-panic/--plant-hang only apply to single-shard campaigns\n{HELP}");
         return 2;
     }
     let plant_panic_at = match args.str_flag("plant-panic") {
@@ -765,36 +797,51 @@ fn cmd_fuzz(args: &Args) -> i32 {
         return 2;
     }
 
-    let mut cfg = CampaignConfig::new(seed, iters);
-    cfg.corpus_dir = corpus_dir;
-    cfg.checkpoint_dir = checkpoint_dir;
-    cfg.checkpoint_every = checkpoint_every;
-    cfg.watchdog_budget = watchdog_budget;
-    cfg.plant_panic_at = plant_panic_at;
-    cfg.plant_hang_at = plant_hang_at;
     let resuming = resume_dir.is_some();
-    let run = (|| {
-        let mut campaign = if resuming {
-            let c = Campaign::resume(cfg)?;
-            eprintln!(
-                "resumed at iteration {} (seed {})",
-                c.next_iter(),
-                c.config().seed
-            );
-            c
+    let run = if sharded {
+        let mut scfg = ShardConfig::new(seed, iters, shards as u32, threads as usize);
+        scfg.corpus_dir = corpus_dir;
+        scfg.checkpoint_dir = checkpoint_dir;
+        scfg.checkpoint_every = checkpoint_every;
+        scfg.watchdog_budget = watchdog_budget;
+        let sc = ShardedCampaign::new(scfg);
+        if resuming {
+            eprintln!("resuming {shards} shard(s) across {threads} thread(s)");
+            sc.resume()
         } else {
-            Campaign::new(cfg)?
-        };
-        campaign.run_to_end()?;
-        if let Some(store) = campaign.store() {
-            let writes = store.io_metrics().counter("checkpoint.writes");
-            let recovered = store.recovered();
-            if writes > 0 || recovered > 0 {
-                eprintln!("checkpoints: {writes} written, {recovered} recovered");
-            }
+            sc.run()
         }
-        campaign.finish()
-    })();
+    } else {
+        let mut cfg = CampaignConfig::new(seed, iters);
+        cfg.corpus_dir = corpus_dir;
+        cfg.checkpoint_dir = checkpoint_dir;
+        cfg.checkpoint_every = checkpoint_every;
+        cfg.watchdog_budget = watchdog_budget;
+        cfg.plant_panic_at = plant_panic_at;
+        cfg.plant_hang_at = plant_hang_at;
+        (|| {
+            let mut campaign = if resuming {
+                let c = Campaign::resume(cfg)?;
+                eprintln!(
+                    "resumed at iteration {} (seed {})",
+                    c.next_iter(),
+                    c.config().seed
+                );
+                c
+            } else {
+                Campaign::new(cfg)?
+            };
+            campaign.run_to_end()?;
+            if let Some(store) = campaign.store() {
+                let writes = store.io_metrics().counter("checkpoint.writes");
+                let recovered = store.recovered();
+                if writes > 0 || recovered > 0 {
+                    eprintln!("checkpoints: {writes} written, {recovered} recovered");
+                }
+            }
+            campaign.finish()
+        })()
+    };
     match run {
         Ok(report) => {
             if args.bool_flag("json") {

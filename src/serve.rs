@@ -39,10 +39,11 @@ use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
 use std::path::PathBuf;
 
+use dma_core::checkpoint::{shard_dir, shard_generations};
 use dma_core::jsonw::JsonWriter;
 use dma_core::metrics::Snapshot;
 use dma_core::posture::PostureReport;
-use dma_core::{chrome, JValue};
+use dma_core::{chrome, shard_seed, JValue};
 use fuzz::{config_name, machine_config, Campaign, CampaignConfig, CampaignEvent, NUM_CONFIGS};
 use sim_net::packet::Packet;
 
@@ -65,24 +66,31 @@ const POSTURE_WARMUP_PACKETS: u32 = 3;
 /// Configuration of one serve session.
 #[derive(Clone, Debug)]
 pub struct ServeConfig {
-    /// Campaign seed.
+    /// Base campaign seed; shard `i` runs under `shard_seed(seed, i)`.
     pub seed: u64,
-    /// Campaign iteration budget (`step`/`watch` stop here).
+    /// Iteration budget **per shard** (`step`/`watch` stop once every
+    /// shard has exhausted it).
     pub iters: u64,
     /// Checkpoint directory (enables `checkpoint` events and ages).
+    /// With more than one shard, each shard checkpoints under its own
+    /// `shard-NNNN/` subdirectory.
     pub checkpoint_dir: Option<PathBuf>,
     /// Checkpoint cadence in iterations; 0 disables periodic saves.
     pub checkpoint_every: u64,
+    /// Independent campaign shards stepped round-robin (clamped to
+    /// ≥ 1). Event frames carry the shard id that produced them.
+    pub shards: u32,
 }
 
 impl ServeConfig {
-    /// A plain session: seed + budget, no checkpoints.
+    /// A plain session: seed + budget, one shard, no checkpoints.
     pub fn new(seed: u64, iters: u64) -> ServeConfig {
         ServeConfig {
             seed,
             iters,
             checkpoint_dir: None,
             checkpoint_every: 0,
+            shards: 1,
         }
     }
 }
@@ -109,22 +117,56 @@ pub struct ConnState {
 /// the TCP loop stays a thin transport.
 pub struct Server {
     cfg: ServeConfig,
-    campaign: Campaign,
+    /// One independent campaign per shard, stepped round-robin.
+    shards: Vec<Campaign>,
+    /// Round-robin cursor: index of the next shard to step.
+    rr: usize,
 }
 
 impl Server {
-    /// Builds the session and its in-process campaign.
+    /// Builds the session and its in-process campaign shard(s).
     pub fn new(cfg: ServeConfig) -> dma_core::Result<Server> {
-        let mut ccfg = CampaignConfig::new(cfg.seed, cfg.iters);
-        ccfg.checkpoint_dir = cfg.checkpoint_dir.clone();
-        ccfg.checkpoint_every = cfg.checkpoint_every;
-        let campaign = Campaign::new(ccfg)?;
-        Ok(Server { cfg, campaign })
+        let n = cfg.shards.max(1);
+        let mut shards = Vec::with_capacity(n as usize);
+        for id in 0..n {
+            let mut ccfg = CampaignConfig::new(shard_seed(cfg.seed, id), cfg.iters);
+            // A single shard keeps the flat checkpoint layout so
+            // `dma-lab fuzz --resume DIR` still understands it; sharded
+            // sessions nest one store per shard.
+            ccfg.checkpoint_dir = match (&cfg.checkpoint_dir, n) {
+                (None, _) => None,
+                (Some(dir), 1) => Some(dir.clone()),
+                (Some(dir), _) => Some(shard_dir(dir, id)),
+            };
+            ccfg.checkpoint_every = cfg.checkpoint_every;
+            shards.push(Campaign::new(ccfg)?);
+        }
+        Ok(Server { cfg, shards, rr: 0 })
     }
 
     /// The session configuration.
     pub fn config(&self) -> &ServeConfig {
         &self.cfg
+    }
+
+    /// Total iterations executed across all shards.
+    fn total_next_iter(&self) -> u64 {
+        self.shards.iter().map(|c| c.next_iter()).sum()
+    }
+
+    /// Steps the next non-exhausted shard in round-robin order.
+    /// Returns the shard index stepped, or `None` when every shard has
+    /// exhausted its budget.
+    fn step_round_robin(&mut self) -> dma_core::Result<Option<usize>> {
+        let n = self.shards.len();
+        for _ in 0..n {
+            let idx = self.rr;
+            self.rr = (self.rr + 1) % n;
+            if self.shards[idx].step()? {
+                return Ok(Some(idx));
+            }
+        }
+        Ok(None)
     }
 
     /// Handles one request line, appending response frames to `out`.
@@ -181,7 +223,7 @@ impl Server {
                 let mut w = JsonWriter::new();
                 w.obj(|w| {
                     w.field_str("frame", "bye");
-                    w.field_u64("next_iter", self.campaign.next_iter());
+                    w.field_u64("next_iter", self.total_next_iter());
                     w.field_bool("end", true);
                 });
                 out.push(w.finish());
@@ -201,7 +243,8 @@ impl Server {
             w.field_u64("proto", PROTO_VERSION);
             w.field_u64("seed", self.cfg.seed);
             w.field_u64("iters", self.cfg.iters);
-            w.field_u64("next_iter", self.campaign.next_iter());
+            w.field_u64("shards", self.shards.len() as u64);
+            w.field_u64("next_iter", self.total_next_iter());
             w.field_bool("end", true);
         });
         w.finish()
@@ -211,8 +254,16 @@ impl Server {
     /// previous snapshot when `"mode":"delta"` is requested (first
     /// delta request on a connection falls back to a full frame).
     fn stats_frame(&mut self, req: &JValue, conn: &mut ConnState) -> String {
-        let s = self.campaign.state();
-        let snap = s.metrics.snapshot(s.total_cycles);
+        // The session-wide view: shard snapshots folded with the
+        // deterministic merge (identity for a single shard).
+        let mut snap = {
+            let s = self.shards[0].state();
+            s.metrics.snapshot(s.total_cycles)
+        };
+        for c in &self.shards[1..] {
+            let s = c.state();
+            snap.merge(&s.metrics.snapshot(s.total_cycles));
+        }
         let want_delta = req.str_field("mode") == Some("delta");
         let mut w = JsonWriter::new();
         w.obj(|w| {
@@ -233,23 +284,26 @@ impl Server {
         w.finish()
     }
 
-    /// `step {"n":K}` — advance up to K iterations (default 1),
-    /// streaming campaign events, then a `stepped` summary.
+    /// `step {"n":K}` — advance up to K iterations (default 1) spread
+    /// round-robin over the shards, streaming campaign events (tagged
+    /// with their shard id), then a `stepped` summary.
     fn step_frames(&mut self, req: &JValue, out: &mut Vec<String>) {
         let n = req.u64_field("n").unwrap_or(1);
         let mut ran = 0u64;
         let mut errors = 0u64;
         for _ in 0..n {
-            match self.campaign.step() {
-                Ok(true) => ran += 1,
-                Ok(false) => break,
+            match self.step_round_robin() {
+                Ok(Some(idx)) => {
+                    ran += 1;
+                    for ev in self.shards[idx].drain_events() {
+                        out.push(event_frame(&ev, idx as u64));
+                    }
+                }
+                Ok(None) => break,
                 Err(_) => {
                     errors += 1;
                     break;
                 }
-            }
-            for ev in self.campaign.drain_events() {
-                out.push(event_frame(&ev));
             }
         }
         let mut w = JsonWriter::new();
@@ -257,79 +311,138 @@ impl Server {
             w.field_str("frame", "stepped");
             w.field_u64("ran", ran);
             w.field_u64("errors", errors);
-            w.field_u64("next_iter", self.campaign.next_iter());
-            w.field_u64("findings", self.campaign.state().findings.len() as u64);
-            w.field_u64("quarantined", self.campaign.state().crashes.len() as u64);
+            w.field_u64("next_iter", self.total_next_iter());
+            w.field_u64("findings", self.total_findings());
+            w.field_u64("quarantined", self.total_crashes());
             w.field_bool("end", true);
         });
         out.push(w.finish());
+    }
+
+    fn total_findings(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|c| c.state().findings.len() as u64)
+            .sum()
+    }
+
+    fn total_crashes(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|c| c.state().crashes.len() as u64)
+            .sum()
     }
 
     /// `watch {"findings":N}` — run until the combined finding +
     /// quarantine count reaches N (or the budget ends), streaming each
     /// discovery the iteration it lands, then a `watched` summary.
     fn watch_frames(&mut self, req: &JValue, out: &mut Vec<String>) {
-        let state = self.campaign.state();
-        let current = (state.findings.len() + state.crashes.len()) as u64;
+        let current = self.total_findings() + self.total_crashes();
         let target = req.u64_field("findings").unwrap_or(current + 1);
         let mut ran = 0u64;
         let mut errors = 0u64;
         loop {
-            let s = self.campaign.state();
-            if (s.findings.len() + s.crashes.len()) as u64 >= target {
+            if self.total_findings() + self.total_crashes() >= target {
                 break;
             }
-            match self.campaign.step() {
-                Ok(true) => ran += 1,
-                Ok(false) => break,
+            match self.step_round_robin() {
+                Ok(Some(idx)) => {
+                    ran += 1;
+                    for ev in self.shards[idx].drain_events() {
+                        out.push(event_frame(&ev, idx as u64));
+                    }
+                }
+                Ok(None) => break,
                 Err(_) => {
                     errors += 1;
                     break;
                 }
             }
-            for ev in self.campaign.drain_events() {
-                out.push(event_frame(&ev));
-            }
         }
-        let s = self.campaign.state();
         let mut w = JsonWriter::new();
         w.obj(|w| {
             w.field_str("frame", "watched");
             w.field_u64("target", target);
             w.field_u64("ran", ran);
             w.field_u64("errors", errors);
-            w.field_u64("findings", s.findings.len() as u64);
-            w.field_u64("quarantined", s.crashes.len() as u64);
-            w.field_u64("next_iter", self.campaign.next_iter());
+            w.field_u64("findings", self.total_findings());
+            w.field_u64("quarantined", self.total_crashes());
+            w.field_u64("next_iter", self.total_next_iter());
             w.field_bool("end", true);
         });
         out.push(w.finish());
     }
 
     /// `health` — liveness counters, checkpoint age, and silent-loss
-    /// indicators (journal evictions, per-exec recorder drops).
+    /// indicators (journal evictions, per-exec recorder drops), summed
+    /// across shards. Sharded sessions with a checkpoint dir also carry
+    /// the per-shard on-disk generation vector.
     fn health_frame(&self) -> String {
-        let s = self.campaign.state();
+        let next_iter = self.total_next_iter();
+        let s0 = self.shards[0].state();
+        let mut coverage = s0.global.clone();
+        for c in &self.shards[1..] {
+            coverage.merge(&c.state().global);
+        }
+        let corpus: u64 = self
+            .shards
+            .iter()
+            .map(|c| c.state().corpus.len() as u64)
+            .sum();
+        let journal_len: u64 = self
+            .shards
+            .iter()
+            .map(|c| c.state().journal.len() as u64)
+            .sum();
+        let journal_dropped: u64 = self
+            .shards
+            .iter()
+            .map(|c| c.state().journal.dropped())
+            .sum();
+        let trace_dropped: u64 = self.shards.iter().map(|c| c.state().trace_dropped).sum();
         let mut w = JsonWriter::new();
         w.obj(|w| {
             w.field_str("frame", "health");
-            w.field_u64("next_iter", s.next_iter);
-            w.field_u64("iters", self.cfg.iters);
-            w.field_u64("findings", s.findings.len() as u64);
-            w.field_u64("quarantined", s.crashes.len() as u64);
-            w.field_u64("corpus", s.corpus.len() as u64);
-            w.field_u64("coverage_bits", s.global.count_ones() as u64);
-            w.field("checkpoint", |w| match self.campaign.last_checkpoint() {
+            w.field_u64("next_iter", next_iter);
+            w.field_u64("iters", self.cfg.iters * self.shards.len() as u64);
+            w.field_u64("shards", self.shards.len() as u64);
+            w.field_u64("findings", self.total_findings());
+            w.field_u64("quarantined", self.total_crashes());
+            w.field_u64("corpus", corpus);
+            w.field_u64("coverage_bits", coverage.count_ones() as u64);
+            w.field("checkpoint", |w| match self.shards[0].last_checkpoint() {
                 None => w.raw("null"),
                 Some((sequence, at_iter)) => w.obj(|w| {
                     w.field_u64("sequence", sequence);
                     w.field_u64("at_iter", at_iter);
-                    w.field_u64("age_iters", s.next_iter.saturating_sub(at_iter));
+                    w.field_u64(
+                        "age_iters",
+                        self.shards[0].next_iter().saturating_sub(at_iter),
+                    );
                 }),
             });
-            w.field_u64("journal_len", s.journal.len() as u64);
-            w.field_u64("journal_dropped", s.journal.dropped());
-            w.field_u64("trace_dropped", s.trace_dropped);
+            // The durable complement of the live ages above: what a
+            // resume would actually find on disk, per shard.
+            if self.shards.len() > 1 {
+                if let Some(dir) = &self.cfg.checkpoint_dir {
+                    let gens = shard_generations(dir);
+                    w.field("generations", |w| {
+                        w.arr(|w| {
+                            for (shard, sequence) in gens {
+                                w.elem(|w| {
+                                    w.obj(|w| {
+                                        w.field_u64("shard", u64::from(shard));
+                                        w.field_u64("sequence", sequence);
+                                    });
+                                });
+                            }
+                        });
+                    });
+                }
+            }
+            w.field_u64("journal_len", journal_len);
+            w.field_u64("journal_dropped", journal_dropped);
+            w.field_u64("trace_dropped", trace_dropped);
             w.field_bool("end", true);
         });
         w.finish()
@@ -364,9 +477,13 @@ impl Server {
         out.push(w.finish());
     }
 
-    /// `chrome` — the campaign journal as a Perfetto trace document.
+    /// `chrome` — the campaign journal(s), concatenated in shard
+    /// order, as a Perfetto trace document.
     fn chrome_frame(&self) -> String {
-        let events = self.campaign.state().journal.snapshot();
+        let mut events = Vec::new();
+        for c in &self.shards {
+            events.extend(c.state().journal.snapshot());
+        }
         let trace = chrome::export(&[], &events);
         let mut w = JsonWriter::new();
         w.obj(|w| {
@@ -490,8 +607,9 @@ pub fn posture_of_config(config_id: u8, seed: u64) -> PostureReport {
     }
 }
 
-/// Renders one [`CampaignEvent`] as a (non-final) stream frame.
-fn event_frame(ev: &CampaignEvent) -> String {
+/// Renders one [`CampaignEvent`] as a (non-final) stream frame tagged
+/// with the shard that produced it.
+fn event_frame(ev: &CampaignEvent, shard: u64) -> String {
     let mut w = JsonWriter::new();
     w.obj(|w| match ev {
         CampaignEvent::Finding {
@@ -503,6 +621,7 @@ fn event_frame(ev: &CampaignEvent) -> String {
             window,
         } => {
             w.field_str("frame", "finding");
+            w.field_u64("shard", shard);
             w.field_u64("iteration", *iteration);
             w.field_str("id", id);
             w.field_str("taxonomy", &taxonomy.to_string());
@@ -520,6 +639,7 @@ fn event_frame(ev: &CampaignEvent) -> String {
             detail,
         } => {
             w.field_str("frame", "quarantine");
+            w.field_u64("shard", shard);
             w.field_u64("iteration", *iteration);
             w.field_str("id", id);
             w.field_str("kind", kind.as_str());
@@ -531,6 +651,7 @@ fn event_frame(ev: &CampaignEvent) -> String {
             corpus,
         } => {
             w.field_str("frame", "coverage");
+            w.field_u64("shard", shard);
             w.field_u64("iteration", *iteration);
             w.field_u64("bits", *bits as u64);
             w.field_u64("corpus", *corpus as u64);
@@ -540,6 +661,7 @@ fn event_frame(ev: &CampaignEvent) -> String {
             sequence,
         } => {
             w.field_str("frame", "checkpoint");
+            w.field_u64("shard", shard);
             w.field_u64("iteration", *iteration);
             w.field_u64("sequence", *sequence);
         }
