@@ -50,6 +50,7 @@ pub struct ForwardThinkingReport {
 /// Boots the forwarding victim.
 pub fn boot(window: WindowPath, seed: u64) -> Result<Testbed> {
     Testbed::new(TestbedConfig {
+        device: Default::default(),
         mem: MemConfigLite {
             kaslr_seed: Some(seed),
             ..Default::default()

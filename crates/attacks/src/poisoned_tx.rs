@@ -56,6 +56,7 @@ pub struct PoisonedTxReport {
 /// IOMMU/driver are configured per the requested window path.
 pub fn boot(window: WindowPath, seed: u64) -> Result<Testbed> {
     Testbed::new(TestbedConfig {
+        device: Default::default(),
         mem: MemConfigLite {
             kaslr_seed: Some(seed),
             ..Default::default()

@@ -77,6 +77,7 @@ pub fn boot(driver: DriverConfig, window: WindowPath, seed: u64) -> Result<Testb
         ..Default::default()
     };
     Testbed::new(TestbedConfig {
+        device: Default::default(),
         mem: MemConfigLite {
             kaslr_seed: Some(seed.wrapping_mul(0x9e37) ^ 0x4a51),
             ..Default::default()

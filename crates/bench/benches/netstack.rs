@@ -16,6 +16,7 @@ use sim_net::stack::StackConfig;
 
 fn tb(mode: InvalidationMode, order: UnmapOrder, stack: StackConfig) -> Testbed {
     Testbed::new(TestbedConfig {
+        device: Default::default(),
         mem: MemConfigLite {
             kaslr_seed: Some(1),
             ..Default::default()

@@ -64,6 +64,47 @@ pub fn scale_report_path() -> PathBuf {
     repo_root().join("BENCH_scale.json")
 }
 
+/// Path of the standalone device-zoo report `zoo_bench` writes.
+pub fn zoo_report_path() -> PathBuf {
+    repo_root().join("BENCH_zoo.json")
+}
+
+/// Writes `BENCH_zoo.json`: the deterministic half carries per-device
+/// channel-map facts (channel count, kinds, events consumed) and the
+/// two-run byte-identity verdict; the timing half holds inference cost
+/// normalised to 10⁴ trace events and warm per-device exec rows, from
+/// which `execs_per_sec_<device>` figures are derived. Returns the
+/// report path.
+pub fn emit_zoo_report(
+    deterministic_json: &str,
+    timing: &[BenchResult],
+) -> std::io::Result<PathBuf> {
+    let mut w = JsonWriter::new();
+    w.obj(|w| {
+        w.field_str("report", "zoo");
+        w.field("deterministic", |w| w.raw(deterministic_json));
+        w.field("timing", |w| render_results(w, timing));
+        let ns = |id: &str| {
+            timing
+                .iter()
+                .find(|r| r.id == id)
+                .map(|r| r.ns_per_iter)
+                .filter(|&n| n > 0)
+        };
+        for dev in ["nic", "virtio", "nvme"] {
+            if let Some(n) = ns(&format!("infer_10k_events_{dev}")) {
+                w.field_u64(&format!("infer_ns_per_10k_events_{dev}"), n);
+            }
+            if let Some(n) = ns(&format!("exec_warm_{dev}")) {
+                w.field_f64(&format!("execs_per_sec_{dev}"), 1e9 / n as f64);
+            }
+        }
+    });
+    let path = zoo_report_path();
+    std::fs::write(&path, w.finish())?;
+    Ok(path)
+}
+
 /// Writes `BENCH_scale.json`: the deterministic half carries the
 /// thread-identity verdict and per-shard-count campaign facts, `scale`
 /// carries the derived execs/sec and sim-cycles/sec rows at 1/2/4/8

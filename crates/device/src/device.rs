@@ -20,18 +20,21 @@ pub struct LeakedPointer {
     pub region: VmRegion,
 }
 
-/// A malicious NIC. It holds nothing but its device ID — all knowledge
-/// must be *earned* by DMA (that is the point of the compound attacks).
+/// A malicious bus endpoint: the device-agnostic DMA attacker
+/// primitives every zoo model shares. It holds nothing but its device
+/// ID — all knowledge must be *earned* by DMA (that is the point of the
+/// compound attacks). [`MaliciousNic`] layers the NIC-specific helpers
+/// (skb geometry, `ubuf_info` forgery) on top via `Deref`.
 #[derive(Clone, Copy, Debug)]
-pub struct MaliciousNic {
+pub struct MaliciousEndpoint {
     /// The device's bus identity.
     pub id: DeviceId,
 }
 
-impl MaliciousNic {
-    /// Creates a device with the given identity.
+impl MaliciousEndpoint {
+    /// Creates an endpoint with the given identity.
     pub fn new(id: DeviceId) -> Self {
-        MaliciousNic { id }
+        MaliciousEndpoint { id }
     }
 
     /// DMA-read `buf.len()` bytes at `iova`.
@@ -61,7 +64,7 @@ impl MaliciousNic {
     /// DMA-write `buf` at `iova`.
     ///
     /// Fault site `device.dma_write`: injected faults abort the write
-    /// without touching memory (see [`MaliciousNic::read`]).
+    /// without touching memory (see [`MaliciousEndpoint::read`]).
     pub fn write(
         &self,
         ctx: &mut SimCtx,
@@ -80,8 +83,9 @@ impl MaliciousNic {
         iommu.dev_write(ctx, phys, self.id, iova, buf)
     }
 
-    /// DMA-read a little-endian u64 (routes through [`MaliciousNic::read`]
-    /// so the `device.dma_read` fault site covers it too).
+    /// DMA-read a little-endian u64 (routes through
+    /// [`MaliciousEndpoint::read`] so the `device.dma_read` fault site
+    /// covers it too).
     pub fn read_u64(
         &self,
         ctx: &mut SimCtx,
@@ -95,8 +99,8 @@ impl MaliciousNic {
     }
 
     /// DMA-write a little-endian u64 (routes through
-    /// [`MaliciousNic::write`] so the `device.dma_write` fault site
-    /// covers it too).
+    /// [`MaliciousEndpoint::write`] so the `device.dma_write` fault
+    /// site covers it too).
     pub fn write_u64(
         &self,
         ctx: &mut SimCtx,
@@ -154,6 +158,50 @@ impl MaliciousNic {
         all
     }
 
+    /// Writes arbitrary bytes into a buffer at a byte offset from its
+    /// IOVA (e.g. depositing a poisoned ROP stack in the payload area).
+    pub fn deposit(
+        &self,
+        ctx: &mut SimCtx,
+        iommu: &mut Iommu,
+        phys: &mut PhysMemory,
+        iova: Iova,
+        offset: usize,
+        bytes: &[u8],
+    ) -> Result<()> {
+        self.write(ctx, iommu, phys, Iova(iova.raw() + offset as u64), bytes)
+    }
+}
+
+/// A malicious NIC: the shared [`MaliciousEndpoint`] primitives plus
+/// the skb-geometry helpers only the NIC machine shape needs.
+#[derive(Clone, Copy, Debug)]
+pub struct MaliciousNic {
+    /// The underlying bus endpoint.
+    pub ep: MaliciousEndpoint,
+}
+
+impl std::ops::Deref for MaliciousNic {
+    type Target = MaliciousEndpoint;
+    fn deref(&self) -> &MaliciousEndpoint {
+        &self.ep
+    }
+}
+
+impl std::ops::DerefMut for MaliciousNic {
+    fn deref_mut(&mut self) -> &mut MaliciousEndpoint {
+        &mut self.ep
+    }
+}
+
+impl MaliciousNic {
+    /// Creates a device with the given identity.
+    pub fn new(id: DeviceId) -> Self {
+        MaliciousNic {
+            ep: MaliciousEndpoint::new(id),
+        }
+    }
+
     /// Injects an RX packet: writes the wire bytes at the buffer's
     /// payload offset (where a NIC DMA-writes received frames).
     ///
@@ -176,20 +224,6 @@ impl MaliciousNic {
             &wire,
         )?;
         Ok(wire.len())
-    }
-
-    /// Writes arbitrary bytes into a buffer at a byte offset from its
-    /// IOVA (e.g. depositing a poisoned ROP stack in the payload area).
-    pub fn deposit(
-        &self,
-        ctx: &mut SimCtx,
-        iommu: &mut Iommu,
-        phys: &mut PhysMemory,
-        iova: Iova,
-        offset: usize,
-        bytes: &[u8],
-    ) -> Result<()> {
-        self.write(ctx, iommu, phys, Iova(iova.raw() + offset as u64), bytes)
     }
 
     /// Forges a `ubuf_info` structure at `iova` (Figure 4 step (b)/(c)):

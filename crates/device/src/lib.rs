@@ -18,13 +18,24 @@
 //!   [`chaos::build_fault_plan`] derives a deterministic schedule from a
 //!   seed and [`chaos::run_soak`] drives it to a leak-audited
 //!   [`chaos::SoakReport`].
+//! - [`model`] — the [`DeviceModel`] trait and [`boot_model`] dispatch:
+//!   the device-agnostic surface the fuzzer, posture audit, and channel
+//!   inference drive, so every consumer runs unchanged across the zoo.
+//! - [`virtio`] / [`nvme`] — the non-NIC zoo members: a split-ring
+//!   transport and a paired submission/completion queue device.
 //!
 //! [`dev_write`]: sim_iommu::Iommu::dev_write
 
 pub mod chaos;
 pub mod device;
+pub mod model;
+pub mod nvme;
 pub mod testbed;
+pub mod virtio;
 
 pub use chaos::{build_fault_plan, run_soak, run_soak_isolated, SoakReport};
-pub use device::{LeakedPointer, MaliciousNic};
+pub use device::{LeakedPointer, MaliciousEndpoint, MaliciousNic};
+pub use model::{boot_model, BootSpec, DeviceKind, DeviceModel, WindowHit};
+pub use nvme::NvmeTestbed;
 pub use testbed::{Testbed, TestbedConfig};
+pub use virtio::VirtioTestbed;

@@ -1,0 +1,498 @@
+//! An NVMe-ish paired submission/completion queue machine.
+//!
+//! The DMA surfaces mirror an NVMe I/O queue pair:
+//!
+//! * a **submission queue** (kzalloc'd, mapped `ToDevice`,
+//!   `nvme_sq_map`): the driver CPU-writes 64-byte commands carrying a
+//!   PRP data pointer, and the device DMA-*reads* them — the
+//!   base+pointer chain inference follows;
+//! * a **completion queue** (kzalloc'd, mapped `FromDevice`,
+//!   `nvme_cq_map`): a long-lived device-writable control block the
+//!   device posts 16-byte entries into;
+//! * **page-frag data buffers** mapped `FromDevice` per command
+//!   (`nvme_prp_map`), unmapped and recycled at completion.
+//!
+//! A small pool of commands stays outstanding so the device always has
+//! live data mappings; completion order mirrors the NIC's `UnmapOrder`
+//! knob (read-the-data-then-unmap opens the §5.2.2 path (i) window).
+
+use crate::device::MaliciousEndpoint;
+use crate::model::{BootSpec, DeviceKind, DeviceModel, WindowHit};
+use crate::testbed::{boot_noise, TestbedConfig};
+use dma_core::posture::PostureReport;
+use dma_core::trace::DeviceId;
+use dma_core::vuln::{DmaDirection, WindowPath};
+use dma_core::{DmaError, Iova, Kva, Result, SimCtx};
+use sim_iommu::{dma_map_single, dma_unmap_single, DmaMapping, Iommu};
+use sim_mem::MemorySystem;
+use sim_net::driver::UnmapOrder;
+use std::collections::VecDeque;
+
+/// Queue depth (SQ and CQ entries).
+pub const NVME_QUEUE_DEPTH: usize = 8;
+/// Bytes per submission-queue entry.
+pub const NVME_SQE_SIZE: usize = 64;
+/// Byte offset of the PRP data pointer inside an SQE.
+pub const NVME_SQE_PRP_OFFSET: usize = 24;
+/// Bytes per completion-queue entry.
+pub const NVME_CQE_SIZE: usize = 16;
+/// Data buffer bytes per command (a page-frag carving, so several
+/// commands' buffers share one physical page — the sub-page surface).
+pub const NVME_DATA_SIZE: usize = 512;
+/// Commands kept outstanding between deliveries.
+pub const NVME_POOL: usize = 2;
+
+#[derive(Clone, Copy, Debug)]
+struct PendingCmd {
+    kva: Kva,
+    mapping: DmaMapping,
+    slot: usize,
+}
+
+/// The assembled NVMe-style machine.
+#[derive(Clone)]
+pub struct NvmeTestbed {
+    /// Simulation context (clock + trace).
+    pub ctx: SimCtx,
+    /// Memory system.
+    pub mem: MemorySystem,
+    /// IOMMU.
+    pub iommu: Iommu,
+    /// The attacker-controlled endpoint.
+    pub ep: MaliciousEndpoint,
+    dev: DeviceId,
+    order: UnmapOrder,
+    sq_kva: Kva,
+    sq: DmaMapping,
+    cq_kva: Kva,
+    cq: DmaMapping,
+    pending: VecDeque<PendingCmd>,
+    sq_tail: usize,
+    cq_head: usize,
+    delivered: u64,
+    torn_down: bool,
+}
+
+impl NvmeTestbed {
+    /// Boots the machine under a [`BootSpec`].
+    pub fn boot(cfg: TestbedConfig, spec: BootSpec) -> Result<Self> {
+        match spec {
+            BootSpec::Quiet => Self::build(SimCtx::new(), cfg),
+            BootSpec::Recorded(cap) => {
+                let mut tb = Self::build(SimCtx::new(), cfg)?;
+                tb.ctx.trace = dma_core::Trace::recorded(cap);
+                tb.ctx.trace.enabled = true;
+                tb.ctx.trace.record_cpu_access = true;
+                tb.ctx.clock.advance(0);
+                Ok(tb)
+            }
+            BootSpec::TracedBoot => {
+                let mut ctx = SimCtx::new();
+                ctx.trace.enabled = true;
+                ctx.trace.record_cpu_access = true;
+                let mut tb = Self::build(ctx, cfg)?;
+                tb.ctx.clock.advance(0);
+                Ok(tb)
+            }
+        }
+    }
+
+    fn build(mut ctx: SimCtx, cfg: TestbedConfig) -> Result<Self> {
+        let mut mem = MemorySystem::new(&cfg.mem.into());
+        let mut iommu = Iommu::new(cfg.iommu);
+        if let Some(seed) = cfg.boot_noise_seed {
+            boot_noise(&mut ctx, &mut mem, seed)?;
+        }
+        let dev = cfg.driver.dev;
+        iommu.attach_device(dev);
+        let sq_kva = mem.kzalloc(&mut ctx, NVME_QUEUE_DEPTH * NVME_SQE_SIZE, "nvme_sq_alloc")?;
+        let sq = dma_map_single(
+            &mut ctx,
+            &mut iommu,
+            &mem.layout,
+            dev,
+            sq_kva,
+            NVME_QUEUE_DEPTH * NVME_SQE_SIZE,
+            DmaDirection::ToDevice,
+            "nvme_sq_map",
+        )?;
+        let cq_kva = mem.kzalloc(&mut ctx, NVME_QUEUE_DEPTH * NVME_CQE_SIZE, "nvme_cq_alloc")?;
+        let cq = dma_map_single(
+            &mut ctx,
+            &mut iommu,
+            &mem.layout,
+            dev,
+            cq_kva,
+            NVME_QUEUE_DEPTH * NVME_CQE_SIZE,
+            DmaDirection::FromDevice,
+            "nvme_cq_map",
+        )?;
+        let mut tb = NvmeTestbed {
+            ctx,
+            mem,
+            iommu,
+            ep: MaliciousEndpoint::new(dev),
+            dev,
+            order: cfg.driver.unmap_order,
+            sq_kva,
+            sq,
+            cq_kva,
+            cq,
+            pending: VecDeque::with_capacity(NVME_POOL + 1),
+            sq_tail: 0,
+            cq_head: 0,
+            delivered: 0,
+            torn_down: false,
+        };
+        for i in 0..NVME_POOL {
+            tb.submit_and_fire(&[0u8; 8], i as u8)?;
+        }
+        Ok(tb)
+    }
+
+    /// Driver submits a read command, then the device executes it:
+    /// DMA-reads the SQE, follows the PRP pointer to write the payload,
+    /// and posts a completion entry.
+    fn submit_and_fire(&mut self, payload: &[u8], fill: u8) -> Result<()> {
+        let kva = self
+            .mem
+            .page_frag_alloc(&mut self.ctx, NVME_DATA_SIZE, "nvme_alloc_prp")?;
+        let mapping = match dma_map_single(
+            &mut self.ctx,
+            &mut self.iommu,
+            &self.mem.layout,
+            self.dev,
+            kva,
+            NVME_DATA_SIZE,
+            DmaDirection::FromDevice,
+            "nvme_prp_map",
+        ) {
+            Ok(m) => m,
+            Err(e) => {
+                self.mem.page_frag_free(&mut self.ctx, kva)?;
+                return Err(e);
+            }
+        };
+        let slot = self.sq_tail;
+        self.sq_tail = (self.sq_tail + 1) % NVME_QUEUE_DEPTH;
+        // Driver CPU-writes the command into the live ToDevice SQ.
+        let sqe = Kva(self.sq_kva.raw() + (slot * NVME_SQE_SIZE) as u64);
+        self.mem.cpu_write_u64(
+            &mut self.ctx,
+            sqe,
+            0x02 | ((fill as u64) << 8),
+            "nvme_submit_cmd",
+        )?;
+        self.mem.cpu_write_u64(
+            &mut self.ctx,
+            Kva(sqe.raw() + NVME_SQE_PRP_OFFSET as u64),
+            mapping.iova.raw(),
+            "nvme_submit_cmd",
+        )?;
+        // Device side: fetch the command, follow the PRP, post a CQE.
+        let ep = self.ep;
+        let sqe_iova = Iova(self.sq.iova.raw() + (slot * NVME_SQE_SIZE) as u64);
+        let prp = Iova(ep.read_u64(
+            &mut self.ctx,
+            &mut self.iommu,
+            &self.mem.phys,
+            Iova(sqe_iova.raw() + NVME_SQE_PRP_OFFSET as u64),
+        )?);
+        let n = payload.len().clamp(1, NVME_DATA_SIZE);
+        let mut data = vec![fill; n];
+        data[..payload.len().min(n)].copy_from_slice(&payload[..payload.len().min(n)]);
+        ep.write(
+            &mut self.ctx,
+            &mut self.iommu,
+            &mut self.mem.phys,
+            prp,
+            &data,
+        )?;
+        let mut cqe = [0u8; NVME_CQE_SIZE];
+        cqe[..2].copy_from_slice(&(slot as u16).to_le_bytes());
+        cqe[2] = 0x01; // phase bit
+        ep.write(
+            &mut self.ctx,
+            &mut self.iommu,
+            &mut self.mem.phys,
+            Iova(self.cq.iova.raw() + (slot * NVME_CQE_SIZE) as u64),
+            &cqe,
+        )?;
+        self.pending.push_back(PendingCmd { kva, mapping, slot });
+        Ok(())
+    }
+
+    /// Driver completes the oldest command. With `race_value` set, the
+    /// device fires a write into the data buffer inside the completion
+    /// window; returns the landed target, if any.
+    fn complete_one(&mut self, race_value: Option<u64>) -> Result<Option<Iova>> {
+        let cmd = self.pending.pop_front().ok_or(DmaError::RingEmpty)?;
+        let cqe = Kva(self.cq_kva.raw() + (cmd.slot * NVME_CQE_SIZE) as u64);
+        self.mem.cpu_read_u64(&mut self.ctx, cqe, "nvme_read_cqe")?;
+        self.cq_head = (self.cq_head + 1) % NVME_QUEUE_DEPTH;
+        let ep = self.ep;
+        let mut landed = None;
+        let mut race = |ctx: &mut SimCtx, iommu: &mut Iommu, mem: &mut MemorySystem| {
+            if let Some(v) = race_value {
+                if ep
+                    .write_u64(ctx, iommu, &mut mem.phys, cmd.mapping.iova, v)
+                    .is_ok()
+                {
+                    landed = Some(cmd.mapping.iova);
+                }
+            }
+        };
+        match self.order {
+            UnmapOrder::BuildThenUnmap => {
+                let mut first = [0u8; 16];
+                self.mem
+                    .cpu_read(&mut self.ctx, cmd.kva, &mut first, "nvme_complete_read")?;
+                race(&mut self.ctx, &mut self.iommu, &mut self.mem);
+                dma_unmap_single(&mut self.ctx, &mut self.iommu, &cmd.mapping)?;
+            }
+            UnmapOrder::UnmapThenBuild => {
+                dma_unmap_single(&mut self.ctx, &mut self.iommu, &cmd.mapping)?;
+                let mut first = [0u8; 16];
+                self.mem
+                    .cpu_read(&mut self.ctx, cmd.kva, &mut first, "nvme_complete_read")?;
+                race(&mut self.ctx, &mut self.iommu, &mut self.mem);
+            }
+        }
+        self.mem.page_frag_free(&mut self.ctx, cmd.kva)?;
+        self.delivered += 1;
+        Ok(landed)
+    }
+
+    fn io_round(&mut self, payload: &[u8], fill: u8) -> Result<()> {
+        self.submit_and_fire(payload, fill)?;
+        self.complete_one(None)?;
+        Ok(())
+    }
+}
+
+impl DeviceModel for NvmeTestbed {
+    fn kind(&self) -> DeviceKind {
+        DeviceKind::NvmeQueuePair
+    }
+
+    fn sim(&mut self) -> &mut SimCtx {
+        &mut self.ctx
+    }
+
+    fn sim_ref(&self) -> &SimCtx {
+        &self.ctx
+    }
+
+    fn deliver(&mut self, len: usize, fill: u8) -> Result<()> {
+        let payload = vec![fill; len.min(NVME_DATA_SIZE)];
+        self.io_round(&payload, fill)
+    }
+
+    fn inject_raw(&mut self, bytes: &[u8]) -> Result<()> {
+        self.io_round(bytes, 0xee)
+    }
+
+    fn descriptors(&self) -> Vec<(Iova, usize)> {
+        self.pending
+            .iter()
+            .map(|c| (c.mapping.iova, NVME_DATA_SIZE))
+            .collect()
+    }
+
+    fn dev_deposit(&mut self, iova: Iova, offset: usize, bytes: &[u8]) -> Result<()> {
+        let ep = self.ep;
+        ep.deposit(
+            &mut self.ctx,
+            &mut self.iommu,
+            &mut self.mem.phys,
+            iova,
+            offset,
+            bytes,
+        )
+    }
+
+    fn window_race(&mut self, value: u64) -> Result<Option<WindowHit>> {
+        let start = self.ctx.clock.now();
+        self.submit_and_fire(&[0xa5; 32], 0xa5)?;
+        let landed = self.complete_one(Some(value))?;
+        Ok(landed.map(|target| WindowHit {
+            site: "nvme_prp.data",
+            field: "prp_data",
+            target,
+            path: match self.order {
+                UnmapOrder::BuildThenUnmap => WindowPath::UnmapAfterBuild,
+                UnmapOrder::UnmapThenBuild => WindowPath::DeferredIotlb,
+            },
+            start,
+            end: self.ctx.clock.now(),
+        }))
+    }
+
+    fn window_stale(&mut self, value: u64) -> Result<WindowHit> {
+        let head = *self.pending.front().ok_or(DmaError::RingEmpty)?;
+        let target = head.mapping.iova;
+        let start = self.ctx.clock.now();
+        self.io_round(&[0x5a; 24], 0x5a)?;
+        let ep = self.ep;
+        ep.write_u64(
+            &mut self.ctx,
+            &mut self.iommu,
+            &mut self.mem.phys,
+            target,
+            value,
+        )?;
+        Ok(WindowHit {
+            site: "nvme_prp.data",
+            field: "prp_data",
+            target,
+            path: WindowPath::DeferredIotlb,
+            start,
+            end: self.ctx.clock.now(),
+        })
+    }
+
+    fn tick_ms(&mut self, ms: u64) {
+        self.ctx.clock.advance_ms(ms);
+        self.iommu.tick(&mut self.ctx);
+    }
+
+    fn churn_alloc(&mut self, size: usize, site: &'static str) -> Result<Kva> {
+        self.mem.kmalloc(&mut self.ctx, size, site)
+    }
+
+    fn churn_free(&mut self, kva: Kva) -> Result<()> {
+        self.mem.kfree(&mut self.ctx, kva)
+    }
+
+    fn scan_leaks(&mut self) -> usize {
+        let ep = self.ep;
+        let mut ranges: Vec<(Iova, usize)> = vec![(self.sq.iova, NVME_QUEUE_DEPTH * NVME_SQE_SIZE)];
+        ranges.extend(self.descriptors());
+        ep.scan_descriptors(&mut self.ctx, &mut self.iommu, &self.mem.phys, &ranges)
+            .len()
+    }
+
+    fn complete_io(&mut self) -> Result<()> {
+        while !self.pending.is_empty() {
+            self.complete_one(None)?;
+        }
+        Ok(())
+    }
+
+    fn recover(&mut self) -> Result<()> {
+        while self.pending.len() < NVME_POOL {
+            let fill = self.pending.len() as u8;
+            self.submit_and_fire(&[0u8; 8], fill)?;
+        }
+        Ok(())
+    }
+
+    fn teardown(&mut self) -> Result<usize> {
+        if !self.torn_down {
+            self.torn_down = true;
+            while !self.pending.is_empty() {
+                self.complete_one(None)?;
+            }
+            dma_unmap_single(&mut self.ctx, &mut self.iommu, &self.sq)?;
+            self.mem.kfree(&mut self.ctx, self.sq_kva)?;
+            dma_unmap_single(&mut self.ctx, &mut self.iommu, &self.cq)?;
+            self.mem.kfree(&mut self.ctx, self.cq_kva)?;
+        }
+        Ok(self.iommu.mapped_pages(self.dev))
+    }
+
+    fn delivered_count(&self) -> u64 {
+        self.delivered
+    }
+
+    fn colocates_random(&self) -> bool {
+        // The mapped SQ/CQ are kmalloc'd control blocks: their slab
+        // pages expose whatever objects land beside them.
+        true
+    }
+
+    fn posture(&self, label: &str) -> PostureReport {
+        let stale = self.ctx.metrics.histogram("sim_iommu.stale_window.cycles");
+        self.iommu.posture(label, NVME_DATA_SIZE, stale)
+    }
+
+    fn clone_model(&self) -> Box<dyn DeviceModel> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_iommu::{InvalidationMode, IommuConfig};
+    use sim_net::driver::DriverConfig;
+
+    fn cfg(order: UnmapOrder, mode: InvalidationMode) -> TestbedConfig {
+        TestbedConfig {
+            device: DeviceKind::NvmeQueuePair,
+            iommu: IommuConfig {
+                mode,
+                ..Default::default()
+            },
+            driver: DriverConfig {
+                unmap_order: order,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn boot_deliver_and_clean_teardown() {
+        let mut tb = NvmeTestbed::boot(
+            cfg(UnmapOrder::UnmapThenBuild, InvalidationMode::Strict),
+            BootSpec::Quiet,
+        )
+        .unwrap();
+        for i in 0..20u8 {
+            tb.deliver(128, i).unwrap();
+        }
+        assert_eq!(tb.delivered_count(), 20);
+        assert_eq!(tb.descriptors().len(), NVME_POOL);
+        assert_eq!(tb.teardown().unwrap(), 0);
+    }
+
+    #[test]
+    fn completion_window_opens_only_with_build_then_unmap() {
+        let mut open = NvmeTestbed::boot(
+            cfg(UnmapOrder::BuildThenUnmap, InvalidationMode::Strict),
+            BootSpec::Quiet,
+        )
+        .unwrap();
+        let hit = open.window_race(0xffff_8880_0000_2000).unwrap().unwrap();
+        assert_eq!(hit.path, WindowPath::UnmapAfterBuild);
+        assert_eq!(hit.site, "nvme_prp.data");
+
+        let mut closed = NvmeTestbed::boot(
+            cfg(UnmapOrder::UnmapThenBuild, InvalidationMode::Strict),
+            BootSpec::Quiet,
+        )
+        .unwrap();
+        assert!(closed.window_race(0xdead).unwrap().is_none());
+    }
+
+    #[test]
+    fn stale_write_needs_deferred_invalidation() {
+        let mut tb = NvmeTestbed::boot(
+            cfg(UnmapOrder::UnmapThenBuild, InvalidationMode::Deferred),
+            BootSpec::Quiet,
+        )
+        .unwrap();
+        assert_eq!(
+            tb.window_stale(0xbeef).unwrap().path,
+            WindowPath::DeferredIotlb
+        );
+
+        let mut strict = NvmeTestbed::boot(
+            cfg(UnmapOrder::UnmapThenBuild, InvalidationMode::Strict),
+            BootSpec::Quiet,
+        )
+        .unwrap();
+        assert!(strict.window_stale(0xbeef).is_err());
+    }
+}

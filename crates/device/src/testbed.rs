@@ -5,22 +5,31 @@
 //! IOMMU and a NIC whose DMA the attacker controls.
 
 use crate::device::MaliciousNic;
-use dma_core::{Result, SimCtx};
+use crate::model::{BootSpec, DeviceKind, DeviceModel, WindowHit};
+use dma_core::posture::PostureReport;
+use dma_core::vuln::WindowPath;
+use dma_core::{Iova, Kva, Result, SimCtx, PAGE_SIZE};
 use sim_iommu::{Iommu, IommuConfig};
 use sim_mem::{MemConfig, MemorySystem};
-use sim_net::driver::{DriverConfig, NicDriver};
+use sim_net::driver::{AllocPolicy, DriverConfig, NicDriver, UnmapOrder};
 use sim_net::packet::Packet;
+use sim_net::shinfo::SHINFO_DESTRUCTOR_ARG;
 use sim_net::skb::{PendingCallback, NET_SKB_PAD};
 use sim_net::stack::{NetStack, StackConfig};
 
 /// Full machine configuration.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct TestbedConfig {
+    /// Which device family to boot (see [`crate::model::boot_model`];
+    /// [`Testbed::new`] itself always builds the NIC machine and
+    /// ignores non-NIC values).
+    pub device: DeviceKind,
     /// Memory/KASLR configuration.
     pub mem: MemConfigLite,
     /// IOMMU configuration.
     pub iommu: IommuConfig,
-    /// NIC driver configuration.
+    /// NIC driver configuration. Non-NIC models reuse the shared knobs
+    /// (`dev`, `unmap_order`, ring sizing) and ignore the rest.
     pub driver: DriverConfig,
     /// Upper-stack configuration.
     pub stack: StackConfig,
@@ -99,7 +108,13 @@ impl Testbed {
     /// assert_eq!(tb.stack.stats.delivered, 1);
     /// ```
     pub fn new(cfg: TestbedConfig) -> Result<Self> {
-        let mut ctx = SimCtx::new();
+        Self::build(SimCtx::new(), cfg)
+    }
+
+    /// Boots a machine into a caller-prepared simulation context (the
+    /// [`BootSpec::TracedBoot`] path enables tracing *before* boot so
+    /// the boot-time ring population reaches the event stream).
+    fn build(mut ctx: SimCtx, cfg: TestbedConfig) -> Result<Self> {
         let mut mem = MemorySystem::new(&cfg.mem.into());
         let mut iommu = Iommu::new(cfg.iommu);
         if let Some(seed) = cfg.boot_noise_seed {
@@ -137,6 +152,27 @@ impl Testbed {
         tb.ctx.trace.enabled = true;
         tb.ctx.clock.advance(0);
         Ok(tb)
+    }
+
+    /// Boots a machine under a [`BootSpec`] — the constructor the
+    /// device-model dispatch ([`crate::model::boot_model`]) uses.
+    pub fn boot(cfg: TestbedConfig, spec: BootSpec) -> Result<Self> {
+        match spec {
+            BootSpec::Quiet => Self::new(cfg),
+            BootSpec::Recorded(cap) => {
+                let mut tb = Self::new_recorded(cfg, cap)?;
+                tb.ctx.trace.record_cpu_access = true;
+                Ok(tb)
+            }
+            BootSpec::TracedBoot => {
+                let mut ctx = SimCtx::new();
+                ctx.trace.enabled = true;
+                ctx.trace.record_cpu_access = true;
+                let mut tb = Self::build(ctx, cfg)?;
+                tb.ctx.clock.advance(0);
+                Ok(tb)
+            }
+        }
     }
 
     /// Device delivers one packet and the driver/stack process it to
@@ -237,12 +273,205 @@ impl Testbed {
     }
 }
 
+impl DeviceModel for Testbed {
+    fn kind(&self) -> DeviceKind {
+        DeviceKind::Nic
+    }
+
+    fn sim(&mut self) -> &mut SimCtx {
+        &mut self.ctx
+    }
+
+    fn sim_ref(&self) -> &SimCtx {
+        &self.ctx
+    }
+
+    fn deliver(&mut self, len: usize, fill: u8) -> Result<()> {
+        let pkt = Packet::udp(60 + (fill as u32 % 8), 1, vec![fill; len]);
+        self.deliver_packet(&pkt)
+    }
+
+    fn inject_raw(&mut self, bytes: &[u8]) -> Result<()> {
+        self.deliver_raw(bytes)
+    }
+
+    fn descriptors(&self) -> Vec<(Iova, usize)> {
+        self.driver.rx_descriptors()
+    }
+
+    fn dev_deposit(&mut self, iova: Iova, offset: usize, bytes: &[u8]) -> Result<()> {
+        let nic = self.nic;
+        nic.deposit(
+            &mut self.ctx,
+            &mut self.iommu,
+            &mut self.mem.phys,
+            iova,
+            offset,
+            bytes,
+        )
+    }
+
+    /// Delivers a frame and fires the device write *inside* the rx_poll
+    /// race window — between build_skb and dma_unmap on BuildThenUnmap
+    /// drivers (path (i)), or after the unmap on UnmapThenBuild
+    /// drivers, where it only lands through a stale IOTLB entry
+    /// (path (ii)).
+    fn window_race(&mut self, value: u64) -> Result<Option<WindowHit>> {
+        let descs = self.driver.rx_descriptors();
+        let (iova, _) = *descs.first().ok_or(dma_core::DmaError::RingEmpty)?;
+        let pkt = Packet::udp(61, 1, vec![0xa5; 64]);
+        let n = self.nic.inject_rx(
+            &mut self.ctx,
+            &mut self.iommu,
+            &mut self.mem.phys,
+            iova,
+            &pkt,
+        )?;
+        self.driver.device_rx_complete(n)?;
+
+        let nic = self.nic;
+        let start = self.ctx.clock.now();
+        let mut landed: Option<Iova> = None;
+        loop {
+            let polled = self.driver.rx_poll(
+                &mut self.ctx,
+                &mut self.mem,
+                &mut self.iommu,
+                |ctx, mem, iommu, slot| {
+                    let shinfo = nic.shinfo_iova(slot.mapping.iova, slot.buf_size);
+                    let target = Iova(shinfo.raw() + SHINFO_DESTRUCTOR_ARG as u64);
+                    if nic
+                        .write_u64(ctx, iommu, &mut mem.phys, target, value)
+                        .is_ok()
+                    {
+                        landed = Some(target);
+                    }
+                },
+            )?;
+            match polled {
+                Some(skb) => self.stack.rx(
+                    &mut self.ctx,
+                    &mut self.mem,
+                    &mut self.iommu,
+                    &mut self.driver,
+                    skb,
+                )?,
+                None => break,
+            }
+        }
+        self.stack.flush(
+            &mut self.ctx,
+            &mut self.mem,
+            &mut self.iommu,
+            &mut self.driver,
+        )?;
+
+        Ok(landed.map(|target| {
+            let path = match self.driver.cfg.unmap_order {
+                UnmapOrder::BuildThenUnmap => WindowPath::UnmapAfterBuild,
+                UnmapOrder::UnmapThenBuild => WindowPath::DeferredIotlb,
+            };
+            WindowHit {
+                site: "skb_shared_info.destructor_arg",
+                field: "destructor_arg",
+                target,
+                path,
+                start,
+                end: self.ctx.clock.now(),
+            }
+        }))
+    }
+
+    /// Captures the head descriptor, lets the driver consume and unmap
+    /// it, then writes through the captured IOVA: only a stale IOTLB
+    /// entry (deferred invalidation, §5.2.1) lets this land.
+    fn window_stale(&mut self, value: u64) -> Result<WindowHit> {
+        let descs = self.driver.rx_descriptors();
+        let (iova, buf_size) = *descs.first().ok_or(dma_core::DmaError::RingEmpty)?;
+        let target = Iova(iova.raw() + buf_size as u64 + SHINFO_DESTRUCTOR_ARG as u64);
+        let start = self.ctx.clock.now();
+        // Consuming the head frame fills the IOTLB through this IOVA and
+        // then unmaps it; under deferred invalidation the entry lingers.
+        self.deliver_packet(&Packet::udp(62, 1, vec![0x5a; 48]))?;
+        self.nic.write_u64(
+            &mut self.ctx,
+            &mut self.iommu,
+            &mut self.mem.phys,
+            target,
+            value,
+        )?;
+        Ok(WindowHit {
+            site: "skb_shared_info.destructor_arg",
+            field: "destructor_arg",
+            target,
+            path: WindowPath::DeferredIotlb,
+            start,
+            end: self.ctx.clock.now(),
+        })
+    }
+
+    fn tick_ms(&mut self, ms: u64) {
+        self.advance_ms(ms);
+    }
+
+    fn churn_alloc(&mut self, size: usize, site: &'static str) -> Result<Kva> {
+        self.mem.kmalloc(&mut self.ctx, size, site)
+    }
+
+    fn churn_free(&mut self, kva: Kva) -> Result<()> {
+        self.mem.kfree(&mut self.ctx, kva)
+    }
+
+    fn scan_leaks(&mut self) -> usize {
+        let descs = self.driver.rx_descriptors();
+        let nic = self.nic;
+        nic.scan_descriptors(&mut self.ctx, &mut self.iommu, &self.mem.phys, &descs)
+            .len()
+    }
+
+    fn complete_io(&mut self) -> Result<()> {
+        self.complete_all_tx().map(|_| ())
+    }
+
+    fn recover(&mut self) -> Result<()> {
+        self.driver
+            .rx_refill(&mut self.ctx, &mut self.mem, &mut self.iommu)
+    }
+
+    fn teardown(&mut self) -> Result<usize> {
+        self.shutdown()
+    }
+
+    fn delivered_count(&self) -> u64 {
+        self.stack.stats.delivered + self.stack.stats.echoed
+    }
+
+    fn colocates_random(&self) -> bool {
+        matches!(self.driver.cfg.alloc, AllocPolicy::Kmalloc) || self.driver.cfg.map_ctrl_block
+    }
+
+    fn posture(&self, label: &str) -> PostureReport {
+        // PagePerBuffer wastes the page's tail but shares it with
+        // nothing: the effective sub-page surface is the whole page.
+        let effective_buf = match self.driver.cfg.alloc {
+            AllocPolicy::PagePerBuffer => PAGE_SIZE,
+            _ => self.driver.cfg.rx_buf_size,
+        };
+        let stale = self.ctx.metrics.histogram("sim_iommu.stale_window.cycles");
+        self.iommu.posture(label, effective_buf, stale)
+    }
+
+    fn clone_model(&self) -> Box<dyn DeviceModel> {
+        Box::new(self.clone())
+    }
+}
+
 /// Early-boot allocation jitter: a seed-dependent number of page and
 /// object allocations made before the NIC driver probes, shifting where
 /// its RX buffers land — "while the pages each module receives may vary
 /// in a multi-core environment due to timing issues, we do not expect
 /// the drift to be too large" (§5.3).
-fn boot_noise(ctx: &mut SimCtx, mem: &mut MemorySystem, seed: u64) -> Result<()> {
+pub(crate) fn boot_noise(ctx: &mut SimCtx, mem: &mut MemorySystem, seed: u64) -> Result<()> {
     let mut rng = dma_core::DetRng::new(seed ^ 0xb007_b007);
     // Leaked (never-freed) early allocations: modules, firmware blobs...
     let pages = rng.below(49);

@@ -1,0 +1,539 @@
+//! A virtio-style split-ring transport machine.
+//!
+//! Three DMA surfaces, mirroring a virtio-net receive queue:
+//!
+//! * a **descriptor table** the driver kmallocs once and maps
+//!   `ToDevice` (`virtq_desc_map`) — the device *reads* `(iova, len)`
+//!   entries out of it, which is the base+pointer pattern DICE-style
+//!   inference keys on;
+//! * a ring of **kmalloc-backed payload buffers** mapped `FromDevice`
+//!   (`virtio_buf_map`), recycled on every consume — slab co-location
+//!   makes these the type-(d) surface on a non-NIC device;
+//! * a long-lived **used ring** mapped `FromDevice` (`virtq_used_map`)
+//!   that the device publishes completions into — a device-writable
+//!   control block, like the paper's mapped command queues.
+//!
+//! The driver-side consume order mirrors the NIC's `UnmapOrder` knob:
+//! `BuildThenUnmap` parses the buffer while its mapping is live (the
+//! §5.2.2 path (i) window, and a CPU access D-KASAN flags), while
+//! `UnmapThenBuild` unmaps first and is only exposed through deferred
+//! invalidation (path (ii)).
+
+use crate::device::MaliciousEndpoint;
+use crate::model::{BootSpec, DeviceKind, DeviceModel, WindowHit};
+use crate::testbed::{boot_noise, TestbedConfig};
+use dma_core::posture::PostureReport;
+use dma_core::trace::DeviceId;
+use dma_core::vuln::{DmaDirection, WindowPath};
+use dma_core::{DmaError, Iova, Kva, Result, SimCtx};
+use sim_iommu::{dma_map_single, dma_unmap_single, DmaMapping, Iommu};
+use sim_mem::MemorySystem;
+use sim_net::driver::UnmapOrder;
+use std::collections::VecDeque;
+
+/// Split-ring size (descriptor and used-ring entries).
+pub const VIRTQ_SIZE: usize = 16;
+/// Bytes per descriptor entry: IOVA (8) + length (8, oversized so the
+/// device can read both with aligned u64 loads).
+pub const VIRTQ_DESC_ENTRY: usize = 16;
+/// Bytes per used-ring entry: buffer id (4) + written length (4).
+pub const VIRTQ_USED_ENTRY: usize = 8;
+/// Payload buffer size — a kmalloc-1024 object, so mapped buffers share
+/// slab pages with whatever the allocator co-locates.
+pub const VIRTIO_BUF_SIZE: usize = 1024;
+/// Leading `virtio_net_hdr` bytes the device writes before the payload.
+pub const VIRTIO_HDR_SIZE: usize = 12;
+
+#[derive(Clone, Copy, Debug)]
+struct PostedBuf {
+    kva: Kva,
+    mapping: DmaMapping,
+    desc_idx: usize,
+}
+
+/// The assembled virtio-style machine.
+#[derive(Clone)]
+pub struct VirtioTestbed {
+    /// Simulation context (clock + trace).
+    pub ctx: SimCtx,
+    /// Memory system.
+    pub mem: MemorySystem,
+    /// IOMMU.
+    pub iommu: Iommu,
+    /// The attacker-controlled endpoint.
+    pub ep: MaliciousEndpoint,
+    dev: DeviceId,
+    order: UnmapOrder,
+    desc_kva: Kva,
+    desc: DmaMapping,
+    used_kva: Kva,
+    used: DmaMapping,
+    posted: VecDeque<PostedBuf>,
+    next_desc: usize,
+    used_idx: usize,
+    delivered: u64,
+    torn_down: bool,
+}
+
+impl VirtioTestbed {
+    /// Boots the machine under a [`BootSpec`].
+    pub fn boot(cfg: TestbedConfig, spec: BootSpec) -> Result<Self> {
+        match spec {
+            BootSpec::Quiet => Self::build(SimCtx::new(), cfg),
+            BootSpec::Recorded(cap) => {
+                let mut tb = Self::build(SimCtx::new(), cfg)?;
+                tb.ctx.trace = dma_core::Trace::recorded(cap);
+                tb.ctx.trace.enabled = true;
+                tb.ctx.trace.record_cpu_access = true;
+                tb.ctx.clock.advance(0);
+                Ok(tb)
+            }
+            BootSpec::TracedBoot => {
+                let mut ctx = SimCtx::new();
+                ctx.trace.enabled = true;
+                ctx.trace.record_cpu_access = true;
+                let mut tb = Self::build(ctx, cfg)?;
+                tb.ctx.clock.advance(0);
+                Ok(tb)
+            }
+        }
+    }
+
+    fn build(mut ctx: SimCtx, cfg: TestbedConfig) -> Result<Self> {
+        let mut mem = MemorySystem::new(&cfg.mem.into());
+        let mut iommu = Iommu::new(cfg.iommu);
+        if let Some(seed) = cfg.boot_noise_seed {
+            boot_noise(&mut ctx, &mut mem, seed)?;
+        }
+        let dev = cfg.driver.dev;
+        iommu.attach_device(dev);
+        let desc_kva = mem.kzalloc(&mut ctx, VIRTQ_SIZE * VIRTQ_DESC_ENTRY, "virtq_desc_alloc")?;
+        let desc = dma_map_single(
+            &mut ctx,
+            &mut iommu,
+            &mem.layout,
+            dev,
+            desc_kva,
+            VIRTQ_SIZE * VIRTQ_DESC_ENTRY,
+            DmaDirection::ToDevice,
+            "virtq_desc_map",
+        )?;
+        let used_kva = mem.kzalloc(&mut ctx, VIRTQ_SIZE * VIRTQ_USED_ENTRY, "virtq_used_alloc")?;
+        let used = dma_map_single(
+            &mut ctx,
+            &mut iommu,
+            &mem.layout,
+            dev,
+            used_kva,
+            VIRTQ_SIZE * VIRTQ_USED_ENTRY,
+            DmaDirection::FromDevice,
+            "virtq_used_map",
+        )?;
+        let mut tb = VirtioTestbed {
+            ctx,
+            mem,
+            iommu,
+            ep: MaliciousEndpoint::new(dev),
+            dev,
+            order: cfg.driver.unmap_order,
+            desc_kva,
+            desc,
+            used_kva,
+            used,
+            posted: VecDeque::with_capacity(VIRTQ_SIZE),
+            next_desc: 0,
+            used_idx: 0,
+            delivered: 0,
+            torn_down: false,
+        };
+        for _ in 0..VIRTQ_SIZE {
+            tb.post_buffer()?;
+        }
+        Ok(tb)
+    }
+
+    /// Driver side: kmalloc a fresh payload buffer, map it, and publish
+    /// its `(iova, len)` through the descriptor table (a CPU write into
+    /// a live `ToDevice` mapping — exactly what D-KASAN's
+    /// access-after-map class watches for).
+    fn post_buffer(&mut self) -> Result<()> {
+        let kva = self
+            .mem
+            .kmalloc(&mut self.ctx, VIRTIO_BUF_SIZE, "virtio_buf_alloc")?;
+        let mapping = match dma_map_single(
+            &mut self.ctx,
+            &mut self.iommu,
+            &self.mem.layout,
+            self.dev,
+            kva,
+            VIRTIO_BUF_SIZE,
+            DmaDirection::FromDevice,
+            "virtio_buf_map",
+        ) {
+            Ok(m) => m,
+            Err(e) => {
+                self.mem.kfree(&mut self.ctx, kva)?;
+                return Err(e);
+            }
+        };
+        let desc_idx = self.next_desc;
+        self.next_desc = (self.next_desc + 1) % VIRTQ_SIZE;
+        let entry = Kva(self.desc_kva.raw() + (desc_idx * VIRTQ_DESC_ENTRY) as u64);
+        self.mem
+            .cpu_write_u64(&mut self.ctx, entry, mapping.iova.raw(), "virtq_post_desc")?;
+        self.mem.cpu_write_u64(
+            &mut self.ctx,
+            Kva(entry.raw() + 8),
+            VIRTIO_BUF_SIZE as u64,
+            "virtq_post_desc",
+        )?;
+        self.posted.push_back(PostedBuf {
+            kva,
+            mapping,
+            desc_idx,
+        });
+        Ok(())
+    }
+
+    /// Device side: read the head descriptor, write header + payload
+    /// into the buffer it names, and publish a used-ring entry.
+    fn device_rx(&mut self, payload: &[u8]) -> Result<()> {
+        let head = *self.posted.front().ok_or(DmaError::RingEmpty)?;
+        let ep = self.ep;
+        // Base+pointer step: the device learns the buffer IOVA by
+        // DMA-reading the descriptor entry, not from the driver's state.
+        let desc_iova = Iova(self.desc.iova.raw() + (head.desc_idx * VIRTQ_DESC_ENTRY) as u64);
+        let buf_iova =
+            Iova(ep.read_u64(&mut self.ctx, &mut self.iommu, &self.mem.phys, desc_iova)?);
+        let mut hdr = [0u8; VIRTIO_HDR_SIZE];
+        hdr[0] = 1; // num_buffers = 1
+        ep.write(
+            &mut self.ctx,
+            &mut self.iommu,
+            &mut self.mem.phys,
+            buf_iova,
+            &hdr,
+        )?;
+        let n = payload.len().min(VIRTIO_BUF_SIZE - VIRTIO_HDR_SIZE);
+        ep.deposit(
+            &mut self.ctx,
+            &mut self.iommu,
+            &mut self.mem.phys,
+            buf_iova,
+            VIRTIO_HDR_SIZE,
+            &payload[..n],
+        )?;
+        let mut elem = [0u8; VIRTQ_USED_ENTRY];
+        elem[..4].copy_from_slice(&(head.desc_idx as u32).to_le_bytes());
+        elem[4..].copy_from_slice(&((n + VIRTIO_HDR_SIZE) as u32).to_le_bytes());
+        ep.write(
+            &mut self.ctx,
+            &mut self.iommu,
+            &mut self.mem.phys,
+            Iova(self.used.iova.raw() + (self.used_idx * VIRTQ_USED_ENTRY) as u64),
+            &elem,
+        )?;
+        Ok(())
+    }
+
+    /// Driver side: consume the head used entry. With `race_value` set,
+    /// the device fires a write at the buffer's header inside the
+    /// consume window; returns the landed target, if any.
+    fn consume_one(&mut self, race_value: Option<u64>, repost: bool) -> Result<Option<Iova>> {
+        let buf = self.posted.pop_front().ok_or(DmaError::RingEmpty)?;
+        let used_entry = Kva(self.used_kva.raw() + (self.used_idx * VIRTQ_USED_ENTRY) as u64);
+        self.mem
+            .cpu_read_u64(&mut self.ctx, used_entry, "virtq_read_used")?;
+        self.used_idx = (self.used_idx + 1) % VIRTQ_SIZE;
+        let ep = self.ep;
+        let mut landed = None;
+        let mut race = |ctx: &mut SimCtx, iommu: &mut Iommu, mem: &mut MemorySystem| {
+            if let Some(v) = race_value {
+                if ep
+                    .write_u64(ctx, iommu, &mut mem.phys, buf.mapping.iova, v)
+                    .is_ok()
+                {
+                    landed = Some(buf.mapping.iova);
+                }
+            }
+        };
+        match self.order {
+            UnmapOrder::BuildThenUnmap => {
+                let mut hdr = [0u8; VIRTIO_HDR_SIZE];
+                self.mem
+                    .cpu_read(&mut self.ctx, buf.kva, &mut hdr, "virtio_rx_parse")?;
+                race(&mut self.ctx, &mut self.iommu, &mut self.mem);
+                dma_unmap_single(&mut self.ctx, &mut self.iommu, &buf.mapping)?;
+            }
+            UnmapOrder::UnmapThenBuild => {
+                dma_unmap_single(&mut self.ctx, &mut self.iommu, &buf.mapping)?;
+                let mut hdr = [0u8; VIRTIO_HDR_SIZE];
+                self.mem
+                    .cpu_read(&mut self.ctx, buf.kva, &mut hdr, "virtio_rx_parse")?;
+                race(&mut self.ctx, &mut self.iommu, &mut self.mem);
+            }
+        }
+        self.mem.kfree(&mut self.ctx, buf.kva)?;
+        self.delivered += 1;
+        if repost {
+            self.post_buffer()?;
+        }
+        Ok(landed)
+    }
+
+    fn rx_round(&mut self, payload: &[u8]) -> Result<()> {
+        self.device_rx(payload)?;
+        self.consume_one(None, true)?;
+        Ok(())
+    }
+}
+
+impl DeviceModel for VirtioTestbed {
+    fn kind(&self) -> DeviceKind {
+        DeviceKind::VirtioSplit
+    }
+
+    fn sim(&mut self) -> &mut SimCtx {
+        &mut self.ctx
+    }
+
+    fn sim_ref(&self) -> &SimCtx {
+        &self.ctx
+    }
+
+    fn deliver(&mut self, len: usize, fill: u8) -> Result<()> {
+        let payload = vec![fill; len.min(VIRTIO_BUF_SIZE)];
+        self.rx_round(&payload)
+    }
+
+    fn inject_raw(&mut self, bytes: &[u8]) -> Result<()> {
+        self.rx_round(bytes)
+    }
+
+    fn descriptors(&self) -> Vec<(Iova, usize)> {
+        self.posted
+            .iter()
+            .map(|b| (b.mapping.iova, VIRTIO_BUF_SIZE))
+            .collect()
+    }
+
+    fn dev_deposit(&mut self, iova: Iova, offset: usize, bytes: &[u8]) -> Result<()> {
+        let ep = self.ep;
+        ep.deposit(
+            &mut self.ctx,
+            &mut self.iommu,
+            &mut self.mem.phys,
+            iova,
+            offset,
+            bytes,
+        )
+    }
+
+    fn window_race(&mut self, value: u64) -> Result<Option<WindowHit>> {
+        let start = self.ctx.clock.now();
+        self.device_rx(&[0xa5; 64])?;
+        let landed = self.consume_one(Some(value), true)?;
+        Ok(landed.map(|target| WindowHit {
+            site: "virtio_net_hdr.flags",
+            field: "hdr_flags",
+            target,
+            path: match self.order {
+                UnmapOrder::BuildThenUnmap => WindowPath::UnmapAfterBuild,
+                UnmapOrder::UnmapThenBuild => WindowPath::DeferredIotlb,
+            },
+            start,
+            end: self.ctx.clock.now(),
+        }))
+    }
+
+    fn window_stale(&mut self, value: u64) -> Result<WindowHit> {
+        let head = *self.posted.front().ok_or(DmaError::RingEmpty)?;
+        let target = head.mapping.iova;
+        let start = self.ctx.clock.now();
+        // The consume unmaps the captured buffer; the device wrote
+        // through its IOVA during device_rx, so a deferred IOMMU still
+        // holds the translation. The repost is delayed until after the
+        // stale write so the recycled slot cannot re-claim the captured
+        // IOVA page and mask the staleness.
+        self.device_rx(&[0x5a; 48])?;
+        self.consume_one(None, false)?;
+        let ep = self.ep;
+        let wrote = ep.write_u64(
+            &mut self.ctx,
+            &mut self.iommu,
+            &mut self.mem.phys,
+            target,
+            value,
+        );
+        self.post_buffer()?;
+        wrote?;
+        Ok(WindowHit {
+            site: "virtio_net_hdr.flags",
+            field: "hdr_flags",
+            target,
+            path: WindowPath::DeferredIotlb,
+            start,
+            end: self.ctx.clock.now(),
+        })
+    }
+
+    fn tick_ms(&mut self, ms: u64) {
+        self.ctx.clock.advance_ms(ms);
+        self.iommu.tick(&mut self.ctx);
+    }
+
+    fn churn_alloc(&mut self, size: usize, site: &'static str) -> Result<Kva> {
+        self.mem.kmalloc(&mut self.ctx, size, site)
+    }
+
+    fn churn_free(&mut self, kva: Kva) -> Result<()> {
+        self.mem.kfree(&mut self.ctx, kva)
+    }
+
+    fn scan_leaks(&mut self) -> usize {
+        let ep = self.ep;
+        let mut ranges: Vec<(Iova, usize)> = vec![(self.desc.iova, VIRTQ_SIZE * VIRTQ_DESC_ENTRY)];
+        ranges.extend(self.descriptors());
+        ep.scan_descriptors(&mut self.ctx, &mut self.iommu, &self.mem.phys, &ranges)
+            .len()
+    }
+
+    fn complete_io(&mut self) -> Result<()> {
+        Ok(())
+    }
+
+    fn recover(&mut self) -> Result<()> {
+        while self.posted.len() < VIRTQ_SIZE {
+            self.post_buffer()?;
+        }
+        Ok(())
+    }
+
+    fn teardown(&mut self) -> Result<usize> {
+        if !self.torn_down {
+            self.torn_down = true;
+            while let Some(buf) = self.posted.pop_front() {
+                dma_unmap_single(&mut self.ctx, &mut self.iommu, &buf.mapping)?;
+                self.mem.kfree(&mut self.ctx, buf.kva)?;
+            }
+            dma_unmap_single(&mut self.ctx, &mut self.iommu, &self.desc)?;
+            self.mem.kfree(&mut self.ctx, self.desc_kva)?;
+            dma_unmap_single(&mut self.ctx, &mut self.iommu, &self.used)?;
+            self.mem.kfree(&mut self.ctx, self.used_kva)?;
+        }
+        Ok(self.iommu.mapped_pages(self.dev))
+    }
+
+    fn delivered_count(&self) -> u64 {
+        self.delivered
+    }
+
+    fn colocates_random(&self) -> bool {
+        // Kmalloc-backed buffers and kmalloc'd rings: mapped pages
+        // co-locate whatever the slab allocator places next to them.
+        true
+    }
+
+    fn posture(&self, label: &str) -> PostureReport {
+        let stale = self.ctx.metrics.histogram("sim_iommu.stale_window.cycles");
+        self.iommu.posture(label, VIRTIO_BUF_SIZE, stale)
+    }
+
+    fn clone_model(&self) -> Box<dyn DeviceModel> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_iommu::{InvalidationMode, IommuConfig};
+    use sim_net::driver::DriverConfig;
+
+    fn cfg(order: UnmapOrder, mode: InvalidationMode) -> TestbedConfig {
+        TestbedConfig {
+            device: DeviceKind::VirtioSplit,
+            iommu: IommuConfig {
+                mode,
+                ..Default::default()
+            },
+            driver: DriverConfig {
+                unmap_order: order,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn boot_deliver_and_clean_teardown() {
+        let mut tb = VirtioTestbed::boot(
+            cfg(UnmapOrder::UnmapThenBuild, InvalidationMode::Strict),
+            BootSpec::Quiet,
+        )
+        .unwrap();
+        for i in 0..40u8 {
+            tb.deliver(64 + i as usize, i).unwrap();
+        }
+        assert_eq!(tb.delivered_count(), 40);
+        assert_eq!(tb.descriptors().len(), VIRTQ_SIZE);
+        assert_eq!(tb.teardown().unwrap(), 0);
+    }
+
+    #[test]
+    fn race_lands_in_live_window_under_build_then_unmap() {
+        let mut tb = VirtioTestbed::boot(
+            cfg(UnmapOrder::BuildThenUnmap, InvalidationMode::Strict),
+            BootSpec::Quiet,
+        )
+        .unwrap();
+        let hit = tb.window_race(0xffff_8880_0000_1000).unwrap().unwrap();
+        assert_eq!(hit.path, WindowPath::UnmapAfterBuild);
+        assert_eq!(hit.site, "virtio_net_hdr.flags");
+    }
+
+    #[test]
+    fn race_is_closed_by_strict_unmap_then_build() {
+        let mut tb = VirtioTestbed::boot(
+            cfg(UnmapOrder::UnmapThenBuild, InvalidationMode::Strict),
+            BootSpec::Quiet,
+        )
+        .unwrap();
+        assert!(tb.window_race(0xdead).unwrap().is_none());
+    }
+
+    #[test]
+    fn stale_write_lands_only_under_deferred_invalidation() {
+        let mut tb = VirtioTestbed::boot(
+            cfg(UnmapOrder::UnmapThenBuild, InvalidationMode::Deferred),
+            BootSpec::Quiet,
+        )
+        .unwrap();
+        let hit = tb.window_stale(0xbeef).unwrap();
+        assert_eq!(hit.path, WindowPath::DeferredIotlb);
+
+        let mut strict = VirtioTestbed::boot(
+            cfg(UnmapOrder::UnmapThenBuild, InvalidationMode::Strict),
+            BootSpec::Quiet,
+        )
+        .unwrap();
+        assert!(strict.window_stale(0xbeef).is_err());
+    }
+
+    #[test]
+    fn traced_boot_captures_ring_population() {
+        let mut tb = VirtioTestbed::boot(
+            cfg(UnmapOrder::UnmapThenBuild, InvalidationMode::Deferred),
+            BootSpec::TracedBoot,
+        )
+        .unwrap();
+        let events = tb.ctx.trace.drain();
+        let maps = events
+            .iter()
+            .filter(
+                |e| matches!(e, dma_core::Event::DmaMap { site, .. } if *site == "virtio_buf_map"),
+            )
+            .count();
+        assert_eq!(maps, VIRTQ_SIZE);
+    }
+}

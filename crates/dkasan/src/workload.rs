@@ -106,6 +106,7 @@ pub fn run_workload(cfg: WorkloadConfig) -> Result<WorkloadReport> {
     // kmalloc-backed RX buffers: I/O pages come from the same caches as
     // everything else — the point of the experiment.
     let mut tb = Testbed::new_traced(TestbedConfig {
+        device: Default::default(),
         mem: MemConfigLite {
             kaslr_seed: Some(cfg.seed),
             ..Default::default()

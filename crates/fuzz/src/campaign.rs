@@ -212,6 +212,10 @@ pub struct CampaignConfig {
     pub plant_panic_at: Option<u64>,
     /// Plant the runaway input at this iteration (testing/CI).
     pub plant_hang_at: Option<u64>,
+    /// Restrict the campaign to one machine configuration: every
+    /// generated input's `config_id` is overridden to this row of the
+    /// device×mode matrix (the `dma-lab fuzz --config` path).
+    pub only_config: Option<u8>,
 }
 
 impl CampaignConfig {
@@ -227,6 +231,7 @@ impl CampaignConfig {
             watchdog_budget: DEFAULT_WATCHDOG_BUDGET,
             plant_panic_at: None,
             plant_hang_at: None,
+            only_config: None,
         }
     }
 }
@@ -459,7 +464,10 @@ impl Campaign {
         } else {
             it
         };
-        let input = FuzzInput::generate(self.cfg.seed, gen_it);
+        let mut input = FuzzInput::generate(self.cfg.seed, gen_it);
+        if let Some(c) = self.cfg.only_config {
+            input.config_id = c;
+        }
         let budget = self.cfg.watchdog_budget;
         // Warm execution: boot templates live outside the unwind scope
         // and are only ever cloned, so a contained panic cannot poison

@@ -1,27 +1,31 @@
 //! Deterministic execution of one fuzz input against a fresh machine.
 //!
-//! Each input boots its own traced [`Testbed`] (configuration chosen by
-//! `config_id`), applies its op program, replays the event trace
-//! through D-KASAN after every op, and folds everything observable into
-//! a [`CoverageMap`]: per-op outcomes, trace-event shapes, fault-site
+//! Each input boots its own traced machine — the `config_id` row of the
+//! device×mode [`MACHINES`] matrix selects the device family
+//! ([`DeviceKind`]) along with its unmap ordering and invalidation mode
+//! — applies its op program through the [`DeviceModel`] trait, replays
+//! the event trace through D-KASAN *and* the `dma-infer` channel
+//! engine after every op, and folds everything observable into a
+//! [`CoverageMap`]: per-op outcomes, trace-event shapes, fault-site
 //! hits, metric/span names, D-KASAN finding classes, Figure-1 taxonomy
 //! letters, and §5.2 window paths. The map's signature is the input's
 //! behavioral fingerprint — identical across replays of the same
 //! `(seed, iteration)`.
+//!
+//! The mutation vocabulary carries **no device-specific offsets**: the
+//! `channel_write` op aims at whatever the in-run [`ChannelInference`]
+//! has learned so far, so the same op program tampers with
+//! `skb_shared_info` on the NIC, virtio-net headers on the split-ring
+//! machine, and PRP data pages on the NVMe pair.
 
 use devsim::testbed::MemConfigLite;
-use devsim::{Testbed, TestbedConfig};
+use devsim::{boot_model, BootSpec, DeviceKind, DeviceModel, TestbedConfig, WindowHit};
 use dkasan::{investigate, DKasan, FindingKind, Incident};
-use dma_core::vuln::{
-    CallbackExposure, SubPageVulnerability, TimeWindow, VulnerabilityAttributes, WindowPath,
-};
-use dma_core::{
-    CoverageMap, DetRng, DmaError, Event, Iova, Kva, ProvenanceGraph, Result, VmRegion,
-};
+use dma_core::vuln::{CallbackExposure, SubPageVulnerability, TimeWindow, VulnerabilityAttributes};
+use dma_core::{CoverageMap, DetRng, DmaError, Event, Kva, ProvenanceGraph, Result, VmRegion};
+use dma_infer::ChannelInference;
 use sim_iommu::{InvalidationMode, IommuConfig};
 use sim_net::driver::{AllocPolicy, DriverConfig, UnmapOrder};
-use sim_net::packet::Packet;
-use sim_net::shinfo::{DEVICE_WRITABLE_FIELDS, SHINFO_DESTRUCTOR_ARG};
 use sim_net::stack::StackConfig;
 
 use crate::input::{FuzzInput, MutationOp, FAULT_GLOBS, NUM_CONFIGS};
@@ -122,65 +126,157 @@ pub struct ForensicRun {
     pub incidents: Vec<Incident>,
 }
 
+/// One row of the machine matrix: which device family boots, under
+/// which driver shape and invalidation mode.
+struct MachineRow {
+    name: &'static str,
+    device: DeviceKind,
+    alloc: AllocPolicy,
+    unmap_order: UnmapOrder,
+    map_ctrl_block: bool,
+    mode: InvalidationMode,
+}
+
+/// The device×mode matrix `config_id` indexes. Rows 0–3 are the
+/// original NIC sweep (byte-compatible shapes); row 4 inverts the NIC's
+/// unmap/flush ordering; rows 5–8 are the non-NIC zoo members in their
+/// window-open (deferred) and window-closed (strict) modes.
+const MACHINES: [MachineRow; NUM_CONFIGS as usize] = [
+    MachineRow {
+        name: "pagefrag-deferred",
+        device: DeviceKind::Nic,
+        alloc: AllocPolicy::PageFrag,
+        unmap_order: UnmapOrder::UnmapThenBuild,
+        map_ctrl_block: false,
+        mode: InvalidationMode::Deferred,
+    },
+    MachineRow {
+        name: "i40e-build-then-unmap-strict",
+        device: DeviceKind::Nic,
+        alloc: AllocPolicy::PageFrag,
+        unmap_order: UnmapOrder::BuildThenUnmap,
+        map_ctrl_block: false,
+        mode: InvalidationMode::Strict,
+    },
+    MachineRow {
+        name: "kmalloc-ctrlblock-deferred",
+        device: DeviceKind::Nic,
+        alloc: AllocPolicy::Kmalloc,
+        unmap_order: UnmapOrder::UnmapThenBuild,
+        map_ctrl_block: true,
+        mode: InvalidationMode::Deferred,
+    },
+    MachineRow {
+        name: "pageperbuffer-strict",
+        device: DeviceKind::Nic,
+        alloc: AllocPolicy::PagePerBuffer,
+        unmap_order: UnmapOrder::UnmapThenBuild,
+        map_ctrl_block: false,
+        mode: InvalidationMode::Strict,
+    },
+    MachineRow {
+        name: "nic-inverted-deferred",
+        device: DeviceKind::Nic,
+        alloc: AllocPolicy::PageFrag,
+        unmap_order: UnmapOrder::BuildThenUnmap,
+        map_ctrl_block: false,
+        mode: InvalidationMode::Deferred,
+    },
+    MachineRow {
+        name: "virtio-split-deferred",
+        device: DeviceKind::VirtioSplit,
+        alloc: AllocPolicy::Kmalloc,
+        unmap_order: UnmapOrder::UnmapThenBuild,
+        map_ctrl_block: false,
+        mode: InvalidationMode::Deferred,
+    },
+    MachineRow {
+        name: "virtio-split-strict",
+        device: DeviceKind::VirtioSplit,
+        alloc: AllocPolicy::Kmalloc,
+        unmap_order: UnmapOrder::BuildThenUnmap,
+        map_ctrl_block: false,
+        mode: InvalidationMode::Strict,
+    },
+    MachineRow {
+        name: "nvme-qpair-deferred",
+        device: DeviceKind::NvmeQueuePair,
+        alloc: AllocPolicy::PageFrag,
+        unmap_order: UnmapOrder::UnmapThenBuild,
+        map_ctrl_block: false,
+        mode: InvalidationMode::Deferred,
+    },
+    MachineRow {
+        name: "nvme-qpair-strict",
+        device: DeviceKind::NvmeQueuePair,
+        alloc: AllocPolicy::PageFrag,
+        unmap_order: UnmapOrder::BuildThenUnmap,
+        map_ctrl_block: false,
+        mode: InvalidationMode::Strict,
+    },
+];
+
+fn machine_row(config_id: u8) -> &'static MachineRow {
+    MACHINES
+        .get(config_id as usize)
+        .unwrap_or_else(|| panic!("config id {config_id} out of range (0..{NUM_CONFIGS})"))
+}
+
 /// Human-readable name of a machine configuration.
+///
+/// # Panics
+/// On an out-of-range id — ids are validated at the CLI boundary
+/// ([`parse_config`]) and never silently aliased.
 pub fn config_name(config_id: u8) -> &'static str {
-    match config_id % NUM_CONFIGS {
-        0 => "pagefrag-deferred",
-        1 => "i40e-build-then-unmap-strict",
-        2 => "kmalloc-ctrlblock-deferred",
-        _ => "pageperbuffer-strict",
+    machine_row(config_id).name
+}
+
+/// The device family a machine configuration boots.
+///
+/// # Panics
+/// On an out-of-range id (see [`config_name`]).
+pub fn config_device(config_id: u8) -> DeviceKind {
+    machine_row(config_id).device
+}
+
+/// Parses a CLI config selector: a numeric id (`"5"`) or an exact
+/// configuration name (`"virtio-split-deferred"`). Returns `None` for
+/// out-of-range ids and unknown names — the caller rejects, it never
+/// wraps.
+pub fn parse_config(s: &str) -> Option<u8> {
+    if s.chars().all(|c| c.is_ascii_digit()) && !s.is_empty() {
+        let id = s.parse::<u64>().ok()?;
+        return (id < NUM_CONFIGS as u64).then_some(id as u8);
     }
+    (0..NUM_CONFIGS).find(|&id| config_name(id) == s)
 }
 
 /// The machine configuration sweep. Index 1 is the planted i40e-style
 /// shape (build_skb before unmap, §5.2.2 path (i)); index 2 is the
 /// kmalloc + mapped-control-block shape whose slab sharing D-KASAN
-/// flags (types (b)/(d)).
+/// flags (types (b)/(d)); indexes 5–8 boot the virtio split-ring and
+/// NVMe queue-pair zoo members.
+///
+/// # Panics
+/// On an out-of-range id (see [`config_name`]).
 pub fn machine_config(config_id: u8, seed: u64) -> TestbedConfig {
-    let (driver, mode) = match config_id % NUM_CONFIGS {
-        0 => (
-            DriverConfig {
-                alloc: AllocPolicy::PageFrag,
-                unmap_order: UnmapOrder::UnmapThenBuild,
-                ..Default::default()
-            },
-            InvalidationMode::Deferred,
-        ),
-        1 => (
-            DriverConfig {
-                alloc: AllocPolicy::PageFrag,
-                unmap_order: UnmapOrder::BuildThenUnmap,
-                ..Default::default()
-            },
-            InvalidationMode::Strict,
-        ),
-        2 => (
-            DriverConfig {
-                alloc: AllocPolicy::Kmalloc,
-                map_ctrl_block: true,
-                ..Default::default()
-            },
-            InvalidationMode::Deferred,
-        ),
-        _ => (
-            DriverConfig {
-                alloc: AllocPolicy::PagePerBuffer,
-                unmap_order: UnmapOrder::UnmapThenBuild,
-                ..Default::default()
-            },
-            InvalidationMode::Strict,
-        ),
-    };
+    let row = machine_row(config_id);
     TestbedConfig {
+        device: row.device,
         mem: MemConfigLite {
             kaslr_seed: Some(seed),
             ..Default::default()
         },
         iommu: IommuConfig {
-            mode,
+            mode: row.mode,
             ..Default::default()
         },
-        driver,
+        driver: DriverConfig {
+            alloc: row.alloc,
+            unmap_order: row.unmap_order,
+            map_ctrl_block: row.map_ctrl_block,
+            ..Default::default()
+        },
         stack: StackConfig {
             echo_service: true,
             ..Default::default()
@@ -189,9 +285,25 @@ pub fn machine_config(config_id: u8, seed: u64) -> TestbedConfig {
     }
 }
 
+/// Errors that mean allocator metadata was torn by an earlier device
+/// write (e.g. a stale-window DMA into a freed slab object clobbering
+/// the in-object freelist pointer): the crash surfaces on a *later*
+/// allocation popping the planted value as a KVA. The executor converts
+/// these into type-(d) findings instead of aborting the campaign.
+fn corruption(e: &DmaError) -> bool {
+    matches!(
+        e,
+        DmaError::NotDirectMap(_)
+            | DmaError::BadPhysAddr(_)
+            | DmaError::BadPfn(_)
+            | DmaError::BadFree(_)
+    )
+}
+
 /// Errors an op may absorb as a drop (same set as the chaos soak).
 fn tolerated(e: &DmaError) -> bool {
     e.is_transient()
+        || corruption(e)
         || matches!(
             e,
             DmaError::IommuFault { .. } | DmaError::IommuPermission { .. }
@@ -206,15 +318,17 @@ const CHURN_SITES: &[(&str, usize)] = &[
     ("getname_flags", 1024),
 ];
 
-/// Figure-1 taxonomy class for a D-KASAN finding under a given driver
-/// configuration (kmalloc or mapped-control-block shapes co-locate
-/// random objects; page-frag shapes share driver-owned metadata).
-pub fn taxonomy_of(kind: FindingKind, cfg: &DriverConfig) -> SubPageVulnerability {
+/// Figure-1 taxonomy class for a D-KASAN finding: machines whose DMA
+/// buffers co-locate *random* kernel objects (kmalloc-backed buffers,
+/// mapped control blocks — the [`DeviceModel::colocates_random`]
+/// answer) produce type (d); page-frag shapes share driver-owned
+/// metadata, type (a).
+pub fn taxonomy_of(kind: FindingKind, colocates_random: bool) -> SubPageVulnerability {
     match kind {
         FindingKind::MultipleMap => SubPageVulnerability::MultipleIova,
         FindingKind::AccessAfterMap => SubPageVulnerability::OsMetadata,
         FindingKind::AllocAfterMap | FindingKind::MapAfterAlloc => {
-            if matches!(cfg.alloc, AllocPolicy::Kmalloc) || cfg.map_ctrl_block {
+            if colocates_random {
                 SubPageVulnerability::RandomColocation
             } else {
                 SubPageVulnerability::DriverMetadata
@@ -233,14 +347,15 @@ pub const EXEC_RECORDER_CAPACITY: usize = 8192;
 /// Per-shard reusable execution state: booted machine templates plus
 /// per-exec scratch buffers.
 ///
-/// Booting a testbed is ~90% of a cold execution's cost, yet for a given
-/// `(config_id, seed)` every boot is identical. A context boots each of
-/// the [`NUM_CONFIGS`] machine shapes once and deep-clones the template
-/// per exec — the clone carries the exact post-boot state a fresh boot
-/// produces (allocator layout, recorder contents, metrics), so warm and
-/// cold executions are outcome-identical; tests/scale.rs pins this. The
-/// scratch side reuses the input-byte staging buffer and the coverage
-/// bitmap across execs instead of re-allocating them per exec.
+/// Booting a machine is ~90% of a cold execution's cost, yet for a
+/// given `(config_id, seed)` every boot is identical. A context boots
+/// each of the [`NUM_CONFIGS`] matrix rows once and deep-clones the
+/// template per exec — the clone carries the exact post-boot state a
+/// fresh boot produces (allocator layout, recorder contents, metrics),
+/// so warm and cold executions are outcome-identical; tests/scale.rs
+/// pins this. The scratch side reuses the input-byte staging buffer and
+/// the coverage bitmap across execs instead of re-allocating them per
+/// exec.
 ///
 /// One context per shard: it is deliberately `!Sync`-shaped state that a
 /// single shard thread owns, which is what keeps the sharded campaign
@@ -249,7 +364,7 @@ pub struct ExecContext {
     /// One booted template per machine config, keyed by the campaign
     /// seed it was booted with (a context survives seed changes by
     /// re-booting the slot).
-    templates: Vec<Option<(u64, Testbed)>>,
+    templates: Vec<Option<(u64, Box<dyn DeviceModel>)>>,
     /// Reused input-byte staging buffer (`InjectRaw` / `PayloadDeposit`).
     bytes: Vec<u8>,
     /// Reused coverage bitmap, reset per exec.
@@ -269,15 +384,18 @@ impl ExecContext {
     /// A ready-to-run machine for `input`'s configuration: a deep clone
     /// of the cached boot template (booting it first if this is the
     /// slot's first use or the seed changed).
-    fn testbed(&mut self, config_id: u8, seed: u64) -> Result<Testbed> {
-        let idx = (config_id % NUM_CONFIGS) as usize;
+    fn model(&mut self, config_id: u8, seed: u64) -> Result<Box<dyn DeviceModel>> {
+        let cfg = machine_config(config_id, seed); // validates the id
+        let idx = config_id as usize;
         if !matches!(&self.templates[idx], Some((s, _)) if *s == seed) {
-            let mut tb =
-                Testbed::new_recorded(machine_config(config_id, seed), EXEC_RECORDER_CAPACITY)?;
-            tb.ctx.trace.record_cpu_access = true;
-            self.templates[idx] = Some((seed, tb));
+            let m = boot_model(cfg, BootSpec::Recorded(EXEC_RECORDER_CAPACITY))?;
+            self.templates[idx] = Some((seed, m));
         }
-        Ok(self.templates[idx].as_ref().expect("just booted").1.clone())
+        Ok(self.templates[idx]
+            .as_ref()
+            .expect("just booted")
+            .1
+            .clone_model())
     }
 
     /// Warm-path [`execute`]: same outcome, no per-exec boot.
@@ -363,29 +481,33 @@ fn execute_core(
     // The cold path's locals; unused (and unallocated) on the warm path.
     let mut cold_bytes = Vec::new();
     let mut cold_cov = CoverageMap::new();
-    let (mut tb, bytes, cov) = match warm {
+    let (mut model, bytes, cov) = match warm {
         Some(cx) => {
-            let tb = cx.testbed(input.config_id, input.seed)?;
+            let m = cx.model(input.config_id, input.seed)?;
             cx.cov = CoverageMap::new();
-            (tb, &mut cx.bytes, &mut cx.cov)
+            (m, &mut cx.bytes, &mut cx.cov)
         }
         None => {
-            let mut tb = Testbed::new_recorded(
+            let m = boot_model(
                 machine_config(input.config_id, input.seed),
-                EXEC_RECORDER_CAPACITY,
+                BootSpec::Recorded(EXEC_RECORDER_CAPACITY),
             )?;
-            tb.ctx.trace.record_cpu_access = true;
-            (tb, &mut cold_bytes, &mut cold_cov)
+            (m, &mut cold_bytes, &mut cold_cov)
         }
     };
     if let Some(fs) = fault_seed {
-        tb.ctx.faults = devsim::build_fault_plan(fs);
+        model.sim().faults = devsim::build_fault_plan(fs);
     }
 
     let mut dkasan = DKasan::new();
+    // The in-run channel engine: every drained event batch feeds it, so
+    // the `channel_write` vocabulary always aims at what the trace has
+    // actually revealed — never at hand-wired offsets.
+    let mut inference = ChannelInference::new();
     let mut findings: Vec<FuzzFinding> = Vec::new();
     let mut dropped = 0u64;
     cov.add("config", config_name(input.config_id));
+    cov.add("device", model.kind().name());
 
     let mut status = ExecStatus::Completed;
     for (idx, op) in input.ops.iter().enumerate() {
@@ -393,13 +515,14 @@ fn execute_core(
             input.seed ^ input.iteration.wrapping_mul(0x517c_c1b7_2722_0a95) ^ idx as u64,
         );
         match apply_op(
-            &mut tb,
+            model.as_mut(),
             op,
             input.iteration,
             &mut op_rng,
             bytes,
             cov,
             &mut findings,
+            &inference,
             budget,
         ) {
             Ok(()) => {
@@ -408,16 +531,37 @@ fn execute_core(
             Err(e) if tolerated(&e) => {
                 dropped += 1;
                 cov.add("op", &format!("{}.drop", op.name()));
-                // A starved ring blocks every later delivery; kick the
-                // refill path exactly like the chaos soak does.
-                tb.driver
-                    .rx_refill(&mut tb.ctx, &mut tb.mem, &mut tb.iommu)?;
+                if corruption(&e) {
+                    // Deferred crash from torn allocator metadata: a
+                    // device write into a freed-but-translatable mapping
+                    // corrupted state co-located with the buffer.
+                    cov.add_taxonomy(SubPageVulnerability::RandomColocation);
+                    findings.push(FuzzFinding {
+                        iteration: input.iteration,
+                        taxonomy: SubPageVulnerability::RandomColocation,
+                        dkasan: None,
+                        site: format!("allocator.{}", op.name()),
+                        dkasan_id: String::new(),
+                        attrs: VulnerabilityAttributes::default(),
+                    });
+                }
+                // A starved ring blocks every later delivery; re-arm the
+                // receive path exactly like the chaos soak does. Recovery
+                // itself may transiently fail (armed allocation faults,
+                // exhausted deferred IOVA space, corrupted freelists) —
+                // the ring simply stays short until a later op succeeds.
+                if let Err(e2) = model.recover() {
+                    if !tolerated(&e2) {
+                        return Err(e2);
+                    }
+                }
             }
             Err(e) => return Err(e),
         }
-        let events = tb.ctx.trace.drain();
+        let events = model.sim().trace.drain();
         absorb_events(&events, cov);
         dkasan.process(&events);
+        inference.observe_all(&events);
         if let Some(g) = graph.as_deref_mut() {
             g.ingest_all(events);
         }
@@ -425,9 +569,9 @@ fn execute_core(
         // *simulated* clock at op granularity, so the abort point is a
         // pure function of the input, never of host speed.
         if let Some(b) = budget {
-            if tb.ctx.clock.now() >= b {
+            if model.sim_ref().clock.now() >= b {
                 status = ExecStatus::HangAborted {
-                    at_cycles: tb.ctx.clock.now(),
+                    at_cycles: model.sim_ref().clock.now(),
                     after_op: idx,
                 };
                 break;
@@ -438,10 +582,11 @@ fn execute_core(
     // A hang-aborted run skips the orderly shutdown — the campaign
     // quarantines it rather than admitting its outcome anywhere.
     let leaked_pages = if status == ExecStatus::Completed {
-        let lp = tb.shutdown()?;
-        let events = tb.ctx.trace.drain();
+        let lp = model.teardown()?;
+        let events = model.sim().trace.drain();
         absorb_events(&events, cov);
         dkasan.process(&events);
+        inference.observe_all(&events);
         if let Some(g) = graph {
             g.ingest_all(events);
         }
@@ -452,9 +597,10 @@ fn execute_core(
 
     // Oracle: every D-KASAN finding class becomes coverage plus a
     // taxonomy-classified fuzz finding.
+    let colocates = model.colocates_random();
     for f in dkasan.findings() {
         cov.add("dkasan", &format!("{}.{}", f.kind, f.site));
-        let taxonomy = taxonomy_of(f.kind, &tb.driver.cfg);
+        let taxonomy = taxonomy_of(f.kind, colocates);
         cov.add_taxonomy(taxonomy);
         findings.push(FuzzFinding {
             iteration: input.iteration,
@@ -467,10 +613,10 @@ fn execute_core(
     }
 
     // Fold in fault-site hits and which metrics/spans the run lit up.
-    for site in tb.ctx.faults.hits_by_site().keys() {
+    for site in model.sim_ref().faults.hits_by_site().keys() {
         cov.add("fault", site);
     }
-    let snap = tb.ctx.metrics_snapshot();
+    let snap = model.sim_ref().metrics_snapshot();
     for (name, _) in &snap.counters {
         cov.add("metric", name);
     }
@@ -488,11 +634,11 @@ fn execute_core(
         signature: cov.signature(),
         coverage: cov.clone(),
         findings,
-        delivered: tb.stack.stats.delivered + tb.stack.stats.echoed,
+        delivered: model.delivered_count(),
         dropped,
-        cycles: tb.ctx.clock.now(),
+        cycles: model.sim_ref().clock.now(),
         leaked_pages,
-        trace_dropped: tb.ctx.metrics.counter("trace.dropped"),
+        trace_dropped: model.sim_ref().metrics.counter("trace.dropped"),
     };
     Ok((outcome, dkasan))
 }
@@ -543,74 +689,99 @@ fn absorb_events(events: &[Event], cov: &mut CoverageMap) {
     }
 }
 
-/// The head RX descriptor, or `RingEmpty`.
-fn head_desc(tb: &Testbed) -> Result<(Iova, usize)> {
-    tb.driver
-        .rx_descriptors()
-        .first()
-        .copied()
-        .ok_or(DmaError::RingEmpty)
-}
-
 fn classify_kva(value: u64) -> Option<Kva> {
     VmRegion::classify(value).map(|_| Kva(value))
 }
 
+/// Builds the §3.3-attributed finding for a device write that landed
+/// inside a §5.2 window (race or stale path).
+fn window_finding(iteration: u64, hit: &WindowHit, value: u64) -> FuzzFinding {
+    FuzzFinding {
+        iteration,
+        taxonomy: SubPageVulnerability::OsMetadata,
+        dkasan: None,
+        site: hit.site.to_string(),
+        dkasan_id: String::new(),
+        attrs: VulnerabilityAttributes {
+            malicious_kva: classify_kva(value),
+            callback: Some(CallbackExposure {
+                iova: hit.target,
+                page_offset: (hit.target.raw() % dma_core::PAGE_SIZE as u64) as usize,
+                via: SubPageVulnerability::OsMetadata,
+                field: hit.field,
+            }),
+            window: Some(TimeWindow {
+                start: hit.start,
+                end: hit.end,
+                path: hit.path,
+            }),
+        },
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn apply_op(
-    tb: &mut Testbed,
+    model: &mut dyn DeviceModel,
     op: &MutationOp,
     iteration: u64,
     op_rng: &mut DetRng,
     bytes: &mut Vec<u8>,
     cov: &mut CoverageMap,
     findings: &mut Vec<FuzzFinding>,
+    inference: &ChannelInference,
     budget: Option<u64>,
 ) -> Result<()> {
     match *op {
-        MutationOp::Deliver { len, fill } => {
-            let pkt = Packet::udp(60 + (fill as u32 % 8), 1, vec![fill; len]);
-            tb.deliver_packet(&pkt)
-        }
+        MutationOp::Deliver { len, fill } => model.deliver(len, fill),
         MutationOp::InjectRaw { len, fill } => {
             bytes.clear();
             bytes.extend((0..len).map(|i| fill.wrapping_add(i as u8)));
-            tb.deliver_raw(bytes)
+            model.inject_raw(bytes)
         }
-        MutationOp::ShinfoWrite { field, value } => {
-            let (name, offset, width) =
-                DEVICE_WRITABLE_FIELDS[field % DEVICE_WRITABLE_FIELDS.len()];
-            let (iova, buf_size) = head_desc(tb)?;
-            let shinfo = tb.nic.shinfo_iova(iova, buf_size);
-            let bytes = value.to_le_bytes();
-            tb.nic.deposit(
-                &mut tb.ctx,
-                &mut tb.iommu,
-                &mut tb.mem.phys,
-                shinfo,
-                offset,
-                &bytes[..width.min(8)],
-            )?;
-            cov.add("shinfo", name);
-            // A pointer-bearing field reachable by device write is the
-            // §5.1 callback exposure (type (b)): record it, with the
-            // malicious-KVA attribute when the value parses as one.
-            if width == 8 {
+        MutationOp::ChannelWrite {
+            channel,
+            slot,
+            value,
+        } => {
+            // Aim at what inference has learned so far (state as of the
+            // previous op's drain). An empty plan is a tolerated drop —
+            // exactly like a not-yet-populated ring.
+            let plan = inference.write_plan();
+            if plan.is_empty() {
+                return Err(DmaError::RingEmpty);
+            }
+            let ch = &plan[channel % plan.len()];
+            let t = ch.targets[slot % ch.targets.len()];
+            // A deterministic 8-aligned offset inside the channel's
+            // interesting window (metadata block when one was inferred).
+            let room = t.hi.saturating_sub(t.lo).saturating_sub(8);
+            let off = (t.lo
+                + if room > 0 {
+                    (op_rng.below(room as u64 + 1) as usize) & !7
+                } else {
+                    0
+                })
+            .min(t.len.saturating_sub(8));
+            let le = value.to_le_bytes();
+            model.dev_deposit(t.iova, off, &le)?;
+            cov.add("channel", &format!("{}.{}", ch.site, ch.kind.name()));
+            if t.meta {
+                // A device write into inferred co-located OS metadata is
+                // the type-(b) tamper, discovered with zero hand-wiring.
                 findings.push(FuzzFinding {
                     iteration,
                     taxonomy: SubPageVulnerability::OsMetadata,
                     dkasan: None,
-                    site: format!("skb_shared_info.{name}"),
+                    site: format!("{}.meta", t.site),
                     dkasan_id: String::new(),
                     attrs: VulnerabilityAttributes {
                         malicious_kva: classify_kva(value),
                         callback: Some(CallbackExposure {
-                            iova: Iova(shinfo.raw() + offset as u64),
-                            page_offset: ((shinfo.raw() + offset as u64)
-                                % dma_core::PAGE_SIZE as u64)
+                            iova: t.iova + off as u64,
+                            page_offset: ((t.iova.raw() + off as u64) % dma_core::PAGE_SIZE as u64)
                                 as usize,
                             via: SubPageVulnerability::OsMetadata,
-                            field: name,
+                            field: "inferred_meta",
                         }),
                         window: None,
                     },
@@ -619,25 +790,34 @@ fn apply_op(
             Ok(())
         }
         MutationOp::PayloadDeposit { offset, fill, len } => {
-            let (iova, buf_size) = head_desc(tb)?;
+            let descs = model.descriptors();
+            let (iova, buf_size) = descs.first().copied().ok_or(DmaError::RingEmpty)?;
             let room = buf_size.saturating_sub(1).max(1);
             let offset = offset % room;
             let len = len.min(buf_size - offset).max(1);
             bytes.clear();
             bytes.resize(len, fill);
-            tb.nic.deposit(
-                &mut tb.ctx,
-                &mut tb.iommu,
-                &mut tb.mem.phys,
-                iova,
-                offset,
-                bytes,
-            )
+            model.dev_deposit(iova, offset, bytes)
         }
-        MutationOp::RaceWrite { value } => race_write(tb, iteration, value, cov, findings),
-        MutationOp::StaleWrite { value } => stale_write(tb, iteration, value, cov, findings),
+        MutationOp::RaceWrite { value } => {
+            if let Some(hit) = model.window_race(value)? {
+                cov.add_window(hit.path);
+                findings.push(window_finding(iteration, &hit, value));
+            }
+            Ok(())
+        }
+        MutationOp::StaleWrite { value } => {
+            // Strict invalidation revokes the entry before the write:
+            // the resulting IOMMU fault propagates as a tolerated drop —
+            // itself a (negative) observation already in the coverage
+            // map via the event stream.
+            let hit = model.window_stale(value)?;
+            cov.add_window(hit.path);
+            findings.push(window_finding(iteration, &hit, value));
+            Ok(())
+        }
         MutationOp::AdvanceTime { ms } => {
-            tb.advance_ms(ms);
+            model.tick_ms(ms);
             Ok(())
         }
         MutationOp::KmallocChurn { rounds } => {
@@ -645,7 +825,7 @@ fn apply_op(
             for _ in 0..rounds {
                 for _ in 0..(1 + op_rng.below(3)) {
                     let (site, size) = CHURN_SITES[op_rng.below(CHURN_SITES.len() as u64) as usize];
-                    let kva = tb.mem.kmalloc(&mut tb.ctx, size, site)?;
+                    let kva = model.churn_alloc(size, site)?;
                     live.push(kva);
                 }
                 // Free roughly half so slab slots recycle under the
@@ -653,28 +833,25 @@ fn apply_op(
                 while live.len() > 2 {
                     let idx = op_rng.below(live.len() as u64) as usize;
                     let kva = live.swap_remove(idx);
-                    tb.mem.kfree(&mut tb.ctx, kva)?;
+                    model.churn_free(kva)?;
                 }
             }
             for kva in live {
-                tb.mem.kfree(&mut tb.ctx, kva)?;
+                model.churn_free(kva)?;
             }
             Ok(())
         }
         MutationOp::DescriptorScan => {
-            let descs = tb.driver.rx_descriptors();
-            let nic = tb.nic;
-            let leaks = nic.scan_descriptors(&mut tb.ctx, &mut tb.iommu, &tb.mem.phys, &descs);
-            if !leaks.is_empty() {
+            if model.scan_leaks() > 0 {
                 cov.add("op", "descriptor_scan.leaked_ptr");
             }
             Ok(())
         }
-        MutationOp::CompleteTx => tb.complete_all_tx().map(|_| ()),
+        MutationOp::CompleteTx => model.complete_io(),
         MutationOp::ArmFault { glob, every } => {
             let pattern = FAULT_GLOBS[glob % FAULT_GLOBS.len()];
-            let plan = std::mem::take(&mut tb.ctx.faults);
-            tb.ctx.faults = plan.fail_every(pattern, every);
+            let plan = std::mem::take(&mut model.sim().faults);
+            model.sim().faults = plan.fail_every(pattern, every);
             Ok(())
         }
         MutationOp::DebugPanic => {
@@ -685,143 +862,12 @@ fn apply_op(
             // its (finite) count or as soon as the watchdog deadline is
             // crossed, so a budgeted run aborts at a replayable cycle.
             for _ in 0..spins {
-                tb.ctx.clock.advance(SPIN_COST);
-                if budget.is_some_and(|b| tb.ctx.clock.now() >= b) {
+                model.sim().clock.advance(SPIN_COST);
+                if budget.is_some_and(|b| model.sim_ref().clock.now() >= b) {
                     break;
                 }
             }
             Ok(())
         }
-    }
-}
-
-/// Delivers a frame and fires the device write *inside* the rx_poll
-/// race window — between build_skb and dma_unmap on BuildThenUnmap
-/// drivers (path (i)), or after the unmap on UnmapThenBuild drivers,
-/// where it only lands through a stale IOTLB entry (path (ii)).
-fn race_write(
-    tb: &mut Testbed,
-    iteration: u64,
-    value: u64,
-    cov: &mut CoverageMap,
-    findings: &mut Vec<FuzzFinding>,
-) -> Result<()> {
-    let (iova, _) = head_desc(tb)?;
-    let pkt = Packet::udp(61, 1, vec![0xa5; 64]);
-    let n = tb
-        .nic
-        .inject_rx(&mut tb.ctx, &mut tb.iommu, &mut tb.mem.phys, iova, &pkt)?;
-    tb.driver.device_rx_complete(n)?;
-
-    let nic = tb.nic;
-    let start = tb.ctx.clock.now();
-    let mut landed: Option<Iova> = None;
-    loop {
-        let polled = tb.driver.rx_poll(
-            &mut tb.ctx,
-            &mut tb.mem,
-            &mut tb.iommu,
-            |ctx, mem, iommu, slot| {
-                let shinfo = nic.shinfo_iova(slot.mapping.iova, slot.buf_size);
-                let target = Iova(shinfo.raw() + SHINFO_DESTRUCTOR_ARG as u64);
-                if nic
-                    .write_u64(ctx, iommu, &mut mem.phys, target, value)
-                    .is_ok()
-                {
-                    landed = Some(target);
-                }
-            },
-        )?;
-        match polled {
-            Some(skb) => {
-                tb.stack
-                    .rx(&mut tb.ctx, &mut tb.mem, &mut tb.iommu, &mut tb.driver, skb)?
-            }
-            None => break,
-        }
-    }
-    tb.stack
-        .flush(&mut tb.ctx, &mut tb.mem, &mut tb.iommu, &mut tb.driver)?;
-
-    if let Some(target) = landed {
-        let path = match tb.driver.cfg.unmap_order {
-            UnmapOrder::BuildThenUnmap => WindowPath::UnmapAfterBuild,
-            UnmapOrder::UnmapThenBuild => WindowPath::DeferredIotlb,
-        };
-        cov.add_window(path);
-        findings.push(FuzzFinding {
-            iteration,
-            taxonomy: SubPageVulnerability::OsMetadata,
-            dkasan: None,
-            site: "skb_shared_info.destructor_arg".to_string(),
-            dkasan_id: String::new(),
-            attrs: VulnerabilityAttributes {
-                malicious_kva: classify_kva(value),
-                callback: Some(CallbackExposure {
-                    iova: target,
-                    page_offset: (target.raw() % dma_core::PAGE_SIZE as u64) as usize,
-                    via: SubPageVulnerability::OsMetadata,
-                    field: "destructor_arg",
-                }),
-                window: Some(TimeWindow {
-                    start,
-                    end: tb.ctx.clock.now(),
-                    path,
-                }),
-            },
-        });
-    }
-    Ok(())
-}
-
-/// Captures the head descriptor, lets the driver consume and unmap it,
-/// then writes through the captured IOVA: only a stale IOTLB entry
-/// (deferred invalidation, §5.2.1) lets this land.
-fn stale_write(
-    tb: &mut Testbed,
-    iteration: u64,
-    value: u64,
-    cov: &mut CoverageMap,
-    findings: &mut Vec<FuzzFinding>,
-) -> Result<()> {
-    let (iova, buf_size) = head_desc(tb)?;
-    let target = Iova(iova.raw() + buf_size as u64 + SHINFO_DESTRUCTOR_ARG as u64);
-    let start = tb.ctx.clock.now();
-    // Consuming the head frame fills the IOTLB through this IOVA and
-    // then unmaps it; under deferred invalidation the entry lingers.
-    tb.deliver_packet(&Packet::udp(62, 1, vec![0x5a; 48]))?;
-    match tb
-        .nic
-        .write_u64(&mut tb.ctx, &mut tb.iommu, &mut tb.mem.phys, target, value)
-    {
-        Ok(()) => {
-            cov.add_window(WindowPath::DeferredIotlb);
-            findings.push(FuzzFinding {
-                iteration,
-                taxonomy: SubPageVulnerability::OsMetadata,
-                dkasan: None,
-                site: "skb_shared_info.destructor_arg".to_string(),
-                dkasan_id: String::new(),
-                attrs: VulnerabilityAttributes {
-                    malicious_kva: classify_kva(value),
-                    callback: Some(CallbackExposure {
-                        iova: target,
-                        page_offset: (target.raw() % dma_core::PAGE_SIZE as u64) as usize,
-                        via: SubPageVulnerability::OsMetadata,
-                        field: "destructor_arg",
-                    }),
-                    window: Some(TimeWindow {
-                        start,
-                        end: tb.ctx.clock.now(),
-                        path: WindowPath::DeferredIotlb,
-                    }),
-                },
-            });
-            Ok(())
-        }
-        // Strict invalidation revoked the entry: the window is closed,
-        // which is itself a (negative) observation — the IOMMU fault is
-        // already in the coverage map via the event stream.
-        Err(e) => Err(e),
     }
 }

@@ -7,7 +7,6 @@
 //! which is what makes every finding replayable from two integers.
 
 use dma_core::DetRng;
-use sim_net::shinfo::DEVICE_WRITABLE_FIELDS;
 
 /// Upper bound on ops per input (the first op is always a frame
 /// delivery so later ops have ring state to chew on).
@@ -62,12 +61,17 @@ pub enum MutationOp {
         /// Fill byte; successive bytes increment from it.
         fill: u8,
     },
-    /// Device overwrites one `skb_shared_info` field of the head RX
-    /// buffer while its mapping is live (§3.2 type (b) tampering).
-    ShinfoWrite {
-        /// Index into [`DEVICE_WRITABLE_FIELDS`].
-        field: usize,
-        /// Value written (truncated to the field width).
+    /// Device writes into an *inferred* DMA channel: the executor
+    /// resolves `channel`/`slot` against the live `dma-infer` write
+    /// plan, so the same op tampers with `skb_shared_info` on the NIC
+    /// and with used-ring/CQE state on the other zoo members — with
+    /// zero hand-wired offsets (§3.2 type (b) tampering).
+    ChannelWrite {
+        /// Index into the inferred channel plan (mod its length).
+        channel: usize,
+        /// Index into the channel's live targets (mod their count).
+        slot: usize,
+        /// Value written (8 bytes, little-endian).
         value: u64,
     },
     /// Device deposits bytes into the head RX payload window without
@@ -135,7 +139,7 @@ impl MutationOp {
         match self {
             MutationOp::Deliver { .. } => "deliver",
             MutationOp::InjectRaw { .. } => "inject_raw",
-            MutationOp::ShinfoWrite { .. } => "shinfo_write",
+            MutationOp::ChannelWrite { .. } => "channel_write",
             MutationOp::PayloadDeposit { .. } => "payload_deposit",
             MutationOp::RaceWrite { .. } => "race_write",
             MutationOp::StaleWrite { .. } => "stale_write",
@@ -154,9 +158,12 @@ impl MutationOp {
         match self {
             MutationOp::Deliver { len, fill } => format!("deliver len={len} fill={fill:#04x}"),
             MutationOp::InjectRaw { len, fill } => format!("inject_raw len={len} fill={fill:#04x}"),
-            MutationOp::ShinfoWrite { field, value } => {
-                let (name, ..) = DEVICE_WRITABLE_FIELDS[field % DEVICE_WRITABLE_FIELDS.len()];
-                format!("shinfo_write field={name} value={value:#x}")
+            MutationOp::ChannelWrite {
+                channel,
+                slot,
+                value,
+            } => {
+                format!("channel_write channel={channel} slot={slot} value={value:#x}")
             }
             MutationOp::PayloadDeposit { offset, fill, len } => {
                 format!("payload_deposit offset={offset} len={len} fill={fill:#04x}")
@@ -191,8 +198,12 @@ pub struct FuzzInput {
     pub ops: Vec<MutationOp>,
 }
 
-/// Number of machine configurations the fuzzer sweeps.
-pub const NUM_CONFIGS: u8 = 4;
+/// Number of machine configurations the fuzzer sweeps — the
+/// device×mode matrix in `exec::machine_config`: five NIC shapes
+/// (including the inverted unmap/flush ordering), the virtio split-ring
+/// transport in deferred and strict modes, and the NVMe queue pair in
+/// both modes.
+pub const NUM_CONFIGS: u8 = 9;
 
 fn pick_value(rng: &mut DetRng) -> u64 {
     match rng.below(4) {
@@ -264,8 +275,9 @@ impl FuzzInput {
                     len: 1 + rng.below(256) as usize,
                     fill: rng.below(256) as u8,
                 },
-                3 => MutationOp::ShinfoWrite {
-                    field: rng.below(DEVICE_WRITABLE_FIELDS.len() as u64) as usize,
+                3 => MutationOp::ChannelWrite {
+                    channel: rng.below(4) as usize,
+                    slot: rng.below(64) as usize,
                     value: pick_value(&mut rng),
                 },
                 4 => MutationOp::PayloadDeposit {
@@ -336,7 +348,7 @@ mod tests {
         for kind in [
             "deliver",
             "inject_raw",
-            "shinfo_write",
+            "channel_write",
             "payload_deposit",
             "race_write",
             "stale_write",

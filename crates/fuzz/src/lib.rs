@@ -46,9 +46,10 @@ pub use campaign::{
 };
 pub use corpus::{Corpus, CorpusEntry};
 pub use exec::{
-    config_name, execute, execute_under_faults, execute_with_budget, execute_with_forensics,
-    machine_config, taxonomy_of, ExecContext, ExecOutcome, ExecStatus, ForensicRun, FuzzFinding,
-    DEFAULT_WATCHDOG_BUDGET, EXEC_RECORDER_CAPACITY, SPIN_COST,
+    config_device, config_name, execute, execute_under_faults, execute_with_budget,
+    execute_with_forensics, machine_config, parse_config, taxonomy_of, ExecContext, ExecOutcome,
+    ExecStatus, ForensicRun, FuzzFinding, DEFAULT_WATCHDOG_BUDGET, EXEC_RECORDER_CAPACITY,
+    SPIN_COST,
 };
 pub use forensics::{run_forensics, ForensicsCase, ForensicsReport};
 pub use input::{
@@ -59,6 +60,9 @@ pub use report::{FuzzReport, SeriesPoint};
 pub use resilience::{kill_and_resume, KillResumeOutcome};
 pub use shard::{ShardConfig, ShardOutcome, ShardedCampaign};
 
+pub use dma_infer::{ChannelInference, ChannelKind, ChannelMap};
+
+use devsim::{boot_model, BootSpec};
 use dma_core::Result;
 use std::path::PathBuf;
 
@@ -71,6 +75,33 @@ pub struct FuzzConfig {
     pub iters: u64,
     /// When set, admitted corpus entries are written here as JSON.
     pub corpus_dir: Option<PathBuf>,
+}
+
+/// Runs the canonical inference workload against one machine
+/// configuration and returns the inferred [`ChannelMap`].
+///
+/// The machine boots with the trace enabled *before* boot
+/// ([`BootSpec::TracedBoot`]) so ring population and control-block
+/// mappings are in the stream, then runs a fixed device-agnostic
+/// exercise: a burst of deliveries (recycling ring slots and exposing
+/// lifetimes), a time tick, honest IO completion, a tick past the
+/// deferred-flush horizon, and a full teardown (bounding every
+/// lifetime). Everything is a pure function of `(seed, config_id)`;
+/// [`ChannelMap::to_json`] is byte-identical across runs and CI pins
+/// it.
+pub fn infer_channels(seed: u64, config_id: u8) -> Result<ChannelMap> {
+    let mut model = boot_model(machine_config(config_id, seed), BootSpec::TracedBoot)?;
+    for i in 0..24u64 {
+        model.deliver(48 + (i as usize % 7) * 96, i as u8)?;
+    }
+    model.tick_ms(2);
+    model.complete_io()?;
+    model.tick_ms(11);
+    model.teardown()?;
+    let events = model.sim().trace.drain();
+    let mut inference = ChannelInference::new();
+    inference.observe_all(&events);
+    Ok(inference.channel_map())
 }
 
 /// Re-executes the input for `(seed, iteration)` — the replay half of

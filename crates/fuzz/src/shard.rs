@@ -67,6 +67,9 @@ pub struct ShardConfig {
     pub checkpoint_every: u64,
     /// Per-exec watchdog budget in simulated cycles.
     pub watchdog_budget: u64,
+    /// Restrict every shard to one machine configuration (the
+    /// `dma-lab fuzz --config` path).
+    pub only_config: Option<u8>,
 }
 
 impl ShardConfig {
@@ -81,6 +84,7 @@ impl ShardConfig {
             checkpoint_dir: None,
             checkpoint_every: 0,
             watchdog_budget: DEFAULT_WATCHDOG_BUDGET,
+            only_config: None,
         }
     }
 }
@@ -132,6 +136,7 @@ impl ShardedCampaign {
             watchdog_budget: self.cfg.watchdog_budget,
             plant_panic_at: None,
             plant_hang_at: None,
+            only_config: self.cfg.only_config,
         }
     }
 

@@ -160,8 +160,13 @@ fn op_to_json(w: &mut JsonWriter, op: &MutationOp) {
                 w.field_u64("len", len as u64);
                 w.field_u64("fill", fill as u64);
             }
-            MutationOp::ShinfoWrite { field, value } => {
-                w.field_u64("field", field as u64);
+            MutationOp::ChannelWrite {
+                channel,
+                slot,
+                value,
+            } => {
+                w.field_u64("channel", channel as u64);
+                w.field_u64("slot", slot as u64);
                 w.field_u64("value", value);
             }
             MutationOp::PayloadDeposit { offset, fill, len } => {
@@ -194,8 +199,9 @@ fn op_from_json(v: &JValue) -> Option<MutationOp> {
             len: v.u64_field("len")? as usize,
             fill: v.u64_field("fill")? as u8,
         },
-        "shinfo_write" => MutationOp::ShinfoWrite {
-            field: v.u64_field("field")? as usize,
+        "channel_write" => MutationOp::ChannelWrite {
+            channel: v.u64_field("channel")? as usize,
+            slot: v.u64_field("slot")? as usize,
             value: v.u64_field("value")?,
         },
         "payload_deposit" => MutationOp::PayloadDeposit {

@@ -1,0 +1,276 @@
+//! The inferred artifacts: per-device DMA channels and concrete write
+//! targets.
+//!
+//! A *channel* is a (device, map-site) aggregate classified by how the
+//! device and the CPU used it over the observed trace. The shapes mirror
+//! the taxonomy DICE recovers statically and DyMA-Fuzz recovers
+//! dynamically: descriptor rings the device reads pointers from, payload
+//! rings/buffers the device writes into, long-lived control blocks, and
+//! to-device-only streams. A [`MetaBlock`] is the inferred OS-metadata
+//! sub-window of a device-writable channel — the `skb_shared_info`
+//! analogue — found as a CPU-write window that never overlaps the
+//! device-write window.
+
+use dma_core::jsonw::JsonWriter;
+use dma_core::trace::DeviceId;
+use dma_core::Iova;
+
+/// What role a channel plays for the device.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ChannelKind {
+    /// The device reads pointers here and dereferences them shortly
+    /// after (DICE base/pointer pattern).
+    DescriptorRing,
+    /// Device-writable with many instances live at once (an RX ring).
+    PayloadRing,
+    /// Device-writable and mapped for (almost) the whole trace — a
+    /// command queue / used ring / completion queue.
+    CtrlBlock,
+    /// Device-writable, short-lived, few instances (a buffer pool).
+    PayloadBuffer,
+    /// Mapped to-device only; the device can read but never write.
+    ReadonlyStream,
+}
+
+impl ChannelKind {
+    /// Stable string used in JSON output and CI greps.
+    pub fn name(self) -> &'static str {
+        match self {
+            ChannelKind::DescriptorRing => "descriptor-ring",
+            ChannelKind::PayloadRing => "payload-ring",
+            ChannelKind::CtrlBlock => "ctrl-block",
+            ChannelKind::PayloadBuffer => "payload-buffer",
+            ChannelKind::ReadonlyStream => "readonly-stream",
+        }
+    }
+}
+
+/// A CPU-written sub-range of a device-writable channel that the device
+/// write window never touched: inferred OS metadata co-located with
+/// payload (Figure 1 class (b) surface).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MetaBlock {
+    /// CPU site that wrote the range.
+    pub site: &'static str,
+    /// Window start, as a byte offset from the mapping base.
+    pub lo: usize,
+    /// Window end (exclusive offset).
+    pub hi: usize,
+}
+
+/// One inferred channel: the aggregate behaviour of every mapping made
+/// at `site` for `device`.
+#[derive(Clone, Debug)]
+pub struct Channel {
+    /// Owning device.
+    pub device: DeviceId,
+    /// The `dma_map` call site that created the mappings.
+    pub site: &'static str,
+    /// Inferred role.
+    pub kind: ChannelKind,
+    /// Total mappings observed at this site.
+    pub maps: u64,
+    /// Total unmaps observed.
+    pub unmaps: u64,
+    /// Peak number of simultaneously-live mappings (ring depth).
+    pub slots: u64,
+    /// Smallest mapping length seen.
+    pub len_min: usize,
+    /// Largest mapping length seen.
+    pub len_max: usize,
+    /// Device reads attributed to the channel.
+    pub dev_reads: u64,
+    /// Device writes attributed to the channel.
+    pub dev_writes: u64,
+    /// Device writes that were served by a stale IOTLB entry.
+    pub stale_writes: u64,
+    /// Pointer-follow hits: a device read here was followed by a device
+    /// access to a *different* channel within the follow window.
+    pub follow_hits: u64,
+    /// `[lo, hi)` device-write offset window, when the device wrote.
+    pub dev_window: Option<(usize, usize)>,
+    /// Longest map→unmap lifetime in cycles (0 if never unmapped).
+    pub lifetime_max: u64,
+    /// Inferred metadata sub-windows (device-writable channels only).
+    pub meta: Vec<MetaBlock>,
+}
+
+/// The deterministic result of inference: every channel of every device,
+/// sorted by `(device, site)`.
+#[derive(Clone, Debug, Default)]
+pub struct ChannelMap {
+    /// Trace events consumed to build the map.
+    pub events: u64,
+    /// Observed trace span in cycles (last − first event timestamp).
+    pub span: u64,
+    /// All channels, sorted by `(device, site)`.
+    pub channels: Vec<Channel>,
+}
+
+impl ChannelMap {
+    /// Channels belonging to `device`, in site order.
+    pub fn for_device(&self, device: DeviceId) -> impl Iterator<Item = &Channel> {
+        self.channels.iter().filter(move |c| c.device == device)
+    }
+
+    /// Looks a channel up by site (first match across devices).
+    pub fn by_site(&self, site: &str) -> Option<&Channel> {
+        self.channels.iter().find(|c| c.site == site)
+    }
+
+    /// Byte-deterministic JSON rendering. Two runs over the same seed
+    /// must produce identical bytes; CI pins this.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.obj(|w| {
+            w.field_str("schema", "dma-infer.channel-map.v1");
+            w.field_u64("events", self.events);
+            w.field_u64("span_cycles", self.span);
+            w.field("channels", |w| {
+                w.arr(|w| {
+                    for c in &self.channels {
+                        w.elem(|w| {
+                            w.obj(|w| {
+                                w.field_u64("device", u64::from(c.device));
+                                w.field_str("site", c.site);
+                                w.field_str("kind", c.kind.name());
+                                w.field_u64("maps", c.maps);
+                                w.field_u64("unmaps", c.unmaps);
+                                w.field_u64("slots", c.slots);
+                                w.field_u64("len_min", c.len_min as u64);
+                                w.field_u64("len_max", c.len_max as u64);
+                                w.field_u64("dev_reads", c.dev_reads);
+                                w.field_u64("dev_writes", c.dev_writes);
+                                w.field_u64("stale_writes", c.stale_writes);
+                                w.field_u64("follow_hits", c.follow_hits);
+                                w.field("dev_window", |w| match c.dev_window {
+                                    Some((lo, hi)) => w.obj(|w| {
+                                        w.field_u64("lo", lo as u64);
+                                        w.field_u64("hi", hi as u64);
+                                    }),
+                                    None => w.raw("null"),
+                                });
+                                w.field_u64("lifetime_max", c.lifetime_max);
+                                w.field("meta", |w| {
+                                    w.arr(|w| {
+                                        for m in &c.meta {
+                                            w.elem(|w| {
+                                                w.obj(|w| {
+                                                    w.field_str("site", m.site);
+                                                    w.field_u64("lo", m.lo as u64);
+                                                    w.field_u64("hi", m.hi as u64);
+                                                });
+                                            });
+                                        }
+                                    });
+                                });
+                            });
+                        });
+                    }
+                });
+            });
+        });
+        w.finish()
+    }
+}
+
+/// A concrete, currently-mapped instance of a device-writable channel —
+/// what the fuzzer's `channel_write` op aims at.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WriteTarget {
+    /// Owning device.
+    pub device: DeviceId,
+    /// Channel site the instance belongs to.
+    pub site: &'static str,
+    /// Mapping base IOVA.
+    pub iova: Iova,
+    /// Mapping length.
+    pub len: usize,
+    /// Interesting offset window start (metadata window when one was
+    /// inferred, otherwise the device-write window, otherwise the whole
+    /// mapping).
+    pub lo: usize,
+    /// Interesting offset window end (exclusive).
+    pub hi: usize,
+    /// `true` when the window comes from an inferred [`MetaBlock`].
+    pub meta: bool,
+    /// `true` when the mapping is unmapped but its IOTLB entry may
+    /// still linger (deferred-invalidation staleness).
+    pub stale: bool,
+}
+
+/// A device-writable channel plus its live (and lingering) instances,
+/// ready for the mutation engine: `plan[channel].targets[slot]`.
+#[derive(Clone, Debug)]
+pub struct ChannelTargets {
+    /// Owning device.
+    pub device: DeviceId,
+    /// Channel site.
+    pub site: &'static str,
+    /// Inferred role of the channel.
+    pub kind: ChannelKind,
+    /// Concrete aim points, sorted by `(stale, iova)`.
+    pub targets: Vec<WriteTarget>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ChannelMap {
+        ChannelMap {
+            events: 10,
+            span: 99,
+            channels: vec![Channel {
+                device: 1,
+                site: "rx_map",
+                kind: ChannelKind::PayloadRing,
+                maps: 4,
+                unmaps: 4,
+                slots: 4,
+                len_min: 2048,
+                len_max: 2048,
+                dev_reads: 0,
+                dev_writes: 7,
+                stale_writes: 1,
+                follow_hits: 0,
+                dev_window: Some((64, 128)),
+                lifetime_max: 50,
+                meta: vec![MetaBlock {
+                    site: "init_meta",
+                    lo: 1728,
+                    hi: 2048,
+                }],
+            }],
+        }
+    }
+
+    #[test]
+    fn json_is_stable() {
+        let m = sample();
+        assert_eq!(m.to_json(), m.to_json());
+        let j = m.to_json();
+        assert!(j.starts_with(r#"{"schema":"dma-infer.channel-map.v1","events":10"#));
+        assert!(j.contains(r#""kind":"payload-ring""#));
+        assert!(j.contains(r#""dev_window":{"lo":64,"hi":128}"#));
+        assert!(j.contains(r#""meta":[{"site":"init_meta","lo":1728,"hi":2048}]"#));
+    }
+
+    #[test]
+    fn kind_names_are_pinned() {
+        assert_eq!(ChannelKind::DescriptorRing.name(), "descriptor-ring");
+        assert_eq!(ChannelKind::PayloadRing.name(), "payload-ring");
+        assert_eq!(ChannelKind::CtrlBlock.name(), "ctrl-block");
+        assert_eq!(ChannelKind::PayloadBuffer.name(), "payload-buffer");
+        assert_eq!(ChannelKind::ReadonlyStream.name(), "readonly-stream");
+    }
+
+    #[test]
+    fn lookup_helpers_find_channels() {
+        let m = sample();
+        assert_eq!(m.for_device(1).count(), 1);
+        assert_eq!(m.for_device(2).count(), 0);
+        assert!(m.by_site("rx_map").is_some());
+        assert!(m.by_site("nope").is_none());
+    }
+}

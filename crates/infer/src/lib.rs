@@ -1,0 +1,700 @@
+//! `dma-infer`: automatic DMA-channel inference from the simulator
+//! event stream.
+//!
+//! The hand-wired attack configs in `crates/fuzz` knew the NIC's
+//! device-writable offsets a priori. This crate removes that crutch: it
+//! consumes the same [`Event`] stream D-KASAN replays (optionally via
+//! the bounded `FlightRecorder`) and recovers, per device, *where the
+//! device can write and when* — with zero knowledge of the driver.
+//!
+//! Two heuristic families are combined:
+//!
+//! - **Base/pointer (DICE-style)**: a mapping the device *reads* shortly
+//!   before accessing a *different* mapping is a descriptor ring — the
+//!   read produced a pointer the device then dereferenced.
+//! - **Lifetime (DyMA-Fuzz-style)**: map→unmap lifetimes and peak
+//!   liveness split device-writable mappings into rings (many live at
+//!   once), control blocks (live for ~the whole trace), and transient
+//!   payload buffers. Unmap→invalidation gaps mark *stale* windows.
+//!
+//! The result is a [`ChannelMap`] whose JSON rendering is byte-identical
+//! across runs of the same seed, and a [`write_plan`] of concrete
+//! [`WriteTarget`]s the fuzzer's `channel_write` op aims at instead of
+//! hand-wired field offsets.
+//!
+//! [`write_plan`]: ChannelInference::write_plan
+
+pub mod channels;
+
+pub use channels::{Channel, ChannelKind, ChannelMap, ChannelTargets, MetaBlock, WriteTarget};
+
+use std::collections::BTreeMap;
+
+use dma_core::addr::pages_spanned;
+use dma_core::clock::Cycles;
+use dma_core::trace::{DeviceId, Event};
+use dma_core::vuln::DmaDirection;
+use dma_core::{Iova, Kva, PAGE_SIZE};
+
+/// A device read followed by an access to a different mapping within
+/// this many cycles counts as a pointer dereference (descriptor-ring
+/// evidence).
+pub const FOLLOW_WINDOW: Cycles = 10_000;
+
+/// Minimum peak simultaneous liveness for a site to classify as a ring
+/// rather than a buffer pool.
+pub const RING_MIN: u64 = 4;
+
+const DIR_TO_DEVICE: u8 = 1 << 0;
+const DIR_FROM_DEVICE: u8 = 1 << 1;
+const DIR_BIDIRECTIONAL: u8 = 1 << 2;
+
+#[derive(Clone, Copy, Debug)]
+struct LiveMapping {
+    device: DeviceId,
+    iova: Iova,
+    kva: Kva,
+    len: usize,
+    site: &'static str,
+    mapped_at: Cycles,
+}
+
+impl LiveMapping {
+    /// Exposed span in bytes: DMA exposes whole pages (§3.3 attr. 3).
+    fn page_span(&self) -> u64 {
+        (pages_spanned(self.iova.page_offset(), self.len) * PAGE_SIZE) as u64
+    }
+
+    fn contains_iova(&self, iova: Iova) -> bool {
+        iova >= self.iova && (iova - self.iova) < self.page_span()
+    }
+}
+
+/// Per-(device, map-site) accumulator.
+#[derive(Clone, Debug, Default)]
+struct SiteStats {
+    maps: u64,
+    unmaps: u64,
+    live_now: u64,
+    live_peak: u64,
+    len_min: usize,
+    len_max: usize,
+    dirs: u8,
+    dev_reads: u64,
+    dev_writes: u64,
+    stale_writes: u64,
+    follow_hits: u64,
+    dev_window: Option<(usize, usize)>,
+    lifetime_max: u64,
+    /// CPU-write windows into live mappings of this site, per CPU site.
+    cpu_writes: BTreeMap<&'static str, (usize, usize)>,
+}
+
+/// Streaming channel-inference engine. Feed it event batches with
+/// [`observe_all`](ChannelInference::observe_all) (e.g. each
+/// `FlightRecorder` drain) and ask for the [`ChannelMap`] or the current
+/// [`write_plan`](ChannelInference::write_plan) at any point.
+#[derive(Clone, Debug, Default)]
+pub struct ChannelInference {
+    live_by_iova: BTreeMap<Iova, LiveMapping>,
+    live_by_kva: BTreeMap<Kva, Iova>,
+    /// Unmapped but possibly still translatable through a stale IOTLB
+    /// entry; cleared by invalidation events.
+    lingering: BTreeMap<Iova, LiveMapping>,
+    stats: BTreeMap<(DeviceId, &'static str), SiteStats>,
+    last_dev_read: BTreeMap<DeviceId, (Cycles, &'static str)>,
+    events: u64,
+    first_at: Option<Cycles>,
+    last_at: Cycles,
+}
+
+impl ChannelInference {
+    /// An empty engine.
+    pub fn new() -> Self {
+        ChannelInference::default()
+    }
+
+    /// Number of trace events consumed so far.
+    pub fn events_seen(&self) -> u64 {
+        self.events
+    }
+
+    /// Feeds one batch of events (chronological order expected).
+    pub fn observe_all(&mut self, events: &[Event]) {
+        for ev in events {
+            self.observe(ev);
+        }
+    }
+
+    /// Feeds a single event.
+    pub fn observe(&mut self, ev: &Event) {
+        self.events += 1;
+        let at = ev.at();
+        if self.first_at.is_none() {
+            self.first_at = Some(at);
+        }
+        self.last_at = self.last_at.max(at);
+        match *ev {
+            Event::DmaMap {
+                at,
+                device,
+                iova,
+                kva,
+                len,
+                dir,
+                site,
+            } => self.on_map(at, device, iova, kva, len, dir, site),
+            Event::DmaUnmap {
+                at, device, iova, ..
+            } => self.on_unmap(at, device, iova),
+            Event::DevAccess {
+                at,
+                device,
+                iova,
+                len,
+                write,
+                allowed,
+                stale,
+            } => self.on_dev_access(at, device, iova, len, write, allowed, stale),
+            Event::CpuAccess {
+                kva,
+                len,
+                write,
+                site,
+                ..
+            } => self.on_cpu_access(kva, len, write, site),
+            Event::IotlbInvalidate { iova_page, .. } => {
+                self.lingering.retain(|_, m| !m.contains_iova(iova_page));
+            }
+            Event::IotlbGlobalFlush { .. } => self.lingering.clear(),
+            _ => {}
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_map(
+        &mut self,
+        at: Cycles,
+        device: DeviceId,
+        iova: Iova,
+        kva: Kva,
+        len: usize,
+        dir: DmaDirection,
+        site: &'static str,
+    ) {
+        let m = LiveMapping {
+            device,
+            iova,
+            kva,
+            len,
+            site,
+            mapped_at: at,
+        };
+        self.live_by_iova.insert(iova, m);
+        self.live_by_kva.insert(kva, iova);
+        // A remap of the same page supersedes any stale view of it.
+        self.lingering.remove(&iova);
+        let s = self.stats.entry((device, site)).or_default();
+        s.maps += 1;
+        s.live_now += 1;
+        s.live_peak = s.live_peak.max(s.live_now);
+        s.len_min = if s.len_min == 0 {
+            len
+        } else {
+            s.len_min.min(len)
+        };
+        s.len_max = s.len_max.max(len);
+        s.dirs |= match dir {
+            DmaDirection::ToDevice => DIR_TO_DEVICE,
+            DmaDirection::FromDevice => DIR_FROM_DEVICE,
+            DmaDirection::Bidirectional => DIR_BIDIRECTIONAL,
+        };
+    }
+
+    fn on_unmap(&mut self, at: Cycles, device: DeviceId, iova: Iova) {
+        let Some(m) = self.live_by_iova.remove(&iova) else {
+            return;
+        };
+        self.live_by_kva.remove(&m.kva);
+        let s = self.stats.entry((device, m.site)).or_default();
+        s.unmaps += 1;
+        s.live_now = s.live_now.saturating_sub(1);
+        s.lifetime_max = s.lifetime_max.max(at.saturating_sub(m.mapped_at));
+        // Until an invalidation event says otherwise, the translation
+        // may still be cached (§5.2.1 deferred window).
+        self.lingering.insert(iova, m);
+    }
+
+    fn find_live(&self, iova: Iova) -> Option<&LiveMapping> {
+        self.live_by_iova
+            .range(..=iova)
+            .next_back()
+            .map(|(_, m)| m)
+            .filter(|m| m.contains_iova(iova))
+    }
+
+    fn find_lingering(&self, iova: Iova) -> Option<&LiveMapping> {
+        self.lingering
+            .range(..=iova)
+            .next_back()
+            .map(|(_, m)| m)
+            .filter(|m| m.contains_iova(iova))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_dev_access(
+        &mut self,
+        at: Cycles,
+        device: DeviceId,
+        iova: Iova,
+        len: usize,
+        write: bool,
+        allowed: bool,
+        stale: bool,
+    ) {
+        if !allowed {
+            return;
+        }
+        let hit = if stale {
+            self.find_lingering(iova).or_else(|| self.find_live(iova))
+        } else {
+            self.find_live(iova).or_else(|| self.find_lingering(iova))
+        };
+        let Some(m) = hit.copied() else { return };
+        let offset = (iova - m.iova) as usize;
+        // Base/pointer heuristic: a read at site A followed closely by
+        // an access to a different site B means A held a pointer to B.
+        if let Some(&(read_at, read_site)) = self.last_dev_read.get(&device) {
+            if read_site != m.site && at.saturating_sub(read_at) <= FOLLOW_WINDOW {
+                if let Some(s) = self.stats.get_mut(&(device, read_site)) {
+                    s.follow_hits += 1;
+                }
+            }
+        }
+        let s = self.stats.entry((device, m.site)).or_default();
+        if write {
+            s.dev_writes += 1;
+            if stale {
+                s.stale_writes += 1;
+            }
+            let end = offset + len;
+            s.dev_window = Some(match s.dev_window {
+                Some((lo, hi)) => (lo.min(offset), hi.max(end)),
+                None => (offset, end),
+            });
+        } else {
+            s.dev_reads += 1;
+            self.last_dev_read.insert(device, (at, m.site));
+        }
+    }
+
+    fn on_cpu_access(&mut self, kva: Kva, len: usize, write: bool, site: &'static str) {
+        if !write {
+            return;
+        }
+        let Some(m) = self
+            .live_by_kva
+            .range(..=kva)
+            .next_back()
+            .and_then(|(_, iova)| self.live_by_iova.get(iova))
+            .filter(|m| kva >= m.kva && ((kva - m.kva) as usize) < m.len)
+            .copied()
+        else {
+            return;
+        };
+        let offset = (kva - m.kva) as usize;
+        let end = offset + len;
+        let s = self.stats.entry((m.device, m.site)).or_default();
+        let w = s.cpu_writes.entry(site).or_insert((offset, end));
+        w.0 = w.0.min(offset);
+        w.1 = w.1.max(end);
+    }
+
+    /// Classifies everything observed so far into a deterministic
+    /// [`ChannelMap`].
+    pub fn channel_map(&self) -> ChannelMap {
+        let span = self.last_at.saturating_sub(self.first_at.unwrap_or(0));
+        let mut channels = Vec::with_capacity(self.stats.len());
+        for (&(device, site), s) in &self.stats {
+            let dev_writable = s.dirs & (DIR_FROM_DEVICE | DIR_BIDIRECTIONAL) != 0;
+            let persistent = s.unmaps == 0 || s.lifetime_max.saturating_mul(2) >= span;
+            let kind = if s.dev_reads > 0 && s.follow_hits > 0 {
+                ChannelKind::DescriptorRing
+            } else if dev_writable && s.live_peak >= RING_MIN {
+                ChannelKind::PayloadRing
+            } else if dev_writable && persistent {
+                ChannelKind::CtrlBlock
+            } else if dev_writable {
+                ChannelKind::PayloadBuffer
+            } else {
+                ChannelKind::ReadonlyStream
+            };
+            // A CPU-write window the device never wrote into, inside a
+            // device-writable mapping, is co-located OS metadata.
+            let meta = if dev_writable && s.dev_writes > 0 {
+                let dw = s.dev_window.unwrap_or((0, 0));
+                s.cpu_writes
+                    .iter()
+                    .filter(|(_, &(lo, hi))| hi <= dw.0 || lo >= dw.1)
+                    .map(|(&cpu_site, &(lo, hi))| MetaBlock {
+                        site: cpu_site,
+                        lo,
+                        hi,
+                    })
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            channels.push(Channel {
+                device,
+                site,
+                kind,
+                maps: s.maps,
+                unmaps: s.unmaps,
+                slots: s.live_peak,
+                len_min: s.len_min,
+                len_max: s.len_max,
+                dev_reads: s.dev_reads,
+                dev_writes: s.dev_writes,
+                stale_writes: s.stale_writes,
+                follow_hits: s.follow_hits,
+                dev_window: s.dev_window,
+                lifetime_max: s.lifetime_max,
+                meta,
+            });
+        }
+        ChannelMap {
+            events: self.events,
+            span,
+            channels,
+        }
+    }
+
+    /// The current mutation plan: every device-writable channel with its
+    /// live (and stale-lingering) instances, deterministically ordered.
+    /// The fuzzer indexes this as `plan[channel].targets[slot]`.
+    pub fn write_plan(&self) -> Vec<ChannelTargets> {
+        let map = self.channel_map();
+        let mut plan = Vec::new();
+        for c in &map.channels {
+            if !matches!(
+                c.kind,
+                ChannelKind::PayloadRing | ChannelKind::CtrlBlock | ChannelKind::PayloadBuffer
+            ) {
+                continue;
+            }
+            let window_of = |m: &LiveMapping| -> (usize, usize, bool) {
+                if let Some(mb) = c.meta.first() {
+                    (mb.lo, mb.hi, true)
+                } else if let Some((lo, hi)) = c.dev_window {
+                    (lo, hi, false)
+                } else {
+                    (0, m.len, false)
+                }
+            };
+            let mut targets: Vec<WriteTarget> = Vec::new();
+            for m in self.live_by_iova.values() {
+                if m.device == c.device && m.site == c.site {
+                    let (lo, hi, meta) = window_of(m);
+                    targets.push(WriteTarget {
+                        device: m.device,
+                        site: m.site,
+                        iova: m.iova,
+                        len: m.len,
+                        lo,
+                        hi,
+                        meta,
+                        stale: false,
+                    });
+                }
+            }
+            for m in self.lingering.values() {
+                if m.device == c.device && m.site == c.site {
+                    let (lo, hi, meta) = window_of(m);
+                    targets.push(WriteTarget {
+                        device: m.device,
+                        site: m.site,
+                        iova: m.iova,
+                        len: m.len,
+                        lo,
+                        hi,
+                        meta,
+                        stale: true,
+                    });
+                }
+            }
+            if !targets.is_empty() {
+                plan.push(ChannelTargets {
+                    device: c.device,
+                    site: c.site,
+                    kind: c.kind,
+                    targets,
+                });
+            }
+        }
+        plan
+    }
+
+    /// Flattened [`write_plan`](Self::write_plan), for assertions and
+    /// quick scans.
+    pub fn writable_targets(&self) -> Vec<WriteTarget> {
+        self.write_plan()
+            .into_iter()
+            .flat_map(|c| c.targets)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DEV: DeviceId = 1;
+
+    fn map(
+        at: u64,
+        iova: u64,
+        kva: u64,
+        len: usize,
+        dir: DmaDirection,
+        site: &'static str,
+    ) -> Event {
+        Event::DmaMap {
+            at,
+            device: DEV,
+            iova: Iova(iova),
+            kva: Kva(kva),
+            len,
+            dir,
+            site,
+        }
+    }
+
+    fn unmap(at: u64, iova: u64, len: usize) -> Event {
+        Event::DmaUnmap {
+            at,
+            device: DEV,
+            iova: Iova(iova),
+            len,
+        }
+    }
+
+    fn dev_write(at: u64, iova: u64, len: usize, stale: bool) -> Event {
+        Event::DevAccess {
+            at,
+            device: DEV,
+            iova: Iova(iova),
+            len,
+            write: true,
+            allowed: true,
+            stale,
+        }
+    }
+
+    fn dev_read(at: u64, iova: u64, len: usize) -> Event {
+        Event::DevAccess {
+            at,
+            device: DEV,
+            iova: Iova(iova),
+            len,
+            write: false,
+            allowed: true,
+            stale: false,
+        }
+    }
+
+    #[test]
+    fn ring_depth_classifies_payload_ring() {
+        let mut inf = ChannelInference::new();
+        for i in 0..8u64 {
+            inf.observe(&map(
+                i,
+                0x10_0000 + i * 0x1000,
+                0x20_0000 + i * 0x1000,
+                2048,
+                DmaDirection::FromDevice,
+                "rx_map",
+            ));
+        }
+        inf.observe(&dev_write(20, 0x10_0000 + 64, 128, false));
+        // Recycle a few slots: lifetimes stay short vs the span.
+        for i in 0..4u64 {
+            inf.observe(&unmap(30 + i, 0x10_0000 + i * 0x1000, 2048));
+        }
+        inf.observe(&Event::IotlbGlobalFlush {
+            at: 500,
+            dropped: 4,
+        });
+        let m = inf.channel_map();
+        let c = m.by_site("rx_map").unwrap();
+        assert_eq!(c.kind, ChannelKind::PayloadRing);
+        assert_eq!(c.slots, 8);
+        assert_eq!(c.dev_window, Some((64, 192)));
+    }
+
+    #[test]
+    fn pointer_follow_marks_descriptor_ring() {
+        let mut inf = ChannelInference::new();
+        inf.observe(&map(0, 0x1000, 0x5000, 256, DmaDirection::ToDevice, "desc"));
+        inf.observe(&map(
+            1,
+            0x2000,
+            0x6000,
+            1024,
+            DmaDirection::FromDevice,
+            "buf",
+        ));
+        inf.observe(&dev_read(10, 0x1000, 16));
+        inf.observe(&dev_write(20, 0x2000, 64, false));
+        let m = inf.channel_map();
+        assert_eq!(m.by_site("desc").unwrap().kind, ChannelKind::DescriptorRing);
+        assert_eq!(m.by_site("desc").unwrap().follow_hits, 1);
+        assert_eq!(m.by_site("buf").unwrap().kind, ChannelKind::CtrlBlock);
+    }
+
+    #[test]
+    fn distant_follow_does_not_count() {
+        let mut inf = ChannelInference::new();
+        inf.observe(&map(0, 0x1000, 0x5000, 256, DmaDirection::ToDevice, "desc"));
+        inf.observe(&map(
+            1,
+            0x2000,
+            0x6000,
+            1024,
+            DmaDirection::FromDevice,
+            "buf",
+        ));
+        inf.observe(&dev_read(10, 0x1000, 16));
+        inf.observe(&dev_write(10 + FOLLOW_WINDOW + 1, 0x2000, 64, false));
+        let m = inf.channel_map();
+        assert_eq!(m.by_site("desc").unwrap().follow_hits, 0);
+        assert_eq!(m.by_site("desc").unwrap().kind, ChannelKind::ReadonlyStream);
+    }
+
+    #[test]
+    fn persistent_writable_mapping_is_a_ctrl_block() {
+        let mut inf = ChannelInference::new();
+        inf.observe(&map(
+            0,
+            0x3000,
+            0x7000,
+            512,
+            DmaDirection::Bidirectional,
+            "cmdq",
+        ));
+        inf.observe(&dev_write(100, 0x3000, 8, false));
+        inf.observe(&Event::IotlbGlobalFlush {
+            at: 5000,
+            dropped: 0,
+        });
+        let m = inf.channel_map();
+        assert_eq!(m.by_site("cmdq").unwrap().kind, ChannelKind::CtrlBlock);
+    }
+
+    #[test]
+    fn cpu_write_window_outside_dev_window_becomes_meta() {
+        let mut inf = ChannelInference::new();
+        inf.observe(&map(
+            0,
+            0x4000,
+            0x8000,
+            2048,
+            DmaDirection::FromDevice,
+            "rx",
+        ));
+        inf.observe(&dev_write(5, 0x4000 + 64, 1200, false));
+        inf.observe(&Event::CpuAccess {
+            at: 6,
+            kva: Kva(0x8000 + 1728),
+            len: 320,
+            write: true,
+            site: "init_meta",
+        });
+        // Overlapping CPU writes (e.g. header fixups) are not metadata.
+        inf.observe(&Event::CpuAccess {
+            at: 7,
+            kva: Kva(0x8000 + 64),
+            len: 8,
+            write: true,
+            site: "hdr_fixup",
+        });
+        let m = inf.channel_map();
+        let c = m.by_site("rx").unwrap();
+        assert_eq!(
+            c.meta,
+            vec![MetaBlock {
+                site: "init_meta",
+                lo: 1728,
+                hi: 2048
+            }]
+        );
+    }
+
+    #[test]
+    fn stale_windows_are_tracked_until_invalidated() {
+        let mut inf = ChannelInference::new();
+        inf.observe(&map(
+            0,
+            0x5000,
+            0x9000,
+            1024,
+            DmaDirection::FromDevice,
+            "rx",
+        ));
+        inf.observe(&dev_write(1, 0x5000, 64, false));
+        inf.observe(&unmap(10, 0x5000, 1024));
+        inf.observe(&dev_write(11, 0x5000, 8, true));
+        assert_eq!(inf.channel_map().by_site("rx").unwrap().stale_writes, 1);
+        let targets = inf.writable_targets();
+        assert_eq!(targets.len(), 1);
+        assert!(targets[0].stale);
+        inf.observe(&Event::IotlbGlobalFlush { at: 20, dropped: 1 });
+        assert!(inf.writable_targets().is_empty());
+    }
+
+    #[test]
+    fn write_plan_prefers_meta_windows() {
+        let mut inf = ChannelInference::new();
+        inf.observe(&map(
+            0,
+            0x4000,
+            0x8000,
+            2048,
+            DmaDirection::FromDevice,
+            "rx",
+        ));
+        inf.observe(&dev_write(5, 0x4000 + 64, 1200, false));
+        inf.observe(&Event::CpuAccess {
+            at: 6,
+            kva: Kva(0x8000 + 1728),
+            len: 320,
+            write: true,
+            site: "init_meta",
+        });
+        let plan = inf.write_plan();
+        assert_eq!(plan.len(), 1);
+        let t = plan[0].targets[0];
+        assert!(t.meta);
+        assert_eq!((t.lo, t.hi), (1728, 2048));
+    }
+
+    #[test]
+    fn two_runs_are_byte_identical() {
+        let build = || {
+            let mut inf = ChannelInference::new();
+            for i in 0..16u64 {
+                inf.observe(&map(
+                    i,
+                    0x10_0000 + i * 0x1000,
+                    0x20_0000 + i * 0x1000,
+                    1024,
+                    DmaDirection::FromDevice,
+                    "rx_map",
+                ));
+            }
+            inf.observe(&dev_write(40, 0x10_0000, 32, false));
+            inf.channel_map().to_json()
+        };
+        assert_eq!(build(), build());
+    }
+}

@@ -16,9 +16,11 @@
 //! dma-lab serve [--seed N] [--iters N] [--port P] [--script FILE]
 //!               live line-JSON campaign telemetry over TCP
 //! dma-lab fuzz [--seed N] [--iters N] [--corpus-dir D] [--json]
-//!              [--shards N] [--threads T]
+//!              [--shards N] [--threads T] [--config ID|NAME]
 //!              [--checkpoint-every N] [--checkpoint-dir D] [--resume D]
 //!              [--watchdog-budget CYCLES] [--plant-panic K] [--plant-hang K]
+//! dma-lab infer [--seed N] [--config ID|NAME]
+//!               inferred DMA-channel maps (one JSON line per config)
 //! dma-lab forensics [--seed N] [--iters N] [--json]
 //! dma-lab help
 //! ```
@@ -139,6 +141,7 @@ fn main() {
         "stats" => cmd_stats(&args),
         "trace" => cmd_trace(&args),
         "fuzz" => cmd_fuzz(&args),
+        "infer" => cmd_infer(&args),
         "forensics" => cmd_forensics(&args),
         "serve" => cmd_serve(&args),
         "help" | "--help" | "-h" => {
@@ -175,9 +178,10 @@ USAGE:
     dma-lab serve [--seed N] [--iters N] [--port P] [--script FILE] [--shards N]
                   [--transcript OUT] [--checkpoint-dir DIR] [--checkpoint-every N]
     dma-lab fuzz [--seed N] [--iters N] [--corpus-dir DIR] [--json]
-                 [--shards N] [--threads T]
+                 [--shards N] [--threads T] [--config ID|NAME]
                  [--checkpoint-every N] [--checkpoint-dir DIR] [--resume DIR]
                  [--watchdog-budget CYCLES] [--plant-panic K] [--plant-hang K]
+    dma-lab infer [--seed N] [--config ID|NAME]
     dma-lab forensics [--seed N] [--iters N] [--json]
     dma-lab help
 
@@ -738,6 +742,23 @@ fn cmd_fuzz(args: &Args) -> i32 {
         eprintln!("--threads must be at least 1\n{HELP}");
         return 2;
     }
+    // `--config` pins every iteration to one machine shape. Out-of-range
+    // ids and unknown names are usage errors — never silently aliased
+    // into the matrix by a modulo wrap.
+    let only_config = match args.str_flag("config") {
+        None => None,
+        Some(s) => match dma_lab::fuzz::parse_config(s) {
+            Some(id) => Some(id),
+            None => {
+                eprintln!(
+                    "--config '{s}' is not a machine config; want an id below {} or a name \
+                     (see `dma-lab infer`)\n{HELP}",
+                    dma_lab::fuzz::NUM_CONFIGS
+                );
+                return 2;
+            }
+        },
+    };
     // `--shards` (even `--shards 1`) selects the sharded engine; its
     // 1-shard output is byte-identical to the legacy path, which the
     // scale tests pin.
@@ -804,6 +825,7 @@ fn cmd_fuzz(args: &Args) -> i32 {
         scfg.checkpoint_dir = checkpoint_dir;
         scfg.checkpoint_every = checkpoint_every;
         scfg.watchdog_budget = watchdog_budget;
+        scfg.only_config = only_config;
         let sc = ShardedCampaign::new(scfg);
         if resuming {
             eprintln!("resuming {shards} shard(s) across {threads} thread(s)");
@@ -819,6 +841,7 @@ fn cmd_fuzz(args: &Args) -> i32 {
         cfg.watchdog_budget = watchdog_budget;
         cfg.plant_panic_at = plant_panic_at;
         cfg.plant_hang_at = plant_hang_at;
+        cfg.only_config = only_config;
         (|| {
             let mut campaign = if resuming {
                 let c = Campaign::resume(cfg)?;
@@ -856,6 +879,38 @@ fn cmd_fuzz(args: &Args) -> i32 {
             1
         }
     }
+}
+
+/// `dma-lab infer`: boots the selected machine(s) with a traced boot,
+/// runs the canonical inference workload, and prints one deterministic
+/// `ChannelMap` JSON line per config — the zero-hand-wiring channel
+/// discovery the fuzzer's mutation vocabulary is built on.
+fn cmd_infer(args: &Args) -> i32 {
+    use dma_lab::fuzz::{infer_channels, parse_config, NUM_CONFIGS};
+    let seed = num_flag!(args, "seed", 7);
+    let configs: Vec<u8> = match args.str_flag("config") {
+        None => (0..NUM_CONFIGS).collect(),
+        Some(s) => match parse_config(s) {
+            Some(id) => vec![id],
+            None => {
+                eprintln!(
+                    "--config '{s}' is not a machine config; want an id below {NUM_CONFIGS} \
+                     or a name\n{HELP}"
+                );
+                return 2;
+            }
+        },
+    };
+    for id in configs {
+        match infer_channels(seed, id) {
+            Ok(map) => println!("{}", map.to_json()),
+            Err(e) => {
+                eprintln!("inference failed on config {id}: {e}");
+                return 1;
+            }
+        }
+    }
+    0
 }
 
 fn cmd_forensics(args: &Args) -> i32 {

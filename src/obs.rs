@@ -87,6 +87,7 @@ pub fn run_observed(cfg: ObsConfig) -> Result<ObsReport> {
     // D-KASAN exposure findings both fire; deferred invalidation (the
     // IommuConfig default) so the stale-window histogram fills.
     let mut tb = Testbed::new_traced(TestbedConfig {
+        device: Default::default(),
         mem: MemConfigLite {
             kaslr_seed: Some(cfg.seed),
             ..Default::default()

@@ -44,8 +44,10 @@ use dma_core::jsonw::JsonWriter;
 use dma_core::metrics::Snapshot;
 use dma_core::posture::PostureReport;
 use dma_core::{chrome, shard_seed, JValue};
-use fuzz::{config_name, machine_config, Campaign, CampaignConfig, CampaignEvent, NUM_CONFIGS};
-use sim_net::packet::Packet;
+use fuzz::{
+    config_device, config_name, machine_config, Campaign, CampaignConfig, CampaignEvent,
+    NUM_CONFIGS,
+};
 
 /// Protocol version announced by the `hello` frame.
 pub const PROTO_VERSION: u64 = 1;
@@ -448,21 +450,36 @@ impl Server {
         w.finish()
     }
 
-    /// `posture` — one audit frame per fuzz machine configuration,
-    /// then a summary. Each config gets a fresh testbed, a short warmup
-    /// (RX traffic plus a flush period) so deferred configs actually
-    /// open §5.2.1 windows, and an assessed [`PostureReport`].
+    /// `posture` — one audit frame per fuzz machine configuration
+    /// (tagged with its device family), then per-device-model summary
+    /// sections and a sweep total. Each config boots a fresh machine of
+    /// its family through the [`devsim::DeviceModel`] trait, gets a
+    /// short warmup (RX traffic plus a flush period) so deferred
+    /// configs actually open §5.2.1 windows, and an assessed
+    /// [`PostureReport`].
     fn posture_frames(&self, out: &mut Vec<String>) {
         let mut exposed = 0u64;
+        // (device name, configs swept, exposed count) in matrix order.
+        let mut sections: Vec<(&'static str, u64, u64)> = Vec::new();
         for config_id in 0..NUM_CONFIGS {
+            let device = config_device(config_id).name();
             let report = posture_of_config(config_id, self.cfg.seed);
-            if report.grade == "exposed" {
+            let is_exposed = report.grade == "exposed";
+            if is_exposed {
                 exposed += 1;
+            }
+            match sections.iter_mut().find(|(d, ..)| *d == device) {
+                Some(s) => {
+                    s.1 += 1;
+                    s.2 += is_exposed as u64;
+                }
+                None => sections.push((device, 1, is_exposed as u64)),
             }
             let mut w = JsonWriter::new();
             w.obj(|w| {
                 w.field_str("frame", "posture");
                 w.field_u64("config", config_id as u64);
+                w.field_str("device", device);
                 w.field("report", |w| w.raw(&report.to_json()));
             });
             out.push(w.finish());
@@ -472,6 +489,19 @@ impl Server {
             w.field_str("frame", "posture_done");
             w.field_u64("configs", NUM_CONFIGS as u64);
             w.field_u64("exposed", exposed);
+            w.field("devices", |w| {
+                w.arr(|w| {
+                    for (device, configs, dev_exposed) in &sections {
+                        w.elem(|w| {
+                            w.obj(|w| {
+                                w.field_str("device", device);
+                                w.field_u64("configs", *configs);
+                                w.field_u64("exposed", *dev_exposed);
+                            });
+                        });
+                    }
+                });
+            });
             w.field_bool("end", true);
         });
         out.push(w.finish());
@@ -574,29 +604,21 @@ impl Server {
 }
 
 /// Builds the assessed posture report for one fuzz machine config:
-/// fresh testbed, short RX warmup, one deferred-flush period, then the
-/// audit. Pure function of `(config_id, seed)`.
+/// fresh machine of the config's device family, short warmup, one
+/// deferred-flush period, then the audit. Pure function of
+/// `(config_id, seed)`.
 pub fn posture_of_config(config_id: u8, seed: u64) -> PostureReport {
     let name = config_name(config_id);
     let cfg = machine_config(config_id, seed);
-    match devsim::Testbed::new(cfg) {
-        Ok(mut tb) => {
+    match devsim::boot_model(cfg, devsim::BootSpec::Quiet) {
+        Ok(mut m) => {
             for i in 0..POSTURE_WARMUP_PACKETS {
-                let pkt = Packet::udp(60 + i, 1, vec![i as u8; 64]);
-                let _ = tb.deliver_packet(&pkt);
+                let _ = m.deliver(64, i as u8);
             }
             // One full flush period so deferred configs retire their
             // unmaps and record §5.2.1 window widths.
-            tb.advance_ms(11);
-            // The sharing surface is the *effective* per-buffer span:
-            // a page-per-buffer policy occupies the whole page no
-            // matter what length the driver asked for.
-            let effective_buf = match tb.driver.cfg.alloc {
-                sim_net::driver::AllocPolicy::PagePerBuffer => dma_core::PAGE_SIZE,
-                _ => tb.driver.cfg.rx_buf_size,
-            };
-            let stale = tb.ctx.metrics.histogram("sim_iommu.stale_window.cycles");
-            tb.iommu.posture(name, effective_buf, stale)
+            m.tick_ms(11);
+            m.posture(name)
         }
         Err(_) => {
             // A config that cannot even boot is its own (worst) answer.

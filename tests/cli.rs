@@ -31,6 +31,7 @@ fn help_lists_all_subcommands() {
         "stats",
         "trace",
         "fuzz",
+        "infer",
         "forensics",
         "serve",
     ] {
@@ -192,6 +193,65 @@ fn fuzz_usage_errors_exit_two() {
 }
 
 #[test]
+fn fuzz_config_pins_every_exec_to_one_machine_shape() {
+    // By id and by name resolve to the same machine, and the pinned
+    // campaign's coverage proves only that shape ran: the config facet
+    // carries exactly one machine name.
+    let (code, by_id) = run(&[
+        "fuzz", "--seed", "7", "--iters", "12", "--config", "5", "--json",
+    ]);
+    assert_eq!(code, 0, "{by_id}");
+    let (code, by_name) = run(&[
+        "fuzz",
+        "--seed",
+        "7",
+        "--iters",
+        "12",
+        "--config",
+        "virtio-split-deferred",
+        "--json",
+    ]);
+    assert_eq!(code, 0);
+    assert_eq!(by_id, by_name, "id and name must select the same machine");
+    assert!(
+        by_id.contains("\"config\":\"virtio-split-deferred\""),
+        "{by_id}"
+    );
+    for other in ["pagefrag", "i40e", "nvme-qpair", "pageperbuffer"] {
+        assert!(!by_id.contains(other), "foreign shape leaked in:\n{by_id}");
+    }
+    // Sharded engine honors the restriction identically.
+    let (code, sharded) = run(&[
+        "fuzz", "--seed", "7", "--iters", "12", "--config", "5", "--shards", "1", "--json",
+    ]);
+    assert_eq!(code, 0);
+    assert_eq!(sharded, by_id, "1-shard output matches the legacy path");
+}
+
+#[test]
+fn infer_prints_one_deterministic_channel_map_per_config() {
+    let (code, all) = run(&["infer", "--seed", "7"]);
+    assert_eq!(code, 0, "{all}");
+    assert_eq!(
+        all.lines().count(),
+        9,
+        "one line per machine config:\n{all}"
+    );
+    for line in all.lines() {
+        assert!(
+            line.starts_with("{\"schema\":\"dma-infer.channel-map.v1\""),
+            "{line}"
+        );
+    }
+    let (code, one) = run(&["infer", "--seed", "7", "--config", "nvme-qpair-deferred"]);
+    assert_eq!(code, 0);
+    assert_eq!(one.lines().count(), 1);
+    assert!(one.contains("nvme_sq_map"), "{one}");
+    let (_, again) = run(&["infer", "--seed", "7", "--config", "nvme-qpair-deferred"]);
+    assert_eq!(one, again, "inference must be byte-deterministic");
+}
+
+#[test]
 fn forensics_renders_incident_timelines() {
     let (code, out) = run(&["forensics", "--seed", "7", "--iters", "24"]);
     assert_eq!(code, 0, "{out}");
@@ -336,6 +396,16 @@ fn hardened_arg_parsing_rejects_malformed_numbers_everywhere() {
         &["serve", "--port", "70000"][..],
         &["serve", "--checkpoint-every", "2"][..], // no dir
         &["stats", "--diff"][..],                  // no dump paths
+        // The machine matrix has NUM_CONFIGS entries; anything outside
+        // it must be a usage error, never a modulo-wrapped alias.
+        &["fuzz", "--config", "9"][..],
+        &["fuzz", "--config", "255"][..],
+        &["fuzz", "--config", "no-such-machine"][..],
+        &["fuzz", "--config", ""][..],
+        &["fuzz", "--config", "-1"][..],
+        &["infer", "--config", "9"][..],
+        &["infer", "--config", "banana"][..],
+        &["infer", "--seed", "junk"][..],
     ] {
         let out = Command::new(env!("CARGO_BIN_EXE_dma-lab"))
             .args(args)

@@ -78,9 +78,32 @@ fn posture_sweep_distinguishes_strict_from_deferred_and_flags_the_window() {
     let t = transcript(SEED);
     let postures: Vec<&str> = t
         .lines()
-        .filter(|l| l.contains("\"frame\":\"posture\""))
+        .filter(|l| l.contains("\"frame\":\"posture\","))
         .collect();
-    assert_eq!(postures.len(), 4, "one frame per machine config:\n{t}");
+    assert_eq!(postures.len(), 9, "one frame per machine config:\n{t}");
+    // Every frame names its device family, and the sweep covers the
+    // whole zoo.
+    for device in [
+        "\"device\":\"nic\"",
+        "\"device\":\"virtio\"",
+        "\"device\":\"nvme\"",
+    ] {
+        assert!(
+            postures.iter().any(|l| l.contains(device)),
+            "{device} missing from the posture sweep:\n{t}"
+        );
+    }
+    // The summary carries one per-device-model section per family.
+    let done = t
+        .lines()
+        .find(|l| l.contains("\"frame\":\"posture_done\""))
+        .expect("posture_done frame");
+    assert!(
+        done.contains("\"devices\":[{\"device\":\"nic\",\"configs\":5,")
+            && done.contains("{\"device\":\"virtio\",\"configs\":2,")
+            && done.contains("{\"device\":\"nvme\",\"configs\":2,"),
+        "{done}"
+    );
     let deferred: Vec<&&str> = postures
         .iter()
         .filter(|l| l.contains("\"invalidation\":\"deferred\""))
