@@ -69,6 +69,49 @@ pub fn zoo_report_path() -> PathBuf {
     repo_root().join("BENCH_zoo.json")
 }
 
+/// Path of the standalone cycle-attribution report `profile_bench`
+/// writes.
+pub fn profile_report_path() -> PathBuf {
+    repo_root().join("BENCH_profile.json")
+}
+
+/// Writes `BENCH_profile.json`: the deterministic half is
+/// `ProfileRun::deterministic_json` — run facts, the hottest self-cycle
+/// frame, and the per-exec phase breakdown `dma-lab bench --check`
+/// re-derives — plus the two-run folded-output byte-identity verdict;
+/// the timing half holds wall-clock rows for the profiled workload at 1
+/// and 8 shards and the export paths, from which `execs_per_sec` and
+/// `speedup_8_shards_x` are derived. Returns the report path.
+pub fn emit_profile_report(
+    deterministic_json: &str,
+    folded_identical: bool,
+    timing: &[BenchResult],
+) -> std::io::Result<PathBuf> {
+    let mut w = JsonWriter::new();
+    w.obj(|w| {
+        w.field_str("report", "profile");
+        w.field("deterministic", |w| w.raw(deterministic_json));
+        w.field_bool("two_run_folded_byte_identical", folded_identical);
+        w.field("timing", |w| render_results(w, timing));
+        let ns = |id: &str| {
+            timing
+                .iter()
+                .find(|r| r.id == id)
+                .map(|r| r.ns_per_iter)
+                .filter(|&n| n > 0)
+        };
+        if let Some(n) = ns("profile_shards_1") {
+            w.field_f64("execs_per_sec", 1e9 / n as f64);
+        }
+        if let (Some(one), Some(eight)) = (ns("profile_shards_1"), ns("profile_shards_8")) {
+            w.field_f64("speedup_8_shards_x", one as f64 / eight as f64);
+        }
+    });
+    let path = profile_report_path();
+    std::fs::write(&path, w.finish())?;
+    Ok(path)
+}
+
 /// Writes `BENCH_zoo.json`: the deterministic half carries per-device
 /// channel-map facts (channel count, kinds, events consumed) and the
 /// two-run byte-identity verdict; the timing half holds inference cost

@@ -25,6 +25,10 @@
 //! - [`metrics`] — the deterministic observability registry carried by
 //!   every [`SimCtx`]: counters, gauges, fixed-bucket histograms, and
 //!   span-scoped cycle attribution, exported as text or JSON.
+//! - [`profile`] — hierarchical cycle attribution: the span stack
+//!   folded into a deterministic call tree ([`Profile`]), with folded-
+//!   stack (flamegraph) and speedscope exports plus the shard-merge
+//!   fold behind `dma-lab profile`.
 //! - [`jsonw`] — the serde-free JSON writer the exporters use so
 //!   machine-readable output stays byte-deterministic.
 //! - [`coverage`] — the deterministic feature bitmap the `fuzz` crate
@@ -63,6 +67,7 @@ pub mod jsonw;
 pub mod layout;
 pub mod metrics;
 pub mod posture;
+pub mod profile;
 pub mod provenance;
 pub mod recorder;
 pub mod rng;
@@ -79,6 +84,7 @@ pub use jsonr::{JValue, JsonError};
 pub use layout::{KernelLayout, VmRegion};
 pub use metrics::{Metrics, Snapshot, SnapshotDelta, SpanToken};
 pub use posture::{GroupPosture, PostureFinding, PostureReport, Severity, StaleWindowStats};
+pub use profile::{Profile, ProfileNode};
 pub use provenance::{EdgeKind, ProvenanceGraph};
 pub use recorder::FlightRecorder;
 pub use rng::{shard_seed, DetRng};

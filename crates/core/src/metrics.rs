@@ -119,6 +119,21 @@ impl Histogram {
         }
         u64::MAX
     }
+
+    /// Median bucket bound — `quantile_bound(500)`.
+    pub fn p50(&self) -> u64 {
+        self.quantile_bound(500)
+    }
+
+    /// 90th-percentile bucket bound — `quantile_bound(900)`.
+    pub fn p90(&self) -> u64 {
+        self.quantile_bound(900)
+    }
+
+    /// 99th-percentile bucket bound — `quantile_bound(990)`.
+    pub fn p99(&self) -> u64 {
+        self.quantile_bound(990)
+    }
 }
 
 /// One completed span occurrence on the timeline.
@@ -156,7 +171,12 @@ pub const TIMELINE_CAP: usize = 4096;
 
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 struct SpanSet {
-    stack: Vec<(&'static str, Cycles)>,
+    /// `(name, entry cycle, visible)`. Visible spans feed the timeline
+    /// and the per-name aggregates; profile-only frames (`visible =
+    /// false`) feed *only* the call tree, so instrumenting a hot path
+    /// never changes snapshots, coverage folding, or any committed
+    /// trajectory.
+    stack: Vec<(&'static str, Cycles, bool)>,
     timeline: Vec<SpanRecord>,
     agg: BTreeMap<&'static str, SpanAgg>,
     timeline_dropped: u64,
@@ -170,6 +190,7 @@ pub struct Metrics {
     gauges: BTreeMap<&'static str, Gauge>,
     hists: BTreeMap<&'static str, Histogram>,
     spans: SpanSet,
+    profile: crate::profile::ProfTree,
 }
 
 impl Metrics {
@@ -260,7 +281,17 @@ impl Metrics {
     }
 
     pub(crate) fn span_begin_at(&mut self, name: &'static str, now: Cycles) -> SpanToken {
-        self.spans.stack.push((name, now));
+        self.spans.stack.push((name, now, true));
+        self.profile.enter(name);
+        SpanToken(self.spans.stack.len())
+    }
+
+    /// Opens a *profile-only* frame: it shares the span stack (so
+    /// nesting under visible spans is exact) and feeds the call tree,
+    /// but never touches the timeline or the span aggregates.
+    pub(crate) fn prof_begin_at(&mut self, name: &'static str, now: Cycles) -> SpanToken {
+        self.spans.stack.push((name, now, false));
+        self.profile.enter(name);
         SpanToken(self.spans.stack.len())
     }
 
@@ -268,28 +299,52 @@ impl Metrics {
         // Tolerate out-of-order ends: unwind to the token's depth so a
         // missed inner end cannot corrupt attribution forever.
         while self.spans.stack.len() >= token.0.max(1) {
-            let Some((name, start)) = self.spans.stack.pop() else {
+            let Some((name, start, visible)) = self.spans.stack.pop() else {
                 return;
             };
-            let depth = self.spans.stack.len() as u32;
-            if self.spans.timeline.len() < TIMELINE_CAP {
-                self.spans.timeline.push(SpanRecord {
-                    name,
-                    start,
-                    end: now,
-                    depth,
-                });
-            } else {
-                self.spans.timeline_dropped += 1;
+            self.profile.leave(now - start);
+            if visible {
+                let depth = self
+                    .spans
+                    .stack
+                    .iter()
+                    .filter(|(_, _, visible)| *visible)
+                    .count() as u32;
+                if self.spans.timeline.len() < TIMELINE_CAP {
+                    self.spans.timeline.push(SpanRecord {
+                        name,
+                        start,
+                        end: now,
+                        depth,
+                    });
+                } else {
+                    self.spans.timeline_dropped += 1;
+                }
+                let agg = self.spans.agg.entry(name).or_default();
+                agg.count += 1;
+                agg.total_cycles += now - start;
+                agg.max_cycles = agg.max_cycles.max(now - start);
             }
-            let agg = self.spans.agg.entry(name).or_default();
-            agg.count += 1;
-            agg.total_cycles += now - start;
-            agg.max_cycles = agg.max_cycles.max(now - start);
             if self.spans.stack.len() < token.0 {
                 break;
             }
         }
+    }
+
+    /// Drops the accumulated call tree, re-rooting any still-open
+    /// frames — the per-exec reset point that keeps boot cost out of
+    /// execution profiles. Counters, histograms, spans, and the
+    /// timeline are untouched.
+    pub fn profile_reset(&mut self) {
+        let open: Vec<&'static str> = self.spans.stack.iter().map(|(name, _, _)| *name).collect();
+        self.profile.reset(&open);
+    }
+
+    /// Freezes the call tree into an export-ready
+    /// [`crate::profile::Profile`]. Open frames contribute their calls
+    /// but no cycles until they close.
+    pub fn profile(&self) -> crate::profile::Profile {
+        self.profile.export()
     }
 
     /// Restores counter `name` to an absolute value (checkpoint resume).
@@ -410,7 +465,7 @@ impl Snapshot {
                     "  {k:<40} {:>12} {:>12} {:>12} {:>12}",
                     h.count,
                     h.mean(),
-                    h.quantile_bound(990),
+                    h.p99(),
                     h.max
                 );
             }
@@ -468,6 +523,11 @@ impl Snapshot {
                                 w.field_u64("sum", h.sum);
                                 w.field_u64("max", h.max);
                                 w.field_u64("mean", h.mean());
+                                // Derived like `mean`: recomputed on
+                                // render, ignored by `from_json`.
+                                w.field_u64("p50", h.p50());
+                                w.field_u64("p90", h.p90());
+                                w.field_u64("p99", h.p99());
                                 w.field("buckets", |w| {
                                     w.arr(|w| {
                                         // Only non-empty buckets, as
@@ -1025,6 +1085,92 @@ mod tests {
         assert_eq!(tl[1].depth, 0);
         assert_eq!(m.span_agg("outer").unwrap().total_cycles, 100);
         assert_eq!(m.span_agg("inner").unwrap().total_cycles, 30);
+    }
+
+    #[test]
+    fn percentile_helpers_match_quantile_bounds() {
+        let mut h = Histogram::default();
+        for v in [1u64, 2, 2, 100, 5000] {
+            h.observe(v);
+        }
+        assert_eq!(h.p50(), h.quantile_bound(500));
+        assert_eq!(h.p90(), h.quantile_bound(900));
+        assert_eq!(h.p99(), h.quantile_bound(990));
+        assert_eq!(h.p50(), 2);
+        assert_eq!(h.p99(), 8192);
+    }
+
+    #[test]
+    fn snapshot_json_carries_derived_percentiles() {
+        let mut m = Metrics::new();
+        m.observe("lat", 7);
+        let doc = m.snapshot(0).to_json();
+        for key in ["\"p50\":8", "\"p90\":8", "\"p99\":8"] {
+            assert!(doc.contains(key), "missing {key} in:\n{doc}");
+        }
+        // Still parses and round-trips (derived fields re-derived).
+        let back = Snapshot::from_json(&doc).unwrap();
+        assert_eq!(back.to_json(), doc);
+    }
+
+    #[test]
+    fn profile_only_frames_are_invisible_to_snapshots() {
+        let mut m = Metrics::new();
+        let t = m.prof_begin_at("hot.path", 0);
+        m.span_end_at(t, 500);
+        assert!(m.span_agg("hot.path").is_none());
+        assert!(m.span_timeline().is_empty());
+        assert!(m.snapshot(0).spans.is_empty());
+        let p = m.profile();
+        assert_eq!(p.roots[0].name, "hot.path");
+        assert_eq!(p.roots[0].total_cycles, 500);
+    }
+
+    #[test]
+    fn visible_and_profile_frames_share_one_call_tree() {
+        let mut m = Metrics::new();
+        let outer = m.span_begin_at("rx.poll", 0);
+        let inner = m.prof_begin_at("iommu.map", 10);
+        m.span_end_at(inner, 40);
+        m.span_end_at(outer, 100);
+        // Snapshot sees only the visible span, at depth 0.
+        assert_eq!(m.snapshot(0).spans.len(), 1);
+        assert_eq!(m.span_timeline()[0].depth, 0);
+        // The tree nests the profile-only frame under it.
+        let p = m.profile();
+        assert_eq!(p.roots[0].name, "rx.poll");
+        assert_eq!(p.roots[0].children[0].name, "iommu.map");
+        assert_eq!(p.roots[0].children[0].total_cycles, 30);
+        assert_eq!(p.roots[0].self_cycles(), 70);
+    }
+
+    #[test]
+    fn profile_reset_clears_the_tree_but_not_the_spans() {
+        let mut m = Metrics::new();
+        let t = m.span_begin_at("boot", 0);
+        m.span_end_at(t, 50);
+        m.profile_reset();
+        assert!(m.profile().is_empty());
+        assert_eq!(m.span_agg("boot").unwrap().count, 1, "aggregates survive");
+        let t = m.prof_begin_at("exec.deliver", 100);
+        m.span_end_at(t, 160);
+        assert_eq!(m.profile().roots[0].total_cycles, 60);
+    }
+
+    #[test]
+    fn unwinding_a_torn_profile_frame_keeps_the_cursor_in_lockstep() {
+        let mut m = Metrics::new();
+        let outer = m.span_begin_at("outer", 0);
+        let _torn = m.prof_begin_at("torn", 10);
+        m.span_end_at(outer, 50);
+        let p = m.profile();
+        assert_eq!(p.roots[0].name, "outer");
+        assert_eq!(p.roots[0].children[0].name, "torn");
+        assert_eq!(p.roots[0].children[0].total_cycles, 40);
+        assert_eq!(p.roots[0].total_cycles, 50);
+        // Aggregates only saw the visible span.
+        assert!(m.span_agg("torn").is_none());
+        assert_eq!(m.span_agg("outer").unwrap().count, 1);
     }
 
     #[test]

@@ -96,7 +96,7 @@ impl StaleWindowStats {
         Some(StaleWindowStats {
             count: h.count,
             mean_cycles: h.mean(),
-            p99_cycles: h.quantile_bound(990),
+            p99_cycles: h.p99(),
             max_cycles: h.max,
         })
     }

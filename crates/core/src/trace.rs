@@ -372,6 +372,34 @@ impl SimCtx {
         self.metrics.span_end_at(token, now);
     }
 
+    /// Opens a *profile-only* frame at the current cycle: it nests on
+    /// the same stack as visible spans and feeds the cycle-attribution
+    /// call tree ([`Metrics::profile`]), but is invisible to the span
+    /// timeline, the aggregates, and every [`Snapshot`] — so hot-path
+    /// instrumentation never perturbs committed trajectories.
+    #[inline]
+    pub fn prof_begin(&mut self, name: &'static str) -> SpanToken {
+        let now = self.clock.now();
+        self.metrics.prof_begin_at(name, now)
+    }
+
+    /// Closes a frame opened by [`SimCtx::prof_begin`] (the unwind
+    /// rules of [`SimCtx::span_end`] apply).
+    #[inline]
+    pub fn prof_end(&mut self, token: SpanToken) {
+        let now = self.clock.now();
+        self.metrics.span_end_at(token, now);
+    }
+
+    /// Runs `f` inside a profile-only frame — the closure-scoped form
+    /// of `prof_begin`/`prof_end`.
+    pub fn prof<R>(&mut self, name: &'static str, f: impl FnOnce(&mut SimCtx) -> R) -> R {
+        let token = self.prof_begin(name);
+        let r = f(self);
+        self.prof_end(token);
+        r
+    }
+
     /// Runs `f` inside a named span — the closure-scoped convenience
     /// form of `span_begin`/`span_end`.
     ///

@@ -29,7 +29,7 @@ use dma_core::checkpoint::intern;
 use dma_core::jsonw::JsonWriter;
 use dma_core::{
     CheckpointStore, CoverageMap, DetRng, DmaError, Event, FaultPlan, FlightRecorder, Metrics,
-    Result,
+    Profile, Result,
 };
 
 use crate::exec::{ExecContext, ExecStatus, FuzzFinding, DEFAULT_WATCHDOG_BUDGET};
@@ -265,6 +265,11 @@ pub struct CampaignState {
     pub total_cycles: u64,
     /// Per-exec recorder evictions, summed.
     pub trace_dropped: u64,
+    /// Merged cycle-attribution profile of every admitted execution
+    /// (minimization execs inside the corpus are not folded in). Rides
+    /// in checkpoints, so a resumed campaign's profile stays
+    /// byte-identical to an uninterrupted run's.
+    pub profile: Profile,
     /// Campaign-level RNG; advanced exactly once per iteration, its
     /// position rides in every checkpoint so a resumed journal stays
     /// bit-identical.
@@ -291,6 +296,7 @@ impl CampaignState {
             dropped: 0,
             total_cycles: 0,
             trace_dropped: 0,
+            profile: Profile::new(),
             rng: DetRng::new(seed ^ 0xca_a1_90_01),
             journal: FlightRecorder::new(JOURNAL_CAPACITY),
         }
@@ -523,6 +529,7 @@ impl Campaign {
         s.dropped += out.dropped;
         s.total_cycles += out.cycles;
         s.trace_dropped += out.trace_dropped;
+        s.profile.merge(&out.profile);
 
         let bits_before = s.global.count_ones();
         let extra = s
@@ -692,6 +699,7 @@ impl Campaign {
             dropped: s.dropped,
             total_cycles: s.total_cycles,
             trace_dropped: s.trace_dropped,
+            profile: s.profile,
             stats_json,
         })
     }

@@ -22,7 +22,9 @@ use devsim::testbed::MemConfigLite;
 use devsim::{boot_model, BootSpec, DeviceKind, DeviceModel, TestbedConfig, WindowHit};
 use dkasan::{investigate, DKasan, FindingKind, Incident};
 use dma_core::vuln::{CallbackExposure, SubPageVulnerability, TimeWindow, VulnerabilityAttributes};
-use dma_core::{CoverageMap, DetRng, DmaError, Event, Kva, ProvenanceGraph, Result, VmRegion};
+use dma_core::{
+    CoverageMap, DetRng, DmaError, Event, Kva, Profile, ProvenanceGraph, Result, VmRegion,
+};
 use dma_infer::ChannelInference;
 use sim_iommu::{InvalidationMode, IommuConfig};
 use sim_net::driver::{AllocPolicy, DriverConfig, UnmapOrder};
@@ -112,6 +114,13 @@ pub struct ExecOutcome {
     /// Events the bounded flight recorder evicted before a drain could
     /// consume them (the `trace.dropped` counter at run end).
     pub trace_dropped: u64,
+    /// Hierarchical cycle-attribution profile of this execution: the
+    /// per-phase call tree (`exec.deliver` / `exec.churn` /
+    /// `exec.oracle` / `exec.infer` / `exec.teardown`) with every
+    /// instrumented allocator and IOMMU frame nested underneath. Boot
+    /// cost is excluded — the tree is reset after the machine (or warm
+    /// template clone) is obtained.
+    pub profile: Profile,
 }
 
 /// One forensically-instrumented execution: the outcome, the full
@@ -498,6 +507,14 @@ fn execute_core(
     if let Some(fs) = fault_seed {
         model.sim().faults = devsim::build_fault_plan(fs);
     }
+    // Profiling starts here: drop boot/template attribution so every
+    // exec profiles identically whether it ran warm or cold, then leave
+    // a zero-cycle `exec.clone` marker recording the template hand-off
+    // (its call count is the phase signal; the cycles it stands for
+    // were deliberately spent before the reset).
+    model.sim().metrics.profile_reset();
+    let marker = model.sim().prof_begin("exec.clone");
+    model.sim().prof_end(marker);
 
     let mut dkasan = DKasan::new();
     // The in-run channel engine: every drained event batch feeds it, so
@@ -514,7 +531,22 @@ fn execute_core(
         let mut op_rng = DetRng::new(
             input.seed ^ input.iteration.wrapping_mul(0x517c_c1b7_2722_0a95) ^ idx as u64,
         );
-        match apply_op(
+        // Phase attribution: allocator churn profiles apart from the
+        // delivery/tamper vocabulary. Pure time ops (`AdvanceTime`,
+        // `BusySpin`) and the meta ops (`ArmFault`, `DebugPanic`) get
+        // no frame at all — their idle cycles stay unattributed so the
+        // profile's self-cycle ranking surfaces real IOMMU/allocator
+        // work instead of simulated sleep.
+        let phase = match *op {
+            MutationOp::KmallocChurn { .. } => Some("exec.churn"),
+            MutationOp::AdvanceTime { .. }
+            | MutationOp::BusySpin { .. }
+            | MutationOp::ArmFault { .. }
+            | MutationOp::DebugPanic => None,
+            _ => Some("exec.deliver"),
+        };
+        let frame = phase.map(|p| model.sim().prof_begin(p));
+        let applied = apply_op(
             model.as_mut(),
             op,
             input.iteration,
@@ -524,7 +556,11 @@ fn execute_core(
             &mut findings,
             &inference,
             budget,
-        ) {
+        );
+        if let Some(f) = frame {
+            model.sim().prof_end(f);
+        }
+        match applied {
             Ok(()) => {
                 cov.add("op", &format!("{}.ok", op.name()));
             }
@@ -560,8 +596,12 @@ fn execute_core(
         }
         let events = model.sim().trace.drain();
         absorb_events(&events, cov);
+        let frame = model.sim().prof_begin("exec.oracle");
         dkasan.process(&events);
+        model.sim().prof_end(frame);
+        let frame = model.sim().prof_begin("exec.infer");
         inference.observe_all(&events);
+        model.sim().prof_end(frame);
         if let Some(g) = graph.as_deref_mut() {
             g.ingest_all(events);
         }
@@ -582,11 +622,17 @@ fn execute_core(
     // A hang-aborted run skips the orderly shutdown — the campaign
     // quarantines it rather than admitting its outcome anywhere.
     let leaked_pages = if status == ExecStatus::Completed {
+        let frame = model.sim().prof_begin("exec.teardown");
         let lp = model.teardown()?;
+        model.sim().prof_end(frame);
         let events = model.sim().trace.drain();
         absorb_events(&events, cov);
+        let frame = model.sim().prof_begin("exec.oracle");
         dkasan.process(&events);
+        model.sim().prof_end(frame);
+        let frame = model.sim().prof_begin("exec.infer");
         inference.observe_all(&events);
+        model.sim().prof_end(frame);
         if let Some(g) = graph {
             g.ingest_all(events);
         }
@@ -639,6 +685,7 @@ fn execute_core(
         cycles: model.sim_ref().clock.now(),
         leaked_pages,
         trace_dropped: model.sim_ref().metrics.counter("trace.dropped"),
+        profile: model.sim_ref().metrics.profile(),
     };
     Ok((outcome, dkasan))
 }

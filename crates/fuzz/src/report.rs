@@ -2,6 +2,7 @@
 //! serializes, rendered byte-deterministically with [`JsonWriter`].
 
 use dma_core::jsonw::JsonWriter;
+use dma_core::Profile;
 
 use crate::campaign::CrashFinding;
 use crate::corpus::CorpusEntry;
@@ -53,6 +54,10 @@ pub struct FuzzReport {
     /// summed across all executions (0 = every event reached the
     /// oracle; counts are lower bounds otherwise).
     pub trace_dropped: u64,
+    /// Merged cycle-attribution profile across all admitted
+    /// executions: the per-phase (`exec.*`) call tree with the
+    /// instrumented allocator/IOMMU frames nested underneath.
+    pub profile: Profile,
     /// The runner's metrics snapshot (`fuzz.execs`, `fuzz.corpus.size`,
     /// `fuzz.coverage.bits`, ...), rendered as JSON.
     pub stats_json: String,
@@ -158,6 +163,7 @@ impl FuzzReport {
                 });
             });
             w.field("series", |w| w.raw(&self.series_json()));
+            w.field("profile", |w| w.raw(&self.profile.to_json()));
             w.field("stats", |w| w.raw(&self.stats_json));
         });
         w.finish()
@@ -184,6 +190,16 @@ impl FuzzReport {
                 "recorder: {} events evicted before the oracle saw them",
                 self.trace_dropped
             );
+        }
+        let rendered: Vec<String> = self
+            .profile
+            .phases()
+            .iter()
+            .filter(|(name, _, _)| name.starts_with("exec."))
+            .map(|(name, calls, cycles)| format!("{name} {cycles}cyc/{calls}"))
+            .collect();
+        if !rendered.is_empty() {
+            let _ = writeln!(out, "phases: {}", rendered.join("  "));
         }
         if !self.corpus.is_empty() {
             let _ = writeln!(

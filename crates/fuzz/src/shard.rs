@@ -248,6 +248,7 @@ impl ShardedCampaign {
             merged.dropped += o.report.dropped;
             merged.total_cycles += o.report.total_cycles;
             merged.trace_dropped += o.report.trace_dropped;
+            merged.profile.merge(&o.report.profile);
             for e in o.report.corpus {
                 if signatures.insert(e.signature) {
                     merged.corpus.push(e);

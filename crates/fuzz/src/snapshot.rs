@@ -13,7 +13,7 @@ use dma_core::jsonw::JsonWriter;
 use dma_core::vuln::{
     CallbackExposure, SubPageVulnerability, TimeWindow, VulnerabilityAttributes, WindowPath,
 };
-use dma_core::{DetRng, Iova, JValue, Kva};
+use dma_core::{DetRng, Iova, JValue, Kva, Profile};
 
 use crate::campaign::{CampaignState, CrashFinding, CrashKind};
 use crate::corpus::CorpusEntry;
@@ -44,6 +44,7 @@ pub fn capture(seed: u64, s: &CampaignState) -> String {
         w.field("coverage", |w| coverage_to_json(w, &s.global));
         w.field("journal", |w| recorder_to_json(w, &s.journal));
         w.field("metrics", |w| w.raw(&metrics_to_json(&s.metrics)));
+        w.field("profile", |w| w.raw(&s.profile.to_json()));
         w.field("corpus", |w| {
             w.arr(|w| {
                 for e in s.corpus.entries() {
@@ -146,6 +147,7 @@ pub fn restore(v: &JValue) -> Option<(u64, CampaignState)> {
             dropped: v.u64_field("dropped")?,
             total_cycles: v.u64_field("total_cycles")?,
             trace_dropped: v.u64_field("trace_dropped")?,
+            profile: Profile::from_jvalue(v.get("profile")?)?,
             rng: DetRng::from_state(state_words),
             journal: recorder_from_json(v.get("journal")?)?,
         },

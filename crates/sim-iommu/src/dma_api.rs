@@ -80,13 +80,16 @@ pub fn dma_map_single(
     let offset = kva.page_offset();
     let pages = pages_spanned(offset, len).max(1);
     let map_started = ctx.clock.now();
-    let base_iova = iommu.alloc_iova(ctx, dev, pages)?;
-    let first_pfn = layout.kva_to_pfn(kva.page_align_down())?;
-    for i in 0..pages {
-        let page_iova = Iova(base_iova.raw() + (i * PAGE_SIZE) as u64);
-        iommu.map_page(dev, page_iova, first_pfn.add(i as u64), dir.access_right())?;
-        ctx.clock.advance(MAP_PAGE_CYCLES);
-    }
+    let base_iova = ctx.prof("iommu.map", |ctx| {
+        let base_iova = iommu.alloc_iova(ctx, dev, pages)?;
+        let first_pfn = layout.kva_to_pfn(kva.page_align_down())?;
+        for i in 0..pages {
+            let page_iova = Iova(base_iova.raw() + (i * PAGE_SIZE) as u64);
+            iommu.map_page(dev, page_iova, first_pfn.add(i as u64), dir.access_right())?;
+            ctx.clock.advance(MAP_PAGE_CYCLES);
+        }
+        Ok(base_iova)
+    })?;
     ctx.metrics.add("sim_iommu.map.pages", pages as u64);
     ctx.metrics
         .observe("sim_iommu.map.cycles", ctx.clock.now() - map_started);
@@ -115,7 +118,9 @@ pub fn dma_map_single(
 /// away depends on the IOMMU's invalidation mode (§5.2.1).
 pub fn dma_unmap_single(ctx: &mut SimCtx, iommu: &mut Iommu, mapping: &DmaMapping) -> Result<()> {
     let unmap_started = ctx.clock.now();
-    iommu.unmap_range(ctx, mapping.device, mapping.iova_page_base(), mapping.pages)?;
+    ctx.prof("iommu.unmap", |ctx| {
+        iommu.unmap_range(ctx, mapping.device, mapping.iova_page_base(), mapping.pages)
+    })?;
     ctx.metrics
         .observe("sim_iommu.unmap.cycles", ctx.clock.now() - unmap_started);
     ctx.emit(Event::DmaUnmap {
@@ -200,24 +205,27 @@ pub fn dma_map_sg_coalesced(
         total_pages += pages_spanned(0, len);
     }
     let map_started = ctx.clock.now();
-    let base = iommu.alloc_iova(ctx, dev, total_pages)?;
-    let mut cursor = base;
-    let mut out_segments = Vec::with_capacity(segments.len());
-    for &(kva, len) in segments {
-        let first_pfn = layout.kva_to_pfn(kva)?;
-        let npages = pages_spanned(0, len);
-        for i in 0..npages {
-            iommu.map_page(
-                dev,
-                Iova(cursor.raw() + (i * PAGE_SIZE) as u64),
-                first_pfn.add(i as u64),
-                dir.access_right(),
-            )?;
-            ctx.clock.advance(MAP_PAGE_CYCLES);
+    let (base, out_segments) = ctx.prof("iommu.map", |ctx| {
+        let base = iommu.alloc_iova(ctx, dev, total_pages)?;
+        let mut cursor = base;
+        let mut out_segments = Vec::with_capacity(segments.len());
+        for &(kva, len) in segments {
+            let first_pfn = layout.kva_to_pfn(kva)?;
+            let npages = pages_spanned(0, len);
+            for i in 0..npages {
+                iommu.map_page(
+                    dev,
+                    Iova(cursor.raw() + (i * PAGE_SIZE) as u64),
+                    first_pfn.add(i as u64),
+                    dir.access_right(),
+                )?;
+                ctx.clock.advance(MAP_PAGE_CYCLES);
+            }
+            out_segments.push((cursor, kva, len));
+            cursor = Iova(cursor.raw() + (npages * PAGE_SIZE) as u64);
         }
-        out_segments.push((cursor, kva, len));
-        cursor = Iova(cursor.raw() + (npages * PAGE_SIZE) as u64);
-    }
+        Ok((base, out_segments))
+    })?;
     ctx.metrics.add("sim_iommu.map.pages", total_pages as u64);
     ctx.metrics
         .observe("sim_iommu.map.cycles", ctx.clock.now() - map_started);
@@ -240,7 +248,9 @@ pub fn dma_map_sg_coalesced(
 
 /// Unmaps a coalesced SG mapping.
 pub fn dma_unmap_sg_coalesced(ctx: &mut SimCtx, iommu: &mut Iommu, m: &SgMapping) -> Result<()> {
-    iommu.unmap_range(ctx, m.device, m.iova, m.pages)?;
+    ctx.prof("iommu.unmap", |ctx| {
+        iommu.unmap_range(ctx, m.device, m.iova, m.pages)
+    })?;
     ctx.emit(Event::DmaUnmap {
         at: ctx.clock.now(),
         device: m.device,

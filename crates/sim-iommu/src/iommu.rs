@@ -248,6 +248,10 @@ impl Iommu {
                 .collect();
             match mode {
                 InvalidationMode::Strict => {
+                    // The synchronous per-page invalidation is the
+                    // strict-mode cost center ROADMAP item 4 targets;
+                    // give it its own profile frame inside iommu.unmap.
+                    let frame = ctx.prof_begin("iommu.iotlb.inv");
                     for peer in peers {
                         self.iotlb.invalidate(peer, page_iova);
                     }
@@ -255,6 +259,7 @@ impl Iommu {
                     self.stats.invalidation_cycles += IOTLB_INV_CYCLES;
                     ctx.metrics.incr("sim_iommu.iotlb.invalidate");
                     ctx.clock.advance(IOTLB_INV_CYCLES);
+                    ctx.prof_end(frame);
                     ctx.emit(Event::IotlbInvalidate {
                         at: ctx.clock.now(),
                         device: dev,
@@ -299,6 +304,7 @@ impl Iommu {
                 self.next_flush += (self.config.flush_period / 4).max(1);
                 continue;
             }
+            let frame = ctx.prof_begin("iommu.iotlb.flush");
             let dropped = self.iotlb.global_flush();
             self.stats.global_flushes += 1;
             self.stats.invalidation_cycles += IOTLB_INV_CYCLES;
@@ -323,6 +329,7 @@ impl Iommu {
                     let _ = domain.iova.free(base, pages);
                 }
             }
+            ctx.prof_end(frame);
             self.next_flush += self.config.flush_period;
         }
     }
@@ -332,6 +339,18 @@ impl Iommu {
     ///
     /// Returns `(pfn, stale)`.
     fn translate(
+        &mut self,
+        ctx: &mut SimCtx,
+        dev: DeviceId,
+        iova: Iova,
+        write: bool,
+    ) -> Result<(Pfn, bool)> {
+        ctx.prof("iommu.iotlb.probe", |ctx| {
+            self.translate_inner(ctx, dev, iova, write)
+        })
+    }
+
+    fn translate_inner(
         &mut self,
         ctx: &mut SimCtx,
         dev: DeviceId,
@@ -425,6 +444,20 @@ impl Iommu {
     }
 
     fn dev_access(
+        &mut self,
+        ctx: &mut SimCtx,
+        dev: DeviceId,
+        iova: Iova,
+        len: usize,
+        write: bool,
+        xfer: impl FnMut(dma_core::PhysAddr, usize, usize) -> Result<()>,
+    ) -> Result<()> {
+        ctx.prof("iommu.dev_access", |ctx| {
+            self.dev_access_inner(ctx, dev, iova, len, write, xfer)
+        })
+    }
+
+    fn dev_access_inner(
         &mut self,
         ctx: &mut SimCtx,
         dev: DeviceId,

@@ -118,7 +118,9 @@ impl MemorySystem {
         if ctx.fault("sim_mem.alloc_pages") {
             return Err(DmaError::OutOfMemory);
         }
-        let pfn = self.buddy.alloc_pages(ctx, self.cur_cpu, order, site)?;
+        let pfn = ctx.prof("mem.alloc_pages", |ctx| {
+            self.buddy.alloc_pages(ctx, self.cur_cpu, order, site)
+        })?;
         ctx.metrics
             .gauge_set("sim_mem.buddy.free_pages", self.buddy.free_page_count());
         Ok(pfn)
@@ -127,7 +129,9 @@ impl MemorySystem {
     /// `__free_pages()`.
     pub fn free_pages(&mut self, ctx: &mut SimCtx, pfn: Pfn, order: u32) -> Result<()> {
         ctx.metrics.incr("sim_mem.free_pages.calls");
-        self.buddy.free_pages(ctx, self.cur_cpu, pfn, order)?;
+        ctx.prof("mem.free_pages", |ctx| {
+            self.buddy.free_pages(ctx, self.cur_cpu, pfn, order)
+        })?;
         ctx.metrics
             .gauge_set("sim_mem.buddy.free_pages", self.buddy.free_page_count());
         Ok(())
@@ -144,15 +148,17 @@ impl MemorySystem {
         if ctx.fault("sim_mem.kmalloc") {
             return Err(DmaError::OutOfMemory);
         }
-        self.kmalloc.kmalloc(
-            ctx,
-            &mut self.phys,
-            &mut self.buddy,
-            &self.layout,
-            self.cur_cpu,
-            size,
-            site,
-        )
+        ctx.prof("mem.kmalloc", |ctx| {
+            self.kmalloc.kmalloc(
+                ctx,
+                &mut self.phys,
+                &mut self.buddy,
+                &self.layout,
+                self.cur_cpu,
+                size,
+                site,
+            )
+        })
     }
 
     /// `kzalloc()`: kmalloc + zero.
@@ -165,14 +171,16 @@ impl MemorySystem {
     /// `kfree()`.
     pub fn kfree(&mut self, ctx: &mut SimCtx, kva: Kva) -> Result<()> {
         ctx.metrics.incr("sim_mem.kfree.calls");
-        self.kmalloc.kfree(
-            ctx,
-            &mut self.phys,
-            &mut self.buddy,
-            &self.layout,
-            self.cur_cpu,
-            kva,
-        )
+        ctx.prof("mem.kfree", |ctx| {
+            self.kmalloc.kfree(
+                ctx,
+                &mut self.phys,
+                &mut self.buddy,
+                &self.layout,
+                self.cur_cpu,
+                kva,
+            )
+        })
     }
 
     /// `page_frag_alloc()` (used by `netdev_alloc_skb`/`napi_alloc_skb`).
@@ -189,15 +197,19 @@ impl MemorySystem {
         if ctx.fault("sim_mem.page_frag_alloc") {
             return Err(DmaError::OutOfMemory);
         }
-        self.frag
-            .alloc(ctx, &mut self.buddy, &self.layout, self.cur_cpu, size, site)
+        ctx.prof("mem.page_frag.alloc", |ctx| {
+            self.frag
+                .alloc(ctx, &mut self.buddy, &self.layout, self.cur_cpu, size, site)
+        })
     }
 
     /// `page_frag_free()` (a.k.a. `skb_free_frag`).
     pub fn page_frag_free(&mut self, ctx: &mut SimCtx, kva: Kva) -> Result<()> {
         ctx.metrics.incr("sim_mem.page_frag.frees");
-        self.frag
-            .free(ctx, &mut self.buddy, &self.layout, self.cur_cpu, kva)
+        ctx.prof("mem.page_frag.free", |ctx| {
+            self.frag
+                .free(ctx, &mut self.buddy, &self.layout, self.cur_cpu, kva)
+        })
     }
 
     // ------------------------------------------------------------------

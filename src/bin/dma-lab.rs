@@ -141,6 +141,8 @@ fn main() {
         "stats" => cmd_stats(&args),
         "trace" => cmd_trace(&args),
         "fuzz" => cmd_fuzz(&args),
+        "profile" => cmd_profile(&args),
+        "bench" => cmd_bench(&args),
         "infer" => cmd_infer(&args),
         "forensics" => cmd_forensics(&args),
         "serve" => cmd_serve(&args),
@@ -181,6 +183,9 @@ USAGE:
                  [--shards N] [--threads T] [--config ID|NAME]
                  [--checkpoint-every N] [--checkpoint-dir DIR] [--resume DIR]
                  [--watchdog-budget CYCLES] [--plant-panic K] [--plant-hang K]
+    dma-lab profile [--seed N] [--iters N] [--config ID|NAME] [--shards N]
+                    [--folded OUT.txt] [--json]
+    dma-lab bench --check BENCH.json [BENCH.json ...]
     dma-lab infer [--seed N] [--config ID|NAME]
     dma-lab forensics [--seed N] [--iters N] [--json]
     dma-lab help
@@ -878,6 +883,137 @@ fn cmd_fuzz(args: &Args) -> i32 {
             eprintln!("fuzz run failed: {e}");
             1
         }
+    }
+}
+
+/// `dma-lab profile`: runs the deterministic cycle-attribution
+/// profiler over the canonical fuzz inputs and prints the merged call
+/// tree (text), a speedscope document (`--json`), and/or a folded-stack
+/// file (`--folded`, the `flamegraph.pl`/inferno input format). Output
+/// is byte-identical across runs and across `--shards` counts.
+fn cmd_profile(args: &Args) -> i32 {
+    use dma_lab::profiling::{run_profile, ProfileConfig};
+    let seed = num_flag!(args, "seed", 7);
+    let iters = num_flag!(args, "iters", 96);
+    let shards = num_flag!(args, "shards", 1);
+    if iters == 0 {
+        eprintln!("--iters must be at least 1\n{HELP}");
+        return 2;
+    }
+    if shards == 0 || shards > 256 {
+        eprintln!("--shards must be between 1 and 256\n{HELP}");
+        return 2;
+    }
+    let only_config = match args.str_flag("config") {
+        None => None,
+        Some(s) => match dma_lab::fuzz::parse_config(s) {
+            Some(id) => Some(id),
+            None => {
+                eprintln!(
+                    "--config '{s}' is not a machine config; want an id below {} or a name \
+                     (see `dma-lab infer`)\n{HELP}",
+                    dma_lab::fuzz::NUM_CONFIGS
+                );
+                return 2;
+            }
+        },
+    };
+    let folded_path = match args.str_flag("folded") {
+        Some("") => {
+            eprintln!("--folded wants an output path\n{HELP}");
+            return 2;
+        }
+        other => other,
+    };
+    let run = match run_profile(&ProfileConfig {
+        seed,
+        iters,
+        only_config,
+        shards: shards as u32,
+    }) {
+        Ok(run) => run,
+        Err(e) => {
+            eprintln!("profile run failed: {e}");
+            return 1;
+        }
+    };
+    if let Some(path) = folded_path {
+        if let Err(e) = std::fs::write(path, run.profile.folded()) {
+            eprintln!("cannot write --folded '{path}': {e}");
+            return 1;
+        }
+    }
+    if args.bool_flag("json") {
+        println!(
+            "{}",
+            run.profile
+                .speedscope_json(&format!("dma-lab profile seed {seed}"))
+        );
+    } else {
+        print!("{}", run.render_text());
+    }
+    0
+}
+
+/// `dma-lab bench --check`: re-runs the deterministic simulated-cycle
+/// workload behind each committed `BENCH_*.json` and exits 1 when any
+/// watched metric regresses beyond its tolerance — the trajectory gate
+/// CI runs against the committed bench files.
+fn cmd_bench(args: &Args) -> i32 {
+    use dma_lab::profiling::check_bench_file;
+    if !args.bool_flag("check") {
+        eprintln!("bench wants --check with at least one BENCH_*.json\n{HELP}");
+        return 2;
+    }
+    // The flag parser hands `--check A B C` over as flag value `A` plus
+    // positionals `B C`; fold them back into one file list.
+    let mut files: Vec<String> = Vec::new();
+    if let Some(first) = args.str_flag("check") {
+        if !first.is_empty() {
+            files.push(first.to_string());
+        }
+    }
+    files.extend(args.positional.iter().cloned());
+    if files.is_empty() {
+        eprintln!("--check wants at least one BENCH_*.json path\n{HELP}");
+        return 2;
+    }
+    for f in &files {
+        if !std::path::Path::new(f).is_file() {
+            eprintln!("--check '{f}' is not an existing file\n{HELP}");
+            return 2;
+        }
+    }
+    let mut failed = 0usize;
+    for f in &files {
+        match check_bench_file(std::path::Path::new(f)) {
+            Err(why) => {
+                eprintln!("{why}");
+                return 1;
+            }
+            Ok(outcome) => {
+                if let Some(why) = &outcome.skipped {
+                    println!("{f}: skipped ({why})");
+                    continue;
+                }
+                for row in &outcome.rows {
+                    let verdict = if row.ok { "ok" } else { "REGRESSED" };
+                    println!(
+                        "{f} [{}] {}: committed {} vs {} {verdict}",
+                        outcome.report, row.metric, row.expected, row.actual
+                    );
+                }
+                if !outcome.passed() {
+                    failed += 1;
+                }
+            }
+        }
+    }
+    if failed > 0 {
+        eprintln!("{failed} bench file(s) regressed beyond tolerance");
+        1
+    } else {
+        0
     }
 }
 

@@ -30,6 +30,9 @@
 //! - [`serve`] — live campaign telemetry: the line-JSON-over-TCP
 //!   service behind `dma-lab serve` (streaming findings, metric
 //!   deltas, the IOMMU posture audit, Perfetto export).
+//! - [`profiling`] — the deterministic cycle-attribution profiler
+//!   behind `dma-lab profile` (hierarchical span trees, flamegraph
+//!   export) and the `dma-lab bench --check` trajectory gate.
 //!
 //! ## Quickstart
 //!
@@ -43,6 +46,7 @@
 //! ```
 
 pub mod obs;
+pub mod profiling;
 pub mod serve;
 
 pub use attacks;

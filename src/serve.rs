@@ -18,6 +18,9 @@
 //!   flagging the §5.2.1 stale-translation window.
 //! - **Trace**: `chrome` exports the campaign journal as a Perfetto
 //!   `trace_event` document via [`dma_core::chrome`].
+//! - **Profile**: `profile` returns the merged cycle-attribution call
+//!   tree ([`dma_core::Profile`]) of every execution admitted so far,
+//!   folded across shards in shard-id order.
 //!
 //! ## Protocol
 //!
@@ -217,6 +220,10 @@ impl Server {
                 self.posture_frames(out);
                 Flow::Continue
             }
+            "profile" => {
+                out.push(self.profile_frame());
+                Flow::Continue
+            }
             "chrome" => {
                 out.push(self.chrome_frame());
                 Flow::Continue
@@ -319,6 +326,26 @@ impl Server {
             w.field_bool("end", true);
         });
         out.push(w.finish());
+    }
+
+    /// `profile` — the merged cycle-attribution profile of every
+    /// execution admitted so far, folded across shards in shard-id
+    /// order (the same deterministic merge `stats` uses for
+    /// snapshots), so the frame is byte-identical for a fixed
+    /// `(seed, script)` regardless of shard count timing.
+    fn profile_frame(&self) -> String {
+        let mut profile = self.shards[0].state().profile.clone();
+        for c in &self.shards[1..] {
+            profile.merge(&c.state().profile);
+        }
+        let mut w = JsonWriter::new();
+        w.obj(|w| {
+            w.field_str("frame", "profile");
+            w.field_u64("next_iter", self.total_next_iter());
+            w.field("profile", |w| w.raw(&profile.to_json()));
+            w.field_bool("end", true);
+        });
+        w.finish()
     }
 
     fn total_findings(&self) -> u64 {

@@ -34,6 +34,8 @@ fn help_lists_all_subcommands() {
         "infer",
         "forensics",
         "serve",
+        "profile",
+        "bench",
     ] {
         assert!(out.contains(cmd), "help missing {cmd}:\n{out}");
     }
@@ -406,6 +408,17 @@ fn hardened_arg_parsing_rejects_malformed_numbers_everywhere() {
         &["infer", "--config", "9"][..],
         &["infer", "--config", "banana"][..],
         &["infer", "--seed", "junk"][..],
+        &["profile", "--iters", "0"][..],
+        &["profile", "--iters", "banana"][..],
+        &["profile", "--seed", "0x7"][..],
+        &["profile", "--shards", "0"][..],
+        &["profile", "--shards", "257"][..],
+        &["profile", "--config", "9"][..],
+        &["profile", "--config", "no-such-machine"][..],
+        &["profile", "--folded", ""][..],
+        &["bench"][..],            // --check is mandatory
+        &["bench", "--check"][..], // ... with at least one file
+        &["bench", "--check", "/nonexistent/BENCH_x.json"][..],
     ] {
         let out = Command::new(env!("CARGO_BIN_EXE_dma-lab"))
             .args(args)
@@ -419,6 +432,101 @@ fn hardened_arg_parsing_rejects_malformed_numbers_everywhere() {
         let err = String::from_utf8_lossy(&out.stderr);
         assert!(err.contains("USAGE"), "help on stderr for {args:?}: {err}");
     }
+}
+
+#[test]
+fn profile_prints_the_call_tree_and_writes_folded_stacks() {
+    let path = std::env::temp_dir().join(format!("dma-lab-folded-{}.txt", std::process::id()));
+    let (code, out) = run(&[
+        "profile",
+        "--seed",
+        "7",
+        "--iters",
+        "12",
+        "--folded",
+        path.to_str().unwrap(),
+    ]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("hottest frames"), "{out}");
+    assert!(out.contains("exec.deliver"), "{out}");
+    assert!(out.contains("iommu."), "IOMMU frames missing:\n{out}");
+    let folded = std::fs::read_to_string(&path).expect("folded file written");
+    for line in folded.lines() {
+        let (stack, cycles) = line.rsplit_once(' ').expect("folded line shape");
+        assert!(!stack.is_empty(), "{line}");
+        cycles.parse::<u64>().expect("folded weight is a number");
+    }
+    assert!(
+        folded.lines().any(|l| l.contains(";iommu.")),
+        "no nested IOMMU frame in:\n{folded}"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn profile_json_is_valid_speedscope() {
+    let (code, out) = run(&["profile", "--seed", "7", "--iters", "8", "--json"]);
+    assert_eq!(code, 0);
+    for key in [
+        "\"$schema\":\"https://www.speedscope.app/file-format-schema.json\"",
+        "\"frames\":[",
+        "\"type\":\"sampled\"",
+        "\"unit\":\"none\"",
+    ] {
+        assert!(out.contains(key), "missing {key} in:\n{out}");
+    }
+}
+
+#[test]
+fn bench_check_passes_the_committed_zoo_trajectory() {
+    // BENCH_zoo.json's deterministic half re-derives in seconds (three
+    // traced boots); the heavier fuzz/scale/profile gates run in CI's
+    // release job.
+    let repo = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let (code, out) = run(&[
+        "bench",
+        "--check",
+        repo.join("BENCH_zoo.json").to_str().unwrap(),
+    ]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("trace_events: committed"), "{out}");
+    assert!(!out.contains("REGRESSED"), "{out}");
+}
+
+#[test]
+fn bench_check_fails_on_a_planted_regression_and_malformed_files() {
+    let dir = std::env::temp_dir().join(format!("dma-lab-cli-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // A zoo trajectory whose committed channel count is wrong: the
+    // re-run disagrees, so the gate must exit 1 and say REGRESSED.
+    let planted = dir.join("BENCH_planted.json");
+    std::fs::write(
+        &planted,
+        "{\"report\":\"zoo\",\"deterministic\":{\"seed\":7,\"devices\":[\
+         {\"device\":\"nic\",\"config\":\"pagefrag-deferred\",\"channels\":99}]}}",
+    )
+    .unwrap();
+    let result = Command::new(env!("CARGO_BIN_EXE_dma-lab"))
+        .args(["bench", "--check", planted.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert_eq!(result.status.code(), Some(1), "planted regression passes?");
+    let out = String::from_utf8_lossy(&result.stdout);
+    assert!(out.contains("REGRESSED"), "{out}");
+
+    // Structurally invalid files are run errors (1), not regressions.
+    let malformed = dir.join("BENCH_malformed.json");
+    std::fs::write(&malformed, "{\"report\":\"zoo\"}").unwrap();
+    let result = Command::new(env!("CARGO_BIN_EXE_dma-lab"))
+        .args(["bench", "--check", malformed.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert_eq!(result.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&result.stderr);
+    assert!(err.contains("deterministic"), "{err}");
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

@@ -1,0 +1,105 @@
+//! The cycle-attribution profiler's determinism contract: folded
+//! output is byte-identical across runs and shard counts, the per-exec
+//! phase breakdown is pinned for every zoo config, and the hottest
+//! self-cycle frame names an IOMMU invalidation path.
+
+use dma_lab::fuzz::{config_name, NUM_CONFIGS};
+use dma_lab::profiling::{run_profile, ProfileConfig};
+
+const SEED: u64 = 7;
+const ITERS: u64 = 24;
+
+fn profiled(shards: u32, only_config: Option<u8>) -> dma_lab::dma_core::Profile {
+    run_profile(&ProfileConfig {
+        shards,
+        only_config,
+        ..ProfileConfig::new(SEED, ITERS)
+    })
+    .expect("profile workload")
+    .profile
+}
+
+#[test]
+fn two_runs_fold_to_identical_bytes() {
+    let a = profiled(1, None);
+    let b = profiled(1, None);
+    assert_eq!(a.folded(), b.folded(), "folded output must be replayable");
+    assert_eq!(a.to_json(), b.to_json());
+}
+
+#[test]
+fn shard_count_never_changes_the_merged_tree() {
+    let one = profiled(1, None);
+    for shards in [2, 3, 8] {
+        let sharded = profiled(shards, None);
+        assert_eq!(
+            one.folded(),
+            sharded.folded(),
+            "{shards} contiguous chunks merged to a different tree"
+        );
+    }
+}
+
+#[test]
+fn the_hottest_self_frame_is_an_iommu_invalidation_path() {
+    let run = run_profile(&ProfileConfig::new(SEED, 96)).expect("profile workload");
+    let (frame, cycles) = run.profile.top_self().expect("non-empty profile");
+    assert!(
+        frame.starts_with("iommu."),
+        "hottest frame {frame} ({cycles} self cycles) is not an IOMMU path"
+    );
+    assert!(cycles > 0);
+    // The paper's cost story: invalidation dominates the IOMMU's
+    // simulated cycle budget, and the profiler must say so.
+    assert!(
+        frame.contains("iotlb"),
+        "expected an IOTLB invalidation path, got {frame}"
+    );
+}
+
+#[test]
+fn phase_breakdown_is_pinned_for_every_zoo_config() {
+    for config in 0..NUM_CONFIGS {
+        let name = config_name(config);
+        let profile = profiled(1, Some(config));
+        let phases = profile.phases();
+        let calls = |phase: &str| -> u64 {
+            phases
+                .iter()
+                .find(|(n, _, _)| n == phase)
+                .map(|(_, c, _)| *c)
+                .unwrap_or(0)
+        };
+        // Every exec opens with a clone marker and closes with exactly
+        // one teardown, whatever the machine shape.
+        assert_eq!(calls("exec.clone"), ITERS, "{name}");
+        assert_eq!(calls("exec.teardown"), ITERS, "{name}");
+        assert!(calls("exec.deliver") > 0, "{name} never delivered");
+        assert!(calls("exec.oracle") > 0, "{name} never ran the oracle");
+        assert_eq!(
+            calls("exec.oracle"),
+            calls("exec.infer"),
+            "{name}: oracle and inference drain the same trace batches"
+        );
+        // Delivery moves simulated time on every shape (teardown may
+        // not: deferred-invalidation configs batch the unmap cost into
+        // timer ticks); breakdown bytes are pinned by a second run.
+        let cycles = |phase: &str| -> u64 {
+            phases
+                .iter()
+                .find(|(n, _, _)| n == phase)
+                .map(|(_, _, c)| *c)
+                .unwrap_or(0)
+        };
+        assert!(cycles("exec.deliver") > 0, "{name}: free delivery");
+        let again = profiled(1, Some(config));
+        assert_eq!(profile.folded(), again.folded(), "{name} not deterministic");
+    }
+}
+
+#[test]
+fn attributed_cycles_never_exceed_total_cycles() {
+    let run = run_profile(&ProfileConfig::new(SEED, ITERS)).expect("profile workload");
+    assert!(run.profile.attributed_cycles() <= run.total_cycles);
+    assert_eq!(run.execs, ITERS);
+}
